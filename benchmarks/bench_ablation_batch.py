@@ -1,0 +1,51 @@
+"""Ablation — the single-batch (merge-max) approximation for multi-group servers.
+
+The paper's future-work section proposes treating all tasks reallocated to a
+server as one batch.  The transform solver uses exactly that approximation
+when a server receives several groups (n > 2); this bench measures its bias
+against exact Monte Carlo.
+"""
+
+import numpy as np
+
+from repro.analysis import current_scale
+from repro.core import Metric, ReallocationPolicy, TransformSolver
+from repro.simulation import estimate_metric
+from repro.workloads import five_server_scenario
+
+
+def bench_merge_max_bias(once, rng):
+    """Two senders target the fast server: approximation vs. exact MC."""
+    sc = five_server_scenario("pareto1", delay="severe", with_failures=False)
+    scale = current_scale()
+    # servers 0 and 1 both send to server 4 — a genuine multi-group case
+    matrix = np.zeros((5, 5), dtype=int)
+    matrix[0, 4] = 30
+    matrix[1, 4] = 15
+    policy = ReallocationPolicy(matrix)
+
+    def compute():
+        solver = TransformSolver.for_workload(
+            sc.model, sc.loads, dt=scale.solver_dt * 2.5, batch_mode="merge-max"
+        )
+        approx = solver.average_execution_time(list(sc.loads), policy)
+        mc = estimate_metric(
+            Metric.AVG_EXECUTION_TIME,
+            sc.model,
+            sc.loads,
+            policy,
+            scale.mc_reps,
+            rng,
+        )
+        return approx, mc
+
+    approx, mc = once(compute)
+    bias = (approx - mc.value) / mc.value
+    print(
+        f"\nmerge-max T̄ = {approx:.2f}s;  MC T̄ = {mc}  "
+        f"(bias {bias * 100:+.1f}%)"
+    )
+    # merge-max delays arrivals, so it must not *under*-estimate by much,
+    # and the workload here is dominated by the slow senders anyway
+    assert approx >= mc.ci_low * 0.98
+    assert abs(bias) < 0.25

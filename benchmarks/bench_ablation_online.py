@@ -1,0 +1,65 @@
+"""Ablation — one-shot DTR vs. online rebalancing under stale information.
+
+The paper's evaluation freezes the DTR decision at ``t = 0``; its framework
+(Sec. I/II-A) allows general run-time policies driven by queue gossip.  This
+bench measures what continuous fair-share rebalancing buys when the initial
+decision was made from *wrong* estimates — the regime where one-shot
+policies are brittle.
+"""
+
+import numpy as np
+
+from repro.analysis import current_scale
+from repro.core import Algorithm1, Metric, ReallocationPolicy
+from repro.core.algorithm1 import criterion_vector
+from repro.simulation import DCSSimulator, FairShareRebalancer
+from repro.workloads import five_server_scenario
+
+
+def bench_online_vs_oneshot(once, rng):
+    sc = five_server_scenario("pareto1", delay="severe", with_failures=False)
+    scale = current_scale()
+    loads = list(sc.loads)
+    lam = criterion_vector(sc.model, "speed")
+
+    def run_many(sim, policy, reps):
+        times = []
+        for _ in range(reps):
+            times.append(sim.run(loads, policy, rng).completion_time)
+        return float(np.mean(times))
+
+    def compute():
+        reps = max(scale.mc_reps // 3, 60)
+        # a good one-shot policy (fresh estimates)
+        algo = Algorithm1(
+            sc.model,
+            Metric.AVG_EXECUTION_TIME,
+            max_iterations=scale.algorithm1_k,
+            dt=scale.solver_dt * 2.5,
+        )
+        oneshot_policy = algo.run(loads).policy
+        t_oneshot = run_many(DCSSimulator(sc.model), oneshot_policy, reps)
+        # no initial policy, online rebalancing only
+        rb = FairShareRebalancer(lam=lam, threshold=2, cooldown=5.0)
+        online = DCSSimulator(sc.model, info_period=2.0, rebalancer=rb)
+        t_online = run_many(online, ReallocationPolicy.none(5), reps)
+        # both combined
+        rb2 = FairShareRebalancer(lam=lam, threshold=2, cooldown=5.0)
+        combo = DCSSimulator(sc.model, info_period=2.0, rebalancer=rb2)
+        t_combo = run_many(combo, oneshot_policy, reps)
+        # nothing at all
+        t_nothing = run_many(DCSSimulator(sc.model), ReallocationPolicy.none(5), reps)
+        return t_oneshot, t_online, t_combo, t_nothing
+
+    t_oneshot, t_online, t_combo, t_nothing = once(compute)
+    print(
+        f"\nmean T̄ — no action: {t_nothing:.1f}s | one-shot optimal: "
+        f"{t_oneshot:.1f}s | online-only: {t_online:.1f}s | "
+        f"one-shot + online: {t_combo:.1f}s"
+    )
+    # every control strategy beats doing nothing
+    assert t_oneshot < t_nothing
+    assert t_online < t_nothing
+    # online-only recovers a large share of the one-shot gain despite
+    # acting late and on stale gossip
+    assert t_online < 0.75 * t_nothing

@@ -1,0 +1,41 @@
+"""Ablation — the full QoS-vs-deadline curve behind the paper's Fig. 3 aside.
+
+The paper notes that the policy with minimal T̄ ≈ 140 s only meets that
+deadline with probability 0.471 — the mean is a coin-flip deadline.  This
+bench traces the complete curve and reports how much slack a 95% or 99%
+success target requires.
+"""
+
+import numpy as np
+
+from repro.analysis import current_scale, line_chart, qos_deadline_sweep
+
+
+def bench_qos_deadline_curve(once):
+    deadlines, qos, mean_time = once(qos_deadline_sweep, scale=current_scale())
+    print()
+    print(
+        line_chart(
+            deadlines,
+            {"QoS(T_M)": qos},
+            title="QoS vs deadline for the T̄-optimal policy (Pareto 1, severe)",
+            xlabel="deadline T_M [s]",
+            ylabel="P(T < T_M)",
+        )
+    )
+    at_mean = float(np.interp(mean_time, deadlines, qos))
+    slack95 = float(np.interp(0.95, qos, deadlines)) / mean_time - 1.0
+    slack99 = float(np.interp(0.99, qos, deadlines)) / mean_time - 1.0
+    print(
+        f"\nQoS at the mean ({mean_time:.1f}s) = {at_mean:.3f} "
+        f"(paper: 0.471 at its 140.11s)"
+    )
+    print(f"slack for 95% success: +{slack95 * 100:.0f}% of the mean")
+    print(f"slack for 99% success: +{slack99 * 100:.0f}% of the mean")
+    # the paper's aside: the mean is far from a safe deadline (their 0.471;
+    # our heavy right tail puts the median below the mean, so a bit higher)
+    assert 0.3 <= at_mean <= 0.85
+    assert slack95 > 0.1, "95% success must need real slack beyond the mean"
+    # curve must be a CDF
+    assert np.all(np.diff(qos) >= -1e-12)
+    assert qos[0] < 0.2 and qos[-1] > 0.9

@@ -1,0 +1,98 @@
+"""Ablation — Markovian error as a *continuous* function of network delay.
+
+The paper's central claim is binary (low vs. severe regime); this bench
+sweeps the delay scale continuously and shows the Markovian approximation
+error of the average execution time growing monotonically with it — plus
+the utilization story: balanced servers under cheap transfers, imbalanced
+under dear ones.
+"""
+
+import numpy as np
+
+from repro.analysis import current_scale
+from repro.analysis.utilization import measure_utilization
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    markovian_approximation,
+)
+from repro.workloads import get_family
+
+LOADS = [40, 20]
+POLICY = ReallocationPolicy.two_server(15, 5)
+SCALES = (0.25, 1.0, 4.0, 10.0)
+
+
+def _model(delay_scale: float) -> DCSModel:
+    fam = get_family("pareto1")
+    network = HomogeneousNetwork(
+        fam.make,
+        latency=0.2 * delay_scale,
+        per_task=1.0 * delay_scale,
+        fn_mean=0.2 * delay_scale,
+    )
+    return DCSModel(service=[fam.make(2.0), fam.make(1.0)], network=network)
+
+
+def bench_markovian_error_vs_delay(once):
+    scale = current_scale()
+
+    def sweep():
+        rows = []
+        for f in SCALES:
+            model = _model(f)
+            solver = TransformSolver.for_workload(model, LOADS, dt=scale.solver_dt)
+            exp_solver = TransformSolver.for_workload(
+                markovian_approximation(model), LOADS, dt=scale.solver_dt
+            )
+            truth = solver.average_execution_time(LOADS, POLICY)
+            approx = exp_solver.average_execution_time(LOADS, POLICY)
+            rows.append((f, truth, approx, abs(approx - truth) / truth))
+        return rows
+
+    rows = once(sweep)
+    print()
+    for f, truth, approx, err in rows:
+        print(
+            f"  delay x{f:<5g} T̄ true = {truth:8.2f}s  markovian = "
+            f"{approx:8.2f}s  error = {err * 100:5.1f}%"
+        )
+    errors = [err for *_, err in rows]
+    # the paper's claim, continuously: error grows with the delay scale
+    assert errors[-1] > errors[0]
+    assert errors[-1] > 0.02
+
+
+def bench_utilization_vs_delay(once, rng):
+    """Balanced busy times under cheap transfers, imbalance under dear ones."""
+    scale = current_scale()
+
+    def sweep():
+        rows = []
+        for f in (0.25, 4.0):
+            model = _model(f)
+            solver = TransformSolver.for_workload(model, LOADS, dt=scale.solver_dt)
+            best = TwoServerOptimizer(solver).optimize(
+                Metric.AVG_EXECUTION_TIME, LOADS, step=4
+            )
+            report = measure_utilization(
+                model, LOADS, best.policy, max(scale.mc_reps // 3, 60), rng
+            )
+            rows.append((f, best.policy, report))
+        return rows
+
+    rows = once(sweep)
+    print()
+    for f, policy, report in rows:
+        print(
+            f"  delay x{f:<5g} optimal {policy}  busy = "
+            f"{np.round(report.mean_busy_time, 1)}  imbalance = "
+            f"{report.imbalance:.2f}"
+        )
+    cheap, dear = rows[0][2], rows[1][2]
+    assert cheap.imbalance < 2.0, "cheap transfers should balance utilization"
+    assert dear.imbalance >= cheap.imbalance * 0.9

@@ -1,0 +1,57 @@
+"""Fig. 1 — average execution time vs. DTR policy, five models, two regimes.
+
+Paper's headline: the Markovian approximation is accurate under low network
+delay (errors of a few percent) and degrades badly under severe delay (up
+to ~15% for the average execution time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import current_scale, fig1_series, line_chart
+
+
+@pytest.mark.parametrize("delay", ["low", "severe"])
+def bench_fig1(once, delay):
+    data = once(fig1_series, delay, scale=current_scale())
+    print()
+    print(
+        line_chart(
+            data.l12_values,
+            {fam: s.values for fam, s in data.sweeps.items()},
+            title=f"Fig. 1 — average execution time ({delay} delay, L21={data.l21})",
+            xlabel="L12",
+            ylabel="T̄ [s]",
+        )
+    )
+    for fam, err in sorted(data.max_relative_error.items()):
+        print(f"  Markovian max relative error [{fam}]: {err * 100:.1f}%")
+    # every curve is positive and finite
+    for fam, sweep in data.sweeps.items():
+        assert np.all(np.isfinite(sweep.values)), fam
+        assert np.all(sweep.values > 0), fam
+    # the exponential curve is its own Markovian approximation
+    assert data.max_relative_error["exponential"] < 1e-9
+
+
+def bench_fig1_error_ordering(once):
+    """The paper's qualitative claim: severe delay inflates Markovian error."""
+
+    def both():
+        scale = current_scale()
+        return fig1_series("low", scale=scale), fig1_series("severe", scale=scale)
+
+    low, severe = once(both)
+    worst_low = max(
+        err for fam, err in low.max_relative_error.items() if fam != "exponential"
+    )
+    worst_severe = max(
+        err
+        for fam, err in severe.max_relative_error.items()
+        if fam != "exponential"
+    )
+    print(
+        f"\nworst Markovian error: low={worst_low * 100:.1f}%  "
+        f"severe={worst_severe * 100:.1f}%  (paper: ~3% vs ~15%)"
+    )
+    assert worst_severe > worst_low

@@ -1,0 +1,53 @@
+"""Fig. 2 — service reliability vs. DTR policy, five models, two regimes.
+
+Paper's headline: Markovian reliability errors stay below ~3% under low
+delay but reach ~65% under severe delay; reliability-optimal policies move
+load away from the fast-but-unreliable server compared to time-optimal ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import current_scale, fig2_series, line_chart
+
+
+@pytest.mark.parametrize("delay", ["low", "severe"])
+def bench_fig2(once, delay):
+    data = once(fig2_series, delay, scale=current_scale())
+    print()
+    print(
+        line_chart(
+            data.l12_values,
+            {fam: s.values for fam, s in data.sweeps.items()},
+            title=f"Fig. 2 — service reliability ({delay} delay, L21={data.l21})",
+            xlabel="L12",
+            ylabel="R_inf",
+        )
+    )
+    for fam, err in sorted(data.max_relative_error.items()):
+        print(f"  Markovian max relative error [{fam}]: {err * 100:.1f}%")
+    for fam, sweep in data.sweeps.items():
+        assert np.all((sweep.values >= 0) & (sweep.values <= 1)), fam
+
+
+def bench_fig2_error_ordering(once):
+    """Severe delay inflates the Markovian reliability error (paper: ≤65%)."""
+
+    def both():
+        scale = current_scale()
+        return fig2_series("low", scale=scale), fig2_series("severe", scale=scale)
+
+    low, severe = once(both)
+    worst_low = max(
+        err for fam, err in low.max_relative_error.items() if fam != "exponential"
+    )
+    worst_severe = max(
+        err
+        for fam, err in severe.max_relative_error.items()
+        if fam != "exponential"
+    )
+    print(
+        f"\nworst Markovian reliability error: low={worst_low * 100:.1f}%  "
+        f"severe={worst_severe * 100:.1f}%  (paper: ~3% vs up to 65%)"
+    )
+    assert worst_severe > worst_low

@@ -1,0 +1,76 @@
+"""Performance benchmark — the three solvers on a common small instance.
+
+This is the classic pytest-benchmark use: wall-clock of each solver on a
+workload where all three are exact(ish), demonstrating why the transform
+solver is the production path and the Theorem 1 recursion the validation
+path (the paper makes the same cost observation about its exact
+characterization).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    Theorem1Solver,
+    TransformSolver,
+)
+from repro.distributions import Exponential
+
+_LOADS = [5, 3]
+_POLICY = ReallocationPolicy.two_server(2, 1)
+
+
+def _model() -> DCSModel:
+    net = HomogeneousNetwork(
+        Exponential.from_mean, latency=0.2, per_task=1.0, fn_mean=0.2
+    )
+    return DCSModel(
+        service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+        network=net,
+    )
+
+
+def bench_markovian_solver(benchmark):
+    model = _model()
+    value = benchmark(
+        lambda: MarkovianSolver(model).average_execution_time(_LOADS, _POLICY)
+    )
+    assert 8.0 < value < 9.5
+
+
+def bench_transform_solver(benchmark):
+    model = _model()
+
+    def run():
+        solver = TransformSolver.for_workload(model, _LOADS, dt=0.02)
+        return solver.average_execution_time(_LOADS, _POLICY)
+
+    value = benchmark(run)
+    assert abs(value - 8.6858) < 0.05
+
+
+def bench_transform_solver_amortized(benchmark):
+    """Per-policy cost once the service-sum caches are warm."""
+    model = _model()
+    solver = TransformSolver.for_workload(model, _LOADS, dt=0.02)
+    solver.average_execution_time(_LOADS, _POLICY)  # warm the caches
+
+    value = benchmark(
+        lambda: solver.average_execution_time(_LOADS, ReallocationPolicy.two_server(3, 1))
+    )
+    assert np.isfinite(value)
+
+
+def bench_theorem1_solver(benchmark):
+    model = _model()
+
+    def run():
+        return Theorem1Solver(model, ds=0.1).average_execution_time(_LOADS, _POLICY)
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(value - 8.6858) < 0.25

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (at the resolution
+selected by ``REPRO_SCALE``; default "fast") and prints the series with
+``-s``.  Benches run their payload exactly once — the interesting output is
+the reproduced experiment, the wall-clock time is secondary.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator so bench output is reproducible run-to-run."""
+    return np.random.default_rng(20100913)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a payload a single time under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

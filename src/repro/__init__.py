@@ -1,0 +1,76 @@
+"""repro — reproduction of Pezoa, Hayat, Wang & Dhakal (ICPP 2010):
+*Optimal Task Reallocation in Heterogeneous Distributed Computing Systems
+with Age-Dependent Delay Statistics*.
+
+Quick start
+-----------
+>>> from repro import Metric, TwoServerOptimizer, TransformSolver
+>>> from repro.workloads import two_server_scenario
+>>> sc = two_server_scenario("pareto1", delay="severe", with_failures=False)
+>>> solver = TransformSolver.for_workload(sc.model, sc.loads)
+>>> best = TwoServerOptimizer(solver).optimize(
+...     Metric.AVG_EXECUTION_TIME, sc.loads, step=4)
+>>> best.policy                                         # doctest: +SKIP
+ReallocationPolicy(L12=32, L21=1)
+
+Package map
+-----------
+``repro.distributions`` — age-aware distribution library + grid algebra;
+``repro.core``          — state model, regeneration calculus, the three
+                          solvers, policy optimizers;
+``repro.simulation``    — discrete-event simulator, MC estimators, the
+                          emulated testbed;
+``repro.workloads``     — the paper's scenarios and model families;
+``repro.analysis``      — table/figure regeneration harness.
+"""
+
+from .core import (
+    Algorithm1,
+    Algorithm1Result,
+    DCSModel,
+    HeterogeneousNetwork,
+    HomogeneousNetwork,
+    MarkovianSolver,
+    MCEstimate,
+    MCPolicySearch,
+    Metric,
+    MetricValue,
+    NetworkModel,
+    OptimizationResult,
+    ReallocationPolicy,
+    Theorem1Solver,
+    TransformSolver,
+    TwoServerOptimizer,
+    ZeroDelayNetwork,
+    markovian_approximation,
+    sweep_policies,
+)
+from .simulation import DCSSimulator, EmulatedTestbed, estimate_metric
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm1",
+    "Algorithm1Result",
+    "DCSModel",
+    "DCSSimulator",
+    "EmulatedTestbed",
+    "HeterogeneousNetwork",
+    "HomogeneousNetwork",
+    "MarkovianSolver",
+    "MCEstimate",
+    "MCPolicySearch",
+    "Metric",
+    "MetricValue",
+    "NetworkModel",
+    "OptimizationResult",
+    "ReallocationPolicy",
+    "Theorem1Solver",
+    "TransformSolver",
+    "TwoServerOptimizer",
+    "ZeroDelayNetwork",
+    "estimate_metric",
+    "markovian_approximation",
+    "sweep_policies",
+    "__version__",
+]

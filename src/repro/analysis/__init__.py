@@ -1,0 +1,58 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Run ``python -m repro.analysis.run_all`` (set ``REPRO_SCALE=full`` for
+paper-fidelity resolution) or import the per-experiment functions.
+"""
+
+from .config import ExperimentScale, current_scale
+from .figures import (
+    Fig3Data,
+    Fig4Data,
+    Fig12Data,
+    PolicySweep,
+    fig1_series,
+    fig2_series,
+    fig3_surfaces,
+    fig4_data,
+    fitted_model_from_characterization,
+    qos_deadline_sweep,
+)
+from .sensitivity import SensitivityRow, metric_sensitivities
+from .tables import (
+    Table1Row,
+    Table2Row,
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+from .textplot import histogram_chart, line_chart, surface_chart
+from .utilization import UtilizationReport, measure_utilization
+
+__all__ = [
+    "ExperimentScale",
+    "current_scale",
+    "Fig12Data",
+    "Fig3Data",
+    "Fig4Data",
+    "PolicySweep",
+    "fig1_series",
+    "fig2_series",
+    "fig3_surfaces",
+    "fig4_data",
+    "fitted_model_from_characterization",
+    "qos_deadline_sweep",
+    "SensitivityRow",
+    "metric_sensitivities",
+    "Table1Row",
+    "Table2Row",
+    "format_table1",
+    "format_table2",
+    "table1_rows",
+    "table2_rows",
+    "UtilizationReport",
+    "measure_utilization",
+    "histogram_chart",
+    "line_chart",
+    "surface_chart",
+]

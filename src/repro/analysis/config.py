@@ -1,0 +1,71 @@
+"""Experiment-scale knobs shared by the benches and the run-all harness.
+
+Everything defaults to a *fast* profile so benches finish in CI; set
+``REPRO_SCALE=full`` to run at the paper's fidelity (finer policy lattices,
+10 000-replication Monte Carlo, full model lists).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Resolution of the experiment harness."""
+
+    name: str
+    #: step of 1-D policy sweeps (Figs. 1, 2, 4c)
+    sweep_step: int
+    #: coarse step of 2-D optimizations (Table I, Fig. 3)
+    optimize_step: int
+    #: grid resolution of the transform solver
+    solver_dt: float
+    #: MC replications for table values
+    mc_reps: int
+    #: MC replications for the Fig. 4(c) simulation curve
+    mc_reps_fig4: int
+    #: testbed "experimental" runs (paper: 500)
+    experiment_runs: int
+    #: random-allocation candidates of the MC policy search
+    mc_search_candidates: int
+    #: Algorithm 1 iteration cap K
+    algorithm1_k: int
+
+
+_FAST = ExperimentScale(
+    name="fast",
+    sweep_step=10,
+    optimize_step=8,
+    solver_dt=0.1,
+    mc_reps=300,
+    mc_reps_fig4=1500,
+    experiment_runs=300,
+    mc_search_candidates=8,
+    algorithm1_k=4,
+)
+
+_FULL = ExperimentScale(
+    name="full",
+    sweep_step=2,
+    optimize_step=4,
+    solver_dt=0.04,
+    mc_reps=2000,
+    mc_reps_fig4=10000,
+    experiment_runs=500,
+    mc_search_candidates=30,
+    algorithm1_k=10,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The profile selected by the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", "fast").strip().lower()
+    if name == "full":
+        return _FULL
+    if name in ("fast", ""):
+        return _FAST
+    raise ValueError(f"unknown REPRO_SCALE {name!r}; use 'fast' or 'full'")

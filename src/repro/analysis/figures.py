@@ -1,0 +1,364 @@
+"""Data series behind every figure of the paper (Figs. 1-4).
+
+Each function returns plain dataclasses of NumPy arrays; rendering (ASCII or
+otherwise) is left to the caller.  The benches in ``benchmarks/`` print the
+series with :mod:`repro.analysis.textplot` and record paper-vs-measured
+numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import (
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    markovian_approximation,
+)
+from ..core.system import DCSModel, HeterogeneousNetwork
+from ..distributions.fitting import ModelSelection
+from ..simulation import EmulatedTestbed, estimate_reliability
+from ..simulation.testbed import Characterization, _scale_distribution
+from ..workloads import PAPER_FAMILIES, two_server_scenario
+from ..workloads.scenarios import testbed_scenario
+from .config import ExperimentScale, current_scale
+
+__all__ = [
+    "PolicySweep",
+    "Fig12Data",
+    "fig1_series",
+    "fig2_series",
+    "Fig3Data",
+    "fig3_surfaces",
+    "Fig4Data",
+    "fig4_data",
+    "fitted_model_from_characterization",
+    "qos_deadline_sweep",
+]
+
+
+@dataclass
+class PolicySweep:
+    """Metric values along ``L12`` for one family (``L21`` fixed)."""
+
+    family: str
+    l12_values: np.ndarray
+    values: np.ndarray
+
+
+@dataclass
+class Fig12Data:
+    """The content of Fig. 1 (``T̄``) or Fig. 2 (reliability).
+
+    ``sweeps[family]`` is the true (non-Markovian) curve; the exponential
+    family doubles as the Markovian approximation, since all families share
+    the same means.  ``max_relative_error[family]`` is the paper's headline
+    comparison: the worst pointwise error of the Markovian curve against the
+    family's true curve.
+    """
+
+    metric: Metric
+    delay: str
+    l21: int
+    l12_values: np.ndarray
+    sweeps: Dict[str, PolicySweep]
+    max_relative_error: Dict[str, float] = field(default_factory=dict)
+
+    def compute_errors(self) -> None:
+        exp = self.sweeps["exponential"].values
+        for family, sweep in self.sweeps.items():
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rel = np.abs(sweep.values - exp) / np.where(
+                    sweep.values != 0, np.abs(sweep.values), 1.0
+                )
+            self.max_relative_error[family] = float(np.nanmax(rel))
+
+
+def _sweep_l12(
+    solver: TransformSolver,
+    metric: Metric,
+    loads: Sequence[int],
+    l12_values: np.ndarray,
+    l21: int,
+    deadline: Optional[float] = None,
+) -> np.ndarray:
+    out = np.empty(l12_values.size)
+    for i, l12 in enumerate(l12_values):
+        policy = ReallocationPolicy.two_server(int(l12), l21)
+        out[i] = solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+    return out
+
+
+def fig1_series(
+    delay: str,
+    families: Sequence[str] = tuple(PAPER_FAMILIES),
+    l21: int = 25,
+    scale: Optional[ExperimentScale] = None,
+) -> Fig12Data:
+    """Fig. 1: average execution time vs. ``L12`` with ``L21 = 25``."""
+    scale = scale or current_scale()
+    sweeps: Dict[str, PolicySweep] = {}
+    l12_values = None
+    for family in families:
+        sc = two_server_scenario(family, delay=delay, with_failures=False)
+        if l12_values is None:
+            l12_values = np.arange(0, sc.loads[0] + 1, scale.sweep_step)
+        solver = TransformSolver.for_workload(sc.model, sc.loads, dt=scale.solver_dt)
+        values = _sweep_l12(
+            solver, Metric.AVG_EXECUTION_TIME, sc.loads, l12_values, l21
+        )
+        sweeps[family] = PolicySweep(family, l12_values, values)
+    data = Fig12Data(
+        metric=Metric.AVG_EXECUTION_TIME,
+        delay=delay,
+        l21=l21,
+        l12_values=l12_values,
+        sweeps=sweeps,
+    )
+    if "exponential" in sweeps:
+        data.compute_errors()
+    return data
+
+
+def fig2_series(
+    delay: str,
+    families: Sequence[str] = tuple(PAPER_FAMILIES),
+    l21: int = 25,
+    scale: Optional[ExperimentScale] = None,
+) -> Fig12Data:
+    """Fig. 2: service reliability vs. ``L12`` with ``L21 = 25``."""
+    scale = scale or current_scale()
+    sweeps: Dict[str, PolicySweep] = {}
+    l12_values = None
+    for family in families:
+        sc = two_server_scenario(family, delay=delay, with_failures=True)
+        if l12_values is None:
+            l12_values = np.arange(0, sc.loads[0] + 1, scale.sweep_step)
+        solver = TransformSolver.for_workload(sc.model, sc.loads, dt=scale.solver_dt)
+        values = _sweep_l12(solver, Metric.RELIABILITY, sc.loads, l12_values, l21)
+        sweeps[family] = PolicySweep(family, l12_values, values)
+    data = Fig12Data(
+        metric=Metric.RELIABILITY,
+        delay=delay,
+        l21=l21,
+        l12_values=l12_values,
+        sweeps=sweeps,
+    )
+    if "exponential" in sweeps:
+        data.compute_errors()
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: metric surfaces for Pareto 1 / severe delay
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig3Data:
+    """Surfaces of Fig. 3(a) ``T̄(L12, L21)`` and 3(b) QoS within 180 s."""
+
+    l12_values: np.ndarray
+    l21_values: np.ndarray
+    avg_time: np.ndarray
+    qos: np.ndarray
+    deadline: float
+    best_time_policy: Tuple[int, int] = (0, 0)
+    best_time_value: float = float("nan")
+    best_qos_policies: List[Tuple[int, int]] = field(default_factory=list)
+    best_qos_value: float = float("nan")
+    qos_at_min_time_deadline: float = float("nan")
+
+
+def fig3_surfaces(
+    family: str = "pareto1",
+    delay: str = "severe",
+    deadline: float = 180.0,
+    scale: Optional[ExperimentScale] = None,
+) -> Fig3Data:
+    """Fig. 3: both surfaces plus the paper's headline numbers."""
+    scale = scale or current_scale()
+    sc = two_server_scenario(family, delay=delay, with_failures=False)
+    solver = TransformSolver.for_workload(sc.model, sc.loads, dt=scale.solver_dt)
+    step = scale.optimize_step
+    l12_values = np.arange(0, sc.loads[0] + 1, step)
+    l21_values = np.arange(0, sc.loads[1] + 1, step)
+    avg = np.empty((l12_values.size, l21_values.size))
+    qos = np.empty_like(avg)
+    for i, l12 in enumerate(l12_values):
+        for j, l21 in enumerate(l21_values):
+            policy = ReallocationPolicy.two_server(int(l12), int(l21))
+            mass_cache = solver.workload_time_mass(list(sc.loads), policy)
+            avg[i, j] = mass_cache.mean()
+            qos[i, j] = mass_cache.cdf_at(deadline)
+    data = Fig3Data(
+        l12_values=l12_values,
+        l21_values=l21_values,
+        avg_time=avg,
+        qos=qos,
+        deadline=deadline,
+    )
+    bi = np.unravel_index(np.argmin(avg), avg.shape)
+    data.best_time_policy = (int(l12_values[bi[0]]), int(l21_values[bi[1]]))
+    data.best_time_value = float(avg[bi])
+    best_q = float(qos.max())
+    data.best_qos_value = best_q
+    data.best_qos_policies = [
+        (int(l12_values[i]), int(l21_values[j]))
+        for i, j in zip(*np.nonzero(qos >= best_q - 1e-6))
+    ]
+    # the paper's aside: QoS within the minimal average time is much lower
+    best_policy = ReallocationPolicy.two_server(*data.best_time_policy)
+    data.qos_at_min_time_deadline = solver.qos(
+        list(sc.loads), best_policy, data.best_time_value
+    )
+    return data
+
+
+def qos_deadline_sweep(
+    family: str = "pareto1",
+    delay: str = "severe",
+    policy: Optional[ReallocationPolicy] = None,
+    deadlines: Optional[np.ndarray] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """QoS as a function of the deadline ``T_M`` for one policy.
+
+    Generalizes the paper's Fig. 3(b) aside (the QoS within the minimal
+    average time is only 0.471): the full deadline curve shows how much
+    slack beyond the mean a target success probability costs.  Returns
+    ``(deadlines, qos_values, mean_time)``.
+    """
+    scale = scale or current_scale()
+    sc = two_server_scenario(family, delay=delay, with_failures=False)
+    solver = TransformSolver.for_workload(sc.model, sc.loads, dt=scale.solver_dt)
+    if policy is None:
+        policy = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, sc.loads, step=scale.optimize_step
+        ).policy
+    mass = solver.workload_time_mass(list(sc.loads), policy)
+    mean_time = mass.mean()
+    if deadlines is None:
+        deadlines = np.linspace(0.6 * mean_time, 2.0 * mean_time, 30)
+    qos = np.array([mass.cdf_at(t) for t in deadlines])
+    return deadlines, qos, mean_time
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: testbed characterization and reliability validation
+# ---------------------------------------------------------------------------
+def fitted_model_from_characterization(
+    char: Characterization, nominal: DCSModel
+) -> DCSModel:
+    """The model an experimenter would analyze: fitted laws + assumed failures.
+
+    Service laws come straight from the per-server fits.  The network keeps
+    the measured family/shape per link and scales it to the group-size-
+    dependent mean (per-task mean from the link's samples).
+    """
+    n = nominal.n
+    per_task = np.zeros((n, n))
+    latency = np.zeros((n, n))
+    fn_mean = np.full((n, n), 1e-6)
+    link_laws = {}
+    for (i, j), sel in char.transfer.items():
+        per_task[i, j] = float(np.mean(char.transfer_samples[(i, j)]))
+        link_laws[(i, j)] = sel.distribution
+    for (i, j), sel in char.fn.items():
+        fn_mean[i, j] = max(sel.distribution.mean(), 1e-6)
+
+    def make_time(mean: float):
+        # scale the first fitted link law to the requested mean; this keeps
+        # the fitted family and shape while honoring size-dependent means
+        base = next(iter(link_laws.values()))
+        return _scale_distribution(base, mean / base.mean())
+
+    network = HeterogeneousNetwork(
+        make_time, latency=latency, per_task=per_task, fn_mean=fn_mean
+    )
+    return DCSModel(
+        service=[sel.distribution for sel in char.service],
+        network=network,
+        failure=nominal.failure,
+    )
+
+
+@dataclass
+class Fig4Data:
+    """Everything in Fig. 4: the fits (a, b) and the reliability curves (c)."""
+
+    characterization: Characterization
+    fitted_model: DCSModel
+    l12_values: np.ndarray
+    theory: np.ndarray
+    simulation: np.ndarray
+    simulation_ci: np.ndarray
+    experiment: np.ndarray
+    experiment_ci: np.ndarray
+    optimal_l12: int
+    optimal_reliability: float
+    no_reallocation_reliability: float
+
+
+def fig4_data(
+    rng: np.random.Generator,
+    n_characterization_samples: int = 2000,
+    scale: Optional[ExperimentScale] = None,
+    reality_perturbation: float = 0.03,
+) -> Fig4Data:
+    """Fig. 4: emulated-testbed characterization + reliability validation.
+
+    Mirrors Sec. III-B: fit the testbed clocks from finite traces, predict
+    reliability with the non-Markovian theory, and compare against MC
+    simulation of the fitted model and 'experimental' runs of the (distinct)
+    ground-truth machine.
+    """
+    scale = scale or current_scale()
+    nominal = testbed_scenario().model
+    loads = list(testbed_scenario().loads)
+    testbed = EmulatedTestbed(nominal, rng, reality_perturbation=reality_perturbation)
+    char = testbed.characterize(
+        n_characterization_samples,
+        rng,
+        families=("exponential", "pareto", "shifted-gamma", "shifted-exponential"),
+    )
+    fitted = fitted_model_from_characterization(char, nominal)
+    solver = TransformSolver.for_workload(fitted, loads, dt=scale.solver_dt / 2)
+
+    l12_values = np.arange(0, loads[0] + 1, scale.sweep_step)
+    theory = np.empty(l12_values.size)
+    sim_vals = np.empty(l12_values.size)
+    sim_ci = np.empty((l12_values.size, 2))
+    exp_vals = np.empty(l12_values.size)
+    exp_ci = np.empty((l12_values.size, 2))
+    for i, l12 in enumerate(l12_values):
+        policy = ReallocationPolicy.two_server(int(l12), 0)
+        theory[i] = solver.reliability(loads, policy)
+        sim = estimate_reliability(fitted, loads, policy, scale.mc_reps_fig4, rng)
+        sim_vals[i], sim_ci[i] = sim.value, (sim.ci_low, sim.ci_high)
+        exp = testbed.experiment_reliability(
+            loads, policy, scale.experiment_runs, rng
+        )
+        exp_vals[i], exp_ci[i] = exp.value, (exp.ci_low, exp.ci_high)
+
+    opt = TwoServerOptimizer(solver).optimize(
+        Metric.RELIABILITY, loads, step=max(scale.optimize_step, 2)
+    )
+    return Fig4Data(
+        characterization=char,
+        fitted_model=fitted,
+        l12_values=l12_values,
+        theory=theory,
+        simulation=sim_vals,
+        simulation_ci=sim_ci,
+        experiment=exp_vals,
+        experiment_ci=exp_ci,
+        optimal_l12=opt.policy[0, 1],
+        optimal_reliability=opt.value,
+        no_reallocation_reliability=float(
+            solver.reliability(loads, ReallocationPolicy.two_server(0, 0))
+        ),
+    )

@@ -1,0 +1,301 @@
+"""Regeneration of Table I and Table II.
+
+Table I (Sec. III-A.1): per distribution model and delay regime, the optimal
+DTR policy and optimal value for the average execution time and for the QoS
+within 180 s — plus the degradation caused by deploying the policy a
+*Markovian* analysis would pick.
+
+Table II (Sec. III-A.2): five-server system under severe delays; per model,
+the average execution time and service reliability achieved by Algorithm 1
+with the correct (non-Markovian) pair analysis, by Algorithm 1 under the
+exponential approximation, and by the MC-search benchmark allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import (
+    Algorithm1,
+    MCPolicySearch,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    markovian_approximation,
+)
+from ..core.system import DCSModel
+from ..simulation.estimator import estimate_metric
+from ..workloads import PAPER_FAMILIES, five_server_scenario, two_server_scenario
+from .config import ExperimentScale, current_scale
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "format_table1",
+    "Table2Row",
+    "table2_rows",
+    "format_table2",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    """One (delay, family) row of Table I."""
+
+    delay: str
+    family: str
+    # minimal average execution time
+    time_policy: Tuple[int, int]
+    time_value: float
+    time_value_under_markov_policy: float
+    time_degradation_pct: float
+    # maximal QoS within the deadline
+    qos_policy: Tuple[int, int]
+    qos_value: float
+    qos_value_under_markov_policy: float
+    qos_degradation_pct: float
+    deadline: float
+
+
+def table1_rows(
+    families: Sequence[str] = tuple(PAPER_FAMILIES),
+    delays: Sequence[str] = ("low", "severe"),
+    deadline: float = 180.0,
+    scale: Optional[ExperimentScale] = None,
+) -> List[Table1Row]:
+    """Solve problems (3) and (4) for every model and delay regime."""
+    scale = scale or current_scale()
+    rows: List[Table1Row] = []
+    for delay in delays:
+        # the Markovian designer's policies (one per delay regime)
+        sc_exp = two_server_scenario("exponential", delay=delay, with_failures=False)
+        solver_exp = TransformSolver.for_workload(
+            sc_exp.model, sc_exp.loads, dt=scale.solver_dt
+        )
+        opt_exp = TwoServerOptimizer(solver_exp)
+        markov_time = opt_exp.optimize(
+            Metric.AVG_EXECUTION_TIME, sc_exp.loads, step=scale.optimize_step
+        )
+        markov_qos = opt_exp.optimize(
+            Metric.QOS, sc_exp.loads, deadline=deadline, step=scale.optimize_step
+        )
+        for family in families:
+            sc = two_server_scenario(family, delay=delay, with_failures=False)
+            solver = TransformSolver.for_workload(
+                sc.model, sc.loads, dt=scale.solver_dt
+            )
+            opt = TwoServerOptimizer(solver)
+            best_time = opt.optimize(
+                Metric.AVG_EXECUTION_TIME, sc.loads, step=scale.optimize_step
+            )
+            best_qos = opt.optimize(
+                Metric.QOS, sc.loads, deadline=deadline, step=scale.optimize_step
+            )
+            # deploy the Markovian policies on the true system
+            t_markov = solver.average_execution_time(
+                list(sc.loads), markov_time.policy
+            )
+            q_markov = solver.qos(list(sc.loads), markov_qos.policy, deadline)
+            time_deg = 100.0 * (t_markov - best_time.value) / best_time.value
+            qos_deg = (
+                100.0 * (best_qos.value - q_markov) / best_qos.value
+                if best_qos.value > 0
+                else 0.0
+            )
+            rows.append(
+                Table1Row(
+                    delay=delay,
+                    family=family,
+                    time_policy=(best_time.policy[0, 1], best_time.policy[1, 0]),
+                    time_value=best_time.value,
+                    time_value_under_markov_policy=t_markov,
+                    time_degradation_pct=time_deg,
+                    qos_policy=(best_qos.policy[0, 1], best_qos.policy[1, 0]),
+                    qos_value=best_qos.value,
+                    qos_value_under_markov_policy=q_markov,
+                    qos_degradation_pct=qos_deg,
+                    deadline=deadline,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    header = (
+        f"{'delay':8s} {'model':20s} {'L*(T̄)':>9s} {'T̄*':>9s} "
+        f"{'T̄@exp-pol':>10s} {'deg%':>6s} {'L*(QoS)':>9s} {'QoS*':>7s} "
+        f"{'QoS@exp':>8s} {'deg%':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.delay:8s} {r.family:20s} "
+            f"{str(r.time_policy):>9s} {r.time_value:9.2f} "
+            f"{r.time_value_under_markov_policy:10.2f} {r.time_degradation_pct:6.1f} "
+            f"{str(r.qos_policy):>9s} {r.qos_value:7.4f} "
+            f"{r.qos_value_under_markov_policy:8.4f} {r.qos_degradation_pct:6.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+@dataclass
+class Table2Row:
+    """One (family, metric) block of Table II (MC values with 95% CIs)."""
+
+    family: str
+    metric: Metric
+    algorithm1_policy: ReallocationPolicy
+    algorithm1_value: float
+    algorithm1_ci: Tuple[float, float]
+    exponential_policy: ReallocationPolicy
+    exponential_value: float
+    exponential_ci: Tuple[float, float]
+    benchmark_allocation: Tuple[int, ...]
+    benchmark_value: float
+    benchmark_ci: Tuple[float, float]
+    relative_error_pct: float
+    within_benchmark_pct: float
+
+
+def _mc_value(
+    metric: Metric,
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    n_reps: int,
+    rng: np.random.Generator,
+):
+    est = estimate_metric(metric, model, loads, policy, n_reps, rng)
+    return est.value, (est.ci_low, est.ci_high)
+
+
+def table2_rows(
+    rng: np.random.Generator,
+    families: Sequence[str] = tuple(PAPER_FAMILIES),
+    metrics: Sequence[Metric] = (Metric.AVG_EXECUTION_TIME, Metric.RELIABILITY),
+    delay: str = "severe",
+    scale: Optional[ExperimentScale] = None,
+) -> List[Table2Row]:
+    """Algorithm 1 vs. exponential-policy vs. MC-benchmark, evaluated by MC."""
+    scale = scale or current_scale()
+    rows: List[Table2Row] = []
+    for metric in metrics:
+        reliable = metric is Metric.AVG_EXECUTION_TIME
+        criterion = "speed" if reliable else "reliability"
+        # shared MC benchmark per metric: searched on the *true* dynamics of
+        # each family, so run per family below
+        for family in families:
+            sc = five_server_scenario(family, delay=delay, with_failures=not reliable)
+            model = sc.model
+            # --- Algorithm 1 with the correct (non-Markovian) analysis
+            algo = Algorithm1(
+                model,
+                metric,
+                max_iterations=scale.algorithm1_k,
+                dt=scale.solver_dt * 2.5,
+            )
+            res_true = algo.run(sc.loads, criterion=criterion)
+            # --- Algorithm 1 under the exponential approximation
+            algo_exp = Algorithm1(
+                markovian_approximation(model),
+                metric,
+                max_iterations=scale.algorithm1_k,
+                dt=scale.solver_dt * 2.5,
+            )
+            res_exp = algo_exp.run(sc.loads, criterion=criterion)
+            # --- MC-search benchmark on the true model, seeded with both
+            # Algorithm 1 allocations so it can only improve on them
+            def allocation_of(policy) -> List[int]:
+                residual = policy.residual_loads(sc.loads)
+                return [
+                    int(residual[k]) + policy.inflow(k) for k in range(model.n)
+                ]
+
+            search = MCPolicySearch(model, metric, n_reps=max(scale.mc_reps // 3, 50))
+            bench = search.search(
+                sc.loads,
+                rng,
+                n_random=scale.mc_search_candidates,
+                step_sizes=(16, 8, 4),
+                seed_allocations=[
+                    allocation_of(res_true.policy),
+                    allocation_of(res_exp.policy),
+                ],
+            )
+            # --- evaluate all three on the true model, by MC
+            v_true, ci_true = _mc_value(
+                metric, model, sc.loads, res_true.policy, scale.mc_reps, rng
+            )
+            v_exp, ci_exp = _mc_value(
+                metric, model, sc.loads, res_exp.policy, scale.mc_reps, rng
+            )
+            v_bench, ci_bench = _mc_value(
+                metric, model, sc.loads, bench.policy, scale.mc_reps, rng
+            )
+            bench_allocation = bench.allocation
+            # the benchmark stands for the best allocation *found*; search
+            # noise must never leave it behind the policies it benchmarks
+            for cand_v, cand_ci, cand_policy in (
+                (v_true, ci_true, res_true.policy),
+                (v_exp, ci_exp, res_exp.policy),
+            ):
+                if metric.better(cand_v, v_bench):
+                    v_bench, ci_bench = cand_v, cand_ci
+                    bench_allocation = tuple(allocation_of(cand_policy))
+            rel_err = (
+                100.0 * abs(v_exp - v_true) / abs(v_true) if v_true else float("nan")
+            )
+            if metric.maximize:
+                within = 100.0 * v_true / v_bench if v_bench else float("nan")
+            else:
+                within = 100.0 * v_bench / v_true if v_true else float("nan")
+            rows.append(
+                Table2Row(
+                    family=family,
+                    metric=metric,
+                    algorithm1_policy=res_true.policy,
+                    algorithm1_value=v_true,
+                    algorithm1_ci=ci_true,
+                    exponential_policy=res_exp.policy,
+                    exponential_value=v_exp,
+                    exponential_ci=ci_exp,
+                    benchmark_allocation=bench_allocation,
+                    benchmark_value=v_bench,
+                    benchmark_ci=ci_bench,
+                    relative_error_pct=rel_err,
+                    within_benchmark_pct=within,
+                )
+            )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    lines: List[str] = []
+    for metric in dict.fromkeys(r.metric for r in rows):
+        lines.append(f"metric: {metric.value}")
+        header = (
+            f"  {'model':20s} {'Algorithm1':>12s} {'Exponential':>12s} "
+            f"{'MC-benchmark':>13s} {'exp err%':>9s} {'vs bench%':>9s}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for r in rows:
+            if r.metric is not metric:
+                continue
+            lines.append(
+                f"  {r.family:20s} {r.algorithm1_value:12.4g} "
+                f"{r.exponential_value:12.4g} {r.benchmark_value:13.4g} "
+                f"{r.relative_error_pct:9.1f} {r.within_benchmark_pct:9.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Minimal ASCII rendering of figures for terminal-only environments.
+
+The benches regenerate every figure of the paper as *data series*; these
+helpers render them as monospace charts so the shapes (who wins, where the
+crossovers fall) are visible directly in CI logs and bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "histogram_chart", "surface_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    return arr[np.isfinite(arr)]
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot several named series against shared x values."""
+    x_arr = np.asarray(x, dtype=float)
+    all_y = np.concatenate([_finite(v) for v in series.values()])
+    if all_y.size == 0:
+        return f"{title}\n(no finite data)"
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x_arr.min()), float(x_arr.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        ys_arr = np.asarray(ys, dtype=float)
+        for xv, yv in zip(x_arr, ys_arr):
+            if not (math.isfinite(xv) and math.isfinite(yv)):
+                continue
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(canvas[-1]))
+    lines.append(" " * 12 + "└" + "─" * (width - 1))
+    lines.append(
+        " " * 12 + f"{x_lo:<.4g}" + " " * max(width - 18, 1) + f"{x_hi:>.4g}"
+    )
+    if xlabel:
+        lines.append(" " * 12 + xlabel)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    edges: Sequence[float],
+    density: Sequence[float],
+    overlay: Optional[Dict[str, Sequence[float]]] = None,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Horizontal-bar normalized histogram with optional fitted-pdf overlay.
+
+    ``overlay`` maps a label to pdf values at the bin centres.
+    """
+    edges_arr = np.asarray(edges, dtype=float)
+    dens = np.asarray(density, dtype=float)
+    peak = max(
+        float(dens.max(initial=0.0)),
+        max(
+            (float(np.asarray(v, dtype=float).max(initial=0.0)) for v in (overlay or {}).values()),
+            default=0.0,
+        ),
+    )
+    if peak <= 0:
+        peak = 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    overlay = overlay or {}
+    for b in range(dens.size):
+        centre = 0.5 * (edges_arr[b] + edges_arr[b + 1])
+        bar = "█" * int(round(dens[b] / peak * width))
+        marks = ""
+        for li, (name, vals) in enumerate(overlay.items()):
+            pos = int(round(float(vals[b]) / peak * width))
+            marker = _MARKERS[li % len(_MARKERS)]
+            if pos >= len(bar):
+                marks += " " * (pos - len(bar) - len(marks)) + marker
+        lines.append(f"{centre:>9.3f} |{bar}{marks}")
+    if overlay:
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(overlay)
+        )
+        lines.append("overlay: " + legend)
+    return "\n".join(lines)
+
+
+def surface_chart(
+    values: np.ndarray,
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    title: str = "",
+    best: str = "min",
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Density-shaded rendering of a 2-D metric surface (Fig. 3 style).
+
+    Rows are ``x`` (first index), columns ``y``; the best cell is marked 'X'.
+    """
+    arr = np.asarray(values, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return f"{title}\n(no finite data)"
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    if best == "min":
+        best_idx = np.unravel_index(np.nanargmin(arr), arr.shape)
+    else:
+        best_idx = np.unravel_index(np.nanargmax(arr), arr.shape)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"rows: L12 in [{x_values[0]}, {x_values[-1]}]  "
+        f"cols: L21 in [{y_values[0]}, {y_values[-1]}]  "
+        f"range [{lo:.4g}, {hi:.4g}]  X = {best} at "
+        f"(L12={x_values[best_idx[0]]}, L21={y_values[best_idx[1]]})"
+    )
+    for i in range(arr.shape[0]):
+        row_chars = []
+        for j in range(arr.shape[1]):
+            if (i, j) == tuple(best_idx):
+                row_chars.append("X")
+            elif not math.isfinite(arr[i, j]):
+                row_chars.append("?")
+            else:
+                level = int((arr[i, j] - lo) / span * (len(levels) - 1))
+                row_chars.append(levels[level])
+        lines.append(f"{x_values[i]:>5} |" + "".join(row_chars))
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``metrics``      evaluate T̄ / QoS / reliability for a policy analytically
+``optimize``     solve the paper's problems (3)/(4) for a 2-server scenario
+``algorithm1``   run the scalable multi-server DTR heuristic
+``simulate``     Monte Carlo estimate of a metric for a policy
+``experiments``  regenerate the paper's tables and figures (run_all)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(p: argparse.ArgumentParser, multi: bool = False) -> None:
+    p.add_argument(
+        "--scenario",
+        choices=["two-server", "five-server", "testbed"],
+        default="two-server",
+    )
+    p.add_argument("--family", default="pareto1", help="distribution model family")
+    p.add_argument("--delay", choices=["low", "severe"], default="severe")
+    p.add_argument(
+        "--reliable",
+        action="store_true",
+        help="disable server failures (required for average execution time)",
+    )
+
+
+def _build_scenario(args):
+    from .workloads import five_server_scenario, testbed_scenario, two_server_scenario
+
+    if args.scenario == "two-server":
+        return two_server_scenario(
+            args.family, delay=args.delay, with_failures=not args.reliable
+        )
+    if args.scenario == "five-server":
+        return five_server_scenario(
+            args.family, delay=args.delay, with_failures=not args.reliable
+        )
+    return testbed_scenario()
+
+
+def _policy_from_args(args, n: int):
+    from .core import ReallocationPolicy
+
+    if n == 2:
+        return ReallocationPolicy.two_server(args.l12, args.l21)
+    matrix = np.zeros((n, n), dtype=np.int64)
+    if args.policy:
+        rows = args.policy.split(";")
+        if len(rows) != n:
+            raise SystemExit(f"--policy needs {n} ';'-separated rows")
+        for i, row in enumerate(rows):
+            matrix[i] = [int(x) for x in row.split(",")]
+    return ReallocationPolicy(matrix)
+
+
+def _metric_from_args(args):
+    from .core import Metric
+
+    return Metric(args.metric)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_metrics = sub.add_parser("metrics", help="analytic metric evaluation")
+    _add_scenario_args(p_metrics)
+    p_metrics.add_argument("--l12", type=int, default=0)
+    p_metrics.add_argument("--l21", type=int, default=0)
+    p_metrics.add_argument("--policy", default=None, help="n>2: 'row;row;...' matrix")
+    p_metrics.add_argument("--deadline", type=float, default=None)
+    p_metrics.add_argument("--dt", type=float, default=None, help="solver grid step")
+
+    p_opt = sub.add_parser("optimize", help="optimal 2-server DTR policy")
+    _add_scenario_args(p_opt)
+    p_opt.add_argument(
+        "--metric",
+        choices=["avg_execution_time", "qos", "reliability"],
+        default="avg_execution_time",
+    )
+    p_opt.add_argument("--deadline", type=float, default=180.0)
+    p_opt.add_argument("--step", type=int, default=4)
+    p_opt.add_argument("--dt", type=float, default=None)
+
+    p_algo = sub.add_parser("algorithm1", help="multi-server DTR heuristic")
+    _add_scenario_args(p_algo)
+    p_algo.add_argument(
+        "--metric",
+        choices=["avg_execution_time", "qos", "reliability"],
+        default="avg_execution_time",
+    )
+    p_algo.add_argument("--deadline", type=float, default=180.0)
+    p_algo.add_argument("--iterations", type=int, default=6)
+    p_algo.add_argument(
+        "--criterion", choices=["speed", "reliability"], default="speed"
+    )
+    p_algo.add_argument("--dt", type=float, default=0.25)
+
+    p_sim = sub.add_parser("simulate", help="Monte Carlo metric estimation")
+    _add_scenario_args(p_sim)
+    p_sim.add_argument("--l12", type=int, default=0)
+    p_sim.add_argument("--l21", type=int, default=0)
+    p_sim.add_argument("--policy", default=None)
+    p_sim.add_argument(
+        "--metric",
+        choices=["avg_execution_time", "qos", "reliability"],
+        default="avg_execution_time",
+    )
+    p_sim.add_argument("--deadline", type=float, default=180.0)
+    p_sim.add_argument("--reps", type=int, default=1000)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables and figures")
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.add_argument("--seed", type=int, default=20100913)
+    p_exp.add_argument("--out", default=None)
+    return parser
+
+
+def _cmd_metrics(args) -> int:
+    from .core import Metric, TransformSolver
+
+    sc = _build_scenario(args)
+    loads = list(sc.loads)
+    policy = _policy_from_args(args, sc.model.n)
+    solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt)
+    print(f"scenario: {sc.name}   loads: {loads}   policy:\n{policy.matrix}")
+    if sc.model.reliable:
+        tbar = solver.average_execution_time(loads, policy)
+        print(f"average execution time: {tbar:.3f} s")
+    else:
+        print("average execution time: (undefined: servers can fail; use --reliable)")
+        rel = solver.reliability(loads, policy)
+        print(f"service reliability:    {rel:.4f}")
+    if args.deadline is not None:
+        qos = solver.qos(loads, policy, args.deadline)
+        print(f"QoS within {args.deadline:g} s:  {qos:.4f}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from .core import Metric, TransformSolver, TwoServerOptimizer
+
+    sc = _build_scenario(args)
+    metric = _metric_from_args(args)
+    if metric is Metric.AVG_EXECUTION_TIME and not sc.model.reliable:
+        raise SystemExit("average execution time needs --reliable")
+    if sc.model.n != 2:
+        raise SystemExit("optimize handles 2-server scenarios; use algorithm1")
+    loads = list(sc.loads)
+    solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt)
+    deadline = args.deadline if metric is Metric.QOS else None
+    result = TwoServerOptimizer(solver).optimize(
+        metric, loads, deadline=deadline, step=args.step
+    )
+    print(f"scenario: {sc.name}   metric: {metric.value}")
+    print(f"optimal policy: L12={result.l12}, L21={result.l21}")
+    print(f"optimal value:  {result.value:.4f}")
+    if result.ties and len(result.ties) > 1:
+        print(f"ties: {result.ties}")
+    return 0
+
+
+def _cmd_algorithm1(args) -> int:
+    from .core import Algorithm1, Metric
+
+    sc = _build_scenario(args)
+    metric = _metric_from_args(args)
+    if metric is Metric.AVG_EXECUTION_TIME and not sc.model.reliable:
+        raise SystemExit("average execution time needs --reliable")
+    deadline = args.deadline if metric is Metric.QOS else None
+    algo = Algorithm1(
+        sc.model,
+        metric,
+        deadline=deadline,
+        max_iterations=args.iterations,
+        dt=args.dt,
+    )
+    result = algo.run(list(sc.loads), criterion=args.criterion)
+    print(f"scenario: {sc.name}   metric: {metric.value}")
+    print(f"seed policy (eq. 5):\n{result.seed}")
+    print(
+        f"converged: {result.converged} after {result.iterations} iteration(s)"
+    )
+    print(f"policy:\n{result.policy.matrix}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .simulation import estimate_metric
+
+    sc = _build_scenario(args)
+    metric = _metric_from_args(args)
+    policy = _policy_from_args(args, sc.model.n)
+    rng = np.random.default_rng(args.seed)
+    deadline = args.deadline if metric.value == "qos" else None
+    est = estimate_metric(
+        metric, sc.model, list(sc.loads), policy, args.reps, rng, deadline=deadline
+    )
+    print(f"scenario: {sc.name}   metric: {metric.value}   reps: {args.reps}")
+    print(f"estimate: {est}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .analysis.run_all import main as run_all_main
+
+    argv: List[str] = ["--seed", str(args.seed)]
+    if args.only:
+        argv += ["--only", *args.only]
+    if args.out:
+        argv += ["--out", args.out]
+    return run_all_main(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "metrics": _cmd_metrics,
+        "optimize": _cmd_optimize,
+        "algorithm1": _cmd_algorithm1,
+        "simulate": _cmd_simulate,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Core analysis: state model, regeneration calculus, solvers, optimizers.
+
+Solvers (all expose ``evaluate(metric, loads, policy, deadline=None)``):
+
+:class:`TransformSolver`
+    production solver — grid convolutions, exact for one-shot DTR policies
+    with at most one group per destination (DESIGN.md Sec. 4.1);
+:class:`Theorem1Solver`
+    faithful age-dependent regeneration recursion of the paper's Theorem 1
+    (validation-scale instances);
+:class:`MarkovianSolver`
+    the exponential baseline of refs. [2], [7], including QoS by
+    uniformization; pair with :func:`markovian_approximation` to reproduce
+    the paper's Markovian-error studies.
+
+Optimizers:
+
+:class:`TwoServerOptimizer` — exhaustive problems (3)/(4);
+:class:`Algorithm1` — the paper's scalable multi-server heuristic;
+:class:`MCPolicySearch` — simulation-driven benchmark search (Table II).
+"""
+
+from .algorithm1 import Algorithm1, Algorithm1Result, criterion_vector, seed_policy
+from .baselines import all_to_fastest, no_action, proportional_policy, water_filling_policy
+from .convolution import ServerAssignment, TransformSolver
+from .markovian import ExponentializedNetwork, MarkovianSolver, markovian_approximation
+from .mc_search import MCPolicySearch, MCSearchResult, allocation_to_policy
+from .metrics import MCEstimate, Metric, MetricValue
+from .optimize import (
+    OptimizationResult,
+    PolicyEvaluation,
+    TwoServerOptimizer,
+    sweep_policies,
+)
+from .policy import ReallocationPolicy, Transfer
+from .regeneration import Clock, RegenerationCalculus, quadrature_nodes
+from .state import SystemState, TransitGroup
+from .system import (
+    DCSModel,
+    HeterogeneousNetwork,
+    HomogeneousNetwork,
+    NetworkModel,
+    ZeroDelayNetwork,
+)
+from .theorem1 import Theorem1Solver
+
+__all__ = [
+    "Algorithm1",
+    "Algorithm1Result",
+    "criterion_vector",
+    "seed_policy",
+    "all_to_fastest",
+    "no_action",
+    "proportional_policy",
+    "water_filling_policy",
+    "ServerAssignment",
+    "TransformSolver",
+    "ExponentializedNetwork",
+    "MarkovianSolver",
+    "markovian_approximation",
+    "MCPolicySearch",
+    "MCSearchResult",
+    "allocation_to_policy",
+    "MCEstimate",
+    "Metric",
+    "MetricValue",
+    "OptimizationResult",
+    "PolicyEvaluation",
+    "TwoServerOptimizer",
+    "sweep_policies",
+    "ReallocationPolicy",
+    "Transfer",
+    "Clock",
+    "RegenerationCalculus",
+    "quadrature_nodes",
+    "SystemState",
+    "TransitGroup",
+    "DCSModel",
+    "HeterogeneousNetwork",
+    "HomogeneousNetwork",
+    "NetworkModel",
+    "ZeroDelayNetwork",
+    "Theorem1Solver",
+]

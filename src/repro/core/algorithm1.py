@@ -1,0 +1,298 @@
+"""Algorithm 1 — scalable DTR policies for multi-server DCSs (paper Sec. II-E).
+
+The exact n-server characterization costs exponentially many computations,
+so the paper decomposes the system into 2-server sub-problems: each server
+``i`` keeps queue-length *estimates* ``m̂_ji`` of every other server,
+constructs a candidate-recipient set ``U_i`` from the seed policy of eq. (5),
+and iteratively re-solves the exact 2-server problem against each candidate
+until its row of the policy matrix converges (or ``K`` iterations elapse).
+Each server solves at most ``n - 1`` two-server problems per iteration, so
+complexity grows *linearly* in the number of servers.
+
+Equation (5) is typeset ambiguously in the paper; we implement the
+documented fair-share reading (DESIGN.md Sec. 4.4): server ``i`` estimates
+the total system load ``M̂_i``, assigns every server the share
+``M̂_i * Λ_j / Σ_l Λ_l`` (``Λ`` = processing speed, or reliability, or any
+user criterion), and seeds ``L^(0)_ij`` by splitting its own excess load
+over the under-loaded servers proportionally to their deficits, floored to
+integers exactly as eq. (5) floors its expression.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .convolution import TransformSolver
+from .metrics import Metric
+from .policy import ReallocationPolicy
+from .system import DCSModel
+
+__all__ = ["Algorithm1", "Algorithm1Result", "seed_policy", "criterion_vector"]
+
+
+def criterion_vector(model: DCSModel, criterion: str) -> np.ndarray:
+    """Built-in ``Λ`` criteria of the paper.
+
+    * ``"speed"`` — processing speed ``1 / E[W_j]`` (relative computing power);
+    * ``"reliability"`` — mean time to failure ``E[Y_j]`` (relative server
+      reliability); reliable servers count as the most reliable present.
+    """
+    if criterion == "speed":
+        return np.array([1.0 / d.mean() for d in model.service])
+    if criterion == "reliability":
+        mttfs = []
+        for k in range(model.n):
+            f = model.failure_of(k)
+            mttfs.append(math.inf if f is None else f.mean())
+        finite = [m for m in mttfs if math.isfinite(m)]
+        cap = 10.0 * max(finite) if finite else 1.0
+        return np.array([min(m, cap) for m in mttfs])
+    raise ValueError(f"unknown criterion {criterion!r}; use 'speed' or 'reliability'")
+
+
+def seed_policy(
+    loads: Sequence[int], lam: Sequence[float]
+) -> np.ndarray:
+    """Eq. (5) seed: fair-share excess/deficit split, floored to integers."""
+    m = np.asarray(loads, dtype=float)
+    lam_arr = np.asarray(lam, dtype=float)
+    if lam_arr.shape != m.shape:
+        raise ValueError("criterion vector must have one entry per server")
+    if np.any(lam_arr <= 0):
+        raise ValueError("criterion entries must be positive")
+    n = m.size
+    total = m.sum()
+    share = total * lam_arr / lam_arr.sum()
+    excess = np.maximum(m - share, 0.0)
+    deficit = np.maximum(share - m, 0.0)
+    seed = np.zeros((n, n), dtype=np.int64)
+    deficit_sum = deficit.sum()
+    if deficit_sum <= 0:
+        return seed
+    for i in range(n):
+        if excess[i] <= 0:
+            continue
+        for j in range(n):
+            if j == i or deficit[j] <= 0:
+                continue
+            seed[i, j] = int(math.floor(excess[i] * deficit[j] / deficit_sum))
+    # never send more than we hold (flooring guarantees this, but be safe)
+    for i in range(n):
+        sent = seed[i].sum()
+        if sent > loads[i]:  # pragma: no cover - defensive
+            seed[i] = (seed[i] * loads[i]) // max(sent, 1)
+    return seed
+
+
+@dataclass
+class Algorithm1Result:
+    """Converged policy plus the iteration trace."""
+
+    policy: ReallocationPolicy
+    seed: np.ndarray
+    iterations: int
+    converged: bool
+    history: List[np.ndarray] = field(default_factory=list)
+
+
+class Algorithm1:
+    """The paper's iterative pairwise DTR algorithm.
+
+    Parameters
+    ----------
+    model:
+        the n-server DCS.
+    metric, deadline:
+        the 2-server objective solved for each pair (problems (3)/(4)).
+    max_iterations:
+        the paper's ``K``.
+    pair_solver_factory:
+        builds the exact 2-server evaluator for a pair sub-model; defaults
+        to a :class:`TransformSolver` sized for the total workload.
+    pair_search:
+        "scan" (multi-resolution 1-D search over ``L_ij``, recipient sends
+        nothing back — the flows Algorithm 1 considers) or "exhaustive-2d"
+        (full problem (3)/(4) over ``(L_ij, L_ji)``, take the ``i -> j``
+        component).
+    """
+
+    def __init__(
+        self,
+        model: DCSModel,
+        metric: Metric,
+        deadline: Optional[float] = None,
+        max_iterations: int = 10,
+        pair_solver_factory: Optional[Callable[[DCSModel, int], object]] = None,
+        pair_search: str = "scan",
+        dt: Optional[float] = None,
+    ):
+        if metric is Metric.QOS and deadline is None:
+            raise ValueError("QoS optimization needs a deadline")
+        if pair_search not in ("scan", "exhaustive-2d"):
+            raise ValueError(f"unknown pair_search {pair_search!r}")
+        self.model = model
+        self.metric = metric
+        self.deadline = deadline
+        self.max_iterations = int(max_iterations)
+        self.pair_search = pair_search
+        self.dt = dt
+        self._factory = pair_solver_factory or self._default_factory
+        self._pair_solvers: Dict[Tuple[int, int], object] = {}
+        self._pair_cache: Dict[Tuple[int, int, int, int], int] = {}
+
+    def _default_factory(self, pair_model: DCSModel, total_tasks: int):
+        return TransformSolver.for_workload(
+            pair_model, [total_tasks, total_tasks], dt=self.dt
+        )
+
+    def _pair_solver(self, i: int, j: int, total_tasks: int):
+        key = (i, j)
+        if key not in self._pair_solvers:
+            self._pair_solvers[key] = self._factory(
+                self.model.pairwise(i, j), total_tasks
+            )
+        return self._pair_solvers[key]
+
+    # ------------------------------------------------------------------
+    def _solve_pair(self, i: int, j: int, m1: int, m2: int, total: int) -> int:
+        """Optimal ``L_ij`` for the 2-server sub-problem with loads (m1, m2)."""
+        if m1 <= 0:
+            return 0
+        cache_key = (i, j, m1, m2)
+        cached = self._pair_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        solver = self._pair_solver(i, j, total)
+
+        def value(l12: int, l21: int = 0) -> float:
+            policy = ReallocationPolicy.two_server(l12, l21)
+            return solver.evaluate(
+                self.metric, [m1, m2], policy, deadline=self.deadline
+            ).value
+
+        if self.pair_search == "exhaustive-2d":
+            from .optimize import TwoServerOptimizer
+
+            step = max((max(m1, m2) + 1) // 12, 1)
+            result = TwoServerOptimizer(solver).optimize(
+                self.metric, [m1, m2], deadline=self.deadline, step=step
+            )
+            best = result.policy[0, 1]
+        else:
+            best = _multires_argbest(
+                lambda l: value(l), 0, m1, self.metric.better
+            )
+        self._pair_cache[cache_key] = best
+        return best
+
+    def run(
+        self,
+        loads: Sequence[int],
+        estimates: Optional[np.ndarray] = None,
+        lam: Optional[Sequence[float]] = None,
+        criterion: str = "speed",
+        seed: Optional[np.ndarray] = None,
+    ) -> Algorithm1Result:
+        """Execute Algorithm 1.
+
+        ``estimates[i, j]`` is server ``i``'s estimate ``m̂_ji`` of server
+        ``j``'s queue length (defaults to the true loads — fresh gossip).
+        """
+        n = self.model.n
+        loads_arr = np.asarray(loads, dtype=np.int64)
+        if loads_arr.shape != (n,):
+            raise ValueError(f"loads must have {n} entries")
+        if estimates is None:
+            estimates = np.tile(loads_arr, (n, 1)).astype(np.int64)
+        estimates = np.asarray(estimates, dtype=np.int64)
+        if estimates.shape != (n, n):
+            raise ValueError("estimates must be an n x n matrix")
+        if lam is None:
+            lam = criterion_vector(self.model, criterion)
+        if seed is None:
+            seed = seed_policy(loads_arr, lam)
+        total = int(loads_arr.sum())
+
+        current = seed.astype(np.int64).copy()
+        history = [current.copy()]
+        converged = False
+        k = 0
+        for k in range(1, self.max_iterations + 1):
+            new = current.copy()
+            for i in range(n):
+                candidates = [j for j in range(n) if seed[i, j] > 0]
+                if not candidates:
+                    continue
+                pledged: Dict[int, int] = {j: int(current[i, j]) for j in candidates}
+                done: List[int] = []
+                for j in candidates:
+                    others = sum(
+                        pledged[l] for l in candidates if l != j and l not in done
+                    ) + sum(int(new[i, l]) for l in done if l != j)
+                    m1 = int(loads_arr[i]) - others
+                    m2 = int(estimates[i, j])
+                    l_ij = self._solve_pair(i, j, max(m1, 0), max(m2, 0), total)
+                    l_ij = min(l_ij, max(m1, 0))
+                    new[i, j] = l_ij
+                    done.append(j)
+                # feasibility: never send more than held
+                sent = int(new[i].sum())
+                if sent > loads_arr[i]:  # pragma: no cover - defensive
+                    scale = loads_arr[i] / sent
+                    new[i] = np.floor(new[i] * scale).astype(np.int64)
+            history.append(new.copy())
+            if np.array_equal(new, current):
+                converged = True
+                current = new
+                break
+            current = new
+        return Algorithm1Result(
+            policy=ReallocationPolicy(current),
+            seed=seed,
+            iterations=k,
+            converged=converged,
+            history=history,
+        )
+
+
+def _multires_argbest(
+    fn: Callable[[int], float],
+    lo: int,
+    hi: int,
+    better: Callable[[float, float], bool],
+    probes: int = 9,
+) -> int:
+    """Multi-resolution integer search for the best of ``fn`` on ``[lo, hi]``.
+
+    Scans ~``probes`` evenly spaced points, then recursively refines the
+    bracket around the incumbent until the step reaches 1.  Exact for
+    unimodal objectives; a good heuristic otherwise (Algorithm 1 is itself
+    suboptimal by construction).
+    """
+    cache: Dict[int, float] = {}
+
+    def val(x: int) -> float:
+        if x not in cache:
+            cache[x] = fn(x)
+        return cache[x]
+
+    while True:
+        span = hi - lo
+        if span <= probes:
+            points = list(range(lo, hi + 1))
+        else:
+            points = sorted(
+                {lo + round(t * span / (probes - 1)) for t in range(probes)}
+            )
+        best = points[0]
+        for p in points[1:]:
+            if better(val(p), val(best)):
+                best = p
+        if span <= probes:
+            return best
+        step = max(span // (probes - 1), 1)
+        lo, hi = max(best - step, 0), min(best + step, hi)

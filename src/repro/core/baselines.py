@@ -1,0 +1,75 @@
+"""Baseline one-shot DTR policies for comparison studies.
+
+The paper compares its optimized policies against "no reallocation" and
+against proportional splits implied by eq. (5)'s criteria.  These helpers
+build those reference policies directly so examples and benches can report
+the value of *optimizing* (versus merely balancing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .mc_search import allocation_to_policy
+from .policy import ReallocationPolicy
+from .system import DCSModel
+
+__all__ = [
+    "no_action",
+    "proportional_policy",
+    "water_filling_policy",
+    "all_to_fastest",
+]
+
+
+def no_action(n: int) -> ReallocationPolicy:
+    """Leave every task where it arrived."""
+    return ReallocationPolicy.none(n)
+
+
+def proportional_policy(
+    loads: Sequence[int], lam: Sequence[float]
+) -> ReallocationPolicy:
+    """Rebalance the total workload proportionally to the ``Λ`` criterion.
+
+    The target allocation is the Λ-weighted fair share (largest-remainder
+    rounding so the totals match exactly); flows are built greedily.
+    """
+    loads_arr = np.asarray(loads, dtype=np.int64)
+    lam_arr = np.asarray(lam, dtype=float)
+    if lam_arr.shape != loads_arr.shape:
+        raise ValueError("criterion vector must have one entry per server")
+    if np.any(lam_arr <= 0):
+        raise ValueError("criterion entries must be positive")
+    total = int(loads_arr.sum())
+    exact = total * lam_arr / lam_arr.sum()
+    base = np.floor(exact).astype(np.int64)
+    remainder = total - int(base.sum())
+    # largest fractional parts receive the leftover tasks
+    order = np.argsort(-(exact - base))
+    base[order[:remainder]] += 1
+    return allocation_to_policy(loads_arr, base)
+
+
+def water_filling_policy(
+    loads: Sequence[int], model: DCSModel
+) -> ReallocationPolicy:
+    """Equalize expected *completion times* ``m_k * E[W_k]`` across servers.
+
+    This is the deterministic mean-field optimum when transfers are free: a
+    useful upper-anchor for how much the network costs.
+    """
+    speeds = np.array([1.0 / d.mean() for d in model.service])
+    return proportional_policy(loads, speeds)
+
+
+def all_to_fastest(loads: Sequence[int], model: DCSModel) -> ReallocationPolicy:
+    """Ship every task to the single fastest server (a deliberately bad
+    baseline under non-negligible transfer delays)."""
+    loads_arr = np.asarray(loads, dtype=np.int64)
+    fastest = int(np.argmin([d.mean() for d in model.service]))
+    target = np.zeros_like(loads_arr)
+    target[fastest] = loads_arr.sum()
+    return allocation_to_policy(loads_arr, target)

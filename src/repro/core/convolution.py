@@ -1,0 +1,375 @@
+"""Transform (grid-convolution) solver for the paper's three metrics.
+
+This is the production solver.  It evaluates the age-dependent regeneration
+recursion of Theorem 1 in closed form for the paper's experimental setting —
+a *one-shot* DTR policy executed at ``t = 0`` with at most one task group in
+flight toward each server.  Under that setting the per-server finish time is
+
+    ``T_i = max(S_{r_i}, Z_i) + S'_{L_i}``
+
+where ``S_k`` is a k-fold iid service-time sum, ``Z_i`` the group transfer
+time and ``L_i`` the incoming group size; the ``T_i`` are mutually
+independent because every clock in assumption A1/A2 belongs to exactly one
+server.  The workload execution time is ``T = max_i T_i`` and
+
+* ``T̄ = E[max_i T_i]``                                (reliable servers),
+* ``R_TM = Π_i P(T_i < T_M)``                          (reliable servers),
+* ``R_TM = Π_i P(T_i < min(T_M, Y_i))``                (failing servers),
+* ``R_inf = Π_i P(T_i < Y_i)``                         (service reliability).
+
+Summing Theorem 1's recursion over all interleavings of regeneration events
+yields exactly these expressions; the equivalence is verified numerically
+against the faithful recursive solver (:mod:`repro.core.theorem1`) and
+against Monte Carlo in the test suite.
+
+Servers receiving more than one group (possible for ``n > 2``) are handled
+with the single-batch approximation the paper's future-work section
+proposes: all incoming tasks merge into one group arriving when the *last*
+group lands (a stochastic upper bound on ``T``).  Exact n-server evaluation
+is available through the Monte Carlo estimator, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import grid as gridmod
+from ..distributions.base import Distribution
+from ..distributions.grid import Grid, GridMass
+from .metrics import Metric, MetricValue
+from .policy import ReallocationPolicy, Transfer
+from .system import DCSModel
+
+__all__ = ["TransformSolver", "ServerAssignment"]
+
+
+def _conv_truncate(a: np.ndarray, b: np.ndarray, n: int) -> np.ndarray:
+    """Linear convolution truncated to the grid length (escaped mass -> tail)."""
+    from scipy import signal
+
+    return np.maximum(signal.fftconvolve(a, b)[:n], 0.0)
+
+
+@dataclass(frozen=True)
+class ServerAssignment:
+    """Work routed to one server by a policy: residual load + incoming groups."""
+
+    server: int
+    residual: int
+    incoming: Tuple[Transfer, ...]
+
+    @property
+    def receives_anything(self) -> bool:
+        return self.residual > 0 or any(t.size > 0 for t in self.incoming)
+
+
+class TransformSolver:
+    """Grid-convolution evaluator of ``T̄``, ``R_TM`` and ``R_inf``.
+
+    Parameters
+    ----------
+    model:
+        the DCS description (service, failure, network laws).
+    grid:
+        the time grid; see :meth:`for_workload` for an automatic choice.
+    batch_mode:
+        how servers receiving several groups (possible for ``n > 2``) are
+        handled:
+
+        * "auto" (default) — exact for ≤ 1 group, exact order-conditioned
+          evaluation for 2 groups, merge-max for ≥ 3;
+        * "exact" — raise beyond one group;
+        * "exact2" — like auto but raise beyond two groups;
+        * "merge-max" — all incoming tasks arrive as one batch when the
+          *last* group lands (the paper's future-work single-batch
+          assumption; a stochastic upper bound on ``T``);
+        * "merge-min" — one batch at the *first* arrival (lower bound).
+    """
+
+    _BATCH_MODES = ("auto", "exact", "exact2", "merge-max", "merge-min")
+    #: number of coarse cells used for the order-conditioning of two batches
+    _EXACT2_CELLS = 192
+
+    def __init__(self, model: DCSModel, grid: Grid, batch_mode: str = "auto"):
+        if batch_mode not in self._BATCH_MODES:
+            raise ValueError(f"unknown batch_mode {batch_mode!r}")
+        self.model = model
+        self.grid = grid
+        self.batch_mode = batch_mode
+        self._service_powers: List[List[GridMass]] = [
+            [gridmod.delta(grid)] for _ in range(model.n)
+        ]
+        self._service_mass: List[GridMass] = [
+            gridmod.from_distribution(d, grid) for d in model.service
+        ]
+        self._transfer_cache: Dict[Tuple[int, int, int], GridMass] = {}
+        self._failure_sf: List[Optional[np.ndarray]] = [None] * model.n
+        for k in range(model.n):
+            fdist = model.failure_of(k)
+            if fdist is not None:
+                self._failure_sf[k] = np.asarray(fdist.sf(grid.times), dtype=float)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_workload(
+        cls,
+        model: DCSModel,
+        loads: Sequence[int],
+        dt: Optional[float] = None,
+        span: float = 4.0,
+        batch_mode: str = "auto",
+    ) -> "TransformSolver":
+        """Solver with a grid sized for the given workload.
+
+        The horizon covers ``span`` times the worst-case mean completion
+        (every task on the slowest server plus the largest possible transfer
+        latency); ``dt`` defaults to 1/50 of the fastest mean service time.
+        """
+        total = int(np.sum(loads))
+        if total <= 0:
+            raise ValueError("workload must contain at least one task")
+        means = [d.mean() for d in model.service]
+        if any(not math.isfinite(m) for m in means):
+            raise ValueError("service laws must have finite means")
+        # worst case: every task served by the slowest server, after the
+        # slowest possible whole-workload transfer
+        transfer_worst = 0.0
+        for i in range(model.n):
+            for j in range(model.n):
+                if i != j:
+                    transfer_worst = max(
+                        transfer_worst,
+                        model.network.group_transfer(i, j, total).mean(),
+                    )
+        worst = max(means) * total + transfer_worst
+        if dt is None:
+            dt = max(min(means) / 50.0, worst * span / 200_000.0)
+        n = int(math.ceil(worst * span / dt)) + 2
+        return cls(model, Grid(dt=dt, n=n), batch_mode=batch_mode)
+
+    # ------------------------------------------------------------------
+    # cached building blocks
+    # ------------------------------------------------------------------
+    def service_sum(self, server: int, k: int) -> GridMass:
+        """Mass of the k-fold iid service-time sum at ``server`` (cached)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        powers = self._service_powers[server]
+        while len(powers) <= k:
+            powers.append(powers[-1].conv(self._service_mass[server]))
+        return powers[k]
+
+    def transfer_mass(self, src: int, dst: int, size: int) -> GridMass:
+        """Mass of the group transfer law ``Z`` for ``size`` tasks (cached)."""
+        key = (src, dst, size)
+        if key not in self._transfer_cache:
+            dist = self.model.network.group_transfer(src, dst, size)
+            self._transfer_cache[key] = gridmod.from_distribution(dist, self.grid)
+        return self._transfer_cache[key]
+
+    # ------------------------------------------------------------------
+    # per-server finish time
+    # ------------------------------------------------------------------
+    def assignments(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> List[ServerAssignment]:
+        """Split a policy into per-server work assignments."""
+        residual = policy.residual_loads(loads)
+        incoming: List[List[Transfer]] = [[] for _ in range(policy.n)]
+        for t in policy.transfers():
+            incoming[t.dst].append(t)
+        return [
+            ServerAssignment(i, int(residual[i]), tuple(incoming[i]))
+            for i in range(policy.n)
+        ]
+
+    def finish_time_mass(self, assignment: ServerAssignment) -> GridMass:
+        """Distribution of ``T_i`` for one server's assignment."""
+        i = assignment.server
+        incoming = [t for t in assignment.incoming if t.size > 0]
+        base = self.service_sum(i, assignment.residual)
+        if not incoming:
+            return base
+        if len(incoming) == 1:
+            t = incoming[0]
+            arrival = self.transfer_mass(t.src, i, t.size)
+            return base.maximum(arrival).conv(self.service_sum(i, t.size))
+        if self.batch_mode == "exact":
+            raise ValueError(
+                f"server {i} receives {len(incoming)} groups; "
+                "batch_mode='exact' handles at most one (use 'auto', a merge "
+                "bound, or Monte Carlo)"
+            )
+        if len(incoming) == 2 and self.batch_mode in ("auto", "exact2"):
+            return self._finish_time_two_batches(i, base, incoming)
+        if self.batch_mode == "exact2":
+            raise ValueError(
+                f"server {i} receives {len(incoming)} groups; "
+                "batch_mode='exact2' handles at most two"
+            )
+        # merge bounds: one batch at the last (upper bound on T) or first
+        # (lower bound) arrival — the paper's future-work approximation
+        arrival = self.transfer_mass(incoming[0].src, i, incoming[0].size)
+        for t in incoming[1:]:
+            other = self.transfer_mass(t.src, i, t.size)
+            if self.batch_mode == "merge-min":
+                arrival = gridmod.minimum_of(arrival, other)
+            else:
+                arrival = arrival.maximum(other)
+        total_size = sum(t.size for t in incoming)
+        busy_until = base.maximum(arrival)
+        return busy_until.conv(self.service_sum(i, total_size))
+
+    def _finish_time_two_batches(
+        self, i: int, base: GridMass, incoming: List[Transfer]
+    ) -> GridMass:
+        """Exact ``T_i`` for two incoming groups, by order conditioning.
+
+        Conditional on the arrival order ``Z_f <= Z_s`` (``f`` lands first):
+
+            ``T = max(max(S_r, Z_f) + S_{L_f}, Z_s) + S_{L_s}``
+
+        The arrival laws are discretized on a coarse lattice; for each first-
+        arrival cell ``a`` the inner law ``X_a = max(S_r, a) + S_{L_f}`` is
+        one convolution, accumulated into a running mixture so each second-
+        arrival cell ``b`` costs only a truncation.  Cost:
+        ``O(cells * (fft + n))`` per branch — exact up to the coarse lattice,
+        whose resolution only limits the *arrival times*, not the service
+        sums.
+        """
+        grid = self.grid
+        masses = [self.transfer_mass(t.src, i, t.size) for t in incoming]
+        sizes = [t.size for t in incoming]
+        stride = max(grid.n // self._EXACT2_CELLS, 1)
+        coarse = []
+        for zm in masses:
+            n_cells = -(-grid.n // stride)
+            padded = np.zeros(n_cells * stride)
+            padded[: grid.n] = zm.mass
+            cell_mass = padded.reshape(n_cells, stride).sum(axis=1)
+            # representative index: centre of the cell
+            reps = np.minimum(np.arange(n_cells) * stride + stride // 2, grid.n - 1)
+            coarse.append((cell_mass, reps))
+
+        def truncate_below(mass: np.ndarray, idx: int) -> np.ndarray:
+            out = mass.copy()
+            moved = out[:idx].sum()
+            out[:idx] = 0.0
+            out[idx] += moved
+            return out
+
+        total = np.zeros(grid.n)
+        for first, second in ((0, 1), (1, 0)):
+            p_first, reps_f = coarse[first]
+            p_second, reps_s = coarse[second]
+            s_first = self.service_sum(i, sizes[first])
+            s_second = self.service_sum(i, sizes[second])
+            # ties (same coarse cell): counted once, in the (0, 1) branch
+            strict = first == 1
+            pre_second = np.zeros(grid.n)
+            mixture = np.zeros(grid.n)
+            for k in range(p_first.size):
+                def extend():
+                    x_a = GridMass(
+                        grid, truncate_below(base.mass, int(reps_f[k]))
+                    ).conv(s_first)
+                    return mixture + p_first[k] * x_a.mass
+
+                if not strict and p_first[k] > 0.0:
+                    mixture = extend()
+                if p_second[k] > 0.0:
+                    pre_second += p_second[k] * truncate_below(
+                        mixture, int(reps_s[k])
+                    )
+                if strict and p_first[k] > 0.0:
+                    mixture = extend()
+            total += _conv_truncate(pre_second, s_second.mass, grid.n)
+        return GridMass(grid, np.maximum(total, 0.0))
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def workload_time_mass(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> GridMass:
+        """Distribution of ``T = max_i T_i`` (reliable servers)."""
+        masses = [
+            self.finish_time_mass(a)
+            for a in self.assignments(loads, policy)
+            if a.receives_anything
+        ]
+        if not masses:
+            return gridmod.delta(self.grid)
+        out = masses[0]
+        for m in masses[1:]:
+            out = out.maximum(m)
+        return out
+
+    def average_execution_time(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> float:
+        """``T̄`` — requires completely reliable servers (paper Sec. II-A)."""
+        if not self.model.reliable:
+            raise ValueError(
+                "the average execution time is only defined for reliable "
+                "servers (failure laws present in the model)"
+            )
+        return self.workload_time_mass(loads, policy).mean()
+
+    def qos(
+        self, loads: Sequence[int], policy: ReallocationPolicy, deadline: float
+    ) -> float:
+        """``R_TM = P(T < T_M)``, with or without failures."""
+        if deadline <= 0:
+            return 0.0
+        prob = 1.0
+        for a in self.assignments(loads, policy):
+            if not a.receives_anything:
+                continue
+            mass = self.finish_time_mass(a)
+            sf_y = self._failure_sf[a.server]
+            if sf_y is None:
+                prob *= mass.cdf_at(deadline)
+            else:
+                sel = self.grid.times < deadline
+                prob *= float(mass.mass[sel] @ sf_y[sel])
+        return min(prob, 1.0)
+
+    def reliability(self, loads: Sequence[int], policy: ReallocationPolicy) -> float:
+        """``R_inf = P(T < inf)`` — all tasks served before their server dies."""
+        prob = 1.0
+        for a in self.assignments(loads, policy):
+            if not a.receives_anything:
+                continue
+            sf_y = self._failure_sf[a.server]
+            if sf_y is None:
+                continue  # a reliable server always finishes
+            mass = self.finish_time_mass(a)
+            prob *= float(mass.mass @ sf_y)
+        return min(prob, 1.0)
+
+    def evaluate(
+        self,
+        metric: Metric,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        deadline: Optional[float] = None,
+    ) -> MetricValue:
+        """Uniform entry point used by the optimizers."""
+        if metric is Metric.AVG_EXECUTION_TIME:
+            value = self.average_execution_time(loads, policy)
+        elif metric is Metric.QOS:
+            if deadline is None:
+                raise ValueError("QoS evaluation needs a deadline")
+            value = self.qos(loads, policy, deadline)
+        elif metric is Metric.RELIABILITY:
+            value = self.reliability(loads, policy)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown metric {metric}")
+        return MetricValue(metric=metric, value=value, method="transform", deadline=deadline)

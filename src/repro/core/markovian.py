@@ -1,0 +1,318 @@
+"""Markovian (exponential) solver — the baseline model of refs. [2], [7].
+
+When every clock is exponential the age matrix is unnecessary and the three
+metrics satisfy *algebraic* recurrences with constant coefficients (paper
+Sec. II-C.2, "Differences between the Markovian and the non-Markovian
+models").  This module implements those recursions independently of the
+transform solver:
+
+* average execution time and service reliability by memoized first-step
+  analysis over the discrete state space ``(M, alive, C)``;
+* QoS by uniformization of the continuous-time Markov chain.
+
+It serves two purposes: (1) it *is* the "Exponential model" column of the
+paper's tables, including the Markovian-approximation studies (via
+:func:`markovian_approximation`); (2) it cross-validates the transform
+solver, which must agree with it whenever all clocks are exponential.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..distributions.base import Distribution
+from ..distributions.exponential import Exponential
+from .metrics import Metric, MetricValue
+from .policy import ReallocationPolicy
+from .system import DCSModel, NetworkModel
+
+__all__ = ["MarkovianSolver", "markovian_approximation", "ExponentializedNetwork"]
+
+#: transit groups are encoded as tuples (src, dst, size)
+_Group = Tuple[int, int, int]
+#: a discrete Markovian state: (queues, alive, groups-in-transit)
+_State = Tuple[Tuple[int, ...], Tuple[bool, ...], Tuple[_Group, ...]]
+
+
+class ExponentializedNetwork(NetworkModel):
+    """A network whose delays are exponential with the base network's means."""
+
+    def __init__(self, base: NetworkModel):
+        self.base = base
+
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        return Exponential.from_mean(self.base.group_transfer(src, dst, size).mean())
+
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        return Exponential.from_mean(self.base.failure_notice(src, dst).mean())
+
+
+def markovian_approximation(model: DCSModel) -> DCSModel:
+    """Replace every clock by an exponential with the same mean.
+
+    This is the paper's "Markovian approximation": the model a designer who
+    falsely assumes exponential delays would analyze.
+    """
+    service = [Exponential.from_mean(d.mean()) for d in model.service]
+    failure = None
+    if model.failure is not None:
+        failure = [
+            None if f is None else Exponential.from_mean(f.mean())
+            for f in model.failure
+        ]
+    return DCSModel(
+        service=service,
+        network=ExponentializedNetwork(model.network),
+        failure=failure,
+    )
+
+
+class MarkovianSolver:
+    """Exact metric recursions for a DCS whose clocks are all exponential."""
+
+    def __init__(self, model: DCSModel):
+        for k, d in enumerate(model.service):
+            if not isinstance(d, Exponential):
+                raise TypeError(
+                    f"service law of server {k} is {type(d).__name__}; the "
+                    "Markovian solver needs Exponential clocks (wrap the "
+                    "model with markovian_approximation first)"
+                )
+        if model.failure is not None:
+            for k, f in enumerate(model.failure):
+                if f is not None and not isinstance(f, Exponential):
+                    raise TypeError(
+                        f"failure law of server {k} is {type(f).__name__}; "
+                        "expected Exponential"
+                    )
+        self.model = model
+        self._mu = [d.rate for d in model.service]  # type: ignore[attr-defined]
+        self._lam = [
+            (model.failure_of(k).rate if model.failure_of(k) is not None else 0.0)  # type: ignore[union-attr]
+            for k in range(model.n)
+        ]
+        self._transfer_rate_cache: Dict[_Group, float] = {}
+
+    # ------------------------------------------------------------------
+    def _transfer_rate(self, group: _Group) -> float:
+        if group not in self._transfer_rate_cache:
+            src, dst, size = group
+            dist = self.model.network.group_transfer(src, dst, size)
+            if not isinstance(dist, Exponential):
+                raise TypeError(
+                    "group transfer laws must be Exponential for the "
+                    "Markovian solver (wrap with markovian_approximation)"
+                )
+            self._transfer_rate_cache[group] = dist.rate
+        return self._transfer_rate_cache[group]
+
+    def _initial_state(
+        self, loads: Sequence[int], policy: ReallocationPolicy, with_failures: bool
+    ) -> _State:
+        residual = policy.residual_loads(loads)
+        groups = tuple(
+            (t.src, t.dst, t.size) for t in policy.transfers() if t.size > 0
+        )
+        n = self.model.n
+        return (tuple(int(r) for r in residual), (True,) * n, groups)
+
+    @staticmethod
+    def _doomed(state: _State) -> bool:
+        queues, alive, groups = state
+        if any(q > 0 and not a for q, a in zip(queues, alive)):
+            return True
+        return any(not alive[g[1]] for g in groups)
+
+    @staticmethod
+    def _done(state: _State) -> bool:
+        queues, _, groups = state
+        return sum(queues) == 0 and not groups
+
+    def _events(
+        self, state: _State, with_failures: bool
+    ) -> List[Tuple[float, _State]]:
+        """Outgoing transitions ``(rate, next_state)`` of a state."""
+        queues, alive, groups = state
+        out: List[Tuple[float, _State]] = []
+        for k, (q, a) in enumerate(zip(queues, alive)):
+            if a and q > 0:
+                new_q = queues[:k] + (q - 1,) + queues[k + 1 :]
+                out.append((self._mu[k], (new_q, alive, groups)))
+            if with_failures and a and self._lam[k] > 0.0:
+                new_alive = alive[:k] + (False,) + alive[k + 1 :]
+                out.append((self._lam[k], (queues, new_alive, groups)))
+        for gi, g in enumerate(groups):
+            src, dst, size = g
+            new_q = queues[:dst] + (queues[dst] + size,) + queues[dst + 1 :]
+            new_groups = groups[:gi] + groups[gi + 1 :]
+            out.append((self._transfer_rate(g), (new_q, alive, new_groups)))
+        return out
+
+    # ------------------------------------------------------------------
+    # average execution time (reliable servers): first-step recursion
+    # ------------------------------------------------------------------
+    def average_execution_time(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> float:
+        if not self.model.reliable:
+            raise ValueError(
+                "the average execution time is only defined for reliable servers"
+            )
+        memo: Dict[_State, float] = {}
+
+        def solve(state: _State) -> float:
+            if self._done(state):
+                return 0.0
+            cached = memo.get(state)
+            if cached is not None:
+                return cached
+            events = self._events(state, with_failures=False)
+            total = sum(r for r, _ in events)
+            value = 1.0 / total
+            for rate, nxt in events:
+                value += (rate / total) * solve(nxt)
+            memo[state] = value
+            return value
+
+        state = self._initial_state(loads, policy, with_failures=False)
+        return _run_deep(lambda: solve(state))
+
+    # ------------------------------------------------------------------
+    # service reliability: absorbing-probability recursion
+    # ------------------------------------------------------------------
+    def reliability(self, loads: Sequence[int], policy: ReallocationPolicy) -> float:
+        memo: Dict[_State, float] = {}
+
+        def solve(state: _State) -> float:
+            if self._doomed(state):
+                return 0.0
+            if self._done(state):
+                return 1.0
+            cached = memo.get(state)
+            if cached is not None:
+                return cached
+            events = self._events(state, with_failures=True)
+            total = sum(r for r, _ in events)
+            if total <= 0.0:
+                # no active clocks and not done: tasks stuck forever
+                return 0.0
+            value = 0.0
+            for rate, nxt in events:
+                value += (rate / total) * solve(nxt)
+            memo[state] = value
+            return value
+
+        state = self._initial_state(loads, policy, with_failures=True)
+        return _run_deep(lambda: solve(state))
+
+    # ------------------------------------------------------------------
+    # QoS: uniformization of the CTMC
+    # ------------------------------------------------------------------
+    def qos(
+        self,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        deadline: float,
+        eps: float = 1e-10,
+    ) -> float:
+        """``P(T < T_M)`` by uniformization over the reachable state space."""
+        if deadline <= 0:
+            return 0.0
+        with_failures = not self.model.reliable
+        start = self._initial_state(loads, policy, with_failures)
+        index, rows, cols, rates, done_states = self._build_chain(start, with_failures)
+        n_states = len(index)
+        exit_rate = np.zeros(n_states)
+        for r, c, v in zip(rows, cols, rates):
+            exit_rate[r] += v
+        q_max = float(exit_rate.max(initial=0.0))
+        if q_max <= 0.0:
+            return 1.0 if index.get(start) in done_states else 0.0
+        # uniformized DTMC: P = I + Q / q_max
+        p_matrix = sparse.csr_matrix(
+            (np.asarray(rates) / q_max, (rows, cols)), shape=(n_states, n_states)
+        )
+        stay = 1.0 - exit_rate / q_max
+        pi = np.zeros(n_states)
+        pi[index[start]] = 1.0
+        done_mask = np.zeros(n_states)
+        done_mask[list(done_states)] = 1.0
+        # accumulate Poisson-weighted probabilities of being done
+        lam = q_max * deadline
+        poisson_w = math.exp(-lam)
+        acc = poisson_w * float(pi @ done_mask)
+        cum_w = poisson_w
+        k = 0
+        while 1.0 - cum_w > eps:
+            k += 1
+            pi = pi * stay + p_matrix.T @ pi
+            poisson_w *= lam / k
+            cum_w += poisson_w
+            acc += poisson_w * float(pi @ done_mask)
+            if k > 100 * (lam + 10):  # pragma: no cover - safety valve
+                break
+        return float(min(acc + (1.0 - cum_w) * float(pi @ done_mask), 1.0))
+
+    def _build_chain(self, start: _State, with_failures: bool):
+        """BFS enumeration of the reachable chain with done/doomed absorption."""
+        index: Dict[_State, int] = {start: 0}
+        frontier = [start]
+        rows: List[int] = []
+        cols: List[int] = []
+        rates: List[float] = []
+        done_states: set = set()
+        while frontier:
+            state = frontier.pop()
+            i = index[state]
+            if self._done(state):
+                done_states.add(i)
+                continue
+            if self._doomed(state):
+                continue  # absorbing, not done
+            for rate, nxt in self._events(state, with_failures):
+                j = index.get(nxt)
+                if j is None:
+                    j = len(index)
+                    index[nxt] = j
+                    frontier.append(nxt)
+                rows.append(i)
+                cols.append(j)
+                rates.append(rate)
+        return index, rows, cols, rates, done_states
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        metric: Metric,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        deadline: Optional[float] = None,
+    ) -> MetricValue:
+        if metric is Metric.AVG_EXECUTION_TIME:
+            value = self.average_execution_time(loads, policy)
+        elif metric is Metric.QOS:
+            if deadline is None:
+                raise ValueError("QoS evaluation needs a deadline")
+            value = self.qos(loads, policy, deadline)
+        elif metric is Metric.RELIABILITY:
+            value = self.reliability(loads, policy)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown metric {metric}")
+        return MetricValue(metric=metric, value=value, method="markovian", deadline=deadline)
+
+
+def _run_deep(fn):
+    """Run a recursion that may exceed the default Python stack depth."""
+    import sys
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 100_000))
+    try:
+        return fn()
+    finally:
+        sys.setrecursionlimit(old)

@@ -1,0 +1,77 @@
+"""Performance metrics of the paper (Sec. II-A / II-B).
+
+* **average execution time** ``T̄(S0) = E[T(S0)]`` — finite only with
+  completely reliable servers;
+* **QoS** ``R_TM(S0) = P{T(S0) < T_M}`` — probability of meeting deadline
+  ``T_M``;
+* **service reliability** ``R_inf(S0) = P{T(S0) < inf}`` — the ``T_M -> inf``
+  limit of the QoS, meaningful when servers can fail permanently.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Metric", "MetricValue", "MCEstimate"]
+
+
+class Metric(enum.Enum):
+    """The three optimization targets of the paper."""
+
+    AVG_EXECUTION_TIME = "avg_execution_time"
+    QOS = "qos"
+    RELIABILITY = "reliability"
+
+    @property
+    def maximize(self) -> bool:
+        """QoS and reliability are maximized; execution time is minimized."""
+        return self is not Metric.AVG_EXECUTION_TIME
+
+    def better(self, a: float, b: float) -> bool:
+        """True when value ``a`` is strictly better than ``b``."""
+        return a > b if self.maximize else a < b
+
+
+@dataclass(frozen=True)
+class MetricValue:
+    """A computed metric with provenance."""
+
+    metric: Metric
+    value: float
+    method: str = "unknown"
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.metric in (Metric.QOS, Metric.RELIABILITY):
+            if not (-1e-9 <= self.value <= 1.0 + 1e-9):
+                raise ValueError(
+                    f"{self.metric.value} must be a probability, got {self.value}"
+                )
+        if self.metric is Metric.QOS and self.deadline is None:
+            raise ValueError("QoS values must record their deadline")
+
+
+@dataclass(frozen=True)
+class MCEstimate:
+    """A Monte Carlo estimate with a 95% confidence interval."""
+
+    value: float
+    ci_low: float
+    ci_high: float
+    n_samples: int
+    n_failures: int = 0
+
+    @property
+    def half_width(self) -> float:
+        return 0.5 * (self.ci_high - self.ci_low)
+
+    def contains(self, x: float) -> bool:
+        return self.ci_low <= x <= self.ci_high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if math.isinf(self.value):
+            return "inf"
+        return f"{self.value:.4g} [{self.ci_low:.4g}, {self.ci_high:.4g}]"

@@ -1,0 +1,131 @@
+"""DTR (dynamic task reallocation) policies — the paper's ``L`` matrix.
+
+A DTR policy specifies how many tasks are reallocated between every ordered
+pair of servers at ``t = 0`` (paper Sec. II-A): ``L[i, j]`` tasks move from
+server ``i`` to server ``j``.  Feasibility requires ``0 <= sum_j L[i, j] <=
+m_i`` for the initial loads ``m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ReallocationPolicy", "Transfer"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A group of tasks in flight: ``size`` tasks from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    size: int
+
+
+class ReallocationPolicy:
+    """An ``n x n`` integer reallocation matrix with zero diagonal."""
+
+    def __init__(self, matrix: Sequence[Sequence[int]]):
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"policy matrix must be square, got shape {arr.shape}")
+        if np.any(arr < 0):
+            raise ValueError("policy entries must be non-negative")
+        if np.any(np.diag(arr) != 0):
+            raise ValueError("policy diagonal must be zero (no self-transfers)")
+        self._matrix = arr
+        self._matrix.setflags(write=False)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def none(cls, n: int) -> "ReallocationPolicy":
+        """The do-nothing policy for ``n`` servers."""
+        return cls(np.zeros((n, n), dtype=np.int64))
+
+    @classmethod
+    def two_server(cls, l12: int, l21: int) -> "ReallocationPolicy":
+        """The paper's 2-server policy ``(L12, L21)``."""
+        return cls([[0, l12], [l21, 0]])
+
+    @classmethod
+    def from_transfers(cls, n: int, transfers: Iterable[Transfer]) -> "ReallocationPolicy":
+        mat = np.zeros((n, n), dtype=np.int64)
+        for t in transfers:
+            if t.src == t.dst:
+                raise ValueError(f"self-transfer in {t}")
+            mat[t.src, t.dst] += t.size
+        return cls(mat)
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def __getitem__(self, ij: Tuple[int, int]) -> int:
+        return int(self._matrix[ij])
+
+    def outflow(self, i: int) -> int:
+        """Total number of tasks server ``i`` sends away."""
+        return int(self._matrix[i].sum())
+
+    def inflow(self, j: int) -> int:
+        """Total number of tasks sent to server ``j``."""
+        return int(self._matrix[:, j].sum())
+
+    def transfers(self) -> List[Transfer]:
+        """Non-empty groups in flight, in (src, dst) order."""
+        out = []
+        for i in range(self.n):
+            for j in range(self.n):
+                size = int(self._matrix[i, j])
+                if size > 0:
+                    out.append(Transfer(i, j, size))
+        return out
+
+    # -- semantics -------------------------------------------------------
+    def validate_against(self, loads: Sequence[int]) -> None:
+        """Raise if any server would send more tasks than it holds."""
+        loads_arr = np.asarray(loads, dtype=np.int64)
+        if loads_arr.shape != (self.n,):
+            raise ValueError(
+                f"loads has shape {loads_arr.shape}, policy is for n={self.n}"
+            )
+        if np.any(loads_arr < 0):
+            raise ValueError("initial loads must be non-negative")
+        sent = self._matrix.sum(axis=1)
+        bad = np.nonzero(sent > loads_arr)[0]
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                f"server {i} sends {int(sent[i])} tasks but only holds {int(loads_arr[i])}"
+            )
+
+    def residual_loads(self, loads: Sequence[int]) -> np.ndarray:
+        """Tasks left at each server right after the policy executes.
+
+        This is the paper's ``r_i = m_i - sum_j L_ij`` (tasks in transit do
+        not count until they arrive).
+        """
+        self.validate_against(loads)
+        return np.asarray(loads, dtype=np.int64) - self._matrix.sum(axis=1)
+
+    # -- dunder ----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ReallocationPolicy) and np.array_equal(
+            self._matrix, other._matrix
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._matrix.tobytes())
+
+    def __repr__(self) -> str:
+        if self.n == 2:
+            return f"ReallocationPolicy(L12={self[0, 1]}, L21={self[1, 0]})"
+        return f"ReallocationPolicy(n={self.n}, transfers={self.transfers()})"

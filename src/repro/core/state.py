@@ -1,0 +1,172 @@
+"""The paper's hybrid system state ``S(t) = (M, F, C, a)`` (Sec. II-B).
+
+* ``M`` — per-server queue lengths;
+* ``F`` — functional/dysfunctional view matrix (``F[i][j]`` is server ``j``'s
+  state *as perceived by* server ``i``; diagonal is ground truth);
+* ``C`` — groups of tasks in transit to each server;
+* ``a`` — the **continuous-time age matrix**: one age per service clock
+  (``a_M``), per failure/FN clock (``a_F``), and per in-transit group
+  (``a_C``).  In the Markovian setting the ages are unnecessary (memoryless
+  clocks) and the state reduces to ``(M, F, C)``.
+
+This representation is what the faithful Theorem 1 solver
+(:mod:`repro.core.theorem1`) recurses on, and what the discrete-event
+simulator logs in traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TransitGroup", "SystemState"]
+
+
+@dataclass(frozen=True)
+class TransitGroup:
+    """A group of tasks in flight toward ``dst`` (an entry of ``C``)."""
+
+    src: int
+    dst: int
+    size: int
+    age: float = 0.0
+
+    def aged_by(self, s: float) -> "TransitGroup":
+        return replace(self, age=self.age + s)
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """An immutable snapshot of the age-dependent system state.
+
+    ``service_ages[k]`` is the age of the service clock of server ``k``
+    (meaningful only while ``queues[k] > 0`` and the server is alive);
+    ``failure_ages[k]`` the age of its failure clock.  FN packets in flight
+    are tracked with their own ages for completeness of the ``a_F``
+    off-diagonal entries.
+    """
+
+    queues: Tuple[int, ...]
+    alive: Tuple[bool, ...]
+    transit: Tuple[TransitGroup, ...] = ()
+    service_ages: Tuple[float, ...] = ()
+    failure_ages: Tuple[float, ...] = ()
+    fn_packets: Tuple[TransitGroup, ...] = ()  # size field unused (always 0)
+
+    def __post_init__(self):
+        n = len(self.queues)
+        if len(self.alive) != n:
+            raise ValueError("alive vector must match queue vector")
+        if any(q < 0 for q in self.queues):
+            raise ValueError("queue lengths must be non-negative")
+        if not self.service_ages:
+            object.__setattr__(self, "service_ages", (0.0,) * n)
+        if not self.failure_ages:
+            object.__setattr__(self, "failure_ages", (0.0,) * n)
+        if len(self.service_ages) != n or len(self.failure_ages) != n:
+            raise ValueError("age vectors must match queue vector")
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def initial(cls, residual_loads, transfers) -> "SystemState":
+        """The post-DTR configuration at ``t = 0`` (paper Remark 1 setup).
+
+        All servers alive, all ages zero, one transit group per non-zero
+        ``L_ij``.
+        """
+        queues = tuple(int(q) for q in residual_loads)
+        groups = tuple(
+            TransitGroup(t.src, t.dst, t.size) for t in transfers if t.size > 0
+        )
+        return cls(queues=queues, alive=(True,) * len(queues), transit=groups)
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.queues)
+
+    @property
+    def total_tasks(self) -> int:
+        """Tasks queued plus tasks in transit."""
+        return sum(self.queues) + sum(g.size for g in self.transit)
+
+    @property
+    def is_done(self) -> bool:
+        """``M(t) = 0`` and ``C(t) = 0`` — the workload-complete condition."""
+        return self.total_tasks == 0
+
+    @property
+    def is_doomed(self) -> bool:
+        """Some tasks can never be served (dead server holds/awaits tasks)."""
+        for k in range(self.n):
+            if not self.alive[k] and self.queues[k] > 0:
+                return True
+        for g in self.transit:
+            if not self.alive[g.dst]:
+                return True
+        return False
+
+    # -- transitions -------------------------------------------------------
+    def aged_by(self, s: float) -> "SystemState":
+        """Advance every age by ``s`` (no discrete event)."""
+        return replace(
+            self,
+            transit=tuple(g.aged_by(s) for g in self.transit),
+            service_ages=tuple(a + s for a in self.service_ages),
+            failure_ages=tuple(a + s for a in self.failure_ages),
+            fn_packets=tuple(p.aged_by(s) for p in self.fn_packets),
+        )
+
+    def after_service(self, k: int) -> "SystemState":
+        """One task served at server ``k``; its service clock resets."""
+        if self.queues[k] <= 0:
+            raise ValueError(f"server {k} has no task to serve")
+        if not self.alive[k]:
+            raise ValueError(f"server {k} is dead")
+        queues = list(self.queues)
+        queues[k] -= 1
+        ages = list(self.service_ages)
+        ages[k] = 0.0
+        return replace(self, queues=tuple(queues), service_ages=tuple(ages))
+
+    def after_failure(self, k: int, fn_to_others: bool = False) -> "SystemState":
+        """Server ``k`` fails permanently; optionally FN packets launch."""
+        if not self.alive[k]:
+            raise ValueError(f"server {k} is already dead")
+        alive = list(self.alive)
+        alive[k] = False
+        fn = list(self.fn_packets)
+        if fn_to_others:
+            fn.extend(
+                TransitGroup(k, j, 0) for j in range(self.n) if j != k and alive[j]
+            )
+        return replace(self, alive=tuple(alive), fn_packets=tuple(fn))
+
+    def after_arrival(self, group_index: int) -> "SystemState":
+        """A transit group lands in its destination queue.
+
+        If the destination is alive its queue grows; if dead, the tasks sit
+        unserved forever (handled by :attr:`is_doomed`), which we model by
+        keeping them in a dead queue.
+        """
+        g = self.transit[group_index]
+        queues = list(self.queues)
+        queues[g.dst] += g.size
+        transit = tuple(
+            t for i, t in enumerate(self.transit) if i != group_index
+        )
+        # a previously idle server starts a fresh service clock
+        ages = list(self.service_ages)
+        if self.queues[g.dst] == 0:
+            ages[g.dst] = 0.0
+        return replace(
+            self,
+            queues=tuple(queues),
+            transit=transit,
+            service_ages=tuple(ages),
+        )
+
+    def after_fn_arrival(self, packet_index: int) -> "SystemState":
+        """An FN packet lands: receiver updates its view (``F`` matrix)."""
+        fn = tuple(p for i, p in enumerate(self.fn_packets) if i != packet_index)
+        return replace(self, fn_packets=fn)

@@ -1,0 +1,202 @@
+"""The DCS model: servers, heterogeneous clocks, and the network.
+
+This module carries the static description shared by every solver and the
+discrete-event simulator: per-server service-time laws ``W_k``, per-server
+failure-time laws ``Y_k`` (``None`` = completely reliable, the paper's
+``Y_k = inf`` a.s.), and the network model providing the FN transfer laws
+``X_jk`` and group transfer laws ``Z`` (paper assumption A1).  All clocks are
+mutually independent (assumption A2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..distributions.base import Distribution
+
+__all__ = [
+    "NetworkModel",
+    "HomogeneousNetwork",
+    "HeterogeneousNetwork",
+    "ZeroDelayNetwork",
+    "DCSModel",
+]
+
+
+class NetworkModel(abc.ABC):
+    """Transfer-delay laws of the interconnect."""
+
+    @abc.abstractmethod
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        """Law of the transfer time of a group of ``size`` tasks."""
+
+    @abc.abstractmethod
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        """Law of the transfer time of a failure-notice packet."""
+
+
+class HomogeneousNetwork(NetworkModel):
+    """The paper's homogeneous network (Sec. III-A).
+
+    Group transfer times have mean ``latency + per_task * size`` and follow
+    the scenario's distribution family; FN packets have mean ``fn_mean``.
+    The calibration of ``(latency, per_task)`` for the low / severe delay
+    regimes is documented in DESIGN.md Sec. 4.2.
+    """
+
+    def __init__(
+        self,
+        make_time: Callable[[float], Distribution],
+        latency: float,
+        per_task: float,
+        fn_mean: float,
+    ):
+        if latency < 0 or per_task < 0:
+            raise ValueError("latency and per_task must be non-negative")
+        if fn_mean <= 0:
+            raise ValueError("fn_mean must be positive")
+        self.make_time = make_time
+        self.latency = float(latency)
+        self.per_task = float(per_task)
+        self.fn_mean = float(fn_mean)
+
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        if size <= 0:
+            raise ValueError(f"group size must be positive, got {size}")
+        return self.make_time(self.latency + self.per_task * size)
+
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        return self.make_time(self.fn_mean)
+
+    def mean_group_transfer(self, size: int) -> float:
+        return self.latency + self.per_task * size
+
+
+class HeterogeneousNetwork(NetworkModel):
+    """Per-link transfer laws — e.g. the asymmetric Internet testbed links.
+
+    ``latency[i][j]`` and ``per_task[i][j]`` set the mean group transfer time
+    ``latency + per_task * size`` of link ``i -> j``; ``fn_mean[i][j]`` the
+    mean FN delay.  ``make_time(mean)`` builds the distribution (the paper's
+    testbed uses shifted gammas).
+    """
+
+    def __init__(self, make_time, latency, per_task, fn_mean):
+        import numpy as np
+
+        self.make_time = make_time
+        self.latency = np.asarray(latency, dtype=float)
+        self.per_task = np.asarray(per_task, dtype=float)
+        self.fn_mean = np.asarray(fn_mean, dtype=float)
+        for name, arr in (
+            ("latency", self.latency),
+            ("per_task", self.per_task),
+            ("fn_mean", self.fn_mean),
+        ):
+            if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+                raise ValueError(f"{name} must be a square matrix")
+            if np.any(arr < 0):
+                raise ValueError(f"{name} entries must be non-negative")
+
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        if size <= 0:
+            raise ValueError(f"group size must be positive, got {size}")
+        return self.make_time(
+            float(self.latency[src, dst] + self.per_task[src, dst] * size)
+        )
+
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        return self.make_time(float(self.fn_mean[src, dst]))
+
+
+class ZeroDelayNetwork(NetworkModel):
+    """Idealized instantaneous network (parallel-machine limit, for tests)."""
+
+    _EPS = 1e-9
+
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        from ..distributions.deterministic import Deterministic
+
+        return Deterministic(0.0)
+
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        from ..distributions.deterministic import Deterministic
+
+        return Deterministic(0.0)
+
+
+@dataclass
+class DCSModel:
+    """An ``n``-server heterogeneous DCS.
+
+    Attributes
+    ----------
+    service:
+        per-server law of a single task's service time ``W_{.k}``.
+    network:
+        transfer-delay model.
+    failure:
+        per-server failure law ``Y_k``; ``None`` entries are completely
+        reliable servers.  ``failure=None`` means every server is reliable
+        (required by the average-execution-time metric, paper Sec. II-A).
+    """
+
+    service: List[Distribution]
+    network: NetworkModel
+    failure: Optional[List[Optional[Distribution]]] = None
+
+    def __post_init__(self):
+        if not self.service:
+            raise ValueError("need at least one server")
+        if self.failure is not None and len(self.failure) != len(self.service):
+            raise ValueError(
+                f"failure list has {len(self.failure)} entries for "
+                f"{len(self.service)} servers"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.service)
+
+    @property
+    def reliable(self) -> bool:
+        """True when no server can fail."""
+        return self.failure is None or all(f is None for f in self.failure)
+
+    def failure_of(self, k: int) -> Optional[Distribution]:
+        if self.failure is None:
+            return None
+        return self.failure[k]
+
+    def pairwise(self, i: int, j: int) -> "DCSModel":
+        """The 2-server sub-DCS ``(i, j)`` used by Algorithm 1.
+
+        Server 0 of the result is ``i``, server 1 is ``j``; the network is
+        re-indexed accordingly.
+        """
+        if i == j:
+            raise ValueError("pairwise sub-model needs two distinct servers")
+        failure = None
+        if self.failure is not None:
+            failure = [self.failure[i], self.failure[j]]
+        return DCSModel(
+            service=[self.service[i], self.service[j]],
+            network=_ReindexedNetwork(self.network, (i, j)),
+            failure=failure,
+        )
+
+
+class _ReindexedNetwork(NetworkModel):
+    """View of a network under a server-index mapping (for sub-DCSs)."""
+
+    def __init__(self, base: NetworkModel, index_map: Sequence[int]):
+        self.base = base
+        self.index_map = tuple(index_map)
+
+    def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
+        return self.base.group_transfer(self.index_map[src], self.index_map[dst], size)
+
+    def failure_notice(self, src: int, dst: int) -> Distribution:
+        return self.base.failure_notice(self.index_map[src], self.index_map[dst])

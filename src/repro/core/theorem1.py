@@ -1,0 +1,487 @@
+"""Faithful recursive solver for Theorem 1 (paper Sec. II-C.2).
+
+This solver evaluates the paper's age-dependent regeneration recursion
+*directly*: at every configuration it builds the active clock set, computes
+the ``G_X(s)`` weights on a quadrature grid, and recurses into the
+configuration produced by each possible regeneration event with all ages
+advanced by ``s``:
+
+    ``T̄(S) = E[τ_a] + Σ_X ∫ G_X(s) · T̄(S'_X(s)) ds``
+    ``R_B(S) = Σ_X ∫_0^B G_X(s) · R_{B-s}(S'_X(s)) ds``
+
+Ages are kept on a uniform grid (step ``ds``) so that memoization collapses
+the recursion.  Exponential clocks are memoryless and carry no age, which is
+exactly why the Markovian model of refs. [2], [7] needs no age matrix — the
+solver exploits the same fact to stay tractable.
+
+Cost grows exponentially with the number of *concurrently aging*
+non-exponential clocks (the paper makes the same observation about its exact
+characterization); use this solver for validation-scale instances and the
+transform solver (:mod:`repro.core.convolution`) for the paper-scale
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions.base import Distribution
+from ..distributions.deterministic import Deterministic
+from ..distributions.exponential import Exponential
+from .metrics import Metric, MetricValue
+from .policy import ReallocationPolicy
+from .system import DCSModel
+
+__all__ = ["Theorem1Solver"]
+
+# canonical hashable configuration:
+#   (queues, alive, transit, service_age_idx, failure_age_idx)
+# transit entries are (src, dst, size, age_idx)
+_Config = Tuple[
+    Tuple[int, ...],
+    Tuple[bool, ...],
+    Tuple[Tuple[int, int, int, int], ...],
+    Tuple[int, ...],
+    Tuple[int, ...],
+]
+
+
+class _ClockInfo:
+    """An active clock of a configuration, with grid-quantized age."""
+
+    __slots__ = ("kind", "ref", "dist", "age_idx", "memoryless")
+
+    def __init__(self, kind: str, ref: int, dist: Distribution, age_idx: int):
+        if isinstance(dist, Deterministic):
+            raise TypeError(
+                "the quadrature-based Theorem 1 solver does not support "
+                "clocks with atoms (Deterministic); use the transform solver"
+            )
+        self.kind = kind
+        self.ref = ref
+        self.dist = dist
+        self.memoryless = isinstance(dist, Exponential)
+        self.age_idx = 0 if self.memoryless else age_idx
+
+
+class Theorem1Solver:
+    """Direct numerical evaluation of the Theorem 1 recursion."""
+
+    def __init__(
+        self,
+        model: DCSModel,
+        ds: float,
+        max_nodes: int = 4096,
+        survival_eps: float = 1e-9,
+        max_states: int = 2_000_000,
+    ):
+        if not (ds > 0 and math.isfinite(ds)):
+            raise ValueError(f"ds must be positive and finite, got {ds}")
+        self.model = model
+        self.ds = float(ds)
+        self.max_nodes = int(max_nodes)
+        self.survival_eps = float(survival_eps)
+        self.max_states = int(max_states)
+        self._transfer_dists: Dict[Tuple[int, int, int], Distribution] = {}
+
+    # ------------------------------------------------------------------
+    # configuration plumbing
+    # ------------------------------------------------------------------
+    def _initial_config(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> _Config:
+        residual = policy.residual_loads(loads)
+        n = self.model.n
+        transit = tuple(
+            (t.src, t.dst, t.size, 0) for t in policy.transfers() if t.size > 0
+        )
+        return (
+            tuple(int(r) for r in residual),
+            (True,) * n,
+            transit,
+            (0,) * n,
+            (0,) * n,
+        )
+
+    def _transfer_dist(self, src: int, dst: int, size: int) -> Distribution:
+        key = (src, dst, size)
+        if key not in self._transfer_dists:
+            self._transfer_dists[key] = self.model.network.group_transfer(
+                src, dst, size
+            )
+        return self._transfer_dists[key]
+
+    def _clocks(self, config: _Config, with_failures: bool) -> List[_ClockInfo]:
+        queues, alive, transit, s_ages, f_ages = config
+        clocks: List[_ClockInfo] = []
+        for k in range(self.model.n):
+            if alive[k] and queues[k] > 0:
+                clocks.append(
+                    _ClockInfo("service", k, self.model.service[k], s_ages[k])
+                )
+            if with_failures and alive[k]:
+                fdist = self.model.failure_of(k)
+                if fdist is not None:
+                    clocks.append(_ClockInfo("failure", k, fdist, f_ages[k]))
+        for gi, (src, dst, size, age_idx) in enumerate(transit):
+            clocks.append(
+                _ClockInfo("transit", gi, self._transfer_dist(src, dst, size), age_idx)
+            )
+        return clocks
+
+    def _next_config(
+        self, config: _Config, clock: _ClockInfo, step_idx: int
+    ) -> _Config:
+        """Configuration after regeneration event ``clock`` at ``s = step_idx * ds``.
+
+        Every age advances by ``step_idx``; the event applies its discrete
+        transition and resets / removes its own clock (paper Sec. II-C.1).
+        """
+        queues, alive, transit, s_ages, f_ages = config
+        n = self.model.n
+        new_s = [a + step_idx for a in s_ages]
+        new_f = [a + step_idx for a in f_ages]
+        new_transit = [
+            (
+                src,
+                dst,
+                size,
+                0
+                if isinstance(self._transfer_dist(src, dst, size), Exponential)
+                else age + step_idx,
+            )
+            for (src, dst, size, age) in transit
+        ]
+        new_queues = list(queues)
+        new_alive = list(alive)
+        if clock.kind == "service":
+            k = clock.ref
+            new_queues[k] -= 1
+            new_s[k] = 0  # fresh task => fresh clock (or idle)
+        elif clock.kind == "failure":
+            k = clock.ref
+            new_alive[k] = False
+        elif clock.kind == "transit":
+            src, dst, size, _ = new_transit.pop(clock.ref)
+            # an idle server starting work draws a fresh service clock
+            if new_queues[dst] == 0:
+                new_s[dst] = 0
+            new_queues[dst] += size
+        else:  # pragma: no cover - exhaustive kinds
+            raise ValueError(f"unknown clock kind {clock.kind}")
+        # idle or dead servers carry no meaningful service age
+        for k in range(n):
+            if new_queues[k] == 0 or not new_alive[k]:
+                new_s[k] = 0
+            if not new_alive[k]:
+                new_f[k] = 0
+        # memoryless failure clocks need no age either
+        for k in range(n):
+            fdist = self.model.failure_of(k)
+            if fdist is None or isinstance(fdist, Exponential):
+                new_f[k] = 0
+            if isinstance(self.model.service[k], Exponential):
+                new_s[k] = 0
+        return (
+            tuple(new_queues),
+            tuple(new_alive),
+            tuple(sorted(new_transit)),
+            tuple(new_s),
+            tuple(new_f),
+        )
+
+    # ------------------------------------------------------------------
+    # quadrature over the regeneration time
+    # ------------------------------------------------------------------
+    #: 4-point Gauss-Legendre abscissae/weights on [0, 1]
+    _GL_X = (np.polynomial.legendre.leggauss(4)[0] + 1.0) / 2.0
+    _GL_W = np.polynomial.legendre.leggauss(4)[1] / 2.0
+
+    def _quadrature(
+        self,
+        clocks: List[_ClockInfo],
+        max_cells: Optional[int] = None,
+        renormalize: bool = True,
+    ):
+        """Per-cell integration of ``G_X`` with sub-cell node splitting.
+
+        Returns ``(K, weight_lo, weight_hi, expected_tau)`` where for clock
+        ``j`` and cell ``k`` (spanning ``[k ds, (k+1) ds]``) the probability
+        mass ``∫_cell G_j ds`` is split between the two neighbouring grid
+        nodes proportionally to the conditional mean event position — a
+        linear interpolation in the age dimension that keeps the recursion
+        second-order accurate even when a clock's density jumps (shifted
+        laws), which a plain trapezoid rule reduces to first order.
+
+        The cell range adaptively extends until the joint survival of the
+        clocks drops below ``survival_eps`` (or a clock's support ends).
+        """
+        ds = self.ds
+        # upper bound from finite supports
+        s_cap = math.inf
+        for c in clocks:
+            lo, hi = c.dist.support()
+            if math.isfinite(hi):
+                age = c.age_idx * ds
+                s_cap = min(s_cap, hi - age)
+        if s_cap <= 0:
+            raise ValueError("a clock has exhausted its finite support")
+
+        def joint_sf(s: np.ndarray) -> np.ndarray:
+            out = np.ones_like(s)
+            for c in clocks:
+                age = c.age_idx * ds
+                sa = float(c.dist.sf(age))
+                out *= np.asarray(c.dist.sf(s + age), dtype=float) / sa
+            return out
+
+        node_cap = self.max_nodes if max_cells is None else min(max_cells, self.max_nodes)
+        k = min(64, node_cap)
+        while True:
+            k_eff = min(k, node_cap)
+            upper = k_eff * ds
+            if math.isfinite(s_cap):
+                upper = min(upper, s_cap)
+                k_eff = max(int(math.ceil(upper / ds)), 1)
+            probe = joint_sf(np.array([min(k_eff * ds, upper)]))[0]
+            if (
+                probe < self.survival_eps
+                or k_eff * ds >= s_cap - ds
+                or k >= node_cap
+            ):
+                break
+            k *= 2
+        n_cells = k_eff
+        # sub-cell Gauss-Legendre points for every cell, flattened
+        cell_starts = np.arange(n_cells) * ds
+        s_pts = (cell_starts[:, None] + self._GL_X[None, :] * ds).ravel()
+        w_pts = np.broadcast_to(self._GL_W * ds, (n_cells, 4)).ravel()
+
+        m = len(clocks)
+        sf_rows = np.empty((m, s_pts.size))
+        pdf_rows = np.empty((m, s_pts.size))
+        for j, c in enumerate(clocks):
+            age = c.age_idx * ds
+            sa = float(c.dist.sf(age))
+            sf_rows[j] = np.clip(
+                np.asarray(c.dist.sf(s_pts + age), dtype=float) / sa, 0.0, 1.0
+            )
+            pdf_rows[j] = np.maximum(
+                np.asarray(c.dist.pdf(s_pts + age), dtype=float) / sa, 0.0
+            )
+        prefix = np.ones((m + 1, s_pts.size))
+        for j in range(m):
+            prefix[j + 1] = prefix[j] * sf_rows[j]
+        suffix = np.ones((m + 1, s_pts.size))
+        for j in range(m - 1, -1, -1):
+            suffix[j] = suffix[j + 1] * sf_rows[j]
+        g_flat = pdf_rows * (prefix[:m] * suffix[1:])  # (m, n_cells*4)
+        joint = prefix[m]
+        expected_tau = float(np.sum(w_pts * joint))
+
+        g_cells = (g_flat * w_pts).reshape(m, n_cells, 4)
+        mass = g_cells.sum(axis=2)  # ∫_cell G_j
+        moment = (g_cells * s_pts.reshape(n_cells, 4)).sum(axis=2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s_star = np.where(mass > 0.0, moment / np.where(mass > 0, mass, 1.0), 0.0)
+        frac = np.clip(s_star / ds - np.arange(n_cells)[None, :], 0.0, 1.0)
+        weight_lo = mass * (1.0 - frac)  # assigned to node k
+        weight_hi = mass * frac  # assigned to node k + 1
+        # the final node may lie past a bounded clock's support (the cell
+        # range is rounded up); fold its weight back onto the last in-range
+        # node — the mass there is boundary-thin, so the bias is negligible
+        weight_lo[:, -1] += weight_hi[:, -1]
+        weight_hi[:, -1] = 0.0
+        # heavy tails can leave real mass beyond the capped range; condition
+        # the event distribution on tau <= horizon so the recursion still
+        # dispatches a full unit of probability (bias O(truncated mass)).
+        # QoS passes renormalize=False: there, truncated mass is exactly
+        # "regeneration after the deadline" and must count as a miss.
+        if renormalize:
+            total = float(weight_lo.sum() + weight_hi.sum())
+            if 0.0 < total < 1.0:
+                weight_lo /= total
+                weight_hi /= total
+        return n_cells, weight_lo, weight_hi, expected_tau
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def average_execution_time(
+        self, loads: Sequence[int], policy: ReallocationPolicy
+    ) -> float:
+        """``T̄(S0)`` by the age-dependent recursion (reliable servers)."""
+        if not self.model.reliable:
+            raise ValueError(
+                "the average execution time is only defined for reliable servers"
+            )
+        memo: Dict[_Config, float] = {}
+
+        def solve(config: _Config) -> float:
+            queues, _, transit, _, _ = config
+            if sum(queues) == 0 and not transit:
+                return 0.0
+            cached = memo.get(config)
+            if cached is not None:
+                return cached
+            if len(memo) > self.max_states:
+                raise RuntimeError(
+                    "Theorem 1 recursion exceeded max_states — the instance "
+                    "has too many concurrently aging non-exponential clocks"
+                )
+            clocks = self._clocks(config, with_failures=False)
+            if len(clocks) == 1:
+                # a lone clock: every other age in the child configuration is
+                # zero, so the recursion is exact without any quadrature
+                clock = clocks[0]
+                value = clock.dist.mean_residual(clock.age_idx * self.ds) + solve(
+                    self._next_config(config, clock, 0)
+                )
+                memo[config] = value
+                return value
+            n_cells, w_lo, w_hi, expected_tau = self._quadrature(clocks)
+            value = expected_tau  # E[tau_a]
+            for j, clock in enumerate(clocks):
+                for k in range(n_cells):
+                    if w_lo[j, k] > 0.0:
+                        value += w_lo[j, k] * solve(self._next_config(config, clock, k))
+                    if w_hi[j, k] > 0.0:
+                        value += w_hi[j, k] * solve(
+                            self._next_config(config, clock, k + 1)
+                        )
+            memo[config] = value
+            return value
+
+        return _with_stack(lambda: solve(self._initial_config(loads, policy)))
+
+    def reliability(self, loads: Sequence[int], policy: ReallocationPolicy) -> float:
+        """``R_inf(S0)``: recursion with initial conditions per paper Remark 1."""
+        memo: Dict[_Config, float] = {}
+
+        def solve(config: _Config) -> float:
+            queues, alive, transit, _, _ = config
+            if any(q > 0 and not a for q, a in zip(queues, alive)) or any(
+                not alive[g[1]] for g in transit
+            ):
+                return 0.0
+            if sum(queues) == 0 and not transit:
+                return 1.0
+            cached = memo.get(config)
+            if cached is not None:
+                return cached
+            if len(memo) > self.max_states:
+                raise RuntimeError(
+                    "Theorem 1 recursion exceeded max_states — the instance "
+                    "has too many concurrently aging non-exponential clocks"
+                )
+            clocks = self._clocks(config, with_failures=True)
+            if len(clocks) == 1:
+                # a lone service/transit clock fires almost surely and no
+                # other age survives into the child configuration
+                value = solve(self._next_config(config, clocks[0], 0))
+                memo[config] = value
+                return value
+            n_cells, w_lo, w_hi, _ = self._quadrature(clocks)
+            value = 0.0
+            for j, clock in enumerate(clocks):
+                for k in range(n_cells):
+                    if w_lo[j, k] > 0.0:
+                        value += w_lo[j, k] * solve(self._next_config(config, clock, k))
+                    if w_hi[j, k] > 0.0:
+                        value += w_hi[j, k] * solve(
+                            self._next_config(config, clock, k + 1)
+                        )
+            memo[config] = value
+            return value
+
+        return _with_stack(
+            lambda: min(solve(self._initial_config(loads, policy)), 1.0)
+        )
+
+    def qos(
+        self, loads: Sequence[int], policy: ReallocationPolicy, deadline: float
+    ) -> float:
+        """``R_TM(S0)``: recursion carrying the remaining time budget."""
+        if deadline <= 0:
+            return 0.0
+        budget0 = int(round(deadline / self.ds))
+        with_failures = not self.model.reliable
+        memo: Dict[Tuple[_Config, int], float] = {}
+
+        def solve(config: _Config, budget: int) -> float:
+            queues, alive, transit, _, _ = config
+            if with_failures and (
+                any(q > 0 and not a for q, a in zip(queues, alive))
+                or any(not alive[g[1]] for g in transit)
+            ):
+                return 0.0
+            if sum(queues) == 0 and not transit:
+                return 1.0
+            if budget <= 0:
+                return 0.0
+            key = (config, budget)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if len(memo) > self.max_states:
+                raise RuntimeError(
+                    "Theorem 1 recursion exceeded max_states — reduce the "
+                    "instance or coarsen ds"
+                )
+            clocks = self._clocks(config, with_failures)
+            # the deadline caps the useful quadrature range
+            n_cells, w_lo, w_hi, _ = self._quadrature(
+                clocks, max_cells=budget, renormalize=False
+            )
+            value = 0.0
+            for j, clock in enumerate(clocks):
+                for k in range(min(n_cells, budget)):
+                    if w_lo[j, k] > 0.0:
+                        value += w_lo[j, k] * solve(
+                            self._next_config(config, clock, k), budget - k
+                        )
+                    if w_hi[j, k] > 0.0 and k + 1 < budget:
+                        value += w_hi[j, k] * solve(
+                            self._next_config(config, clock, k + 1),
+                            budget - (k + 1),
+                        )
+            memo[key] = value
+            return value
+
+        return _with_stack(
+            lambda: min(solve(self._initial_config(loads, policy), budget0), 1.0)
+        )
+
+    def evaluate(
+        self,
+        metric: Metric,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        deadline: Optional[float] = None,
+    ) -> MetricValue:
+        if metric is Metric.AVG_EXECUTION_TIME:
+            value = self.average_execution_time(loads, policy)
+        elif metric is Metric.QOS:
+            if deadline is None:
+                raise ValueError("QoS evaluation needs a deadline")
+            value = self.qos(loads, policy, deadline)
+        elif metric is Metric.RELIABILITY:
+            value = self.reliability(loads, policy)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown metric {metric}")
+        return MetricValue(metric=metric, value=value, method="theorem1", deadline=deadline)
+
+
+def _with_stack(fn):
+    """Run a deep recursion with a raised stack limit."""
+    import sys
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 50_000))
+    try:
+        return fn()
+    finally:
+        sys.setrecursionlimit(old)

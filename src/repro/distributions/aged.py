@@ -1,0 +1,109 @@
+"""Generic aged distribution — the paper's ``T_a = T - a | T >= a``.
+
+Concrete families override :meth:`Distribution.aged` with closed forms when
+available (exponential, uniform, Pareto, shifted exponential, deterministic).
+This wrapper covers the rest (and is what makes aging *compose*: aging an
+aged distribution flattens to a single conditioning on the base law).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution, SupportError
+
+__all__ = ["AgedDistribution"]
+
+
+class AgedDistribution(Distribution):
+    """``base`` conditioned on survival to ``age``, measured from ``age``.
+
+    ``S_a(t) = S(a + t) / S(a)`` and ``f_a(t) = f(a + t) / S(a)``
+    (paper Sec. II-B.1).
+    """
+
+    name = "aged"
+
+    def __init__(self, base: Distribution, age: float):
+        if age < 0:
+            raise ValueError(f"age must be non-negative, got {age}")
+        # flatten nested aging: (T_a)_b = T_{a+b}
+        if isinstance(base, AgedDistribution):
+            age += base.age
+            base = base.base
+        sa = float(base.sf(age))
+        if sa <= 0.0:
+            raise SupportError(f"cannot age {base!r} past its support (a={age})")
+        self.base = base
+        self.age = float(age)
+        self._sa = sa
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= 0.0, self.base.pdf(x + self.age) / self._sa, 0.0)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(
+            x >= 0.0,
+            1.0 - np.asarray(self.base.sf(x + self.age), dtype=float) / self._sa,
+            0.0,
+        )
+        out = np.clip(out, 0.0, 1.0)
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(
+            x >= 0.0, np.asarray(self.base.sf(x + self.age), dtype=float) / self._sa, 1.0
+        )
+        out = np.clip(out, 0.0, 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return self.base.mean_residual(self.age)
+
+    def var(self) -> float:
+        """Second-moment by quadrature around the (known) mean."""
+        from scipy import integrate
+
+        m = self.mean()
+        if not math.isfinite(m):
+            return math.inf
+        # E[(T_a)^2] = 2 * int_0^inf t S_a(t) dt
+        lo, hi = self.support()
+        upper = hi if math.isfinite(hi) else np.inf
+        second, _ = integrate.quad(
+            lambda t: 2.0 * t * float(self.sf(t)), 0.0, upper, limit=400
+        )
+        return max(second - m * m, 0.0)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        """Inverse-transform through the base quantile: exact, no rejection."""
+        lo_u = float(self.base.cdf(self.age))
+        u = lo_u + (1.0 - lo_u) * rng.random(size=size)
+        return np.asarray(self.base.quantile(u)) - self.age
+
+    def support(self):
+        lo, hi = self.base.support()
+        new_lo = max(lo - self.age, 0.0)
+        new_hi = hi - self.age if math.isfinite(hi) else math.inf
+        return (new_lo, new_hi)
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> Distribution:
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        return self.base.aged(self.age + a)
+
+    def mean_residual(self, a: float) -> float:
+        return self.base.mean_residual(self.age + a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AgedDistribution(base={self.base!r}, age={self.age:.6g})"

@@ -1,0 +1,84 @@
+"""Deterministic times — degenerate model for closed-form validation.
+
+A point mass at ``value``.  The paper contrasts DCSs (stochastic transfer)
+with parallel machines where "the deterministic behavior of the transfer
+time of tasks" is assumed; we keep the degenerate law because every metric
+has an arithmetic closed form under it, which the test suite exploits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution, SupportError
+
+__all__ = ["Deterministic"]
+
+
+class Deterministic(Distribution):
+    """Point mass at ``value >= 0``."""
+
+    name = "deterministic"
+
+    def __init__(self, value: float):
+        if value < 0 or not math.isfinite(value):
+            raise ValueError(f"value must be finite and non-negative, got {value}")
+        self.value = float(value)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Deterministic":
+        return cls(mean)
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        """Densities of a point mass are not functions; returns 0 a.e.
+
+        Grid discretization and sampling never touch ``pdf`` for this family;
+        the regeneration calculus special-cases atoms through the cdf.
+        """
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= self.value, 1.0, 0.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return self.value
+
+    def var(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, size=None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    def support(self):
+        return (self.value, self.value)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        out = np.full_like(q_arr, self.value)
+        return out if out.ndim else out[()]
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> "Deterministic":
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        if a > self.value:
+            raise SupportError(f"cannot age {self!r} past its support (a={a})")
+        return Deterministic(self.value - a)
+
+    def mean_residual(self, a: float) -> float:
+        if a > self.value:
+            raise SupportError(f"cannot compute mean residual of {self!r} at {a}")
+        return self.value - a

@@ -1,0 +1,80 @@
+"""Exponential service/transfer/failure times — the Markovian baseline model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(Distribution):
+    """``Exp(rate)`` with mean ``1/rate``.
+
+    The memoryless law of the Markovian setting of refs. [2], [7]: aging an
+    exponential returns the very same distribution, which is why the age
+    matrix is unnecessary in the Markovian model (paper Sec. II-B.1).
+    """
+
+    name = "exponential"
+
+    def __init__(self, rate: float):
+        if not (rate > 0 and math.isfinite(rate)):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        if not (mean > 0):
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(1.0 / mean)
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= 0.0, self.rate * np.exp(-self.rate * np.maximum(x, 0.0)), 0.0)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= 0.0, -np.expm1(-self.rate * np.maximum(x, 0.0)), 0.0)
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= 0.0, np.exp(-self.rate * np.maximum(x, 0.0)), 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def var(self) -> float:
+        return 1.0 / self.rate**2
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.exponential(1.0 / self.rate, size=size)
+
+    def support(self):
+        return (0.0, math.inf)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = -np.log1p(-q_arr) / self.rate
+        return out if out.ndim else out[()]
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> "Exponential":
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        return self  # memoryless
+
+    def mean_residual(self, a: float) -> float:
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        return 1.0 / self.rate

@@ -1,0 +1,335 @@
+"""Probability masses on uniform time grids, with FFT convolution algebra.
+
+This is the numerical engine behind the transform solver
+(:mod:`repro.core.convolution`).  A non-negative random variable is
+represented by the vector of probabilities of the cells centred on the grid
+points ``t_i = i * dt`` (round-to-nearest discretization), so that sums of
+independent variables correspond *exactly* to discrete convolution of the
+mass vectors — no half-cell drift accumulates over the hundreds of
+convolutions needed for 150-task service sums.
+
+Mass escaping the grid horizon is tracked explicitly (``tail``); the heavy
+Pareto tails of the paper's models make this bookkeeping essential for the
+average-execution-time metric, which receives a fitted regularly-varying
+tail correction (DESIGN.md Sec. 4.7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional
+
+import numpy as np
+from scipy import signal
+
+__all__ = [
+    "Grid",
+    "GridMass",
+    "from_distribution",
+    "delta",
+    "minimum_of",
+    "default_grid_for",
+]
+
+_NEG_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Grid:
+    """Uniform grid ``t_i = i * dt`` for ``i = 0 .. n-1``."""
+
+    dt: float
+    n: int
+
+    def __post_init__(self):
+        if not (self.dt > 0 and math.isfinite(self.dt)):
+            raise ValueError(f"dt must be positive and finite, got {self.dt}")
+        if self.n < 2:
+            raise ValueError(f"grid needs at least 2 points, got {self.n}")
+
+    @cached_property
+    def times(self) -> np.ndarray:
+        """Grid points ``i * dt`` (cell centres of the discretization)."""
+        return np.arange(self.n) * self.dt
+
+    @cached_property
+    def edges(self) -> np.ndarray:
+        """Cell edges: ``[0, dt/2, 3dt/2, ..., (n-1/2) dt]``.
+
+        Note the first cell is ``[0, dt/2)`` so an atom at 0 lands in cell 0.
+        """
+        e = (np.arange(self.n + 1) - 0.5) * self.dt
+        e[0] = 0.0
+        return e
+
+    @property
+    def horizon(self) -> float:
+        """Upper edge of the last cell."""
+        return (self.n - 0.5) * self.dt
+
+    def index_of(self, t: float) -> int:
+        """Index of the cell containing time ``t`` (round to nearest)."""
+        if t < 0:
+            raise ValueError(f"time must be non-negative, got {t}")
+        return int(round(t / self.dt))
+
+
+class GridMass:
+    """A sub-probability mass vector on a :class:`Grid`.
+
+    ``mass[i]`` is the probability assigned to grid point ``t_i``; the
+    escaped probability beyond the horizon is ``tail = 1 - mass.sum()``
+    whenever the object represents a complete distribution (the algebra
+    preserves this invariant).
+    """
+
+    __slots__ = ("grid", "mass")
+
+    def __init__(self, grid: Grid, mass: np.ndarray):
+        mass = np.asarray(mass, dtype=float)
+        if mass.shape != (grid.n,):
+            raise ValueError(
+                f"mass vector has shape {mass.shape}, expected ({grid.n},)"
+            )
+        if mass.min(initial=0.0) < -_NEG_TOL:
+            raise ValueError("mass vector has significantly negative entries")
+        self.grid = grid
+        self.mass = np.maximum(mass, 0.0)
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def total(self) -> float:
+        """In-grid probability."""
+        return float(self.mass.sum())
+
+    @property
+    def tail(self) -> float:
+        """Probability escaped beyond the grid horizon."""
+        return max(1.0 - self.total, 0.0)
+
+    def cdf(self) -> np.ndarray:
+        """CDF evaluated at the grid points (inclusive)."""
+        return np.minimum(np.cumsum(self.mass), 1.0)
+
+    def sf(self) -> np.ndarray:
+        """Survival evaluated at the grid points."""
+        return np.maximum(1.0 - self.cdf(), 0.0)
+
+    def cdf_at(self, t: float) -> float:
+        """CDF at an arbitrary time via linear interpolation.
+
+        ``cumsum(mass)[i]`` is the probability up to the *upper edge* of cell
+        ``i``, so interpolation runs over the edges — this keeps ``cdf_at``
+        unbiased instead of shifted by half a cell.
+        """
+        if t < 0:
+            return 0.0
+        c = self.cdf()
+        return float(np.interp(t, self.grid.edges[1:], c, left=0.0))
+
+    # -- moments -------------------------------------------------------
+    def mean(self, tail_correction: bool = True) -> float:
+        """``E[T]`` = grid part + tail contribution.
+
+        The tail contribution is ``tail * horizon`` plus, when
+        ``tail_correction`` and the tail is non-trivial, the fitted
+        regularly-varying excess ``int_H^inf S(t) dt ~= S(H) H / (beta - 1)``
+        with ``beta`` estimated from the last decade of the in-grid survival.
+        """
+        grid_part = float(self.mass @ self.grid.times)
+        tl = self.tail
+        if tl <= 1e-9:
+            # numerically complete: any residual is fp dust, not real tail
+            return grid_part
+        h = self.grid.horizon
+        extra = tl * h
+        if tail_correction:
+            beta = self._tail_exponent()
+            if beta is not None and beta > 1.0:
+                extra += tl * h / (beta - 1.0)
+            elif beta is not None:
+                # survival decays slower than 1/t: mean effectively infinite
+                return math.inf
+        return grid_part + extra
+
+    def var(self, tail_correction: bool = True) -> float:
+        """``Var(T)`` of the in-grid mass (tail handled like :meth:`mean`).
+
+        With escaped heavy-tail mass the variance may be badly
+        underestimated (or truly infinite); callers needing guarantees
+        should check :attr:`tail` first.
+        """
+        m = self.mean(tail_correction=tail_correction)
+        if not math.isfinite(m):
+            return math.inf
+        t = self.grid.times
+        second = float(self.mass @ (t * t))
+        tl = self.tail
+        if tl > 1e-9:
+            h = self.grid.horizon
+            second += tl * h * h
+            if tail_correction:
+                beta = self._tail_exponent()
+                if beta is not None and beta <= 2.0:
+                    return math.inf
+        return max(second - m * m, 0.0)
+
+    def quantile(self, q: float) -> float:
+        """Generalized inverse CDF by interpolation over the cell edges."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        c = self.cdf()
+        if q > c[-1]:
+            return math.inf  # the level sits in the escaped tail
+        idx = int(np.searchsorted(c, q, side="left"))
+        return float(self.grid.edges[1:][idx])
+
+    def _tail_exponent(self) -> Optional[float]:
+        """Log-log slope of the survival over the last decade of the grid."""
+        s = self.sf()
+        t = self.grid.times
+        hi = self.grid.n - 1
+        lo = max(int(hi / 10) * 9, 1)  # last ~10% of the grid
+        seg_t, seg_s = t[lo:hi], s[lo:hi]
+        ok = seg_s > 1e-13  # stay above fp noise
+        if ok.sum() < 8:
+            return None
+        x = np.log(seg_t[ok])
+        y = np.log(seg_s[ok])
+        slope = np.polyfit(x, y, 1)[0]
+        return float(-slope)
+
+    # -- algebra -------------------------------------------------------
+    def conv(self, other: "GridMass") -> "GridMass":
+        """Distribution of the sum of two independent variables."""
+        self._check_same_grid(other)
+        full = signal.fftconvolve(self.mass, other.mass)
+        return GridMass(self.grid, np.maximum(full[: self.grid.n], 0.0))
+
+    def conv_power(self, k: int) -> "GridMass":
+        """k-fold iid sum, by binary exponentiation (``k = 0`` is a delta)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        result = delta(self.grid)
+        base = self
+        while k:
+            if k & 1:
+                result = result.conv(base)
+            k >>= 1
+            if k:
+                base = base.conv(base)
+        return result
+
+    def maximum(self, other: "GridMass") -> "GridMass":
+        """Distribution of the max of two independent variables.
+
+        ``F_max = F_a * F_b`` pointwise; the product of tails is handled
+        implicitly (mass beyond the horizon stays beyond the horizon).
+        """
+        self._check_same_grid(other)
+        f = self.cdf() * other.cdf()
+        mass = np.diff(f, prepend=0.0)
+        return GridMass(self.grid, np.maximum(mass, 0.0))
+
+    def minimum(self, other: "GridMass") -> "GridMass":
+        """Distribution of the min of two independent variables."""
+        return minimum_of(self, other)
+
+    def shift(self, t0: float) -> "GridMass":
+        """Distribution of ``T + t0`` for a deterministic offset ``t0 >= 0``.
+
+        Fractional offsets are split linearly across the two neighbouring
+        cells, which keeps the mean exact.
+        """
+        if t0 < 0:
+            raise ValueError(f"shift must be non-negative, got {t0}")
+        if t0 == 0.0:
+            return self
+        frac_idx = t0 / self.grid.dt
+        i0 = int(math.floor(frac_idx))
+        w_hi = frac_idx - i0
+        n = self.grid.n
+        out = np.zeros(n)
+        if i0 < n:
+            out[i0:] += (1.0 - w_hi) * self.mass[: n - i0]
+        if i0 + 1 < n:
+            out[i0 + 1 :] += w_hi * self.mass[: n - i0 - 1]
+        return GridMass(self.grid, out)
+
+    def expect_sf_weighted(self, weights: np.ndarray) -> float:
+        """``sum_i mass[i] * weights[i]`` — e.g. ``E[S_Y(T)]`` for failures.
+
+        The tail contributes ``tail * weights[-1]``-at-worst; we deliberately
+        weight the escaped mass by 0, which makes reliability estimates
+        conservative (a lower bound) when failure survival is decreasing.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.grid.n,):
+            raise ValueError("weights must match the grid")
+        return float(self.mass @ weights)
+
+    # -- internals -----------------------------------------------------
+    def _check_same_grid(self, other: "GridMass") -> None:
+        if self.grid != other.grid:
+            raise ValueError("operands live on different grids")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GridMass(n={self.grid.n}, dt={self.grid.dt:.4g}, "
+            f"total={self.total:.6f}, mean~{self.mean():.4g})"
+        )
+
+
+def minimum_of(a: GridMass, b: GridMass) -> GridMass:
+    """Distribution of ``min(A, B)`` for independent ``A``, ``B``.
+
+    Survival multiplies: ``S_min = S_A * S_B`` where the survival *includes*
+    tail mass (``sf()`` already does, since ``cdf()`` only sums in-grid mass).
+    """
+    a._check_same_grid(b)
+    s = a.sf() * b.sf()
+    f = 1.0 - s
+    mass = np.diff(f, prepend=0.0)
+    # mass at cell 0 should be F(0) = f[0]
+    mass[0] = f[0]
+    return GridMass(a.grid, np.maximum(mass, 0.0))
+
+
+def delta(grid: Grid, t: float = 0.0) -> GridMass:
+    """Point mass at time ``t`` (default: the zero element of convolution)."""
+    mass = np.zeros(grid.n)
+    idx = grid.index_of(t)
+    if idx >= grid.n:
+        # entire mass beyond the horizon
+        return GridMass(grid, mass)
+    # split fractional positions linearly to keep the mean exact
+    frac_idx = t / grid.dt
+    i0 = int(math.floor(frac_idx))
+    w_hi = frac_idx - i0
+    if i0 < grid.n:
+        mass[i0] += 1.0 - w_hi
+    if w_hi > 0 and i0 + 1 < grid.n:
+        mass[i0 + 1] += w_hi
+    return GridMass(grid, mass)
+
+
+def from_distribution(dist, grid: Grid) -> GridMass:
+    """Discretize a :class:`~repro.distributions.base.Distribution`."""
+    return GridMass(grid, dist.mass_on(grid))
+
+
+def default_grid_for(total_mean: float, dt: Optional[float] = None, span: float = 8.0) -> Grid:
+    """A reasonable grid for workloads whose total mean time is ``total_mean``.
+
+    ``span`` multiples of the mean are covered; ``dt`` defaults to
+    ``total_mean / 2000`` (2000 cells per mean). Heavy-tailed workloads may
+    need a larger span; the solvers expose the grid explicitly.
+    """
+    if not (total_mean > 0 and math.isfinite(total_mean)):
+        raise ValueError(f"total_mean must be positive and finite, got {total_mean}")
+    if dt is None:
+        dt = total_mean / 2000.0
+    n = int(math.ceil(span * total_mean / dt)) + 1
+    return Grid(dt=dt, n=n)

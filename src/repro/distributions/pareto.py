@@ -1,0 +1,203 @@
+"""Pareto (Type I) heavy-tailed service and transfer times.
+
+The paper's empirical testbed characterization found Pareto service times;
+its evaluation uses two Pareto variants (Sec. III-A):
+
+* **Pareto 1** — finite variance, here ``alpha = 2.5``;
+* **Pareto 2** — infinite variance (``1 < alpha <= 2``), here ``alpha = 1.5``.
+
+A Pareto I with scale ``x_m > 0`` and shape ``alpha`` has survival
+``S(x) = (x_m / x)^alpha`` for ``x >= x_m`` and mean
+``alpha x_m / (alpha - 1)`` (for ``alpha > 1``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution, SupportError
+
+__all__ = ["Pareto", "PARETO1_ALPHA", "PARETO2_ALPHA"]
+
+#: shape used for the paper's finite-variance "Pareto 1" model
+PARETO1_ALPHA = 2.5
+#: shape used for the paper's infinite-variance "Pareto 2" model
+PARETO2_ALPHA = 1.5
+
+
+class Pareto(Distribution):
+    """Pareto Type I distribution on ``[x_m, inf)``."""
+
+    name = "pareto"
+
+    def __init__(self, alpha: float, x_m: float):
+        if not (alpha > 0 and math.isfinite(alpha)):
+            raise ValueError(f"alpha must be positive and finite, got {alpha}")
+        if not (x_m > 0 and math.isfinite(x_m)):
+            raise ValueError(f"x_m must be positive and finite, got {x_m}")
+        self.alpha = float(alpha)
+        self.x_m = float(x_m)
+
+    @classmethod
+    def from_mean(cls, mean: float, alpha: float) -> "Pareto":
+        """Pareto with prescribed ``mean``; requires ``alpha > 1``."""
+        if alpha <= 1:
+            raise ValueError("a Pareto with alpha <= 1 has no finite mean")
+        if not (mean > 0):
+            raise ValueError(f"mean must be positive, got {mean}")
+        return cls(alpha, mean * (alpha - 1.0) / alpha)
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        safe = np.maximum(x, self.x_m)
+        # log-space avoids overflow of x_m**alpha for extreme shapes
+        with np.errstate(over="ignore"):
+            body = (
+                self.alpha
+                / safe
+                * np.exp(self.alpha * (math.log(self.x_m) - np.log(safe)))
+            )
+        out = np.where(x >= self.x_m, body, 0.0)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        safe = np.maximum(x, self.x_m)
+        ratio = np.exp(self.alpha * (math.log(self.x_m) - np.log(safe)))
+        out = np.where(x >= self.x_m, 1.0 - ratio, 0.0)
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        safe = np.maximum(x, self.x_m)
+        ratio = np.exp(self.alpha * (math.log(self.x_m) - np.log(safe)))
+        out = np.where(x >= self.x_m, ratio, 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.x_m / (self.alpha - 1.0)
+
+    def var(self) -> float:
+        if self.alpha <= 2.0:
+            return math.inf
+        a = self.alpha
+        return self.x_m**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def sample(self, rng: np.random.Generator, size=None):
+        # inverse transform: x = x_m * U^{-1/alpha}
+        u = rng.random(size=size)
+        return self.x_m * (1.0 - u) ** (-1.0 / self.alpha)
+
+    def support(self):
+        return (self.x_m, math.inf)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = self.x_m * (1.0 - q_arr) ** (-1.0 / self.alpha)
+        return out if out.ndim else out[()]
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> Distribution:
+        """For ``a >= x_m`` the aged Pareto is a Lomax with scale ``a``.
+
+        ``S_a(t) = S(a + t)/S(a) = (a / (a + t))^alpha`` — heavier residual
+        life the older the clock, the signature "anti-memoryless" behaviour
+        that drives the Markovian model error in the paper.
+        """
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        if a >= self.x_m:
+            return _Lomax(self.alpha, a)
+        from .aged import AgedDistribution
+
+        return AgedDistribution(self, a)
+
+    def mean_residual(self, a: float) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        if a <= self.x_m:
+            # int_a^inf S = (x_m - a) + x_m/(alpha-1); then / S(a) = 1
+            return (self.x_m - a) + self.x_m / (self.alpha - 1.0)
+        return a / (self.alpha - 1.0)
+
+
+class _Lomax(Distribution):
+    """Lomax (Pareto II) on ``[0, inf)``: the aged Pareto I (internal)."""
+
+    name = "lomax"
+
+    def __init__(self, alpha: float, scale: float):
+        if not (alpha > 0 and scale > 0):
+            raise ValueError("alpha and scale must be positive")
+        self.alpha = float(alpha)
+        self.scale = float(scale)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        pos = np.maximum(x, 0.0)
+        out = np.where(
+            x >= 0.0,
+            self.alpha / self.scale * (1.0 + pos / self.scale) ** (-self.alpha - 1.0),
+            0.0,
+        )
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        pos = np.maximum(x, 0.0)
+        out = np.where(x >= 0.0, 1.0 - (1.0 + pos / self.scale) ** (-self.alpha), 0.0)
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        pos = np.maximum(x, 0.0)
+        out = np.where(x >= 0.0, (1.0 + pos / self.scale) ** (-self.alpha), 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.scale / (self.alpha - 1.0)
+
+    def var(self) -> float:
+        if self.alpha <= 2.0:
+            return math.inf
+        a = self.alpha
+        return self.scale**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
+
+    def sample(self, rng: np.random.Generator, size=None):
+        u = rng.random(size=size)
+        return self.scale * ((1.0 - u) ** (-1.0 / self.alpha) - 1.0)
+
+    def support(self):
+        return (0.0, math.inf)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = self.scale * ((1.0 - q_arr) ** (-1.0 / self.alpha) - 1.0)
+        return out if out.ndim else out[()]
+
+    def aged(self, a: float) -> "Distribution":
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        return _Lomax(self.alpha, self.scale + a)
+
+    def mean_residual(self, a: float) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return (self.scale + a) / (self.alpha - 1.0)

@@ -1,0 +1,102 @@
+"""Shifted exponential times — minimum-delay-plus-memoryless model.
+
+The paper motivates non-exponential transfer models with the observation
+that "in practical communication networks a non-zero end-to-end propagation
+delay is always observed" (Sec. I).  The shifted exponential
+``shift + Exp(rate)`` is the simplest law with that property and is one of
+the five evaluation models (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution
+from .exponential import Exponential
+
+__all__ = ["ShiftedExponential"]
+
+
+class ShiftedExponential(Distribution):
+    """``shift + Exp(rate)`` with mean ``shift + 1/rate``."""
+
+    name = "shifted-exponential"
+
+    def __init__(self, shift: float, rate: float):
+        if shift < 0 or not math.isfinite(shift):
+            raise ValueError(f"shift must be finite and non-negative, got {shift}")
+        if not (rate > 0 and math.isfinite(rate)):
+            raise ValueError(f"rate must be positive and finite, got {rate}")
+        self.shift = float(shift)
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean: float, shift_fraction: float = 0.5) -> "ShiftedExponential":
+        """Shifted exponential with prescribed mean.
+
+        ``shift = shift_fraction * mean`` (default: half the mean is
+        deterministic propagation, half is memoryless queueing).
+        """
+        if not (mean > 0):
+            raise ValueError(f"mean must be positive, got {mean}")
+        if not (0.0 <= shift_fraction < 1.0):
+            raise ValueError("shift_fraction must lie in [0, 1)")
+        shift = shift_fraction * mean
+        return cls(shift, 1.0 / (mean - shift))
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(x >= self.shift, self.rate * np.exp(-self.rate * z), 0.0)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(x >= self.shift, -np.expm1(-self.rate * z), 0.0)
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(x >= self.shift, np.exp(-self.rate * z), 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return self.shift + 1.0 / self.rate
+
+    def var(self) -> float:
+        return 1.0 / self.rate**2
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return self.shift + rng.exponential(1.0 / self.rate, size=size)
+
+    def support(self):
+        return (self.shift, math.inf)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = self.shift - np.log1p(-q_arr) / self.rate
+        return out if out.ndim else out[()]
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> Distribution:
+        """Aging eats the deterministic shift, then becomes memoryless."""
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        if a < self.shift:
+            return ShiftedExponential(self.shift - a, self.rate)
+        return Exponential(self.rate)
+
+    def mean_residual(self, a: float) -> float:
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        return max(self.shift - a, 0.0) + 1.0 / self.rate

@@ -1,0 +1,112 @@
+"""Shifted gamma times — the empirical transfer-time law of the testbed.
+
+The paper's testbed characterization (Sec. III-B and ref. [7]) found that
+task and FN-packet transfer times follow *shifted gamma* distributions: a
+deterministic propagation offset plus a gamma-distributed queueing and
+serialization component.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special, stats
+
+from .base import Distribution
+
+__all__ = ["ShiftedGamma"]
+
+
+class ShiftedGamma(Distribution):
+    """``shift + Gamma(k, theta)`` with shape ``k`` and scale ``theta``."""
+
+    name = "shifted-gamma"
+
+    def __init__(self, shape: float, scale: float, shift: float = 0.0):
+        if not (shape > 0 and math.isfinite(shape)):
+            raise ValueError(f"shape must be positive and finite, got {shape}")
+        if not (scale > 0 and math.isfinite(scale)):
+            raise ValueError(f"scale must be positive and finite, got {scale}")
+        if shift < 0 or not math.isfinite(shift):
+            raise ValueError(f"shift must be finite and non-negative, got {shift}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+        self.shift = float(shift)
+
+    @classmethod
+    def from_mean(cls, mean: float, shape: float = 2.0, shift_fraction: float = 0.3) -> "ShiftedGamma":
+        """Shifted gamma with prescribed mean, shape, and shift fraction."""
+        if not (mean > 0):
+            raise ValueError(f"mean must be positive, got {mean}")
+        if not (0.0 <= shift_fraction < 1.0):
+            raise ValueError("shift_fraction must lie in [0, 1)")
+        shift = shift_fraction * mean
+        return cls(shape, (mean - shift) / shape, shift)
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(
+            x >= self.shift, stats.gamma.pdf(z, self.shape, scale=self.scale), 0.0
+        )
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(
+            x >= self.shift,
+            special.gammainc(self.shape, z / self.scale),
+            0.0,
+        )
+        return out if out.ndim else out[()]
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        z = np.maximum(x - self.shift, 0.0)
+        out = np.where(
+            x >= self.shift,
+            special.gammaincc(self.shape, z / self.scale),
+            1.0,
+        )
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return self.shift + self.shape * self.scale
+
+    def var(self) -> float:
+        return self.shape * self.scale**2
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return self.shift + rng.gamma(self.shape, self.scale, size=size)
+
+    def support(self):
+        return (self.shift, math.inf)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        out = self.shift + stats.gamma.ppf(q_arr, self.shape, scale=self.scale)
+        return out if np.ndim(out) else np.float64(out)
+
+    def mean_residual(self, a: float) -> float:
+        """Closed form via the gamma mean-residual identity.
+
+        For ``X ~ Gamma(k, theta)``:
+        ``E[X - z | X > z] = k*theta*Q(k+1, z/theta)/Q(k, z/theta) - z``
+        where ``Q`` is the regularized upper incomplete gamma.
+        """
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        z = a - self.shift
+        if z <= 0.0:
+            return self.mean() - a
+        q_k = special.gammaincc(self.shape, z / self.scale)
+        if q_k <= 0.0:
+            # far in the tail: gamma hazard tends to 1/scale
+            return self.scale
+        q_k1 = special.gammaincc(self.shape + 1.0, z / self.scale)
+        return self.shape * self.scale * q_k1 / q_k - z

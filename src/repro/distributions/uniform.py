@@ -1,0 +1,87 @@
+"""Uniform times — bounded-support evaluation model (paper Sec. III-A)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution, SupportError
+
+__all__ = ["Uniform"]
+
+
+class Uniform(Distribution):
+    """``U[lo, hi]`` with ``0 <= lo < hi``."""
+
+    name = "uniform"
+
+    def __init__(self, lo: float, hi: float):
+        if lo < 0 or not math.isfinite(lo):
+            raise ValueError(f"lo must be finite and non-negative, got {lo}")
+        if not (hi > lo and math.isfinite(hi)):
+            raise ValueError(f"hi must be finite and greater than lo, got {hi}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    @classmethod
+    def from_mean(cls, mean: float, half_width_fraction: float = 1.0) -> "Uniform":
+        """Uniform with prescribed mean.
+
+        The default ``half_width_fraction = 1`` gives ``U[0, 2*mean]``, the
+        widest non-negative uniform with that mean (used for the paper's
+        Uniform model).  Smaller fractions give ``U[m(1-f), m(1+f)]``.
+        """
+        if not (mean > 0):
+            raise ValueError(f"mean must be positive, got {mean}")
+        if not (0.0 < half_width_fraction <= 1.0):
+            raise ValueError("half_width_fraction must lie in (0, 1]")
+        f = half_width_fraction
+        return cls(mean * (1.0 - f), mean * (1.0 + f))
+
+    # -- primitives ----------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.lo) & (x <= self.hi)
+        out = np.where(inside, 1.0 / (self.hi - self.lo), 0.0)
+        return out if out.ndim else out[()]
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.clip((x - self.lo) / (self.hi - self.lo), 0.0, 1.0)
+        return out if out.ndim else out[()]
+
+    def mean(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def var(self) -> float:
+        return (self.hi - self.lo) ** 2 / 12.0
+
+    def sample(self, rng: np.random.Generator, size=None):
+        return rng.uniform(self.lo, self.hi, size=size)
+
+    def support(self):
+        return (self.lo, self.hi)
+
+    def quantile(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        out = self.lo + q_arr * (self.hi - self.lo)
+        return out if out.ndim else out[()]
+
+    # -- aging ---------------------------------------------------------
+    def aged(self, a: float) -> Distribution:
+        """``U[lo, hi]`` aged by ``a`` is ``U[max(lo - a, 0), hi - a]``."""
+        if a < 0:
+            raise ValueError(f"age must be non-negative, got {a}")
+        if a == 0:
+            return self
+        if a >= self.hi:
+            raise SupportError(f"cannot age {self!r} past its support (a={a})")
+        return Uniform(max(self.lo - a, 0.0), self.hi - a)
+
+    def mean_residual(self, a: float) -> float:
+        if a >= self.hi:
+            raise SupportError(f"cannot compute mean residual of {self!r} at {a}")
+        return self.aged(a).mean() if a > 0 else self.mean()

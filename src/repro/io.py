@@ -1,0 +1,104 @@
+"""JSON round-tripping for policies and results (CLI / pipeline glue)."""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+import numpy as np
+
+from .core.metrics import MCEstimate, Metric
+from .core.optimize import OptimizationResult
+from .core.policy import ReallocationPolicy
+
+__all__ = [
+    "policy_to_dict",
+    "policy_from_dict",
+    "estimate_to_dict",
+    "estimate_from_dict",
+    "optimization_result_to_dict",
+    "dumps",
+    "loads",
+]
+
+
+def policy_to_dict(policy: ReallocationPolicy) -> Dict[str, Any]:
+    return {
+        "type": "reallocation_policy",
+        "n": policy.n,
+        "matrix": policy.matrix.tolist(),
+    }
+
+
+def policy_from_dict(data: Dict[str, Any]) -> ReallocationPolicy:
+    if data.get("type") != "reallocation_policy":
+        raise ValueError(f"not a policy payload: {data.get('type')!r}")
+    policy = ReallocationPolicy(data["matrix"])
+    if policy.n != data.get("n", policy.n):
+        raise ValueError("policy payload is inconsistent")
+    return policy
+
+
+def estimate_to_dict(estimate: MCEstimate) -> Dict[str, Any]:
+    def enc(x: float):
+        return None if math.isinf(x) or math.isnan(x) else float(x)
+
+    return {
+        "type": "mc_estimate",
+        "value": enc(estimate.value),
+        "ci_low": enc(estimate.ci_low),
+        "ci_high": enc(estimate.ci_high),
+        "n_samples": estimate.n_samples,
+        "n_failures": estimate.n_failures,
+    }
+
+
+def estimate_from_dict(data: Dict[str, Any]) -> MCEstimate:
+    if data.get("type") != "mc_estimate":
+        raise ValueError(f"not an estimate payload: {data.get('type')!r}")
+
+    def dec(x):
+        return math.inf if x is None else float(x)
+
+    return MCEstimate(
+        value=dec(data["value"]),
+        ci_low=dec(data["ci_low"]),
+        ci_high=dec(data["ci_high"]),
+        n_samples=int(data["n_samples"]),
+        n_failures=int(data.get("n_failures", 0)),
+    )
+
+
+def optimization_result_to_dict(result: OptimizationResult) -> Dict[str, Any]:
+    return {
+        "type": "optimization_result",
+        "metric": result.metric.value,
+        "policy": policy_to_dict(result.policy),
+        "value": float(result.value),
+        "deadline": result.deadline,
+        "n_evaluations": len(result.evaluations),
+        "ties": [list(t) for t in result.ties],
+    }
+
+
+def dumps(obj: Any, **kwargs) -> str:
+    """Serialize a supported object (or a plain JSON value) to a string."""
+    if isinstance(obj, ReallocationPolicy):
+        obj = policy_to_dict(obj)
+    elif isinstance(obj, MCEstimate):
+        obj = estimate_to_dict(obj)
+    elif isinstance(obj, OptimizationResult):
+        obj = optimization_result_to_dict(obj)
+    return json.dumps(obj, **kwargs)
+
+
+def loads(text: str) -> Any:
+    """Parse a string produced by :func:`dumps`, reviving typed payloads."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        if data.get("type") == "reallocation_policy":
+            return policy_from_dict(data)
+        if data.get("type") == "mc_estimate":
+            return estimate_from_dict(data)
+    return data

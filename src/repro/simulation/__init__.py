@@ -1,0 +1,55 @@
+"""Discrete-event simulation of the DCS — the Monte Carlo substrate.
+
+:class:`DCSSimulator` realizes the stochastic semantics of the paper's
+Sec. II assumptions; :mod:`repro.simulation.estimator` wraps it into metric
+estimators with 95% confidence intervals; :class:`EmulatedTestbed`
+substitutes for the paper's physical Internet testbed (DESIGN.md Sec. 4.5).
+"""
+
+from .compare import PolicyComparison, compare_policies
+from .dcs import DCSSimulator, SimulationResult
+from .estimator import (
+    bernoulli_ci,
+    estimate_average_execution_time,
+    estimate_metric,
+    estimate_qos,
+    estimate_reliability,
+)
+from .events import EventKind, EventQueue, ScheduledEvent
+from .info import fresh_estimates, stale_estimates
+from .rebalance import FairShareRebalancer, QueueView, Rebalancer
+from .server import Server
+from .testbed import (
+    Characterization,
+    EmulatedTestbed,
+    perturb_distribution,
+    perturb_model,
+)
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "PolicyComparison",
+    "compare_policies",
+    "DCSSimulator",
+    "SimulationResult",
+    "bernoulli_ci",
+    "estimate_average_execution_time",
+    "estimate_metric",
+    "estimate_qos",
+    "estimate_reliability",
+    "EventKind",
+    "EventQueue",
+    "ScheduledEvent",
+    "fresh_estimates",
+    "stale_estimates",
+    "FairShareRebalancer",
+    "QueueView",
+    "Rebalancer",
+    "Server",
+    "Characterization",
+    "EmulatedTestbed",
+    "perturb_distribution",
+    "perturb_model",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,412 @@
+"""Discrete-event simulator of the full DCS (the paper's MC substrate).
+
+Implements exactly the stochastic semantics of Sec. II (assumptions A1/A2):
+
+* per-task iid service times, drawn when a task enters service;
+* permanent server failures sampled once at ``t = 0``;
+* a one-shot DTR policy executed at ``t = 0``: groups leave immediately and
+  arrive after a random transfer time drawn from the network law for their
+  size (reliable message passing — groups always arrive, even if the sender
+  has since failed);
+* failure-notice packets broadcast on failure with their own random delays
+  (they do not change task placement under a one-shot policy, but they are
+  part of the state model and appear in traces);
+* optional queue-length gossip (INFO packets) used by the stale-estimate
+  ablation.
+
+The workload execution time is ``inf`` when any task is lost — a failed
+server held tasks or tasks were in flight toward it (paper Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.policy import ReallocationPolicy
+from ..core.system import DCSModel
+from .events import EventKind, EventQueue, ScheduledEvent
+from .server import Server
+from .trace import Trace
+
+__all__ = ["SimulationResult", "DCSSimulator"]
+
+
+class _GossipViews:
+    """Per-server stale views assembled from received gossip packets."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.reported = np.full((n, n), -1, dtype=np.int64)
+        self.reported_at = np.full((n, n), -math.inf)
+        self.believed_alive = np.ones((n, n), dtype=bool)
+
+    def update(self, receiver: int, about: int, queue_length: int, sent_at: float) -> None:
+        if sent_at >= self.reported_at[receiver, about]:
+            self.reported[receiver, about] = queue_length
+            self.reported_at[receiver, about] = sent_at
+
+    def mark_dead(self, receiver: int, about: int) -> None:
+        self.believed_alive[receiver, about] = False
+
+    def view_for(self, me: int, own_queue: int):
+        from .rebalance import QueueView
+
+        return QueueView(
+            n=self.n,
+            me=me,
+            own_queue=own_queue,
+            reported=self.reported[me].copy(),
+            reported_at=self.reported_at[me].copy(),
+            believed_alive=self.believed_alive[me].copy(),
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution of the workload."""
+
+    completed: bool
+    completion_time: float
+    tasks_served: Tuple[int, ...]
+    tasks_lost: Tuple[int, ...]
+    busy_time: Tuple[float, ...]
+    failed_at: Tuple[Optional[float], ...]
+    trace: Optional[Trace] = None
+    tasks_arrived: Tuple[int, ...] = ()
+
+    @property
+    def total_served(self) -> int:
+        return sum(self.tasks_served)
+
+    @property
+    def total_lost(self) -> int:
+        return sum(self.tasks_lost)
+
+    def meets_deadline(self, deadline: float) -> bool:
+        """Whether the whole workload finished strictly before ``deadline``."""
+        return self.completed and self.completion_time < deadline
+
+
+class DCSSimulator:
+    """Simulates workload executions of a :class:`DCSModel`."""
+
+    def __init__(
+        self,
+        model: DCSModel,
+        record_trace: bool = False,
+        fn_broadcast: bool = True,
+        info_period: Optional[float] = None,
+        rebalancer=None,
+        horizon: float = math.inf,
+    ):
+        """``info_period`` turns on queue-length gossip: every server
+        broadcasts its queue length periodically; packets travel with the
+        network's control-message (FN) law.  ``rebalancer`` (a
+        :class:`~repro.simulation.rebalance.Rebalancer`) additionally lets
+        servers ship tasks at gossip receptions — the paper's general
+        run-time DTR, beyond the one-shot policy of its evaluation."""
+        if rebalancer is not None and info_period is None:
+            raise ValueError("a rebalancer needs info_period gossip to act on")
+        self.model = model
+        self.record_trace = record_trace
+        self.fn_broadcast = fn_broadcast
+        self.info_period = info_period
+        self.rebalancer = rebalancer
+        self.horizon = horizon
+        self.arrival_rates: Optional[np.ndarray] = None
+        self.arrival_cap = 0
+
+    def with_arrivals(
+        self, rates: Sequence[float], cap: int
+    ) -> "DCSSimulator":
+        """Open-system extension: external Poisson task arrivals.
+
+        The paper's future work notes that "tasks arrive at any random time
+        to the servers"; this switches the simulator from the batch (all
+        tasks present at t=0) to an open system where server ``k`` receives
+        new tasks at rate ``rates[k]`` until ``cap`` external tasks have
+        arrived system-wide (the cap keeps runs finite).
+        """
+        rates_arr = np.asarray(rates, dtype=float)
+        if rates_arr.shape != (self.model.n,):
+            raise ValueError("need one arrival rate per server")
+        if np.any(rates_arr < 0) or rates_arr.sum() <= 0:
+            raise ValueError(
+                "arrival rates must be non-negative with a positive total"
+            )
+        if cap <= 0:
+            raise ValueError("arrival cap must be positive")
+        self.arrival_rates = rates_arr
+        self.arrival_cap = int(cap)
+        return self
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        rng: np.random.Generator,
+    ) -> SimulationResult:
+        """One independent realization of the workload execution."""
+        model = self.model
+        n = model.n
+        if policy.n != n:
+            raise ValueError(f"policy is for {policy.n} servers, model has {n}")
+        residual = policy.residual_loads(loads)
+        total_tasks = int(np.sum(loads))
+
+        servers = [
+            Server(index=k, service_dist=model.service[k], queue=int(residual[k]))
+            for k in range(n)
+        ]
+        trace = Trace(enabled=self.record_trace)
+        queue = EventQueue()
+
+        # open-system arrivals (paper future work: tasks arrive over time)
+        arrived = [0] * n
+        if self.arrival_rates is not None:
+            total_tasks += self.arrival_cap
+            for k in range(n):
+                if self.arrival_rates[k] > 0:
+                    gap = rng.exponential(1.0 / self.arrival_rates[k])
+                    queue.push(
+                        ScheduledEvent(gap, EventKind.TASK_ARRIVAL, {"server": k})
+                    )
+
+        # failures sampled at t = 0 (absolute, age zero)
+        for k in range(n):
+            fdist = model.failure_of(k)
+            if fdist is not None:
+                queue.push(
+                    ScheduledEvent(
+                        float(fdist.sample(rng)),
+                        EventKind.SERVER_FAILURE,
+                        {"server": k},
+                    )
+                )
+
+        # groups leave at t = 0
+        for t in policy.transfers():
+            z = float(model.network.group_transfer(t.src, t.dst, t.size).sample(rng))
+            queue.push(
+                ScheduledEvent(
+                    z,
+                    EventKind.GROUP_ARRIVAL,
+                    {"src": t.src, "dst": t.dst, "size": t.size, "duration": z},
+                )
+            )
+
+        # initial services
+        for s in servers:
+            if s.wants_to_serve:
+                self._begin_service(s, 0.0, queue, rng)
+
+        # optional queue-length gossip + online rebalancing state
+        views = None
+        if self.info_period is not None:
+            views = _GossipViews(n)
+            if self.rebalancer is not None and hasattr(self.rebalancer, "reset"):
+                self.rebalancer.reset()
+            for k in range(n):
+                queue.push(
+                    ScheduledEvent(
+                        self.info_period,
+                        EventKind.INFO_ARRIVAL,
+                        {"src": k, "dst": None},
+                    )
+                )
+
+        served = 0
+        completion_time = math.inf
+        now = 0.0
+        while queue:
+            event = queue.pop()
+            now = event.time
+            if now > self.horizon:
+                break
+            kind = event.kind
+            if kind == EventKind.SERVICE_COMPLETE:
+                k = event.payload["server"]
+                s = servers[k]
+                # stale completion: the server failed before this finished.
+                # failures are permanent and a dead server never restarts, so
+                # the alive flag fully identifies stale completions.
+                if not s.alive:
+                    continue
+                s.complete_service(now)
+                served += 1
+                trace.record(now, kind, **event.payload)
+                if served == total_tasks:
+                    completion_time = now
+                    break
+                if s.wants_to_serve:
+                    self._begin_service(s, now, queue, rng)
+            elif kind == EventKind.SERVER_FAILURE:
+                k = event.payload["server"]
+                s = servers[k]
+                if not s.alive:  # pragma: no cover - single failure per server
+                    continue
+                lost = s.fail(now)
+                trace.record(now, kind, server=k, tasks_lost=lost)
+                if self.fn_broadcast:
+                    for j in range(n):
+                        if j != k and servers[j].alive:
+                            x = float(model.network.failure_notice(k, j).sample(rng))
+                            queue.push(
+                                ScheduledEvent(
+                                    now + x,
+                                    EventKind.FN_ARRIVAL,
+                                    {"src": k, "dst": j, "duration": x},
+                                )
+                            )
+                if self._doomed(servers, queue):
+                    break
+            elif kind == EventKind.GROUP_ARRIVAL:
+                dst = event.payload["dst"]
+                s = servers[dst]
+                s.receive(event.payload["size"])
+                trace.record(now, kind, **event.payload)
+                if not s.alive:
+                    break  # tasks stranded at a dead server: doomed
+                if s.wants_to_serve:
+                    self._begin_service(s, now, queue, rng)
+            elif kind == EventKind.TASK_ARRIVAL:
+                k = event.payload["server"]
+                if sum(arrived) >= self.arrival_cap:
+                    continue
+                arrived[k] += 1
+                s = servers[k]
+                s.receive(1)
+                trace.record(now, kind, server=k)
+                if not s.alive:
+                    break  # the new task is stranded: doomed
+                if s.wants_to_serve:
+                    self._begin_service(s, now, queue, rng)
+                if sum(arrived) < self.arrival_cap and self.arrival_rates[k] > 0:
+                    gap = rng.exponential(1.0 / self.arrival_rates[k])
+                    queue.push(
+                        ScheduledEvent(
+                            now + gap, EventKind.TASK_ARRIVAL, {"server": k}
+                        )
+                    )
+            elif kind == EventKind.FN_ARRIVAL:
+                trace.record(now, kind, **event.payload)
+                if views is not None:
+                    views.mark_dead(event.payload["dst"], event.payload["src"])
+            elif kind == EventKind.INFO_ARRIVAL:
+                if event.payload["dst"] is None:
+                    self._gossip_tick(event, servers, queue, rng, served, total_tasks)
+                else:
+                    self._gossip_deliver(event, servers, views, queue, rng, trace)
+            else:  # pragma: no cover - exhaustive kinds
+                raise ValueError(f"unknown event kind {kind}")
+
+        completed = served == total_tasks
+        return SimulationResult(
+            completed=completed,
+            completion_time=completion_time if completed else math.inf,
+            tasks_served=tuple(s.tasks_served for s in servers),
+            tasks_lost=tuple(s.tasks_lost for s in servers),
+            busy_time=tuple(s.busy_time for s in servers),
+            failed_at=tuple(s.failed_at for s in servers),
+            trace=trace if self.record_trace else None,
+            tasks_arrived=tuple(arrived),
+        )
+
+    # ------------------------------------------------------------------
+    def _begin_service(
+        self, server: Server, now: float, queue: EventQueue, rng: np.random.Generator
+    ) -> None:
+        w = server.draw_service_time(rng)
+        server.start_service(now)
+        queue.push(
+            ScheduledEvent(
+                now + w,
+                EventKind.SERVICE_COMPLETE,
+                {"server": server.index, "duration": w},
+            )
+        )
+
+    def _gossip_tick(
+        self,
+        event: ScheduledEvent,
+        servers: List[Server],
+        queue: EventQueue,
+        rng: np.random.Generator,
+        served: int,
+        total_tasks: int,
+    ) -> None:
+        """A server broadcasts its queue length; then schedules the next tick."""
+        src = event.payload["src"]
+        now = event.time
+        if not servers[src].alive:
+            return
+        for dst in range(len(servers)):
+            if dst == src or not servers[dst].alive:
+                continue
+            delay = float(self.model.network.failure_notice(src, dst).sample(rng))
+            queue.push(
+                ScheduledEvent(
+                    now + delay,
+                    EventKind.INFO_ARRIVAL,
+                    {
+                        "src": src,
+                        "dst": dst,
+                        "queue_length": servers[src].queue,
+                        "sent_at": now,
+                    },
+                )
+            )
+        if served < total_tasks and now + self.info_period <= self.horizon:
+            queue.push(
+                ScheduledEvent(
+                    now + self.info_period,
+                    EventKind.INFO_ARRIVAL,
+                    {"src": src, "dst": None},
+                )
+            )
+
+    def _gossip_deliver(
+        self,
+        event: ScheduledEvent,
+        servers: List[Server],
+        views,
+        queue: EventQueue,
+        rng: np.random.Generator,
+        trace: Trace,
+    ) -> None:
+        """A gossip packet lands: update the view, maybe rebalance."""
+        src, dst = event.payload["src"], event.payload["dst"]
+        now = event.time
+        trace.record(now, EventKind.INFO_ARRIVAL, **event.payload)
+        if views is None:  # pragma: no cover - gossip implies views
+            return
+        views.update(dst, src, event.payload["queue_length"], event.payload["sent_at"])
+        receiver = servers[dst]
+        if self.rebalancer is None or not receiver.alive:
+            return
+        view = views.view_for(dst, receiver.queue)
+        for to, size in self.rebalancer.decide(now, view):
+            if to == dst or not (0 <= to < len(servers)):
+                continue
+            actual = receiver.send_away(size)
+            if actual <= 0:
+                continue
+            z = float(self.model.network.group_transfer(dst, to, actual).sample(rng))
+            trace.record(now, EventKind.REBALANCE, src=dst, dst=to, size=actual)
+            queue.push(
+                ScheduledEvent(
+                    now + z,
+                    EventKind.GROUP_ARRIVAL,
+                    {"src": dst, "dst": to, "size": actual, "duration": z},
+                )
+            )
+
+    @staticmethod
+    def _doomed(servers: List[Server], queue: EventQueue) -> bool:
+        """True when some tasks can never be served any more."""
+        return any(s.tasks_lost > 0 for s in servers)

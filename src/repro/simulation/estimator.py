@@ -1,0 +1,150 @@
+"""Monte Carlo estimation of the three metrics, with 95% CIs.
+
+The paper evaluates multi-server policies "through simulations and the
+values listed ... correspond to centers of 95% confidence intervals"
+(Sec. III-A.2); Fig. 4(c) averages 10 000 MC and 500 experimental
+realizations.  This module is that harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.metrics import MCEstimate, Metric
+from ..core.policy import ReallocationPolicy
+from ..core.system import DCSModel
+from .dcs import DCSSimulator
+
+__all__ = [
+    "estimate_average_execution_time",
+    "estimate_qos",
+    "estimate_reliability",
+    "estimate_metric",
+    "bernoulli_ci",
+]
+
+_Z95 = 1.959963984540054  # standard normal 97.5% quantile
+
+
+def bernoulli_ci(successes: int, n: int) -> MCEstimate:
+    """Wilson score interval for a success probability (robust near 0/1)."""
+    if n <= 0:
+        raise ValueError("need at least one sample")
+    p_hat = successes / n
+    z2 = _Z95**2
+    denom = 1.0 + z2 / n
+    centre = (p_hat + z2 / (2 * n)) / denom
+    half = (
+        _Z95
+        * math.sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n))
+        / denom
+    )
+    return MCEstimate(
+        value=p_hat,
+        ci_low=max(centre - half, 0.0),
+        ci_high=min(centre + half, 1.0),
+        n_samples=n,
+    )
+
+
+def _mean_ci(samples: np.ndarray) -> MCEstimate:
+    n = samples.size
+    mean = float(samples.mean())
+    if n < 2:
+        return MCEstimate(mean, -math.inf, math.inf, n)
+    half = _Z95 * float(samples.std(ddof=1)) / math.sqrt(n)
+    return MCEstimate(mean, mean - half, mean + half, n)
+
+
+def estimate_average_execution_time(
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    n_reps: int,
+    rng: np.random.Generator,
+    simulator: Optional[DCSSimulator] = None,
+) -> MCEstimate:
+    """MC estimate of ``T̄`` (requires completely reliable servers)."""
+    if not model.reliable:
+        raise ValueError(
+            "the average execution time is only defined for reliable servers"
+        )
+    sim = simulator or DCSSimulator(model)
+    times = np.empty(n_reps)
+    for r in range(n_reps):
+        result = sim.run(loads, policy, rng)
+        if not result.completed:  # pragma: no cover - impossible when reliable
+            raise RuntimeError("a reliable run failed to complete")
+        times[r] = result.completion_time
+    return _mean_ci(times)
+
+
+def estimate_qos(
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    deadline: float,
+    n_reps: int,
+    rng: np.random.Generator,
+    simulator: Optional[DCSSimulator] = None,
+) -> MCEstimate:
+    """MC estimate of ``R_TM = P(T < deadline)``."""
+    sim = simulator or DCSSimulator(model, horizon=deadline * 1.000001)
+    hits = 0
+    failures = 0
+    for _ in range(n_reps):
+        result = sim.run(loads, policy, rng)
+        if result.meets_deadline(deadline):
+            hits += 1
+        if not result.completed:
+            failures += 1
+    est = bernoulli_ci(hits, n_reps)
+    return MCEstimate(est.value, est.ci_low, est.ci_high, n_reps, n_failures=failures)
+
+
+def estimate_reliability(
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    n_reps: int,
+    rng: np.random.Generator,
+    simulator: Optional[DCSSimulator] = None,
+) -> MCEstimate:
+    """MC estimate of ``R_inf = P(all tasks served)``."""
+    sim = simulator or DCSSimulator(model)
+    hits = 0
+    for _ in range(n_reps):
+        result = sim.run(loads, policy, rng)
+        if result.completed:
+            hits += 1
+    est = bernoulli_ci(hits, n_reps)
+    return MCEstimate(
+        est.value, est.ci_low, est.ci_high, n_reps, n_failures=n_reps - hits
+    )
+
+
+def estimate_metric(
+    metric: Metric,
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    n_reps: int,
+    rng: np.random.Generator,
+    deadline: Optional[float] = None,
+    simulator: Optional[DCSSimulator] = None,
+) -> MCEstimate:
+    """Dispatching front-end used by the MC policy search and the benches."""
+    if metric is Metric.AVG_EXECUTION_TIME:
+        return estimate_average_execution_time(
+            model, loads, policy, n_reps, rng, simulator
+        )
+    if metric is Metric.QOS:
+        if deadline is None:
+            raise ValueError("QoS estimation needs a deadline")
+        return estimate_qos(model, loads, policy, deadline, n_reps, rng, simulator)
+    if metric is Metric.RELIABILITY:
+        return estimate_reliability(model, loads, policy, n_reps, rng, simulator)
+    raise ValueError(f"unknown metric {metric}")  # pragma: no cover

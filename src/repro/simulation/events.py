@@ -1,0 +1,75 @@
+"""Event types of the DCS discrete-event simulator."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["EventKind", "ScheduledEvent", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """Everything that can happen in the DCS (paper Sec. II-C.1).
+
+    The first four kinds are exactly the paper's regeneration events; INFO
+    packets implement the queue-length gossip of Sec. II-A and never alter
+    task placement by themselves.
+    """
+
+    SERVICE_COMPLETE = "service_complete"
+    SERVER_FAILURE = "server_failure"
+    GROUP_ARRIVAL = "group_arrival"
+    FN_ARRIVAL = "fn_arrival"
+    INFO_ARRIVAL = "info_arrival"
+    REBALANCE = "rebalance"
+    TASK_ARRIVAL = "task_arrival"
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """An event on the calendar.  Payload keys depend on the kind:
+
+    * SERVICE_COMPLETE: ``server``
+    * SERVER_FAILURE:  ``server``
+    * GROUP_ARRIVAL:   ``src``, ``dst``, ``size``
+    * FN_ARRIVAL:      ``src``, ``dst`` (about the failure of ``src``)
+    * INFO_ARRIVAL:    ``src``, ``dst``, ``queue_length``, ``sent_at``
+    """
+
+    time: float
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventQueue:
+    """A deterministic min-heap calendar (FIFO among equal timestamps)."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, ScheduledEvent]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: ScheduledEvent) -> None:
+        if event.time < 0:
+            raise ValueError(f"event scheduled in the past: {event}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> ScheduledEvent:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self) -> Iterator[ScheduledEvent]:
+        while self._heap:
+            yield self.pop()

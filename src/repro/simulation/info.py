@@ -1,0 +1,56 @@
+"""Stale queue-length estimates — the information model behind ``m̂``.
+
+Algorithm 1 consumes per-server estimates ``m̂_ji`` built from "queue-length
+information packets frequently exchanged among the servers" (paper
+Sec. II-E).  Over a delayed network those packets are stale: the snapshot
+server ``i`` holds of server ``j`` was taken one network delay ago, during
+which ``j`` kept serving.  This module provides the staleness model used by
+the estimate-quality ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.system import DCSModel
+
+__all__ = ["fresh_estimates", "stale_estimates"]
+
+
+def fresh_estimates(loads: Sequence[int], n: Optional[int] = None) -> np.ndarray:
+    """Perfect information: every server knows every true queue length."""
+    loads_arr = np.asarray(loads, dtype=np.int64)
+    n = loads_arr.size if n is None else n
+    return np.tile(loads_arr, (n, 1)).astype(np.int64)
+
+
+def stale_estimates(
+    model: DCSModel,
+    loads: Sequence[int],
+    delay: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Estimates aged by one network delay.
+
+    The packet server ``i`` received about server ``j`` reports the queue as
+    it was ``delay`` seconds ago; since then ``j`` served roughly
+    ``Poisson(delay / E[W_j])`` tasks, so the reported queue overstates the
+    current one by that amount: ``m̂_ji = m_j + Poisson(delay / E[W_j])``.
+    Every server gets an independently noisy view, which is what breaks the
+    symmetry Algorithm 1 otherwise enjoys.
+    """
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+    loads_arr = np.asarray(loads, dtype=np.int64)
+    n = loads_arr.size
+    est = np.empty((n, n), dtype=np.int64)
+    rates = np.array([1.0 / d.mean() for d in model.service])
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                est[i, j] = loads_arr[j]
+            else:
+                est[i, j] = loads_arr[j] + rng.poisson(delay * rates[j])
+    return est

@@ -1,0 +1,125 @@
+"""Online (run-time) reallocation policies for the simulator.
+
+The paper analyzes a *one-shot* DTR policy executed at ``t = 0``, but frames
+DTR generally as "run-time control actions" driven by queue-length
+information packets (Sec. I, II-A).  This module supplies that general
+mechanism for the discrete-event simulator: servers gossip their queue
+lengths periodically; each receiver maintains a (stale) view of the system
+and may hand groups of tasks to the network at any gossip epoch.
+
+The built-in :class:`FairShareRebalancer` applies the eq. (5) fair-share
+seed rule continuously — each server ships its excess over the Λ-weighted
+fair share, throttled by a hysteresis threshold and a cooldown so delayed
+information does not cause task thrashing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QueueView", "Rebalancer", "FairShareRebalancer"]
+
+
+@dataclass
+class QueueView:
+    """One server's (possibly stale) knowledge of the system state."""
+
+    #: number of servers
+    n: int
+    #: this server's index
+    me: int
+    #: current own queue length (always fresh)
+    own_queue: int
+    #: last reported queue length per server (-1 = never heard from)
+    reported: np.ndarray
+    #: timestamp of each report (-inf = never heard from)
+    reported_at: np.ndarray
+    #: servers believed functional
+    believed_alive: np.ndarray
+
+    def estimate(self) -> np.ndarray:
+        """Best estimate of every queue length (own entry is exact)."""
+        est = self.reported.copy()
+        est[self.me] = self.own_queue
+        return est
+
+
+class Rebalancer(abc.ABC):
+    """Decides, at a gossip epoch, which groups a server sends away."""
+
+    @abc.abstractmethod
+    def decide(self, now: float, view: QueueView) -> List[Tuple[int, int]]:
+        """Return ``[(destination, size), ...]`` transfers to launch now.
+
+        The simulator clamps sizes to what the server can actually part
+        with (it never ships the task in service).
+        """
+
+
+class FairShareRebalancer(Rebalancer):
+    """Continuous eq.-(5)-style balancing with hysteresis and cooldown."""
+
+    def __init__(
+        self,
+        lam: Sequence[float],
+        threshold: int = 2,
+        cooldown: float = 0.0,
+        max_fraction: float = 1.0,
+    ):
+        """``lam`` is the Λ criterion vector (e.g. processing speeds);
+        transfers trigger only when the excess over the fair share exceeds
+        ``threshold`` tasks, at most once per ``cooldown`` seconds, moving at
+        most ``max_fraction`` of the excess at a time."""
+        lam_arr = np.asarray(lam, dtype=float)
+        if np.any(lam_arr <= 0):
+            raise ValueError("criterion entries must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if not (0.0 < max_fraction <= 1.0):
+            raise ValueError("max_fraction must lie in (0, 1]")
+        self.lam = lam_arr
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.max_fraction = float(max_fraction)
+        self._last_sent: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        """Forget cooldown state (call between independent runs)."""
+        self._last_sent.clear()
+
+    def decide(self, now: float, view: QueueView) -> List[Tuple[int, int]]:
+        last = self._last_sent.get(view.me)
+        if last is not None and now - last < self.cooldown:
+            return []
+        est = view.estimate()
+        known = est >= 0
+        known &= view.believed_alive
+        if known.sum() < 2 or not known[view.me]:
+            return []  # nobody to talk to yet
+        lam = np.where(known, self.lam, 0.0)
+        total = float(est[known].sum())
+        share = total * lam / lam.sum()
+        excess = view.own_queue - share[view.me]
+        if excess <= self.threshold:
+            return []
+        budget = int(np.floor(excess * self.max_fraction))
+        deficit = np.maximum(share - np.where(known, est, 0.0), 0.0)
+        deficit[view.me] = 0.0
+        deficit[~known] = 0.0
+        deficit_sum = float(deficit.sum())
+        if deficit_sum <= 0.0 or budget <= 0:
+            return []
+        out: List[Tuple[int, int]] = []
+        for j in range(view.n):
+            if j == view.me or deficit[j] <= 0.0:
+                continue
+            size = int(np.floor(budget * deficit[j] / deficit_sum))
+            if size > 0:
+                out.append((j, size))
+        if out:
+            self._last_sent[view.me] = now
+        return out

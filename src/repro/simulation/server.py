@@ -1,0 +1,104 @@
+"""Server process: queue, per-task random service, permanent failure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..distributions.base import Distribution
+
+__all__ = ["Server"]
+
+
+@dataclass
+class Server:
+    """Mutable state of one server during a simulation run.
+
+    Service is non-preemptive and work-conserving: whenever the server is
+    alive, idle and has queued tasks it immediately begins the next task,
+    drawing a fresh iid service time (assumption A1: ``W_{ik}`` iid per
+    task).  A failure is permanent and loses the whole queue, including the
+    task in service (the paper's no-recovery assumption).
+    """
+
+    index: int
+    service_dist: Distribution
+    queue: int = 0
+    alive: bool = True
+    busy: bool = False
+    tasks_served: int = 0
+    tasks_lost: int = 0
+    busy_time: float = 0.0
+    failed_at: Optional[float] = None
+    _service_started_at: float = 0.0
+
+    def draw_service_time(self, rng: np.random.Generator) -> float:
+        """Sample the next task's service time ``W``."""
+        return float(self.service_dist.sample(rng))
+
+    def start_service(self, now: float) -> None:
+        if not self.alive:
+            raise RuntimeError(f"server {self.index} is dead")
+        if self.busy:
+            raise RuntimeError(f"server {self.index} is already serving")
+        if self.queue <= 0:
+            raise RuntimeError(f"server {self.index} has nothing to serve")
+        self.busy = True
+        self._service_started_at = now
+
+    def complete_service(self, now: float) -> None:
+        if not (self.alive and self.busy):
+            raise RuntimeError(
+                f"spurious completion at server {self.index} (alive={self.alive})"
+            )
+        self.queue -= 1
+        self.tasks_served += 1
+        self.busy = False
+        self.busy_time += now - self._service_started_at
+
+    def receive(self, size: int) -> None:
+        """A group of tasks lands in the queue (dead servers strand them)."""
+        if size <= 0:
+            raise ValueError(f"group size must be positive, got {size}")
+        if self.alive:
+            self.queue += size
+        else:
+            self.tasks_lost += size
+
+    def fail(self, now: float) -> int:
+        """Permanent failure: the queue (and any in-service task) is lost.
+
+        Returns the number of tasks lost at this instant.
+        """
+        if not self.alive:
+            raise RuntimeError(f"server {self.index} failed twice")
+        self.alive = False
+        self.failed_at = now
+        if self.busy:
+            self.busy_time += now - self._service_started_at
+            self.busy = False
+        lost = self.queue
+        self.queue = 0
+        self.tasks_lost += lost
+        return lost
+
+    def send_away(self, size: int) -> int:
+        """Hand up to ``size`` queued tasks to the network (online DTR).
+
+        The task in service is non-preemptible and never leaves.  Returns
+        how many tasks actually departed.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if not self.alive:
+            raise RuntimeError(f"server {self.index} is dead")
+        sendable = self.queue - (1 if self.busy else 0)
+        actual = min(size, max(sendable, 0))
+        self.queue -= actual
+        return actual
+
+    @property
+    def wants_to_serve(self) -> bool:
+        return self.alive and not self.busy and self.queue > 0

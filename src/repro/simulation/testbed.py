@@ -1,0 +1,193 @@
+"""Emulated testbed — substitute for the paper's Internet testbed (Sec. III-B).
+
+The physical testbed's role in the paper is threefold:
+
+1. produce *finite samples* of service / transfer times, from which
+   distributions are fitted (MLE + histogram selection — Fig. 4(a,b));
+2. run each candidate DTR policy a few hundred times and report the
+   *experimental* service reliability (Fig. 4(c), 500 realizations);
+3. exhibit model mismatch: predictions use the fitted laws while the
+   machine follows reality.
+
+This emulator reproduces all three effects: a **ground-truth model** (by
+default a perturbed copy of the nominal laws — playing the role of reality,
+which never exactly equals the fitted family) generates measurement traces
+and drives the "experimental" runs, while the user-facing characterization
+workflow fits distributions to the finite traces just as the paper does.
+The documented substitution rationale lives in DESIGN.md Sec. 4.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metrics import MCEstimate
+from ..core.policy import ReallocationPolicy
+from ..core.system import DCSModel, HeterogeneousNetwork, NetworkModel
+from ..distributions.base import Distribution
+from ..distributions.fitting import ModelSelection, select_model
+from .dcs import DCSSimulator
+from .estimator import estimate_reliability
+
+__all__ = ["perturb_distribution", "perturb_model", "Characterization", "EmulatedTestbed"]
+
+
+def perturb_distribution(
+    dist: Distribution, rel_scale: float, rng: np.random.Generator
+) -> Distribution:
+    """A 'reality' version of a nominal law: same family, jittered mean.
+
+    The mean is rescaled by ``exp(eps)`` with
+    ``eps ~ N(0, rel_scale^2)`` — real machines never follow the nominal
+    parameters exactly, and this is the mismatch that separates theory from
+    experiment in Fig. 4(c).
+    """
+    if rel_scale < 0:
+        raise ValueError("rel_scale must be non-negative")
+    factor = float(np.exp(rng.normal(0.0, rel_scale)))
+    return _scale_distribution(dist, factor)
+
+
+def _scale_distribution(dist: Distribution, factor: float) -> Distribution:
+    """Scale a distribution's time axis by ``factor`` (family preserved)."""
+    from ..distributions import (
+        Deterministic,
+        Exponential,
+        Pareto,
+        ShiftedExponential,
+        ShiftedGamma,
+        Uniform,
+        Weibull,
+    )
+
+    if isinstance(dist, Exponential):
+        return Exponential(dist.rate / factor)
+    if isinstance(dist, Pareto):
+        return Pareto(dist.alpha, dist.x_m * factor)
+    if isinstance(dist, ShiftedExponential):
+        return ShiftedExponential(dist.shift * factor, dist.rate / factor)
+    if isinstance(dist, ShiftedGamma):
+        return ShiftedGamma(dist.shape, dist.scale * factor, dist.shift * factor)
+    if isinstance(dist, Uniform):
+        return Uniform(dist.lo * factor, dist.hi * factor)
+    if isinstance(dist, Weibull):
+        return Weibull(dist.shape, dist.scale * factor)
+    if isinstance(dist, Deterministic):
+        return Deterministic(dist.value * factor)
+    raise TypeError(f"cannot scale distribution of type {type(dist).__name__}")
+
+
+def perturb_model(
+    model: DCSModel, rel_scale: float, rng: np.random.Generator
+) -> DCSModel:
+    """Perturb every service law of a model (network laws are shared)."""
+    return DCSModel(
+        service=[perturb_distribution(d, rel_scale, rng) for d in model.service],
+        network=model.network,
+        failure=model.failure,
+    )
+
+
+@dataclass
+class Characterization:
+    """Fitted laws + raw traces, as in the paper's Fig. 4(a,b)."""
+
+    service: List[ModelSelection]
+    transfer: Dict[Tuple[int, int], ModelSelection]
+    fn: Dict[Tuple[int, int], ModelSelection]
+    service_samples: List[np.ndarray]
+    transfer_samples: Dict[Tuple[int, int], np.ndarray]
+
+    def fitted_service(self) -> List[Distribution]:
+        return [sel.distribution for sel in self.service]
+
+
+class EmulatedTestbed:
+    """A stand-in for the physical 2-server (or n-server) testbed."""
+
+    def __init__(
+        self,
+        nominal: DCSModel,
+        rng: np.random.Generator,
+        reality_perturbation: float = 0.03,
+    ):
+        """``nominal`` holds the laws the experimenter *believes*; the
+        emulator's ground truth jitters every service law by
+        ``reality_perturbation`` (log-normal mean factor)."""
+        self.nominal = nominal
+        self.truth = perturb_model(nominal, reality_perturbation, rng)
+
+    # ------------------------------------------------------------------
+    # measurement campaign
+    # ------------------------------------------------------------------
+    def measure_service_times(
+        self, server: int, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Timestamped per-task service durations from the real machine."""
+        return np.asarray(self.truth.service[server].sample(rng, n), dtype=float)
+
+    def measure_transfer_times(
+        self, src: int, dst: int, n: int, rng: np.random.Generator, size: int = 1
+    ) -> np.ndarray:
+        dist = self.truth.network.group_transfer(src, dst, size)
+        return np.asarray(dist.sample(rng, n), dtype=float)
+
+    def measure_fn_times(
+        self, src: int, dst: int, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        dist = self.truth.network.failure_notice(src, dst)
+        return np.asarray(dist.sample(rng, n), dtype=float)
+
+    def characterize(
+        self,
+        n_samples: int,
+        rng: np.random.Generator,
+        families: Optional[Sequence[str]] = None,
+        bins: int = 40,
+    ) -> Characterization:
+        """The paper's workflow: sample, fit by MLE, select by histogram TSE."""
+        n_servers = self.truth.n
+        service_sel: List[ModelSelection] = []
+        service_samples: List[np.ndarray] = []
+        for k in range(n_servers):
+            samples = self.measure_service_times(k, n_samples, rng)
+            service_samples.append(samples)
+            service_sel.append(select_model(samples, families=families, bins=bins))
+        transfer_sel: Dict[Tuple[int, int], ModelSelection] = {}
+        transfer_samples: Dict[Tuple[int, int], np.ndarray] = {}
+        fn_sel: Dict[Tuple[int, int], ModelSelection] = {}
+        for i in range(n_servers):
+            for j in range(n_servers):
+                if i == j:
+                    continue
+                samples = self.measure_transfer_times(i, j, n_samples, rng)
+                transfer_samples[(i, j)] = samples
+                transfer_sel[(i, j)] = select_model(
+                    samples, families=families, bins=bins
+                )
+                fn_samples = self.measure_fn_times(i, j, n_samples, rng)
+                fn_sel[(i, j)] = select_model(fn_samples, families=families, bins=bins)
+        return Characterization(
+            service=service_sel,
+            transfer=transfer_sel,
+            fn=fn_sel,
+            service_samples=service_samples,
+            transfer_samples=transfer_samples,
+        )
+
+    # ------------------------------------------------------------------
+    # experiments
+    # ------------------------------------------------------------------
+    def experiment_reliability(
+        self,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        n_runs: int,
+        rng: np.random.Generator,
+    ) -> MCEstimate:
+        """Run the *real* machine ``n_runs`` times (the paper used 500)."""
+        return estimate_reliability(self.truth, loads, policy, n_runs, rng)

@@ -1,0 +1,71 @@
+"""Execution traces: a structured log of everything a run did."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .events import EventKind
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One committed event (events skipped as stale are not recorded)."""
+
+    time: float
+    kind: EventKind
+    payload: Dict[str, Any]
+
+
+class Trace:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: EventKind, **payload) -> None:
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, payload))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, i):
+        return self._records[i]
+
+    def of_kind(self, kind: EventKind) -> List[TraceRecord]:
+        return [r for r in self._records if r.kind == kind]
+
+    def service_times(self, server: Optional[int] = None) -> List[float]:
+        """Observed per-task service durations (for empirical fitting)."""
+        out = []
+        for r in self.of_kind(EventKind.SERVICE_COMPLETE):
+            if server is None or r.payload.get("server") == server:
+                duration = r.payload.get("duration")
+                if duration is not None:
+                    out.append(duration)
+        return out
+
+    def transfer_times(self, src: Optional[int] = None, dst: Optional[int] = None) -> List[float]:
+        """Observed group transfer durations."""
+        out = []
+        for r in self.of_kind(EventKind.GROUP_ARRIVAL):
+            if src is not None and r.payload.get("src") != src:
+                continue
+            if dst is not None and r.payload.get("dst") != dst:
+                continue
+            duration = r.payload.get("duration")
+            if duration is not None:
+                out.append(duration)
+        return out
+
+    def is_monotone(self) -> bool:
+        """Sanity invariant: committed event times never decrease."""
+        times = [r.time for r in self._records]
+        return all(a <= b for a, b in zip(times, times[1:]))

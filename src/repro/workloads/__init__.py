@@ -1,0 +1,38 @@
+"""Model families and the paper's experimental scenarios."""
+
+from .models import MODEL_FAMILIES, PAPER_FAMILIES, ModelFamily, get_family
+from .scenarios import (
+    DELAY_REGIMES,
+    FIVE_SERVER_FAILURE_MEANS,
+    FIVE_SERVER_LOADS,
+    FIVE_SERVER_SERVICE_MEANS,
+    QOS_DEADLINE,
+    TWO_SERVER_FAILURE_MEANS,
+    TWO_SERVER_LOADS,
+    TWO_SERVER_SERVICE_MEANS,
+    DelayRegime,
+    Scenario,
+    five_server_scenario,
+    testbed_scenario,
+    two_server_scenario,
+)
+
+__all__ = [
+    "MODEL_FAMILIES",
+    "PAPER_FAMILIES",
+    "ModelFamily",
+    "get_family",
+    "DELAY_REGIMES",
+    "DelayRegime",
+    "Scenario",
+    "two_server_scenario",
+    "five_server_scenario",
+    "testbed_scenario",
+    "TWO_SERVER_LOADS",
+    "TWO_SERVER_SERVICE_MEANS",
+    "TWO_SERVER_FAILURE_MEANS",
+    "FIVE_SERVER_LOADS",
+    "FIVE_SERVER_SERVICE_MEANS",
+    "FIVE_SERVER_FAILURE_MEANS",
+    "QOS_DEADLINE",
+]

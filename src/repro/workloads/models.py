@@ -1,0 +1,93 @@
+"""The paper's five distribution models (Sec. III-A), as a registry.
+
+"For fair comparison, all distributions modeling the same random times have
+identical means" — every family here is parameterized by its mean only:
+
+* ``exponential``          — the Markovian setting;
+* ``pareto1``              — Pareto with finite variance (``alpha = 2.5``);
+* ``pareto2``              — Pareto with infinite variance (``alpha = 1.5``);
+* ``shifted-exponential``  — minimum delay + memoryless remainder;
+* ``uniform``              — ``U[0, 2 mean]``.
+
+Extras beyond the paper's table (useful for ablations and the testbed):
+``shifted-gamma``, ``weibull``, ``deterministic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..distributions import (
+    Deterministic,
+    Erlang,
+    Hyperexponential,
+    Distribution,
+    Exponential,
+    Pareto,
+    PARETO1_ALPHA,
+    PARETO2_ALPHA,
+    ShiftedExponential,
+    ShiftedGamma,
+    Uniform,
+    Weibull,
+)
+
+__all__ = ["ModelFamily", "MODEL_FAMILIES", "PAPER_FAMILIES", "get_family"]
+
+
+@dataclass(frozen=True)
+class ModelFamily:
+    """A named mean-parameterized distribution factory."""
+
+    name: str
+    make: Callable[[float], Distribution]
+    in_paper: bool = True
+
+    def __call__(self, mean: float) -> Distribution:
+        return self.make(mean)
+
+
+MODEL_FAMILIES: Dict[str, ModelFamily] = {
+    f.name: f
+    for f in [
+        ModelFamily("exponential", Exponential.from_mean),
+        ModelFamily(
+            "pareto1", lambda mean: Pareto.from_mean(mean, PARETO1_ALPHA)
+        ),
+        ModelFamily(
+            "pareto2", lambda mean: Pareto.from_mean(mean, PARETO2_ALPHA)
+        ),
+        ModelFamily("shifted-exponential", ShiftedExponential.from_mean),
+        ModelFamily("uniform", Uniform.from_mean),
+        ModelFamily("shifted-gamma", ShiftedGamma.from_mean, in_paper=False),
+        ModelFamily(
+            "hyperexponential",
+            lambda mean: Hyperexponential.from_mean_and_cv(mean, cv=2.0),
+            in_paper=False,
+        ),
+        ModelFamily("weibull", Weibull.from_mean, in_paper=False),
+        ModelFamily(
+            "erlang", lambda mean: Erlang.from_mean(mean, k=4), in_paper=False
+        ),
+        ModelFamily("deterministic", Deterministic.from_mean, in_paper=False),
+    ]
+}
+
+#: the five families of the paper's evaluation tables, in table order
+PAPER_FAMILIES: List[str] = [
+    "exponential",
+    "pareto1",
+    "pareto2",
+    "shifted-exponential",
+    "uniform",
+]
+
+
+def get_family(name: str) -> ModelFamily:
+    try:
+        return MODEL_FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model family {name!r}; known: {sorted(MODEL_FAMILIES)}"
+        ) from None

@@ -1,0 +1,203 @@
+"""The paper's experimental scenarios, fully parameterized (Sec. III).
+
+Every bench and example builds its DCS from here so the paper's parameters
+live in exactly one place.  Delay-regime calibration is documented in
+DESIGN.md Sec. 4.2; the five-server initial allocation in Sec. 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.system import DCSModel, HeterogeneousNetwork, HomogeneousNetwork
+from ..distributions import Exponential, Pareto, ShiftedGamma
+from .models import ModelFamily, get_family
+
+__all__ = [
+    "DelayRegime",
+    "DELAY_REGIMES",
+    "Scenario",
+    "two_server_scenario",
+    "five_server_scenario",
+    "testbed_scenario",
+    "TWO_SERVER_LOADS",
+    "TWO_SERVER_SERVICE_MEANS",
+    "TWO_SERVER_FAILURE_MEANS",
+    "FIVE_SERVER_LOADS",
+    "FIVE_SERVER_SERVICE_MEANS",
+    "FIVE_SERVER_FAILURE_MEANS",
+    "QOS_DEADLINE",
+]
+
+# ---------------------------------------------------------------------------
+# paper constants (Sec. III-A)
+# ---------------------------------------------------------------------------
+#: two-server workload: m1 = 100 (slow server), m2 = 50 (fast server)
+TWO_SERVER_LOADS: Tuple[int, int] = (100, 50)
+#: mean service times: 2 s (server 1) and 1 s (server 2)
+TWO_SERVER_SERVICE_MEANS: Tuple[float, float] = (2.0, 1.0)
+#: exponential failure means: 1000 s and 500 s
+TWO_SERVER_FAILURE_MEANS: Tuple[float, float] = (1000.0, 500.0)
+#: QoS deadline of Table I / Fig. 3(b)
+QOS_DEADLINE: float = 180.0
+
+#: five-server workload (M = 200; split documented in DESIGN.md Sec. 4.4)
+FIVE_SERVER_LOADS: Tuple[int, ...] = (100, 50, 25, 15, 10)
+#: mean service times 5, 4, 3, 2, 1 s
+FIVE_SERVER_SERVICE_MEANS: Tuple[float, ...] = (5.0, 4.0, 3.0, 2.0, 1.0)
+#: exponential failure means 1000, 800, 600, 500, 400 s
+FIVE_SERVER_FAILURE_MEANS: Tuple[float, ...] = (1000.0, 800.0, 600.0, 500.0, 400.0)
+
+
+@dataclass(frozen=True)
+class DelayRegime:
+    """A network-delay condition of Sec. III-A (calibration: DESIGN.md 4.2)."""
+
+    name: str
+    latency: float
+    per_task: float
+    fn_mean: float
+
+
+DELAY_REGIMES: Dict[str, DelayRegime] = {
+    "low": DelayRegime("low", latency=0.2, per_task=1.0, fn_mean=0.2),
+    "severe": DelayRegime("severe", latency=6.0, per_task=3.0, fn_mean=1.0),
+}
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run experimental configuration."""
+
+    name: str
+    model: DCSModel
+    loads: Tuple[int, ...]
+    family: ModelFamily
+    regime: Optional[DelayRegime] = None
+    deadline: Optional[float] = None
+
+    @property
+    def reliable_model(self) -> DCSModel:
+        """The same scenario with failures switched off (for ``T̄`` / QoS)."""
+        return DCSModel(
+            service=self.model.service, network=self.model.network, failure=None
+        )
+
+
+# ---------------------------------------------------------------------------
+# scenario builders
+# ---------------------------------------------------------------------------
+def two_server_scenario(
+    family: str,
+    delay: str = "low",
+    with_failures: bool = True,
+) -> Scenario:
+    """The 2-server study of Sec. III-A.1 (Figs. 1–3, Table I)."""
+    fam = get_family(family)
+    regime = DELAY_REGIMES[delay]
+    network = HomogeneousNetwork(
+        fam.make,
+        latency=regime.latency,
+        per_task=regime.per_task,
+        fn_mean=regime.fn_mean,
+    )
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(m) for m in TWO_SERVER_FAILURE_MEANS]
+    model = DCSModel(
+        service=[fam.make(m) for m in TWO_SERVER_SERVICE_MEANS],
+        network=network,
+        failure=failure,
+    )
+    return Scenario(
+        name=f"two-server/{family}/{delay}",
+        model=model,
+        loads=TWO_SERVER_LOADS,
+        family=fam,
+        regime=regime,
+        deadline=QOS_DEADLINE,
+    )
+
+
+def five_server_scenario(
+    family: str,
+    delay: str = "severe",
+    with_failures: bool = True,
+) -> Scenario:
+    """The 5-server study of Sec. III-A.2 (Table II)."""
+    fam = get_family(family)
+    regime = DELAY_REGIMES[delay]
+    network = HomogeneousNetwork(
+        fam.make,
+        latency=regime.latency,
+        per_task=regime.per_task,
+        fn_mean=regime.fn_mean,
+    )
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(m) for m in FIVE_SERVER_FAILURE_MEANS]
+    model = DCSModel(
+        service=[fam.make(m) for m in FIVE_SERVER_SERVICE_MEANS],
+        network=network,
+        failure=failure,
+    )
+    return Scenario(
+        name=f"five-server/{family}/{delay}",
+        model=model,
+        loads=FIVE_SERVER_LOADS,
+        family=fam,
+        regime=regime,
+        deadline=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the testbed of Sec. III-B
+# ---------------------------------------------------------------------------
+#: empirically fitted laws of the paper's Internet testbed:
+#: Pareto service with means 4.858 s / 2.357 s; shifted-gamma transfers with
+#: means 1.207 s / 0.803 s (per task); shifted-gamma FN delays 0.313 / 0.145 s
+TESTBED_SERVICE_MEANS = (4.858, 2.357)
+TESTBED_SERVICE_ALPHA = 2.3  # finite-variance Pareto shape for the fits
+TESTBED_TRANSFER_MEANS = {(0, 1): 1.207, (1, 0): 0.803}
+TESTBED_FN_MEANS = {(0, 1): 0.313, (1, 0): 0.145}
+TESTBED_LOADS: Tuple[int, int] = (50, 25)
+TESTBED_FAILURE_MEANS: Tuple[float, float] = (300.0, 150.0)
+
+
+def testbed_scenario(gamma_shape: float = 2.5) -> Scenario:
+    """The 2-server Internet testbed configuration of Sec. III-B.
+
+    Transfer time of a group of ``L`` tasks is shifted-gamma with mean
+    ``fn_mean + per_task_mean * L`` — the FN delay acts as the pure
+    propagation latency of the link, per-task cost from the fitted means.
+    """
+    latency = [[0.0, TESTBED_FN_MEANS[(0, 1)]], [TESTBED_FN_MEANS[(1, 0)], 0.0]]
+    per_task = [
+        [0.0, TESTBED_TRANSFER_MEANS[(0, 1)]],
+        [TESTBED_TRANSFER_MEANS[(1, 0)], 0.0],
+    ]
+    fn = [[1e-6, TESTBED_FN_MEANS[(0, 1)]], [TESTBED_FN_MEANS[(1, 0)], 1e-6]]
+    network = HeterogeneousNetwork(
+        lambda mean: ShiftedGamma.from_mean(mean, shape=gamma_shape),
+        latency=latency,
+        per_task=per_task,
+        fn_mean=fn,
+    )
+    model = DCSModel(
+        service=[
+            Pareto.from_mean(m, TESTBED_SERVICE_ALPHA) for m in TESTBED_SERVICE_MEANS
+        ],
+        network=network,
+        failure=[Exponential.from_mean(m) for m in TESTBED_FAILURE_MEANS],
+    )
+    fam = get_family("pareto1")
+    return Scenario(
+        name="testbed",
+        model=model,
+        loads=TESTBED_LOADS,
+        family=fam,
+        regime=None,
+        deadline=None,
+    )

@@ -1,0 +1,65 @@
+"""Fig. 4 pipeline and the QoS-deadline sweep, at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import qos_deadline_sweep
+from repro.analysis.figures import fig4_data
+from repro.core import ReallocationPolicy
+
+from .test_harness import TINY
+
+
+class TestFig4Pipeline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(77)
+        return fig4_data(
+            rng,
+            n_characterization_samples=800,
+            scale=TINY,
+            reality_perturbation=0.02,
+        )
+
+    def test_reliability_curves_are_probabilities(self, data):
+        for series in (data.theory, data.simulation, data.experiment):
+            assert np.all((series >= 0.0) & (series <= 1.0))
+
+    def test_theory_tracks_simulation(self, data):
+        """Same model underneath: gaps are MC noise only."""
+        gap = np.max(np.abs(data.theory - data.simulation))
+        assert gap < 0.25  # TINY scale has very few replications
+
+    def test_ci_arrays_bracket_estimates(self, data):
+        assert np.all(data.simulation_ci[:, 0] <= data.simulation + 1e-9)
+        assert np.all(data.simulation + 1e-9 >= data.simulation_ci[:, 0])
+        assert np.all(data.experiment_ci[:, 1] >= data.experiment - 1e-9)
+
+    def test_optimum_recorded(self, data):
+        assert 0 <= data.optimal_l12 <= 50
+        assert 0.0 <= data.optimal_reliability <= 1.0
+        assert 0.0 <= data.no_reallocation_reliability <= 1.0
+
+    def test_characterization_attached(self, data):
+        assert len(data.characterization.service) == 2
+        assert data.fitted_model.n == 2
+
+
+class TestQosDeadlineSweep:
+    def test_curve_is_a_cdf(self):
+        deadlines, qos, mean_time = qos_deadline_sweep(
+            policy=ReallocationPolicy.two_server(30, 0), scale=TINY
+        )
+        assert np.all(np.diff(qos) >= -1e-12)
+        assert np.all((qos >= 0.0) & (qos <= 1.0))
+        assert deadlines[0] < mean_time < deadlines[-1]
+
+    def test_custom_deadlines_respected(self):
+        custom = np.array([50.0, 150.0, 400.0])
+        deadlines, qos, _ = qos_deadline_sweep(
+            policy=ReallocationPolicy.two_server(30, 0),
+            deadlines=custom,
+            scale=TINY,
+        )
+        np.testing.assert_array_equal(deadlines, custom)
+        assert qos.shape == (3,)

@@ -1,0 +1,120 @@
+"""Experiment harness: config, figure/table functions at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentScale,
+    current_scale,
+    fig1_series,
+    fig2_series,
+    fig3_surfaces,
+    format_table1,
+    table1_rows,
+)
+from repro.analysis.figures import fitted_model_from_characterization
+from repro.core import Metric
+
+#: a miniature scale so harness tests run in seconds
+TINY = ExperimentScale(
+    name="tiny",
+    sweep_step=25,
+    optimize_step=25,
+    solver_dt=0.25,
+    mc_reps=40,
+    mc_reps_fig4=60,
+    experiment_runs=40,
+    mc_search_candidates=2,
+    algorithm1_k=2,
+)
+
+
+class TestConfig:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "fast"
+
+    def test_full_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        scale = current_scale()
+        assert scale.name == "full"
+        assert scale.mc_reps_fig4 == 10000  # the paper's Fig. 4(c) count
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+class TestFig12:
+    def test_fig1_structure(self):
+        data = fig1_series("low", families=("exponential", "uniform"), scale=TINY)
+        assert set(data.sweeps) == {"exponential", "uniform"}
+        assert data.max_relative_error["exponential"] < 1e-9
+        for sweep in data.sweeps.values():
+            assert sweep.values.shape == data.l12_values.shape
+            assert np.all(sweep.values > 0)
+
+    def test_fig2_values_are_probabilities(self):
+        data = fig2_series("severe", families=("exponential", "uniform"), scale=TINY)
+        for sweep in data.sweeps.values():
+            assert np.all((sweep.values >= 0) & (sweep.values <= 1))
+
+
+class TestFig3:
+    def test_surfaces_and_headline_numbers(self):
+        data = fig3_surfaces(scale=TINY)
+        assert data.avg_time.shape == (
+            data.l12_values.size,
+            data.l21_values.size,
+        )
+        assert np.isfinite(data.avg_time).all()
+        assert 0.0 <= data.best_qos_value <= 1.0
+        assert data.best_time_policy[0] in data.l12_values
+        assert (data.best_time_policy[0], data.best_time_policy[1]) in [
+            (int(a), int(b))
+            for a in data.l12_values
+            for b in data.l21_values
+        ]
+        assert 0.0 <= data.qos_at_min_time_deadline <= 1.0
+
+
+class TestTable1:
+    def test_rows_and_formatting(self):
+        rows = table1_rows(
+            families=("exponential", "uniform"), delays=("severe",), scale=TINY
+        )
+        assert len(rows) == 2
+        exp_row = next(r for r in rows if r.family == "exponential")
+        # the Markovian policy IS optimal for the exponential model
+        assert exp_row.time_degradation_pct == pytest.approx(0.0, abs=0.5)
+        assert exp_row.qos_degradation_pct == pytest.approx(0.0, abs=0.5)
+        text = format_table1(rows)
+        assert "exponential" in text and "uniform" in text
+
+    def test_optimum_dominates_markov_policy(self):
+        rows = table1_rows(families=("pareto2",), delays=("severe",), scale=TINY)
+        (row,) = rows
+        assert row.time_value <= row.time_value_under_markov_policy + 1e-9
+        assert row.qos_value >= row.qos_value_under_markov_policy - 1e-9
+
+
+class TestFittedModel:
+    def test_fitted_model_roundtrip(self, rng):
+        from repro.simulation import EmulatedTestbed
+        from repro.workloads import testbed_scenario
+
+        nominal = testbed_scenario().model
+        tb = EmulatedTestbed(nominal, rng, reality_perturbation=0.0)
+        char = tb.characterize(
+            1500, rng, families=("pareto", "shifted-gamma", "exponential")
+        )
+        fitted = fitted_model_from_characterization(char, nominal)
+        assert fitted.n == 2
+        # recovered means stay close to nominal when reality is unperturbed
+        for fit, nom in zip(fitted.service, nominal.service):
+            assert fit.mean() == pytest.approx(nom.mean(), rel=0.25)
+        z = fitted.network.group_transfer(0, 1, 10)
+        nominal_z = nominal.network.group_transfer(0, 1, 10)
+        assert z.mean() == pytest.approx(nominal_z.mean(), rel=0.3)
+        assert fitted.failure is nominal.failure

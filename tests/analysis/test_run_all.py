@@ -1,0 +1,47 @@
+"""The run-all report harness (subset smoke at tiny scale)."""
+
+import pathlib
+
+import pytest
+
+import repro.analysis.run_all as run_all_mod
+from repro.analysis.run_all import main
+
+from .test_harness import TINY
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(run_all_mod, "current_scale", lambda: TINY)
+    # figure functions read the scale via their argument, which run_all passes
+    return TINY
+
+
+class TestRunAll:
+    def test_fig1_subset(self, tiny_scale, capsys):
+        code = main(["--only", "fig1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 1 (low)" in out
+        assert "Fig. 1 (severe)" in out
+        assert "max relative error" in out
+
+    def test_fig3_and_table1(self, tiny_scale, capsys):
+        code = main(["--only", "fig3", "table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 3(a)" in out
+        assert "Table I" in out
+        assert "paper: 140.11s" in out
+
+    def test_output_file(self, tiny_scale, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code = main(["--only", "fig1", "--out", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "# Experiment harness" in text
+        assert "Fig. 1" in text
+
+    def test_rejects_unknown_experiment(self, tiny_scale):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig9"])

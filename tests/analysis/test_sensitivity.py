@@ -1,0 +1,107 @@
+"""Sensitivity analysis: signs, magnitudes, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import metric_sensitivities
+from repro.core import Metric, ReallocationPolicy
+
+from ..conftest import small_exp_model
+
+
+def rows_by_name(rows):
+    return {r.parameter: r for r in rows}
+
+
+class TestAvgTimeSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        model = small_exp_model()
+        return rows_by_name(
+            metric_sensitivities(
+                model,
+                [8, 4],
+                ReallocationPolicy.two_server(2, 0),
+                Metric.AVG_EXECUTION_TIME,
+                dt=0.02,
+            )
+        )
+
+    def test_slower_service_increases_time(self, rows):
+        assert rows["service_mean[0]"].derivative > 0
+        assert rows["service_mean[1]"].derivative > 0
+
+    def test_bottleneck_server_dominates(self, rows):
+        """Server 1 holds most work: its speed matters more."""
+        assert (
+            rows["service_mean[0]"].elasticity
+            > rows["service_mean[1]"].elasticity
+        )
+
+    def test_network_delay_hurts(self, rows):
+        assert rows["network_delay_scale"].derivative >= 0
+
+    def test_elasticities_sum_near_one(self, rows):
+        """T̄ is (nearly) homogeneous of degree 1 in all time scales."""
+        total = sum(r.elasticity for r in rows.values())
+        assert total == pytest.approx(1.0, abs=0.1)
+
+
+class TestReliabilitySensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        model = small_exp_model(with_failures=True)
+        return rows_by_name(
+            metric_sensitivities(
+                model,
+                [8, 4],
+                ReallocationPolicy.two_server(2, 0),
+                Metric.RELIABILITY,
+                dt=0.02,
+            )
+        )
+
+    def test_longer_mttf_improves_reliability(self, rows):
+        assert rows["failure_mean[0]"].derivative > 0
+        assert rows["failure_mean[1]"].derivative > 0
+
+    def test_slower_service_hurts_reliability(self, rows):
+        assert rows["service_mean[0]"].derivative < 0
+
+    def test_metric_values_stay_probabilities(self, rows):
+        for r in rows.values():
+            assert 0.0 <= r.metric_minus <= 1.0
+            assert 0.0 <= r.metric_plus <= 1.0
+
+
+class TestValidation:
+    def test_qos_needs_deadline(self):
+        with pytest.raises(ValueError):
+            metric_sensitivities(
+                small_exp_model(), [2, 2], ReallocationPolicy.none(2), Metric.QOS
+            )
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            metric_sensitivities(
+                small_exp_model(),
+                [2, 2],
+                ReallocationPolicy.none(2),
+                Metric.AVG_EXECUTION_TIME,
+                rel_step=1.5,
+            )
+
+    def test_qos_sensitivity_runs(self):
+        rows = metric_sensitivities(
+            small_exp_model(),
+            [4, 2],
+            ReallocationPolicy.none(2),
+            Metric.QOS,
+            deadline=10.0,
+            dt=0.05,
+        )
+        names = {r.parameter for r in rows}
+        assert "service_mean[0]" in names
+        assert "network_delay_scale" in names

@@ -1,0 +1,75 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import histogram_chart, line_chart, surface_chart
+
+
+class TestLineChart:
+    def test_renders_series_and_legend(self):
+        x = np.arange(10)
+        out = line_chart(x, {"a": x * 1.0, "b": 9.0 - x}, title="T")
+        assert "T" in out
+        assert "legend: o a   x b" in out
+
+    def test_handles_nan_values(self):
+        x = np.arange(5)
+        y = np.array([1.0, np.nan, 3.0, np.inf, 5.0])
+        out = line_chart(x, {"a": y})
+        assert "legend" in out
+
+    def test_all_nan_graceful(self):
+        out = line_chart([0, 1], {"a": [np.nan, np.nan]}, title="X")
+        assert "no finite data" in out
+
+    def test_constant_series(self):
+        out = line_chart([0, 1, 2], {"a": [2.0, 2.0, 2.0]})
+        assert "o" in out
+
+    def test_axis_labels(self):
+        out = line_chart([0, 1], {"a": [0, 1]}, xlabel="L12", ylabel="R")
+        assert "L12" in out
+        assert "[y: R]" in out
+
+
+class TestHistogramChart:
+    def test_bars_scale_with_density(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        out = histogram_chart(edges, [0.5, 1.0], title="H")
+        lines = out.splitlines()
+        assert "H" == lines[0]
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_overlay_markers_present(self):
+        edges = np.linspace(0, 5, 6)
+        dens = np.array([0.1, 0.4, 0.3, 0.15, 0.05])
+        out = histogram_chart(edges, dens, overlay={"fit": dens * 0.9})
+        assert "overlay: o fit" in out
+
+    def test_zero_density_handled(self):
+        edges = np.array([0.0, 1.0])
+        out = histogram_chart(edges, [0.0])
+        assert "|" in out
+
+
+class TestSurfaceChart:
+    def test_marks_best_cell(self):
+        vals = np.array([[3.0, 2.0], [1.0, 4.0]])
+        out = surface_chart(vals, [0, 10], [0, 5], best="min")
+        assert "X" in out
+        assert "(L12=10, L21=0)" in out
+
+    def test_max_mode(self):
+        vals = np.array([[0.1, 0.9], [0.5, 0.2]])
+        out = surface_chart(vals, [0, 1], [0, 1], best="max")
+        assert "(L12=0, L21=1)" in out
+
+    def test_nan_cells_rendered_as_question(self):
+        vals = np.array([[1.0, np.nan], [2.0, 3.0]])
+        out = surface_chart(vals, [0, 1], [0, 1])
+        assert "?" in out
+
+    def test_all_nan_graceful(self):
+        vals = np.full((2, 2), np.nan)
+        assert "no finite data" in surface_chart(vals, [0, 1], [0, 1], title="S")

@@ -1,0 +1,67 @@
+"""Utilization measurement (the paper's resource-efficiency discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import UtilizationReport, measure_utilization
+from repro.core import ReallocationPolicy
+
+from ..conftest import small_exp_model
+
+
+class TestReport:
+    def test_utilization_fractions(self):
+        report = UtilizationReport(
+            mean_busy_time=np.array([8.0, 4.0]),
+            mean_completion_time=10.0,
+            n_runs=5,
+        )
+        np.testing.assert_allclose(report.utilization, [0.8, 0.4])
+        assert report.imbalance == pytest.approx(2.0)
+
+    def test_idle_server_infinite_imbalance(self):
+        report = UtilizationReport(
+            mean_busy_time=np.array([8.0, 0.0]),
+            mean_completion_time=10.0,
+            n_runs=5,
+        )
+        assert report.imbalance == np.inf
+
+    def test_empty_system_balanced(self):
+        report = UtilizationReport(
+            mean_busy_time=np.zeros(2), mean_completion_time=0.0, n_runs=1
+        )
+        assert report.imbalance == 1.0
+        np.testing.assert_allclose(report.utilization, [0.0, 0.0])
+
+
+class TestMeasurement:
+    def test_basic_measurement(self, rng):
+        model = small_exp_model()
+        report = measure_utilization(
+            model, [10, 5], ReallocationPolicy.two_server(3, 0), 50, rng
+        )
+        assert report.n_runs == 50
+        assert report.mean_completion_time > 0
+        assert np.all(report.mean_busy_time > 0)
+        assert np.all(report.utilization <= 1.0 + 1e-9)
+
+    def test_busy_time_tracks_work_done(self, rng):
+        """Expected busy time = tasks x mean service per server."""
+        model = small_exp_model()
+        report = measure_utilization(
+            model, [10, 5], ReallocationPolicy.none(2), 400, rng
+        )
+        assert report.mean_busy_time[0] == pytest.approx(20.0, rel=0.1)
+        assert report.mean_busy_time[1] == pytest.approx(5.0, rel=0.1)
+
+    def test_rejects_failing_model(self, rng):
+        model = small_exp_model(with_failures=True)
+        with pytest.raises(ValueError):
+            measure_utilization(model, [2, 2], ReallocationPolicy.none(2), 5, rng)
+
+    def test_rejects_zero_runs(self, rng):
+        with pytest.raises(ValueError):
+            measure_utilization(
+                small_exp_model(), [2, 2], ReallocationPolicy.none(2), 0, rng
+            )

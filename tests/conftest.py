@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.system import DCSModel, HomogeneousNetwork, ZeroDelayNetwork
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Pareto,
+    ShiftedExponential,
+    ShiftedGamma,
+    Uniform,
+    Weibull,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+#: one representative of every continuous family, mean 2.0 (for generic tests)
+ALL_FAMILIES_MEAN2 = [
+    Exponential.from_mean(2.0),
+    Pareto.from_mean(2.0, 2.5),
+    Pareto.from_mean(2.0, 1.5),
+    ShiftedExponential.from_mean(2.0),
+    ShiftedGamma.from_mean(2.0),
+    Uniform.from_mean(2.0),
+    Weibull.from_mean(2.0),
+]
+
+ALL_DISTRIBUTIONS_MEAN2 = ALL_FAMILIES_MEAN2 + [Deterministic(2.0)]
+
+
+def exp_network(latency: float = 0.2, per_task: float = 1.0, fn_mean: float = 0.2):
+    """A small exponential network for Markovian cross-checks."""
+    return HomogeneousNetwork(
+        Exponential.from_mean, latency=latency, per_task=per_task, fn_mean=fn_mean
+    )
+
+
+def small_exp_model(with_failures: bool = False) -> DCSModel:
+    """2 servers, exponential everything — exactly solvable by recursion."""
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(20.0), Exponential.from_mean(10.0)]
+    return DCSModel(
+        service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+        network=exp_network(),
+        failure=failure,
+    )

@@ -1,0 +1,192 @@
+"""Algorithm 1 — the scalable multi-server DTR heuristic (paper Sec. II-E)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Algorithm1,
+    DCSModel,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+)
+from repro.core.algorithm1 import _multires_argbest, criterion_vector, seed_policy
+from repro.distributions import Exponential
+
+from ..conftest import exp_network
+
+
+def three_server_model(with_failures=False):
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(m) for m in (100.0, 50.0, 25.0)]
+    return DCSModel(
+        service=[Exponential.from_mean(m) for m in (3.0, 2.0, 1.0)],
+        network=exp_network(),
+        failure=failure,
+    )
+
+
+class TestCriterionVector:
+    def test_speed(self):
+        lam = criterion_vector(three_server_model(), "speed")
+        np.testing.assert_allclose(lam, [1 / 3, 1 / 2, 1.0])
+
+    def test_reliability(self):
+        lam = criterion_vector(three_server_model(with_failures=True), "reliability")
+        np.testing.assert_allclose(lam, [100.0, 50.0, 25.0])
+
+    def test_reliability_caps_reliable_servers(self):
+        model = DCSModel(
+            service=[Exponential(1.0)] * 2,
+            network=exp_network(),
+            failure=[None, Exponential.from_mean(10.0)],
+        )
+        lam = criterion_vector(model, "reliability")
+        assert lam[0] == pytest.approx(100.0)  # capped at 10x max finite MTTF
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            criterion_vector(three_server_model(), "bogus")
+
+
+class TestSeedPolicy:
+    def test_balances_toward_fast_servers(self):
+        lam = np.array([1.0, 1.0, 2.0])
+        seed = seed_policy([40, 0, 0], lam)
+        # fair shares: 10, 10, 20 -> server 0 has 30 excess
+        assert seed[0, 1] + seed[0, 2] <= 30
+        assert seed[0, 2] >= seed[0, 1]  # bigger deficit gets more
+        assert seed[1].sum() == 0 and seed[2].sum() == 0
+
+    def test_balanced_load_needs_no_moves(self):
+        lam = np.array([1.0, 1.0])
+        seed = seed_policy([10, 10], lam)
+        assert seed.sum() == 0
+
+    def test_never_oversends(self):
+        lam = np.array([5.0, 1.0, 1.0])
+        loads = [3, 30, 7]
+        seed = seed_policy(loads, lam)
+        assert (seed.sum(axis=1) <= np.asarray(loads)).all()
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            seed_policy([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            seed_policy([1, 2], [1.0, -1.0])
+
+
+class TestMultiresSearch:
+    def test_finds_unimodal_minimum(self):
+        calls = []
+
+        def f(x):
+            calls.append(x)
+            return (x - 37) ** 2
+
+        best = _multires_argbest(f, 0, 100, lambda a, b: a < b)
+        assert best == 37
+        assert len(set(calls)) < 50  # far fewer evaluations than exhaustive
+
+    def test_small_range_exhaustive(self):
+        best = _multires_argbest(lambda x: -x, 0, 5, lambda a, b: a < b)
+        assert best == 5
+
+    def test_single_point(self):
+        assert _multires_argbest(lambda x: x, 3, 3, lambda a, b: a < b) == 3
+
+
+class TestAlgorithm1:
+    def test_two_server_matches_dedicated_optimizer(self):
+        """With n=2 and L21=0 flows, Algorithm 1 reduces to problem (3)."""
+        model = DCSModel(
+            service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+            network=exp_network(),
+        )
+        loads = [20, 4]
+        algo = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.02)
+        res = algo.run(loads)
+        solver = TransformSolver.for_workload(model, [24, 24], dt=0.02)
+        direct = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, loads, step=1
+        )
+        # same transfer up to the search tolerance of the 1-D scan
+        assert abs(res.policy[0, 1] - direct.policy[0, 1]) <= 2
+
+    def test_converges_and_reports_history(self):
+        model = three_server_model()
+        algo = Algorithm1(model, Metric.AVG_EXECUTION_TIME, max_iterations=8, dt=0.05)
+        res = algo.run([30, 5, 2])
+        assert res.converged
+        assert res.iterations <= 8
+        assert len(res.history) == res.iterations + 1
+        np.testing.assert_array_equal(res.history[-1], res.policy.matrix)
+
+    def test_policy_is_feasible(self):
+        model = three_server_model()
+        loads = [30, 5, 2]
+        res = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05).run(loads)
+        res.policy.validate_against(loads)
+
+    def test_idle_servers_receive_work(self):
+        model = three_server_model()
+        res = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05).run([30, 0, 0])
+        assert res.policy.inflow(1) > 0
+        assert res.policy.inflow(2) > 0
+
+    def test_balanced_system_stays_put(self):
+        model = DCSModel(
+            service=[Exponential(1.0)] * 3,
+            network=exp_network(),
+        )
+        res = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05).run([10, 10, 10])
+        assert res.policy.matrix.sum() == 0
+
+    def test_estimates_shape_validation(self):
+        model = three_server_model()
+        algo = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05)
+        with pytest.raises(ValueError):
+            algo.run([10, 10, 10], estimates=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            algo.run([10, 10])
+
+    def test_inflated_estimates_shrink_transfers(self):
+        """If everyone believes the fast server is loaded, they send less."""
+        model = three_server_model()
+        loads = [30, 5, 2]
+        honest = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05).run(loads)
+        lies = np.tile(np.asarray(loads), (3, 1))
+        lies[:, 2] = 60  # everyone thinks server 2 is swamped
+        np.fill_diagonal(lies, loads)
+        deceived = Algorithm1(model, Metric.AVG_EXECUTION_TIME, dt=0.05).run(
+            loads, estimates=lies
+        )
+        assert deceived.policy.inflow(2) < honest.policy.inflow(2)
+
+    def test_qos_requires_deadline(self):
+        with pytest.raises(ValueError):
+            Algorithm1(three_server_model(), Metric.QOS)
+
+    def test_reliability_metric_runs(self):
+        model = three_server_model(with_failures=True)
+        res = Algorithm1(
+            model, Metric.RELIABILITY, max_iterations=4, dt=0.05
+        ).run([30, 5, 2], criterion="reliability")
+        res.policy.validate_against([30, 5, 2])
+
+    def test_exhaustive_2d_pair_search(self):
+        model = three_server_model()
+        res = Algorithm1(
+            model,
+            Metric.AVG_EXECUTION_TIME,
+            dt=0.05,
+            pair_search="exhaustive-2d",
+            max_iterations=2,
+        ).run([12, 3, 1])
+        res.policy.validate_against([12, 3, 1])
+
+    def test_unknown_pair_search_rejected(self):
+        with pytest.raises(ValueError):
+            Algorithm1(three_server_model(), Metric.AVG_EXECUTION_TIME, pair_search="x")

@@ -1,0 +1,90 @@
+"""Baseline policies: proportional, water-filling, all-to-fastest."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, Metric, TransformSolver
+from repro.core.baselines import (
+    all_to_fastest,
+    no_action,
+    proportional_policy,
+    water_filling_policy,
+)
+from repro.distributions import Exponential
+
+from ..conftest import exp_network, small_exp_model
+
+
+class TestNoAction:
+    def test_moves_nothing(self):
+        assert no_action(3).matrix.sum() == 0
+
+
+class TestProportional:
+    def test_totals_conserved_exactly(self):
+        policy = proportional_policy([17, 3, 0], [1.0, 2.0, 3.0])
+        final = policy.residual_loads([17, 3, 0]) + [
+            policy.inflow(j) for j in range(3)
+        ]
+        assert final.sum() == 20
+
+    def test_allocation_follows_weights(self):
+        policy = proportional_policy([30, 0, 0], [1.0, 1.0, 2.0])
+        final = policy.residual_loads([30, 0, 0]) + [
+            policy.inflow(j) for j in range(3)
+        ]
+        assert abs(int(final[2]) - 15) <= 1
+        assert abs(int(final[0]) - 7) <= 1
+
+    def test_largest_remainder_rounding(self):
+        """7 tasks over 2 equal servers: 4 + 3, never 3 + 3 or 4 + 4."""
+        policy = proportional_policy([7, 0], [1.0, 1.0])
+        final = policy.residual_loads([7, 0]) + [policy.inflow(j) for j in range(2)]
+        assert sorted(int(x) for x in final) == [3, 4]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            proportional_policy([5, 5], [1.0])
+        with pytest.raises(ValueError):
+            proportional_policy([5, 5], [1.0, 0.0])
+
+
+class TestWaterFilling:
+    def test_balances_expected_completion(self):
+        model = small_exp_model()  # means 2 and 1 -> speeds 0.5, 1.0
+        policy = water_filling_policy([30, 0], model)
+        final = policy.residual_loads([30, 0]) + [policy.inflow(j) for j in range(2)]
+        # allocation ratio should match the speed ratio 1:2
+        assert int(final[0]) == 10
+        assert int(final[1]) == 20
+
+    def test_beats_no_action_when_transfers_cheap(self):
+        model = DCSModel(
+            service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+            network=exp_network(latency=0.01, per_task=0.01),
+        )
+        solver = TransformSolver.for_workload(model, [30, 0], dt=0.02)
+        wf = solver.average_execution_time([30, 0], water_filling_policy([30, 0], model))
+        nothing = solver.average_execution_time([30, 0], no_action(2))
+        assert wf < 0.6 * nothing
+
+
+class TestAllToFastest:
+    def test_targets_fastest_server(self):
+        model = small_exp_model()
+        policy = all_to_fastest([10, 5], model)
+        final = policy.residual_loads([10, 5]) + [policy.inflow(j) for j in range(2)]
+        assert list(final) == [0, 15]
+
+    def test_is_bad_under_severe_delay(self):
+        """Sanity of the 'deliberately bad' label: severe transfers hurt."""
+        from repro.workloads import two_server_scenario
+
+        sc = two_server_scenario("pareto1", delay="severe", with_failures=False)
+        loads = [20, 10]
+        solver = TransformSolver.for_workload(sc.model, loads, dt=0.05)
+        greedy = solver.average_execution_time(
+            loads, all_to_fastest(loads, sc.model)
+        )
+        nothing = solver.average_execution_time(loads, no_action(2))
+        assert greedy > 0.9 * nothing  # shipping everything is not a free win

@@ -1,0 +1,172 @@
+"""Multi-group servers: exact 2-batch evaluation and the merge bounds.
+
+This realizes the paper's future-work item — "approximations and bounds ...
+by assuming that all the tasks reallocated to a server arrive ... as a
+single batch" — plus an exact order-conditioned evaluator for two batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+)
+from repro.core.policy import Transfer
+from repro.distributions import Exponential, Pareto, Uniform
+from repro.simulation import estimate_metric
+
+from ..conftest import exp_network
+
+
+def three_server_model(family=Exponential.from_mean):
+    net = HomogeneousNetwork(family, latency=0.2, per_task=1.0, fn_mean=0.2)
+    return DCSModel(
+        service=[family(1.0), family(1.0), family(2.0)], network=net
+    )
+
+
+TWO_BATCH_POLICY = ReallocationPolicy.from_transfers(
+    3, [Transfer(0, 2, 4), Transfer(1, 2, 3)]
+)
+LOADS = [10, 8, 0]
+
+
+def solver_with(mode, model=None, dt=0.02):
+    model = model or three_server_model()
+    return TransformSolver.for_workload(model, LOADS, dt=dt, batch_mode=mode)
+
+
+class TestOrderingOfModes:
+    def test_bounds_sandwich_exact(self):
+        lo = solver_with("merge-min").average_execution_time(LOADS, TWO_BATCH_POLICY)
+        exact = solver_with("exact2").average_execution_time(LOADS, TWO_BATCH_POLICY)
+        hi = solver_with("merge-max").average_execution_time(LOADS, TWO_BATCH_POLICY)
+        assert lo <= exact <= hi
+
+    def test_exact2_matches_monte_carlo(self, rng):
+        model = three_server_model()
+        exact = solver_with("exact2", model).average_execution_time(
+            LOADS, TWO_BATCH_POLICY
+        )
+        mc = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, model, LOADS, TWO_BATCH_POLICY, 8000, rng
+        )
+        assert abs(exact - mc.value) < 3 * mc.half_width + 0.02
+
+    def test_exact2_matches_mc_heavy_tails(self, rng):
+        model = three_server_model(lambda m: Pareto.from_mean(m, 2.5))
+        exact = TransformSolver.for_workload(
+            model, LOADS, dt=0.02, batch_mode="exact2"
+        ).average_execution_time(LOADS, TWO_BATCH_POLICY)
+        mc = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, model, LOADS, TWO_BATCH_POLICY, 8000, rng
+        )
+        assert abs(exact - mc.value) < 3 * mc.half_width + 0.03 * exact
+
+    def test_qos_bounds_bracket_exact(self):
+        deadline = 12.0
+        lo_solver = solver_with("merge-max")  # later arrivals => lower QoS
+        hi_solver = solver_with("merge-min")
+        mid_solver = solver_with("exact2")
+        q_lo = lo_solver.qos(LOADS, TWO_BATCH_POLICY, deadline)
+        q_mid = mid_solver.qos(LOADS, TWO_BATCH_POLICY, deadline)
+        q_hi = hi_solver.qos(LOADS, TWO_BATCH_POLICY, deadline)
+        assert q_lo - 1e-9 <= q_mid <= q_hi + 1e-9
+
+
+class TestModeDispatch:
+    def test_auto_uses_exact2_for_two_batches(self, rng):
+        model = three_server_model()
+        auto = TransformSolver.for_workload(model, LOADS, dt=0.02)
+        exact = solver_with("exact2", model)
+        assert auto.average_execution_time(
+            LOADS, TWO_BATCH_POLICY
+        ) == pytest.approx(
+            exact.average_execution_time(LOADS, TWO_BATCH_POLICY), rel=1e-9
+        )
+
+    def test_exact2_rejects_three_batches(self):
+        net = exp_network()
+        model = DCSModel(service=[Exponential(1.0)] * 4, network=net)
+        policy = ReallocationPolicy.from_transfers(
+            4, [Transfer(0, 3, 2), Transfer(1, 3, 2), Transfer(2, 3, 2)]
+        )
+        solver = TransformSolver.for_workload(
+            model, [4, 4, 4, 0], dt=0.05, batch_mode="exact2"
+        )
+        with pytest.raises(ValueError, match="at most two"):
+            solver.average_execution_time([4, 4, 4, 0], policy)
+
+    def test_auto_falls_back_to_merge_for_three(self):
+        net = exp_network()
+        model = DCSModel(service=[Exponential(1.0)] * 4, network=net)
+        policy = ReallocationPolicy.from_transfers(
+            4, [Transfer(0, 3, 2), Transfer(1, 3, 2), Transfer(2, 3, 2)]
+        )
+        solver = TransformSolver.for_workload(model, [4, 4, 4, 0], dt=0.05)
+        value = solver.average_execution_time([4, 4, 4, 0], policy)
+        assert np.isfinite(value) and value > 0
+
+    def test_single_batch_unaffected_by_mode(self):
+        model = three_server_model()
+        policy = ReallocationPolicy.from_transfers(3, [Transfer(0, 2, 4)])
+        values = {
+            mode: TransformSolver.for_workload(
+                model, LOADS, dt=0.02, batch_mode=mode
+            ).average_execution_time(LOADS, policy)
+            for mode in ("auto", "exact", "exact2", "merge-max", "merge-min")
+        }
+        baseline = values["exact"]
+        for mode, v in values.items():
+            assert v == pytest.approx(baseline, rel=1e-12), mode
+
+
+class TestGridMassMoments:
+    """The var/quantile additions that back the exact2 validation."""
+
+    def test_variance_of_exponential(self):
+        from repro.distributions import Grid, from_distribution
+
+        g = Grid(dt=0.005, n=8000)
+        m = from_distribution(Exponential(1.0), g)
+        assert m.var() == pytest.approx(1.0, rel=0.01)
+
+    def test_variance_of_uniform(self):
+        from repro.distributions import Grid, from_distribution
+
+        g = Grid(dt=0.005, n=1000)
+        m = from_distribution(Uniform(0.0, 2.0), g)
+        assert m.var() == pytest.approx(4.0 / 12.0, rel=0.01)
+
+    def test_quantile_inverts_cdf(self):
+        from repro.distributions import Grid, from_distribution
+
+        g = Grid(dt=0.005, n=8000)
+        m = from_distribution(Exponential(1.0), g)
+        assert m.quantile(0.5) == pytest.approx(np.log(2.0), abs=0.01)
+        assert m.quantile(0.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_quantile_in_escaped_tail_is_inf(self):
+        from repro.distributions import Grid, from_distribution
+
+        g = Grid(dt=0.1, n=20)  # horizon ~2, mean 5
+        m = from_distribution(Exponential(0.2), g)
+        assert m.quantile(0.99) == np.inf
+
+    def test_quantile_rejects_bad_level(self):
+        from repro.distributions import Grid, from_distribution
+
+        m = from_distribution(Exponential(1.0), Grid(dt=0.01, n=100))
+        with pytest.raises(ValueError):
+            m.quantile(1.2)
+
+    def test_infinite_variance_detected(self):
+        from repro.distributions import Grid, from_distribution
+
+        g = Grid(dt=0.01, n=5000)
+        m = from_distribution(Pareto.from_mean(1.0, 1.5), g)
+        assert m.var() == np.inf

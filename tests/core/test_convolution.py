@@ -1,0 +1,229 @@
+"""The transform (grid-convolution) solver — closed forms and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    ZeroDelayNetwork,
+)
+from repro.core.convolution import ServerAssignment
+from repro.core.policy import Transfer
+from repro.distributions import Deterministic, Exponential, Grid, Uniform
+
+from ..conftest import exp_network, small_exp_model
+
+
+def det_model(values=(2.0, 1.0), transfer_latency=1.0, per_task=0.5):
+    """Deterministic clocks: every metric has an arithmetic closed form."""
+    net = HomogeneousNetwork(
+        Deterministic.from_mean, latency=transfer_latency, per_task=per_task, fn_mean=0.1
+    )
+    return DCSModel(service=[Deterministic(v) for v in values], network=net)
+
+
+class TestDeterministicClosedForms:
+    """With point-mass clocks the solver must produce exact arithmetic."""
+
+    def test_no_transfer(self):
+        solver = TransformSolver(det_model(), Grid(dt=0.01, n=4000))
+        value = solver.average_execution_time([5, 3], ReallocationPolicy.none(2))
+        # max(5*2, 3*1) = 10
+        assert value == pytest.approx(10.0, abs=0.02)
+
+    def test_transfer_arriving_after_queue_drains(self):
+        solver = TransformSolver(det_model(), Grid(dt=0.01, n=4000))
+        # server 2: 3 own tasks (3 s) , batch of 2 arrives at 1 + 0.5*2 = 2 s,
+        # finishes at max(3, 2) + 2 = 5; server 1: 3 tasks * 2 = 6
+        value = solver.average_execution_time(
+            [5, 3], ReallocationPolicy.two_server(2, 0)
+        )
+        assert value == pytest.approx(6.0, abs=0.02)
+
+    def test_transfer_arriving_at_idle_server(self):
+        solver = TransformSolver(det_model(), Grid(dt=0.01, n=4000))
+        # server 2 idle: batch of 4 arrives at 1 + 2 = 3, serves 4 -> 7
+        # server 1 keeps 1 task -> 2
+        value = solver.average_execution_time(
+            [5, 0], ReallocationPolicy.two_server(4, 0)
+        )
+        assert value == pytest.approx(7.0, abs=0.02)
+
+    def test_qos_is_step_function(self):
+        solver = TransformSolver(det_model(), Grid(dt=0.01, n=4000))
+        pol = ReallocationPolicy.none(2)
+        assert solver.qos([5, 3], pol, 9.8) == pytest.approx(0.0, abs=1e-6)
+        assert solver.qos([5, 3], pol, 10.2) == pytest.approx(1.0, abs=1e-6)
+
+    def test_deterministic_failure_race(self):
+        net = ZeroDelayNetwork()
+        model = DCSModel(
+            service=[Deterministic(1.0)],
+            network=net,
+            failure=[Deterministic(3.5)],
+        )
+        solver = TransformSolver(model, Grid(dt=0.01, n=1000))
+        # 3 tasks take 3.0 < 3.5: reliable; 4 tasks take 4.0 > 3.5: doomed
+        assert solver.reliability([3], ReallocationPolicy.none(1)) == pytest.approx(
+            1.0, abs=1e-6
+        )
+        assert solver.reliability([4], ReallocationPolicy.none(1)) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestExponentialClosedForms:
+    def test_single_server_erlang_mean(self):
+        model = DCSModel(service=[Exponential(2.0)], network=ZeroDelayNetwork())
+        solver = TransformSolver.for_workload(model, [6], dt=0.005)
+        value = solver.average_execution_time([6], ReallocationPolicy.none(1))
+        assert value == pytest.approx(3.0, rel=2e-3)
+
+    def test_single_server_reliability(self):
+        model = DCSModel(
+            service=[Exponential(2.0)],
+            network=ZeroDelayNetwork(),
+            failure=[Exponential(0.1)],
+        )
+        solver = TransformSolver.for_workload(model, [4], dt=0.005)
+        value = solver.reliability([4], ReallocationPolicy.none(1))
+        assert value == pytest.approx((2.0 / 2.1) ** 4, rel=2e-3)
+
+    def test_qos_erlang_cdf(self):
+        from scipy import stats
+
+        model = DCSModel(service=[Exponential(2.0)], network=ZeroDelayNetwork())
+        solver = TransformSolver.for_workload(model, [5], dt=0.005)
+        value = solver.qos([5], ReallocationPolicy.none(1), 3.0)
+        assert value == pytest.approx(float(stats.gamma.cdf(3.0, 5, scale=0.5)), abs=2e-3)
+
+
+class TestInvariants:
+    @pytest.fixture
+    def solver(self):
+        return TransformSolver.for_workload(small_exp_model(), [12, 8], dt=0.01)
+
+    def test_empty_workload_zero_time(self, solver):
+        assert solver.average_execution_time([0, 0], ReallocationPolicy.none(2)) == 0.0
+        assert solver.qos([0, 0], ReallocationPolicy.none(2), 1.0) == 1.0
+
+    def test_more_tasks_take_longer(self, solver):
+        pol = ReallocationPolicy.none(2)
+        t1 = solver.average_execution_time([5, 5], pol)
+        t2 = solver.average_execution_time([8, 5], pol)
+        assert t2 > t1
+
+    def test_qos_monotone_in_deadline(self, solver):
+        pol = ReallocationPolicy.two_server(3, 1)
+        qs = [solver.qos([12, 8], pol, t) for t in (5.0, 10.0, 20.0, 40.0)]
+        assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_metrics_are_probabilities(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(with_failures=True), [12, 8], dt=0.01
+        )
+        for l12 in (0, 5, 12):
+            pol = ReallocationPolicy.two_server(l12, 0)
+            r = solver.reliability([12, 8], pol)
+            q = solver.qos([12, 8], pol, 15.0)
+            assert 0.0 <= r <= 1.0
+            assert 0.0 <= q <= 1.0
+            # finishing by a finite deadline is harder than finishing at all
+            assert q <= r + 1e-9
+
+    def test_reliable_server_reliability_is_one(self, solver):
+        assert solver.reliability([12, 8], ReallocationPolicy.none(2)) == pytest.approx(
+            1.0
+        )
+
+    def test_avg_time_rejects_failing_model(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(with_failures=True), [5, 5], dt=0.02
+        )
+        with pytest.raises(ValueError):
+            solver.average_execution_time([5, 5], ReallocationPolicy.none(2))
+
+    def test_evaluate_dispatch(self, solver):
+        pol = ReallocationPolicy.two_server(2, 1)
+        v = solver.evaluate(Metric.AVG_EXECUTION_TIME, [12, 8], pol)
+        assert v.method == "transform"
+        with pytest.raises(ValueError):
+            solver.evaluate(Metric.QOS, [12, 8], pol)  # missing deadline
+
+
+class TestCaches:
+    def test_service_sum_cached_and_consistent(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], dt=0.01)
+        a = solver.service_sum(0, 7)
+        b = solver.service_sum(0, 7)
+        assert a is b
+        assert a.mean() == pytest.approx(14.0, rel=5e-3)
+
+    def test_service_sum_rejects_negative(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], dt=0.01)
+        with pytest.raises(ValueError):
+            solver.service_sum(0, -1)
+
+    def test_transfer_mass_cached(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], dt=0.01)
+        a = solver.transfer_mass(0, 1, 4)
+        assert a is solver.transfer_mass(0, 1, 4)
+        assert a.mean() == pytest.approx(0.2 + 4.0, rel=5e-3)
+
+
+class TestMultiGroup:
+    def make_three_server(self):
+        return DCSModel(
+            service=[Exponential(1.0), Exponential(1.0), Exponential(2.0)],
+            network=exp_network(),
+        )
+
+    def policy_two_senders(self):
+        return ReallocationPolicy.from_transfers(
+            3, [Transfer(0, 2, 3), Transfer(1, 2, 2)]
+        )
+
+    def test_exact_mode_rejects_multi_group(self):
+        model = self.make_three_server()
+        solver = TransformSolver.for_workload(model, [5, 4, 0], dt=0.02, batch_mode="exact")
+        with pytest.raises(ValueError, match="receives 2 groups"):
+            solver.average_execution_time([5, 4, 0], self.policy_two_senders())
+
+    def test_merge_max_is_upper_bound_on_single_groups(self):
+        """merge-max must dominate the hypothetical earliest-arrival case."""
+        model = self.make_three_server()
+        solver = TransformSolver.for_workload(
+            model, [5, 4, 0], dt=0.02, batch_mode="merge-max"
+        )
+        value = solver.average_execution_time([5, 4, 0], self.policy_two_senders())
+        assert math.isfinite(value) and value > 0
+
+    def test_auto_mode_handles_both(self):
+        model = self.make_three_server()
+        solver = TransformSolver.for_workload(model, [5, 4, 0], dt=0.02)
+        single = ReallocationPolicy.from_transfers(3, [Transfer(0, 2, 3)])
+        assert solver.average_execution_time([5, 4, 0], single) > 0
+        assert solver.average_execution_time([5, 4, 0], self.policy_two_senders()) > 0
+
+    def test_unknown_batch_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TransformSolver.for_workload(
+                self.make_three_server(), [1, 1, 1], batch_mode="bogus"
+            )
+
+
+class TestForWorkload:
+    def test_rejects_empty_workload(self):
+        with pytest.raises(ValueError):
+            TransformSolver.for_workload(small_exp_model(), [0, 0])
+
+    def test_grid_covers_worst_case(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], span=4.0)
+        # worst case: 15 tasks * 2 s = 30 s; span 4 => horizon >= 120 s
+        assert solver.grid.horizon >= 119.0

@@ -1,0 +1,102 @@
+"""Internals of the transform solver: assignments, exact2 symmetry, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, Metric, ReallocationPolicy, TransformSolver
+from repro.core.convolution import _conv_truncate
+from repro.core.policy import Transfer
+from repro.distributions import Exponential
+
+from ..conftest import exp_network, small_exp_model
+
+
+class TestAssignments:
+    def test_assignment_split(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], dt=0.05)
+        policy = ReallocationPolicy.two_server(4, 2)
+        a0, a1 = solver.assignments([10, 5], policy)
+        assert a0.residual == 6 and a1.residual == 3
+        assert a0.incoming == (Transfer(1, 0, 2),)
+        assert a1.incoming == (Transfer(0, 1, 4),)
+        assert a0.receives_anything and a1.receives_anything
+
+    def test_idle_server_receives_nothing(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 0], dt=0.05)
+        _, a1 = solver.assignments([10, 0], ReallocationPolicy.none(2))
+        assert not a1.receives_anything
+
+    def test_workload_mass_of_empty_system_is_delta(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [10, 5], dt=0.05)
+        mass = solver.workload_time_mass([0, 0], ReallocationPolicy.none(2))
+        assert mass.mass[0] == pytest.approx(1.0)
+
+
+class TestExact2Symmetry:
+    def test_batch_label_order_irrelevant(self):
+        """Swapping which sender is 'first' in the policy changes nothing."""
+        net = exp_network()
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(0.8), Exponential(2.0)],
+            network=net,
+        )
+        loads = [8, 6, 0]
+        p_a = ReallocationPolicy.from_transfers(
+            3, [Transfer(0, 2, 3), Transfer(1, 2, 2)]
+        )
+        p_b = ReallocationPolicy.from_transfers(
+            3, [Transfer(1, 2, 2), Transfer(0, 2, 3)]
+        )
+        solver = TransformSolver.for_workload(model, loads, dt=0.05, batch_mode="exact2")
+        va = solver.average_execution_time(loads, p_a)
+        vb = solver.average_execution_time(loads, p_b)
+        assert va == pytest.approx(vb, rel=1e-12)
+
+    def test_equal_size_batches_match_mc(self, rng):
+        from repro.simulation import estimate_metric
+
+        net = exp_network()
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(1.0), Exponential(1.5)],
+            network=net,
+        )
+        loads = [6, 6, 1]
+        policy = ReallocationPolicy.from_transfers(
+            3, [Transfer(0, 2, 3), Transfer(1, 2, 3)]
+        )
+        solver = TransformSolver.for_workload(model, loads, dt=0.05, batch_mode="exact2")
+        exact = solver.average_execution_time(loads, policy)
+        mc = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, model, loads, policy, 6000, rng
+        )
+        assert abs(exact - mc.value) < 3 * mc.half_width + 0.05
+
+
+class TestConvTruncate:
+    def test_matches_full_convolution_prefix(self):
+        a = np.array([0.5, 0.5, 0.0, 0.0])
+        b = np.array([0.25, 0.75, 0.0, 0.0])
+        out = _conv_truncate(a, b, 4)
+        expected = np.convolve(a, b)[:4]
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_clips_negative_fft_noise(self):
+        a = np.zeros(64)
+        a[0] = 1.0
+        out = _conv_truncate(a, a, 64)
+        assert np.all(out >= 0.0)
+
+
+class TestEvaluateQosPath:
+    def test_qos_with_deadline_via_evaluate(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [4, 2], dt=0.05)
+        value = solver.evaluate(
+            Metric.QOS, [4, 2], ReallocationPolicy.none(2), deadline=10.0
+        )
+        assert value.metric is Metric.QOS
+        assert value.deadline == 10.0
+        assert 0.0 <= value.value <= 1.0
+
+    def test_negative_deadline_gives_zero(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [4, 2], dt=0.05)
+        assert solver.qos([4, 2], ReallocationPolicy.none(2), -1.0) == 0.0

@@ -1,0 +1,174 @@
+"""The Markovian recursion solver of refs [2],[7] — closed-form checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    ZeroDelayNetwork,
+    markovian_approximation,
+)
+from repro.distributions import Exponential, Uniform
+
+from ..conftest import exp_network, small_exp_model
+
+
+class TestValidation:
+    def test_rejects_non_exponential_service(self):
+        model = DCSModel(service=[Uniform(0.0, 2.0)], network=ZeroDelayNetwork())
+        with pytest.raises(TypeError):
+            MarkovianSolver(model)
+
+    def test_rejects_non_exponential_failure(self):
+        model = DCSModel(
+            service=[Exponential(1.0)],
+            network=ZeroDelayNetwork(),
+            failure=[Uniform(0.0, 10.0)],
+        )
+        with pytest.raises(TypeError):
+            MarkovianSolver(model)
+
+    def test_rejects_non_exponential_transfer(self):
+        from repro.core import HomogeneousNetwork
+
+        net = HomogeneousNetwork(lambda m: Uniform.from_mean(m), 0.1, 1.0, 0.1)
+        model = DCSModel(service=[Exponential(1.0), Exponential(1.0)], network=net)
+        solver = MarkovianSolver(model)
+        with pytest.raises(TypeError):
+            solver.average_execution_time([1, 1], ReallocationPolicy.two_server(1, 0))
+
+    def test_avg_time_requires_reliable(self):
+        solver = MarkovianSolver(small_exp_model(with_failures=True))
+        with pytest.raises(ValueError):
+            solver.average_execution_time([1, 1], ReallocationPolicy.none(2))
+
+
+class TestSingleServerClosedForms:
+    """One server, m tasks: T is Erlang(m, mu) — everything is exact."""
+
+    def make(self, with_failure=False):
+        failure = [Exponential(0.1)] if with_failure else None
+        return DCSModel(
+            service=[Exponential(2.0)], network=ZeroDelayNetwork(), failure=failure
+        )
+
+    def test_mean_is_erlang_mean(self):
+        solver = MarkovianSolver(self.make())
+        value = solver.average_execution_time([5], ReallocationPolicy.none(1))
+        assert value == pytest.approx(5 / 2.0, rel=1e-12)
+
+    def test_reliability_closed_form(self):
+        """P(Erlang(m, mu) < Exp(lam)) = (mu / (mu + lam))^m."""
+        solver = MarkovianSolver(self.make(with_failure=True))
+        value = solver.reliability([4], ReallocationPolicy.none(1))
+        assert value == pytest.approx((2.0 / 2.1) ** 4, rel=1e-12)
+
+    def test_qos_is_erlang_cdf(self):
+        from scipy import stats
+
+        solver = MarkovianSolver(self.make())
+        deadline = 3.0
+        value = solver.qos([5], ReallocationPolicy.none(1), deadline)
+        expected = float(stats.gamma.cdf(deadline, 5, scale=0.5))
+        assert value == pytest.approx(expected, abs=1e-6)
+
+    def test_empty_workload(self):
+        solver = MarkovianSolver(self.make())
+        assert solver.average_execution_time([0], ReallocationPolicy.none(1)) == 0.0
+        assert solver.qos([0], ReallocationPolicy.none(1), 1.0) == 1.0
+
+
+class TestTwoServerStructure:
+    def test_independent_servers_mean_of_max(self):
+        """No transfers: T = max(Erlang(m1), Erlang(m2)); check vs MC."""
+        rng = np.random.default_rng(0)
+        solver = MarkovianSolver(small_exp_model())
+        value = solver.average_execution_time([3, 4], ReallocationPolicy.none(2))
+        t1 = rng.gamma(3, 2.0, 200_000)
+        t2 = rng.gamma(4, 1.0, 200_000)
+        assert value == pytest.approx(float(np.maximum(t1, t2).mean()), rel=0.01)
+
+    def test_reliability_factorizes(self):
+        """With no transfers the reliability is a product of per-server terms."""
+        solver = MarkovianSolver(small_exp_model(with_failures=True))
+        value = solver.reliability([3, 2], ReallocationPolicy.none(2))
+        # per-server: (mu/(mu+lam))^m
+        r1 = (0.5 / (0.5 + 1 / 20.0)) ** 3
+        r2 = (1.0 / (1.0 + 1 / 10.0)) ** 2
+        assert value == pytest.approx(r1 * r2, rel=1e-9)
+
+    def test_transfer_changes_value(self):
+        solver = MarkovianSolver(small_exp_model())
+        keep = solver.average_execution_time([6, 0], ReallocationPolicy.none(2))
+        move = solver.average_execution_time([6, 0], ReallocationPolicy.two_server(3, 0))
+        assert move < keep  # offloading a 2 s/task queue to a 1 s/task server
+
+    def test_doomed_transfer_kills_reliability(self):
+        """All tasks shipped to a guaranteed-dead server: R must drop."""
+        model = DCSModel(
+            service=[Exponential(0.5), Exponential(1.0)],
+            network=exp_network(),
+            failure=[None, Exponential(1.0)],  # fast server dies in ~1 s
+        )
+        solver = MarkovianSolver(model)
+        keep = solver.reliability([4, 0], ReallocationPolicy.none(2))
+        ship = solver.reliability([4, 0], ReallocationPolicy.two_server(4, 0))
+        assert keep == pytest.approx(1.0)
+        assert ship < 0.5
+
+    def test_qos_increases_with_deadline(self):
+        solver = MarkovianSolver(small_exp_model())
+        pol = ReallocationPolicy.two_server(2, 1)
+        values = [solver.qos([5, 3], pol, t) for t in (2.0, 5.0, 10.0, 30.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_qos_approaches_reliability_limit(self):
+        solver = MarkovianSolver(small_exp_model(with_failures=True))
+        pol = ReallocationPolicy.two_server(2, 1)
+        qos_late = solver.qos([3, 2], pol, 300.0)
+        rel = solver.reliability([3, 2], pol)
+        assert qos_late == pytest.approx(rel, abs=1e-3)
+
+    def test_qos_zero_deadline(self):
+        solver = MarkovianSolver(small_exp_model())
+        assert solver.qos([5, 3], ReallocationPolicy.none(2), 0.0) == 0.0
+
+
+class TestMarkovianApproximation:
+    def test_replaces_means(self):
+        from repro.workloads import two_server_scenario
+
+        sc = two_server_scenario("pareto1", delay="low")
+        approx = markovian_approximation(sc.model)
+        for orig, new in zip(sc.model.service, approx.service):
+            assert isinstance(new, Exponential)
+            assert new.mean() == pytest.approx(orig.mean())
+        z_orig = sc.model.network.group_transfer(0, 1, 10)
+        z_new = approx.network.group_transfer(0, 1, 10)
+        assert isinstance(z_new, Exponential)
+        assert z_new.mean() == pytest.approx(z_orig.mean())
+
+    def test_keeps_reliable_servers_reliable(self):
+        from repro.workloads import two_server_scenario
+
+        sc = two_server_scenario("uniform", delay="low", with_failures=False)
+        approx = markovian_approximation(sc.model)
+        assert approx.reliable
+
+    def test_three_server_recursion_works(self):
+        net = exp_network()
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(2.0), Exponential(0.5)],
+            network=net,
+        )
+        solver = MarkovianSolver(model)
+        policy = ReallocationPolicy.from_transfers(
+            3, [__import__("repro.core", fromlist=["Transfer"]).Transfer(0, 1, 2)]
+        )
+        value = solver.average_execution_time([4, 1, 2], policy)
+        assert value > 0 and math.isfinite(value)

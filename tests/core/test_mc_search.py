@@ -1,0 +1,93 @@
+"""MC policy search and the allocation-to-flow conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, MCPolicySearch, Metric, ReallocationPolicy
+from repro.core.mc_search import allocation_to_policy
+from repro.distributions import Exponential
+
+from ..conftest import exp_network
+
+
+class TestAllocationToPolicy:
+    def test_identity_allocation(self):
+        p = allocation_to_policy([5, 3], [5, 3])
+        assert p.matrix.sum() == 0
+
+    def test_simple_flow(self):
+        p = allocation_to_policy([10, 0], [4, 6])
+        assert p[0, 1] == 6
+
+    def test_multi_server_flows_conserve(self):
+        loads = [20, 5, 0, 3]
+        target = [7, 9, 8, 4]
+        p = allocation_to_policy(loads, target)
+        p.validate_against(loads)
+        final = p.residual_loads(loads) + np.array(
+            [p.inflow(j) for j in range(4)]
+        )
+        np.testing.assert_array_equal(final, target)
+
+    def test_rejects_mismatched_totals(self):
+        with pytest.raises(ValueError):
+            allocation_to_policy([5, 5], [5, 6])
+
+    def test_rejects_negative_targets(self):
+        with pytest.raises(ValueError):
+            allocation_to_policy([5, 5], [-1, 11])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            allocation_to_policy([5, 5], [10])
+
+
+class TestMCPolicySearch:
+    def make_model(self):
+        return DCSModel(
+            service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+            network=exp_network(latency=0.05, per_task=0.05),
+        )
+
+    def test_finds_better_than_initial(self, rng):
+        model = self.make_model()
+        search = MCPolicySearch(model, Metric.AVG_EXECUTION_TIME, n_reps=60)
+        res = search.search([16, 0], rng, n_random=6, step_sizes=(4, 2))
+        initial = np.array([16, 0])
+        # the winner moves a meaningful share to the fast idle server
+        assert res.allocation[1] >= 4
+        assert res.n_evaluations == len(res.history)
+        assert res.value < 32.0  # doing nothing is 16 * 2 = 32 s
+
+    def test_result_policy_realizes_allocation(self, rng):
+        model = self.make_model()
+        search = MCPolicySearch(model, Metric.AVG_EXECUTION_TIME, n_reps=40)
+        res = search.search([10, 2], rng, n_random=4, step_sizes=(2,))
+        res.policy.validate_against([10, 2])
+        final = res.policy.residual_loads([10, 2]) + np.array(
+            [res.policy.inflow(j) for j in range(2)]
+        )
+        np.testing.assert_array_equal(final, np.asarray(res.allocation))
+
+    def test_reliability_metric(self, rng):
+        model = DCSModel(
+            service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+            network=exp_network(latency=0.05, per_task=0.05),
+            failure=[Exponential.from_mean(50.0), Exponential.from_mean(25.0)],
+        )
+        search = MCPolicySearch(model, Metric.RELIABILITY, n_reps=60)
+        res = search.search([8, 2], rng, n_random=4, step_sizes=(2,))
+        assert 0.0 <= res.value <= 1.0
+
+    def test_qos_requires_deadline(self):
+        with pytest.raises(ValueError):
+            MCPolicySearch(self.make_model(), Metric.QOS)
+
+    def test_custom_weights_bias_proposals(self, rng):
+        model = self.make_model()
+        search = MCPolicySearch(
+            model, Metric.AVG_EXECUTION_TIME, n_reps=10, weights=[0.0001, 1.0]
+        )
+        allocs = [search._random_allocation(20, rng) for _ in range(20)]
+        shares = np.mean([a[1] / 20 for a in allocs])
+        assert shares > 0.8

@@ -1,0 +1,50 @@
+"""Metric enums, metric values, and MC estimates."""
+
+import math
+
+import pytest
+
+from repro.core import MCEstimate, Metric, MetricValue
+
+
+class TestMetric:
+    def test_directions(self):
+        assert not Metric.AVG_EXECUTION_TIME.maximize
+        assert Metric.QOS.maximize
+        assert Metric.RELIABILITY.maximize
+
+    def test_better(self):
+        assert Metric.AVG_EXECUTION_TIME.better(10.0, 12.0)
+        assert not Metric.AVG_EXECUTION_TIME.better(12.0, 10.0)
+        assert Metric.RELIABILITY.better(0.9, 0.8)
+        assert not Metric.QOS.better(0.5, 0.5)
+
+
+class TestMetricValue:
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            MetricValue(Metric.RELIABILITY, 1.5)
+        with pytest.raises(ValueError):
+            MetricValue(Metric.QOS, -0.2, deadline=10.0)
+
+    def test_qos_needs_deadline(self):
+        with pytest.raises(ValueError):
+            MetricValue(Metric.QOS, 0.5)
+        v = MetricValue(Metric.QOS, 0.5, deadline=100.0)
+        assert v.deadline == 100.0
+
+    def test_time_unbounded(self):
+        v = MetricValue(Metric.AVG_EXECUTION_TIME, 1234.5, method="transform")
+        assert v.value == 1234.5
+
+
+class TestMCEstimate:
+    def test_half_width_and_contains(self):
+        e = MCEstimate(0.5, 0.4, 0.6, 100)
+        assert e.half_width == pytest.approx(0.1)
+        assert e.contains(0.45)
+        assert not e.contains(0.39)
+
+    def test_str_formats(self):
+        assert "0.5" in str(MCEstimate(0.5, 0.4, 0.6, 100))
+        assert str(MCEstimate(math.inf, math.inf, math.inf, 10)) == "inf"

@@ -1,0 +1,130 @@
+"""n-server behaviour of the analysis — the paper's Remark 1.
+
+"Non-Markovian representations for the metrics in Theorem 1 in the case of
+an n-server DCS can be obtained in a straightforward manner": the faithful
+solver, the Markovian recursion and the transform solver all accept any
+``n``; these tests pin their mutual agreement on 3-server instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    Theorem1Solver,
+    TransformSolver,
+)
+from repro.core.policy import Transfer
+from repro.distributions import Exponential, Uniform
+
+from ..conftest import exp_network
+
+
+def three_server_exp():
+    return DCSModel(
+        service=[Exponential.from_mean(m) for m in (2.0, 1.0, 0.5)],
+        network=exp_network(),
+    )
+
+
+def three_server_uniform():
+    return DCSModel(
+        service=[Uniform.from_mean(m) for m in (2.0, 1.0, 0.5)],
+        network=exp_network(),
+    )
+
+
+POLICY = ReallocationPolicy.from_transfers(3, [Transfer(0, 1, 1), Transfer(0, 2, 2)])
+LOADS = [4, 1, 1]
+
+
+class TestThreeServerAgreement:
+    def test_markovian_vs_transform_avg_time(self):
+        model = three_server_exp()
+        exact = MarkovianSolver(model).average_execution_time(LOADS, POLICY)
+        grid = TransformSolver.for_workload(model, LOADS, dt=0.01)
+        assert grid.average_execution_time(LOADS, POLICY) == pytest.approx(
+            exact, rel=5e-3
+        )
+
+    def test_markovian_vs_transform_qos(self):
+        model = three_server_exp()
+        exact = MarkovianSolver(model).qos(LOADS, POLICY, 8.0)
+        grid = TransformSolver.for_workload(model, LOADS, dt=0.01)
+        assert grid.qos(LOADS, POLICY, 8.0) == pytest.approx(exact, abs=5e-3)
+
+    def test_markovian_vs_transform_reliability(self):
+        model = DCSModel(
+            service=three_server_exp().service,
+            network=exp_network(),
+            failure=[Exponential.from_mean(m) for m in (25.0, 15.0, 10.0)],
+        )
+        exact = MarkovianSolver(model).reliability(LOADS, POLICY)
+        grid = TransformSolver.for_workload(model, LOADS, dt=0.01)
+        assert grid.reliability(LOADS, POLICY) == pytest.approx(exact, abs=5e-3)
+
+    def test_theorem1_three_server_exponential(self):
+        """The age recursion on n = 3 collapses to the Markov chain."""
+        model = three_server_exp()
+        exact = MarkovianSolver(model).average_execution_time(LOADS, POLICY)
+        recursive = Theorem1Solver(model, ds=0.1).average_execution_time(
+            LOADS, POLICY
+        )
+        assert recursive == pytest.approx(exact, rel=0.01)
+
+    def test_theorem1_three_server_non_markovian(self):
+        """Genuinely non-exponential 3-server instance vs transform solver."""
+        model = three_server_uniform()
+        loads = [2, 1, 1]
+        policy = ReallocationPolicy.none(3)
+        reference = TransformSolver.for_workload(
+            model, loads, dt=0.002
+        ).average_execution_time(loads, policy)
+        recursive = Theorem1Solver(model, ds=0.1).average_execution_time(
+            loads, policy
+        )
+        assert recursive == pytest.approx(reference, rel=0.02)
+
+    def test_theorem1_three_server_reliability(self):
+        model = DCSModel(
+            service=three_server_uniform().service,
+            network=exp_network(),
+            failure=[Exponential.from_mean(m) for m in (25.0, 15.0, 10.0)],
+        )
+        loads = [2, 1, 1]
+        policy = ReallocationPolicy.none(3)
+        reference = TransformSolver.for_workload(model, loads, dt=0.002).reliability(
+            loads, policy
+        )
+        recursive = Theorem1Solver(model, ds=0.1).reliability(loads, policy)
+        assert recursive == pytest.approx(reference, abs=0.01)
+
+
+class TestNServerStructure:
+    def test_transform_handles_five_servers(self):
+        from repro.workloads import five_server_scenario
+
+        sc = five_server_scenario("shifted-exponential", with_failures=False)
+        loads = [10, 5, 3, 2, 1]
+        matrix = np.zeros((5, 5), dtype=int)
+        matrix[0, 4] = 4
+        matrix[1, 3] = 2
+        policy = ReallocationPolicy(matrix)
+        solver = TransformSolver.for_workload(sc.model, loads, dt=0.1)
+        value = solver.average_execution_time(loads, policy)
+        assert np.isfinite(value) and value > 0
+
+    def test_markovian_reliability_multi_failure_paths(self):
+        """Doomed states prune correctly with three failure clocks."""
+        model = DCSModel(
+            service=[Exponential(1.0)] * 3,
+            network=exp_network(),
+            failure=[Exponential(0.5)] * 3,
+        )
+        value = MarkovianSolver(model).reliability([1, 1, 1], ReallocationPolicy.none(3))
+        # per server: P(Exp(1) < Exp(0.5)) = 1/(1+0.5) = 2/3; independent
+        assert value == pytest.approx((2.0 / 3.0) ** 3, rel=1e-9)

@@ -1,0 +1,142 @@
+"""The 2-server policy optimizer — problems (3) and (4) of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    sweep_policies,
+)
+from repro.distributions import Exponential
+
+from ..conftest import exp_network, small_exp_model
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return TransformSolver.for_workload(small_exp_model(), [12, 6], dt=0.02)
+
+
+@pytest.fixture(scope="module")
+def markov_solver():
+    return MarkovianSolver(small_exp_model())
+
+
+class TestExhaustiveSearch:
+    def test_optimum_beats_all_evaluated(self, solver):
+        res = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6]
+        )
+        assert all(res.value <= ev.value + 1e-12 for ev in res.evaluations)
+
+    def test_exhaustive_covers_lattice(self, solver):
+        res = TwoServerOptimizer(solver).optimize(Metric.AVG_EXECUTION_TIME, [12, 6])
+        assert len({(e.l12, e.l21) for e in res.evaluations}) == 13 * 7
+
+    def test_markovian_solver_as_backend(self, markov_solver):
+        res = TwoServerOptimizer(markov_solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6]
+        )
+        assert res.policy[0, 1] > 0  # offloads toward the fast server
+        assert res.value > 0
+
+    def test_coarse_then_refine_matches_exhaustive(self, solver):
+        opt = TwoServerOptimizer(solver)
+        full = opt.optimize(Metric.AVG_EXECUTION_TIME, [12, 6], step=1)
+        coarse = opt.optimize(Metric.AVG_EXECUTION_TIME, [12, 6], step=4)
+        assert coarse.value == pytest.approx(full.value, rel=1e-3)
+
+    def test_qos_needs_deadline(self, solver):
+        with pytest.raises(ValueError):
+            TwoServerOptimizer(solver).optimize(Metric.QOS, [12, 6])
+
+    def test_rejects_non_two_server(self, solver):
+        with pytest.raises(ValueError):
+            TwoServerOptimizer(solver).optimize(Metric.AVG_EXECUTION_TIME, [5, 5, 5])
+
+    def test_ties_recorded(self, solver):
+        res = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6], tie_tol=1e-4
+        )
+        assert (res.policy[0, 1], res.policy[1, 0]) in res.ties
+
+    def test_evaluation_grid_export(self, solver):
+        res = TwoServerOptimizer(solver).optimize(Metric.AVG_EXECUTION_TIME, [12, 6])
+        grid = res.evaluation_grid(12, 6)
+        assert grid.shape == (13, 7)
+        assert np.isfinite(grid).all()
+        assert np.nanmin(grid) == pytest.approx(res.value)
+
+
+class TestOptimumStructure:
+    def test_symmetric_servers_balance(self):
+        """Identical servers, all load on server 1: optimum sends ~half."""
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(1.0)],
+            network=exp_network(latency=0.01, per_task=0.01),
+        )
+        solver = TransformSolver.for_workload(model, [10, 0], dt=0.02)
+        res = TwoServerOptimizer(solver).optimize(Metric.AVG_EXECUTION_TIME, [10, 0])
+        assert 4 <= res.policy[0, 1] <= 6
+        assert res.policy[1, 0] == 0
+
+    def test_expensive_network_discourages_transfers(self):
+        cheap_model = DCSModel(
+            service=[Exponential(0.5), Exponential(1.0)],
+            network=exp_network(latency=0.01, per_task=0.05),
+        )
+        dear_model = DCSModel(
+            service=[Exponential(0.5), Exponential(1.0)],
+            network=exp_network(latency=10.0, per_task=5.0),
+        )
+        cheap = TwoServerOptimizer(
+            TransformSolver.for_workload(cheap_model, [10, 0], dt=0.02)
+        ).optimize(Metric.AVG_EXECUTION_TIME, [10, 0])
+        dear = TwoServerOptimizer(
+            TransformSolver.for_workload(dear_model, [10, 0], dt=0.05)
+        ).optimize(Metric.AVG_EXECUTION_TIME, [10, 0])
+        assert dear.policy[0, 1] <= cheap.policy[0, 1]
+
+    def test_reliability_prefers_reliable_server(self):
+        """Fast server dies almost immediately: send nothing to it."""
+        model = DCSModel(
+            service=[Exponential(0.5), Exponential(2.0)],
+            network=exp_network(),
+            failure=[None, Exponential(2.0)],  # server 2 MTTF = 0.5 s
+        )
+        solver = TransformSolver.for_workload(model, [8, 0], dt=0.02)
+        res = TwoServerOptimizer(solver).optimize(Metric.RELIABILITY, [8, 0])
+        assert res.policy[0, 1] == 0
+        assert res.value == pytest.approx(1.0, abs=1e-6)
+
+    def test_caching_reuses_evaluations(self, solver):
+        opt = TwoServerOptimizer(solver)
+        opt.optimize(Metric.AVG_EXECUTION_TIME, [12, 6])
+        n_cache = len(opt._cache)
+        opt.optimize(Metric.AVG_EXECUTION_TIME, [12, 6])
+        assert len(opt._cache) == n_cache  # second run fully cached
+
+
+class TestSweep:
+    def test_sweep_shape_and_values(self, solver):
+        values = sweep_policies(
+            solver, Metric.AVG_EXECUTION_TIME, [12, 6], [0, 4, 8], [0, 3]
+        )
+        assert values.shape == (3, 2)
+        assert np.isfinite(values).all()
+
+    def test_sweep_rejects_non_two_server(self, solver):
+        with pytest.raises(ValueError):
+            sweep_policies(solver, Metric.AVG_EXECUTION_TIME, [1, 2, 3], [0], [0])
+
+    def test_sweep_matches_direct_evaluation(self, solver):
+        values = sweep_policies(solver, Metric.AVG_EXECUTION_TIME, [12, 6], [4], [2])
+        direct = solver.average_execution_time(
+            [12, 6], ReallocationPolicy.two_server(4, 2)
+        )
+        assert values[0, 0] == pytest.approx(direct)

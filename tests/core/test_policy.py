@@ -1,0 +1,99 @@
+"""ReallocationPolicy: the paper's L matrix and its feasibility rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReallocationPolicy, Transfer
+
+
+class TestConstruction:
+    def test_two_server(self):
+        p = ReallocationPolicy.two_server(30, 5)
+        assert p[0, 1] == 30
+        assert p[1, 0] == 5
+        assert p.n == 2
+
+    def test_none_policy(self):
+        p = ReallocationPolicy.none(4)
+        assert p.n == 4
+        assert not p.transfers()
+
+    def test_from_transfers_accumulates(self):
+        p = ReallocationPolicy.from_transfers(
+            3, [Transfer(0, 1, 5), Transfer(0, 1, 3), Transfer(2, 0, 1)]
+        )
+        assert p[0, 1] == 8
+        assert p[2, 0] == 1
+
+    def test_from_transfers_rejects_self(self):
+        with pytest.raises(ValueError):
+            ReallocationPolicy.from_transfers(3, [Transfer(1, 1, 5)])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            ReallocationPolicy([[0, 1, 2], [0, 0, 1]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ReallocationPolicy([[0, -1], [0, 0]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError):
+            ReallocationPolicy([[1, 0], [0, 0]])
+
+    def test_matrix_is_readonly(self):
+        p = ReallocationPolicy.two_server(1, 2)
+        with pytest.raises(ValueError):
+            p.matrix[0, 1] = 99
+
+
+class TestSemantics:
+    def test_flows(self):
+        p = ReallocationPolicy([[0, 3, 2], [1, 0, 0], [0, 0, 0]])
+        assert p.outflow(0) == 5
+        assert p.inflow(0) == 1
+        assert p.inflow(2) == 2
+
+    def test_transfers_ordering(self):
+        p = ReallocationPolicy([[0, 3, 2], [1, 0, 0], [0, 0, 0]])
+        ts = p.transfers()
+        assert ts == [Transfer(0, 1, 3), Transfer(0, 2, 2), Transfer(1, 0, 1)]
+
+    def test_residual_loads(self):
+        p = ReallocationPolicy.two_server(30, 5)
+        np.testing.assert_array_equal(p.residual_loads([100, 50]), [70, 45])
+
+    def test_validate_rejects_oversend(self):
+        p = ReallocationPolicy.two_server(101, 0)
+        with pytest.raises(ValueError, match="server 0 sends 101"):
+            p.validate_against([100, 50])
+
+    def test_validate_rejects_wrong_length(self):
+        p = ReallocationPolicy.two_server(1, 0)
+        with pytest.raises(ValueError):
+            p.validate_against([100, 50, 10])
+
+    def test_validate_rejects_negative_loads(self):
+        p = ReallocationPolicy.two_server(0, 0)
+        with pytest.raises(ValueError):
+            p.validate_against([-1, 5])
+
+    def test_sending_everything_is_feasible(self):
+        p = ReallocationPolicy.two_server(100, 50)
+        np.testing.assert_array_equal(p.residual_loads([100, 50]), [0, 0])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = ReallocationPolicy.two_server(3, 1)
+        b = ReallocationPolicy.two_server(3, 1)
+        c = ReallocationPolicy.two_server(3, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_two_server(self):
+        assert "L12=3" in repr(ReallocationPolicy.two_server(3, 1))
+
+    def test_repr_multi(self):
+        r = repr(ReallocationPolicy.from_transfers(3, [Transfer(0, 2, 4)]))
+        assert "n=3" in r

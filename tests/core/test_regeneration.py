@@ -1,0 +1,148 @@
+"""The age-dependent regeneration calculus (paper Sec. II-C).
+
+The exponential special cases have closed forms — ``τ = min of Exp(λ_i)`` is
+``Exp(Σλ_i)`` and ``P{τ = X_j} = λ_j / Σλ`` — which pin the implementation
+down exactly; non-exponential cases are checked against Monte Carlo.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Clock, RegenerationCalculus, quadrature_nodes
+from repro.distributions import Exponential, Pareto, ShiftedExponential, Uniform
+
+
+def exp_clocks(*rates):
+    return [Clock("service", i, Exponential(r)) for i, r in enumerate(rates)]
+
+
+class TestClock:
+    def test_aged_sf_identity(self):
+        c = Clock("service", 0, Uniform(0.0, 4.0), age=1.0)
+        s = np.array([0.5, 1.5])
+        expected = np.array([2.5 / 3.0, 1.5 / 3.0])
+        np.testing.assert_allclose(c.aged_sf(s), expected, rtol=1e-12)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            Clock("service", 0, Exponential(1.0), age=-1.0)
+
+    def test_rejects_age_past_support(self):
+        with pytest.raises(ValueError):
+            Clock("service", 0, Uniform(0.0, 1.0), age=1.5)
+
+    def test_horizon_finite_support(self):
+        c = Clock("service", 0, Uniform(0.0, 4.0), age=1.0)
+        assert c.horizon() == pytest.approx(3.0)
+
+    def test_horizon_infinite_support(self):
+        c = Clock("service", 0, Exponential(1.0))
+        assert c.horizon(eps=1e-6) == pytest.approx(-math.log(1e-6), rel=1e-3)
+
+
+class TestExponentialClosedForms:
+    def test_expected_tau(self):
+        calc = RegenerationCalculus(exp_clocks(1.0, 2.0, 3.0))
+        assert calc.expected_tau() == pytest.approx(1.0 / 6.0, rel=1e-3)
+
+    def test_event_probabilities(self):
+        calc = RegenerationCalculus(exp_clocks(1.0, 2.0, 3.0))
+        np.testing.assert_allclose(
+            calc.event_probabilities(), [1 / 6, 2 / 6, 3 / 6], atol=2e-3
+        )
+
+    def test_regeneration_pdf_is_exponential(self):
+        calc = RegenerationCalculus(exp_clocks(1.0, 2.0))
+        s = calc.nodes
+        np.testing.assert_allclose(
+            calc.regeneration_pdf(), 3.0 * np.exp(-3.0 * s), rtol=1e-9
+        )
+
+    def test_conditional_probabilities_constant(self):
+        """Markovian setting: P{X = τ | τ = s} does not depend on s."""
+        calc = RegenerationCalculus(exp_clocks(1.0, 3.0))
+        cond = calc.conditional_event_probability()
+        np.testing.assert_allclose(cond[0], 0.25, atol=1e-9)
+        np.testing.assert_allclose(cond[1], 0.75, atol=1e-9)
+
+    def test_aging_changes_nothing_for_exponentials(self):
+        young = RegenerationCalculus(exp_clocks(1.0, 2.0))
+        old_clocks = [
+            Clock("service", 0, Exponential(1.0), age=5.0),
+            Clock("service", 1, Exponential(2.0), age=2.0),
+        ]
+        old = RegenerationCalculus(old_clocks, nodes=young.nodes)
+        np.testing.assert_allclose(
+            young.event_probabilities(), old.event_probabilities(), rtol=1e-9
+        )
+
+
+class TestNonExponential:
+    def test_conditional_probabilities_age_dependent(self):
+        """The paper's first Markovian/non-Markovian difference."""
+        clocks = [
+            Clock("service", 0, Uniform(0.0, 2.0)),
+            Clock("service", 1, Exponential(0.5)),
+        ]
+        calc = RegenerationCalculus(clocks)
+        cond = calc.conditional_event_probability()
+        assert cond[0, 10] != pytest.approx(cond[0, -10], abs=1e-3)
+
+    def test_event_probabilities_sum_to_one(self):
+        clocks = [
+            Clock("service", 0, Uniform(0.0, 2.0)),
+            Clock("transit", 0, ShiftedExponential(0.5, 1.0)),
+            Clock("failure", 1, Exponential(0.1)),
+        ]
+        calc = RegenerationCalculus(clocks, nodes=np.linspace(0, 2.0, 4001))
+        assert calc.event_probabilities().sum() == pytest.approx(1.0, abs=2e-3)
+
+    def test_against_monte_carlo(self):
+        rng = np.random.default_rng(5)
+        dists = [Uniform(0.0, 3.0), Pareto(2.5, 0.4), Exponential(0.8)]
+        clocks = [Clock("service", i, d) for i, d in enumerate(dists)]
+        calc = RegenerationCalculus(clocks, nodes=np.linspace(0, 3.0, 6001))
+        n = 200_000
+        samples = np.stack([np.asarray(d.sample(rng, n)) for d in dists])
+        mins = samples.min(axis=0)
+        winner = samples.argmin(axis=0)
+        assert calc.expected_tau() == pytest.approx(float(mins.mean()), rel=0.01)
+        emp = np.bincount(winner, minlength=3) / n
+        np.testing.assert_allclose(calc.event_probabilities(), emp, atol=0.01)
+
+    def test_aged_clock_against_monte_carlo(self):
+        rng = np.random.default_rng(6)
+        base = Pareto(2.0, 1.0)
+        aged_clock = Clock("service", 0, base, age=2.0)
+        other = Clock("service", 1, Exponential(0.5))
+        calc = RegenerationCalculus(
+            [aged_clock, other], nodes=np.linspace(0, 60.0, 8001)
+        )
+        n = 300_000
+        pareto_res = np.asarray(base.aged(2.0).sample(rng, n))
+        expo = np.asarray(Exponential(0.5).sample(rng, n))
+        p_first = float(np.mean(pareto_res < expo))
+        probs = calc.event_probabilities()
+        assert probs[0] == pytest.approx(p_first, abs=0.01)
+
+
+class TestValidation:
+    def test_empty_clocks_rejected(self):
+        with pytest.raises(ValueError):
+            RegenerationCalculus([])
+        with pytest.raises(ValueError):
+            quadrature_nodes([])
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            RegenerationCalculus(exp_clocks(1.0), nodes=np.array([0.0]))
+
+    def test_quadrature_nodes_cover_shortest_clock(self):
+        clocks = [
+            Clock("service", 0, Uniform(0.0, 2.0)),
+            Clock("service", 1, Exponential(0.01)),
+        ]
+        nodes = quadrature_nodes(clocks)
+        assert nodes[-1] == pytest.approx(2.0)

@@ -1,0 +1,199 @@
+"""Cross-solver agreement — the backbone of the reproduction's validity.
+
+DESIGN.md Sec. 6: the transform solver must agree with the Markovian
+recursion whenever every clock is exponential, and with the faithful
+Theorem 1 recursion on small non-exponential instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    Theorem1Solver,
+    TransformSolver,
+)
+from repro.distributions import Exponential, Pareto, ShiftedExponential, Uniform, Weibull
+
+from ..conftest import exp_network, small_exp_model
+
+POLICIES = [
+    ReallocationPolicy.none(2),
+    ReallocationPolicy.two_server(2, 0),
+    ReallocationPolicy.two_server(3, 2),
+]
+POLICY_IDS = ["none", "L12=2", "L12=3,L21=2"]
+
+
+class TestTransformVsMarkovian:
+    """Exponential clocks: the two independent implementations must agree."""
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=POLICY_IDS)
+    def test_average_execution_time(self, policy):
+        model = small_exp_model()
+        loads = [6, 4]
+        exact = MarkovianSolver(model).average_execution_time(loads, policy)
+        grid = TransformSolver.for_workload(model, loads, dt=0.005)
+        assert grid.average_execution_time(loads, policy) == pytest.approx(
+            exact, rel=3e-3
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=POLICY_IDS)
+    def test_reliability(self, policy):
+        model = small_exp_model(with_failures=True)
+        loads = [6, 4]
+        exact = MarkovianSolver(model).reliability(loads, policy)
+        grid = TransformSolver.for_workload(model, loads, dt=0.005)
+        assert grid.reliability(loads, policy) == pytest.approx(exact, abs=3e-3)
+
+    @pytest.mark.parametrize("deadline", [5.0, 12.0, 25.0])
+    def test_qos_reliable(self, deadline):
+        model = small_exp_model()
+        loads = [6, 4]
+        policy = ReallocationPolicy.two_server(2, 1)
+        exact = MarkovianSolver(model).qos(loads, policy, deadline)
+        grid = TransformSolver.for_workload(model, loads, dt=0.005)
+        assert grid.qos(loads, policy, deadline) == pytest.approx(exact, abs=3e-3)
+
+    def test_qos_with_failures(self):
+        model = small_exp_model(with_failures=True)
+        loads = [4, 3]
+        policy = ReallocationPolicy.two_server(1, 0)
+        exact = MarkovianSolver(model).qos(loads, policy, 10.0)
+        grid = TransformSolver.for_workload(model, loads, dt=0.005)
+        assert grid.qos(loads, policy, 10.0) == pytest.approx(exact, abs=3e-3)
+
+    def test_paper_scale_agreement(self):
+        """The full (100, 50) workload of Sec. III-A, exponential model."""
+        from repro.workloads import two_server_scenario
+
+        sc = two_server_scenario("exponential", delay="severe", with_failures=False)
+        loads = list(sc.loads)
+        policy = ReallocationPolicy.two_server(32, 1)
+        exact = MarkovianSolver(sc.model).average_execution_time(loads, policy)
+        grid = TransformSolver.for_workload(sc.model, loads, dt=0.02)
+        assert grid.average_execution_time(loads, policy) == pytest.approx(
+            exact, rel=2e-3
+        )
+
+
+class TestTransformVsTheorem1:
+    """Small non-exponential instances: the faithful recursion agrees."""
+
+    def _network(self, family):
+        return HomogeneousNetwork(family, latency=0.2, per_task=1.0, fn_mean=0.2)
+
+    @pytest.mark.parametrize(
+        "family,name",
+        [
+            (Uniform.from_mean, "uniform"),
+            (ShiftedExponential.from_mean, "shifted-exp"),
+            (lambda m: Pareto.from_mean(m, 2.5), "pareto1"),
+            (lambda m: Weibull.from_mean(m, 2.0), "weibull"),
+        ],
+        ids=["uniform", "shifted-exp", "pareto1", "weibull"],
+    )
+    def test_average_time_no_transfers(self, family, name):
+        model = DCSModel(
+            service=[family(2.0), family(1.0)],
+            network=exp_network(),
+        )
+        loads = [3, 2]
+        policy = ReallocationPolicy.none(2)
+        fine = TransformSolver.for_workload(model, loads, dt=0.002)
+        reference = fine.average_execution_time(loads, policy)
+        # heavy tails need a truncated (renormalized) quadrature horizon to
+        # stay tractable; the induced bias is far below the tolerance
+        recursive = Theorem1Solver(
+            model, ds=0.1, survival_eps=1e-4
+        ).average_execution_time(loads, policy)
+        assert recursive == pytest.approx(reference, rel=0.02)
+
+    def test_average_time_with_exponential_transfers(self):
+        """Non-exponential services, memoryless transfer clocks."""
+        model = DCSModel(
+            service=[Uniform.from_mean(2.0), Uniform.from_mean(1.0)],
+            network=exp_network(),
+        )
+        loads = [3, 2]
+        policy = ReallocationPolicy.two_server(1, 0)
+        reference = TransformSolver.for_workload(
+            model, loads, dt=0.002
+        ).average_execution_time(loads, policy)
+        recursive = Theorem1Solver(model, ds=0.1).average_execution_time(
+            loads, policy
+        )
+        assert recursive == pytest.approx(reference, rel=0.02)
+
+    def test_average_time_with_aging_transfer_clock(self):
+        """A non-exponential group transfer keeps a real age in the recursion."""
+        net = HomogeneousNetwork(
+            ShiftedExponential.from_mean, latency=0.2, per_task=1.0, fn_mean=0.2
+        )
+        model = DCSModel(
+            service=[Exponential.from_mean(2.0), Exponential.from_mean(1.0)],
+            network=net,
+        )
+        loads = [3, 2]
+        policy = ReallocationPolicy.two_server(2, 0)
+        reference = TransformSolver.for_workload(
+            model, loads, dt=0.002
+        ).average_execution_time(loads, policy)
+        recursive = Theorem1Solver(model, ds=0.1).average_execution_time(
+            loads, policy
+        )
+        assert recursive == pytest.approx(reference, rel=0.02)
+
+    def test_reliability_small_instance(self):
+        model = DCSModel(
+            service=[Uniform.from_mean(2.0), Uniform.from_mean(1.0)],
+            network=exp_network(),
+            failure=[Exponential.from_mean(15.0), Exponential.from_mean(8.0)],
+        )
+        loads = [2, 2]
+        policy = ReallocationPolicy.two_server(1, 0)
+        reference = TransformSolver.for_workload(model, loads, dt=0.002).reliability(
+            loads, policy
+        )
+        recursive = Theorem1Solver(model, ds=0.1).reliability(loads, policy)
+        assert recursive == pytest.approx(reference, abs=0.01)
+
+    def test_qos_small_instance(self):
+        model = DCSModel(
+            service=[Uniform.from_mean(2.0), Uniform.from_mean(1.0)],
+            network=exp_network(),
+        )
+        loads = [2, 2]
+        policy = ReallocationPolicy.none(2)
+        deadline = 6.0
+        reference = TransformSolver.for_workload(model, loads, dt=0.002).qos(
+            loads, policy, deadline
+        )
+        recursive = Theorem1Solver(model, ds=0.1).qos(loads, policy, deadline)
+        assert recursive == pytest.approx(reference, abs=0.03)
+
+
+class TestTheorem1VsMarkovian:
+    """All-exponential: the age machinery must collapse to the Markov chain."""
+
+    def test_average_time(self):
+        model = small_exp_model()
+        loads = [4, 3]
+        policy = ReallocationPolicy.two_server(2, 1)
+        exact = MarkovianSolver(model).average_execution_time(loads, policy)
+        recursive = Theorem1Solver(model, ds=0.1).average_execution_time(
+            loads, policy
+        )
+        assert recursive == pytest.approx(exact, rel=0.01)
+
+    def test_reliability(self):
+        model = small_exp_model(with_failures=True)
+        loads = [3, 2]
+        policy = ReallocationPolicy.two_server(1, 1)
+        exact = MarkovianSolver(model).reliability(loads, policy)
+        recursive = Theorem1Solver(model, ds=0.1).reliability(loads, policy)
+        assert recursive == pytest.approx(exact, abs=0.01)

@@ -1,0 +1,104 @@
+"""Property-based solver tests over randomized instances (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    MarkovianSolver,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+)
+from repro.distributions import Exponential
+
+
+def exp_models():
+    """Random small exponential 2-server DCS models."""
+    return st.tuples(
+        st.floats(0.5, 4.0),  # mean service 1
+        st.floats(0.5, 4.0),  # mean service 2
+        st.floats(0.05, 2.0),  # latency
+        st.floats(0.1, 2.0),  # per-task transfer
+    ).map(
+        lambda p: DCSModel(
+            service=[Exponential.from_mean(p[0]), Exponential.from_mean(p[1])],
+            network=HomogeneousNetwork(
+                Exponential.from_mean, latency=p[2], per_task=p[3], fn_mean=0.2
+            ),
+        )
+    )
+
+
+@given(
+    model=exp_models(),
+    m1=st.integers(1, 6),
+    m2=st.integers(0, 4),
+    l12=st.integers(0, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_transform_matches_markovian_on_random_instances(model, m1, m2, l12):
+    """The two independent exact solvers agree on arbitrary exponential DCSs."""
+    l12 = min(l12, m1)
+    loads = [m1, m2]
+    policy = ReallocationPolicy.two_server(l12, 0)
+    exact = MarkovianSolver(model).average_execution_time(loads, policy)
+    grid = TransformSolver.for_workload(model, loads, dt=min(exact / 400.0, 0.05))
+    approx = grid.average_execution_time(loads, policy)
+    assert approx == pytest.approx(exact, rel=0.02)
+
+
+@given(
+    model=exp_models(),
+    m1=st.integers(1, 6),
+    m2=st.integers(0, 4),
+    mttf=st.floats(2.0, 50.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_reliability_agreement_on_random_instances(model, m1, m2, mttf):
+    failing = DCSModel(
+        service=model.service,
+        network=model.network,
+        failure=[Exponential.from_mean(mttf), Exponential.from_mean(mttf / 2)],
+    )
+    loads = [m1, m2]
+    policy = ReallocationPolicy.none(2)
+    exact = MarkovianSolver(failing).reliability(loads, policy)
+    grid = TransformSolver.for_workload(failing, loads, dt=0.02)
+    assert grid.reliability(loads, policy) == pytest.approx(exact, abs=0.02)
+
+
+@given(
+    model=exp_models(),
+    m1=st.integers(0, 6),
+    m2=st.integers(0, 6),
+    extra=st.integers(1, 4),
+)
+@settings(max_examples=20, deadline=None)
+def test_more_work_never_finishes_sooner(model, m1, m2, extra):
+    """T̄ is monotone in the workload (first-order stochastic dominance)."""
+    if m1 + m2 == 0:
+        m1 = 1
+    solver = TransformSolver.for_workload(model, [m1 + extra, m2 + extra], dt=0.05)
+    policy = ReallocationPolicy.none(2)
+    base = solver.average_execution_time([m1, m2], policy)
+    more = solver.average_execution_time([m1 + extra, m2], policy)
+    assert more >= base - 1e-9
+
+
+@given(
+    model=exp_models(),
+    m1=st.integers(1, 8),
+    deadline1=st.floats(1.0, 20.0),
+    gap=st.floats(0.5, 20.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_qos_monotone_in_deadline_random(model, m1, deadline1, gap):
+    solver = TransformSolver.for_workload(model, [m1, 2], dt=0.05)
+    policy = ReallocationPolicy.two_server(min(1, m1), 0)
+    early = solver.qos([m1, 2], policy, deadline1)
+    late = solver.qos([m1, 2], policy, deadline1 + gap)
+    assert late >= early - 1e-9

@@ -1,0 +1,120 @@
+"""The hybrid system state S(t) = (M, F, C, a) and its transitions."""
+
+import pytest
+
+from repro.core import ReallocationPolicy, SystemState, TransitGroup
+
+
+def initial_state():
+    policy = ReallocationPolicy.two_server(3, 1)
+    loads = [10, 5]
+    return SystemState.initial(policy.residual_loads(loads), policy.transfers())
+
+
+class TestConstruction:
+    def test_initial_from_policy(self):
+        s = initial_state()
+        assert s.queues == (7, 4)
+        assert s.alive == (True, True)
+        assert len(s.transit) == 2
+        assert s.service_ages == (0.0, 0.0)
+        assert s.failure_ages == (0.0, 0.0)
+
+    def test_total_tasks_counts_transit(self):
+        s = initial_state()
+        assert s.total_tasks == 7 + 4 + 3 + 1
+
+    def test_rejects_mismatched_vectors(self):
+        with pytest.raises(ValueError):
+            SystemState(queues=(1, 2), alive=(True,))
+
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ValueError):
+            SystemState(queues=(-1,), alive=(True,))
+
+
+class TestPredicates:
+    def test_done_requires_empty_everything(self):
+        s = SystemState(queues=(0, 0), alive=(True, True))
+        assert s.is_done
+        s2 = SystemState(
+            queues=(0, 0), alive=(True, True), transit=(TransitGroup(0, 1, 2),)
+        )
+        assert not s2.is_done
+
+    def test_doomed_dead_server_with_queue(self):
+        s = SystemState(queues=(3, 0), alive=(False, True))
+        assert s.is_doomed
+
+    def test_doomed_transit_to_dead_server(self):
+        s = SystemState(
+            queues=(0, 0), alive=(True, False), transit=(TransitGroup(0, 1, 2),)
+        )
+        assert s.is_doomed
+
+    def test_not_doomed_when_dead_server_is_empty(self):
+        s = SystemState(queues=(0, 3), alive=(False, True))
+        assert not s.is_doomed
+
+
+class TestTransitions:
+    def test_aging_advances_all_ages(self):
+        s = initial_state().aged_by(1.5)
+        assert s.service_ages == (1.5, 1.5)
+        assert s.failure_ages == (1.5, 1.5)
+        assert all(g.age == 1.5 for g in s.transit)
+
+    def test_service_resets_own_clock(self):
+        s = initial_state().aged_by(2.0).after_service(0)
+        assert s.queues == (6, 4)
+        assert s.service_ages == (0.0, 2.0)
+
+    def test_service_requires_task_and_life(self):
+        s = SystemState(queues=(0, 1), alive=(True, True))
+        with pytest.raises(ValueError):
+            s.after_service(0)
+        dead = SystemState(queues=(1, 1), alive=(False, True))
+        with pytest.raises(ValueError):
+            dead.after_service(0)
+
+    def test_failure_marks_dead(self):
+        s = initial_state().after_failure(0)
+        assert s.alive == (False, True)
+
+    def test_failure_launches_fn_packets(self):
+        s = initial_state().after_failure(0, fn_to_others=True)
+        assert len(s.fn_packets) == 1
+        assert s.fn_packets[0].src == 0 and s.fn_packets[0].dst == 1
+
+    def test_double_failure_rejected(self):
+        s = initial_state().after_failure(0)
+        with pytest.raises(ValueError):
+            s.after_failure(0)
+
+    def test_arrival_moves_group_to_queue(self):
+        s = initial_state()
+        idx = next(i for i, g in enumerate(s.transit) if g.dst == 1)
+        s2 = s.after_arrival(idx)
+        assert s2.queues == (7, 4 + 3)
+        assert len(s2.transit) == 1
+
+    def test_arrival_at_idle_server_resets_service_age(self):
+        s = SystemState(
+            queues=(0, 1),
+            alive=(True, True),
+            transit=(TransitGroup(1, 0, 2),),
+        ).aged_by(3.0)
+        s2 = s.after_arrival(0)
+        assert s2.queues == (2, 1)
+        assert s2.service_ages[0] == 0.0
+        assert s2.service_ages[1] == 3.0
+
+    def test_fn_arrival_consumes_packet(self):
+        s = initial_state().after_failure(0, fn_to_others=True)
+        s2 = s.after_fn_arrival(0)
+        assert not s2.fn_packets
+
+    def test_states_are_immutable(self):
+        s = initial_state()
+        with pytest.raises(Exception):
+            s.queues = (0, 0)

@@ -1,0 +1,152 @@
+"""DCSModel and the network models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HeterogeneousNetwork,
+    HomogeneousNetwork,
+    ZeroDelayNetwork,
+)
+from repro.distributions import Exponential, ShiftedGamma, Uniform
+
+
+def make_model(n=3, with_failures=False):
+    net = HomogeneousNetwork(
+        Exponential.from_mean, latency=0.5, per_task=1.0, fn_mean=0.2
+    )
+    failure = [Exponential.from_mean(100.0)] * n if with_failures else None
+    return DCSModel(
+        service=[Exponential.from_mean(float(k + 1)) for k in range(n)],
+        network=net,
+        failure=failure,
+    )
+
+
+class TestHomogeneousNetwork:
+    def test_group_transfer_mean_scales_with_size(self):
+        net = HomogeneousNetwork(Exponential.from_mean, 0.5, 1.0, 0.2)
+        assert net.group_transfer(0, 1, 1).mean() == pytest.approx(1.5)
+        assert net.group_transfer(0, 1, 10).mean() == pytest.approx(10.5)
+        assert net.mean_group_transfer(10) == pytest.approx(10.5)
+
+    def test_fn_mean(self):
+        net = HomogeneousNetwork(Exponential.from_mean, 0.5, 1.0, 0.2)
+        assert net.failure_notice(1, 0).mean() == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_size(self):
+        net = HomogeneousNetwork(Exponential.from_mean, 0.5, 1.0, 0.2)
+        with pytest.raises(ValueError):
+            net.group_transfer(0, 1, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HomogeneousNetwork(Exponential.from_mean, -1.0, 1.0, 0.2)
+        with pytest.raises(ValueError):
+            HomogeneousNetwork(Exponential.from_mean, 0.0, 1.0, 0.0)
+
+    def test_family_factory_used(self):
+        net = HomogeneousNetwork(Uniform.from_mean, 0.0, 1.0, 0.2)
+        assert isinstance(net.group_transfer(0, 1, 3), Uniform)
+
+
+class TestHeterogeneousNetwork:
+    def test_per_link_means(self):
+        lat = [[0.0, 0.3], [0.1, 0.0]]
+        per = [[0.0, 1.2], [0.8, 0.0]]
+        fn = [[0.0, 0.3], [0.1, 0.0]]
+        net = HeterogeneousNetwork(
+            lambda m: ShiftedGamma.from_mean(m, shape=2.0), lat, per, fn
+        )
+        assert net.group_transfer(0, 1, 10).mean() == pytest.approx(12.3)
+        assert net.group_transfer(1, 0, 10).mean() == pytest.approx(8.1)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            HeterogeneousNetwork(
+                Exponential.from_mean, [[0.0, 0.3]], [[0.0]], [[0.0]]
+            )
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            HeterogeneousNetwork(
+                Exponential.from_mean,
+                [[0.0, -0.3], [0.1, 0.0]],
+                [[0.0, 1.0], [1.0, 0.0]],
+                [[0.0, 0.1], [0.1, 0.0]],
+            )
+
+
+class TestZeroDelayNetwork:
+    def test_transfers_are_instant(self):
+        net = ZeroDelayNetwork()
+        assert net.group_transfer(0, 1, 100).mean() == 0.0
+        assert net.failure_notice(0, 1).mean() == 0.0
+
+
+class TestDCSModel:
+    def test_basic_properties(self):
+        m = make_model(3)
+        assert m.n == 3
+        assert m.reliable
+        assert m.failure_of(0) is None
+
+    def test_failure_accessor(self):
+        m = make_model(2, with_failures=True)
+        assert not m.reliable
+        assert m.failure_of(1).mean() == pytest.approx(100.0)
+
+    def test_mixed_reliability(self):
+        net = ZeroDelayNetwork()
+        m = DCSModel(
+            service=[Exponential(1.0), Exponential(1.0)],
+            network=net,
+            failure=[None, Exponential.from_mean(10.0)],
+        )
+        assert not m.reliable
+        assert m.failure_of(0) is None
+
+    def test_all_none_failures_is_reliable(self):
+        m = DCSModel(
+            service=[Exponential(1.0)],
+            network=ZeroDelayNetwork(),
+            failure=[None],
+        )
+        assert m.reliable
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DCSModel(service=[], network=ZeroDelayNetwork())
+
+    def test_rejects_failure_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DCSModel(
+                service=[Exponential(1.0)],
+                network=ZeroDelayNetwork(),
+                failure=[None, None],
+            )
+
+
+class TestPairwise:
+    def test_pairwise_picks_servers(self):
+        m = make_model(4, with_failures=True)
+        pair = m.pairwise(2, 0)
+        assert pair.n == 2
+        assert pair.service[0].mean() == pytest.approx(3.0)
+        assert pair.service[1].mean() == pytest.approx(1.0)
+        assert pair.failure[0].mean() == pytest.approx(100.0)
+
+    def test_pairwise_network_reindexes(self):
+        lat = np.zeros((3, 3))
+        per = np.arange(9, dtype=float).reshape(3, 3)
+        fn = np.full((3, 3), 0.1)
+        net = HeterogeneousNetwork(Exponential.from_mean, lat, per, fn)
+        m = DCSModel(service=[Exponential(1.0)] * 3, network=net)
+        pair = m.pairwise(2, 1)
+        # link 0 -> 1 of the pair is link 2 -> 1 of the full system
+        assert pair.network.group_transfer(0, 1, 1).mean() == pytest.approx(7.0)
+
+    def test_pairwise_rejects_same_server(self):
+        with pytest.raises(ValueError):
+            make_model(3).pairwise(1, 1)

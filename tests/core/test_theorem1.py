@@ -1,0 +1,93 @@
+"""Theorem1Solver plumbing: guards, state transitions, degenerate cases."""
+
+import pytest
+
+from repro.core import DCSModel, ReallocationPolicy, Theorem1Solver, ZeroDelayNetwork
+from repro.core.theorem1 import _ClockInfo
+from repro.distributions import Deterministic, Exponential, Uniform
+
+from ..conftest import exp_network, small_exp_model
+
+
+class TestGuards:
+    def test_rejects_bad_ds(self):
+        with pytest.raises(ValueError):
+            Theorem1Solver(small_exp_model(), ds=0.0)
+
+    def test_rejects_atomic_clocks(self):
+        with pytest.raises(TypeError):
+            _ClockInfo("service", 0, Deterministic(1.0), 0)
+
+    def test_atomic_service_rejected_at_solve(self):
+        model = DCSModel(service=[Deterministic(1.0)], network=ZeroDelayNetwork())
+        solver = Theorem1Solver(model, ds=0.1)
+        with pytest.raises(TypeError):
+            solver.average_execution_time([2], ReallocationPolicy.none(1))
+
+    def test_avg_time_requires_reliable(self):
+        solver = Theorem1Solver(small_exp_model(with_failures=True), ds=0.1)
+        with pytest.raises(ValueError):
+            solver.average_execution_time([1, 1], ReallocationPolicy.none(2))
+
+    def test_state_budget_enforced(self):
+        model = DCSModel(
+            service=[Uniform.from_mean(2.0), Uniform.from_mean(1.0)],
+            network=exp_network(),
+        )
+        solver = Theorem1Solver(model, ds=0.05, max_states=5)
+        with pytest.raises(RuntimeError, match="max_states"):
+            solver.average_execution_time([4, 4], ReallocationPolicy.none(2))
+
+
+class TestDegenerateCases:
+    def test_empty_workload(self):
+        solver = Theorem1Solver(small_exp_model(), ds=0.1)
+        assert solver.average_execution_time([0, 0], ReallocationPolicy.none(2)) == 0.0
+        assert solver.reliability([0, 0], ReallocationPolicy.none(2)) == 1.0
+        assert solver.qos([0, 0], ReallocationPolicy.none(2), 1.0) == 1.0
+
+    def test_qos_zero_deadline(self):
+        solver = Theorem1Solver(small_exp_model(), ds=0.1)
+        assert solver.qos([1, 1], ReallocationPolicy.none(2), 0.0) == 0.0
+
+    def test_single_task_single_server_is_service_mean(self):
+        model = DCSModel(service=[Uniform.from_mean(2.0)], network=ZeroDelayNetwork())
+        solver = Theorem1Solver(model, ds=0.01)
+        value = solver.average_execution_time([1], ReallocationPolicy.none(1))
+        assert value == pytest.approx(2.0, rel=0.01)
+
+    def test_two_tasks_single_server_sums_means(self):
+        model = DCSModel(service=[Uniform.from_mean(1.5)], network=ZeroDelayNetwork())
+        solver = Theorem1Solver(model, ds=0.01)
+        value = solver.average_execution_time([2], ReallocationPolicy.none(1))
+        assert value == pytest.approx(3.0, rel=0.01)
+
+    def test_certain_failure_before_service(self):
+        """Failure at ~0.1, service needs >= 1: reliability ~ 0."""
+        model = DCSModel(
+            service=[Uniform(1.0, 2.0)],
+            network=ZeroDelayNetwork(),
+            failure=[Exponential(50.0)],  # mean 0.02
+        )
+        solver = Theorem1Solver(model, ds=0.005)
+        value = solver.reliability([1], ReallocationPolicy.none(1))
+        assert value < 0.01
+
+    def test_quasi_reliable_server(self):
+        model = DCSModel(
+            service=[Uniform(0.5, 1.0)],
+            network=ZeroDelayNetwork(),
+            failure=[Exponential(1e-4)],  # mean 10^4
+        )
+        solver = Theorem1Solver(model, ds=0.01)
+        value = solver.reliability([1], ReallocationPolicy.none(1))
+        assert value == pytest.approx(1.0, abs=0.01)
+
+    def test_evaluate_dispatch(self):
+        solver = Theorem1Solver(small_exp_model(), ds=0.1)
+        v = solver.evaluate(
+            Metric := __import__("repro.core", fromlist=["Metric"]).Metric.AVG_EXECUTION_TIME,
+            [1, 1],
+            ReallocationPolicy.none(2),
+        )
+        assert v.method == "theorem1"

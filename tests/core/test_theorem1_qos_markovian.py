@@ -1,0 +1,42 @@
+"""Theorem 1 QoS recursion vs. the uniformized Markov chain.
+
+Exercises the deadline-capped, *non-renormalized* quadrature branch of the
+faithful solver against an independent exact computation.
+"""
+
+import pytest
+
+from repro.core import MarkovianSolver, ReallocationPolicy, Theorem1Solver
+
+from ..conftest import small_exp_model
+
+
+@pytest.mark.parametrize("deadline", [4.0, 8.0, 14.0])
+def test_qos_matches_uniformization(deadline):
+    model = small_exp_model()
+    loads = [3, 2]
+    policy = ReallocationPolicy.two_server(1, 0)
+    exact = MarkovianSolver(model).qos(loads, policy, deadline)
+    recursive = Theorem1Solver(model, ds=0.1).qos(loads, policy, deadline)
+    assert recursive == pytest.approx(exact, abs=0.02)
+
+
+def test_qos_with_failures_matches_uniformization():
+    model = small_exp_model(with_failures=True)
+    loads = [2, 2]
+    policy = ReallocationPolicy.none(2)
+    exact = MarkovianSolver(model).qos(loads, policy, 6.0)
+    recursive = Theorem1Solver(model, ds=0.1).qos(loads, policy, 6.0)
+    assert recursive == pytest.approx(exact, abs=0.02)
+
+
+def test_qos_truncation_is_one_sided():
+    """The capped quadrature can only lose completion probability, so the
+    recursion must never exceed the exact value by more than fp noise."""
+    model = small_exp_model()
+    loads = [3, 2]
+    policy = ReallocationPolicy.none(2)
+    for deadline in (5.0, 10.0):
+        exact = MarkovianSolver(model).qos(loads, policy, deadline)
+        recursive = Theorem1Solver(model, ds=0.2).qos(loads, policy, deadline)
+        assert recursive <= exact + 0.02

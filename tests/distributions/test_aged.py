@@ -1,0 +1,101 @@
+"""The generic AgedDistribution wrapper (paper Sec. II-B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    AgedDistribution,
+    ShiftedGamma,
+    SupportError,
+    Uniform,
+    Weibull,
+)
+
+
+@pytest.fixture
+def base():
+    return ShiftedGamma(2.0, 0.8, 0.5)
+
+
+class TestConstruction:
+    def test_wraps_base(self, base):
+        aged = AgedDistribution(base, 1.0)
+        assert aged.base is base
+        assert aged.age == 1.0
+
+    def test_flattens_nested_aging(self, base):
+        inner = AgedDistribution(base, 0.6)
+        outer = AgedDistribution(inner, 0.9)
+        assert outer.base is base
+        assert outer.age == pytest.approx(1.5)
+
+    def test_rejects_negative_age(self, base):
+        with pytest.raises(ValueError):
+            AgedDistribution(base, -0.1)
+
+    def test_rejects_age_past_support(self):
+        with pytest.raises(SupportError):
+            AgedDistribution(Uniform(0.0, 1.0), 1.5)
+
+
+class TestLawIdentities:
+    def test_pdf_identity(self, base):
+        aged = AgedDistribution(base, 1.2)
+        sa = float(base.sf(1.2))
+        for t in (0.1, 0.7, 2.0):
+            assert float(aged.pdf(t)) == pytest.approx(float(base.pdf(t + 1.2)) / sa)
+
+    def test_cdf_starts_at_zero(self, base):
+        aged = AgedDistribution(base, 1.2)
+        assert float(aged.cdf(0.0)) == pytest.approx(0.0, abs=1e-12)
+        assert float(aged.cdf(-1.0)) == 0.0
+
+    def test_support_shifts(self):
+        aged = AgedDistribution(Weibull(2.0, 3.0), 1.0)
+        lo, hi = aged.support()
+        assert lo == 0.0 and np.isinf(hi)
+        aged2 = AgedDistribution(Uniform(2.0, 5.0), 1.0)
+        assert aged2.support() == (1.0, 4.0)
+
+    @given(age=st.floats(0.05, 3.0), t=st.floats(0.0, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_survival_identity_property(self, age, t):
+        base = Weibull(1.8, 2.0)
+        aged = AgedDistribution(base, age)
+        expected = float(base.sf(age + t)) / float(base.sf(age))
+        assert float(aged.sf(t)) == pytest.approx(expected, rel=1e-9)
+
+
+class TestMomentsAndSampling:
+    def test_mean_delegates_to_mean_residual(self, base):
+        aged = AgedDistribution(base, 0.9)
+        assert aged.mean() == pytest.approx(base.mean_residual(0.9))
+
+    def test_var_by_quadrature_is_sane(self, base):
+        aged = AgedDistribution(base, 0.9)
+        v = aged.var()
+        assert 0.0 < v < base.var() * 5.0
+
+    def test_sampling_matches_cdf(self, base):
+        rng = np.random.default_rng(3)
+        aged = AgedDistribution(base, 1.0)
+        xs = np.asarray(aged.sample(rng, 40_000))
+        assert np.all(xs >= -1e-9)
+        for probe in (0.3, 1.0, 2.5):
+            assert float(np.mean(xs <= probe)) == pytest.approx(
+                float(aged.cdf(probe)), abs=0.015
+            )
+
+    def test_further_aging_returns_base_conditioning(self, base):
+        aged = AgedDistribution(base, 0.5)
+        more = aged.aged(0.7)
+        # flattened: single conditioning at 1.2 on the original base
+        assert isinstance(more, AgedDistribution)
+        assert more.base is base
+        assert more.age == pytest.approx(1.2)
+
+    def test_mean_residual_consistent(self, base):
+        aged = AgedDistribution(base, 0.5)
+        assert aged.mean_residual(0.7) == pytest.approx(base.mean_residual(1.2))

@@ -1,0 +1,202 @@
+"""Generic invariants every distribution family must satisfy.
+
+These are the contracts the solvers rely on: monotone CDFs, correct moments,
+consistent sampling, and — above all — the paper's aging identity
+``S_a(t) = S(a + t) / S(a)``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.distributions import Deterministic
+
+from ..conftest import ALL_DISTRIBUTIONS_MEAN2, ALL_FAMILIES_MEAN2, make_rng
+
+IDS = [f"{type(d).__name__}-{i}" for i, d in enumerate(ALL_DISTRIBUTIONS_MEAN2)]
+CONT_IDS = [f"{type(d).__name__}-{i}" for i, d in enumerate(ALL_FAMILIES_MEAN2)]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS_MEAN2, ids=IDS)
+class TestCdfContract:
+    def test_cdf_monotone(self, dist):
+        xs = np.linspace(0.0, 30.0, 400)
+        cdf = np.asarray(dist.cdf(xs))
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_cdf_bounds(self, dist):
+        xs = np.linspace(0.0, 50.0, 200)
+        cdf = np.asarray(dist.cdf(xs))
+        assert np.all((cdf >= 0.0) & (cdf <= 1.0))
+
+    def test_cdf_zero_below_support(self, dist):
+        lo, _ = dist.support()
+        if lo > 0:
+            assert float(dist.cdf(lo * 0.5)) == 0.0
+        assert float(dist.cdf(-1.0)) == 0.0
+
+    def test_sf_complements_cdf(self, dist):
+        xs = np.linspace(0.0, 25.0, 100)
+        np.testing.assert_allclose(
+            np.asarray(dist.sf(xs)) + np.asarray(dist.cdf(xs)), 1.0, atol=1e-12
+        )
+
+    def test_cdf_reaches_one(self, dist):
+        _, hi = dist.support()
+        probe = hi if math.isfinite(hi) else 2.0 * float(dist.quantile(1.0 - 1e-9))
+        assert float(dist.cdf(probe)) > 1.0 - 1e-6
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS_MEAN2, ids=IDS)
+class TestMoments:
+    def test_mean_is_two(self, dist):
+        assert dist.mean() == pytest.approx(2.0, rel=1e-12)
+
+    def test_mean_matches_survival_integral(self, dist):
+        _, hi = dist.support()
+        upper = hi if math.isfinite(hi) else np.inf
+        val, _ = integrate.quad(lambda t: float(dist.sf(t)), 0.0, upper, limit=500)
+        assert val == pytest.approx(dist.mean(), rel=1e-6)
+
+    def test_variance_nonnegative(self, dist):
+        assert dist.var() >= 0.0
+
+    def test_std_consistent(self, dist):
+        v = dist.var()
+        if math.isfinite(v):
+            assert dist.std() == pytest.approx(math.sqrt(v))
+        else:
+            assert math.isinf(dist.std())
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS_MEAN2, ids=IDS)
+class TestSampling:
+    def test_sample_scalar_and_shape(self, dist):
+        rng = make_rng(1)
+        single = dist.sample(rng)
+        assert np.ndim(single) == 0
+        batch = dist.sample(rng, size=(3, 5))
+        assert np.shape(batch) == (3, 5)
+
+    def test_samples_in_support(self, dist):
+        rng = make_rng(2)
+        lo, hi = dist.support()
+        xs = np.asarray(dist.sample(rng, 5000))
+        assert np.all(xs >= lo - 1e-12)
+        assert np.all(xs <= hi + 1e-12)
+
+    def test_empirical_mean(self, dist):
+        rng = make_rng(3)
+        xs = np.asarray(dist.sample(rng, 60_000), dtype=float)
+        tol = 0.25 if not math.isfinite(dist.var()) else 0.05
+        assert float(xs.mean()) == pytest.approx(2.0, rel=tol)
+
+    def test_empirical_cdf_matches(self, dist):
+        """Kolmogorov-style check at fixed probe points."""
+        rng = make_rng(4)
+        xs = np.asarray(dist.sample(rng, 40_000), dtype=float)
+        for probe in (0.5, 1.0, 2.0, 4.0):
+            expected = float(dist.cdf(probe))
+            # atoms make <= vs < matter: skip probes at an atom
+            if isinstance(dist, Deterministic) and probe == dist.value:
+                continue
+            observed = float(np.mean(xs <= probe))
+            assert observed == pytest.approx(expected, abs=0.02)
+
+
+@pytest.mark.parametrize("dist", ALL_FAMILIES_MEAN2, ids=CONT_IDS)
+class TestPdf:
+    def test_pdf_nonnegative(self, dist):
+        xs = np.linspace(0.0, 30.0, 500)
+        assert np.all(np.asarray(dist.pdf(xs)) >= 0.0)
+
+    def test_pdf_integrates_to_one(self, dist):
+        lo, hi = dist.support()
+        upper = hi if math.isfinite(hi) else np.inf
+        val, _ = integrate.quad(
+            lambda t: float(dist.pdf(t)), lo, upper, limit=500
+        )
+        assert val == pytest.approx(1.0, rel=1e-6)
+
+    def test_pdf_differentiates_cdf(self, dist):
+        lo, hi = dist.support()
+        hi_probe = hi if math.isfinite(hi) else 8.0
+        xs = np.linspace(lo + 0.05, hi_probe - 0.05, 20)
+        h = 1e-5
+        num = (np.asarray(dist.cdf(xs + h)) - np.asarray(dist.cdf(xs - h))) / (2 * h)
+        np.testing.assert_allclose(np.asarray(dist.pdf(xs)), num, rtol=1e-3, atol=1e-6)
+
+    def test_hazard_is_pdf_over_sf(self, dist):
+        lo, _ = dist.support()
+        xs = np.array([lo + 0.1, lo + 1.0, lo + 2.0])
+        expected = np.asarray(dist.pdf(xs)) / np.asarray(dist.sf(xs))
+        np.testing.assert_allclose(np.asarray(dist.hazard(xs)), expected, rtol=1e-9)
+
+
+@pytest.mark.parametrize("dist", ALL_FAMILIES_MEAN2, ids=CONT_IDS)
+class TestQuantile:
+    def test_quantile_inverts_cdf(self, dist):
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.999):
+            x = float(dist.quantile(q))
+            assert float(dist.cdf(x)) == pytest.approx(q, abs=1e-6)
+
+    def test_quantile_vectorized(self, dist):
+        qs = np.array([0.1, 0.5, 0.9])
+        xs = np.asarray(dist.quantile(qs))
+        assert xs.shape == (3,)
+        assert np.all(np.diff(xs) >= 0.0)
+
+    def test_quantile_rejects_bad_levels(self, dist):
+        with pytest.raises(ValueError):
+            dist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_median_matches_quantile(self, dist):
+        assert dist.median() == pytest.approx(float(dist.quantile(0.5)))
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS_MEAN2, ids=IDS)
+class TestAging:
+    """The paper's Sec. II-B.1 semantics of the auxiliary age variables."""
+
+    AGE = 0.7
+
+    def test_aged_survival_identity(self, dist):
+        aged = dist.aged(self.AGE)
+        for t in (0.1, 0.6, 1.4, 3.0):
+            expected = float(dist.sf(self.AGE + t)) / float(dist.sf(self.AGE))
+            assert float(aged.sf(t)) == pytest.approx(expected, abs=1e-12)
+
+    def test_age_zero_is_identity(self, dist):
+        assert dist.aged(0.0) is dist
+
+    def test_negative_age_rejected(self, dist):
+        with pytest.raises(ValueError):
+            dist.aged(-0.5)
+
+    def test_mean_residual_matches_aged_mean(self, dist):
+        aged = dist.aged(self.AGE)
+        assert aged.mean() == pytest.approx(dist.mean_residual(self.AGE), rel=1e-6)
+
+    def test_aging_composes(self, dist):
+        """Aging twice equals aging once by the sum."""
+        a1 = dist.aged(0.4)
+        a2 = a1.aged(0.3)
+        direct = dist.aged(0.7)
+        for t in (0.2, 1.0, 2.5):
+            assert float(a2.sf(t)) == pytest.approx(float(direct.sf(t)), abs=1e-10)
+
+    def test_aged_samples_follow_aged_law(self, dist):
+        rng = make_rng(5)
+        aged = dist.aged(self.AGE)
+        xs = np.asarray(aged.sample(rng, 30_000), dtype=float)
+        assert np.all(xs >= -1e-9)
+        for probe in (0.5, 1.5, 3.0):
+            if isinstance(dist, Deterministic):
+                continue
+            assert float(np.mean(xs <= probe)) == pytest.approx(
+                float(aged.cdf(probe)), abs=0.02
+            )

@@ -1,0 +1,115 @@
+"""Erlang family: low-variability model, stage-posterior aging (IFR)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Erlang, Exponential
+from repro.distributions.erlang import _MixedErlang
+
+
+class TestConstruction:
+    def test_from_mean(self):
+        e = Erlang.from_mean(2.0, k=4)
+        assert e.mean() == pytest.approx(2.0)
+        assert e.cv() == pytest.approx(0.5)
+
+    def test_k_one_is_exponential(self):
+        e = Erlang(1, 0.5)
+        x = np.linspace(0, 10, 40)
+        np.testing.assert_allclose(
+            np.asarray(e.sf(x)), np.asarray(Exponential(0.5).sf(x)), rtol=1e-12
+        )
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 1.5])
+    def test_rejects_bad_k(self, bad_k):
+        with pytest.raises(ValueError):
+            Erlang(bad_k, 1.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Erlang(2, 0.0)
+
+
+class TestMoments:
+    def test_variance(self):
+        e = Erlang(4, 2.0)
+        assert e.var() == pytest.approx(1.0)
+
+    def test_cv_shrinks_with_k(self):
+        cvs = [Erlang.from_mean(1.0, k).cv() for k in (1, 4, 16)]
+        assert cvs == sorted(cvs, reverse=True)
+        assert cvs[0] == pytest.approx(1.0)
+
+    def test_sampling(self):
+        rng = np.random.default_rng(0)
+        e = Erlang(3, 1.5)
+        xs = np.asarray(e.sample(rng, 50_000))
+        assert float(xs.mean()) == pytest.approx(2.0, rel=0.02)
+        assert float(xs.var()) == pytest.approx(3.0 / 1.5**2, rel=0.05)
+
+
+class TestAging:
+    @given(age=st.floats(0.01, 10.0), t=st.floats(0.0, 5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_aged_survival_identity(self, age, t):
+        e = Erlang(4, 2.0)
+        aged = e.aged(age)
+        expected = float(e.sf(age + t)) / float(e.sf(age))
+        assert float(aged.sf(t)) == pytest.approx(expected, rel=1e-9)
+
+    def test_aged_is_erlang_mixture(self):
+        aged = Erlang(4, 2.0).aged(1.0)
+        assert isinstance(aged, _MixedErlang)
+        assert aged.weights.size == 4
+        assert aged.weights.sum() == pytest.approx(1.0)
+
+    def test_residual_life_shrinks_with_age(self):
+        """IFR — the opposite of the paper's Pareto (DFR)."""
+        e = Erlang(4, 2.0)
+        rs = [e.mean_residual(a) for a in (0.0, 1.0, 3.0, 10.0)]
+        assert all(a > b for a, b in zip(rs, rs[1:]))
+
+    def test_residual_life_converges_to_last_stage(self):
+        """Approaches 1/rate like (1 + (k-1)/(rate*a))/rate — slowly."""
+        e = Erlang(4, 2.0)
+        assert e.mean_residual(50.0) == pytest.approx(0.5, rel=0.05)
+        assert e.mean_residual(500.0) == pytest.approx(0.5, rel=0.005)
+        assert e.mean_residual(500.0) > 0.5  # from above, never below
+
+    def test_mean_residual_matches_aged_mean(self):
+        e = Erlang(3, 1.0)
+        assert e.mean_residual(2.0) == pytest.approx(e.aged(2.0).mean())
+
+    def test_aged_sampling_matches_cdf(self):
+        rng = np.random.default_rng(1)
+        aged = Erlang(4, 2.0).aged(1.5)
+        xs = np.asarray(aged.sample(rng, 40_000))
+        for probe in (0.3, 1.0, 2.0):
+            assert float(np.mean(xs <= probe)) == pytest.approx(
+                float(aged.cdf(probe)), abs=0.015
+            )
+
+
+class TestMixedErlang:
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            _MixedErlang(1.0, [0.5, 0.4])
+
+    def test_moments(self):
+        m = _MixedErlang(2.0, [0.5, 0.5])  # Erlang1 & Erlang2, rate 2
+        assert m.mean() == pytest.approx(0.5 * 0.5 + 0.5 * 1.0)
+        assert m.var() > 0
+
+    def test_solver_compatibility(self):
+        from repro.core import DCSModel, ReallocationPolicy, TransformSolver, ZeroDelayNetwork
+
+        model = DCSModel(
+            service=[Erlang.from_mean(1.0, 4)], network=ZeroDelayNetwork()
+        )
+        solver = TransformSolver.for_workload(model, [5], dt=0.01)
+        value = solver.average_execution_time([5], ReallocationPolicy.none(1))
+        assert value == pytest.approx(5.0, rel=0.01)

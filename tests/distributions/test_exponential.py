@@ -1,0 +1,91 @@
+"""Exponential family: closed forms and the memoryless property."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential
+
+
+class TestConstruction:
+    def test_from_mean(self):
+        d = Exponential.from_mean(4.0)
+        assert d.rate == pytest.approx(0.25)
+        assert d.mean() == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_bad_rate(self, bad):
+        with pytest.raises(ValueError):
+            Exponential(bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -3.0])
+    def test_rejects_bad_mean(self, bad):
+        with pytest.raises(ValueError):
+            Exponential.from_mean(bad)
+
+
+class TestClosedForms:
+    def test_pdf(self):
+        d = Exponential(2.0)
+        assert float(d.pdf(0.0)) == pytest.approx(2.0)
+        assert float(d.pdf(1.0)) == pytest.approx(2.0 * math.exp(-2.0))
+        assert float(d.pdf(-0.1)) == 0.0
+
+    def test_cdf_sf(self):
+        d = Exponential(0.5)
+        assert float(d.cdf(2.0)) == pytest.approx(1.0 - math.exp(-1.0))
+        assert float(d.sf(2.0)) == pytest.approx(math.exp(-1.0))
+
+    def test_var(self):
+        assert Exponential(0.5).var() == pytest.approx(4.0)
+
+    def test_quantile_closed_form(self):
+        d = Exponential(1.5)
+        assert float(d.quantile(0.5)) == pytest.approx(math.log(2.0) / 1.5)
+
+    def test_hazard_constant(self):
+        d = Exponential(0.7)
+        xs = np.array([0.0, 1.0, 5.0, 20.0])
+        np.testing.assert_allclose(np.asarray(d.hazard(xs)), 0.7, rtol=1e-12)
+
+
+class TestMemorylessness:
+    """The property that makes the Markovian model age-free."""
+
+    @given(
+        rate=st.floats(0.1, 10.0),
+        age=st.floats(0.0, 50.0),
+        t=st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aged_is_same_distribution(self, rate, age, t):
+        d = Exponential(rate)
+        aged = d.aged(age)
+        assert aged is d
+        assert float(aged.sf(t)) == pytest.approx(float(d.sf(t)))
+
+    @given(rate=st.floats(0.1, 10.0), age=st.floats(0.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_residual_constant(self, rate, age):
+        assert Exponential(rate).mean_residual(age) == pytest.approx(1.0 / rate)
+
+    def test_mean_residual_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).mean_residual(-1.0)
+
+
+class TestVectorization:
+    def test_scalar_in_scalar_out(self):
+        d = Exponential(1.0)
+        assert np.ndim(d.pdf(1.0)) == 0
+        assert np.ndim(d.cdf(1.0)) == 0
+        assert np.ndim(d.quantile(0.3)) == 0
+
+    def test_array_shapes_preserved(self):
+        d = Exponential(1.0)
+        xs = np.ones((4, 7))
+        assert np.asarray(d.pdf(xs)).shape == (4, 7)
+        assert np.asarray(d.sf(xs)).shape == (4, 7)

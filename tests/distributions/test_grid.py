@@ -1,0 +1,232 @@
+"""Grid mass algebra: discretization, convolution, max/min, shifting, tails."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Grid,
+    GridMass,
+    Pareto,
+    ShiftedExponential,
+    Uniform,
+    delta,
+    from_distribution,
+    minimum_of,
+)
+
+FINE = Grid(dt=0.01, n=4000)  # horizon ~40
+
+
+class TestGrid:
+    def test_times_and_edges(self):
+        g = Grid(dt=0.5, n=4)
+        np.testing.assert_allclose(g.times, [0.0, 0.5, 1.0, 1.5])
+        np.testing.assert_allclose(g.edges, [0.0, 0.25, 0.75, 1.25, 1.75])
+
+    def test_horizon(self):
+        assert Grid(dt=0.5, n=4).horizon == pytest.approx(1.75)
+
+    def test_index_of(self):
+        g = Grid(dt=0.5, n=10)
+        assert g.index_of(0.0) == 0
+        assert g.index_of(0.74) == 1
+        assert g.index_of(0.76) == 2
+
+    @pytest.mark.parametrize("dt,n", [(0.0, 10), (-1.0, 10), (1.0, 1)])
+    def test_rejects_bad_params(self, dt, n):
+        with pytest.raises(ValueError):
+            Grid(dt=dt, n=n)
+
+
+class TestDiscretization:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(1.0),
+            Uniform(0.5, 3.0),
+            ShiftedExponential(1.0, 1.0),
+            Pareto(2.5, 1.0),
+        ],
+        ids=["exp", "uniform", "shifted-exp", "pareto"],
+    )
+    def test_mass_total_and_mean(self, dist):
+        m = from_distribution(dist, FINE)
+        assert m.total == pytest.approx(1.0, abs=1e-4)
+        assert m.mean() == pytest.approx(dist.mean(), rel=2e-3)
+
+    def test_atom_at_zero_lands_in_cell_zero(self):
+        m = from_distribution(Deterministic(0.0), FINE)
+        assert m.mass[0] == pytest.approx(1.0)
+
+    def test_atom_mass_at_value(self):
+        m = from_distribution(Deterministic(1.0), FINE)
+        assert m.mass[FINE.index_of(1.0)] == pytest.approx(1.0)
+
+    def test_cdf_matches_distribution(self):
+        d = Exponential(0.7)
+        m = from_distribution(d, FINE)
+        probe_idx = [10, 100, 1000]
+        for i in probe_idx:
+            assert m.cdf()[i] == pytest.approx(float(d.cdf(FINE.times[i])), abs=5e-3)
+
+    def test_cdf_at_interpolates(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        assert m.cdf_at(1.0) == pytest.approx(1.0 - math.exp(-1.0), abs=1e-3)
+        assert m.cdf_at(-0.5) == 0.0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            GridMass(FINE, np.ones(5))
+
+    def test_rejects_negative_mass(self):
+        bad = np.zeros(FINE.n)
+        bad[0] = -0.5
+        with pytest.raises(ValueError):
+            GridMass(FINE, bad)
+
+
+class TestConvolution:
+    def test_exp_plus_exp_is_erlang(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        s = m.conv(m)
+        # Erlang-2 cdf: 1 - e^-t (1 + t)
+        t = 2.0
+        expected = 1.0 - math.exp(-t) * (1.0 + t)
+        assert s.cdf_at(t) == pytest.approx(expected, abs=2e-3)
+        assert s.mean() == pytest.approx(2.0, rel=1e-3)
+
+    def test_delta_is_identity(self):
+        m = from_distribution(Uniform(0.0, 2.0), FINE)
+        s = m.conv(delta(FINE))
+        np.testing.assert_allclose(s.mass, m.mass, atol=1e-12)
+
+    def test_conv_commutes(self):
+        a = from_distribution(Exponential(1.0), FINE)
+        b = from_distribution(Uniform(0.0, 2.0), FINE)
+        np.testing.assert_allclose(a.conv(b).mass, b.conv(a).mass, atol=1e-12)
+
+    def test_conv_power_zero_is_delta(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        z = m.conv_power(0)
+        assert z.mass[0] == pytest.approx(1.0)
+
+    def test_conv_power_matches_iterated(self):
+        m = from_distribution(Exponential(2.0), FINE)
+        by_power = m.conv_power(5)
+        iterated = m
+        for _ in range(4):
+            iterated = iterated.conv(m)
+        np.testing.assert_allclose(by_power.mass, iterated.mass, atol=1e-9)
+
+    def test_conv_power_mean_additive(self):
+        m = from_distribution(Uniform(0.0, 1.0), FINE)
+        assert m.conv_power(7).mean() == pytest.approx(3.5, rel=1e-3)
+
+    def test_conv_power_negative_raises(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        with pytest.raises(ValueError):
+            m.conv_power(-1)
+
+    def test_mass_escaping_horizon_goes_to_tail(self):
+        tiny = Grid(dt=0.1, n=30)  # horizon ~3
+        m = from_distribution(Exponential(0.5), tiny)  # mean 2
+        s = m.conv(m)  # mean 4 >> horizon
+        assert s.tail > 0.3
+        assert s.total == pytest.approx(1.0 - s.tail)
+
+    def test_different_grids_rejected(self):
+        a = from_distribution(Exponential(1.0), FINE)
+        b = from_distribution(Exponential(1.0), Grid(dt=0.02, n=100))
+        with pytest.raises(ValueError):
+            a.conv(b)
+
+
+class TestMaxMin:
+    def test_max_of_uniforms(self):
+        """max of two U[0,1]: cdf t^2, mean 2/3."""
+        m = from_distribution(Uniform(0.0, 1.0), FINE)
+        mx = m.maximum(m)
+        assert mx.mean() == pytest.approx(2.0 / 3.0, abs=2e-3)
+        assert mx.cdf_at(0.5) == pytest.approx(0.25, abs=5e-3)
+
+    def test_min_of_exponentials(self):
+        """min of Exp(1), Exp(2) is Exp(3)."""
+        a = from_distribution(Exponential(1.0), FINE)
+        b = from_distribution(Exponential(2.0), FINE)
+        mn = minimum_of(a, b)
+        assert mn.mean() == pytest.approx(1.0 / 3.0, rel=5e-3)
+
+    def test_max_with_delta_zero_is_identity(self):
+        m = from_distribution(Uniform(0.5, 2.0), FINE)
+        mx = m.maximum(delta(FINE))
+        assert mx.mean() == pytest.approx(m.mean(), rel=1e-9)
+
+    def test_max_method_alias(self):
+        a = from_distribution(Exponential(1.0), FINE)
+        b = from_distribution(Exponential(2.0), FINE)
+        np.testing.assert_allclose(a.minimum(b).mass, minimum_of(a, b).mass)
+
+    def test_max_stochastically_dominates_inputs(self):
+        a = from_distribution(Exponential(1.0), FINE)
+        b = from_distribution(Uniform(0.0, 2.0), FINE)
+        mx = a.maximum(b)
+        assert np.all(mx.cdf() <= a.cdf() + 1e-12)
+        assert np.all(mx.cdf() <= b.cdf() + 1e-12)
+
+
+class TestShift:
+    def test_integer_cell_shift(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        s = m.shift(0.5)
+        assert s.mean() == pytest.approx(1.5, rel=1e-3)
+
+    def test_fractional_shift_keeps_mean_exact(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        s = m.shift(0.505)  # not a multiple of dt... dt=0.01 so it is; use 0.5049
+        s2 = m.shift(0.5049)
+        assert s2.mean() == pytest.approx(1.5049, rel=1e-3)
+
+    def test_zero_shift_is_same_object(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        assert m.shift(0.0) is m
+
+    def test_negative_shift_rejected(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        with pytest.raises(ValueError):
+            m.shift(-0.1)
+
+
+class TestTailCorrection:
+    def test_pareto_truncated_mean_recovered(self):
+        """Truncate a Pareto harshly; the fitted tail restores most of E[T]."""
+        short = Grid(dt=0.01, n=2000)  # horizon 20
+        d = Pareto(1.5, 1.0)  # mean 3, very heavy tail
+        m = from_distribution(d, short)
+        assert m.tail > 0.005
+        plain = m.mean(tail_correction=False)
+        corrected = m.mean(tail_correction=True)
+        assert plain < corrected
+        # correction recovers at least half of the missing mean
+        assert abs(corrected - 3.0) < abs(plain - 3.0) * 0.6
+
+    def test_light_tail_unaffected(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        assert m.mean(tail_correction=True) == pytest.approx(
+            m.mean(tail_correction=False), rel=1e-9
+        )
+
+    def test_expect_sf_weighted(self):
+        """E[S_Y(T)] for exponential T and Y has closed form r/(r+q)."""
+        m = from_distribution(Exponential(1.0), FINE)
+        weights = np.exp(-0.5 * FINE.times)
+        val = m.expect_sf_weighted(weights)
+        assert val == pytest.approx(1.0 / 1.5, abs=5e-3)
+
+    def test_expect_sf_weighted_shape_check(self):
+        m = from_distribution(Exponential(1.0), FINE)
+        with pytest.raises(ValueError):
+            m.expect_sf_weighted(np.ones(3))

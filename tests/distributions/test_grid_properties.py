@@ -1,0 +1,103 @@
+"""Property-based tests of the grid algebra (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Exponential,
+    Grid,
+    ShiftedExponential,
+    Uniform,
+    delta,
+    from_distribution,
+    minimum_of,
+)
+
+GRID = Grid(dt=0.02, n=1500)  # horizon 30
+
+
+def dists():
+    """Strategy over light-tailed distributions that fit the test grid."""
+    return st.one_of(
+        st.floats(0.3, 3.0).map(Exponential.from_mean),
+        st.tuples(st.floats(0.0, 2.0), st.floats(0.5, 4.0)).map(
+            lambda lohi: Uniform(lohi[0], lohi[0] + lohi[1])
+        ),
+        st.tuples(st.floats(0.0, 1.5), st.floats(0.5, 3.0)).map(
+            lambda p: ShiftedExponential(p[0], 1.0 / p[1])
+        ),
+    )
+
+
+@given(d=dists())
+@settings(max_examples=40, deadline=None)
+def test_mass_conservation(d):
+    m = from_distribution(d, GRID)
+    assert 0.0 <= m.total <= 1.0 + 1e-12
+    assert m.total + m.tail == pytest.approx(1.0, abs=1e-9)
+
+
+@given(a=dists(), b=dists())
+@settings(max_examples=30, deadline=None)
+def test_conv_mean_additive(a, b):
+    ma, mb = from_distribution(a, GRID), from_distribution(b, GRID)
+    s = ma.conv(mb)
+    if s.tail < 1e-6:  # only when the sum fits the grid
+        assert s.mean() == pytest.approx(a.mean() + b.mean(), rel=0.01, abs=0.02)
+
+
+@given(a=dists(), b=dists())
+@settings(max_examples=30, deadline=None)
+def test_conv_total_is_product_of_totals_plus_tail(a, b):
+    ma, mb = from_distribution(a, GRID), from_distribution(b, GRID)
+    s = ma.conv(mb)
+    assert s.total <= ma.total * mb.total + 1e-9
+
+
+@given(a=dists(), b=dists())
+@settings(max_examples=30, deadline=None)
+def test_max_min_mean_identity(a, b):
+    """E[max] + E[min] = E[A] + E[B] for independent A, B."""
+    ma, mb = from_distribution(a, GRID), from_distribution(b, GRID)
+    if ma.tail > 1e-6 or mb.tail > 1e-6:
+        return
+    mx, mn = ma.maximum(mb), minimum_of(ma, mb)
+    assert mx.mean() + mn.mean() == pytest.approx(
+        a.mean() + b.mean(), rel=0.01, abs=0.03
+    )
+
+
+@given(a=dists(), b=dists())
+@settings(max_examples=30, deadline=None)
+def test_max_dominates_min(a, b):
+    ma, mb = from_distribution(a, GRID), from_distribution(b, GRID)
+    mx, mn = ma.maximum(mb), minimum_of(ma, mb)
+    assert np.all(mx.cdf() <= mn.cdf() + 1e-9)
+
+
+@given(d=dists(), t0=st.floats(0.0, 5.0))
+@settings(max_examples=30, deadline=None)
+def test_shift_preserves_mass_up_to_horizon(d, t0):
+    m = from_distribution(d, GRID)
+    s = m.shift(t0)
+    assert s.total <= m.total + 1e-12
+
+
+@given(d=dists(), k=st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_conv_power_monotone_cdf_ordering(d, k):
+    """Adding one more summand stochastically increases the sum."""
+    m = from_distribution(d, GRID)
+    a = m.conv_power(k)
+    b = m.conv_power(k + 1)
+    assert np.all(b.cdf() <= a.cdf() + 1e-9)
+
+
+@given(t=st.floats(0.0, 25.0))
+@settings(max_examples=30, deadline=None)
+def test_delta_places_unit_mass(t):
+    d = delta(GRID, t)
+    assert d.total == pytest.approx(1.0, abs=1e-12)
+    assert d.mean() == pytest.approx(t, abs=GRID.dt)

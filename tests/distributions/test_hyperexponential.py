@@ -1,0 +1,128 @@
+"""Hyperexponential family: mixtures, cv fitting, Bayesian aging."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Hyperexponential
+
+
+class TestConstruction:
+    def test_from_mean_and_cv(self):
+        h = Hyperexponential.from_mean_and_cv(2.0, cv=3.0)
+        assert h.mean() == pytest.approx(2.0)
+        assert h.cv() == pytest.approx(3.0)
+
+    def test_cv_one_degenerates_to_exponential(self):
+        h = Hyperexponential.from_mean_and_cv(2.0, cv=1.0)
+        e = Exponential.from_mean(2.0)
+        xs = np.linspace(0, 10, 50)
+        np.testing.assert_allclose(np.asarray(h.sf(xs)), np.asarray(e.sf(xs)), rtol=1e-12)
+
+    def test_rejects_cv_below_one(self):
+        with pytest.raises(ValueError):
+            Hyperexponential.from_mean_and_cv(2.0, cv=0.5)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            Hyperexponential([1.2, -0.2], [1.0, 2.0])
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.5], [1.0, -2.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Hyperexponential([0.5, 0.5], [1.0])
+
+
+class TestLaw:
+    @pytest.fixture
+    def h(self):
+        return Hyperexponential([0.3, 0.7], [0.25, 2.0])
+
+    def test_sf_is_weighted_sum(self, h):
+        x = 1.7
+        expected = 0.3 * math.exp(-0.25 * x) + 0.7 * math.exp(-2.0 * x)
+        assert float(h.sf(x)) == pytest.approx(expected)
+
+    def test_mean_and_var(self, h):
+        assert h.mean() == pytest.approx(0.3 / 0.25 + 0.7 / 2.0)
+        second = 2 * (0.3 / 0.25**2 + 0.7 / 2.0**2)
+        assert h.var() == pytest.approx(second - h.mean() ** 2)
+
+    def test_cv_at_least_one(self, h):
+        assert h.cv() >= 1.0
+
+    def test_sampling_matches_cdf(self, h):
+        rng = np.random.default_rng(0)
+        xs = np.asarray(h.sample(rng, 60_000))
+        for probe in (0.2, 1.0, 4.0):
+            assert float(np.mean(xs <= probe)) == pytest.approx(
+                float(h.cdf(probe)), abs=0.01
+            )
+
+    def test_scalar_sample(self, h):
+        rng = np.random.default_rng(1)
+        assert np.ndim(h.sample(rng)) == 0
+
+
+class TestAging:
+    def test_aged_stays_hyperexponential(self):
+        h = Hyperexponential([0.5, 0.5], [0.2, 5.0])
+        aged = h.aged(2.0)
+        assert isinstance(aged, Hyperexponential)
+        np.testing.assert_allclose(aged.rates, h.rates)
+
+    def test_aging_shifts_weight_to_slow_class(self):
+        h = Hyperexponential([0.5, 0.5], [0.2, 5.0])
+        aged = h.aged(2.0)
+        assert aged.weights[0] > 0.5  # the slow class (rate 0.2) gains weight
+
+    def test_residual_life_grows_with_age(self):
+        """DFR: like the paper's Pareto, survival is evidence of slowness."""
+        h = Hyperexponential.from_mean_and_cv(1.0, cv=2.5)
+        ages = [0.0, 0.5, 2.0, 10.0]
+        residuals = [h.mean_residual(a) for a in ages]
+        assert all(a < b for a, b in zip(residuals, residuals[1:]))
+
+    def test_residual_life_converges_to_slowest_class(self):
+        h = Hyperexponential([0.5, 0.5], [0.2, 5.0])
+        assert h.mean_residual(100.0) == pytest.approx(1.0 / 0.2, rel=1e-6)
+
+    @given(age=st.floats(0.0, 20.0), t=st.floats(0.0, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_aging_identity(self, age, t):
+        h = Hyperexponential([0.4, 0.6], [0.3, 3.0])
+        aged = h.aged(age)
+        expected = float(h.sf(age + t)) / float(h.sf(age))
+        assert float(aged.sf(t)) == pytest.approx(expected, rel=1e-9)
+
+
+class TestSolverCompatibility:
+    def test_transform_solver_accepts_hyperexponential(self):
+        from repro.core import DCSModel, Metric, ReallocationPolicy, TransformSolver, ZeroDelayNetwork
+
+        model = DCSModel(
+            service=[Hyperexponential.from_mean_and_cv(1.0, cv=2.0)],
+            network=ZeroDelayNetwork(),
+        )
+        solver = TransformSolver.for_workload(model, [5], dt=0.01, span=8.0)
+        value = solver.average_execution_time([5], ReallocationPolicy.none(1))
+        assert value == pytest.approx(5.0, rel=0.02)
+
+    def test_theorem1_solver_accepts_hyperexponential(self):
+        from repro.core import DCSModel, ReallocationPolicy, Theorem1Solver, ZeroDelayNetwork
+
+        model = DCSModel(
+            service=[Hyperexponential.from_mean_and_cv(1.0, cv=2.0)],
+            network=ZeroDelayNetwork(),
+        )
+        solver = Theorem1Solver(model, ds=0.05)
+        value = solver.average_execution_time([3], ReallocationPolicy.none(1))
+        assert value == pytest.approx(3.0, rel=0.02)

@@ -1,0 +1,115 @@
+"""Pareto family: heavy tails, infinite moments, Lomax aging."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Pareto, PARETO1_ALPHA, PARETO2_ALPHA
+from repro.distributions.pareto import _Lomax
+
+
+class TestConstruction:
+    def test_from_mean_pareto1(self):
+        d = Pareto.from_mean(2.0, PARETO1_ALPHA)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.x_m == pytest.approx(2.0 * 1.5 / 2.5)
+
+    def test_from_mean_requires_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            Pareto.from_mean(2.0, 1.0)
+
+    @pytest.mark.parametrize("alpha,x_m", [(0.0, 1.0), (-1.0, 1.0), (2.0, 0.0), (2.0, -1.0)])
+    def test_rejects_bad_params(self, alpha, x_m):
+        with pytest.raises(ValueError):
+            Pareto(alpha, x_m)
+
+
+class TestMoments:
+    def test_pareto1_finite_variance(self):
+        d = Pareto.from_mean(2.0, PARETO1_ALPHA)
+        assert math.isfinite(d.var())
+        a, xm = d.alpha, d.x_m
+        assert d.var() == pytest.approx(xm**2 * a / ((a - 1) ** 2 * (a - 2)))
+
+    def test_pareto2_infinite_variance_finite_mean(self):
+        d = Pareto.from_mean(2.0, PARETO2_ALPHA)
+        assert d.mean() == pytest.approx(2.0)
+        assert math.isinf(d.var())
+
+    def test_alpha_below_one_infinite_mean(self):
+        assert math.isinf(Pareto(0.9, 1.0).mean())
+
+
+class TestTail:
+    def test_survival_power_law(self):
+        d = Pareto(2.0, 1.0)
+        assert float(d.sf(10.0)) == pytest.approx(0.01)
+        assert float(d.sf(100.0)) == pytest.approx(1e-4)
+
+    def test_no_mass_below_xm(self):
+        d = Pareto(2.5, 1.5)
+        assert float(d.cdf(1.49)) == 0.0
+        assert float(d.pdf(1.0)) == 0.0
+
+    @given(alpha=st.floats(1.1, 5.0), x_m=st.floats(0.1, 10.0), t=st.floats(0.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sf_formula(self, alpha, x_m, t):
+        d = Pareto(alpha, x_m)
+        x = x_m + t
+        assert float(d.sf(x)) == pytest.approx((x_m / x) ** alpha, rel=1e-10)
+
+
+class TestAging:
+    """Pareto aging *increases* residual life — the anti-memoryless signature."""
+
+    def test_aged_beyond_xm_is_lomax(self):
+        d = Pareto(2.5, 1.0)
+        aged = d.aged(3.0)
+        assert isinstance(aged, _Lomax)
+        assert aged.mean() == pytest.approx(3.0 / 1.5)
+
+    def test_mean_residual_grows_linearly(self):
+        d = Pareto(2.0, 1.0)
+        assert d.mean_residual(2.0) == pytest.approx(2.0)
+        assert d.mean_residual(8.0) == pytest.approx(8.0)
+
+    @given(age1=st.floats(1.0, 10.0), delta=st.floats(0.5, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_residual_life_increases_with_age(self, age1, delta):
+        d = Pareto(2.5, 1.0)
+        assert d.mean_residual(age1 + delta) > d.mean_residual(age1)
+
+    def test_aged_before_xm_keeps_support_gap(self):
+        d = Pareto(2.5, 2.0)
+        aged = d.aged(0.5)
+        lo, _ = aged.support()
+        assert lo == pytest.approx(1.5)
+        assert float(aged.sf(1.0)) == 1.0
+
+    def test_lomax_aging_composes(self):
+        lom = _Lomax(2.5, 3.0)
+        assert lom.aged(2.0).scale == pytest.approx(5.0)
+        assert lom.aged(0.0) is lom
+
+
+class TestLomax:
+    def test_moments(self):
+        lom = _Lomax(3.0, 4.0)
+        assert lom.mean() == pytest.approx(2.0)
+        assert lom.var() == pytest.approx(16.0 * 3.0 / (4.0 * 1.0))
+
+    def test_sampling_matches_cdf(self):
+        rng = np.random.default_rng(0)
+        lom = _Lomax(2.5, 1.0)
+        xs = np.asarray(lom.sample(rng, 50_000))
+        for probe in (0.5, 1.0, 3.0):
+            assert float(np.mean(xs <= probe)) == pytest.approx(
+                float(lom.cdf(probe)), abs=0.01
+            )
+
+    def test_infinite_moments(self):
+        assert math.isinf(_Lomax(0.9, 1.0).mean())
+        assert math.isinf(_Lomax(1.5, 1.0).var())

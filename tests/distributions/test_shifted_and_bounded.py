@@ -1,0 +1,182 @@
+"""Shifted-exponential, shifted-gamma, uniform, Weibull, deterministic laws."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    ShiftedExponential,
+    ShiftedGamma,
+    SupportError,
+    Uniform,
+    Weibull,
+)
+
+
+class TestShiftedExponential:
+    def test_from_mean_default_split(self):
+        d = ShiftedExponential.from_mean(2.0)
+        assert d.shift == pytest.approx(1.0)
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_minimum_delay_is_hard(self):
+        """The paper's motivation: non-zero minimum propagation delay."""
+        d = ShiftedExponential(1.0, 2.0)
+        assert float(d.cdf(0.99)) == 0.0
+        assert float(d.sf(0.5)) == 1.0
+
+    def test_aging_consumes_shift_then_memoryless(self):
+        d = ShiftedExponential(1.0, 2.0)
+        partly = d.aged(0.4)
+        assert isinstance(partly, ShiftedExponential)
+        assert partly.shift == pytest.approx(0.6)
+        fully = d.aged(1.5)
+        assert isinstance(fully, Exponential)
+        assert fully.rate == pytest.approx(2.0)
+
+    @given(shift=st.floats(0.0, 5.0), rate=st.floats(0.2, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_var_ignores_shift(self, shift, rate):
+        assert ShiftedExponential(shift, rate).var() == pytest.approx(rate**-2)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(-0.1, 1.0)
+
+    def test_from_mean_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential.from_mean(2.0, shift_fraction=1.0)
+
+
+class TestShiftedGamma:
+    def test_from_mean(self):
+        d = ShiftedGamma.from_mean(2.0, shape=2.0, shift_fraction=0.3)
+        assert d.mean() == pytest.approx(2.0)
+        assert d.shift == pytest.approx(0.6)
+
+    def test_cdf_sf_consistent_with_scipy(self):
+        from scipy import stats
+
+        d = ShiftedGamma(2.5, 0.8, 0.5)
+        xs = np.linspace(0.0, 10.0, 50)
+        expected = stats.gamma.cdf(np.maximum(xs - 0.5, 0.0), 2.5, scale=0.8)
+        np.testing.assert_allclose(np.asarray(d.cdf(xs)), expected, atol=1e-12)
+
+    def test_mean_residual_closed_form_vs_quadrature(self):
+        from repro.distributions.base import Distribution
+
+        d = ShiftedGamma(2.0, 0.7, 0.4)
+        for a in (0.0, 0.2, 1.0, 3.0):
+            generic = Distribution.mean_residual(d, a)
+            assert d.mean_residual(a) == pytest.approx(generic, rel=1e-6)
+
+    def test_mean_residual_far_tail_converges_to_scale(self):
+        d = ShiftedGamma(2.0, 0.7, 0.0)
+        assert d.mean_residual(200.0) == pytest.approx(0.7, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ShiftedGamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ShiftedGamma(1.0, -1.0)
+        with pytest.raises(ValueError):
+            ShiftedGamma(1.0, 1.0, -0.5)
+
+
+class TestUniform:
+    def test_from_mean_full_width(self):
+        d = Uniform.from_mean(2.0)
+        assert d.support() == (0.0, 4.0)
+
+    def test_from_mean_narrow(self):
+        d = Uniform.from_mean(2.0, half_width_fraction=0.5)
+        assert d.support() == (1.0, 3.0)
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_aging_shrinks_support(self):
+        d = Uniform(1.0, 3.0)
+        aged = d.aged(2.0)
+        assert aged.support() == (0.0, 1.0)
+        assert aged.mean() == pytest.approx(0.5)
+
+    def test_aging_past_support_raises(self):
+        with pytest.raises(SupportError):
+            Uniform(0.0, 2.0).aged(2.5)
+
+    def test_mean_residual_past_support_raises(self):
+        with pytest.raises(SupportError):
+            Uniform(0.0, 2.0).mean_residual(3.0)
+
+    @given(a=st.floats(0.0, 1.9))
+    @settings(max_examples=40, deadline=None)
+    def test_hazard_increases_with_age(self, a):
+        """Bounded support => increasing hazard => aging shortens life."""
+        d = Uniform(0.0, 2.0)
+        assert d.mean_residual(a) <= d.mean() + 1e-12
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+
+class TestWeibull:
+    def test_from_mean(self):
+        d = Weibull.from_mean(3.0, shape=2.0)
+        assert d.mean() == pytest.approx(3.0)
+
+    def test_shape_one_is_exponential(self):
+        w = Weibull(1.0, 2.0)
+        e = Exponential(0.5)
+        xs = np.linspace(0.0, 10.0, 30)
+        np.testing.assert_allclose(np.asarray(w.sf(xs)), np.asarray(e.sf(xs)), rtol=1e-10)
+        np.testing.assert_allclose(np.asarray(w.pdf(xs)), np.asarray(e.pdf(xs)), rtol=1e-10)
+
+    def test_increasing_hazard_shortens_residual_life(self):
+        d = Weibull(2.0, 1.0)
+        assert d.mean_residual(2.0) < d.mean_residual(1.0) < d.mean()
+
+    def test_decreasing_hazard_lengthens_residual_life(self):
+        d = Weibull(0.5, 1.0)
+        assert d.mean_residual(2.0) > d.mean_residual(1.0) > d.mean()
+
+    def test_mean_residual_matches_quadrature(self):
+        from repro.distributions.base import Distribution
+
+        d = Weibull(1.7, 2.3)
+        for a in (0.0, 0.5, 2.0, 5.0):
+            assert d.mean_residual(a) == pytest.approx(
+                Distribution.mean_residual(d, a), rel=1e-6
+            )
+
+    def test_pdf_at_zero_shape_above_one(self):
+        assert float(Weibull(2.0, 1.0).pdf(0.0)) == 0.0
+
+
+class TestDeterministic:
+    def test_atom_semantics(self):
+        d = Deterministic(2.0)
+        assert float(d.cdf(1.999)) == 0.0
+        assert float(d.cdf(2.0)) == 1.0
+        assert d.var() == 0.0
+
+    def test_aging_counts_down(self):
+        d = Deterministic(2.0)
+        assert d.aged(1.5).value == pytest.approx(0.5)
+        with pytest.raises(SupportError):
+            d.aged(2.5)
+
+    def test_sample_is_constant(self):
+        rng = np.random.default_rng(0)
+        d = Deterministic(3.0)
+        assert d.sample(rng) == 3.0
+        assert np.all(np.asarray(d.sample(rng, 10)) == 3.0)
+
+    def test_zero_atom_allowed(self):
+        d = Deterministic(0.0)
+        assert float(d.cdf(0.0)) == 1.0
+        assert d.mean() == 0.0

@@ -1,0 +1,165 @@
+"""The command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.scenario == "two-server"
+        assert args.family == "pareto1"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_metrics_reliable(self, capsys):
+        code = main(
+            [
+                "metrics",
+                "--family",
+                "uniform",
+                "--delay",
+                "low",
+                "--reliable",
+                "--l12",
+                "10",
+                "--deadline",
+                "120",
+                "--dt",
+                "0.2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "average execution time:" in out
+        assert "QoS within 120 s" in out
+
+    def test_metrics_with_failures_reports_reliability(self, capsys):
+        code = main(
+            ["metrics", "--family", "exponential", "--l12", "20", "--dt", "0.2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service reliability:" in out
+
+    def test_optimize(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--family",
+                "uniform",
+                "--delay",
+                "severe",
+                "--reliable",
+                "--metric",
+                "avg_execution_time",
+                "--step",
+                "25",
+                "--dt",
+                "0.25",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal policy: L12=" in out
+
+    def test_optimize_avg_time_needs_reliable(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "--metric", "avg_execution_time"])
+
+    def test_optimize_rejects_five_server(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "optimize",
+                    "--scenario",
+                    "five-server",
+                    "--reliable",
+                    "--metric",
+                    "avg_execution_time",
+                ]
+            )
+
+    def test_algorithm1(self, capsys):
+        code = main(
+            [
+                "algorithm1",
+                "--scenario",
+                "five-server",
+                "--family",
+                "exponential",
+                "--reliable",
+                "--iterations",
+                "2",
+                "--dt",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seed policy (eq. 5):" in out
+        assert "policy:" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--family",
+                "exponential",
+                "--metric",
+                "reliability",
+                "--l12",
+                "20",
+                "--reps",
+                "50",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimate:" in out
+
+    def test_simulate_multi_server_policy_string(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "five-server",
+                "--family",
+                "exponential",
+                "--reliable",
+                "--metric",
+                "avg_execution_time",
+                "--policy",
+                "0,0,0,0,50;0,0,0,0,10;0,0,0,0,0;0,0,0,0,0;0,0,0,0,0",
+                "--reps",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimate:" in out
+
+    def test_policy_string_shape_checked(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--scenario",
+                    "five-server",
+                    "--reliable",
+                    "--policy",
+                    "0,0;0,0",
+                    "--reps",
+                    "5",
+                ]
+            )

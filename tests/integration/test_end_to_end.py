@@ -1,0 +1,106 @@
+"""End-to-end workflows at reduced scale: the paper's pipeline in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Algorithm1,
+    MCPolicySearch,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    markovian_approximation,
+)
+from repro.simulation import DCSSimulator, estimate_metric
+from repro.workloads import five_server_scenario, two_server_scenario
+
+
+class TestTwoServerPipeline:
+    """Scenario -> solver -> optimal policy -> MC validation (Table I flow)."""
+
+    def test_optimize_then_validate(self, rng):
+        sc = two_server_scenario("shifted-exponential", delay="severe", with_failures=False)
+        loads = [24, 12]  # miniature version of (100, 50)
+        solver = TransformSolver.for_workload(sc.model, loads, dt=0.05)
+        best = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, loads, step=3
+        )
+        mc = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, sc.model, loads, best.policy, 800, rng
+        )
+        assert abs(best.value - mc.value) < 3 * mc.half_width + 0.02 * best.value
+        # and the optimum really beats doing nothing
+        nothing = solver.average_execution_time(loads, ReallocationPolicy.none(2))
+        assert best.value < nothing
+
+    def test_markovian_policy_deployed_on_true_system(self):
+        """The Table I degradation computation, miniaturized."""
+        sc = two_server_scenario("pareto2", delay="severe", with_failures=False)
+        loads = [24, 12]
+        solver = TransformSolver.for_workload(sc.model, loads, dt=0.05)
+        exp_model = markovian_approximation(sc.model)
+        exp_solver = TransformSolver.for_workload(exp_model, loads, dt=0.05)
+        best_true = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, loads, step=3
+        )
+        best_exp = TwoServerOptimizer(exp_solver).optimize(
+            Metric.AVG_EXECUTION_TIME, loads, step=3
+        )
+        deployed = solver.average_execution_time(loads, best_exp.policy)
+        assert deployed >= best_true.value - 1e-9
+
+
+class TestMultiServerPipeline:
+    """Algorithm 1 -> MC evaluation -> MC-search benchmark (Table II flow)."""
+
+    def test_algorithm1_beats_nothing_and_tracks_benchmark(self, rng):
+        sc = five_server_scenario("shifted-exponential", with_failures=False)
+        loads = [25, 12, 6, 4, 3]  # miniature of the 200-task workload
+        algo = Algorithm1(sc.model, Metric.AVG_EXECUTION_TIME, dt=0.2, max_iterations=4)
+        res = algo.run(loads)
+        mc_algo = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, sc.model, loads, res.policy, 300, rng
+        )
+        mc_nothing = estimate_metric(
+            Metric.AVG_EXECUTION_TIME,
+            sc.model,
+            loads,
+            ReallocationPolicy.none(5),
+            300,
+            rng,
+        )
+        assert mc_algo.value < mc_nothing.value
+        search = MCPolicySearch(sc.model, Metric.AVG_EXECUTION_TIME, n_reps=60)
+        bench = search.search(loads, rng, n_random=4, step_sizes=(4, 2))
+        # Algorithm 1 should land within a modest factor of the MC benchmark
+        assert mc_algo.value <= 1.8 * bench.value + 1.0
+
+    def test_reliability_pipeline(self, rng):
+        sc = five_server_scenario("exponential", with_failures=True)
+        loads = [25, 12, 6, 4, 3]
+        algo = Algorithm1(
+            sc.model, Metric.RELIABILITY, dt=0.2, max_iterations=3
+        )
+        res = algo.run(loads, criterion="reliability")
+        mc = estimate_metric(Metric.RELIABILITY, sc.model, loads, res.policy, 300, rng)
+        assert 0.0 <= mc.value <= 1.0
+
+
+class TestSimulatorStatistics:
+    def test_utilization_story_low_delay(self, rng):
+        """The paper's resource-usage discussion: optimal low-delay policies
+        keep both servers busy for comparable times."""
+        sc = two_server_scenario("exponential", delay="low", with_failures=False)
+        loads = [20, 10]
+        solver = TransformSolver.for_workload(sc.model, loads, dt=0.05)
+        best = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, loads, step=2
+        )
+        sim = DCSSimulator(sc.model)
+        busy = np.zeros(2)
+        for _ in range(150):
+            result = sim.run(loads, best.policy, rng)
+            busy += result.busy_time
+        ratio = busy[0] / busy[1]
+        assert 0.6 < ratio < 1.7

@@ -1,0 +1,33 @@
+"""Example scripts: the quickstart runs end-to-end; all examples compile."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_directory_has_required_scripts():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.name)
+def test_examples_compile(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "optimal for T̄" in result.stdout
+    assert "MC check" in result.stdout

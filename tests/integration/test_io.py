@@ -1,0 +1,83 @@
+"""JSON serialization round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import (
+    MCEstimate,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+)
+from repro.io import (
+    dumps,
+    estimate_from_dict,
+    estimate_to_dict,
+    loads,
+    optimization_result_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+)
+
+from ..conftest import small_exp_model
+
+
+class TestPolicyRoundTrip:
+    def test_round_trip(self):
+        p = ReallocationPolicy.two_server(12, 3)
+        assert policy_from_dict(policy_to_dict(p)) == p
+
+    def test_multi_server_round_trip(self):
+        from repro.core import Transfer
+
+        p = ReallocationPolicy.from_transfers(4, [Transfer(0, 3, 7), Transfer(2, 1, 2)])
+        assert loads(dumps(p)) == p
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            policy_from_dict({"type": "other"})
+
+    def test_rejects_inconsistent_n(self):
+        payload = policy_to_dict(ReallocationPolicy.two_server(1, 0))
+        payload["n"] = 5
+        with pytest.raises(ValueError):
+            policy_from_dict(payload)
+
+
+class TestEstimateRoundTrip:
+    def test_round_trip(self):
+        e = MCEstimate(0.5, 0.4, 0.6, 100, n_failures=3)
+        assert loads(dumps(e)) == e
+
+    def test_infinity_encoded_as_null(self):
+        e = MCEstimate(math.inf, math.inf, math.inf, 10)
+        payload = json.loads(dumps(e))
+        assert payload["value"] is None
+        revived = estimate_from_dict(payload)
+        assert math.isinf(revived.value)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            estimate_from_dict({"type": "policy"})
+
+
+class TestOptimizationResult:
+    def test_serializes_optimizer_output(self):
+        solver = TransformSolver.for_workload(small_exp_model(), [6, 3], dt=0.05)
+        result = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [6, 3], step=3
+        )
+        payload = json.loads(dumps(result))
+        assert payload["type"] == "optimization_result"
+        assert payload["metric"] == "avg_execution_time"
+        revived_policy = policy_from_dict(payload["policy"])
+        assert revived_policy == result.policy
+
+
+class TestPlainValues:
+    def test_plain_json_passthrough(self):
+        assert loads(dumps({"a": [1, 2]})) == {"a": [1, 2]}
+        assert loads("[1, 2, 3]") == [1, 2, 3]

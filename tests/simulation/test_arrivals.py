@@ -1,0 +1,97 @@
+"""Open-system Poisson arrivals (the paper's future-work scenario)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, ReallocationPolicy, ZeroDelayNetwork
+from repro.distributions import Deterministic, Exponential
+from repro.simulation import DCSSimulator, EventKind
+
+from ..conftest import small_exp_model
+
+
+class TestConfiguration:
+    def test_with_arrivals_validates(self):
+        sim = DCSSimulator(small_exp_model())
+        with pytest.raises(ValueError):
+            sim.with_arrivals([1.0], 10)  # wrong length
+        with pytest.raises(ValueError):
+            sim.with_arrivals([0.0, 0.0], 10)  # no positive rate
+        with pytest.raises(ValueError):
+            sim.with_arrivals([1.0, 1.0], 0)  # empty cap
+
+    def test_fluent_returns_self(self):
+        sim = DCSSimulator(small_exp_model())
+        assert sim.with_arrivals([1.0, 0.5], 5) is sim
+
+
+class TestOpenSystemRuns:
+    def test_exact_cap_of_tasks_arrives_and_serves(self, rng):
+        sim = DCSSimulator(small_exp_model()).with_arrivals([2.0, 1.0], 12)
+        result = sim.run([3, 2], ReallocationPolicy.none(2), rng)
+        assert result.completed
+        assert sum(result.tasks_arrived) == 12
+        assert result.total_served == 3 + 2 + 12
+
+    def test_zero_initial_load_pure_arrivals(self, rng):
+        sim = DCSSimulator(small_exp_model()).with_arrivals([1.0, 1.0], 8)
+        result = sim.run([0, 0], ReallocationPolicy.none(2), rng)
+        assert result.completed
+        assert result.total_served == 8
+
+    def test_rate_zero_server_receives_nothing(self, rng):
+        sim = DCSSimulator(small_exp_model()).with_arrivals([3.0, 0.0], 10)
+        result = sim.run([0, 0], ReallocationPolicy.none(2), rng)
+        assert result.tasks_arrived[1] == 0
+        assert result.tasks_arrived[0] == 10
+
+    def test_arrival_times_look_poisson(self, rng):
+        """Mean inter-arrival on the traced stream ~ 1/rate."""
+        sim = DCSSimulator(small_exp_model(), record_trace=True).with_arrivals(
+            [4.0, 0.0], 200
+        )
+        result = sim.run([0, 0], ReallocationPolicy.none(2), rng)
+        times = [r.time for r in result.trace.of_kind(EventKind.TASK_ARRIVAL)]
+        gaps = np.diff([0.0] + times)
+        assert float(np.mean(gaps)) == pytest.approx(0.25, rel=0.25)
+
+    def test_open_system_takes_longer_than_closed(self, rng):
+        closed = DCSSimulator(small_exp_model())
+        open_sys = DCSSimulator(small_exp_model()).with_arrivals([0.2, 0.2], 10)
+        t_closed = np.mean(
+            [
+                closed.run([5, 5], ReallocationPolicy.none(2), rng).completion_time
+                for _ in range(40)
+            ]
+        )
+        t_open = np.mean(
+            [
+                open_sys.run([5, 5], ReallocationPolicy.none(2), rng).completion_time
+                for _ in range(40)
+            ]
+        )
+        assert t_open > t_closed
+
+    def test_arrival_to_dead_server_dooms_workload(self):
+        model = DCSModel(
+            service=[Exponential(1.0)],
+            network=ZeroDelayNetwork(),
+            failure=[Deterministic(0.5)],
+        )
+        sim = DCSSimulator(model).with_arrivals([0.5], 5)
+        # some run will place an arrival after t=0.5 at the dead server
+        doomed = False
+        for seed in range(20):
+            result = sim.run([0], ReallocationPolicy.none(1), np.random.default_rng(seed))
+            if not result.completed:
+                doomed = True
+                break
+        assert doomed
+
+    def test_closed_system_unaffected_by_default(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        result = sim.run([4, 2], ReallocationPolicy.none(2), rng)
+        assert result.tasks_arrived == (0, 0)
+        assert result.total_served == 6

@@ -1,0 +1,136 @@
+"""Paired policy comparison with common random numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Metric, ReallocationPolicy
+from repro.simulation.compare import compare_policies
+
+from ..conftest import small_exp_model
+
+
+class TestComparePolicies:
+    def test_obvious_winner_detected(self):
+        """Offloading half of a 20-task queue to the idle fast server must
+        significantly beat doing nothing."""
+        model = small_exp_model()
+        result = compare_policies(
+            model,
+            [20, 0],
+            {
+                "nothing": ReallocationPolicy.none(2),
+                "offload": ReallocationPolicy.two_server(10, 0),
+            },
+            Metric.AVG_EXECUTION_TIME,
+            n_reps=120,
+        )
+        assert result.best == "offload"
+        assert result.is_clear_winner()
+
+    def test_identical_policies_not_distinguished(self):
+        model = small_exp_model()
+        result = compare_policies(
+            model,
+            [10, 5],
+            {
+                "a": ReallocationPolicy.two_server(3, 0),
+                "b": ReallocationPolicy.two_server(3, 0),
+            },
+            Metric.AVG_EXECUTION_TIME,
+            n_reps=60,
+        )
+        assert not result.is_clear_winner()
+        assert not result.significant.any()
+
+    def test_crn_separates_close_policies(self):
+        """CRN power: individually-overlapping CIs, significant paired gap.
+
+        Moving 6 vs 7 tasks differs by ~1 s of T̄ — far inside either
+        policy's own ±1.2 s confidence interval, yet the paired test
+        resolves it because the same random draws hit both policies.
+        """
+        model = small_exp_model()
+        result = compare_policies(
+            model,
+            [20, 5],
+            {
+                "p6": ReallocationPolicy.two_server(6, 0),
+                "p7": ReallocationPolicy.two_server(7, 0),
+            },
+            Metric.AVG_EXECUTION_TIME,
+            n_reps=100,
+        )
+        gap = abs(result.values[0] - result.values[1])
+        ci_overlap = gap < result.half_widths.sum()
+        assert ci_overlap, "sanity: the naive CIs should not separate these"
+        assert result.significant.any(), "the paired test should separate them"
+
+    def test_reliability_comparison(self):
+        model = small_exp_model(with_failures=True)
+        result = compare_policies(
+            model,
+            [10, 5],
+            {
+                "keep": ReallocationPolicy.none(2),
+                "dump-on-fragile": ReallocationPolicy.two_server(10, 0),
+            },
+            Metric.RELIABILITY,
+            n_reps=150,
+        )
+        assert set(result.names) == {"keep", "dump-on-fragile"}
+        assert np.all((result.values >= 0) & (result.values <= 1))
+
+    def test_ranking_order_matches_metric_direction(self):
+        model = small_exp_model()
+        result = compare_policies(
+            model,
+            [20, 0],
+            {
+                "bad": ReallocationPolicy.none(2),
+                "good": ReallocationPolicy.two_server(10, 0),
+            },
+            Metric.AVG_EXECUTION_TIME,
+            n_reps=80,
+        )
+        ranked_values = [result.values[i] for i in result.ranking]
+        assert ranked_values == sorted(ranked_values)
+
+    def test_summary_renders(self):
+        model = small_exp_model()
+        result = compare_policies(
+            model,
+            [6, 3],
+            {
+                "a": ReallocationPolicy.none(2),
+                "b": ReallocationPolicy.two_server(2, 0),
+            },
+            Metric.AVG_EXECUTION_TIME,
+            n_reps=30,
+        )
+        text = result.summary()
+        assert "paired comparison" in text
+        assert "clear winner:" in text
+
+    def test_validation(self):
+        model = small_exp_model()
+        with pytest.raises(ValueError, match="at least two"):
+            compare_policies(
+                model, [5, 5], {"only": ReallocationPolicy.none(2)},
+                Metric.AVG_EXECUTION_TIME, 10,
+            )
+        with pytest.raises(ValueError, match="deadline"):
+            compare_policies(
+                model,
+                [5, 5],
+                {"a": ReallocationPolicy.none(2), "b": ReallocationPolicy.two_server(1, 0)},
+                Metric.QOS,
+                10,
+            )
+        with pytest.raises(ValueError, match="reliable"):
+            compare_policies(
+                small_exp_model(with_failures=True),
+                [5, 5],
+                {"a": ReallocationPolicy.none(2), "b": ReallocationPolicy.two_server(1, 0)},
+                Metric.AVG_EXECUTION_TIME,
+                10,
+            )

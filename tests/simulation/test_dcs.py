@@ -1,0 +1,176 @@
+"""DCS simulator semantics: conservation, failures, transfers, traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, ReallocationPolicy, ZeroDelayNetwork
+from repro.distributions import Deterministic, Exponential
+from repro.simulation import DCSSimulator, EventKind
+
+from ..conftest import exp_network, small_exp_model
+
+
+class TestBasicRuns:
+    def test_completes_and_conserves_tasks(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        result = sim.run([5, 3], ReallocationPolicy.two_server(2, 1), rng)
+        assert result.completed
+        assert result.total_served == 8
+        assert result.total_lost == 0
+        assert 0 < result.completion_time < math.inf
+
+    def test_empty_workload_finishes_instantly(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        result = sim.run([0, 0], ReallocationPolicy.none(2), rng)
+        assert result.completed
+        assert result.completion_time == math.inf or result.completion_time >= 0
+
+    def test_deterministic_clocks_give_deterministic_time(self, rng):
+        net = ZeroDelayNetwork()
+        model = DCSModel(service=[Deterministic(2.0)], network=net)
+        sim = DCSSimulator(model)
+        result = sim.run([4], ReallocationPolicy.none(1), rng)
+        assert result.completion_time == pytest.approx(8.0)
+
+    def test_seeded_runs_reproduce(self):
+        sim = DCSSimulator(small_exp_model())
+        pol = ReallocationPolicy.two_server(2, 0)
+        a = sim.run([5, 3], pol, np.random.default_rng(42)).completion_time
+        b = sim.run([5, 3], pol, np.random.default_rng(42)).completion_time
+        assert a == b
+
+    def test_policy_dimension_checked(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        with pytest.raises(ValueError):
+            sim.run([5, 3, 1], ReallocationPolicy.none(3), rng)
+
+    def test_busy_time_bounded_by_makespan(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        result = sim.run([5, 3], ReallocationPolicy.none(2), rng)
+        for busy in result.busy_time:
+            assert 0.0 <= busy <= result.completion_time + 1e-9
+
+
+class TestTransfers:
+    def test_transferred_tasks_served_at_destination(self, rng):
+        net = ZeroDelayNetwork()
+        model = DCSModel(
+            service=[Deterministic(5.0), Deterministic(0.5)], network=net
+        )
+        sim = DCSSimulator(model)
+        result = sim.run([4, 0], ReallocationPolicy.two_server(3, 0), rng)
+        assert result.tasks_served == (1, 3)
+        assert result.completion_time == pytest.approx(5.0)
+
+    def test_transfer_delay_postpones_service(self, rng):
+        net_model = DCSModel(
+            service=[Deterministic(1.0), Deterministic(1.0)],
+            network=_det_network(latency=10.0, per_task=0.0),
+        )
+        sim = DCSSimulator(net_model)
+        result = sim.run([2, 0], ReallocationPolicy.two_server(1, 0), rng)
+        # server 2 waits 10 s for the group, then serves 1 task
+        assert result.completion_time == pytest.approx(11.0)
+
+
+class TestFailures:
+    def failing_model(self, mttf=(0.5, 0.5)):
+        return DCSModel(
+            service=[Exponential(0.01), Exponential(0.01)],  # ~100 s/task
+            network=exp_network(),
+            failure=[Exponential.from_mean(m) for m in mttf],
+        )
+
+    def test_certain_failure_dooms_workload(self, rng):
+        sim = DCSSimulator(self.failing_model())
+        result = sim.run([3, 3], ReallocationPolicy.none(2), rng)
+        assert not result.completed
+        assert math.isinf(result.completion_time)
+        assert result.total_lost > 0
+
+    def test_failed_at_recorded(self, rng):
+        sim = DCSSimulator(self.failing_model())
+        result = sim.run([3, 3], ReallocationPolicy.none(2), rng)
+        assert any(t is not None for t in result.failed_at)
+
+    def test_group_to_dead_server_is_lost(self):
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(1.0)],
+            network=_det_network(latency=100.0, per_task=0.0),
+            failure=[None, Deterministic(1.0)],  # server 2 dies at t=1
+        )
+        sim = DCSSimulator(model)
+        result = sim.run(
+            [2, 0], ReallocationPolicy.two_server(2, 0), np.random.default_rng(1)
+        )
+        assert not result.completed
+        assert result.tasks_lost[1] == 2
+
+    def test_reliable_model_never_fails(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        for _ in range(20):
+            assert sim.run([3, 2], ReallocationPolicy.two_server(1, 1), rng).completed
+
+
+class TestTraceAndFN:
+    def test_trace_records_all_services(self, rng):
+        sim = DCSSimulator(small_exp_model(), record_trace=True)
+        result = sim.run([4, 2], ReallocationPolicy.two_server(1, 0), rng)
+        services = result.trace.of_kind(EventKind.SERVICE_COMPLETE)
+        assert len(services) == 6
+        assert result.trace.is_monotone()
+
+    def test_trace_durations_usable_for_fitting(self, rng):
+        sim = DCSSimulator(small_exp_model(), record_trace=True)
+        result = sim.run([10, 5], ReallocationPolicy.none(2), rng)
+        durations = result.trace.service_times(server=0)
+        assert len(durations) == 10
+        assert all(d > 0 for d in durations)
+
+    def _fn_model(self):
+        """Server 0 fails (empty, so nothing is lost) while server 1 works."""
+        return DCSModel(
+            service=[Exponential(1.0), Exponential(0.1)],  # server 1: ~10 s
+            network=exp_network(),
+            failure=[Deterministic(0.5), None],
+        )
+
+    def test_fn_packets_broadcast_on_failure(self):
+        sim = DCSSimulator(self._fn_model(), record_trace=True)
+        result = sim.run([0, 1], ReallocationPolicy.none(2), np.random.default_rng(3))
+        assert result.completed  # nothing was lost
+        fn = result.trace.of_kind(EventKind.FN_ARRIVAL)
+        assert len(fn) == 1
+        assert fn[0].payload["src"] == 0 and fn[0].payload["dst"] == 1
+        assert fn[0].time > 0.5  # delivered after the failure
+
+    def test_fn_broadcast_can_be_disabled(self):
+        sim = DCSSimulator(self._fn_model(), record_trace=True, fn_broadcast=False)
+        result = sim.run([0, 1], ReallocationPolicy.none(2), np.random.default_rng(3))
+        assert not result.trace.of_kind(EventKind.FN_ARRIVAL)
+
+    def test_info_gossip_emitted(self, rng):
+        sim = DCSSimulator(small_exp_model(), record_trace=True, info_period=1.0)
+        result = sim.run([6, 4], ReallocationPolicy.none(2), rng)
+        info = result.trace.of_kind(EventKind.INFO_ARRIVAL)
+        assert info, "periodic queue-length gossip must appear in the trace"
+        assert all("queue_length" in r.payload for r in info)
+
+    def test_no_trace_by_default(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        assert sim.run([2, 1], ReallocationPolicy.none(2), rng).trace is None
+
+    def test_horizon_truncates_run(self, rng):
+        sim = DCSSimulator(small_exp_model(), horizon=0.001)
+        result = sim.run([50, 50], ReallocationPolicy.none(2), rng)
+        assert not result.completed
+
+
+def _det_network(latency: float, per_task: float):
+    from repro.core import HomogeneousNetwork
+
+    return HomogeneousNetwork(
+        Deterministic.from_mean, latency=latency, per_task=per_task, fn_mean=0.1
+    )

@@ -1,0 +1,97 @@
+"""MC estimators: CIs, dispatch, agreement with exact values."""
+
+import numpy as np
+import pytest
+
+from repro.core import MarkovianSolver, Metric, ReallocationPolicy
+from repro.simulation import (
+    bernoulli_ci,
+    estimate_average_execution_time,
+    estimate_metric,
+    estimate_qos,
+    estimate_reliability,
+)
+
+from ..conftest import small_exp_model
+
+
+class TestBernoulliCI:
+    def test_centre_and_bounds(self):
+        est = bernoulli_ci(50, 100)
+        assert est.value == 0.5
+        assert 0.4 < est.ci_low < 0.5 < est.ci_high < 0.6
+
+    def test_extreme_counts_stay_in_unit_interval(self):
+        zero = bernoulli_ci(0, 40)
+        full = bernoulli_ci(40, 40)
+        assert zero.ci_low == 0.0 and zero.ci_high > 0.0
+        assert full.ci_high == 1.0 and full.ci_low < 1.0
+
+    def test_width_shrinks_with_n(self):
+        small = bernoulli_ci(10, 20)
+        large = bernoulli_ci(1000, 2000)
+        assert large.half_width < small.half_width
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bernoulli_ci(0, 0)
+
+    def test_coverage_calibration(self):
+        """~95% of Wilson intervals should contain the true p."""
+        rng = np.random.default_rng(7)
+        p, n, trials = 0.3, 200, 400
+        hits = 0
+        for _ in range(trials):
+            successes = rng.binomial(n, p)
+            if bernoulli_ci(successes, n).contains(p):
+                hits += 1
+        assert 0.90 <= hits / trials <= 0.99
+
+
+class TestEstimators:
+    def test_avg_time_contains_exact_value(self, rng):
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        exact = MarkovianSolver(model).average_execution_time([6, 4], pol)
+        est = estimate_average_execution_time(model, [6, 4], pol, 1500, rng)
+        assert est.ci_low - 0.3 <= exact <= est.ci_high + 0.3
+        assert est.n_samples == 1500
+
+    def test_avg_time_requires_reliable(self, rng):
+        model = small_exp_model(with_failures=True)
+        with pytest.raises(ValueError):
+            estimate_average_execution_time(
+                model, [2, 2], ReallocationPolicy.none(2), 10, rng
+            )
+
+    def test_reliability_contains_exact_value(self, rng):
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.two_server(2, 0)
+        exact = MarkovianSolver(model).reliability([6, 4], pol)
+        est = estimate_reliability(model, [6, 4], pol, 1500, rng)
+        assert est.ci_low - 0.02 <= exact <= est.ci_high + 0.02
+        assert est.n_failures == round((1 - est.value) * 1500)
+
+    def test_qos_contains_exact_value(self, rng):
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        exact = MarkovianSolver(model).qos([6, 4], pol, 12.0)
+        est = estimate_qos(model, [6, 4], pol, 12.0, 1500, rng)
+        assert est.ci_low - 0.02 <= exact <= est.ci_high + 0.02
+
+    def test_qos_needs_deadline_in_dispatch(self, rng):
+        with pytest.raises(ValueError):
+            estimate_metric(
+                Metric.QOS, small_exp_model(), [2, 2], ReallocationPolicy.none(2), 5, rng
+            )
+
+    def test_dispatch_matches_direct_calls(self):
+        model = small_exp_model()
+        pol = ReallocationPolicy.none(2)
+        direct = estimate_average_execution_time(
+            model, [3, 2], pol, 200, np.random.default_rng(5)
+        )
+        via_dispatch = estimate_metric(
+            Metric.AVG_EXECUTION_TIME, model, [3, 2], pol, 200, np.random.default_rng(5)
+        )
+        assert direct.value == via_dispatch.value

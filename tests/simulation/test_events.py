@@ -1,0 +1,53 @@
+"""Event calendar: ordering, FIFO ties, validation."""
+
+import pytest
+
+from repro.simulation import EventKind, EventQueue, ScheduledEvent
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(ScheduledEvent(3.0, EventKind.SERVICE_COMPLETE, {"server": 0}))
+        q.push(ScheduledEvent(1.0, EventKind.SERVER_FAILURE, {"server": 1}))
+        q.push(ScheduledEvent(2.0, EventKind.GROUP_ARRIVAL, {}))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        first = ScheduledEvent(1.0, EventKind.FN_ARRIVAL, {"tag": "a"})
+        second = ScheduledEvent(1.0, EventKind.FN_ARRIVAL, {"tag": "b"})
+        q.push(first)
+        q.push(second)
+        assert q.pop().payload["tag"] == "a"
+        assert q.pop().payload["tag"] == "b"
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(ScheduledEvent(1.0, EventKind.INFO_ARRIVAL, {}))
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(ScheduledEvent(4.5, EventKind.INFO_ARRIVAL, {}))
+        assert q.peek_time() == 4.5
+        assert len(q) == 1  # peek does not pop
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_rejects_past_events(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(ScheduledEvent(-1.0, EventKind.INFO_ARRIVAL, {}))
+
+    def test_drain_empties_in_order(self):
+        q = EventQueue()
+        for t in (5.0, 1.0, 3.0):
+            q.push(ScheduledEvent(t, EventKind.INFO_ARRIVAL, {}))
+        assert [e.time for e in q.drain()] == [1.0, 3.0, 5.0]
+        assert not q

@@ -1,0 +1,81 @@
+"""Queue-estimate staleness model and the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import EventKind, Trace, fresh_estimates, stale_estimates
+
+from ..conftest import small_exp_model
+
+
+class TestFreshEstimates:
+    def test_everyone_sees_truth(self):
+        est = fresh_estimates([5, 9])
+        np.testing.assert_array_equal(est, [[5, 9], [5, 9]])
+
+    def test_explicit_n(self):
+        est = fresh_estimates([5, 9], n=2)
+        assert est.shape == (2, 2)
+
+
+class TestStaleEstimates:
+    def test_zero_delay_is_fresh(self, rng):
+        model = small_exp_model()
+        est = stale_estimates(model, [5, 9], 0.0, rng)
+        np.testing.assert_array_equal(est, fresh_estimates([5, 9]))
+
+    def test_diagonal_always_truthful(self, rng):
+        model = small_exp_model()
+        est = stale_estimates(model, [5, 9], 10.0, rng)
+        assert est[0, 0] == 5 and est[1, 1] == 9
+
+    def test_staleness_inflates_estimates(self, rng):
+        model = small_exp_model()
+        est = stale_estimates(model, [5, 9], 50.0, rng)
+        assert est[0, 1] >= 9
+        assert est[1, 0] >= 5
+
+    def test_faster_servers_drift_more(self):
+        """Server 2 serves twice as fast, so its stale estimate drifts more."""
+        model = small_exp_model()
+        rng = np.random.default_rng(0)
+        drifts = np.zeros(2)
+        for _ in range(300):
+            est = stale_estimates(model, [10, 10], 20.0, rng)
+            drifts += [est[1, 0] - 10, est[0, 1] - 10]
+        assert drifts[1] > drifts[0]
+
+    def test_rejects_negative_delay(self, rng):
+        with pytest.raises(ValueError):
+            stale_estimates(small_exp_model(), [1, 1], -1.0, rng)
+
+
+class TestTrace:
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(enabled=False)
+        t.record(1.0, EventKind.SERVICE_COMPLETE, server=0)
+        assert len(t) == 0
+
+    def test_query_helpers(self):
+        t = Trace()
+        t.record(1.0, EventKind.SERVICE_COMPLETE, server=0, duration=1.0)
+        t.record(2.0, EventKind.SERVICE_COMPLETE, server=1, duration=0.5)
+        t.record(3.0, EventKind.GROUP_ARRIVAL, src=0, dst=1, duration=3.0)
+        assert t.service_times() == [1.0, 0.5]
+        assert t.service_times(server=1) == [0.5]
+        assert t.transfer_times(src=0, dst=1) == [3.0]
+        assert t.transfer_times(src=1) == []
+        assert len(t.of_kind(EventKind.SERVICE_COMPLETE)) == 2
+
+    def test_iteration_and_indexing(self):
+        t = Trace()
+        t.record(1.0, EventKind.FN_ARRIVAL, src=0, dst=1)
+        assert list(t)[0] is t[0]
+
+    def test_monotonicity_check(self):
+        t = Trace()
+        t.record(1.0, EventKind.FN_ARRIVAL)
+        t.record(2.0, EventKind.FN_ARRIVAL)
+        assert t.is_monotone()
+        t.record(1.5, EventKind.FN_ARRIVAL)
+        assert not t.is_monotone()

@@ -1,0 +1,170 @@
+"""Online rebalancing: gossip views, fair-share policy, simulator wiring."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DCSModel, Metric, ReallocationPolicy
+from repro.distributions import Exponential
+from repro.simulation import (
+    DCSSimulator,
+    EventKind,
+    FairShareRebalancer,
+    QueueView,
+)
+
+from ..conftest import exp_network, small_exp_model
+
+
+def make_view(me=0, own=20, reported=(20, 0), alive=(True, True)):
+    n = len(reported)
+    rep = np.asarray(reported, dtype=np.int64)
+    return QueueView(
+        n=n,
+        me=me,
+        own_queue=own,
+        reported=rep,
+        reported_at=np.zeros(n),
+        believed_alive=np.asarray(alive, dtype=bool),
+    )
+
+
+class TestFairShareRebalancer:
+    def test_ships_excess_to_underloaded(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=2)
+        decisions = rb.decide(0.0, make_view(own=20, reported=(20, 0)))
+        assert decisions, "an overloaded server must ship tasks"
+        (dst, size), = decisions
+        assert dst == 1
+        assert 5 <= size <= 10  # fair share is 10; excess 10
+
+    def test_balanced_view_stays_quiet(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0])
+        assert rb.decide(0.0, make_view(own=10, reported=(10, 10))) == []
+
+    def test_threshold_hysteresis(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=5)
+        assert rb.decide(0.0, make_view(own=12, reported=(12, 8))) == []
+
+    def test_cooldown_throttles(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=0, cooldown=10.0)
+        assert rb.decide(0.0, make_view(own=20, reported=(20, 0)))
+        assert rb.decide(5.0, make_view(own=15, reported=(15, 5))) == []
+        assert rb.decide(11.0, make_view(own=15, reported=(15, 5)))
+
+    def test_reset_clears_cooldown(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=0, cooldown=100.0)
+        assert rb.decide(0.0, make_view(own=20, reported=(20, 0)))
+        rb.reset()
+        assert rb.decide(1.0, make_view(own=20, reported=(20, 0)))
+
+    def test_ignores_unheard_servers(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0, 1.0], threshold=0)
+        view = make_view(
+            me=0, own=20, reported=(20, -1, -1), alive=(True, True, True)
+        )
+        assert rb.decide(0.0, view) == []
+
+    def test_ignores_dead_servers(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0, 1.0], threshold=0)
+        view = QueueView(
+            n=3,
+            me=0,
+            own_queue=20,
+            reported=np.array([20, 0, 0]),
+            reported_at=np.zeros(3),
+            believed_alive=np.array([True, False, True]),
+        )
+        decisions = rb.decide(0.0, view)
+        assert all(dst != 1 for dst, _ in decisions)
+
+    def test_lambda_weighting_biases_recipients(self):
+        rb = FairShareRebalancer(lam=[1.0, 1.0, 3.0], threshold=0)
+        view = QueueView(
+            n=3,
+            me=0,
+            own_queue=30,
+            reported=np.array([30, 0, 0]),
+            reported_at=np.zeros(3),
+            believed_alive=np.ones(3, dtype=bool),
+        )
+        sizes = dict(rb.decide(0.0, view))
+        assert sizes.get(2, 0) > sizes.get(1, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FairShareRebalancer(lam=[1.0, -1.0])
+        with pytest.raises(ValueError):
+            FairShareRebalancer(lam=[1.0], threshold=-1)
+        with pytest.raises(ValueError):
+            FairShareRebalancer(lam=[1.0], max_fraction=0.0)
+
+
+class TestSimulatorIntegration:
+    def test_rebalancer_requires_gossip(self):
+        with pytest.raises(ValueError):
+            DCSSimulator(small_exp_model(), rebalancer=FairShareRebalancer([1.0, 1.0]))
+
+    def test_online_rebalancing_moves_tasks(self, rng):
+        model = small_exp_model()
+        rb = FairShareRebalancer(lam=[0.5, 1.0], threshold=1, cooldown=2.0)
+        sim = DCSSimulator(model, record_trace=True, info_period=1.0, rebalancer=rb)
+        result = sim.run([30, 0], ReallocationPolicy.none(2), rng)
+        assert result.completed
+        moves = result.trace.of_kind(EventKind.REBALANCE)
+        assert moves, "the idle fast server must receive work"
+        assert result.tasks_served[1] > 0
+
+    def test_online_rebalancing_reduces_makespan(self):
+        """Against a do-nothing one-shot policy, online DTR must win big."""
+        model = small_exp_model()
+        times_static, times_online = [], []
+        for seed in range(25):
+            rb = FairShareRebalancer(lam=[0.5, 1.0], threshold=1, cooldown=2.0)
+            static = DCSSimulator(model)
+            online = DCSSimulator(model, info_period=1.0, rebalancer=rb)
+            times_static.append(
+                static.run([30, 0], ReallocationPolicy.none(2), np.random.default_rng(seed)).completion_time
+            )
+            times_online.append(
+                online.run([30, 0], ReallocationPolicy.none(2), np.random.default_rng(seed)).completion_time
+            )
+        assert np.mean(times_online) < 0.75 * np.mean(times_static)
+
+    def test_task_conservation_with_rebalancing(self, rng):
+        model = small_exp_model()
+        rb = FairShareRebalancer(lam=[0.5, 1.0], threshold=0, cooldown=0.5)
+        sim = DCSSimulator(model, info_period=0.5, rebalancer=rb)
+        for _ in range(10):
+            result = sim.run([12, 3], ReallocationPolicy.two_server(2, 1), rng)
+            assert result.completed
+            assert result.total_served == 15
+
+    def test_in_service_task_never_leaves(self, rng):
+        """send_away keeps the busy task: served counts stay consistent."""
+        model = small_exp_model()
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=0, cooldown=0.0)
+        sim = DCSSimulator(model, record_trace=True, info_period=0.25, rebalancer=rb)
+        result = sim.run([10, 10], ReallocationPolicy.none(2), rng)
+        assert result.completed
+        assert result.total_served == 20
+
+    def test_gossip_views_survive_failures(self):
+        """FN reception marks the dead server; no tasks are shipped to it."""
+        from repro.distributions import Deterministic
+
+        model = DCSModel(
+            service=[Exponential(1.0), Exponential(1.0)],
+            network=exp_network(fn_mean=0.05),
+            failure=[None, Deterministic(2.0)],
+        )
+        rb = FairShareRebalancer(lam=[1.0, 1.0], threshold=0, cooldown=0.0)
+        sim = DCSSimulator(model, record_trace=True, info_period=0.5, rebalancer=rb)
+        result = sim.run([20, 0], ReallocationPolicy.none(2), np.random.default_rng(4))
+        moves = result.trace.of_kind(EventKind.REBALANCE)
+        fn_time = next(
+            r.time for r in result.trace.of_kind(EventKind.FN_ARRIVAL)
+        )
+        late_moves = [m for m in moves if m.time > fn_time and m.payload["dst"] == 1]
+        assert not late_moves, "rebalancing to a known-dead server"

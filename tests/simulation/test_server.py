@@ -1,0 +1,84 @@
+"""Server process state machine."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.simulation import Server
+
+
+@pytest.fixture
+def server():
+    return Server(index=0, service_dist=Exponential(1.0), queue=3)
+
+
+class TestServiceLifecycle:
+    def test_start_and_complete(self, server):
+        server.start_service(1.0)
+        assert server.busy
+        server.complete_service(2.5)
+        assert server.queue == 2
+        assert server.tasks_served == 1
+        assert server.busy_time == pytest.approx(1.5)
+
+    def test_wants_to_serve(self, server):
+        assert server.wants_to_serve
+        server.start_service(0.0)
+        assert not server.wants_to_serve
+
+    def test_cannot_start_twice(self, server):
+        server.start_service(0.0)
+        with pytest.raises(RuntimeError):
+            server.start_service(0.1)
+
+    def test_cannot_start_empty(self):
+        s = Server(index=0, service_dist=Exponential(1.0), queue=0)
+        with pytest.raises(RuntimeError):
+            s.start_service(0.0)
+
+    def test_cannot_complete_idle(self, server):
+        with pytest.raises(RuntimeError):
+            server.complete_service(1.0)
+
+    def test_draw_service_time_uses_rng(self, server):
+        rng = np.random.default_rng(0)
+        w = server.draw_service_time(rng)
+        assert w > 0
+
+
+class TestFailure:
+    def test_failure_loses_queue(self, server):
+        server.start_service(0.0)
+        lost = server.fail(2.0)
+        assert lost == 3
+        assert server.tasks_lost == 3
+        assert server.queue == 0
+        assert not server.alive
+        assert server.failed_at == 2.0
+        assert server.busy_time == pytest.approx(2.0)
+
+    def test_double_failure_rejected(self, server):
+        server.fail(1.0)
+        with pytest.raises(RuntimeError):
+            server.fail(2.0)
+
+    def test_dead_server_strands_arrivals(self, server):
+        server.fail(1.0)
+        server.receive(4)
+        assert server.queue == 0
+        assert server.tasks_lost == 3 + 4
+
+    def test_cannot_serve_after_failure(self, server):
+        server.fail(1.0)
+        with pytest.raises(RuntimeError):
+            server.start_service(2.0)
+
+
+class TestReceive:
+    def test_alive_server_queues_arrivals(self, server):
+        server.receive(5)
+        assert server.queue == 8
+
+    def test_rejects_nonpositive_group(self, server):
+        with pytest.raises(ValueError):
+            server.receive(0)

@@ -1,0 +1,87 @@
+"""Simulator vs. transform solver — the DESIGN.md Sec. 6 cross-validation.
+
+The simulator implements assumptions A1/A2 directly; the transform solver
+implements the closed-form unrolling of Theorem 1.  Their agreement on
+non-exponential models is the strongest evidence both are right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Metric, ReallocationPolicy, TransformSolver
+from repro.simulation import estimate_metric
+from repro.workloads import two_server_scenario
+
+CASES = [
+    ("pareto1", "low"),
+    ("pareto1", "severe"),
+    ("shifted-exponential", "severe"),
+    ("uniform", "low"),
+]
+IDS = [f"{f}-{d}" for f, d in CASES]
+LOADS = [20, 10]
+POLICY = ReallocationPolicy.two_server(6, 1)
+
+
+@pytest.mark.parametrize("family,delay", CASES, ids=IDS)
+def test_average_time_agreement(family, delay, rng):
+    sc = two_server_scenario(family, delay=delay, with_failures=False)
+    solver = TransformSolver.for_workload(sc.model, LOADS, dt=0.01)
+    analytic = solver.average_execution_time(LOADS, POLICY)
+    mc = estimate_metric(
+        Metric.AVG_EXECUTION_TIME, sc.model, LOADS, POLICY, 2500, rng
+    )
+    margin = 3.0 * mc.half_width + 0.02 * analytic
+    assert abs(analytic - mc.value) < margin
+
+
+@pytest.mark.parametrize("family,delay", CASES, ids=IDS)
+def test_reliability_agreement(family, delay, rng):
+    sc = two_server_scenario(family, delay=delay, with_failures=True)
+    # shorten MTTFs so reliability is far from 1 and the test has power
+    from repro.core import DCSModel
+    from repro.distributions import Exponential
+
+    model = DCSModel(
+        service=sc.model.service,
+        network=sc.model.network,
+        failure=[Exponential.from_mean(60.0), Exponential.from_mean(30.0)],
+    )
+    solver = TransformSolver.for_workload(model, LOADS, dt=0.01)
+    analytic = solver.reliability(LOADS, POLICY)
+    mc = estimate_metric(Metric.RELIABILITY, model, LOADS, POLICY, 2500, rng)
+    assert 0.05 < analytic < 0.98, "test should exercise a non-trivial regime"
+    assert abs(analytic - mc.value) < 3.0 * mc.half_width + 0.01
+
+
+@pytest.mark.parametrize("deadline", [30.0, 45.0, 70.0])
+def test_qos_agreement(deadline, rng):
+    sc = two_server_scenario("pareto1", delay="severe", with_failures=False)
+    solver = TransformSolver.for_workload(sc.model, LOADS, dt=0.01)
+    analytic = solver.qos(LOADS, POLICY, deadline)
+    mc = estimate_metric(
+        Metric.QOS, sc.model, LOADS, POLICY, 2500, rng, deadline=deadline
+    )
+    assert abs(analytic - mc.value) < 3.0 * mc.half_width + 0.01
+
+
+def test_three_server_single_groups_agreement(rng):
+    """n = 3 with one group per destination stays exact (no merge needed)."""
+    from repro.core import DCSModel, HomogeneousNetwork
+    from repro.core.policy import Transfer
+    from repro.distributions import Pareto
+
+    net = HomogeneousNetwork(
+        lambda m: Pareto.from_mean(m, 2.5), latency=0.5, per_task=0.5, fn_mean=0.2
+    )
+    model = DCSModel(
+        service=[Pareto.from_mean(m, 2.5) for m in (2.0, 1.5, 1.0)], network=net
+    )
+    loads = [15, 6, 2]
+    policy = ReallocationPolicy.from_transfers(
+        3, [Transfer(0, 1, 3), Transfer(0, 2, 5)]
+    )
+    solver = TransformSolver.for_workload(model, loads, dt=0.01)
+    analytic = solver.average_execution_time(loads, policy)
+    mc = estimate_metric(Metric.AVG_EXECUTION_TIME, model, loads, policy, 2500, rng)
+    assert abs(analytic - mc.value) < 3.0 * mc.half_width + 0.02 * analytic

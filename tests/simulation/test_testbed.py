@@ -1,0 +1,96 @@
+"""Emulated testbed: perturbation, characterization, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReallocationPolicy
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Pareto,
+    ShiftedExponential,
+    ShiftedGamma,
+    Uniform,
+    Weibull,
+)
+from repro.simulation import EmulatedTestbed, perturb_distribution, perturb_model
+from repro.simulation.testbed import _scale_distribution
+from repro.workloads import testbed_scenario
+
+
+class TestScaling:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(0.5),
+            Pareto(2.5, 1.0),
+            ShiftedExponential(0.5, 1.0),
+            ShiftedGamma(2.0, 0.5, 0.3),
+            Uniform(0.5, 2.0),
+            Weibull(1.5, 2.0),
+            Deterministic(2.0),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_scale_scales_mean_and_keeps_family(self, dist):
+        scaled = _scale_distribution(dist, 1.7)
+        assert type(scaled) is type(dist)
+        assert scaled.mean() == pytest.approx(1.7 * dist.mean())
+
+    def test_scale_rejects_unknown_type(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            _scale_distribution(Weird(), 2.0)
+
+    def test_perturb_zero_scale_is_identity_mean(self, rng):
+        d = Exponential(1.0)
+        p = perturb_distribution(d, 0.0, rng)
+        assert p.mean() == pytest.approx(d.mean())
+
+    def test_perturb_rejects_negative_scale(self, rng):
+        with pytest.raises(ValueError):
+            perturb_distribution(Exponential(1.0), -0.1, rng)
+
+    def test_perturb_model_jitters_all_servers(self, rng):
+        nominal = testbed_scenario().model
+        perturbed = perturb_model(nominal, 0.2, rng)
+        means_nom = [d.mean() for d in nominal.service]
+        means_per = [d.mean() for d in perturbed.service]
+        assert all(abs(a - b) > 1e-9 for a, b in zip(means_nom, means_per))
+
+
+class TestEmulatedTestbed:
+    @pytest.fixture
+    def testbed(self, rng):
+        return EmulatedTestbed(testbed_scenario().model, rng, reality_perturbation=0.05)
+
+    def test_truth_differs_from_nominal(self, testbed):
+        for nom, true in zip(testbed.nominal.service, testbed.truth.service):
+            assert nom.mean() != pytest.approx(true.mean(), rel=1e-6)
+
+    def test_measurements_follow_truth(self, testbed, rng):
+        samples = testbed.measure_service_times(0, 20_000, rng)
+        assert float(np.mean(samples)) == pytest.approx(
+            testbed.truth.service[0].mean(), rel=0.1
+        )
+
+    def test_characterize_recovers_families(self, testbed, rng):
+        char = testbed.characterize(
+            3000, rng, families=("exponential", "pareto", "shifted-gamma")
+        )
+        assert len(char.service) == 2
+        # Pareto service must be recognized as heavy-tailed
+        assert char.service[0].family in ("pareto", "shifted-gamma")
+        assert (0, 1) in char.transfer and (1, 0) in char.transfer
+        assert char.fitted_service()[0].mean() == pytest.approx(
+            testbed.truth.service[0].mean(), rel=0.2
+        )
+
+    def test_experiment_reliability_returns_estimate(self, testbed, rng):
+        est = testbed.experiment_reliability(
+            [10, 5], ReallocationPolicy.two_server(3, 0), 120, rng
+        )
+        assert 0.0 <= est.value <= 1.0
+        assert est.n_samples == 120

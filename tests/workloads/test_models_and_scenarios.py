@@ -1,0 +1,129 @@
+"""Model-family registry and the paper's scenario builders."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, Pareto
+from repro.workloads import (
+    DELAY_REGIMES,
+    MODEL_FAMILIES,
+    PAPER_FAMILIES,
+    five_server_scenario,
+    get_family,
+    testbed_scenario,
+    two_server_scenario,
+)
+
+
+class TestModelFamilies:
+    @pytest.mark.parametrize("name", sorted(MODEL_FAMILIES))
+    def test_every_family_hits_requested_mean(self, name):
+        dist = get_family(name)(3.7)
+        assert dist.mean() == pytest.approx(3.7, rel=1e-9)
+
+    def test_paper_families_are_the_tables_five(self):
+        assert PAPER_FAMILIES == [
+            "exponential",
+            "pareto1",
+            "pareto2",
+            "shifted-exponential",
+            "uniform",
+        ]
+        assert all(MODEL_FAMILIES[f].in_paper for f in PAPER_FAMILIES)
+
+    def test_pareto_variants_have_right_tails(self):
+        p1 = get_family("pareto1")(2.0)
+        p2 = get_family("pareto2")(2.0)
+        assert math.isfinite(p1.var())
+        assert math.isinf(p2.var())
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown model family"):
+            get_family("cauchy")
+
+    def test_family_is_callable(self):
+        fam = get_family("exponential")
+        assert isinstance(fam(1.0), Exponential)
+
+
+class TestDelayRegimes:
+    def test_low_delay_calibration(self):
+        """DESIGN.md 4.2: transfer one task + fast service ~ slow service."""
+        low = DELAY_REGIMES["low"]
+        assert low.latency + low.per_task * 1 + 1.0 == pytest.approx(2.2, abs=0.3)
+
+    def test_severe_delay_calibration(self):
+        """transfer one task + fast service ~ 5x slow service."""
+        severe = DELAY_REGIMES["severe"]
+        total = severe.latency + severe.per_task * 1 + 1.0
+        assert total >= 5 * 2.0 - 1e-9
+
+
+class TestTwoServerScenario:
+    def test_paper_parameters(self):
+        sc = two_server_scenario("pareto1", delay="low")
+        assert sc.loads == (100, 50)
+        assert [d.mean() for d in sc.model.service] == [2.0, 1.0]
+        assert [f.mean() for f in sc.model.failure] == [1000.0, 500.0]
+        assert sc.deadline == 180.0
+        assert isinstance(sc.model.service[0], Pareto)
+
+    def test_without_failures(self):
+        sc = two_server_scenario("uniform", delay="severe", with_failures=False)
+        assert sc.model.reliable
+
+    def test_reliable_model_view(self):
+        sc = two_server_scenario("uniform", delay="severe", with_failures=True)
+        assert not sc.model.reliable
+        assert sc.reliable_model.reliable
+        assert sc.reliable_model.service is sc.model.service
+
+    def test_transfer_family_matches_service_family(self):
+        sc = two_server_scenario("pareto1", delay="low")
+        z = sc.model.network.group_transfer(0, 1, 10)
+        assert isinstance(z, Pareto)
+        assert z.mean() == pytest.approx(0.2 + 10.0)
+
+    def test_unknown_delay_rejected(self):
+        with pytest.raises(KeyError):
+            two_server_scenario("pareto1", delay="medium")
+
+
+class TestFiveServerScenario:
+    def test_paper_parameters(self):
+        sc = five_server_scenario("shifted-exponential")
+        assert sum(sc.loads) == 200
+        assert [d.mean() for d in sc.model.service] == [5.0, 4.0, 3.0, 2.0, 1.0]
+        assert [f.mean() for f in sc.model.failure] == [
+            1000.0,
+            800.0,
+            600.0,
+            500.0,
+            400.0,
+        ]
+
+    def test_defaults_to_severe(self):
+        sc = five_server_scenario("exponential")
+        assert sc.regime.name == "severe"
+
+
+class TestTestbedScenario:
+    def test_fitted_means(self):
+        sc = testbed_scenario()
+        assert sc.loads == (50, 25)
+        assert sc.model.service[0].mean() == pytest.approx(4.858)
+        assert sc.model.service[1].mean() == pytest.approx(2.357)
+        assert [f.mean() for f in sc.model.failure] == [300.0, 150.0]
+
+    def test_asymmetric_links(self):
+        sc = testbed_scenario()
+        z01 = sc.model.network.group_transfer(0, 1, 1)
+        z10 = sc.model.network.group_transfer(1, 0, 1)
+        assert z01.mean() == pytest.approx(0.313 + 1.207)
+        assert z10.mean() == pytest.approx(0.145 + 0.803)
+
+    def test_fn_means(self):
+        sc = testbed_scenario()
+        assert sc.model.network.failure_notice(0, 1).mean() == pytest.approx(0.313)
+        assert sc.model.network.failure_notice(1, 0).mean() == pytest.approx(0.145)
