@@ -1,0 +1,196 @@
+"""Solver-cache and parallel-evaluation performance records.
+
+Times the PR's performance layer on the paper's own scenarios and emits
+machine-readable records (``BENCH_solvers.json`` at the repo root):
+
+* Table I  — full-lattice ``TwoServerOptimizer`` sweep, cold vs. warm
+  :class:`~repro.core.cache.SolverCache`;
+* Table II — ``Algorithm1`` on the five-server scenario, cold vs. warm;
+* Monte Carlo replications with ``jobs=1`` vs. ``jobs=2`` (the estimates
+  are asserted identical — ``jobs`` never changes numerics).
+
+Runs standalone (``python benchmarks/bench_cache.py [--quick]``) or under
+pytest-benchmark (``pytest benchmarks/bench_cache.py``, quick settings).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    Algorithm1,
+    Metric,
+    ReallocationPolicy,
+    SolverCache,
+    TransformSolver,
+    TwoServerOptimizer,
+)
+from repro.simulation import estimate_reliability
+from repro.workloads import five_server_scenario, two_server_scenario
+
+_OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
+
+#: (dt, step) for the Table I sweep and (dt, iterations) for Algorithm 1
+_FULL = {"t1_dt": 0.1, "t1_step": 4, "t2_dt": 0.25, "t2_iters": 6, "mc_reps": 512}
+_QUICK = {"t1_dt": 0.4, "t1_step": 16, "t2_dt": 1.0, "t2_iters": 2, "mc_reps": 128}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _table1_records(params: dict) -> List[dict]:
+    """Cold vs. warm full-lattice reliability sweep (Table I scenario)."""
+    sc = two_server_scenario("pareto1", delay="severe")
+    loads = list(sc.loads)
+    cache = SolverCache()
+
+    def sweep():
+        solver = TransformSolver.for_workload(
+            sc.model, loads, dt=params["t1_dt"], cache=cache
+        )
+        return TwoServerOptimizer(solver).optimize(
+            Metric.RELIABILITY, loads, step=params["t1_step"]
+        )
+
+    cold_s, cold = _timed(sweep)
+    warm_s, warm = _timed(sweep)
+    assert warm.value == cold.value and (warm.l12, warm.l21) == (cold.l12, cold.l21)
+    base = {
+        "bench": "table1_two_server_sweep",
+        "scenario": "two-server/pareto1/severe",
+        "metric": "reliability",
+        "dt": params["t1_dt"],
+        "step": params["t1_step"],
+        "jobs": 1,
+        "value": cold.value,
+        "policy": [cold.l12, cold.l21],
+    }
+    return [
+        {**base, "variant": "cold", "seconds": cold_s},
+        {**base, "variant": "warm", "seconds": warm_s, "speedup": cold_s / warm_s},
+    ]
+
+
+def _table2_records(params: dict) -> List[dict]:
+    """Cold vs. warm Algorithm 1 on the five-server scenario (Table II)."""
+    sc = five_server_scenario("pareto1", delay="severe")
+    loads = list(sc.loads)
+    cache = SolverCache()
+
+    def run():
+        # Algorithm1's pairwise solvers pick up the process-default cache;
+        # scope this bench to its own instance instead.
+        from repro.core import get_default_cache, set_default_cache
+
+        prev = get_default_cache()
+        set_default_cache(cache)
+        try:
+            algo = Algorithm1(
+                sc.model,
+                Metric.RELIABILITY,
+                max_iterations=params["t2_iters"],
+                dt=params["t2_dt"],
+            )
+            return algo.run(loads, criterion="reliability")
+        finally:
+            set_default_cache(prev)
+
+    cold_s, cold = _timed(run)
+    warm_s, warm = _timed(run)
+    assert np.array_equal(warm.policy.matrix, cold.policy.matrix)
+    base = {
+        "bench": "table2_algorithm1",
+        "scenario": "five-server/pareto1/severe",
+        "metric": "reliability",
+        "dt": params["t2_dt"],
+        "iterations": params["t2_iters"],
+        "jobs": 1,
+    }
+    return [
+        {**base, "variant": "cold", "seconds": cold_s},
+        {**base, "variant": "warm", "seconds": warm_s, "speedup": cold_s / warm_s},
+    ]
+
+
+def _mc_records(params: dict) -> List[dict]:
+    """MC replications, serial vs. 2 workers — values must be identical."""
+    sc = two_server_scenario("pareto1", delay="severe")
+    loads = list(sc.loads)
+    policy = ReallocationPolicy.two_server(20, 0)
+    reps = params["mc_reps"]
+    records = []
+    estimates = []
+    for jobs in (1, 2):
+        rng = np.random.default_rng(20100913)
+        secs, est = _timed(
+            lambda: estimate_reliability(sc.model, loads, policy, reps, rng, jobs=jobs)
+        )
+        estimates.append(est)
+        records.append(
+            {
+                "bench": "mc_reliability",
+                "scenario": "two-server/pareto1/severe",
+                "variant": f"jobs={jobs}",
+                "jobs": jobs,
+                "reps": reps,
+                "seconds": secs,
+                "value": est.value,
+            }
+        )
+    assert estimates[0] == estimates[1], "jobs must not change MC estimates"
+    return records
+
+
+def run_suite(quick: bool = False) -> List[dict]:
+    params = _QUICK if quick else _FULL
+    records = []
+    for part in (_table1_records, _table2_records, _mc_records):
+        records.extend(part(params))
+    for r in records:
+        r["profile"] = "quick" if quick else "full"
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse grids (CI smoke profile)"
+    )
+    parser.add_argument("--out", default=str(_OUT_DEFAULT), help="output JSON path")
+    args = parser.parse_args(argv)
+    records = run_suite(quick=args.quick)
+    Path(args.out).write_text(json.dumps(records, indent=2) + "\n")
+    for r in records:
+        extra = f"  speedup={r['speedup']:.1f}x" if "speedup" in r else ""
+        print(f"{r['bench']:26s} {r['variant']:8s} {r['seconds']:8.3f}s{extra}")
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (quick profile; timing via the records)
+
+def bench_cache_table1(once):
+    records = once(_table1_records, _QUICK)
+    warm = next(r for r in records if r["variant"] == "warm")
+    print()
+    for r in records:
+        print(f"{r['variant']}: {r['seconds']:.3f}s")
+    assert warm["speedup"] > 1.0
+
+
+def bench_mc_jobs(once):
+    records = once(_mc_records, _QUICK)
+    assert records[0]["value"] == records[1]["value"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Deterministic multi-process fan-out for the solvers and estimators.
+
+The evaluation layers (policy-lattice scans, Monte Carlo replications)
+consist of many independent, deterministic work items.  :func:`fork_map`
+runs ``fn(0..n_items-1)`` across ``jobs`` worker processes and returns the
+results **in index order**, so callers obtain exactly the same values
+regardless of the worker count — parallelism never changes numerics.
+
+Workers are created with the ``fork`` start method: children inherit the
+parent's heap (models, solvers, warm caches) copy-on-write, so nothing but
+the item index travels to a worker and nothing but the result travels back.
+This avoids pickling solver state — which may hold lambdas (network
+factories) — entirely.  On platforms without ``fork`` (Windows, some macOS
+configurations) the map silently degrades to serial evaluation, which is
+always correct.
+
+Results must be picklable (floats, ndarrays, small dataclasses).  Do not
+nest ``fork_map`` calls: inner calls run serially in workers anyway, and
+the module-level payload slot is not re-entrant across processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional
+
+__all__ = ["fork_map", "resolve_jobs", "parallelism_available"]
+
+#: work payload inherited by forked workers (set only around a pool's life)
+_PAYLOAD: Optional[Callable[[int], Any]] = None
+
+
+def _invoke(index: int) -> Any:
+    assert _PAYLOAD is not None, "fork_map payload missing in worker"
+    return _PAYLOAD(index)
+
+
+def parallelism_available() -> bool:
+    """Whether fork-based process fan-out works on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/0/negative mean "all cores"."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def fork_map(fn: Callable[[int], Any], n_items: int, jobs: int) -> List[Any]:
+    """``[fn(0), ..., fn(n_items - 1)]``, evaluated by ``jobs`` processes.
+
+    ``fn`` must be deterministic and side-effect free with respect to the
+    result (workers mutate only their own copy-on-write memory; caches they
+    warm are discarded with the worker).  With ``jobs <= 1``, a single item,
+    or no ``fork`` support the map runs serially in-process.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or n_items <= 1 or not parallelism_available():
+        return [fn(i) for i in range(n_items)]
+    global _PAYLOAD
+    if _PAYLOAD is not None:
+        # nested fan-out: run the inner level serially
+        return [fn(i) for i in range(n_items)]
+    _PAYLOAD = fn
+    try:
+        context = multiprocessing.get_context("fork")
+        workers = min(jobs, n_items)
+        chunk = max(n_items // (4 * workers), 1)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(_invoke, range(n_items), chunksize=chunk))
+    finally:
+        _PAYLOAD = None

@@ -92,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--deadline", type=float, default=180.0)
     p_opt.add_argument("--step", type=int, default=4)
     p_opt.add_argument("--dt", type=float, default=None)
+    p_opt.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the policy-lattice scan (0 = all cores)",
+    )
 
     p_algo = sub.add_parser("algorithm1", help="multi-server DTR heuristic")
     _add_scenario_args(p_algo)
@@ -106,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--criterion", choices=["speed", "reliability"], default="speed"
     )
     p_algo.add_argument("--dt", type=float, default=0.25)
+    p_algo.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the pairwise sub-problems (0 = all cores)",
+    )
 
     p_sim = sub.add_parser("simulate", help="Monte Carlo metric estimation")
     _add_scenario_args(p_sim)
@@ -120,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--deadline", type=float, default=180.0)
     p_sim.add_argument("--reps", type=int, default=1000)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the MC replications (0 = all cores); "
+        "estimates are identical for any jobs value",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate tables and figures")
     p_exp.add_argument("--only", nargs="*", default=None)
@@ -162,7 +181,7 @@ def _cmd_optimize(args) -> int:
     solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt)
     deadline = args.deadline if metric is Metric.QOS else None
     result = TwoServerOptimizer(solver).optimize(
-        metric, loads, deadline=deadline, step=args.step
+        metric, loads, deadline=deadline, step=args.step, jobs=args.jobs
     )
     print(f"scenario: {sc.name}   metric: {metric.value}")
     print(f"optimal policy: L12={result.l12}, L21={result.l21}")
@@ -186,6 +205,7 @@ def _cmd_algorithm1(args) -> int:
         deadline=deadline,
         max_iterations=args.iterations,
         dt=args.dt,
+        jobs=args.jobs,
     )
     result = algo.run(list(sc.loads), criterion=args.criterion)
     print(f"scenario: {sc.name}   metric: {metric.value}")
@@ -206,7 +226,14 @@ def _cmd_simulate(args) -> int:
     rng = np.random.default_rng(args.seed)
     deadline = args.deadline if metric.value == "qos" else None
     est = estimate_metric(
-        metric, sc.model, list(sc.loads), policy, args.reps, rng, deadline=deadline
+        metric,
+        sc.model,
+        list(sc.loads),
+        policy,
+        args.reps,
+        rng,
+        deadline=deadline,
+        jobs=args.jobs,
     )
     print(f"scenario: {sc.name}   metric: {metric.value}   reps: {args.reps}")
     print(f"estimate: {est}")

@@ -22,6 +22,7 @@ Optimizers:
 
 from .algorithm1 import Algorithm1, Algorithm1Result, criterion_vector, seed_policy
 from .baselines import all_to_fastest, no_action, proportional_policy, water_filling_policy
+from .cache import SolverCache, fingerprint, get_default_cache, set_default_cache
 from .convolution import ServerAssignment, TransformSolver
 from .markovian import ExponentializedNetwork, MarkovianSolver, markovian_approximation
 from .mc_search import MCPolicySearch, MCSearchResult, allocation_to_policy
@@ -55,6 +56,10 @@ __all__ = [
     "water_filling_policy",
     "ServerAssignment",
     "TransformSolver",
+    "SolverCache",
+    "fingerprint",
+    "get_default_cache",
+    "set_default_cache",
     "ExponentializedNetwork",
     "MarkovianSolver",
     "markovian_approximation",

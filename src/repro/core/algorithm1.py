@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._parallel import fork_map, resolve_jobs
 from .convolution import TransformSolver
 from .metrics import Metric
 from .policy import ReallocationPolicy
@@ -118,6 +119,10 @@ class Algorithm1:
         nothing back — the flows Algorithm 1 considers) or "exhaustive-2d"
         (full problem (3)/(4) over ``(L_ij, L_ji)``, take the ``i -> j``
         component).
+    jobs:
+        worker processes used to evaluate each sub-problem's candidate
+        policies (``0`` = all cores).  Results are bit-identical to the
+        serial run.
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class Algorithm1:
         pair_solver_factory: Optional[Callable[[DCSModel, int], object]] = None,
         pair_search: str = "scan",
         dt: Optional[float] = None,
+        jobs: int = 1,
     ):
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS optimization needs a deadline")
@@ -140,6 +146,7 @@ class Algorithm1:
         self.max_iterations = int(max_iterations)
         self.pair_search = pair_search
         self.dt = dt
+        self.jobs = resolve_jobs(jobs)
         self._factory = pair_solver_factory or self._default_factory
         self._pair_solvers: Dict[Tuple[int, int], object] = {}
         self._pair_cache: Dict[Tuple[int, int, int, int], int] = {}
@@ -179,12 +186,13 @@ class Algorithm1:
 
             step = max((max(m1, m2) + 1) // 12, 1)
             result = TwoServerOptimizer(solver).optimize(
-                self.metric, [m1, m2], deadline=self.deadline, step=step
+                self.metric, [m1, m2], deadline=self.deadline, step=step,
+                jobs=self.jobs,
             )
             best = result.policy[0, 1]
         else:
             best = _multires_argbest(
-                lambda l: value(l), 0, m1, self.metric.better
+                lambda l: value(l), 0, m1, self.metric.better, jobs=self.jobs
             )
         self._pair_cache[cache_key] = best
         return best
@@ -265,20 +273,22 @@ def _multires_argbest(
     hi: int,
     better: Callable[[float, float], bool],
     probes: int = 9,
+    jobs: int = 1,
 ) -> int:
     """Multi-resolution integer search for the best of ``fn`` on ``[lo, hi]``.
 
     Scans ~``probes`` evenly spaced points, then recursively refines the
     bracket around the incumbent until the step reaches 1.  Exact for
     unimodal objectives; a good heuristic otherwise (Algorithm 1 is itself
-    suboptimal by construction).
+    suboptimal by construction).  ``jobs > 1`` evaluates each level's
+    probe points across worker processes with identical results.
     """
     cache: Dict[int, float] = {}
 
-    def val(x: int) -> float:
-        if x not in cache:
-            cache[x] = fn(x)
-        return cache[x]
+    def ensure(points: List[int]) -> None:
+        missing = [p for p in points if p not in cache]
+        if missing:
+            cache.update(zip(missing, fork_map(lambda k: fn(missing[k]), len(missing), jobs)))
 
     while True:
         span = hi - lo
@@ -288,9 +298,10 @@ def _multires_argbest(
             points = sorted(
                 {lo + round(t * span / (probes - 1)) for t in range(probes)}
             )
+        ensure(points)
         best = points[0]
         for p in points[1:]:
-            if better(val(p), val(best)):
+            if better(cache[p], cache[best]):
                 best = p
         if span <= probes:
             return best

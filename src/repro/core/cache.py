@@ -1,0 +1,193 @@
+"""Process-level memoization of the transform solver's building blocks.
+
+Every :class:`~repro.core.convolution.TransformSolver` needs the same
+expensive ingredients — k-fold service-sum ladders, discretized transfer
+laws, failure-survival vectors and per-assignment finish-time masses — and
+these depend only on the *distributions* and the *grid*, not on the solver
+instance.  :class:`Algorithm1` re-solves thousands of 2-server sub-problems,
+and the benches rebuild solvers per scenario, so without sharing the same
+FFT convolutions are recomputed over and over.
+
+:class:`SolverCache` is the shared store.  Entries are keyed by a
+*distribution fingerprint* (a structural hash of the distribution's family
+and parameters, see :func:`fingerprint`) plus the grid signature
+``(dt, n)``, which makes hits independent of object identity: two
+``Pareto(2.5, 1.2)`` instances discretized on equal grids share one mass
+vector.  Distributions the fingerprinter cannot see through (exotic
+user-defined attribute types) are simply not cached — correctness never
+depends on a hit.
+
+A module-level default cache is shared by every solver in the process;
+pass ``cache=None`` to :class:`TransformSolver` to opt out, or a dedicated
+:class:`SolverCache` to isolate workloads.  The cache is bounded (LRU) and
+exposes hit/miss statistics for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from ..distributions import grid as gridmod
+from ..distributions.base import Distribution
+from ..distributions.grid import Grid, GridMass
+
+__all__ = [
+    "fingerprint",
+    "SolverCache",
+    "get_default_cache",
+    "set_default_cache",
+]
+
+#: sentinel for attribute values the fingerprinter cannot represent
+_OPAQUE = object()
+
+
+def _fingerprint_value(v: Any) -> Any:
+    """Hashable representation of one attribute value (or ``_OPAQUE``)."""
+    if v is None or isinstance(v, (bool, int, float, str, bytes)):
+        return v
+    if isinstance(v, Distribution):
+        fp = fingerprint(v)
+        return fp if fp is not None else _OPAQUE
+    if isinstance(v, np.ndarray):
+        return ("ndarray", v.shape, v.dtype.str, v.tobytes())
+    if isinstance(v, (np.integer, np.floating, np.bool_)):
+        return v.item()
+    if isinstance(v, (tuple, list)):
+        items = tuple(_fingerprint_value(x) for x in v)
+        if any(x is _OPAQUE for x in items):
+            return _OPAQUE
+        return ("seq", items)
+    if isinstance(v, dict):
+        try:
+            keys = sorted(v)
+        except TypeError:
+            return _OPAQUE
+        items = tuple((k, _fingerprint_value(v[k])) for k in keys)
+        if any(x is _OPAQUE for _, x in items):
+            return _OPAQUE
+        return ("map", items)
+    return _OPAQUE
+
+
+def fingerprint(dist: Optional[Distribution]) -> Optional[Hashable]:
+    """Structural identity of a distribution, or ``None`` if opaque.
+
+    Two distributions with the same class and equal parameters fingerprint
+    identically regardless of object identity; nested distributions (aged
+    wrappers, mixtures) recurse.  ``None`` (a reliable server's missing
+    failure law) fingerprints to a distinct constant.
+    """
+    if dist is None:
+        return ("<none>",)
+    parts: List[Any] = [type(dist).__module__, type(dist).__qualname__]
+    for k, v in sorted(vars(dist).items()):
+        fv = _fingerprint_value(v)
+        if fv is _OPAQUE:
+            return None
+        parts.append((k, fv))
+    return tuple(parts)
+
+
+def _grid_key(grid: Grid) -> Hashable:
+    return (grid.dt, grid.n)
+
+
+class SolverCache:
+    """Bounded LRU store for grid-convolution building blocks.
+
+    The generic surface is :meth:`get_or_create`; the solver-facing helpers
+    (:meth:`grid_mass`, :meth:`service_sum`, :meth:`survival`) implement the
+    three entry families on top of it.  Service-sum ladders are stored as
+    growable lists shared by reference, so one solver extending the ladder
+    to ``k`` tasks benefits every later solver asking for ``k' <= k``.
+
+    All mutation happens under a re-entrant lock; the cache is safe to share
+    across threads (forked worker processes each see a copy-on-write
+    snapshot and populate their own).
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- generic surface ----------------------------------------------
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+            self.misses += 1
+            value = factory()
+            self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the current entry count."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+
+    # -- solver-facing helpers ----------------------------------------
+    def grid_mass(self, fp: Hashable, grid: Grid, dist: Distribution) -> GridMass:
+        """Discretized mass of ``dist`` on ``grid`` (``fp`` = its fingerprint)."""
+        return self.get_or_create(
+            ("mass", fp, _grid_key(grid)),
+            lambda: gridmod.from_distribution(dist, grid),
+        )
+
+    def service_sum(self, fp: Hashable, grid: Grid, mass: GridMass, k: int) -> GridMass:
+        """k-fold iid sum of the service law ``fp``, via a shared ladder."""
+        key = ("ladder", fp, _grid_key(grid))
+        with self._lock:
+            ladder: List[GridMass] = self.get_or_create(
+                key, lambda: [gridmod.delta(grid)]
+            )
+            while len(ladder) <= k:
+                ladder.append(ladder[-1].conv(mass))
+            return ladder[k]
+
+    def survival(self, fp: Hashable, grid: Grid, dist: Distribution) -> np.ndarray:
+        """Survival function of ``dist`` evaluated on the grid points."""
+        return self.get_or_create(
+            ("sf", fp, _grid_key(grid)),
+            lambda: np.asarray(dist.sf(grid.times), dtype=float),
+        )
+
+
+_default_cache = SolverCache()
+
+
+def get_default_cache() -> SolverCache:
+    """The process-wide cache shared by all solvers by default."""
+    return _default_cache
+
+
+def set_default_cache(cache: SolverCache) -> SolverCache:
+    """Replace the process-wide default cache; returns the previous one."""
+    global _default_cache
+    if not isinstance(cache, SolverCache):
+        raise TypeError("default cache must be a SolverCache")
+    previous = _default_cache
+    _default_cache = cache
+    return previous

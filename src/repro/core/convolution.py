@@ -33,24 +33,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import signal
 
 from ..distributions import grid as gridmod
 from ..distributions.base import Distribution
 from ..distributions.grid import Grid, GridMass
+from .cache import SolverCache, fingerprint, get_default_cache
 from .metrics import Metric, MetricValue
 from .policy import ReallocationPolicy, Transfer
 from .system import DCSModel
 
 __all__ = ["TransformSolver", "ServerAssignment"]
 
+#: sentinel: "use the process-wide default SolverCache"
+_DEFAULT_CACHE = object()
+
 
 def _conv_truncate(a: np.ndarray, b: np.ndarray, n: int) -> np.ndarray:
     """Linear convolution truncated to the grid length (escaped mass -> tail)."""
-    from scipy import signal
-
     return np.maximum(signal.fftconvolve(a, b)[:n], 0.0)
 
 
@@ -88,30 +91,61 @@ class TransformSolver:
           *last* group lands (the paper's future-work single-batch
           assumption; a stochastic upper bound on ``T``);
         * "merge-min" — one batch at the *first* arrival (lower bound).
+    cache:
+        a :class:`~repro.core.cache.SolverCache` shared across solver
+        instances; defaults to the process-wide cache
+        (:func:`~repro.core.cache.get_default_cache`).  Pass ``None`` to
+        disable sharing and keep all memoization solver-local.
     """
 
     _BATCH_MODES = ("auto", "exact", "exact2", "merge-max", "merge-min")
     #: number of coarse cells used for the order-conditioning of two batches
     _EXACT2_CELLS = 192
 
-    def __init__(self, model: DCSModel, grid: Grid, batch_mode: str = "auto"):
+    def __init__(
+        self,
+        model: DCSModel,
+        grid: Grid,
+        batch_mode: str = "auto",
+        cache: Optional[SolverCache] = _DEFAULT_CACHE,  # type: ignore[assignment]
+    ):
         if batch_mode not in self._BATCH_MODES:
             raise ValueError(f"unknown batch_mode {batch_mode!r}")
         self.model = model
         self.grid = grid
         self.batch_mode = batch_mode
+        self.cache: Optional[SolverCache] = (
+            get_default_cache() if cache is _DEFAULT_CACHE else cache
+        )
+        self._service_fp: List[Optional[Hashable]] = [
+            fingerprint(d) for d in model.service
+        ]
         self._service_powers: List[List[GridMass]] = [
             [gridmod.delta(grid)] for _ in range(model.n)
         ]
         self._service_mass: List[GridMass] = [
-            gridmod.from_distribution(d, grid) for d in model.service
+            self._discretize(self._service_fp[k], d)
+            for k, d in enumerate(model.service)
         ]
-        self._transfer_cache: Dict[Tuple[int, int, int], GridMass] = {}
+        self._transfer_cache: Dict[Tuple[int, int, int], Tuple[Optional[Hashable], GridMass]] = {}
+        self._finish_cache: Dict[Hashable, GridMass] = {}
         self._failure_sf: List[Optional[np.ndarray]] = [None] * model.n
         for k in range(model.n):
             fdist = model.failure_of(k)
             if fdist is not None:
-                self._failure_sf[k] = np.asarray(fdist.sf(grid.times), dtype=float)
+                fp = fingerprint(fdist)
+                if self.cache is not None and fp is not None:
+                    self._failure_sf[k] = self.cache.survival(fp, grid, fdist)
+                else:
+                    self._failure_sf[k] = np.asarray(
+                        fdist.sf(grid.times), dtype=float
+                    )
+
+    def _discretize(self, fp: Optional[Hashable], dist: Distribution) -> GridMass:
+        """Grid mass of ``dist``, through the shared cache when possible."""
+        if self.cache is not None and fp is not None:
+            return self.cache.grid_mass(fp, self.grid, dist)
+        return gridmod.from_distribution(dist, self.grid)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -124,6 +158,7 @@ class TransformSolver:
         dt: Optional[float] = None,
         span: float = 4.0,
         batch_mode: str = "auto",
+        cache: Optional[SolverCache] = _DEFAULT_CACHE,  # type: ignore[assignment]
     ) -> "TransformSolver":
         """Solver with a grid sized for the given workload.
 
@@ -151,15 +186,24 @@ class TransformSolver:
         if dt is None:
             dt = max(min(means) / 50.0, worst * span / 200_000.0)
         n = int(math.ceil(worst * span / dt)) + 2
-        return cls(model, Grid(dt=dt, n=n), batch_mode=batch_mode)
+        return cls(model, Grid(dt=dt, n=n), batch_mode=batch_mode, cache=cache)
 
     # ------------------------------------------------------------------
     # cached building blocks
     # ------------------------------------------------------------------
     def service_sum(self, server: int, k: int) -> GridMass:
-        """Mass of the k-fold iid service-time sum at ``server`` (cached)."""
+        """Mass of the k-fold iid service-time sum at ``server`` (cached).
+
+        The ladder is shared process-wide through the :class:`SolverCache`
+        when the service law fingerprints; otherwise it stays solver-local.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
+        fp = self._service_fp[server]
+        if self.cache is not None and fp is not None:
+            return self.cache.service_sum(
+                fp, self.grid, self._service_mass[server], k
+            )
         powers = self._service_powers[server]
         while len(powers) <= k:
             powers.append(powers[-1].conv(self._service_mass[server]))
@@ -170,8 +214,14 @@ class TransformSolver:
         key = (src, dst, size)
         if key not in self._transfer_cache:
             dist = self.model.network.group_transfer(src, dst, size)
-            self._transfer_cache[key] = gridmod.from_distribution(dist, self.grid)
-        return self._transfer_cache[key]
+            fp = fingerprint(dist)
+            self._transfer_cache[key] = (fp, self._discretize(fp, dist))
+        return self._transfer_cache[key][1]
+
+    def _transfer_fingerprint(self, src: int, dst: int, size: int) -> Optional[Hashable]:
+        """Fingerprint of a transfer law (populating the mass cache)."""
+        self.transfer_mass(src, dst, size)
+        return self._transfer_cache[(src, dst, size)][0]
 
     # ------------------------------------------------------------------
     # per-server finish time
@@ -190,10 +240,63 @@ class TransformSolver:
         ]
 
     def finish_time_mass(self, assignment: ServerAssignment) -> GridMass:
-        """Distribution of ``T_i`` for one server's assignment."""
+        """Distribution of ``T_i`` for one server's assignment (memoized).
+
+        The result depends only on the server's service law, its residual
+        load, the multiset of incoming ``(transfer law, size)`` groups and
+        the batch mode — so it is keyed on exactly that and shared through
+        the :class:`SolverCache` across solver instances and policies.
+        """
         i = assignment.server
         incoming = [t for t in assignment.incoming if t.size > 0]
-        base = self.service_sum(i, assignment.residual)
+        key = self._finish_key(i, assignment.residual, incoming)
+        if key is None:
+            return self._finish_time_mass_uncached(i, assignment.residual, incoming)
+        if self.cache is not None:
+            return self.cache.get_or_create(
+                key,
+                lambda: self._finish_time_mass_uncached(
+                    i, assignment.residual, incoming
+                ),
+            )
+        if key not in self._finish_cache:
+            self._finish_cache[key] = self._finish_time_mass_uncached(
+                i, assignment.residual, incoming
+            )
+        return self._finish_cache[key]
+
+    def _finish_key(
+        self, i: int, residual: int, incoming: List[Transfer]
+    ) -> Optional[Hashable]:
+        """Cache key of one finish-time law, or ``None`` when opaque."""
+        service_fp = self._service_fp[i]
+        if service_fp is None:
+            return None
+        groups = []
+        for t in incoming:
+            tfp = self._transfer_fingerprint(t.src, i, t.size)
+            if tfp is None:
+                return None
+            groups.append((tfp, t.size))
+        # batch handling only matters beyond one group; normalizing the mode
+        # lets single-group results hit across batch_mode settings
+        mode = self.batch_mode if len(groups) > 1 else "-"
+        # group order is kept: the two-batch conditioning attributes ties to
+        # the first-listed group, so reorderings differ in the last fp bits
+        return (
+            "finish",
+            service_fp,
+            residual,
+            tuple(groups),
+            mode,
+            self._EXACT2_CELLS,
+            (self.grid.dt, self.grid.n),
+        )
+
+    def _finish_time_mass_uncached(
+        self, i: int, residual: int, incoming: List[Transfer]
+    ) -> GridMass:
+        base = self.service_sum(i, residual)
         if not incoming:
             return base
         if len(incoming) == 1:

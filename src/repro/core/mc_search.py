@@ -98,6 +98,7 @@ class MCPolicySearch:
         n_reps: int = 200,
         deadline: Optional[float] = None,
         weights: Optional[Sequence[float]] = None,
+        jobs: int = 1,
     ):
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS search needs a deadline")
@@ -105,6 +106,9 @@ class MCPolicySearch:
         self.metric = metric
         self.n_reps = int(n_reps)
         self.deadline = deadline
+        #: worker processes for each candidate's MC replications (0 = all
+        #: cores); estimates are identical to the serial run by construction
+        self.jobs = int(jobs)
         # proposal distribution biased toward fast servers by default
         if weights is None:
             weights = [1.0 / d.mean() for d in model.service]
@@ -126,6 +130,7 @@ class MCPolicySearch:
             self.n_reps,
             rng,
             deadline=self.deadline,
+            jobs=self.jobs,
         )
 
     def _random_allocation(

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._parallel import fork_map, resolve_jobs
 from .metrics import Metric
 from .policy import ReallocationPolicy
 
@@ -85,6 +86,36 @@ class TwoServerOptimizer:
             ).value
         return self._cache[key]
 
+    def _prefetch(
+        self,
+        metric: Metric,
+        loads: Tuple[int, int],
+        pairs: List[Tuple[int, int]],
+        deadline: Optional[float],
+        jobs: int,
+    ) -> None:
+        """Fill the value cache for ``pairs`` using ``jobs`` processes.
+
+        Each worker evaluates a slice of the lattice against its (forked)
+        copy of the solver; only floats travel back.  Because evaluation is
+        deterministic, the cached values — and hence the selected optimum —
+        are identical to a serial scan.
+        """
+        missing = [
+            p
+            for p in dict.fromkeys(pairs)
+            if (metric, loads, p[0], p[1], deadline) not in self._cache
+        ]
+        if jobs <= 1 or len(missing) <= 1:
+            return
+        values = fork_map(
+            lambda k: self._value(metric, loads, missing[k][0], missing[k][1], deadline),
+            len(missing),
+            jobs,
+        )
+        for (l12, l21), v in zip(missing, values):
+            self._cache[(metric, loads, l12, l21, deadline)] = v
+
     def optimize(
         self,
         metric: Metric,
@@ -93,6 +124,7 @@ class TwoServerOptimizer:
         step: int = 1,
         refine: bool = True,
         tie_tol: float = 1e-9,
+        jobs: int = 1,
     ) -> OptimizationResult:
         """Solve problem (3) or (4) of the paper.
 
@@ -100,15 +132,22 @@ class TwoServerOptimizer:
         refines a ``±step`` neighbourhood of the best coarse policy; with
         unimodal metric surfaces (which these are empirically — see the
         Fig. 3 bench) this matches the exhaustive optimum.
+
+        ``jobs > 1`` fans the lattice over that many worker processes
+        (``jobs=0`` uses every core); the result is bit-identical to the
+        serial scan.
         """
         if len(loads) != 2:
             raise ValueError("TwoServerOptimizer expects exactly two servers")
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS optimization needs a deadline")
+        jobs = resolve_jobs(jobs)
         m1, m2 = int(loads[0]), int(loads[1])
         loads_t = (m1, m2)
 
         def scan(pairs: Iterable[Tuple[int, int]]):
+            pairs = list(pairs)
+            self._prefetch(metric, loads_t, pairs, deadline, jobs)
             best_pair, best_val = None, None
             evals = []
             for l12, l21 in pairs:
@@ -162,18 +201,23 @@ def sweep_policies(
     l12_values: Sequence[int],
     l21_values: Sequence[int],
     deadline: Optional[float] = None,
+    jobs: int = 1,
 ) -> np.ndarray:
     """Metric values over a policy grid — the raw data behind Figs. 1–3.
 
     Returns an array of shape ``(len(l12_values), len(l21_values))``.
+    ``jobs > 1`` evaluates the grid cells across worker processes
+    (``jobs=0`` = all cores) with bit-identical results.
     """
     if len(loads) != 2:
         raise ValueError("policy sweeps are defined for two servers")
-    out = np.empty((len(l12_values), len(l21_values)))
-    for i, l12 in enumerate(l12_values):
-        for j, l21 in enumerate(l21_values):
-            policy = ReallocationPolicy.two_server(int(l12), int(l21))
-            out[i, j] = solver.evaluate(
-                metric, list(loads), policy, deadline=deadline
-            ).value
-    return out
+    cells = [
+        (int(l12), int(l21)) for l12 in l12_values for l21 in l21_values
+    ]
+
+    def value(k: int) -> float:
+        policy = ReallocationPolicy.two_server(*cells[k])
+        return solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+
+    values = fork_map(value, len(cells), resolve_jobs(jobs))
+    return np.asarray(values).reshape(len(l12_values), len(l21_values))

@@ -69,11 +69,28 @@ class Grid:
         """Upper edge of the last cell."""
         return (self.n - 0.5) * self.dt
 
-    def index_of(self, t: float) -> int:
-        """Index of the cell containing time ``t`` (round to nearest)."""
+    def index_of(self, t: float, clamp: bool = False) -> int:
+        """Index of the cell containing time ``t`` (round to nearest).
+
+        Times beyond the grid horizon have no cell: they raise
+        ``ValueError`` so callers cannot index past the mass vector by
+        accident, unless ``clamp=True`` maps them to the last cell
+        (``n - 1``) — appropriate when the escaped probability is routed
+        to tail mass explicitly.
+        """
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
-        return int(round(t / self.dt))
+        idx = int(round(t / self.dt))
+        if idx >= self.n:
+            if t <= self.horizon or clamp:
+                # t still inside the last cell (round-to-even artefact at
+                # the boundary) — or the caller asked for clamping
+                return self.n - 1
+            raise ValueError(
+                f"t={t} lies beyond the grid horizon {self.horizon} "
+                "(pass clamp=True to map it to the last cell)"
+            )
+        return idx
 
 
 class GridMass:
@@ -299,10 +316,11 @@ def minimum_of(a: GridMass, b: GridMass) -> GridMass:
 
 def delta(grid: Grid, t: float = 0.0) -> GridMass:
     """Point mass at time ``t`` (default: the zero element of convolution)."""
+    if t < 0:
+        raise ValueError(f"time must be non-negative, got {t}")
     mass = np.zeros(grid.n)
-    idx = grid.index_of(t)
-    if idx >= grid.n:
-        # entire mass beyond the horizon
+    if t > grid.horizon:
+        # entire mass beyond the horizon: all tail, nothing on the grid
         return GridMass(grid, mass)
     # split fractional positions linearly to keep the mean exact
     frac_idx = t / grid.dt

@@ -150,8 +150,14 @@ class DCSSimulator:
         loads: Sequence[int],
         policy: ReallocationPolicy,
         rng: np.random.Generator,
+        horizon: Optional[float] = None,
     ) -> SimulationResult:
-        """One independent realization of the workload execution."""
+        """One independent realization of the workload execution.
+
+        ``horizon`` tightens (never loosens) the simulator's censoring
+        horizon for this run — the estimators use it to bound QoS runs
+        uniformly whether they construct the simulator or receive one.
+        """
         model = self.model
         n = model.n
         if policy.n != n:
@@ -223,10 +229,13 @@ class DCSSimulator:
         served = 0
         completion_time = math.inf
         now = 0.0
+        effective_horizon = (
+            self.horizon if horizon is None else min(self.horizon, horizon)
+        )
         while queue:
             event = queue.pop()
             now = event.time
-            if now > self.horizon:
+            if now > effective_horizon:
                 break
             kind = event.kind
             if kind == EventKind.SERVICE_COMPLETE:

@@ -4,19 +4,27 @@ The paper evaluates multi-server policies "through simulations and the
 values listed ... correspond to centers of 95% confidence intervals"
 (Sec. III-A.2); Fig. 4(c) averages 10 000 MC and 500 experimental
 realizations.  This module is that harness.
+
+Replications are organized in fixed-size chunks, each driven by an
+independent generator spawned from the caller's ``rng``.  The chunking
+depends only on ``n_reps`` — never on the worker count — so estimates with
+``jobs=1`` and ``jobs=N`` are bit-identical for the same seed; ``jobs``
+only decides how many chunks run concurrently (fork-based, see
+:mod:`repro._parallel`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._parallel import fork_map, resolve_jobs
 from ..core.metrics import MCEstimate, Metric
 from ..core.policy import ReallocationPolicy
 from ..core.system import DCSModel
-from .dcs import DCSSimulator
+from .dcs import DCSSimulator, SimulationResult
 
 __all__ = [
     "estimate_average_execution_time",
@@ -27,6 +35,10 @@ __all__ = [
 ]
 
 _Z95 = 1.959963984540054  # standard normal 97.5% quantile
+
+#: replications per independent random stream; fixed so that the stream
+#: layout (and hence every estimate) is a function of ``n_reps`` alone
+_CHUNK_REPS = 64
 
 
 def bernoulli_ci(successes: int, n: int) -> MCEstimate:
@@ -59,6 +71,45 @@ def _mean_ci(samples: np.ndarray) -> MCEstimate:
     return MCEstimate(mean, mean - half, mean + half, n)
 
 
+def _spawn_streams(rng: np.random.Generator, n: int):
+    """``n`` independent child generators (SeedSequence spawning)."""
+    try:
+        return rng.spawn(n)
+    except AttributeError:  # pragma: no cover - numpy < 1.25
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None) or rng.bit_generator._seed_seq
+        return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+
+
+def _replicate(
+    sim: DCSSimulator,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    n_reps: int,
+    rng: np.random.Generator,
+    jobs: int,
+    reduce_result: Callable[[SimulationResult], float],
+    horizon: Optional[float] = None,
+) -> np.ndarray:
+    """``n_reps`` reduced simulation outcomes, chunked over ``jobs`` workers."""
+    if n_reps <= 0:
+        raise ValueError(f"need at least one replication, got {n_reps}")
+    n_chunks = -(-n_reps // _CHUNK_REPS)
+    sizes = [_CHUNK_REPS] * (n_chunks - 1) + [n_reps - _CHUNK_REPS * (n_chunks - 1)]
+    streams = _spawn_streams(rng, n_chunks)
+
+    def run_chunk(c: int) -> np.ndarray:
+        chunk_rng = streams[c]
+        return np.array(
+            [
+                reduce_result(sim.run(loads, policy, chunk_rng, horizon=horizon))
+                for _ in range(sizes[c])
+            ],
+            dtype=float,
+        )
+
+    return np.concatenate(fork_map(run_chunk, n_chunks, resolve_jobs(jobs)))
+
+
 def estimate_average_execution_time(
     model: DCSModel,
     loads: Sequence[int],
@@ -66,6 +117,7 @@ def estimate_average_execution_time(
     n_reps: int,
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
+    jobs: int = 1,
 ) -> MCEstimate:
     """MC estimate of ``T̄`` (requires completely reliable servers)."""
     if not model.reliable:
@@ -73,12 +125,13 @@ def estimate_average_execution_time(
             "the average execution time is only defined for reliable servers"
         )
     sim = simulator or DCSSimulator(model)
-    times = np.empty(n_reps)
-    for r in range(n_reps):
-        result = sim.run(loads, policy, rng)
+
+    def completion(result: SimulationResult) -> float:
         if not result.completed:  # pragma: no cover - impossible when reliable
             raise RuntimeError("a reliable run failed to complete")
-        times[r] = result.completion_time
+        return result.completion_time
+
+    times = _replicate(sim, loads, policy, n_reps, rng, jobs, completion)
     return _mean_ci(times)
 
 
@@ -90,17 +143,29 @@ def estimate_qos(
     n_reps: int,
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
+    jobs: int = 1,
 ) -> MCEstimate:
-    """MC estimate of ``R_TM = P(T < deadline)``."""
-    sim = simulator or DCSSimulator(model, horizon=deadline * 1.000001)
-    hits = 0
-    failures = 0
-    for _ in range(n_reps):
-        result = sim.run(loads, policy, rng)
-        if result.meets_deadline(deadline):
-            hits += 1
-        if not result.completed:
-            failures += 1
+    """MC estimate of ``R_TM = P(T < deadline)``.
+
+    Runs are censored just past ``deadline`` whether the simulator is
+    constructed here or supplied by the caller — the censoring horizon is
+    applied per run, so both call paths have identical semantics (a
+    caller-supplied simulator with an even tighter horizon keeps it).
+    """
+    sim = simulator or DCSSimulator(model)
+    censor = deadline * 1.000001
+
+    def outcome(result: SimulationResult) -> float:
+        # bit 0: deadline met; bit 1: run censored/failed before completion
+        return float(result.meets_deadline(deadline)) + 2.0 * float(
+            not result.completed
+        )
+
+    outcomes = _replicate(
+        sim, loads, policy, n_reps, rng, jobs, outcome, horizon=censor
+    )
+    hits = int((outcomes % 2.0 == 1.0).sum())
+    failures = int((outcomes >= 2.0).sum())
     est = bernoulli_ci(hits, n_reps)
     return MCEstimate(est.value, est.ci_low, est.ci_high, n_reps, n_failures=failures)
 
@@ -112,14 +177,14 @@ def estimate_reliability(
     n_reps: int,
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
+    jobs: int = 1,
 ) -> MCEstimate:
     """MC estimate of ``R_inf = P(all tasks served)``."""
     sim = simulator or DCSSimulator(model)
-    hits = 0
-    for _ in range(n_reps):
-        result = sim.run(loads, policy, rng)
-        if result.completed:
-            hits += 1
+    completed = _replicate(
+        sim, loads, policy, n_reps, rng, jobs, lambda r: float(r.completed)
+    )
+    hits = int(completed.sum())
     est = bernoulli_ci(hits, n_reps)
     return MCEstimate(
         est.value, est.ci_low, est.ci_high, n_reps, n_failures=n_reps - hits
@@ -135,16 +200,21 @@ def estimate_metric(
     rng: np.random.Generator,
     deadline: Optional[float] = None,
     simulator: Optional[DCSSimulator] = None,
+    jobs: int = 1,
 ) -> MCEstimate:
     """Dispatching front-end used by the MC policy search and the benches."""
     if metric is Metric.AVG_EXECUTION_TIME:
         return estimate_average_execution_time(
-            model, loads, policy, n_reps, rng, simulator
+            model, loads, policy, n_reps, rng, simulator, jobs=jobs
         )
     if metric is Metric.QOS:
         if deadline is None:
             raise ValueError("QoS estimation needs a deadline")
-        return estimate_qos(model, loads, policy, deadline, n_reps, rng, simulator)
+        return estimate_qos(
+            model, loads, policy, deadline, n_reps, rng, simulator, jobs=jobs
+        )
     if metric is Metric.RELIABILITY:
-        return estimate_reliability(model, loads, policy, n_reps, rng, simulator)
+        return estimate_reliability(
+            model, loads, policy, n_reps, rng, simulator, jobs=jobs
+        )
     raise ValueError(f"unknown metric {metric}")  # pragma: no cover

@@ -1,0 +1,149 @@
+"""The shared solver cache: fingerprints, bit-identical warm hits, LRU."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Metric,
+    ReallocationPolicy,
+    SolverCache,
+    TransformSolver,
+    fingerprint,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.distributions import Exponential, Pareto, from_distribution
+
+from ..conftest import small_exp_model
+
+_POLICIES = [
+    ReallocationPolicy.two_server(0, 0),
+    ReallocationPolicy.two_server(3, 0),
+    ReallocationPolicy.two_server(2, 2),
+]
+
+
+class TestFingerprint:
+    def test_structural_equality(self):
+        assert fingerprint(Pareto(2.5, 1.2)) == fingerprint(Pareto(2.5, 1.2))
+
+    def test_parameters_distinguish(self):
+        assert fingerprint(Exponential(1.0)) != fingerprint(Exponential(2.0))
+
+    def test_families_distinguish(self):
+        assert fingerprint(Exponential(1.0)) != fingerprint(Pareto(2.5, 1.0))
+
+    def test_none_has_a_fingerprint(self):
+        # "no failure law" is a cacheable state, distinct from any law
+        assert fingerprint(None) is not None
+
+    def test_opaque_attribute_disables_caching(self):
+        d = Exponential(1.0)
+        d.hook = lambda x: x  # unhashable, unfingerprintable
+        assert fingerprint(d) is None
+
+    def test_fingerprints_are_hashable(self):
+        {fingerprint(d): None for d in (Exponential(1.0), Pareto(2.5, 1.0), None)}
+
+
+class TestWarmCacheIdentity:
+    """A warm shared cache must change nothing but the wall clock."""
+
+    @pytest.mark.parametrize("with_failures", [False, True])
+    def test_bit_identical_across_metrics_and_policies(self, with_failures):
+        model = small_exp_model(with_failures=with_failures)
+        loads = [8, 5]
+        shared = SolverCache()
+
+        def evaluate(cache):
+            solver = TransformSolver.for_workload(model, loads, dt=0.1, cache=cache)
+            out = []
+            for pol in _POLICIES:
+                if with_failures:
+                    out.append(solver.reliability(loads, pol))
+                else:
+                    out.append(solver.average_execution_time(loads, pol))
+                out.append(solver.qos(loads, pol, 12.0))
+            return out
+
+        cold = evaluate(None)  # cache=None: solver-local fallback paths
+        first = evaluate(shared)  # populates the shared cache
+        warm = evaluate(shared)  # fresh solver, pure cache hits
+        assert first == cold
+        assert warm == cold  # exact float equality, not approx
+        assert shared.stats()["hits"] > 0
+
+    def test_distinct_grids_do_not_collide(self):
+        model = small_exp_model()
+        shared = SolverCache()
+        pol = ReallocationPolicy.two_server(2, 1)
+        coarse = TransformSolver.for_workload(model, [6, 4], dt=0.2, cache=shared)
+        fine = TransformSolver.for_workload(model, [6, 4], dt=0.05, cache=shared)
+        v_coarse = coarse.average_execution_time([6, 4], pol)
+        v_fine = fine.average_execution_time([6, 4], pol)
+        # the finer grid must really have been solved on the finer grid
+        assert v_coarse != v_fine
+        assert abs(v_fine - v_coarse) < 0.5
+
+
+class TestServiceSumLadder:
+    def test_matches_conv_power(self):
+        model = small_exp_model()
+        solver = TransformSolver.for_workload(
+            model, [6, 4], dt=0.05, cache=SolverCache()
+        )
+        base = from_distribution(model.service[0], solver.grid)
+        for k in (0, 1, 3, 7):
+            ladder = solver.service_sum(0, k)
+            direct = base.conv_power(k)
+            # ladder is incremental conv, conv_power is binary exponentiation:
+            # same measure, different FFT orderings -> allclose not equality
+            np.testing.assert_allclose(ladder.mass, direct.mass, atol=1e-9)
+            assert ladder.tail == pytest.approx(direct.tail, abs=1e-9)
+
+    def test_ladder_shared_between_solvers(self):
+        model = small_exp_model()
+        shared = SolverCache()
+        a = TransformSolver.for_workload(model, [6, 4], dt=0.1, cache=shared)
+        b = TransformSolver.for_workload(model, [6, 4], dt=0.1, cache=shared)
+        m1 = a.service_sum(0, 4)
+        hits_before = shared.stats()["hits"]
+        m2 = b.service_sum(0, 4)
+        assert shared.stats()["hits"] > hits_before
+        np.testing.assert_array_equal(m1.mass, m2.mass)
+
+
+class TestSolverCacheStore:
+    def test_get_or_create_and_stats(self):
+        c = SolverCache()
+        assert c.get_or_create("k", lambda: 41) == 41
+        assert c.get_or_create("k", lambda: 42) == 41  # factory not re-run
+        stats = c.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+
+    def test_lru_eviction(self):
+        c = SolverCache(max_entries=2)
+        c.get_or_create("a", lambda: 1)
+        c.get_or_create("b", lambda: 2)
+        c.get_or_create("a", lambda: 0)  # refresh "a"
+        c.get_or_create("c", lambda: 3)  # evicts "b"
+        assert len(c) == 2
+        assert c.get_or_create("a", lambda: -1) == 1
+        assert c.get_or_create("b", lambda: -2) == -2  # was evicted
+
+    def test_clear(self):
+        c = SolverCache()
+        c.get_or_create("a", lambda: 1)
+        c.clear()
+        assert len(c) == 0
+
+    def test_default_cache_swap(self):
+        prev = get_default_cache()
+        mine = SolverCache()
+        try:
+            set_default_cache(mine)
+            assert get_default_cache() is mine
+            solver = TransformSolver.for_workload(small_exp_model(), [3, 2], dt=0.2)
+            assert solver.cache is mine
+        finally:
+            set_default_cache(prev)

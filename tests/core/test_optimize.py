@@ -122,6 +122,37 @@ class TestOptimumStructure:
         assert len(opt._cache) == n_cache  # second run fully cached
 
 
+class TestJobsDeterminism:
+    """Fanning the lattice over workers must not change the optimum."""
+
+    def test_optimize_parallel_matches_serial(self, solver):
+        serial = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6], jobs=1
+        )
+        fanned = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6], jobs=3
+        )
+        assert fanned.value == serial.value  # exact, not approx
+        assert (fanned.l12, fanned.l21) == (serial.l12, serial.l21)
+        assert fanned.ties == serial.ties
+
+    def test_optimize_coarse_refine_parallel(self, solver):
+        serial = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6], step=4, jobs=1
+        )
+        fanned = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, [12, 6], step=4, jobs=2
+        )
+        assert fanned.value == serial.value
+        assert (fanned.l12, fanned.l21) == (serial.l12, serial.l21)
+
+    def test_sweep_parallel_matches_serial(self, solver):
+        grid_args = (solver, Metric.AVG_EXECUTION_TIME, [12, 6], [0, 4, 8], [0, 3])
+        serial = sweep_policies(*grid_args, jobs=1)
+        fanned = sweep_policies(*grid_args, jobs=2)
+        np.testing.assert_array_equal(serial, fanned)
+
+
 class TestSweep:
     def test_sweep_shape_and_values(self, solver):
         values = sweep_policies(

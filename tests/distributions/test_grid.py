@@ -36,6 +36,36 @@ class TestGrid:
         assert g.index_of(0.74) == 1
         assert g.index_of(0.76) == 2
 
+    def test_index_of_rejects_times_beyond_horizon(self):
+        """Regression: times past the horizon used to yield out-of-range
+        indices that could address past the mass vector."""
+        g = Grid(dt=0.5, n=10)  # horizon = 4.75
+        with pytest.raises(ValueError):
+            g.index_of(5.0)
+        with pytest.raises(ValueError):
+            g.index_of(1e9)
+
+    def test_index_of_clamps_on_request(self):
+        g = Grid(dt=0.5, n=10)
+        assert g.index_of(5.0, clamp=True) == 9
+        assert g.index_of(1e9, clamp=True) == 9
+
+    def test_index_of_boundary_stays_in_range(self):
+        """The last cell's upper edge rounds up but must stay indexable."""
+        for n in (9, 10):  # both round-to-even parities
+            g = Grid(dt=0.5, n=n)
+            assert g.index_of(g.horizon) == n - 1
+
+    def test_delta_beyond_horizon_is_all_tail(self):
+        g = Grid(dt=0.5, n=10)
+        m = delta(g, 100.0)
+        assert m.total == 0.0
+        assert m.tail == 1.0
+
+    def test_delta_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            delta(Grid(dt=0.5, n=10), -1.0)
+
     @pytest.mark.parametrize("dt,n", [(0.0, 10), (-1.0, 10), (1.0, 1)])
     def test_rejects_bad_params(self, dt, n):
         with pytest.raises(ValueError):

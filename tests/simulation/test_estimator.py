@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import MarkovianSolver, Metric, ReallocationPolicy
 from repro.simulation import (
+    DCSSimulator,
     bernoulli_ci,
     estimate_average_execution_time,
     estimate_metric,
@@ -95,3 +96,84 @@ class TestEstimators:
             Metric.AVG_EXECUTION_TIME, model, [3, 2], pol, 200, np.random.default_rng(5)
         )
         assert direct.value == via_dispatch.value
+
+    def test_qos_same_for_both_simulator_call_paths(self):
+        """Regression: the censoring horizon used to apply only when
+        estimate_qos built the simulator itself."""
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        internal = estimate_qos(
+            model, [6, 4], pol, 12.0, 150, np.random.default_rng(9)
+        )
+        external = estimate_qos(
+            model,
+            [6, 4],
+            pol,
+            12.0,
+            150,
+            np.random.default_rng(9),
+            simulator=DCSSimulator(model),
+        )
+        assert internal == external
+
+    def test_rejects_zero_reps(self, rng):
+        with pytest.raises(ValueError):
+            estimate_reliability(
+                small_exp_model(with_failures=True),
+                [2, 2],
+                ReallocationPolicy.none(2),
+                0,
+                rng,
+            )
+
+
+class TestJobsDeterminism:
+    """``jobs`` decides concurrency only — never the estimate.
+
+    150 reps spans three 64-rep chunks, so the parallel path really
+    exercises multiple independent streams.
+    """
+
+    def test_reliability(self):
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.two_server(2, 0)
+        serial = estimate_reliability(
+            model, [6, 4], pol, 150, np.random.default_rng(3), jobs=1
+        )
+        fanned = estimate_reliability(
+            model, [6, 4], pol, 150, np.random.default_rng(3), jobs=3
+        )
+        assert serial == fanned
+
+    def test_qos(self):
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        serial = estimate_qos(
+            model, [6, 4], pol, 12.0, 150, np.random.default_rng(3), jobs=1
+        )
+        fanned = estimate_qos(
+            model, [6, 4], pol, 12.0, 150, np.random.default_rng(3), jobs=4
+        )
+        assert serial == fanned
+
+    def test_avg_time(self):
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        serial = estimate_average_execution_time(
+            model, [6, 4], pol, 150, np.random.default_rng(3), jobs=1
+        )
+        fanned = estimate_average_execution_time(
+            model, [6, 4], pol, 150, np.random.default_rng(3), jobs=2
+        )
+        assert serial == fanned
+
+    def test_jobs_zero_means_all_cores(self):
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.none(2)
+        serial = estimate_reliability(
+            model, [4, 3], pol, 100, np.random.default_rng(3), jobs=1
+        )
+        all_cores = estimate_reliability(
+            model, [4, 3], pol, 100, np.random.default_rng(3), jobs=0
+        )
+        assert serial == all_cores
