@@ -6,10 +6,9 @@ reference grid and checks first-order convergence, including for the
 infinite-variance Pareto 2 model where the tail correction matters most.
 """
 
-import numpy as np
 import pytest
 
-from repro.core import Metric, ReallocationPolicy, TransformSolver
+from repro.core import ReallocationPolicy, TransformSolver
 from repro.workloads import two_server_scenario
 
 _POLICY = ReallocationPolicy.two_server(32, 1)

@@ -5,7 +5,6 @@ is 0.988 at L12 ∈ {31, 32, 33}, L21 = 1; the QoS within the *minimal average
 time* (~140 s) is only 0.471 — meeting the mean is a coin flip.
 """
 
-import numpy as np
 
 from repro.analysis import current_scale, fig3_surfaces, surface_chart
 

@@ -14,7 +14,6 @@ from repro.core import (
     DCSModel,
     HomogeneousNetwork,
     MarkovianSolver,
-    Metric,
     ReallocationPolicy,
     Theorem1Solver,
     TransformSolver,

@@ -1,0 +1,269 @@
+"""Cold-path spectral-kernel performance records.
+
+PR 1's ``SolverCache`` made *repeated* solves cheap; this bench measures the
+frequency-domain kernel layer on *cold* solves (fresh caches everywhere):
+
+* ``spectral_table1_cold_sweep`` — the Table I full-lattice reliability
+  sweep, batched spectral surfaces vs. the pre-spectral per-policy
+  ``fftconvolve`` scan;
+* ``spectral_exact2_cold`` — an exact2-heavy scenario (two incoming groups
+  per receiving server), batched order conditioning vs. the sequential
+  per-cell FFT loop;
+* ``spectral_metric_agreement`` — max |spectral - direct| over policies for
+  all three metrics (must stay ≤ 1e-9).
+
+Records are appended to ``BENCH_solvers.json`` (other benches' records are
+preserved).  Runs standalone (``python benchmarks/bench_spectral.py
+[--quick]``) or under pytest-benchmark.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    Metric,
+    ReallocationPolicy,
+    SolverCache,
+    TransformSolver,
+    TwoServerOptimizer,
+)
+from repro.core.policy import Transfer
+from repro.distributions import Exponential, Pareto
+from repro.workloads import two_server_scenario
+
+_OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
+
+#: grid steps: (Table I sweep, exact2 scenario, metric-agreement checks)
+_FULL = {"t1_dt": 0.1, "t1_step": 4, "x2_dt": 0.1, "agree_dt": 0.25}
+_QUICK = {"t1_dt": 0.4, "t1_step": 16, "x2_dt": 0.2, "agree_dt": 1.0}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _table1_records(params: dict) -> List[dict]:
+    """Cold Table I sweep: batched spectral vs. per-policy direct kernel."""
+    sc = two_server_scenario("pareto1", delay="severe")
+    loads = list(sc.loads)
+
+    def sweep(kernel: str, batched: bool):
+        solver = TransformSolver.for_workload(
+            sc.model, loads, dt=params["t1_dt"], cache=SolverCache(), kernel=kernel
+        )
+        return TwoServerOptimizer(solver, batched=batched).optimize(
+            Metric.RELIABILITY, loads, step=params["t1_step"]
+        )
+
+    direct_s, direct = _timed(lambda: sweep("direct", False))
+    spectral_s, spectral = _timed(lambda: sweep("spectral", True))
+    agreement = abs(spectral.value - direct.value)
+    assert (spectral.l12, spectral.l21) == (direct.l12, direct.l21)
+    assert agreement <= 1e-9, f"table1 kernels disagree by {agreement:.3e}"
+    base = {
+        "bench": "spectral_table1_cold_sweep",
+        "scenario": "two-server/pareto1/severe",
+        "metric": "reliability",
+        "dt": params["t1_dt"],
+        "step": params["t1_step"],
+        "policy": [direct.l12, direct.l21],
+        "max_abs_diff": agreement,
+    }
+    return [
+        {**base, "variant": "direct-percell", "seconds": direct_s, "value": direct.value},
+        {
+            **base,
+            "variant": "spectral-batched",
+            "seconds": spectral_s,
+            "value": spectral.value,
+            "speedup": direct_s / spectral_s,
+        },
+    ]
+
+
+def _exact2_model() -> DCSModel:
+    # heavy-tailed transfers (the paper's severe-delay idiom): arrival mass
+    # spreads over the whole coarse order-conditioning lattice, so every
+    # cell is active in the sequential reference loop
+    def pareto(mean: float) -> Pareto:
+        return Pareto.from_mean(mean, 2.5)
+
+    net = HomogeneousNetwork(pareto, latency=6.0, per_task=3.0, fn_mean=1.0)
+    return DCSModel(
+        service=[pareto(1.0), pareto(1.5), pareto(2.0)],
+        network=net,
+        failure=[Exponential.from_mean(300.0)] * 3,
+    )
+
+
+def _exact2_records(params: dict) -> List[dict]:
+    """Cold exact2-heavy scenario: both servers 1 and 2 get two groups."""
+    model = _exact2_model()
+    loads = [40, 30, 20]
+    policies = [
+        ReallocationPolicy.from_transfers(
+            3,
+            [
+                Transfer(0, 1, a),
+                Transfer(2, 1, b),
+                Transfer(0, 2, c),
+                Transfer(1, 2, d),
+            ],
+        )
+        for a, b, c, d in [(10, 8, 6, 9), (12, 6, 4, 7), (8, 10, 8, 5), (14, 4, 2, 11)]
+    ]
+
+    def run(kernel: str):
+        solver = TransformSolver.for_workload(
+            model,
+            loads,
+            dt=params["x2_dt"],
+            batch_mode="exact2",
+            cache=SolverCache(),
+            kernel=kernel,
+        )
+        return [solver.reliability(loads, p) for p in policies]
+
+    direct_s, direct = _timed(lambda: run("direct"))
+    spectral_s, spectral = _timed(lambda: run("spectral"))
+    agreement = float(np.abs(np.array(spectral) - np.array(direct)).max())
+    assert agreement <= 1e-9, f"exact2 kernels disagree by {agreement:.3e}"
+    base = {
+        "bench": "spectral_exact2_cold",
+        "scenario": "three-server/pareto/two-groups-per-server",
+        "metric": "reliability",
+        "dt": params["x2_dt"],
+        "policies": len(policies),
+        "max_abs_diff": agreement,
+    }
+    return [
+        {**base, "variant": "direct-loop", "seconds": direct_s, "value": direct[0]},
+        {
+            **base,
+            "variant": "spectral-batched",
+            "seconds": spectral_s,
+            "value": spectral[0],
+            "speedup": direct_s / spectral_s,
+        },
+    ]
+
+
+def _agreement_records(params: dict) -> List[dict]:
+    """Max |spectral - direct| over a policy set, for all three metrics."""
+    records = []
+    cases = [
+        ("avg_execution_time", Metric.AVG_EXECUTION_TIME, False, None),
+        ("qos", Metric.QOS, True, 180.0),
+        ("reliability", Metric.RELIABILITY, True, None),
+    ]
+    for name, metric, with_failures, deadline in cases:
+        sc = two_server_scenario(
+            "pareto1", delay="severe", with_failures=with_failures
+        )
+        loads = list(sc.loads)
+        policies = [
+            ReallocationPolicy.two_server(l12, l21)
+            for l12 in (0, loads[0] // 2, loads[0])
+            for l21 in (0, loads[1] // 2, loads[1])
+        ]
+        solvers = {
+            k: TransformSolver.for_workload(
+                sc.model, loads, dt=params["agree_dt"], cache=SolverCache(), kernel=k
+            )
+            for k in ("spectral", "direct")
+        }
+        diffs = [
+            abs(
+                solvers["spectral"].evaluate(metric, loads, p, deadline=deadline).value
+                - solvers["direct"].evaluate(metric, loads, p, deadline=deadline).value
+            )
+            for p in policies
+        ]
+        worst = float(max(diffs))
+        assert worst <= 1e-9, f"{name}: kernels disagree by {worst:.3e}"
+        records.append(
+            {
+                "bench": "spectral_metric_agreement",
+                "scenario": "two-server/pareto1/severe",
+                "metric": name,
+                "dt": params["agree_dt"],
+                "policies": len(policies),
+                "max_abs_diff": worst,
+            }
+        )
+    return records
+
+
+def run_suite(quick: bool = False) -> List[dict]:
+    params = _QUICK if quick else _FULL
+    records = []
+    for part in (_table1_records, _exact2_records, _agreement_records):
+        records.extend(part(params))
+    for r in records:
+        r["profile"] = "quick" if quick else "full"
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse grids (CI smoke profile)"
+    )
+    parser.add_argument("--out", default=str(_OUT_DEFAULT), help="output JSON path")
+    args = parser.parse_args(argv)
+    records = run_suite(quick=args.quick)
+    out = Path(args.out)
+    existing: List[dict] = []
+    if out.exists():
+        existing = [
+            r
+            for r in json.loads(out.read_text())
+            if not str(r.get("bench", "")).startswith("spectral_")
+        ]
+    out.write_text(json.dumps(existing + records, indent=2) + "\n")
+    for r in records:
+        extra = f"  speedup={r['speedup']:.1f}x" if "speedup" in r else ""
+        secs = f"{r['seconds']:8.3f}s" if "seconds" in r else " " * 9
+        variant = r.get("variant", r.get("metric", ""))
+        print(f"{r['bench']:28s} {variant:18s} {secs}{extra}")
+    print(f"wrote {len(records)} records to {out} ({len(existing)} kept)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (quick profile; timing via the records)
+
+def bench_spectral_table1(once):
+    records = once(_table1_records, _QUICK)
+    fast = next(r for r in records if r["variant"] == "spectral-batched")
+    print()
+    for r in records:
+        print(f"{r['variant']}: {r['seconds']:.3f}s")
+    assert fast["speedup"] > 1.0
+    assert fast["max_abs_diff"] <= 1e-9
+
+
+def bench_spectral_exact2(once):
+    records = once(_exact2_records, _QUICK)
+    fast = next(r for r in records if r["variant"] == "spectral-batched")
+    assert fast["speedup"] > 1.0
+    assert fast["max_abs_diff"] <= 1e-9
+
+
+def bench_spectral_agreement(once):
+    records = once(_agreement_records, _QUICK)
+    assert all(r["max_abs_diff"] <= 1e-9 for r in records)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,6 @@ every model; under severe delay deploying it degrades the metrics by roughly
 import numpy as np
 
 from repro.analysis import current_scale, format_table1, table1_rows
-from repro.core import Metric
 
 
 def bench_table1(once):

@@ -10,7 +10,7 @@ buys the most?
 Run:  python examples/sensitivity_analysis.py
 """
 
-from repro import Metric, ReallocationPolicy, TransformSolver, TwoServerOptimizer
+from repro import Metric, TransformSolver, TwoServerOptimizer
 from repro.analysis import metric_sensitivities
 from repro.workloads import two_server_scenario
 

@@ -11,8 +11,8 @@ parent's heap (models, solvers, warm caches) copy-on-write, so nothing but
 the item index travels to a worker and nothing but the result travels back.
 This avoids pickling solver state — which may hold lambdas (network
 factories) — entirely.  On platforms without ``fork`` (Windows, some macOS
-configurations) the map silently degrades to serial evaluation, which is
-always correct.
+configurations) the map degrades to serial evaluation — always correct,
+announced by a one-time :class:`RuntimeWarning`.
 
 Results must be picklable (floats, ndarrays, small dataclasses).  Do not
 nest ``fork_map`` calls: inner calls run serially in workers anyway, and
@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional
 
@@ -30,6 +31,23 @@ __all__ = ["fork_map", "resolve_jobs", "parallelism_available"]
 
 #: work payload inherited by forked workers (set only around a pool's life)
 _PAYLOAD: Optional[Callable[[int], Any]] = None
+
+#: whether the no-fork serial-fallback warning has been issued already
+_warned_no_fork = False
+
+
+def _warn_serial_fallback() -> None:
+    global _warned_no_fork
+    if _warned_no_fork:
+        return
+    _warned_no_fork = True
+    warnings.warn(
+        "jobs > 1 requested but the 'fork' start method is unavailable on "
+        "this platform; evaluating serially instead (results are identical, "
+        "just not parallel)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _invoke(index: int) -> Any:
@@ -58,6 +76,9 @@ def fork_map(fn: Callable[[int], Any], n_items: int, jobs: int) -> List[Any]:
     or no ``fork`` support the map runs serially in-process.
     """
     jobs = resolve_jobs(jobs)
+    if jobs > 1 and n_items > 1 and not parallelism_available():
+        # keep jobs=N a usable no-op on spawn-only platforms, but say so once
+        _warn_serial_fallback()
     if jobs <= 1 or n_items <= 1 or not parallelism_available():
         return [fn(i) for i in range(n_items)]
     global _PAYLOAD

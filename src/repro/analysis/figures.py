@@ -13,15 +13,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import (
-    Metric,
-    ReallocationPolicy,
-    TransformSolver,
-    TwoServerOptimizer,
-    markovian_approximation,
-)
+from ..core import Metric, ReallocationPolicy, TransformSolver, TwoServerOptimizer
 from ..core.system import DCSModel, HeterogeneousNetwork
-from ..distributions.fitting import ModelSelection
 from ..simulation import EmulatedTestbed, estimate_reliability
 from ..simulation.testbed import Characterization, _scale_distribution
 from ..workloads import PAPER_FAMILIES, two_server_scenario

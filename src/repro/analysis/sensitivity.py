@@ -13,7 +13,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..core.convolution import TransformSolver
 from ..core.metrics import Metric

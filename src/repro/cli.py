@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--policy", default=None, help="n>2: 'row;row;...' matrix")
     p_metrics.add_argument("--deadline", type=float, default=None)
     p_metrics.add_argument("--dt", type=float, default=None, help="solver grid step")
+    p_metrics.add_argument(
+        "--kernel",
+        choices=["spectral", "direct"],
+        default="spectral",
+        help="convolution kernel (direct = pre-spectral fftconvolve baseline)",
+    )
 
     p_opt = sub.add_parser("optimize", help="optimal 2-server DTR policy")
     _add_scenario_args(p_opt)
@@ -97,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the policy-lattice scan (0 = all cores)",
+    )
+    p_opt.add_argument(
+        "--kernel",
+        choices=["spectral", "direct"],
+        default="spectral",
+        help="convolution kernel (direct = pre-spectral fftconvolve baseline)",
+    )
+    p_opt.add_argument(
+        "--eval",
+        dest="eval_mode",
+        choices=["batched", "percell"],
+        default="batched",
+        help="lattice evaluation: vectorized FFT surfaces or per-policy scan",
     )
 
     p_algo = sub.add_parser("algorithm1", help="multi-server DTR heuristic")
@@ -153,7 +172,7 @@ def _cmd_metrics(args) -> int:
     sc = _build_scenario(args)
     loads = list(sc.loads)
     policy = _policy_from_args(args, sc.model.n)
-    solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt)
+    solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt, kernel=args.kernel)
     print(f"scenario: {sc.name}   loads: {loads}   policy:\n{policy.matrix}")
     if sc.model.reliable:
         tbar = solver.average_execution_time(loads, policy)
@@ -178,9 +197,11 @@ def _cmd_optimize(args) -> int:
     if sc.model.n != 2:
         raise SystemExit("optimize handles 2-server scenarios; use algorithm1")
     loads = list(sc.loads)
-    solver = TransformSolver.for_workload(sc.model, loads, dt=args.dt)
+    solver = TransformSolver.for_workload(
+        sc.model, loads, dt=args.dt, kernel=args.kernel
+    )
     deadline = args.deadline if metric is Metric.QOS else None
-    result = TwoServerOptimizer(solver).optimize(
+    result = TwoServerOptimizer(solver, batched=args.eval_mode == "batched").optimize(
         metric, loads, deadline=deadline, step=args.step, jobs=args.jobs
     )
     print(f"scenario: {sc.name}   metric: {metric.value}")

@@ -191,8 +191,18 @@ class Algorithm1:
             )
             best = result.policy[0, 1]
         else:
+            batch_fn = None
+            if hasattr(solver, "evaluate_lattice"):
+                def batch_fn(points: List[int]) -> List[float]:
+                    # one-column lattice: the L12 candidates at L21 = 0
+                    surface = solver.evaluate_lattice(
+                        self.metric, [m1, m2], points, [0], deadline=self.deadline
+                    )
+                    return [float(v) for v in surface[:, 0]]
+
             best = _multires_argbest(
-                lambda l: value(l), 0, m1, self.metric.better, jobs=self.jobs
+                lambda l: value(l), 0, m1, self.metric.better, jobs=self.jobs,
+                batch_fn=batch_fn,
             )
         self._pair_cache[cache_key] = best
         return best
@@ -274,21 +284,27 @@ def _multires_argbest(
     better: Callable[[float, float], bool],
     probes: int = 9,
     jobs: int = 1,
+    batch_fn: Optional[Callable[[List[int]], List[float]]] = None,
 ) -> int:
     """Multi-resolution integer search for the best of ``fn`` on ``[lo, hi]``.
 
     Scans ~``probes`` evenly spaced points, then recursively refines the
     bracket around the incumbent until the step reaches 1.  Exact for
     unimodal objectives; a good heuristic otherwise (Algorithm 1 is itself
-    suboptimal by construction).  ``jobs > 1`` evaluates each level's
-    probe points across worker processes with identical results.
+    suboptimal by construction).  ``batch_fn``, when given, evaluates each
+    level's probe points in one vectorized call; otherwise ``jobs > 1``
+    spreads them across worker processes with identical results.
     """
     cache: Dict[int, float] = {}
 
     def ensure(points: List[int]) -> None:
         missing = [p for p in points if p not in cache]
-        if missing:
-            cache.update(zip(missing, fork_map(lambda k: fn(missing[k]), len(missing), jobs)))
+        if not missing:
+            return
+        if batch_fn is not None and len(missing) > 1:
+            cache.update(zip(missing, batch_fn(missing)))
+            return
+        cache.update(zip(missing, fork_map(lambda k: fn(missing[k]), len(missing), jobs)))
 
     while True:
         span = hi - lo

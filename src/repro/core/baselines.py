@@ -8,7 +8,7 @@ the value of *optimizing* (versus merely balancing).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -32,15 +32,59 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 import numpy as np
 
 from ..distributions import grid as gridmod
+from ..distributions import spectral
 from ..distributions.base import Distribution
 from ..distributions.grid import Grid, GridMass
 
 __all__ = [
     "fingerprint",
     "SolverCache",
+    "extend_service_ladder",
     "get_default_cache",
     "set_default_cache",
 ]
+
+#: kernels understood by the ladder builders ("spectral" = batched
+#: frequency-domain doubling; "direct" = the pre-spectral sequential
+#: ``fftconvolve`` path, kept for benchmarking and equivalence tests)
+KERNELS = ("spectral", "direct")
+
+
+def extend_service_ladder(
+    ladder: List[GridMass], mass: GridMass, k_max: int, kernel: str = "spectral"
+) -> None:
+    """Grow a k-fold service-sum ladder ``[delta, S_1, S_2, ...]`` in place.
+
+    The spectral kernel seeds power 1 with the base law itself and derives
+    each later block of powers from elementwise spectrum products with one
+    batched inverse FFT per doubling round (see
+    :func:`repro.distributions.spectral.extend_ladder_masses`).  The direct
+    kernel is the sequential ``conv`` ladder.  Both the shared-cache and the
+    solver-local fallback paths call this single helper, so a solver
+    produces bit-identical ladders with or without a cache.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; use one of {KERNELS}")
+    if len(ladder) > k_max:
+        return
+    if kernel == "direct":
+        while len(ladder) <= k_max:
+            ladder.append(ladder[-1].conv_direct(mass))
+        return
+    grid = mass.grid
+    if len(ladder) == 1:
+        ladder.append(mass)
+    if len(ladder) > k_max:
+        return
+    masses = [gm.mass for gm in ladder]
+    spectra = [gm.spectrum() for gm in ladder]
+    known = len(ladder)
+    spectral.extend_ladder_masses(masses, spectra, k_max, grid.fft_length, grid.n)
+    for row, row_spec in zip(masses[known:], spectra[known:]):
+        gm = GridMass(grid, row)
+        row_spec.flags.writeable = False
+        gm._spec = row_spec
+        ladder.append(gm)
 
 #: sentinel for attribute values the fingerprinter cannot represent
 _OPAQUE = object()
@@ -156,16 +200,38 @@ class SolverCache:
             lambda: gridmod.from_distribution(dist, grid),
         )
 
-    def service_sum(self, fp: Hashable, grid: Grid, mass: GridMass, k: int) -> GridMass:
+    def service_sum(
+        self,
+        fp: Hashable,
+        grid: Grid,
+        mass: GridMass,
+        k: int,
+        kernel: str = "spectral",
+    ) -> GridMass:
         """k-fold iid sum of the service law ``fp``, via a shared ladder."""
+        return self.service_sums(fp, grid, mass, k, kernel=kernel)[k]
+
+    def service_sums(
+        self,
+        fp: Hashable,
+        grid: Grid,
+        mass: GridMass,
+        k_max: int,
+        kernel: str = "spectral",
+    ) -> List[GridMass]:
+        """The ladder ``[S_0, ..., S_k_max]`` of iid sums of law ``fp``.
+
+        Extends the shared ladder in one batched spectral pass (or the
+        sequential direct path) and returns a snapshot list; one solver
+        extending the ladder benefits every later solver asking ``k' <= k``.
+        """
         key = ("ladder", fp, _grid_key(grid))
         with self._lock:
             ladder: List[GridMass] = self.get_or_create(
                 key, lambda: [gridmod.delta(grid)]
             )
-            while len(ladder) <= k:
-                ladder.append(ladder[-1].conv(mass))
-            return ladder[k]
+            extend_service_ladder(ladder, mass, k_max, kernel=kernel)
+            return ladder[: k_max + 1]
 
     def survival(self, fp: Hashable, grid: Grid, dist: Distribution) -> np.ndarray:
         """Survival function of ``dist`` evaluated on the grid points."""

@@ -36,12 +36,14 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 from scipy import signal
 
 from ..distributions import grid as gridmod
+from ..distributions import spectral
 from ..distributions.base import Distribution
 from ..distributions.grid import Grid, GridMass
-from .cache import SolverCache, fingerprint, get_default_cache
+from .cache import KERNELS, SolverCache, extend_service_ladder, fingerprint, get_default_cache
 from .metrics import Metric, MetricValue
 from .policy import ReallocationPolicy, Transfer
 from .system import DCSModel
@@ -96,6 +98,12 @@ class TransformSolver:
         instances; defaults to the process-wide cache
         (:func:`~repro.core.cache.get_default_cache`).  Pass ``None`` to
         disable sharing and keep all memoization solver-local.
+    kernel:
+        "spectral" (default) uses the frequency-domain kernel layer —
+        cached spectra, batched service-sum ladders, batched two-batch
+        conditioning and vectorized policy-lattice evaluation.  "direct"
+        keeps the pre-spectral sequential ``fftconvolve`` paths; it exists
+        for benchmarking the kernel and for equivalence tests.
     """
 
     _BATCH_MODES = ("auto", "exact", "exact2", "merge-max", "merge-min")
@@ -108,12 +116,16 @@ class TransformSolver:
         grid: Grid,
         batch_mode: str = "auto",
         cache: Optional[SolverCache] = _DEFAULT_CACHE,  # type: ignore[assignment]
+        kernel: str = "spectral",
     ):
         if batch_mode not in self._BATCH_MODES:
             raise ValueError(f"unknown batch_mode {batch_mode!r}")
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; use one of {KERNELS}")
         self.model = model
         self.grid = grid
         self.batch_mode = batch_mode
+        self.kernel = kernel
         self.cache: Optional[SolverCache] = (
             get_default_cache() if cache is _DEFAULT_CACHE else cache
         )
@@ -129,6 +141,7 @@ class TransformSolver:
         ]
         self._transfer_cache: Dict[Tuple[int, int, int], Tuple[Optional[Hashable], GridMass]] = {}
         self._finish_cache: Dict[Hashable, GridMass] = {}
+        self._deadline_weight_cache: Dict[float, np.ndarray] = {}
         self._failure_sf: List[Optional[np.ndarray]] = [None] * model.n
         for k in range(model.n):
             fdist = model.failure_of(k)
@@ -159,6 +172,7 @@ class TransformSolver:
         span: float = 4.0,
         batch_mode: str = "auto",
         cache: Optional[SolverCache] = _DEFAULT_CACHE,  # type: ignore[assignment]
+        kernel: str = "spectral",
     ) -> "TransformSolver":
         """Solver with a grid sized for the given workload.
 
@@ -186,7 +200,9 @@ class TransformSolver:
         if dt is None:
             dt = max(min(means) / 50.0, worst * span / 200_000.0)
         n = int(math.ceil(worst * span / dt)) + 2
-        return cls(model, Grid(dt=dt, n=n), batch_mode=batch_mode, cache=cache)
+        return cls(
+            model, Grid(dt=dt, n=n), batch_mode=batch_mode, cache=cache, kernel=kernel
+        )
 
     # ------------------------------------------------------------------
     # cached building blocks
@@ -197,17 +213,35 @@ class TransformSolver:
         The ladder is shared process-wide through the :class:`SolverCache`
         when the service law fingerprints; otherwise it stays solver-local.
         """
-        if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+        return self.service_sums(server, k)[k]
+
+    def service_sums(self, server: int, k_max: int) -> List[GridMass]:
+        """The whole ladder ``[S_0, ..., S_k_max]`` at ``server``.
+
+        Under the spectral kernel the extension runs in batched doubling
+        rounds — one elementwise spectrum-product block plus one batched
+        inverse FFT per round — instead of ``k_max`` sequential
+        ``fftconvolve`` calls.  Shared and solver-local paths use the same
+        builder, so results are bit-identical with or without a cache.
+        """
+        if k_max < 0:
+            raise ValueError(f"k must be non-negative, got {k_max}")
         fp = self._service_fp[server]
         if self.cache is not None and fp is not None:
-            return self.cache.service_sum(
-                fp, self.grid, self._service_mass[server], k
+            return self.cache.service_sums(
+                fp, self.grid, self._service_mass[server], k_max, kernel=self.kernel
             )
         powers = self._service_powers[server]
-        while len(powers) <= k:
-            powers.append(powers[-1].conv(self._service_mass[server]))
-        return powers[k]
+        extend_service_ladder(
+            powers, self._service_mass[server], k_max, kernel=self.kernel
+        )
+        return powers[: k_max + 1]
+
+    def service_sum_stack(self, server: int, ks: Sequence[int]) -> np.ndarray:
+        """Service-sum masses for the given task counts as a ``(len(ks), n)``
+        matrix — the row layout the vectorized lattice evaluation consumes."""
+        ladder = self.service_sums(server, max(ks, default=0))
+        return np.stack([ladder[k].mass for k in ks])
 
     def transfer_mass(self, src: int, dst: int, size: int) -> GridMass:
         """Mass of the group transfer law ``Z`` for ``size`` tasks (cached)."""
@@ -290,6 +324,7 @@ class TransformSolver:
             tuple(groups),
             mode,
             self._EXACT2_CELLS,
+            self.kernel,
             (self.grid.dt, self.grid.n),
         )
 
@@ -338,27 +373,154 @@ class TransformSolver:
 
             ``T = max(max(S_r, Z_f) + S_{L_f}, Z_s) + S_{L_s}``
 
-        The arrival laws are discretized on a coarse lattice; for each first-
-        arrival cell ``a`` the inner law ``X_a = max(S_r, a) + S_{L_f}`` is
-        one convolution, accumulated into a running mixture so each second-
-        arrival cell ``b`` costs only a truncation.  Cost:
-        ``O(cells * (fft + n))`` per branch — exact up to the coarse lattice,
-        whose resolution only limits the *arrival times*, not the service
-        sums.
+        The arrival laws are discretized on a coarse lattice of
+        ``_EXACT2_CELLS`` cells; the conditioning is exact up to that
+        lattice, whose resolution only limits the *arrival times*, not the
+        service sums.  The spectral kernel telescopes the per-cell
+        convolutions into one batched segment product per branch
+        (:meth:`_finish_time_two_batches_batched`); the direct kernel keeps
+        the sequential per-cell reference (:meth:`_finish_time_two_batches_loop`).
         """
+        if self.kernel == "direct":
+            return self._finish_time_two_batches_loop(i, base, incoming)
+        return self._finish_time_two_batches_batched(i, base, incoming)
+
+    def _coarse_arrival_cells(
+        self, i: int, incoming: List[Transfer]
+    ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Coarse-lattice arrival masses and representative (centre) indices."""
         grid = self.grid
-        masses = [self.transfer_mass(t.src, i, t.size) for t in incoming]
-        sizes = [t.size for t in incoming]
         stride = max(grid.n // self._EXACT2_CELLS, 1)
-        coarse = []
-        for zm in masses:
-            n_cells = -(-grid.n // stride)
+        n_cells = -(-grid.n // stride)
+        cell_masses = []
+        for t in incoming:
+            zm = self.transfer_mass(t.src, i, t.size)
             padded = np.zeros(n_cells * stride)
             padded[: grid.n] = zm.mass
-            cell_mass = padded.reshape(n_cells, stride).sum(axis=1)
-            # representative index: centre of the cell
-            reps = np.minimum(np.arange(n_cells) * stride + stride // 2, grid.n - 1)
-            coarse.append((cell_mass, reps))
+            cell_masses.append(padded.reshape(n_cells, stride).sum(axis=1))
+        reps = np.minimum(np.arange(n_cells) * stride + stride // 2, grid.n - 1)
+        return cell_masses, reps
+
+    def _finish_time_two_batches_batched(
+        self, i: int, base: GridMass, incoming: List[Transfer]
+    ) -> GridMass:
+        """Order conditioning without the per-cell FFT loop.
+
+        The per-cell convolution splits algebraically: with ``B`` the base
+        prefix mass and ``ρ`` a cell's representative index,
+
+            ``truncate_below(base, ρ) ⊛ S = (base·1[u>ρ]) ⊛ S + B(ρ)·S(·−ρ)``.
+
+        The masked-tail convolutions of successive cells telescope by the
+        convolution of one short base *segment* per cell, and all segment
+        convolutions are a single matrix product against a sliding lag view
+        of the service sum (:meth:`_segment_convolutions`).  The running
+        mixture and the second-arrival truncations then cost O(n) slice
+        updates per coarse cell — the cell sweep performs no transforms at
+        all, versus one full ``fftconvolve`` per cell in the loop kernel.
+        """
+        grid = self.grid
+        n = grid.n
+        nfft = grid.fft_length
+        sizes = [t.size for t in incoming]
+        coarse, reps = self._coarse_arrival_cells(i, incoming)
+        base_prefix = np.cumsum(base.mass)
+
+        total = np.zeros(n)
+        for first, second in ((0, 1), (1, 0)):
+            p_first, p_second = coarse[first], coarse[second]
+            s_first = self.service_sum(i, sizes[first])
+            s_second = self.service_sum(i, sizes[second])
+            # ties (same coarse cell): counted once, in the (0, 1) branch
+            strict = first == 1
+            # only cells actually carrying arrival mass participate (the
+            # sequential loop skips the others one by one)
+            f_cells = np.nonzero(p_first > 0.0)[0]
+            s_cells = np.nonzero(p_second > 0.0)[0]
+            if f_cells.size == 0 or s_cells.size == 0:
+                # an identically-zero mixture contributes nothing
+                continue
+            reps_f = reps[f_cells]
+            seg_conv = self._segment_convolutions(base.mass, reps_f, s_first)
+
+            # masked-tail convolution for the first active cell; later cells
+            # telescope by subtracting one segment convolution each
+            tail = base.mass.copy()
+            tail[: reps_f[0] + 1] = 0.0
+            vtail = spectral.conv_rows(tail, s_first.spectrum(), nfft, n)
+
+            s1m = s_first.mass
+            mixture = np.zeros(n)
+            pre_second = np.zeros(n)
+            fpos = 0
+
+            def extend(cell: int) -> None:
+                nonlocal fpos, mixture
+                if fpos > 0:
+                    o = int(reps_f[fpos - 1]) + 1
+                    vtail[o:] -= seg_conv[fpos - 1, : n - o]
+                rho = int(reps_f[fpos])
+                w = p_first[cell]
+                mixture += w * vtail
+                mixture[rho:] += (w * base_prefix[rho]) * s1m[: n - rho]
+                fpos += 1
+
+            for c in np.union1d(f_cells, s_cells):
+                is_first = fpos < f_cells.size and f_cells[fpos] == c
+                if not strict and is_first:
+                    extend(c)
+                if p_second[c] > 0.0:
+                    r = int(reps[c])
+                    w = p_second[c]
+                    pre_second[r] += w * float(mixture[:r].sum())
+                    pre_second[r:] += w * mixture[r:]
+                if strict and is_first:
+                    extend(c)
+            total += spectral.conv_rows(pre_second, s_second.spectrum(), nfft, n)
+        return GridMass(grid, np.maximum(total, 0.0))
+
+    @staticmethod
+    def _segment_convolutions(
+        base: np.ndarray, reps_f: np.ndarray, s_first: GridMass
+    ) -> np.ndarray:
+        """Convolutions of the base segments between consecutive active cells.
+
+        Row ``k`` is ``base[reps_f[k]+1 : reps_f[k+1]+1] ⊛ s_first`` with the
+        segment at the origin (the caller re-applies the offset).  All rows
+        are one ``(cells, L) @ (L, n)`` product against a sliding lag view of
+        the service sum — one BLAS call instead of per-cell transforms.
+        """
+        n = base.size
+        if reps_f.size < 2:
+            return np.empty((0, n))
+        starts = reps_f[:-1] + 1
+        lengths = reps_f[1:] - reps_f[:-1]
+        width = int(lengths.max())
+        offsets = np.arange(width)
+        segments = np.where(
+            offsets[None, :] < lengths[:, None],
+            base[np.minimum(starts[:, None] + offsets[None, :], n - 1)],
+            0.0,
+        )
+        padded = np.concatenate([np.zeros(width - 1), s_first.mass])
+        lag = sliding_window_view(padded, n)[::-1]
+        return segments @ lag
+
+    def _finish_time_two_batches_loop(
+        self, i: int, base: GridMass, incoming: List[Transfer]
+    ) -> GridMass:
+        """Sequential reference implementation (one FFT per coarse cell).
+
+        For each first-arrival cell ``a`` the inner law
+        ``X_a = max(S_r, a) + S_{L_f}`` is one convolution, accumulated into
+        a running mixture so each second-arrival cell ``b`` costs only a
+        truncation.  Cost: ``O(cells * (fft + n))`` per branch.  Kept as the
+        pre-spectral baseline for benchmarks and equivalence tests.
+        """
+        grid = self.grid
+        sizes = [t.size for t in incoming]
+        cell_masses, reps = self._coarse_arrival_cells(i, incoming)
+        coarse = [(cm, reps) for cm in cell_masses]
 
         def truncate_below(mass: np.ndarray, idx: int) -> np.ndarray:
             out = mass.copy()
@@ -381,7 +543,7 @@ class TransformSolver:
                 def extend():
                     x_a = GridMass(
                         grid, truncate_below(base.mass, int(reps_f[k]))
-                    ).conv(s_first)
+                    ).conv_direct(s_first)
                     return mixture + p_first[k] * x_a.mass
 
                 if not strict and p_first[k] > 0.0:
@@ -425,6 +587,29 @@ class TransformSolver:
             )
         return self.workload_time_mass(loads, policy).mean()
 
+    def _deadline_weights(self, deadline: float) -> np.ndarray:
+        """Per-cell inclusion weights for ``P(T < deadline)`` (memoized).
+
+        ``w[i]`` is the fraction of cell ``i``'s mass counted as finished by
+        the deadline, interpolated over the cell edges so that
+        ``mass @ w == cdf_at(deadline)`` exactly.  The failing-server QoS
+        branch uses these instead of a strict ``times < deadline`` mask, so
+        the partial cell at the deadline is handled consistently with the
+        reliable branch and the two agree as the failure rate -> 0.
+        """
+        w = self._deadline_weight_cache.get(deadline)
+        if w is None:
+            edges = self.grid.edges
+            with np.errstate(invalid="ignore"):
+                w = np.clip(
+                    (deadline - edges[:-1]) / (edges[1:] - edges[:-1]), 0.0, 1.0
+                )
+            # first cell is the atom-at-0 half cell: cdf_at steps there
+            w[0] = 1.0 if deadline >= edges[1] else 0.0
+            w.flags.writeable = False
+            self._deadline_weight_cache[deadline] = w
+        return w
+
     def qos(
         self, loads: Sequence[int], policy: ReallocationPolicy, deadline: float
     ) -> float:
@@ -440,8 +625,8 @@ class TransformSolver:
             if sf_y is None:
                 prob *= mass.cdf_at(deadline)
             else:
-                sel = self.grid.times < deadline
-                prob *= float(mass.mass[sel] @ sf_y[sel])
+                w = self._deadline_weights(deadline)
+                prob *= float(mass.mass @ (sf_y * w))
         return min(prob, 1.0)
 
     def reliability(self, loads: Sequence[int], policy: ReallocationPolicy) -> float:
@@ -476,3 +661,238 @@ class TransformSolver:
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown metric {metric}")
         return MetricValue(metric=metric, value=value, method="transform", deadline=deadline)
+
+    # ------------------------------------------------------------------
+    # batched policy-lattice evaluation (2 servers)
+    # ------------------------------------------------------------------
+    def evaluate_lattice(
+        self,
+        metric: Metric,
+        loads: Sequence[int],
+        l12_values: Sequence[int],
+        l21_values: Sequence[int],
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        """Metric surface over a 2-server ``(L12, L21)`` policy lattice.
+
+        Returns a ``(len(l12_values), len(l21_values))`` array whose
+        ``[i, j]`` entry equals ``evaluate(metric, loads,
+        two_server(l12_values[i], l21_values[j]), deadline).value`` — but
+        vectorized.  Reliability and QoS reduce per cell to scalar dots
+        against fixed survival/deadline vectors, so the convolutions are
+        collapsed through their adjoint (:func:`spectral.corr_weights`):
+        one correlation per distinct service-sum kernel and one matrix
+        product per server cover the whole surface, with no per-cell FFT
+        work at all.  The average execution time needs the full finish
+        laws, so it runs whole columns at a time through batched
+        spectrum-multiplied FFT passes.  Either way this replaces the
+        per-policy Python scan the optimizers otherwise pay (one pair of
+        FFT round-trips *per cell*).
+
+        Computed surfaces are memoized in the :class:`SolverCache` (keyed on
+        the laws' fingerprints, the lattice and the grid), so repeated
+        sweeps stay as cheap as the per-policy value cache made them.
+        """
+        if len(loads) != 2:
+            raise ValueError("lattice evaluation is defined for two servers")
+        if metric is Metric.QOS and deadline is None:
+            raise ValueError("QoS evaluation needs a deadline")
+        if metric is Metric.AVG_EXECUTION_TIME and not self.model.reliable:
+            raise ValueError(
+                "the average execution time is only defined for reliable "
+                "servers (failure laws present in the model)"
+            )
+        m1, m2 = int(loads[0]), int(loads[1])
+        l12s = [int(v) for v in l12_values]
+        l21s = [int(v) for v in l21_values]
+        if not l12s or not l21s:
+            return np.zeros((len(l12s), len(l21s)))
+        if min(l12s) < 0 or max(l12s) > m1 or min(l21s) < 0 or max(l21s) > m2:
+            raise ValueError("lattice values must satisfy 0 <= L12 <= m1, 0 <= L21 <= m2")
+        key = self._lattice_key(metric, (m1, m2), l12s, l21s, deadline)
+        if key is not None and self.cache is not None:
+            surface = self.cache.get_or_create(
+                key,
+                lambda: self._evaluate_lattice_uncached(
+                    metric, m1, m2, l12s, l21s, deadline
+                ),
+            )
+            return surface.copy()
+        return self._evaluate_lattice_uncached(metric, m1, m2, l12s, l21s, deadline)
+
+    def _lattice_key(
+        self,
+        metric: Metric,
+        loads: Tuple[int, int],
+        l12s: List[int],
+        l21s: List[int],
+        deadline: Optional[float],
+    ) -> Optional[Hashable]:
+        """Cache key of one metric surface, or ``None`` when any law is opaque.
+
+        Transfer fingerprints are taken from the laws directly (without
+        discretizing them), so a warm-cache sweep touches no FFT work at all.
+        """
+        fps: List[Hashable] = []
+        for k in (0, 1):
+            sfp = self._service_fp[k]
+            if sfp is None:
+                return None
+            ffp = fingerprint(self.model.failure_of(k))
+            if ffp is None:
+                return None
+            fps.extend((sfp, ffp))
+        for src, dst, sizes in ((1, 0, l21s), (0, 1, l12s)):
+            for size in sizes:
+                if size <= 0:
+                    continue
+                tfp = fingerprint(self.model.network.group_transfer(src, dst, size))
+                if tfp is None:
+                    return None
+                fps.append((src, dst, size, tfp))
+        return (
+            "lattice",
+            metric.name,
+            loads,
+            tuple(l12s),
+            tuple(l21s),
+            deadline,
+            self.kernel,
+            tuple(fps),
+            (self.grid.dt, self.grid.n),
+        )
+
+    def _evaluate_lattice_uncached(
+        self,
+        metric: Metric,
+        m1: int,
+        m2: int,
+        l12s: List[int],
+        l21s: List[int],
+        deadline: Optional[float],
+    ) -> np.ndarray:
+        grid = self.grid
+        n, nfft = grid.n, grid.fft_length
+        ladder0 = self.service_sums(0, max(m1, max(l21s)))
+        ladder1 = self.service_sums(1, max(m2, max(l12s)))
+        l12a = np.asarray(l12s)
+
+        # per-row (L12) ingredients shared by every column
+        base0 = np.stack([ladder0[m1 - v].mass for v in l12s])
+        base0_cdf = np.minimum(np.cumsum(base0, axis=1), 1.0)
+        spec1 = np.stack([ladder1[v].spectrum() for v in l12s])
+        z01_cdf = np.ones((len(l12s), n))
+        for i, v in enumerate(l12s):
+            if v > 0:
+                z01_cdf[i] = self.transfer_mass(0, 1, v).cdf()
+
+        if metric is not Metric.AVG_EXECUTION_TIME:
+            return self._lattice_scalar_surface(
+                metric, m1, m2, l12s, l21s, deadline,
+                ladder0, ladder1, base0, base0_cdf, spec1, z01_cdf,
+            )
+
+        # AVG needs the full finish laws (a mean per cell, not a scalar
+        # dot): build them column-by-column with batched convolutions.
+        surface = np.zeros((len(l12s), len(l21s)))
+        for j, l21 in enumerate(l21s):
+            base1 = ladder1[m2 - l21]
+            if l21 == 0:
+                mass0 = base0
+            else:
+                f0 = base0_cdf * self.transfer_mass(1, 0, l21).cdf()[None, :]
+                rows = np.maximum(np.diff(f0, prepend=0.0, axis=1), 0.0)
+                mass0 = spectral.conv_rows(rows, ladder0[l21].spectrum(), nfft, n)
+            f1 = base1.cdf()[None, :] * z01_cdf
+            rows = np.maximum(np.diff(f1, prepend=0.0, axis=1), 0.0)
+            mass1 = spectral.conv_rows(rows, spec1, nfft, n)
+            # rows with L12 = 0 receive nothing: finish law is the base alone
+            mass1[l12a == 0] = base1.mass
+
+            include0 = (m1 - l12a > 0) | (l21 > 0)
+            include1 = (m2 - l21 > 0) | (l12a > 0)
+            c0 = np.minimum(np.cumsum(mass0, axis=1), 1.0)
+            c1 = np.minimum(np.cumsum(mass1, axis=1), 1.0)
+            f = np.where(include0[:, None], c0, 1.0)
+            f *= np.where(include1[:, None], c1, 1.0)
+            mass = np.maximum(np.diff(f, prepend=0.0, axis=1), 0.0)
+            col = mass @ grid.times
+            tails = 1.0 - mass.sum(axis=1)
+            for i in np.nonzero(tails > 1e-9)[0]:
+                # heavy residual tail: defer to the fitted tail correction
+                col[i] = GridMass(grid, mass[i]).mean()
+            surface[:, j] = col
+        return surface
+
+    def _lattice_scalar_surface(
+        self,
+        metric: Metric,
+        m1: int,
+        m2: int,
+        l12s: List[int],
+        l21s: List[int],
+        deadline: Optional[float],
+        ladder0: List[GridMass],
+        ladder1: List[GridMass],
+        base0: np.ndarray,
+        base0_cdf: np.ndarray,
+        spec1: np.ndarray,
+        z01_cdf: np.ndarray,
+    ) -> np.ndarray:
+        """Reliability / QoS surfaces with no per-cell convolutions at all.
+
+        Both metrics reduce, per server, to a dot product of the server's
+        finish-time mass against one fixed vector ``y`` — the failure
+        survival curve, the deadline weights, or their product.  The
+        truncated convolution that builds the mass is pushed onto ``y`` by
+        its adjoint (:func:`spectral.corr_weights`): one correlation per
+        distinct service-sum kernel, reusing the spectra the ladders
+        already cached, turns every lattice cell into a dot product and
+        each server's whole factor matrix into a single matrix product.
+        """
+        grid = self.grid
+        n, nfft = grid.n, grid.fft_length
+        shape = (len(l12s), len(l21s))
+        if metric is Metric.QOS and (deadline is None or deadline <= 0):
+            return np.zeros(shape)
+        dw = self._deadline_weights(deadline) if metric is Metric.QOS else None
+        ys: List[Optional[np.ndarray]] = []
+        for sf_y in self._failure_sf:
+            if metric is Metric.QOS:
+                ys.append(dw if sf_y is None else sf_y * dw)
+            else:
+                ys.append(sf_y)  # None: a reliable server always finishes
+        y0, y1 = ys
+
+        l12a = np.asarray(l12s)
+        l21a = np.asarray(l21s)
+        include0 = (m1 - l12a > 0)[:, None] | (l21a > 0)[None, :]
+        include1 = (m2 - l21a > 0)[None, :] | (l12a > 0)[:, None]
+        surface = np.ones(shape)
+
+        if y0 is not None:
+            fac0 = np.empty(shape)
+            nz = np.nonzero(l21a > 0)[0]
+            if nz.size:
+                specs = np.stack([ladder0[l21s[j]].spectrum() for j in nz])
+                weights = spectral.corr_weights(specs, y0, nfft, n)
+                weights *= np.stack(
+                    [self.transfer_mass(1, 0, l21s[j]).cdf() for j in nz]
+                )
+                fac0[:, nz] = base0_cdf @ weights.T
+            if nz.size < l21a.size:
+                # L21 = 0 columns: the finish law is the base batch alone
+                fac0[:, l21a == 0] = (base0 @ y0)[:, None]
+            surface *= np.where(include0, fac0, 1.0)
+
+        if y1 is not None:
+            b1_cdf = np.stack([ladder1[m2 - v].cdf() for v in l21s])
+            weights = z01_cdf * spectral.corr_weights(spec1, y1, nfft, n)
+            fac1 = weights @ b1_cdf.T
+            zero_rows = l12a == 0
+            if zero_rows.any():
+                b1_mass = np.stack([ladder1[m2 - v].mass for v in l21s])
+                fac1[zero_rows, :] = b1_mass @ y1
+            surface *= np.where(include1, fac1, 1.0)
+
+        return np.minimum(surface, 1.0)

@@ -19,7 +19,6 @@ solver, which must agree with it whenever all clocks are exponential.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

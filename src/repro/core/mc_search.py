@@ -16,7 +16,6 @@ converts the winner back into a feasible flow matrix with
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 

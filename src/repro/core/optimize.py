@@ -9,7 +9,6 @@ while still ending with an exhaustive scan of the refined neighbourhood.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -64,10 +63,17 @@ class OptimizationResult:
 class TwoServerOptimizer:
     """Exhaustive (optionally coarse-to-fine) 2-server policy search."""
 
-    def __init__(self, solver):
+    def __init__(self, solver, batched: bool = True):
         """``solver`` is any object with the ``evaluate(metric, loads, policy,
-        deadline)`` protocol (transform, Markovian or Theorem 1 solver)."""
+        deadline)`` protocol (transform, Markovian or Theorem 1 solver).
+
+        ``batched=True`` (default) evaluates whole lattices through the
+        solver's vectorized ``evaluate_lattice`` surface when it offers one
+        (the transform solver does); ``batched=False`` forces the per-policy
+        scan — useful for benchmarking and equivalence testing.
+        """
         self.solver = solver
+        self.batched = bool(batched)
         self._cache: Dict[Tuple[Metric, Tuple[int, int], int, int, Optional[float]], float] = {}
 
     def _value(
@@ -94,10 +100,14 @@ class TwoServerOptimizer:
         deadline: Optional[float],
         jobs: int,
     ) -> None:
-        """Fill the value cache for ``pairs`` using ``jobs`` processes.
+        """Fill the value cache for ``pairs``, batched or across processes.
 
-        Each worker evaluates a slice of the lattice against its (forked)
-        copy of the solver; only floats travel back.  Because evaluation is
+        When the solver offers a vectorized ``evaluate_lattice`` surface
+        (and ``batched`` was not disabled), the missing cells are covered by
+        one batched surface evaluation — independent of ``jobs``, so serial
+        and fanned runs select identical optima.  Otherwise each worker
+        evaluates a slice of the lattice against its (forked) copy of the
+        solver; only floats travel back.  Because evaluation is
         deterministic, the cached values — and hence the selected optimum —
         are identical to a serial scan.
         """
@@ -106,7 +116,22 @@ class TwoServerOptimizer:
             for p in dict.fromkeys(pairs)
             if (metric, loads, p[0], p[1], deadline) not in self._cache
         ]
-        if jobs <= 1 or len(missing) <= 1:
+        if len(missing) <= 1:
+            return
+        if self.batched and hasattr(self.solver, "evaluate_lattice"):
+            l12s = sorted({p[0] for p in missing})
+            l21s = sorted({p[1] for p in missing})
+            surface = self.solver.evaluate_lattice(
+                metric, list(loads), l12s, l21s, deadline=deadline
+            )
+            idx12 = {v: i for i, v in enumerate(l12s)}
+            idx21 = {v: i for i, v in enumerate(l21s)}
+            for l12, l21 in missing:
+                self._cache[(metric, loads, l12, l21, deadline)] = float(
+                    surface[idx12[l12], idx21[l21]]
+                )
+            return
+        if jobs <= 1:
             return
         values = fork_map(
             lambda k: self._value(metric, loads, missing[k][0], missing[k][1], deadline),
@@ -202,15 +227,28 @@ def sweep_policies(
     l21_values: Sequence[int],
     deadline: Optional[float] = None,
     jobs: int = 1,
+    batched: bool = True,
 ) -> np.ndarray:
     """Metric values over a policy grid — the raw data behind Figs. 1–3.
 
     Returns an array of shape ``(len(l12_values), len(l21_values))``.
-    ``jobs > 1`` evaluates the grid cells across worker processes
-    (``jobs=0`` = all cores) with bit-identical results.
+    With ``batched=True`` (default) and a solver exposing the vectorized
+    ``evaluate_lattice`` surface, the whole grid is computed in batched FFT
+    passes (``jobs`` is irrelevant there — the batched path is already one
+    process doing vector work).  Otherwise ``jobs > 1`` evaluates the grid
+    cells across worker processes (``jobs=0`` = all cores) with
+    bit-identical results.
     """
     if len(loads) != 2:
         raise ValueError("policy sweeps are defined for two servers")
+    if batched and hasattr(solver, "evaluate_lattice"):
+        return solver.evaluate_lattice(
+            metric,
+            list(loads),
+            [int(v) for v in l12_values],
+            [int(v) for v in l21_values],
+            deadline=deadline,
+        )
     cells = [
         (int(l12), int(l21)) for l12 in l12_values for l21 in l21_values
     ]

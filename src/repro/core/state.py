@@ -17,7 +17,7 @@ simulator logs in traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Tuple
 
 __all__ = ["TransitGroup", "SystemState"]
 

@@ -11,7 +11,7 @@ mutually independent (assumption A2).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..distributions.base import Distribution

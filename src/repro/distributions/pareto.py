@@ -17,7 +17,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution, SupportError
+from .base import Distribution
 
 __all__ = ["Pareto", "PARETO1_ALPHA", "PARETO2_ALPHA"]
 

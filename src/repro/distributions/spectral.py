@@ -1,0 +1,144 @@
+"""Frequency-domain kernel for the grid-mass algebra.
+
+Every convolution in this codebase is a linear convolution of two
+sub-probability vectors supported on ``[0, n)`` cells, truncated back to
+``n`` cells (escaped mass becomes explicit tail).  All of them can therefore
+share **one** canonical real-FFT size per grid — the smallest 5-smooth
+length ``>= 2n - 1`` (:func:`fft_length`) — which makes spectra reusable:
+
+* a law's forward transform (:func:`mass_spectrum`) is computed once and
+  cached (on the :class:`~repro.distributions.grid.GridMass` instance and,
+  through the solver cache, process-wide), so a convolution against an
+  already-seen law costs one forward transform and one inverse instead of
+  the three transforms ``scipy.signal.fftconvolve`` pays every call;
+* whole *stacks* of laws (service-sum ladders, policy-lattice rows) are
+  transformed in single batched ``rfft``/``irfft`` calls
+  (:func:`conv_rows`), replacing per-law Python FFT round-trips;
+* k-fold iid service-sum ladders are extended by **doubling rounds**
+  (:func:`extend_ladder_masses`): with truncated powers ``0..J`` known, the
+  powers ``J+1..2J`` are the elementwise spectrum products
+  ``S_ceil(k/2) * S_floor(k/2)`` — one batched inverse transform per round,
+  one batched forward transform for the new block, ``O(log k)`` rounds.
+
+Correctness note: truncating intermediate results to the grid never changes
+the first ``n`` cells of a longer convolution chain (indices only add), so
+the doubling ladder agrees with the sequential ``conv``-ladder to floating
+point round-off — this is asserted to ``1e-12`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+from scipy import fft as sfft
+
+__all__ = [
+    "fft_length",
+    "mass_spectrum",
+    "conv_masses",
+    "conv_rows",
+    "corr_weights",
+    "extend_ladder_masses",
+]
+
+
+def fft_length(n: int) -> int:
+    """Canonical 5-smooth real-FFT size for a grid of ``n`` cells.
+
+    Large enough (``>= 2n - 1``) that the circular convolution of any two
+    vectors supported on ``[0, n)`` is exactly their linear convolution on
+    every cell ``< 2n - 1`` — in particular on the ``n`` cells kept.
+    """
+    return int(sfft.next_fast_len(2 * n - 1, real=True))
+
+
+def mass_spectrum(mass: np.ndarray, nfft: int) -> np.ndarray:
+    """Real FFT of a mass vector, zero-padded to the canonical length."""
+    return sfft.rfft(mass, nfft)
+
+
+def conv_masses(
+    spec_a: np.ndarray, spec_b: np.ndarray, nfft: int, n: int
+) -> np.ndarray:
+    """Truncated linear convolution from two cached spectra."""
+    out = sfft.irfft(spec_a * spec_b, nfft)[:n]
+    return np.maximum(out, 0.0)
+
+
+def conv_rows(
+    rows: np.ndarray, kernel_spec: np.ndarray, nfft: int, n: int
+) -> np.ndarray:
+    """Convolve every row of ``rows`` with a kernel, in one batched pass.
+
+    ``rows`` has shape ``(m, n)``; ``kernel_spec`` is either a single
+    spectrum ``(nfft//2 + 1,)`` broadcast over all rows or a per-row stack
+    ``(m, nfft//2 + 1)``.  Returns the ``(m, n)`` truncated convolutions,
+    clipped to be non-negative exactly like the scalar path.
+    """
+    spec = sfft.rfft(rows, nfft, axis=-1)
+    spec *= kernel_spec
+    out = sfft.irfft(spec, nfft, axis=-1)[..., :n]
+    return np.maximum(out, 0.0)
+
+
+def corr_weights(
+    kernel_specs: np.ndarray, y: np.ndarray, nfft: int, n: int
+) -> np.ndarray:
+    """Summation-by-parts weights of the truncated-convolution adjoint.
+
+    For a truncated convolution ``c = conv(rows, s)[:n]`` and a fixed
+    metric vector ``y`` on ``[0, n)``, the scalar ``c @ y`` equals
+    ``rows @ q`` with ``q[u] = sum_{v < n-u} s[v] * y[u+v]`` — the
+    correlation of the kernel with ``y``.  It is exact from the kernel's
+    cached spectrum: conjugation flips convolution into correlation, and
+    the canonical length leaves no circular wrap for ``u + v <= 2n - 2``.
+    Written against the increments ``rows = diff(F)`` of a CDF this
+    becomes ``F @ e`` with ``e[u] = q[u] - q[u+1]`` (and ``q[n] = 0``),
+    which is what this function returns — one row of weights per kernel
+    spectrum in ``kernel_specs``.
+    """
+    q = sfft.irfft(
+        np.conj(kernel_specs) * sfft.rfft(y, nfft), nfft, axis=-1
+    )[..., :n]
+    e = q.copy()
+    e[..., :-1] -= q[..., 1:]
+    return e
+
+
+def extend_ladder_masses(
+    masses: List[np.ndarray],
+    spectra: List[np.ndarray],
+    k_max: int,
+    nfft: int,
+    n: int,
+) -> None:
+    """Extend a truncated k-fold convolution ladder to ``k_max``, in place.
+
+    ``masses[k]`` is the (grid-truncated) k-fold iid sum of ``masses[1]``;
+    ``spectra[k]`` its forward transform at the canonical length.  Both
+    lists are grown together.  Each doubling round derives the next block of
+    powers from elementwise products of already-known spectra with a single
+    batched inverse transform, then forward-transforms the new block in one
+    batched call for the following round.
+    """
+    if len(masses) != len(spectra):
+        raise ValueError("masses and spectra ladders out of sync")
+    if len(masses) < 2:
+        raise ValueError(
+            "ladder must be seeded with powers 0 (delta) and 1 (the base law)"
+        )
+    while len(masses) <= k_max:
+        have = len(masses) - 1  # highest power already known
+        lo = have + 1
+        hi = min(2 * have, k_max)
+        ks = np.arange(lo, hi + 1)
+        prod = np.stack(
+            [spectra[(k + 1) // 2] * spectra[k // 2] for k in ks]
+        )
+        block = sfft.irfft(prod, nfft, axis=-1)[:, :n]
+        block = np.maximum(block, 0.0)
+        block_spec = sfft.rfft(block, nfft, axis=-1)
+        for row, row_spec in zip(block, block_spec):
+            masses.append(row)
+            spectra.append(row_spec)

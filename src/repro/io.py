@@ -6,9 +6,8 @@ import json
 import math
 from typing import Any, Dict
 
-import numpy as np
 
-from .core.metrics import MCEstimate, Metric
+from .core.metrics import MCEstimate
 from .core.optimize import OptimizationResult
 from .core.policy import ReallocationPolicy
 

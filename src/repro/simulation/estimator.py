@@ -16,7 +16,7 @@ only decides how many chunks run concurrently (fork-based, see
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 

@@ -19,18 +19,16 @@ The documented substitution rationale lives in DESIGN.md Sec. 4.5.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.metrics import MCEstimate
 from ..core.policy import ReallocationPolicy
-from ..core.system import DCSModel, HeterogeneousNetwork, NetworkModel
+from ..core.system import DCSModel
 from ..distributions.base import Distribution
 from ..distributions.fitting import ModelSelection, select_model
-from .dcs import DCSSimulator
 from .estimator import estimate_reliability
 
 __all__ = ["perturb_distribution", "perturb_model", "Characterization", "EmulatedTestbed"]

@@ -7,8 +7,8 @@ DESIGN.md Sec. 4.2; the five-server initial allocation in Sec. 4.4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..core.system import DCSModel, HeterogeneousNetwork, HomogeneousNetwork
 from ..distributions import Exponential, Pareto, ShiftedGamma

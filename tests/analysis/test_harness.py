@@ -13,7 +13,6 @@ from repro.analysis import (
     table1_rows,
 )
 from repro.analysis.figures import fitted_model_from_characterization
-from repro.core import Metric
 
 #: a miniature scale so harness tests run in seconds
 TINY = ExperimentScale(

@@ -1,6 +1,5 @@
 """The run-all report harness (subset smoke at tiny scale)."""
 
-import pathlib
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Sensitivity analysis: signs, magnitudes, validation."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.sensitivity import metric_sensitivities

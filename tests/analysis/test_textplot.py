@@ -1,7 +1,6 @@
 """ASCII figure rendering."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import histogram_chart, line_chart, surface_chart
 

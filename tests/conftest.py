@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.system import DCSModel, HomogeneousNetwork, ZeroDelayNetwork
+from repro.core.system import DCSModel, HomogeneousNetwork
 from repro.distributions import (
     Deterministic,
     Exponential,

@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (
-    Algorithm1,
-    DCSModel,
-    Metric,
-    ReallocationPolicy,
-    TransformSolver,
-    TwoServerOptimizer,
-)
+from repro.core import Algorithm1, DCSModel, Metric, TransformSolver, TwoServerOptimizer
 from repro.core.algorithm1 import _multires_argbest, criterion_vector, seed_policy
 from repro.distributions import Exponential
 

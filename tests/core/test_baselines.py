@@ -1,9 +1,8 @@
 """Baseline policies: proportional, water-filling, all-to-fastest."""
 
-import numpy as np
 import pytest
 
-from repro.core import DCSModel, Metric, TransformSolver
+from repro.core import DCSModel, TransformSolver
 from repro.core.baselines import (
     all_to_fastest,
     no_action,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Metric,
     ReallocationPolicy,
     SolverCache,
     TransformSolver,

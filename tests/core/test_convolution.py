@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -13,9 +12,8 @@ from repro.core import (
     TransformSolver,
     ZeroDelayNetwork,
 )
-from repro.core.convolution import ServerAssignment
 from repro.core.policy import Transfer
-from repro.distributions import Deterministic, Exponential, Grid, Uniform
+from repro.distributions import Deterministic, Exponential, Grid
 
 from ..conftest import exp_network, small_exp_model
 

@@ -8,7 +8,6 @@ import pytest
 from repro.core import (
     DCSModel,
     MarkovianSolver,
-    Metric,
     ReallocationPolicy,
     ZeroDelayNetwork,
     markovian_approximation,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DCSModel, MCPolicySearch, Metric, ReallocationPolicy
+from repro.core import DCSModel, MCPolicySearch, Metric
 from repro.core.mc_search import allocation_to_policy
 from repro.distributions import Exponential
 
@@ -53,7 +53,6 @@ class TestMCPolicySearch:
         model = self.make_model()
         search = MCPolicySearch(model, Metric.AVG_EXECUTION_TIME, n_reps=60)
         res = search.search([16, 0], rng, n_random=6, step_sizes=(4, 2))
-        initial = np.array([16, 0])
         # the winner moves a meaningful share to the fast idle server
         assert res.allocation[1] >= 4
         assert res.n_evaluations == len(res.history)

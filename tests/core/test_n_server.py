@@ -11,9 +11,7 @@ import pytest
 
 from repro.core import (
     DCSModel,
-    HomogeneousNetwork,
     MarkovianSolver,
-    Metric,
     ReallocationPolicy,
     Theorem1Solver,
     TransformSolver,

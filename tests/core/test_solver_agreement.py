@@ -5,14 +5,12 @@ recursion whenever every clock is exponential, and with the faithful
 Theorem 1 recursion on small non-exponential instances.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (
     DCSModel,
     HomogeneousNetwork,
     MarkovianSolver,
-    Metric,
     ReallocationPolicy,
     Theorem1Solver,
     TransformSolver,

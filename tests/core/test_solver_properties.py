@@ -1,6 +1,5 @@
 """Property-based solver tests over randomized instances (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +8,6 @@ from repro.core import (
     DCSModel,
     HomogeneousNetwork,
     MarkovianSolver,
-    Metric,
     ReallocationPolicy,
     TransformSolver,
 )

@@ -1,0 +1,204 @@
+"""Solver-level guarantees of the spectral kernel layer.
+
+The spectral kernel ("spectral", default) must reproduce the pre-spectral
+sequential paths ("direct") everywhere the solver uses convolutions — the
+two-batch order conditioning in particular — and the vectorized policy
+lattice must agree cell-by-cell with the per-policy scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DCSModel,
+    HomogeneousNetwork,
+    Metric,
+    ReallocationPolicy,
+    TransformSolver,
+    TwoServerOptimizer,
+    sweep_policies,
+)
+from repro.core.policy import Transfer
+from repro.distributions import Exponential, Pareto
+
+from ..conftest import exp_network, small_exp_model
+
+LOADS = [12, 7]
+DEADLINE = 14.0
+
+
+def pareto_model(with_failures: bool = False) -> DCSModel:
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(60.0), Exponential.from_mean(45.0)]
+    return DCSModel(
+        service=[Pareto.from_mean(1.0, 2.5), Pareto.from_mean(1.6, 2.2)],
+        network=exp_network(per_task=0.5),
+        failure=failure,
+    )
+
+
+def lattice_reference(solver, metric, loads, l12s, l21s, deadline=None):
+    """The per-policy scan the batched surface must reproduce."""
+    return np.array(
+        [
+            [
+                solver.evaluate(
+                    metric, loads, ReallocationPolicy.two_server(a, b), deadline=deadline
+                ).value
+                for b in l21s
+            ]
+            for a in l12s
+        ]
+    )
+
+
+class TestTwoBatchKernels:
+    """Batched exact2 order conditioning vs. the sequential loop."""
+
+    POLICY = ReallocationPolicy.from_transfers(
+        3, [Transfer(0, 2, 4), Transfer(1, 2, 3)]
+    )
+    LOADS3 = [10, 8, 0]
+
+    @pytest.mark.parametrize("family", ["exp", "pareto"])
+    def test_finish_masses_agree(self, family):
+        fam = (
+            Exponential.from_mean
+            if family == "exp"
+            else lambda m: Pareto.from_mean(m, 2.5)
+        )
+        net = HomogeneousNetwork(fam, latency=0.2, per_task=1.0, fn_mean=0.2)
+        model = DCSModel(service=[fam(1.0), fam(1.0), fam(2.0)], network=net)
+        solvers = {
+            k: TransformSolver.for_workload(
+                model, self.LOADS3, dt=0.02, batch_mode="exact2", cache=None, kernel=k
+            )
+            for k in ("spectral", "direct")
+        }
+        for a_spec, a_dir in zip(
+            solvers["spectral"].assignments(self.LOADS3, self.POLICY),
+            solvers["direct"].assignments(self.LOADS3, self.POLICY),
+        ):
+            m_spec = solvers["spectral"].finish_time_mass(a_spec).mass
+            m_dir = solvers["direct"].finish_time_mass(a_dir).mass
+            assert np.abs(m_spec - m_dir).max() < 1e-12
+
+
+class TestQosDeadlineCell:
+    """Failing and reliable QoS branches agree as the failure rate -> 0."""
+
+    def test_failing_branch_converges_to_reliable(self):
+        net = exp_network(per_task=0.5)
+        loads = [6, 2]
+        policy = ReallocationPolicy.two_server(2, 0)
+        service = [Exponential.from_mean(1.0), Exponential.from_mean(1.5)]
+        reliable = TransformSolver.for_workload(
+            DCSModel(service=service, network=net), loads, dt=0.02, cache=None
+        ).qos(loads, policy, 9.3)
+        gaps = []
+        for mttf in (1e6, 1e9):
+            model = DCSModel(
+                service=service,
+                network=net,
+                failure=[Exponential.from_mean(mttf)] * 2,
+            )
+            solver = TransformSolver.for_workload(model, loads, dt=0.02, cache=None)
+            gaps.append(abs(solver.qos(loads, policy, 9.3) - reliable))
+        # the gap is O(1/mttf): no residual half-cell bias at the deadline
+        assert gaps[0] < 1e-4
+        assert gaps[1] < 1e-7
+
+    def test_deadline_weights_reproduce_cdf_at(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(), LOADS, dt=0.02, cache=None
+        )
+        mass = solver.service_sum(0, 5)
+        for t in (0.0, 0.005, 3.217, 7.0, 1e9):
+            w = solver._deadline_weights(t)
+            assert float(mass.mass @ w) == pytest.approx(mass.cdf_at(t), abs=1e-12)
+
+
+class TestLatticeEvaluation:
+    """Vectorized metric surfaces vs. the per-policy scan."""
+
+    CASES = [
+        ("avg", small_exp_model(), Metric.AVG_EXECUTION_TIME, None),
+        ("qos-reliable", pareto_model(), Metric.QOS, DEADLINE),
+        ("qos-failures", pareto_model(True), Metric.QOS, DEADLINE),
+        ("reliability", pareto_model(True), Metric.RELIABILITY, None),
+    ]
+
+    @pytest.mark.parametrize("name,model,metric,deadline", CASES, ids=[c[0] for c in CASES])
+    def test_surface_matches_per_policy_scan(self, name, model, metric, deadline):
+        solver = TransformSolver.for_workload(model, LOADS, dt=0.02, cache=None)
+        l12s = list(range(LOADS[0] + 1))
+        l21s = list(range(LOADS[1] + 1))
+        surface = solver.evaluate_lattice(metric, LOADS, l12s, l21s, deadline=deadline)
+        reference = lattice_reference(solver, metric, LOADS, l12s, l21s, deadline)
+        assert np.abs(surface - reference).max() < 1e-10
+        pick = np.argmin if metric is Metric.AVG_EXECUTION_TIME else np.argmax
+        assert pick(surface) == pick(reference)  # identical optimum cell
+
+    def test_sublattice_and_order_preserved(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(), LOADS, dt=0.02, cache=None
+        )
+        l12s, l21s = [8, 0, 4], [5, 2]
+        surface = solver.evaluate_lattice(
+            Metric.AVG_EXECUTION_TIME, LOADS, l12s, l21s
+        )
+        reference = lattice_reference(
+            solver, Metric.AVG_EXECUTION_TIME, LOADS, l12s, l21s
+        )
+        assert surface.shape == (3, 2)
+        assert np.abs(surface - reference).max() < 1e-10
+
+    def test_surface_memoized_in_solver_cache(self):
+        from repro.core import SolverCache
+
+        cache = SolverCache()
+        solver = TransformSolver.for_workload(
+            small_exp_model(), LOADS, dt=0.05, cache=cache
+        )
+        args = (Metric.AVG_EXECUTION_TIME, LOADS, [0, 3, 6], [0, 2])
+        first = solver.evaluate_lattice(*args)
+        hits_before = cache.stats()["hits"]
+        second = solver.evaluate_lattice(*args)
+        assert cache.stats()["hits"] > hits_before
+        np.testing.assert_array_equal(first, second)
+        first[0, 0] = -1.0  # returned surfaces are copies, the memo is safe
+        np.testing.assert_array_equal(solver.evaluate_lattice(*args), second)
+
+    def test_rejects_out_of_range_lattice(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(), LOADS, dt=0.05, cache=None
+        )
+        with pytest.raises(ValueError):
+            solver.evaluate_lattice(
+                Metric.AVG_EXECUTION_TIME, LOADS, [0, LOADS[0] + 1], [0]
+            )
+
+
+class TestOptimizerIntegration:
+    def test_batched_optimizer_matches_per_policy(self):
+        solver = TransformSolver.for_workload(
+            small_exp_model(), LOADS, dt=0.02, cache=None
+        )
+        batched = TwoServerOptimizer(solver).optimize(
+            Metric.AVG_EXECUTION_TIME, LOADS
+        )
+        scanned = TwoServerOptimizer(solver, batched=False).optimize(
+            Metric.AVG_EXECUTION_TIME, LOADS
+        )
+        assert (batched.l12, batched.l21) == (scanned.l12, scanned.l21)
+        assert batched.value == pytest.approx(scanned.value, abs=1e-10)
+
+    def test_batched_sweep_matches_per_policy(self):
+        solver = TransformSolver.for_workload(
+            pareto_model(True), LOADS, dt=0.02, cache=None
+        )
+        args = (solver, Metric.RELIABILITY, LOADS, [0, 4, 8, 12], [0, 3, 7])
+        batched = sweep_policies(*args)
+        scanned = sweep_policies(*args, batched=False)
+        assert np.abs(batched - scanned).max() < 1e-10

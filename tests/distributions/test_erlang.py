@@ -1,6 +1,5 @@
 """Erlang family: low-variability model, stage-posterior aging (IFR)."""
 
-import math
 
 import numpy as np
 import pytest

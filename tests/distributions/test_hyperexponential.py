@@ -106,7 +106,12 @@ class TestAging:
 
 class TestSolverCompatibility:
     def test_transform_solver_accepts_hyperexponential(self):
-        from repro.core import DCSModel, Metric, ReallocationPolicy, TransformSolver, ZeroDelayNetwork
+        from repro.core import (
+            DCSModel,
+            ReallocationPolicy,
+            TransformSolver,
+            ZeroDelayNetwork,
+        )
 
         model = DCSModel(
             service=[Hyperexponential.from_mean_and_cv(1.0, cv=2.0)],

@@ -1,6 +1,5 @@
 """Shifted-exponential, shifted-gamma, uniform, Weibull, deterministic laws."""
 
-import math
 
 import numpy as np
 import pytest

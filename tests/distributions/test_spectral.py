@@ -1,0 +1,114 @@
+"""The frequency-domain kernel: cached spectra and batched ladders.
+
+Equivalence guarantees the solver relies on: the spectral convolution and
+the doubling-round service-sum ladders must agree with the sequential
+``fftconvolve`` reference to well below the solver's accuracy budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import extend_service_ladder
+from repro.distributions import Exponential, Pareto, Uniform
+from repro.distributions.grid import Grid, GridMass, delta, from_distribution
+from repro.distributions.spectral import fft_length
+
+GRID = Grid(dt=0.05, n=400)
+
+LAWS = [
+    Exponential.from_mean(1.0),
+    Pareto.from_mean(1.0, 2.5),
+    Pareto.from_mean(1.0, 1.5),  # heavy tail: lots of escaped mass
+    Uniform.from_mean(1.0),
+]
+
+
+def _ids(laws):
+    return [type(d).__name__ + f"-{d.mean():g}" for d in laws]
+
+
+class TestFftLength:
+    def test_covers_linear_convolution(self):
+        assert GRID.fft_length >= 2 * GRID.n - 1
+
+    def test_five_smooth(self):
+        m = fft_length(GRID.n)
+        for p in (2, 3, 5):
+            while m % p == 0:
+                m //= p
+        assert m == 1
+
+
+class TestSpectralConv:
+    @pytest.mark.parametrize("dist", LAWS, ids=_ids(LAWS))
+    def test_conv_matches_direct(self, dist):
+        a = from_distribution(dist, GRID)
+        b = from_distribution(Exponential.from_mean(0.7), GRID)
+        spec = a.conv(b)
+        direct = a.conv_direct(b)
+        assert np.abs(spec.mass - direct.mass).max() < 1e-12
+
+    def test_conv_with_delta_is_identity(self):
+        a = from_distribution(LAWS[1], GRID)
+        out = a.conv(delta(GRID))
+        assert np.abs(out.mass - a.mass).max() < 1e-13
+
+
+class TestLadder:
+    @pytest.mark.parametrize("dist", LAWS, ids=_ids(LAWS))
+    def test_spectral_ladder_matches_direct(self, dist):
+        mass = from_distribution(dist, GRID)
+        spec = [delta(GRID)]
+        extend_service_ladder(spec, mass, 150, kernel="spectral")
+        direct = [delta(GRID)]
+        extend_service_ladder(direct, mass, 150, kernel="direct")
+        worst = max(
+            np.abs(s.mass - d.mass).max() for s, d in zip(spec, direct)
+        )
+        assert worst < 1e-12
+
+    def test_spectral_ladder_matches_conv_power(self):
+        mass = from_distribution(LAWS[1], GRID)
+        ladder = [delta(GRID)]
+        extend_service_ladder(ladder, mass, 40, kernel="spectral")
+        for k in (0, 1, 2, 7, 40):
+            assert np.abs(ladder[k].mass - mass.conv_power(k).mass).max() < 1e-12
+
+    def test_incremental_extension_matches_one_shot(self):
+        mass = from_distribution(LAWS[0], GRID)
+        grown = [delta(GRID)]
+        for k in (3, 5, 17):
+            extend_service_ladder(grown, mass, k, kernel="spectral")
+        once = [delta(GRID)]
+        extend_service_ladder(once, mass, 17, kernel="spectral")
+        for a, b in zip(grown, once):
+            assert np.abs(a.mass - b.mass).max() < 1e-12
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            extend_service_ladder([delta(GRID)], from_distribution(LAWS[0], GRID), 2, kernel="fast")
+
+
+class TestMemoization:
+    def test_cdf_sf_spectrum_cached_and_readonly(self):
+        m = from_distribution(LAWS[1], GRID)
+        for attr in (m.cdf, m.sf, m.spectrum):
+            first = attr()
+            assert attr() is first  # memoized, not recomputed
+            assert not first.flags.writeable
+
+    def test_cdf_values_unchanged(self):
+        m = from_distribution(LAWS[0], GRID)
+        np.testing.assert_allclose(
+            m.cdf(), np.minimum(np.cumsum(m.mass), 1.0), rtol=0, atol=0
+        )
+
+    def test_ladder_entries_carry_cached_spectra(self):
+        mass = from_distribution(LAWS[0], GRID)
+        ladder = [delta(GRID)]
+        extend_service_ladder(ladder, mass, 6, kernel="spectral")
+        # spectra attached during the doubling rounds match a fresh transform
+        for gm in ladder[2:]:
+            cached = gm.spectrum()
+            fresh = GridMass(GRID, gm.mass.copy()).spectrum()
+            assert np.abs(cached - fresh).max() < 1e-12

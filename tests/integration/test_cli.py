@@ -1,6 +1,5 @@
 """The command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

@@ -1,7 +1,6 @@
 """End-to-end workflows at reduced scale: the paper's pipeline in miniature."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Algorithm1,

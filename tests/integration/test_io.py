@@ -12,15 +12,7 @@ from repro.core import (
     TransformSolver,
     TwoServerOptimizer,
 )
-from repro.io import (
-    dumps,
-    estimate_from_dict,
-    estimate_to_dict,
-    loads,
-    optimization_result_to_dict,
-    policy_from_dict,
-    policy_to_dict,
-)
+from repro.io import dumps, estimate_from_dict, loads, policy_from_dict, policy_to_dict
 
 from ..conftest import small_exp_model
 

@@ -1,6 +1,5 @@
 """Open-system Poisson arrivals (the paper's future-work scenario)."""
 
-import math
 
 import numpy as np
 import pytest

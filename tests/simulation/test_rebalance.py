@@ -1,11 +1,10 @@
 """Online rebalancing: gossip views, fair-share policy, simulator wiring."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.core import DCSModel, Metric, ReallocationPolicy
+from repro.core import DCSModel, ReallocationPolicy
 from repro.distributions import Exponential
 from repro.simulation import (
     DCSSimulator,

@@ -5,7 +5,6 @@ implements the closed-form unrolling of Theorem 1.  Their agreement on
 non-exponential models is the strongest evidence both are right.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import Metric, ReallocationPolicy, TransformSolver

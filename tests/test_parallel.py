@@ -1,0 +1,40 @@
+"""`fork_map` platform behavior: serial fallback where fork is unavailable."""
+
+import warnings
+
+import pytest
+
+from repro import _parallel
+from repro._parallel import fork_map
+
+
+@pytest.fixture
+def no_fork(monkeypatch):
+    """Pretend the platform has no fork start method (macOS spawn / Windows)."""
+    monkeypatch.setattr(_parallel, "parallelism_available", lambda: False)
+    monkeypatch.setattr(_parallel, "_warned_no_fork", False)
+
+
+class TestSerialFallback:
+    def test_jobs_gt_one_falls_back_with_warning(self, no_fork):
+        with pytest.warns(RuntimeWarning, match="fork"):
+            out = fork_map(lambda i: i * i, 5, jobs=4)
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_warning_issued_only_once(self, no_fork):
+        with pytest.warns(RuntimeWarning):
+            fork_map(lambda i: i, 3, jobs=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fork_map(lambda i: i + 1, 3, jobs=2) == [1, 2, 3]
+
+    def test_serial_requests_do_not_warn(self, no_fork):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert fork_map(lambda i: i, 4, jobs=1) == [0, 1, 2, 3]
+            assert fork_map(lambda i: i, 1, jobs=8) == [0]
+
+
+class TestForkPath:
+    def test_results_in_index_order(self):
+        assert fork_map(lambda i: 2 * i, 6, jobs=2) == [0, 2, 4, 6, 8, 10]
