@@ -1,0 +1,152 @@
+"""Opt-in runtime invariant contracts for the numerical kernel boundaries.
+
+The transform solver's correctness rests on a handful of structural
+invariants — mass vectors stay non-negative and sub-stochastic, CDFs are
+monotone, ladder rungs lose (never gain) in-grid mass, metric surfaces stay
+inside their codomain.  Violations almost always mean a *silent* numerical
+bug (an un-clipped FFT round-trip, a mis-keyed cache entry, a grid mix-up)
+that surfaces far from its cause.  This module centralizes those checks so
+the boundaries (:class:`~repro.distributions.grid.GridMass`,
+:func:`~repro.core.cache.extend_service_ladder`,
+:meth:`~repro.core.convolution.TransformSolver.evaluate_lattice`) can assert
+them without paying the cost in production runs.
+
+Checks are **off by default** and enabled by either
+
+* the environment variable ``REPRO_CHECK_INVARIANTS`` (truthy values:
+  ``1``, ``true``, ``yes``, ``on``; read once at import), or
+* :func:`set_contracts_enabled` — the test suite turns them on for every
+  test via ``tests/conftest.py``.
+
+A failed check raises :class:`ContractViolation`, a subclass of
+``AssertionError``: contract failures are *bugs*, not recoverable error
+conditions, and ``except Exception`` handlers should not swallow them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "set_contracts_enabled",
+    "check_mass_vector",
+    "check_cdf",
+    "check_grid_compatible",
+    "check_ladder",
+    "check_metric_surface",
+]
+
+#: slack allowed on "total mass <= 1" and codomain bounds; hundreds of
+#: chained FFT round-trips legitimately accumulate error at this scale
+MASS_TOL = 1e-9
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: environment default, read once at import (changing the variable later in
+#: the process has no effect — use :func:`set_contracts_enabled` instead)
+_ENV_DEFAULT = os.environ.get("REPRO_CHECK_INVARIANTS", "").strip().lower() in _TRUTHY
+
+_override: Optional[bool] = None
+
+
+class ContractViolation(AssertionError):
+    """A numerical invariant of the kernel layer was broken."""
+
+
+def contracts_enabled() -> bool:
+    """Whether the runtime contracts are currently active."""
+    if _override is not None:
+        return _override
+    return _ENV_DEFAULT
+
+
+def set_contracts_enabled(value: Optional[bool]) -> None:
+    """Force contracts on/off; ``None`` reverts to the environment default."""
+    global _override
+    _override = value
+
+
+def _fail(where: str, message: str) -> None:
+    raise ContractViolation(f"{where}: {message}")
+
+
+def check_mass_vector(mass: np.ndarray, where: str = "mass") -> None:
+    """Assert a mass vector is finite, non-negative and sub-stochastic."""
+    if not contracts_enabled():
+        return
+    if not np.all(np.isfinite(mass)):
+        _fail(where, "mass vector contains non-finite entries")
+    lo = float(mass.min(initial=0.0))
+    if lo < 0.0:
+        _fail(where, f"mass vector has a negative entry ({lo:.3e})")
+    total = float(mass.sum())
+    if total > 1.0 + MASS_TOL:
+        _fail(where, f"total in-grid mass {total!r} exceeds 1 beyond tolerance")
+
+
+def check_cdf(cdf: np.ndarray, where: str = "cdf") -> None:
+    """Assert a CDF vector is monotone non-decreasing and within [0, 1]."""
+    if not contracts_enabled():
+        return
+    if not np.all(np.isfinite(cdf)):
+        _fail(where, "CDF contains non-finite entries")
+    if cdf.size and (float(cdf[0]) < -MASS_TOL or float(cdf[-1]) > 1.0 + MASS_TOL):
+        _fail(where, "CDF leaves [0, 1] beyond tolerance")
+    if cdf.size > 1:
+        drop = float(np.diff(cdf).min(initial=0.0))
+        if drop < -MASS_TOL:
+            _fail(where, f"CDF decreases by {-drop:.3e} (monotonicity broken)")
+
+
+def check_grid_compatible(a: object, b: object, where: str = "grid") -> None:
+    """Assert two :class:`~repro.distributions.grid.Grid` objects coincide."""
+    if not contracts_enabled():
+        return
+    if a != b:
+        _fail(where, f"operands live on different grids ({a!r} vs {b!r})")
+
+
+def check_ladder(totals: Sequence[float], where: str = "ladder") -> None:
+    """Assert in-grid mass never *grows* along a k-fold service-sum ladder.
+
+    Each extra convolution can only push probability past the horizon, so
+    the in-grid totals ``[S_0.total, S_1.total, ...]`` must be
+    non-increasing (up to tolerance); an increasing rung means a stale or
+    mis-keyed cache entry leaked into the ladder.
+    """
+    if not contracts_enabled():
+        return
+    arr = np.asarray(totals, dtype=float)
+    if arr.size > 1:
+        rise = float(np.diff(arr).max(initial=0.0))
+        if rise > MASS_TOL:
+            _fail(where, f"in-grid mass grows by {rise:.3e} along the ladder")
+
+
+def check_metric_surface(
+    surface: np.ndarray, bounded: bool, where: str = "surface"
+) -> None:
+    """Assert a lattice metric surface is finite (and in [0, 1] if bounded).
+
+    ``bounded`` is true for the probability metrics (QoS, reliability);
+    the average execution time may legitimately be ``inf`` for heavy tails
+    whose fitted exponent is at most 1, so it is only checked non-negative.
+    """
+    if not contracts_enabled():
+        return
+    if bounded:
+        if not np.all(np.isfinite(surface)):
+            _fail(where, "probability surface contains non-finite entries")
+        lo, hi = float(surface.min(initial=0.0)), float(surface.max(initial=0.0))
+        if lo < -MASS_TOL or hi > 1.0 + MASS_TOL:
+            _fail(where, f"probability surface leaves [0, 1] ({lo:.3e}..{hi:.3e})")
+    else:
+        if np.any(np.isnan(surface)):
+            _fail(where, "metric surface contains NaN entries")
+        if float(surface.min(initial=0.0)) < 0.0:
+            _fail(where, "execution-time surface has negative entries")

@@ -27,13 +27,24 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Optional
 
-__all__ = ["fork_map", "resolve_jobs", "parallelism_available"]
+__all__ = [
+    "fork_map",
+    "resolve_jobs",
+    "parallelism_available",
+    "reset_serial_fallback_warning",
+]
 
 #: work payload inherited by forked workers (set only around a pool's life)
 _PAYLOAD: Optional[Callable[[int], Any]] = None
 
 #: whether the no-fork serial-fallback warning has been issued already
 _warned_no_fork = False
+
+
+def reset_serial_fallback_warning() -> None:
+    """Re-arm the one-time serial-fallback warning (for tests)."""
+    global _warned_no_fork
+    _warned_no_fork = False
 
 
 def _warn_serial_fallback() -> None:

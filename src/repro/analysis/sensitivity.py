@@ -23,6 +23,9 @@ from ..simulation.testbed import _scale_distribution
 
 __all__ = ["SensitivityRow", "metric_sensitivities"]
 
+#: magnitudes below this are treated as zero when forming elasticities
+_ELASTICITY_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class SensitivityRow:
@@ -114,7 +117,9 @@ def metric_sensitivities(
         v_hi = evaluate(hi_model)
         dp = 2.0 * rel_step * base_param
         derivative = (v_hi - v_lo) / dp if dp > 0 else math.nan
-        if base_metric != 0.0 and base_param != 0.0:
+        # the elasticity divides by both quantities: a threshold guard (not
+        # float ==) keeps denormal/round-off zeros from exploding the ratio
+        if abs(base_metric) > _ELASTICITY_EPS and abs(base_param) > _ELASTICITY_EPS:
             elasticity = derivative * base_param / base_metric
         else:
             elasticity = math.nan

@@ -135,7 +135,7 @@ class Algorithm1:
         pair_search: str = "scan",
         dt: Optional[float] = None,
         jobs: int = 1,
-    ):
+    ) -> None:
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS optimization needs a deadline")
         if pair_search not in ("scan", "exhaustive-2d"):
@@ -151,12 +151,12 @@ class Algorithm1:
         self._pair_solvers: Dict[Tuple[int, int], object] = {}
         self._pair_cache: Dict[Tuple[int, int, int, int], int] = {}
 
-    def _default_factory(self, pair_model: DCSModel, total_tasks: int):
+    def _default_factory(self, pair_model: DCSModel, total_tasks: int) -> TransformSolver:
         return TransformSolver.for_workload(
             pair_model, [total_tasks, total_tasks], dt=self.dt
         )
 
-    def _pair_solver(self, i: int, j: int, total_tasks: int):
+    def _pair_solver(self, i: int, j: int, total_tasks: int) -> object:
         key = (i, j)
         if key not in self._pair_solvers:
             self._pair_solvers[key] = self._factory(

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
+from .. import _contracts
 from ..distributions import grid as gridmod
 from ..distributions import spectral
 from ..distributions.base import Distribution
@@ -65,16 +66,22 @@ def extend_service_ladder(
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; use one of {KERNELS}")
+    if ladder:
+        _contracts.check_grid_compatible(
+            ladder[0].grid, mass.grid, where="extend_service_ladder"
+        )
     if len(ladder) > k_max:
         return
     if kernel == "direct":
         while len(ladder) <= k_max:
             ladder.append(ladder[-1].conv_direct(mass))
+        _check_ladder(ladder)
         return
     grid = mass.grid
     if len(ladder) == 1:
         ladder.append(mass)
     if len(ladder) > k_max:
+        _check_ladder(ladder)
         return
     masses = [gm.mass for gm in ladder]
     spectra = [gm.spectrum() for gm in ladder]
@@ -85,6 +92,14 @@ def extend_service_ladder(
         row_spec.flags.writeable = False
         gm._spec = row_spec
         ladder.append(gm)
+    _check_ladder(ladder)
+
+
+def _check_ladder(ladder: List[GridMass]) -> None:
+    if _contracts.contracts_enabled():
+        _contracts.check_ladder(
+            [gm.total for gm in ladder], where="extend_service_ladder"
+        )
 
 #: sentinel for attribute values the fingerprinter cannot represent
 _OPAQUE = object()
@@ -155,7 +170,7 @@ class SolverCache:
     snapshot and populate their own).
     """
 
-    def __init__(self, max_entries: int = 65536):
+    def __init__(self, max_entries: int = 65536) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = int(max_entries)

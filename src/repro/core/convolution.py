@@ -39,6 +39,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 from scipy import signal
 
+from .. import _contracts
 from ..distributions import grid as gridmod
 from ..distributions import spectral
 from ..distributions.base import Distribution
@@ -117,7 +118,7 @@ class TransformSolver:
         batch_mode: str = "auto",
         cache: Optional[SolverCache] = _DEFAULT_CACHE,  # type: ignore[assignment]
         kernel: str = "spectral",
-    ):
+    ) -> None:
         if batch_mode not in self._BATCH_MODES:
             raise ValueError(f"unknown batch_mode {batch_mode!r}")
         if kernel not in KERNELS:
@@ -540,7 +541,7 @@ class TransformSolver:
             pre_second = np.zeros(grid.n)
             mixture = np.zeros(grid.n)
             for k in range(p_first.size):
-                def extend():
+                def extend() -> np.ndarray:
                     x_a = GridMass(
                         grid, truncate_below(base.mass, int(reps_f[k]))
                     ).conv_direct(s_first)
@@ -716,9 +717,17 @@ class TransformSolver:
                 lambda: self._evaluate_lattice_uncached(
                     metric, m1, m2, l12s, l21s, deadline
                 ),
+            ).copy()
+        else:
+            surface = self._evaluate_lattice_uncached(
+                metric, m1, m2, l12s, l21s, deadline
             )
-            return surface.copy()
-        return self._evaluate_lattice_uncached(metric, m1, m2, l12s, l21s, deadline)
+        _contracts.check_metric_surface(
+            surface,
+            bounded=metric is not Metric.AVG_EXECUTION_TIME,
+            where="TransformSolver.evaluate_lattice",
+        )
+        return surface
 
     def _lattice_key(
         self,

@@ -19,7 +19,7 @@ solver, which must agree with it whenever all clocks are exponential.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
 import numpy as np
 from scipy import sparse
@@ -41,7 +41,7 @@ _State = Tuple[Tuple[int, ...], Tuple[bool, ...], Tuple[_Group, ...]]
 class ExponentializedNetwork(NetworkModel):
     """A network whose delays are exponential with the base network's means."""
 
-    def __init__(self, base: NetworkModel):
+    def __init__(self, base: NetworkModel) -> None:
         self.base = base
 
     def group_transfer(self, src: int, dst: int, size: int) -> Distribution:
@@ -74,7 +74,7 @@ def markovian_approximation(model: DCSModel) -> DCSModel:
 class MarkovianSolver:
     """Exact metric recursions for a DCS whose clocks are all exponential."""
 
-    def __init__(self, model: DCSModel):
+    def __init__(self, model: DCSModel) -> None:
         for k, d in enumerate(model.service):
             if not isinstance(d, Exponential):
                 raise TypeError(
@@ -257,14 +257,16 @@ class MarkovianSolver:
                 break
         return float(min(acc + (1.0 - cum_w) * float(pi @ done_mask), 1.0))
 
-    def _build_chain(self, start: _State, with_failures: bool):
+    def _build_chain(
+        self, start: _State, with_failures: bool
+    ) -> Tuple[Dict[_State, int], List[int], List[int], List[float], Set[int]]:
         """BFS enumeration of the reachable chain with done/doomed absorption."""
         index: Dict[_State, int] = {start: 0}
         frontier = [start]
         rows: List[int] = []
         cols: List[int] = []
         rates: List[float] = []
-        done_states: set = set()
+        done_states: Set[int] = set()
         while frontier:
             state = frontier.pop()
             i = index[state]
@@ -305,7 +307,10 @@ class MarkovianSolver:
         return MetricValue(metric=metric, value=value, method="markovian", deadline=deadline)
 
 
-def _run_deep(fn):
+_T = TypeVar("_T")
+
+
+def _run_deep(fn: Callable[[], _T]) -> _T:
     """Run a recursion that may exceed the default Python stack depth."""
     import sys
 

@@ -98,7 +98,7 @@ class MCPolicySearch:
         deadline: Optional[float] = None,
         weights: Optional[Sequence[float]] = None,
         jobs: int = 1,
-    ):
+    ) -> None:
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS search needs a deadline")
         self.model = model

@@ -44,7 +44,7 @@ class MetricValue:
     method: str = "unknown"
     deadline: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.metric in (Metric.QOS, Metric.RELIABILITY):
             if not (-1e-9 <= self.value <= 1.0 + 1e-9):
                 raise ValueError(

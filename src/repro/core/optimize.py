@@ -63,7 +63,7 @@ class OptimizationResult:
 class TwoServerOptimizer:
     """Exhaustive (optionally coarse-to-fine) 2-server policy search."""
 
-    def __init__(self, solver, batched: bool = True):
+    def __init__(self, solver: object, batched: bool = True) -> None:
         """``solver`` is any object with the ``evaluate(metric, loads, policy,
         deadline)`` protocol (transform, Markovian or Theorem 1 solver).
 
@@ -170,7 +170,9 @@ class TwoServerOptimizer:
         m1, m2 = int(loads[0]), int(loads[1])
         loads_t = (m1, m2)
 
-        def scan(pairs: Iterable[Tuple[int, int]]):
+        def scan(
+            pairs: Iterable[Tuple[int, int]],
+        ) -> Tuple[Tuple[int, int], float, List[PolicyEvaluation]]:
             pairs = list(pairs)
             self._prefetch(metric, loads_t, pairs, deadline, jobs)
             best_pair, best_val = None, None
@@ -220,7 +222,7 @@ class TwoServerOptimizer:
 
 
 def sweep_policies(
-    solver,
+    solver: object,
     metric: Metric,
     loads: Sequence[int],
     l12_values: Sequence[int],

@@ -28,7 +28,7 @@ class Transfer:
 class ReallocationPolicy:
     """An ``n x n`` integer reallocation matrix with zero diagonal."""
 
-    def __init__(self, matrix: Sequence[Sequence[int]]):
+    def __init__(self, matrix: Sequence[Sequence[int]]) -> None:
         arr = np.asarray(matrix, dtype=np.int64)
         if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
             raise ValueError(f"policy matrix must be square, got shape {arr.shape}")
@@ -117,7 +117,7 @@ class ReallocationPolicy:
         return np.asarray(loads, dtype=np.int64) - self._matrix.sum(axis=1)
 
     # -- dunder ----------------------------------------------------------
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, ReallocationPolicy) and np.array_equal(
             self._matrix, other._matrix
         )

@@ -42,7 +42,7 @@ class Clock:
     dist: Distribution
     age: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.age < 0:
             raise ValueError(f"clock age must be non-negative, got {self.age}")
         if float(self.dist.sf(self.age)) <= 0.0:
@@ -89,7 +89,7 @@ def quadrature_nodes(
 class RegenerationCalculus:
     """All regeneration quantities of one configuration, on shared nodes."""
 
-    def __init__(self, clocks: Sequence[Clock], nodes: Optional[np.ndarray] = None):
+    def __init__(self, clocks: Sequence[Clock], nodes: Optional[np.ndarray] = None) -> None:
         if not clocks:
             raise ValueError("no active clocks")
         self.clocks: Tuple[Clock, ...] = tuple(clocks)

@@ -17,7 +17,10 @@ simulator logs in traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from .policy import Transfer
 
 __all__ = ["TransitGroup", "SystemState"]
 
@@ -53,7 +56,7 @@ class SystemState:
     failure_ages: Tuple[float, ...] = ()
     fn_packets: Tuple[TransitGroup, ...] = ()  # size field unused (always 0)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         n = len(self.queues)
         if len(self.alive) != n:
             raise ValueError("alive vector must match queue vector")
@@ -68,7 +71,9 @@ class SystemState:
 
     # -- constructors ----------------------------------------------------
     @classmethod
-    def initial(cls, residual_loads, transfers) -> "SystemState":
+    def initial(
+        cls, residual_loads: Sequence[int], transfers: Sequence["Transfer"]
+    ) -> "SystemState":
         """The post-DTR configuration at ``t = 0`` (paper Remark 1 setup).
 
         All servers alive, all ages zero, one transit group per non-zero

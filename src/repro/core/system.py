@@ -52,7 +52,7 @@ class HomogeneousNetwork(NetworkModel):
         latency: float,
         per_task: float,
         fn_mean: float,
-    ):
+    ) -> None:
         if latency < 0 or per_task < 0:
             raise ValueError("latency and per_task must be non-negative")
         if fn_mean <= 0:
@@ -83,7 +83,13 @@ class HeterogeneousNetwork(NetworkModel):
     testbed uses shifted gammas).
     """
 
-    def __init__(self, make_time, latency, per_task, fn_mean):
+    def __init__(
+        self,
+        make_time: Callable[[float], Distribution],
+        latency: Sequence[Sequence[float]],
+        per_task: Sequence[Sequence[float]],
+        fn_mean: Sequence[Sequence[float]],
+    ) -> None:
         import numpy as np
 
         self.make_time = make_time
@@ -147,7 +153,7 @@ class DCSModel:
     network: NetworkModel
     failure: Optional[List[Optional[Distribution]]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.service:
             raise ValueError("need at least one server")
         if self.failure is not None and len(self.failure) != len(self.service):
@@ -191,7 +197,7 @@ class DCSModel:
 class _ReindexedNetwork(NetworkModel):
     """View of a network under a server-index mapping (for sub-DCSs)."""
 
-    def __init__(self, base: NetworkModel, index_map: Sequence[int]):
+    def __init__(self, base: NetworkModel, index_map: Sequence[int]) -> None:
         self.base = base
         self.index_map = tuple(index_map)
 

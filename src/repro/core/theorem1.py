@@ -24,7 +24,7 @@ experiments.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -54,7 +54,7 @@ class _ClockInfo:
 
     __slots__ = ("kind", "ref", "dist", "age_idx", "memoryless")
 
-    def __init__(self, kind: str, ref: int, dist: Distribution, age_idx: int):
+    def __init__(self, kind: str, ref: int, dist: Distribution, age_idx: int) -> None:
         if isinstance(dist, Deterministic):
             raise TypeError(
                 "the quadrature-based Theorem 1 solver does not support "
@@ -77,7 +77,7 @@ class Theorem1Solver:
         max_nodes: int = 4096,
         survival_eps: float = 1e-9,
         max_states: int = 2_000_000,
-    ):
+    ) -> None:
         if not (ds > 0 and math.isfinite(ds)):
             raise ValueError(f"ds must be positive and finite, got {ds}")
         self.model = model
@@ -205,7 +205,7 @@ class Theorem1Solver:
         clocks: List[_ClockInfo],
         max_cells: Optional[int] = None,
         renormalize: bool = True,
-    ):
+    ) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
         """Per-cell integration of ``G_X`` with sub-cell node splitting.
 
         Returns ``(K, weight_lo, weight_hi, expected_tau)`` where for clock
@@ -475,7 +475,10 @@ class Theorem1Solver:
         return MetricValue(metric=metric, value=value, method="theorem1", deadline=deadline)
 
 
-def _with_stack(fn):
+_T = TypeVar("_T")
+
+
+def _with_stack(fn: Callable[[], _T]) -> _T:
     """Run a deep recursion with a raised stack limit."""
     import sys
 

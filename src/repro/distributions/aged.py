@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution, SupportError
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray, SupportError
 
 __all__ = ["AgedDistribution"]
 
@@ -26,7 +26,7 @@ class AgedDistribution(Distribution):
 
     name = "aged"
 
-    def __init__(self, base: Distribution, age: float):
+    def __init__(self, base: Distribution, age: float) -> None:
         if age < 0:
             raise ValueError(f"age must be non-negative, got {age}")
         # flatten nested aging: (T_a)_b = T_{a+b}
@@ -41,12 +41,12 @@ class AgedDistribution(Distribution):
         self._sa = sa
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= 0.0, self.base.pdf(x + self.age) / self._sa, 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(
             x >= 0.0,
@@ -56,7 +56,7 @@ class AgedDistribution(Distribution):
         out = np.clip(out, 0.0, 1.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(
             x >= 0.0, np.asarray(self.base.sf(x + self.age), dtype=float) / self._sa, 1.0
@@ -82,13 +82,15 @@ class AgedDistribution(Distribution):
         )
         return max(second - m * m, 0.0)
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         """Inverse-transform through the base quantile: exact, no rejection."""
         lo_u = float(self.base.cdf(self.age))
         u = lo_u + (1.0 - lo_u) * rng.random(size=size)
         return np.asarray(self.base.quantile(u)) - self.age
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         lo, hi = self.base.support()
         new_lo = max(lo - self.age, 0.0)
         new_hi = hi - self.age if math.isfinite(hi) else math.inf

@@ -16,14 +16,33 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import integrate, optimize
 
-__all__ = ["Distribution", "SupportError"]
+if TYPE_CHECKING:
+    from .grid import Grid
+
+__all__ = [
+    "Distribution",
+    "SupportError",
+    "ArrayLike",
+    "ScalarOrArray",
+    "SampleShape",
+    "SampleValue",
+]
 
 _QUANTILE_TOL = 1e-12
+
+#: scalar-or-array input accepted by every vectorized method
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+#: scalar-in-scalar-out / array-in-array-out return of those methods
+ScalarOrArray = Union[np.floating, np.ndarray]
+#: the ``size`` argument accepted by :meth:`Distribution.sample`
+SampleShape = Union[int, Tuple[int, ...], None]
+#: samples: a scalar draw (``size=None``) or an array of draws
+SampleValue = Union[float, np.floating, np.ndarray]
 
 
 class SupportError(ValueError):
@@ -47,11 +66,11 @@ class Distribution(abc.ABC):
     # primitive interface
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         """Probability density at ``x`` (0 outside the support)."""
 
     @abc.abstractmethod
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         """``P(T <= x)``."""
 
     @abc.abstractmethod
@@ -63,7 +82,9 @@ class Distribution(abc.ABC):
         """``Var(T)`` (may be ``inf``)."""
 
     @abc.abstractmethod
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         """Draw iid samples using ``rng``."""
 
     @abc.abstractmethod
@@ -73,11 +94,11 @@ class Distribution(abc.ABC):
     # ------------------------------------------------------------------
     # derived interface
     # ------------------------------------------------------------------
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         """Survival function ``P(T > x)``."""
         return 1.0 - self.cdf(x)
 
-    def hazard(self, x):
+    def hazard(self, x: ArrayLike) -> ScalarOrArray:
         """Hazard rate ``f(x) / S(x)`` (``nan`` where ``S(x) == 0``)."""
         x = np.asarray(x, dtype=float)
         s = np.asarray(self.sf(x), dtype=float)
@@ -90,7 +111,7 @@ class Distribution(abc.ABC):
         v = self.var()
         return math.sqrt(v) if math.isfinite(v) else math.inf
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         """Generalized inverse cdf; default implementation bisects the cdf."""
         q_arr = np.atleast_1d(np.asarray(q, dtype=float))
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
@@ -159,7 +180,7 @@ class Distribution(abc.ABC):
     # ------------------------------------------------------------------
     # grid discretization
     # ------------------------------------------------------------------
-    def mass_on(self, grid) -> np.ndarray:
+    def mass_on(self, grid: "Grid") -> np.ndarray:
         """Cell-mass vector on ``grid`` (see :mod:`repro.distributions.grid`).
 
         ``mass[i]`` is the probability of the interval centred on grid point

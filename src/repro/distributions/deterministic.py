@@ -12,7 +12,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution, SupportError
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray, SupportError
 
 __all__ = ["Deterministic"]
 
@@ -22,7 +22,7 @@ class Deterministic(Distribution):
 
     name = "deterministic"
 
-    def __init__(self, value: float):
+    def __init__(self, value: float) -> None:
         if value < 0 or not math.isfinite(value):
             raise ValueError(f"value must be finite and non-negative, got {value}")
         self.value = float(value)
@@ -32,7 +32,7 @@ class Deterministic(Distribution):
         return cls(mean)
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         """Densities of a point mass are not functions; returns 0 a.e.
 
         Grid discretization and sampling never touch ``pdf`` for this family;
@@ -42,7 +42,7 @@ class Deterministic(Distribution):
         out = np.zeros_like(x)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= self.value, 1.0, 0.0)
         return out if out.ndim else out[()]
@@ -53,15 +53,17 @@ class Deterministic(Distribution):
     def var(self) -> float:
         return 0.0
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         if size is None:
             return self.value
         return np.full(size, self.value)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (self.value, self.value)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 from scipy import special, stats
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["Erlang"]
 
@@ -30,7 +30,7 @@ class Erlang(Distribution):
 
     name = "erlang"
 
-    def __init__(self, k: int, rate: float):
+    def __init__(self, k: int, rate: float) -> None:
         if not (isinstance(k, (int, np.integer)) and k >= 1):
             raise ValueError(f"k must be a positive integer, got {k}")
         if not (rate > 0 and math.isfinite(rate)):
@@ -45,7 +45,7 @@ class Erlang(Distribution):
         return cls(k, k / mean)
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         out = np.where(
@@ -53,13 +53,13 @@ class Erlang(Distribution):
         )
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         out = np.where(x >= 0.0, special.gammainc(self.k, self.rate * z), 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         out = np.where(x >= 0.0, special.gammaincc(self.k, self.rate * z), 1.0)
@@ -75,13 +75,15 @@ class Erlang(Distribution):
         """Coefficient of variation ``1/sqrt(k)``."""
         return 1.0 / math.sqrt(self.k)
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return rng.gamma(self.k, 1.0 / self.rate, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -122,7 +124,7 @@ class _MixedErlang(Distribution):
 
     name = "mixed-erlang"
 
-    def __init__(self, rate: float, weights: Sequence[float]):
+    def __init__(self, rate: float, weights: Sequence[float]) -> None:
         w = np.asarray(weights, dtype=float)
         if np.any(w < 0) or not np.isclose(w.sum(), 1.0, atol=1e-9):
             raise ValueError("weights must be non-negative and sum to 1")
@@ -130,7 +132,7 @@ class _MixedErlang(Distribution):
         self.weights = w / w.sum()
         self._js = np.arange(1, w.size + 1)
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         body = sum(
@@ -140,7 +142,7 @@ class _MixedErlang(Distribution):
         out = np.where(x >= 0.0, body, 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         body = sum(
@@ -157,7 +159,9 @@ class _MixedErlang(Distribution):
         second = float(np.sum(self.weights * self._js * (self._js + 1)) / self.rate**2)
         return second - self.mean() ** 2
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         if size is None:
             j = int(rng.choice(self._js, p=self.weights))
             return rng.gamma(j, 1.0 / self.rate)
@@ -165,5 +169,5 @@ class _MixedErlang(Distribution):
         js = rng.choice(self._js, p=self.weights, size=shape)
         return rng.gamma(js, 1.0 / self.rate)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)

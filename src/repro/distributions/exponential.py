@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["Exponential"]
 
@@ -21,7 +21,7 @@ class Exponential(Distribution):
 
     name = "exponential"
 
-    def __init__(self, rate: float):
+    def __init__(self, rate: float) -> None:
         if not (rate > 0 and math.isfinite(rate)):
             raise ValueError(f"rate must be positive and finite, got {rate}")
         self.rate = float(rate)
@@ -33,17 +33,17 @@ class Exponential(Distribution):
         return cls(1.0 / mean)
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= 0.0, self.rate * np.exp(-self.rate * np.maximum(x, 0.0)), 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= 0.0, -np.expm1(-self.rate * np.maximum(x, 0.0)), 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.where(x >= 0.0, np.exp(-self.rate * np.maximum(x, 0.0)), 1.0)
         return out if out.ndim else out[()]
@@ -54,13 +54,15 @@ class Exponential(Distribution):
     def var(self) -> float:
         return 1.0 / self.rate**2
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return rng.exponential(1.0 / self.rate, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

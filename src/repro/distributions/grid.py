@@ -24,7 +24,9 @@ from typing import Optional
 import numpy as np
 from scipy import signal
 
+from .. import _contracts
 from . import spectral
+from .base import Distribution
 
 __all__ = [
     "Grid",
@@ -45,7 +47,7 @@ class Grid:
     dt: float
     n: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (self.dt > 0 and math.isfinite(self.dt)):
             raise ValueError(f"dt must be positive and finite, got {self.dt}")
         if self.n < 2:
@@ -111,7 +113,7 @@ class GridMass:
 
     __slots__ = ("grid", "mass", "_cdf", "_sf", "_spec")
 
-    def __init__(self, grid: Grid, mass: np.ndarray):
+    def __init__(self, grid: Grid, mass: np.ndarray) -> None:
         mass = np.asarray(mass, dtype=float)
         if mass.shape != (grid.n,):
             raise ValueError(
@@ -121,6 +123,7 @@ class GridMass:
             raise ValueError("mass vector has significantly negative entries")
         self.grid = grid
         self.mass = np.maximum(mass, 0.0)
+        _contracts.check_mass_vector(self.mass, where="GridMass.__init__")
         self._cdf: Optional[np.ndarray] = None
         self._sf: Optional[np.ndarray] = None
         self._spec: Optional[np.ndarray] = None
@@ -145,6 +148,7 @@ class GridMass:
         """
         if self._cdf is None:
             c = np.minimum(np.cumsum(self.mass), 1.0)
+            _contracts.check_cdf(c, where="GridMass.cdf")
             c.flags.writeable = False
             self._cdf = c
         return self._cdf
@@ -315,7 +319,7 @@ class GridMass:
         """
         if t0 < 0:
             raise ValueError(f"shift must be non-negative, got {t0}")
-        if t0 == 0.0:
+        if t0 == 0.0:  # repro-lint: disable=RL001 — exact-zero fast path only
             return self
         frac_idx = t0 / self.grid.dt
         i0 = int(math.floor(frac_idx))
@@ -386,7 +390,7 @@ def delta(grid: Grid, t: float = 0.0) -> GridMass:
     return GridMass(grid, mass)
 
 
-def from_distribution(dist, grid: Grid) -> GridMass:
+def from_distribution(dist: Distribution, grid: Grid) -> GridMass:
     """Discretize a :class:`~repro.distributions.base.Distribution`."""
     return GridMass(grid, dist.mass_on(grid))
 

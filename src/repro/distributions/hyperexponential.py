@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["Hyperexponential"]
 
@@ -29,7 +29,7 @@ class Hyperexponential(Distribution):
 
     name = "hyperexponential"
 
-    def __init__(self, weights: Sequence[float], rates: Sequence[float]):
+    def __init__(self, weights: Sequence[float], rates: Sequence[float]) -> None:
         w = np.asarray(weights, dtype=float)
         r = np.asarray(rates, dtype=float)
         if w.ndim != 1 or w.shape != r.shape or w.size == 0:
@@ -52,7 +52,9 @@ class Hyperexponential(Distribution):
             raise ValueError(f"mean must be positive, got {mean}")
         if cv < 1.0:
             raise ValueError("hyperexponentials cannot have cv < 1")
-        if cv == 1.0:
+        # exact degenerate case only; cv near 1 flows through the general
+        # H2 construction, which converges to the same single phase
+        if cv == 1.0:  # repro-lint: disable=RL001
             return cls([1.0], [1.0 / mean])
         c2 = cv * cv
         p = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
@@ -62,7 +64,7 @@ class Hyperexponential(Distribution):
         return cls([p, 1.0 - p], [r1, r2])
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         body = np.einsum(
@@ -73,10 +75,10 @@ class Hyperexponential(Distribution):
         out = np.where(x >= 0.0, body, 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         return 1.0 - self.sf(x)
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0)
         body = np.einsum(
@@ -94,7 +96,9 @@ class Hyperexponential(Distribution):
         second = float(2.0 * np.sum(self.weights / self.rates**2))
         return second - self.mean() ** 2
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         if size is None:
             k = rng.choice(self.weights.size, p=self.weights)
             return rng.exponential(1.0 / self.rates[k])
@@ -102,7 +106,7 @@ class Hyperexponential(Distribution):
         classes = rng.choice(self.weights.size, p=self.weights, size=shape)
         return rng.exponential(1.0 / self.rates[classes])
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)
 
     # -- aging ---------------------------------------------------------

@@ -17,7 +17,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["Pareto", "PARETO1_ALPHA", "PARETO2_ALPHA"]
 
@@ -32,7 +32,7 @@ class Pareto(Distribution):
 
     name = "pareto"
 
-    def __init__(self, alpha: float, x_m: float):
+    def __init__(self, alpha: float, x_m: float) -> None:
         if not (alpha > 0 and math.isfinite(alpha)):
             raise ValueError(f"alpha must be positive and finite, got {alpha}")
         if not (x_m > 0 and math.isfinite(x_m)):
@@ -50,7 +50,7 @@ class Pareto(Distribution):
         return cls(alpha, mean * (alpha - 1.0) / alpha)
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         safe = np.maximum(x, self.x_m)
         # log-space avoids overflow of x_m**alpha for extreme shapes
@@ -63,14 +63,14 @@ class Pareto(Distribution):
         out = np.where(x >= self.x_m, body, 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         safe = np.maximum(x, self.x_m)
         ratio = np.exp(self.alpha * (math.log(self.x_m) - np.log(safe)))
         out = np.where(x >= self.x_m, 1.0 - ratio, 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         safe = np.maximum(x, self.x_m)
         ratio = np.exp(self.alpha * (math.log(self.x_m) - np.log(safe)))
@@ -88,15 +88,17 @@ class Pareto(Distribution):
         a = self.alpha
         return self.x_m**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         # inverse transform: x = x_m * U^{-1/alpha}
         u = rng.random(size=size)
         return self.x_m * (1.0 - u) ** (-1.0 / self.alpha)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (self.x_m, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -136,13 +138,13 @@ class _Lomax(Distribution):
 
     name = "lomax"
 
-    def __init__(self, alpha: float, scale: float):
+    def __init__(self, alpha: float, scale: float) -> None:
         if not (alpha > 0 and scale > 0):
             raise ValueError("alpha and scale must be positive")
         self.alpha = float(alpha)
         self.scale = float(scale)
 
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         pos = np.maximum(x, 0.0)
         out = np.where(
@@ -152,13 +154,13 @@ class _Lomax(Distribution):
         )
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         pos = np.maximum(x, 0.0)
         out = np.where(x >= 0.0, 1.0 - (1.0 + pos / self.scale) ** (-self.alpha), 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         pos = np.maximum(x, 0.0)
         out = np.where(x >= 0.0, (1.0 + pos / self.scale) ** (-self.alpha), 1.0)
@@ -175,14 +177,16 @@ class _Lomax(Distribution):
         a = self.alpha
         return self.scale**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         u = rng.random(size=size)
         return self.scale * ((1.0 - u) ** (-1.0 / self.alpha) - 1.0)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

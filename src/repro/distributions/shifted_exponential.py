@@ -13,7 +13,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 from .exponential import Exponential
 
 __all__ = ["ShiftedExponential"]
@@ -24,7 +24,7 @@ class ShiftedExponential(Distribution):
 
     name = "shifted-exponential"
 
-    def __init__(self, shift: float, rate: float):
+    def __init__(self, shift: float, rate: float) -> None:
         if shift < 0 or not math.isfinite(shift):
             raise ValueError(f"shift must be finite and non-negative, got {shift}")
         if not (rate > 0 and math.isfinite(rate)):
@@ -47,19 +47,19 @@ class ShiftedExponential(Distribution):
         return cls(shift, 1.0 / (mean - shift))
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(x >= self.shift, self.rate * np.exp(-self.rate * z), 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(x >= self.shift, -np.expm1(-self.rate * z), 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(x >= self.shift, np.exp(-self.rate * z), 1.0)
@@ -71,13 +71,15 @@ class ShiftedExponential(Distribution):
     def var(self) -> float:
         return 1.0 / self.rate**2
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return self.shift + rng.exponential(1.0 / self.rate, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (self.shift, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

@@ -13,7 +13,7 @@ import math
 import numpy as np
 from scipy import special, stats
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["ShiftedGamma"]
 
@@ -23,7 +23,7 @@ class ShiftedGamma(Distribution):
 
     name = "shifted-gamma"
 
-    def __init__(self, shape: float, scale: float, shift: float = 0.0):
+    def __init__(self, shape: float, scale: float, shift: float = 0.0) -> None:
         if not (shape > 0 and math.isfinite(shape)):
             raise ValueError(f"shape must be positive and finite, got {shape}")
         if not (scale > 0 and math.isfinite(scale)):
@@ -45,7 +45,7 @@ class ShiftedGamma(Distribution):
         return cls(shape, (mean - shift) / shape, shift)
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(
@@ -53,7 +53,7 @@ class ShiftedGamma(Distribution):
         )
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(
@@ -63,7 +63,7 @@ class ShiftedGamma(Distribution):
         )
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x - self.shift, 0.0)
         out = np.where(
@@ -79,13 +79,15 @@ class ShiftedGamma(Distribution):
     def var(self) -> float:
         return self.shape * self.scale**2
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return self.shift + rng.gamma(self.shape, self.scale, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (self.shift, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

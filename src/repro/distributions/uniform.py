@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-from .base import Distribution, SupportError
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray, SupportError
 
 __all__ = ["Uniform"]
 
@@ -16,7 +16,7 @@ class Uniform(Distribution):
 
     name = "uniform"
 
-    def __init__(self, lo: float, hi: float):
+    def __init__(self, lo: float, hi: float) -> None:
         if lo < 0 or not math.isfinite(lo):
             raise ValueError(f"lo must be finite and non-negative, got {lo}")
         if not (hi > lo and math.isfinite(hi)):
@@ -40,13 +40,13 @@ class Uniform(Distribution):
         return cls(mean * (1.0 - f), mean * (1.0 + f))
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         inside = (x >= self.lo) & (x <= self.hi)
         out = np.where(inside, 1.0 / (self.hi - self.lo), 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         out = np.clip((x - self.lo) / (self.hi - self.lo), 0.0, 1.0)
         return out if out.ndim else out[()]
@@ -57,13 +57,15 @@ class Uniform(Distribution):
     def var(self) -> float:
         return (self.hi - self.lo) ** 2 / 12.0
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return rng.uniform(self.lo, self.hi, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (self.lo, self.hi)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")

@@ -13,7 +13,7 @@ import math
 import numpy as np
 from scipy import special
 
-from .base import Distribution
+from .base import ArrayLike, Distribution, SampleShape, SampleValue, ScalarOrArray
 
 __all__ = ["Weibull"]
 
@@ -23,7 +23,7 @@ class Weibull(Distribution):
 
     name = "weibull"
 
-    def __init__(self, shape: float, scale: float):
+    def __init__(self, shape: float, scale: float) -> None:
         if not (shape > 0 and math.isfinite(shape)):
             raise ValueError(f"shape must be positive and finite, got {shape}")
         if not (scale > 0 and math.isfinite(scale)):
@@ -38,24 +38,24 @@ class Weibull(Distribution):
         return cls(shape, mean / math.gamma(1.0 + 1.0 / shape))
 
     # -- primitives ----------------------------------------------------
-    def pdf(self, x):
+    def pdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0) / self.scale
         with np.errstate(divide="ignore", invalid="ignore"):
             zpow = np.where(z > 0.0, np.maximum(z, 1e-300) ** (self.shape - 1.0), 0.0)
-            if self.shape == 1.0:
+            if self.shape == 1.0:  # repro-lint: disable=RL001 — exact exponential case
                 zpow = np.ones_like(z)
             body = self.shape / self.scale * zpow * np.exp(-(z**self.shape))
         out = np.where(x >= 0.0, np.nan_to_num(body, posinf=np.inf), 0.0)
         return out if out.ndim else out[()]
 
-    def cdf(self, x):
+    def cdf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0) / self.scale
         out = np.where(x >= 0.0, -np.expm1(-(z**self.shape)), 0.0)
         return out if out.ndim else out[()]
 
-    def sf(self, x):
+    def sf(self, x: ArrayLike) -> ScalarOrArray:
         x = np.asarray(x, dtype=float)
         z = np.maximum(x, 0.0) / self.scale
         out = np.where(x >= 0.0, np.exp(-(z**self.shape)), 1.0)
@@ -69,13 +69,15 @@ class Weibull(Distribution):
         g2 = math.gamma(1.0 + 2.0 / self.shape)
         return self.scale**2 * (g2 - g1**2)
 
-    def sample(self, rng: np.random.Generator, size=None):
+    def sample(
+        self, rng: np.random.Generator, size: SampleShape = None
+    ) -> SampleValue:
         return self.scale * rng.weibull(self.shape, size=size)
 
-    def support(self):
+    def support(self) -> tuple[float, float]:
         return (0.0, math.inf)
 
-    def quantile(self, q):
+    def quantile(self, q: ArrayLike) -> ScalarOrArray:
         q_arr = np.asarray(q, dtype=float)
         if np.any((q_arr < 0.0) | (q_arr > 1.0)):
             raise ValueError("quantile levels must lie in [0, 1]")
@@ -87,7 +89,7 @@ class Weibull(Distribution):
         """``E[T - a | T > a]`` via the upper incomplete gamma function."""
         if a < 0:
             raise ValueError(f"age must be non-negative, got {a}")
-        if a == 0.0:
+        if a == 0.0:  # repro-lint: disable=RL001 — exact-zero fast path only
             return self.mean()
         z = (a / self.scale) ** self.shape
         # int_a^inf S(t) dt = (scale/k) * Gamma(1/k) * Q(1/k, z) ... derive:

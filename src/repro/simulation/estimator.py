@@ -164,8 +164,11 @@ def estimate_qos(
     outcomes = _replicate(
         sim, loads, policy, n_reps, rng, jobs, outcome, horizon=censor
     )
-    hits = int((outcomes % 2.0 == 1.0).sum())
-    failures = int((outcomes >= 2.0).sum())
+    # decode the bit flags in integer space: float modulo/equality on the
+    # encoded outcome is exactly the drift RL001 exists to catch
+    codes = outcomes.astype(np.int64)
+    hits = int((codes & 1).sum())
+    failures = int((codes >= 2).sum())
     est = bernoulli_ci(hits, n_reps)
     return MCEstimate(est.value, est.ci_low, est.ci_high, n_reps, n_failures=failures)
 

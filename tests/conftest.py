@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import _contracts
 from repro.core.system import DCSModel, HomogeneousNetwork
 from repro.distributions import (
     Deterministic,
@@ -15,6 +16,11 @@ from repro.distributions import (
     Uniform,
     Weibull,
 )
+
+
+# runtime invariant contracts are on for the whole suite: any kernel-layer
+# mass/CDF/ladder/surface violation fails the offending test immediately
+_contracts.set_contracts_enabled(True)
 
 
 @pytest.fixture

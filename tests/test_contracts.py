@@ -1,0 +1,157 @@
+"""Runtime invariant contracts: property tests and corruption tripwires.
+
+Two directions are covered:
+
+* every shipped distribution family, discretized on grids from coarse to
+  fine, passes the mass/CDF contracts (hypothesis sweeps the grid space);
+* corrupted inputs trip each contract with a :class:`ContractViolation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _contracts
+from repro._contracts import ContractViolation
+from repro.core.cache import extend_service_ladder
+from repro.distributions.grid import Grid, GridMass, delta, from_distribution
+
+from .conftest import ALL_DISTRIBUTIONS_MEAN2
+
+
+@pytest.fixture(autouse=True)
+def contracts_on():
+    """Force contracts on for every test here, restoring the suite default."""
+    _contracts.set_contracts_enabled(True)
+    yield
+    _contracts.set_contracts_enabled(True)
+
+
+def _uniform_mass(grid: Grid, total: float = 1.0) -> np.ndarray:
+    return np.full(grid.n, total / grid.n)
+
+
+# ----------------------------------------------------------------------
+# property: shipped families pass the invariants on coarse AND fine grids
+# ----------------------------------------------------------------------
+#: dt from very coarse (half the mean) to fine; n from tiny to mid-size —
+#: the product spans horizons from ~1 mean to dozens of means
+grid_strategy = st.builds(
+    Grid,
+    dt=st.sampled_from([1.0, 0.25, 0.05, 0.01]),
+    n=st.integers(min_value=4, max_value=512),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dist=st.sampled_from(ALL_DISTRIBUTIONS_MEAN2), grid=grid_strategy)
+def test_discretized_mass_satisfies_contracts(dist, grid):
+    gm = from_distribution(dist, grid)  # __init__ already runs the mass check
+    _contracts.check_mass_vector(gm.mass, where="test")
+    _contracts.check_cdf(gm.cdf(), where="test")
+    assert 0.0 <= gm.total <= 1.0 + _contracts.MASS_TOL
+    assert gm.tail == pytest.approx(1.0 - gm.total, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dist=st.sampled_from(ALL_DISTRIBUTIONS_MEAN2),
+    kernel=st.sampled_from(["spectral", "direct"]),
+    k_max=st.integers(min_value=1, max_value=6),
+)
+def test_service_ladders_satisfy_contracts(dist, kernel, k_max):
+    grid = Grid(0.1, 256)
+    ladder = [delta(grid)]
+    extend_service_ladder(ladder, from_distribution(dist, grid), k_max, kernel)
+    assert len(ladder) == k_max + 1
+    totals = [gm.total for gm in ladder]
+    _contracts.check_ladder(totals, where="test")
+    for gm in ladder:
+        _contracts.check_cdf(gm.cdf(), where="test")
+
+
+# ----------------------------------------------------------------------
+# tripwires: corrupted inputs must raise ContractViolation
+# ----------------------------------------------------------------------
+class TestMassContract:
+    def test_super_stochastic_mass_trips_on_construction(self):
+        grid = Grid(0.1, 16)
+        with pytest.raises(ContractViolation, match="exceeds 1"):
+            GridMass(grid, _uniform_mass(grid, total=1.5))
+
+    def test_nan_mass_trips(self):
+        mass = _uniform_mass(Grid(0.1, 16))
+        mass[3] = np.nan
+        with pytest.raises(ContractViolation, match="non-finite"):
+            _contracts.check_mass_vector(mass)
+
+    def test_negative_mass_trips(self):
+        mass = _uniform_mass(Grid(0.1, 16))
+        mass[0] = -1e-6
+        with pytest.raises(ContractViolation, match="negative"):
+            _contracts.check_mass_vector(mass)
+
+    @given(total=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_sub_stochastic_mass_passes(self, total):
+        grid = Grid(0.1, 16)
+        GridMass(grid, _uniform_mass(grid, total=total))  # must not raise
+
+
+class TestCdfContract:
+    def test_decreasing_cdf_trips(self):
+        with pytest.raises(ContractViolation, match="monotonicity"):
+            _contracts.check_cdf(np.array([0.0, 0.5, 0.3, 1.0]))
+
+    def test_cdf_above_one_trips(self):
+        with pytest.raises(ContractViolation, match=r"\[0, 1\]"):
+            _contracts.check_cdf(np.array([0.0, 0.5, 1.5]))
+
+    def test_corrupted_gridmass_detected_at_cdf_time(self):
+        gm = delta(Grid(0.1, 16))
+        gm.mass[5] = -0.4  # simulate an un-clipped kernel bug in place
+        with pytest.raises(ContractViolation, match="monotonicity"):
+            gm.cdf()
+
+
+class TestGridAndLadderContracts:
+    def test_ladder_extension_on_wrong_grid_trips(self):
+        ladder = [delta(Grid(0.1, 64))]
+        alien = from_distribution(ALL_DISTRIBUTIONS_MEAN2[0], Grid(0.2, 64))
+        with pytest.raises(ContractViolation, match="different grids"):
+            extend_service_ladder(ladder, alien, 3)
+
+    def test_growing_ladder_totals_trip(self):
+        with pytest.raises(ContractViolation, match="grows"):
+            _contracts.check_ladder([1.0, 0.8, 0.9])
+
+
+class TestSurfaceContract:
+    def test_probability_surface_above_one_trips(self):
+        with pytest.raises(ContractViolation, match="probability surface"):
+            _contracts.check_metric_surface(np.array([[0.2, 1.2]]), bounded=True)
+
+    def test_nan_execution_surface_trips(self):
+        with pytest.raises(ContractViolation, match="NaN"):
+            _contracts.check_metric_surface(np.array([[np.nan]]), bounded=False)
+
+    def test_inf_execution_surface_is_allowed(self):
+        _contracts.check_metric_surface(np.array([[np.inf, 3.0]]), bounded=False)
+
+
+class TestEnablement:
+    def test_disabled_contracts_do_not_raise(self):
+        _contracts.set_contracts_enabled(False)
+        _contracts.check_cdf(np.array([1.0, 0.0]))  # would trip when enabled
+        grid = Grid(0.1, 8)
+        GridMass(grid, _uniform_mass(grid, total=2.0))
+
+    def test_violation_is_an_assertion_error(self):
+        assert issubclass(ContractViolation, AssertionError)
+
+    def test_override_none_reverts_to_environment_default(self):
+        _contracts.set_contracts_enabled(None)
+        assert _contracts.contracts_enabled() == _contracts._ENV_DEFAULT

@@ -12,7 +12,9 @@ from repro._parallel import fork_map
 def no_fork(monkeypatch):
     """Pretend the platform has no fork start method (macOS spawn / Windows)."""
     monkeypatch.setattr(_parallel, "parallelism_available", lambda: False)
-    monkeypatch.setattr(_parallel, "_warned_no_fork", False)
+    _parallel.reset_serial_fallback_warning()
+    yield
+    _parallel.reset_serial_fallback_warning()
 
 
 class TestSerialFallback:
@@ -33,6 +35,18 @@ class TestSerialFallback:
             warnings.simplefilter("error")
             assert fork_map(lambda i: i, 4, jobs=1) == [0, 1, 2, 3]
             assert fork_map(lambda i: i, 1, jobs=8) == [0]
+
+    def test_reset_rearms_the_warning(self, no_fork):
+        with pytest.warns(RuntimeWarning):
+            fork_map(lambda i: i, 3, jobs=2)
+        _parallel.reset_serial_fallback_warning()
+        with pytest.warns(RuntimeWarning, match="fork"):
+            fork_map(lambda i: i, 3, jobs=2)
+
+    def test_fallback_results_match_serial_evaluation(self, no_fork):
+        with pytest.warns(RuntimeWarning):
+            fallback = fork_map(lambda i: 3 * i - 1, 7, jobs=4)
+        assert fallback == [3 * i - 1 for i in range(7)]
 
 
 class TestForkPath:

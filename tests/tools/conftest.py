@@ -1,0 +1,10 @@
+"""Make the out-of-tree ``tools/`` analyzer importable for its tests."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))

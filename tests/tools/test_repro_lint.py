@@ -1,0 +1,598 @@
+"""Unit tests for the repro-lint rule set.
+
+Each rule gets a minimal *bad* snippet it must fire on and a matching
+*good* snippet it must stay silent on; the engine tests cover suppression
+comments, rule selection and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro_lint import LintConfig, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(tmp_path, rel_path, source, config=None):
+    file = tmp_path / rel_path
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([str(file)], config or LintConfig(), root=tmp_path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RL001 — float equality
+# ----------------------------------------------------------------------
+class TestRL001:
+    def test_fires_on_float_literal_equality(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x):
+                return x == 1.5
+            """,
+        )
+        assert rules_of(findings) == ["RL001"]
+        assert "math.isclose" in findings[0].message
+
+    def test_fires_on_negated_float_and_not_equal(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x, y):
+                return x != -0.5 or y == +2.0
+            """,
+        )
+        assert rules_of(findings) == ["RL001", "RL001"]
+
+    def test_silent_on_integer_equality(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x):
+                return x == 1 and x != 0
+            """,
+        )
+        assert findings == []
+
+    def test_silent_on_tolerance_helper(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import pytest
+
+            def f(x):
+                return x == pytest.approx(1.5)
+            """,
+        )
+        assert findings == []
+
+    def test_test_file_asserts_are_exempt(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "tests/test_mod.py",
+            """
+            def test_boundary(dist):
+                assert dist.cdf(-1.0) == 0.0
+            """,
+        )
+        assert findings == []
+
+    def test_test_file_non_assert_comparisons_still_fire(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "tests/test_mod.py",
+            """
+            def helper(x):
+                return x == 0.25
+            """,
+        )
+        assert rules_of(findings) == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# RL002 — convolution outside the kernel layer
+# ----------------------------------------------------------------------
+class TestRL002:
+    def test_fires_on_np_convolve_and_fftconvolve(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import numpy as np
+            from scipy.signal import fftconvolve
+
+            def f(a, b):
+                return np.convolve(a, b) + fftconvolve(a, b)
+            """,
+        )
+        assert rules_of(findings) == ["RL002", "RL002"]
+
+    def test_fires_on_np_fft_namespace(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import numpy as np
+
+            def f(a):
+                return np.fft.rfft(a, 64)
+            """,
+        )
+        assert rules_of(findings) == ["RL002"]
+
+    def test_silent_in_blessed_kernel_module(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/spectral.py",
+            """
+            import numpy as np
+
+            def f(a):
+                return np.fft.rfft(a, 64)
+            """,
+        )
+        assert findings == []
+
+    def test_resolves_import_aliases(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            from numpy import convolve as cv
+
+            def f(a, b):
+                return cv(a, b)
+            """,
+        )
+        assert rules_of(findings) == ["RL002"]
+
+
+# ----------------------------------------------------------------------
+# RL003 — global-state RNG
+# ----------------------------------------------------------------------
+class TestRL003:
+    def test_fires_on_legacy_numpy_rng(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import numpy as np
+
+            def f():
+                np.random.seed(0)
+                return np.random.rand(3)
+            """,
+        )
+        assert rules_of(findings) == ["RL003", "RL003"]
+
+    def test_fires_on_stdlib_module_rng(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import random
+
+            def f(xs):
+                return random.choice(xs)
+            """,
+        )
+        assert rules_of(findings) == ["RL003"]
+
+    def test_silent_on_explicit_generators(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                seq = np.random.SeedSequence(seed)
+                return rng.normal(), seq
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL004 — cache-fingerprint completeness (project-wide)
+# ----------------------------------------------------------------------
+class TestRL004:
+    def test_fires_on_uncaptured_constructor_parameter(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/leaky.py",
+            """
+            class Distribution:
+                pass
+
+            class Leaky(Distribution):
+                def __init__(self, rate, scale):
+                    self.rate = float(rate)
+            """,
+        )
+        assert rules_of(findings) == ["RL004"]
+        assert "'scale'" in findings[0].message
+        assert "alias" in findings[0].message
+
+    def test_capture_through_local_rename_is_seen(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/mix.py",
+            """
+            import numpy as np
+
+            class Distribution:
+                pass
+
+            class Mixture(Distribution):
+                def __init__(self, weights):
+                    w = np.asarray(weights, dtype=float)
+                    self.weights = w / w.sum()
+            """,
+        )
+        assert findings == []
+
+    def test_capture_through_super_init_is_seen(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/child.py",
+            """
+            class Distribution:
+                def __init__(self, rate):
+                    self.rate = rate
+
+            class Child(Distribution):
+                def __init__(self, rate):
+                    super().__init__(rate)
+            """,
+        )
+        assert findings == []
+
+    def test_fires_on_slots_subclass(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/slotted.py",
+            """
+            class Distribution:
+                pass
+
+            class Slotted(Distribution):
+                __slots__ = ("rate",)
+
+                def __init__(self, rate):
+                    self.rate = rate
+            """,
+        )
+        assert rules_of(findings) == ["RL004"]
+        assert "__slots__" in findings[0].message
+
+    def test_transitive_subclasses_are_checked(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/grandchild.py",
+            """
+            class Distribution:
+                pass
+
+            class Mid(Distribution):
+                pass
+
+            class GrandChild(Mid):
+                def __init__(self, shape, hidden):
+                    self.shape = shape
+            """,
+        )
+        assert rules_of(findings) == ["RL004"]
+        assert "'hidden'" in findings[0].message
+
+    def test_outside_fingerprint_zone_is_ignored(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "tests/helpers.py",
+            """
+            class Distribution:
+                pass
+
+            class TestDouble(Distribution):
+                def __init__(self, hidden):
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL005 — wall clock in the deterministic core
+# ----------------------------------------------------------------------
+class TestRL005:
+    def test_fires_in_core(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/core/mod.py",
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+        )
+        assert rules_of(findings) == ["RL005"]
+
+    def test_silent_outside_deterministic_zone(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "benchmarks/bench.py",
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL006 — silent exception handling
+# ----------------------------------------------------------------------
+class TestRL006:
+    def test_fires_on_bare_except_and_swallowed_exception(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f():
+                try:
+                    risky()
+                except:
+                    handle()
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rules_of(findings) == ["RL006", "RL006"]
+
+    def test_silent_on_typed_handled_exception(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+                except Exception as exc:
+                    log(exc)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL007 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestRL007:
+    def test_fires_on_list_dict_and_call_defaults(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(a=[], *, b={}, c=set()):
+                return a, b, c
+            """,
+        )
+        assert rules_of(findings) == ["RL007", "RL007", "RL007"]
+
+    def test_silent_on_immutable_defaults(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(a=None, b=(), c=1.0 + 2.0, d="x"):
+                return a, b, c, d
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL008 — math.* on array args in hot paths
+# ----------------------------------------------------------------------
+class TestRL008:
+    def test_fires_on_math_exp_of_array_argument(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/mod.py",
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.exp(-x)
+            """,
+        )
+        assert rules_of(findings) == ["RL008"]
+        assert "np.exp" in findings[0].message
+
+    def test_silent_on_parameter_only_math(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/distributions/mod.py",
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.log(self.x_m) * x
+            """,
+        )
+        assert findings == []
+
+    def test_silent_outside_hot_path_zone(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/core/mod.py",
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.exp(-x)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# engine: suppressions, selection, syntax errors
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_same_line_suppression(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x):
+                return x == 1.5  # repro-lint: disable=RL001
+            """,
+        )
+        assert findings == []
+
+    def test_disable_next_line(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x):
+                # repro-lint: disable-next-line=RL001
+                return x == 1.5
+            """,
+        )
+        assert findings == []
+
+    def test_blanket_disable(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            import numpy as np
+
+            def f(a, b):
+                return np.convolve(a, b) if a == 0.5 else None  # repro-lint: disable
+            """,
+        )
+        assert findings == []
+
+    def test_wrong_rule_suppression_does_not_hide(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def f(x):
+                return x == 1.5  # repro-lint: disable=RL002
+            """,
+        )
+        assert rules_of(findings) == ["RL001"]
+
+    def test_select_and_ignore(self, tmp_path):
+        source = """
+        def f(x, a=[]):
+            return x == 1.5
+        """
+        only_007 = run_lint(
+            tmp_path, "src/repro/analysis/a.py", source,
+            config=LintConfig(select={"RL007"}),
+        )
+        assert rules_of(only_007) == ["RL007"]
+        no_007 = run_lint(
+            tmp_path, "src/repro/analysis/b.py", source,
+            config=LintConfig(ignore={"RL007"}),
+        )
+        assert rules_of(no_007) == ["RL001"]
+
+    def test_syntax_error_reports_rl000(self, tmp_path):
+        findings = run_lint(tmp_path, "src/repro/analysis/bad.py", "def f(:\n")
+        assert rules_of(findings) == ["RL000"]
+
+    def test_findings_are_sorted_and_located(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/analysis/mod.py",
+            """
+            def g(a=[]):
+                return a
+
+            def f(x):
+                return x == 1.5
+            """,
+        )
+        assert rules_of(findings) == ["RL007", "RL001"]
+        assert findings[0].line < findings[1].line
+        assert findings[0].path == "src/repro/analysis/mod.py"
+
+
+# ----------------------------------------------------------------------
+# CLI surface (exercised through a real subprocess)
+# ----------------------------------------------------------------------
+def _run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "tools"), env.get("PYTHONPATH", "")])
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        proc = _run_cli(["clean.py"], cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_findings_exit_one_with_github_annotations(self, tmp_path):
+        (tmp_path / "dirty.py").write_text("def f(x):\n    return x == 1.5\n")
+        proc = _run_cli(["dirty.py", "--format", "github"], cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "::error file=dirty.py,line=2," in proc.stdout
+        assert "title=RL001" in proc.stdout
+
+    def test_bad_usage_exits_two(self, tmp_path):
+        proc = _run_cli(["--select", "RL999", "."], cwd=tmp_path)
+        assert proc.returncode == 2
+
+    def test_list_rules(self, tmp_path):
+        proc = _run_cli(["--list-rules"], cwd=tmp_path)
+        assert proc.returncode == 0
+        for rule in ("RL001", "RL004", "RL008"):
+            assert rule in proc.stdout
+
+
+def test_repository_is_lint_clean():
+    """The repo itself must satisfy its own analyzer (CI gate parity)."""
+    findings = lint_paths(["src", "tests", "benchmarks"], root=REPO_ROOT)
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+    )

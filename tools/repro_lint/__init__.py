@@ -1,0 +1,36 @@
+"""repro-lint — domain-aware static analysis for the repro codebase.
+
+An AST-based analyzer with rules tuned to the numerical invariants of this
+repository (see docs/STATIC_ANALYSIS.md for the catalogue):
+
+=======  ==============================================================
+RL001    float ``==`` / ``!=`` comparisons outside tolerance helpers
+RL002    convolution / FFT calls outside the blessed kernel modules
+RL003    global-state RNG instead of an explicit ``np.random.Generator``
+RL004    ``Distribution`` constructor fields invisible to the cache
+         fingerprint (silent ``SolverCache`` aliasing)
+RL005    wall-clock reads inside the deterministic solver core
+RL006    bare ``except:`` / ``except Exception: pass``
+RL007    mutable default arguments
+RL008    ``math.*`` scalar transcendentals applied to the array argument
+         of a vectorized hot-path method
+=======  ==============================================================
+
+Run as ``python -m repro_lint PATH [PATH ...]`` or via the ``repro-lint``
+console script.  Findings can be silenced per line with
+``# repro-lint: disable=RL00x`` (or ``disable`` for all rules) and for the
+following line with ``# repro-lint: disable-next-line=RL00x``.
+"""
+
+from .engine import Finding, LintConfig, lint_paths
+from .registry import ALL_RULES, rule_catalogue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "lint_paths",
+    "rule_catalogue",
+]

@@ -1,0 +1,116 @@
+"""Command line front-end: ``python -m repro_lint`` / ``repro-lint``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import Finding, LintConfig, lint_paths
+from .registry import ALL_RULES, rule_catalogue
+
+__all__ = ["main"]
+
+
+def _parse_rule_list(raw: str) -> set:
+    rules = {r.strip().upper() for r in raw.split(",") if r.strip()}
+    unknown = rules - set(ALL_RULES)
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(ALL_RULES)}"
+        )
+    return rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="output format: human-readable text or GitHub workflow annotations",
+    )
+    parser.add_argument(
+        "--select",
+        type=_parse_rule_list,
+        default=None,
+        metavar="RL00x[,RL00y]",
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_parse_rule_list,
+        default=set(),
+        metavar="RL00x[,RL00y]",
+        help="skip these rules",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root the zone configuration is relative to "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render(finding: Finding, fmt: str) -> str:
+    if fmt == "github":
+        # https://docs.github.com/actions/reference/workflow-commands
+        message = finding.message.replace("\n", " ")
+        return (
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::{message}"
+        )
+    return (
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.rule} {finding.message}"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, summary in rule_catalogue().items():
+            print(f"{rule_id}  {summary}")
+        return 0
+    config = LintConfig(select=args.select, ignore=args.ignore)
+    root = Path(args.root) if args.root else None
+    try:
+        findings: List[Finding] = lint_paths(args.paths, config=config, root=root)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(_render(finding, args.format))
+    if findings:
+        counts: dict = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        print(f"\n{len(findings)} finding(s) ({summary})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Core machinery of repro-lint: findings, suppressions, and the driver.
+
+The engine is rule-agnostic.  Each rule is a callable ``rule(ctx) ->
+Iterable[Finding]`` operating on a parsed :class:`FileContext`; project-wide
+rules (which need every file at once, e.g. the fingerprint-completeness
+check RL004) implement ``project_rule(files) -> Iterable[Finding]`` instead.
+Suppression comments are honoured centrally, so individual rules never need
+to know about them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "collect_files",
+    "lint_paths",
+]
+
+#: matches one suppression comment; group 1 is "-next-line" or empty, group 2
+#: the optional comma-separated rule list
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(-next-line)?\s*(?:=\s*([A-Za-z0-9_,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class LintConfig:
+    """Tuned knobs of the rule set (paths are repo-relative, POSIX-style).
+
+    The defaults encode this repository's layout; the test-suite overrides
+    them to lint synthetic snippets in isolation.
+    """
+
+    #: modules allowed to call convolution/FFT primitives directly (RL002):
+    #: the spectral kernel, the grid-mass algebra and the transform solver
+    blessed_convolution_modules: Tuple[str, ...] = (
+        "src/repro/core/convolution.py",
+        "src/repro/distributions/spectral.py",
+        "src/repro/distributions/grid.py",
+    )
+    #: directories whose modules must stay wall-clock free (RL005)
+    deterministic_zones: Tuple[str, ...] = (
+        "src/repro/core/",
+        "src/repro/distributions/",
+    )
+    #: directories whose files count as test code (RL001 allows exact
+    #: equality inside ``assert`` statements there — boundary/degenerate
+    #: values are legitimate test oracles)
+    test_dirs: Tuple[str, ...] = ("tests/",)
+    #: directories scanned for Distribution subclasses by RL004 (cache
+    #: aliasing only matters for shipped laws, not for test doubles)
+    fingerprint_zones: Tuple[str, ...] = ("src/",)
+    #: modules whose vectorized methods are array hot paths (RL008)
+    hot_path_zones: Tuple[str, ...] = ("src/repro/distributions/",)
+    #: method names within hot-path zones that receive array arguments
+    hot_path_methods: Tuple[str, ...] = (
+        "pdf",
+        "cdf",
+        "sf",
+        "hazard",
+        "quantile",
+        "mass_on",
+    )
+    #: rule selection (None = all registered rules)
+    select: Optional[Set[str]] = None
+    ignore: Set[str] = field(default_factory=set)
+
+    def enabled(self, rule: str) -> bool:
+        if rule in self.ignore:
+            return False
+        return self.select is None or rule in self.select
+
+
+class _Suppressions:
+    """Per-file map of line -> suppressed rule ids (empty set = all)."""
+
+    def __init__(self, source: str):
+        self._lines: Dict[int, Optional[Set[str]]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            target = lineno + 1 if m.group(1) else lineno
+            rules: Optional[Set[str]] = None
+            if m.group(2):
+                rules = {r.strip().upper() for r in m.group(2).split(",") if r.strip()}
+            existing = self._lines.get(target, set())
+            if rules is None or existing is None:
+                self._lines[target] = None  # blanket disable wins
+            else:
+                self._lines[target] = set(existing) | rules
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.line not in self._lines:
+            return False
+        rules = self._lines[finding.line]
+        return rules is None or finding.rule in rules
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule needs about one module."""
+
+    path: Path
+    rel_path: str  # repo-relative POSIX path used for zone matching
+    source: str
+    tree: ast.Module
+    config: LintConfig
+
+    @property
+    def is_test_file(self) -> bool:
+        return any(self.rel_path.startswith(d) for d in self.config.test_dirs)
+
+    @property
+    def is_blessed_convolution(self) -> bool:
+        return self.rel_path in self.config.blessed_convolution_modules
+
+    @property
+    def in_deterministic_zone(self) -> bool:
+        return any(self.rel_path.startswith(d) for d in self.config.deterministic_zones)
+
+    @property
+    def in_fingerprint_zone(self) -> bool:
+        return any(self.rel_path.startswith(d) for d in self.config.fingerprint_zones)
+
+    @property
+    def in_hot_path_zone(self) -> bool:
+        return any(self.rel_path.startswith(d) for d in self.config.hot_path_zones)
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+
+def collect_files(paths: Sequence[str], root: Optional[Path] = None) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: Set[Path] = set()
+    base = root or Path.cwd()
+    for p in paths:
+        path = Path(p)
+        if not path.is_absolute():
+            path = base / path
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for f in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out.add(f)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return sorted(out)
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse(path: Path) -> Tuple[str, ast.Module]:
+    source = path.read_text(encoding="utf-8")
+    return source, ast.parse(source, filename=str(path))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint files/directories and return suppression-filtered findings.
+
+    ``root`` anchors the repo-relative paths the zone configuration matches
+    against (defaults to the current working directory).
+    """
+    # imported here to avoid a cycle: rule modules import the engine types
+    from .registry import FILE_RULES, PROJECT_RULES
+
+    cfg = config or LintConfig()
+    base = root or Path.cwd()
+    contexts: List[FileContext] = []
+    findings: List[Finding] = []
+    for path in collect_files(paths, root=base):
+        try:
+            source, tree = _parse(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="RL000",
+                    path=_relativize(path, base),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(
+                path=path,
+                rel_path=_relativize(path, base),
+                source=source,
+                tree=tree,
+                config=cfg,
+            )
+        )
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        for rule_id, rule in FILE_RULES.items():
+            if cfg.enabled(rule_id):
+                raw.extend(rule(ctx))
+    for rule_id, project_rule in PROJECT_RULES.items():
+        if cfg.enabled(rule_id):
+            raw.extend(project_rule(contexts))
+
+    by_file: Dict[str, _Suppressions] = {
+        ctx.rel_path: _Suppressions(ctx.source) for ctx in contexts
+    }
+    for f in raw:
+        supp = by_file.get(f.path)
+        if supp is None or not supp.suppressed(f):
+            findings.append(f)
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,51 @@
+"""Best-effort resolution of attribute chains to fully-qualified names.
+
+Several rules need to know that ``sfft.rfft`` means ``scipy.fft.rfft`` in a
+module that did ``from scipy import fft as sfft``.  This tracker walks the
+module's import statements and resolves ``ast.Call`` function expressions to
+dotted names rooted at the real top-level module, so rules match on stable
+qualified names instead of guessing at local aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportTracker"]
+
+
+class ImportTracker:
+    """Maps local names to the dotted module/object paths they denote."""
+
+    def __init__(self, tree: ast.Module):
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b.c`` binds ``a`` unless aliased
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def qualify(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an expression like ``np.fft.rfft``, if resolvable."""
+        parts = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        parts.reverse()
+        head = self._aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])

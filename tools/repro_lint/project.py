@@ -1,0 +1,193 @@
+"""RL004 — cache-fingerprint completeness (a project-wide rule).
+
+``repro.core.cache.fingerprint`` serializes ``vars(dist)`` — the *instance
+attributes* of a distribution.  Any constructor parameter that never makes
+it into an instance attribute is therefore invisible to the
+:class:`SolverCache` key: two distributions differing only in that
+parameter would silently share one cached mass vector (aliasing), which is
+precisely the "silent correctness drift" class of bug this linter exists
+to catch.  The rule cross-checks every ``Distribution`` subclass's
+``__init__`` parameters against the names flowing into ``self.*``
+assignments (or into a ``super().__init__`` call, which stores them in the
+base).  ``__slots__`` on a subclass is flagged too: ``vars()`` cannot see
+slotted attributes at all, so fingerprinting would break outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from .engine import FileContext, Finding
+
+__all__ = ["rl004_fingerprint_completeness"]
+
+#: root classes whose subclasses participate in cache fingerprinting
+_ROOT_CLASSES = ("Distribution",)
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _captured_names(init: ast.FunctionDef) -> Set[str]:
+    """Names that flow into instance state inside ``__init__``.
+
+    A parameter counts as captured when it appears anywhere in a statement
+    that assigns to ``self.<attr>`` (directly or through a transformation:
+    ``self.rate = float(rate)`` captures ``rate``), in the arguments of a
+    ``super().__init__`` / ``Base.__init__`` call, or when a *local derived
+    from it* does (``w = np.asarray(weights); self.weights = w`` captures
+    ``weights`` — taint propagates through local assignments).
+    """
+    sink: Set[str] = set()
+    local_flows: List[Tuple[Set[str], Set[str]]] = []  # (targets, rhs names)
+    for node in ast.walk(init):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            stores_self = any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in targets
+            )
+            if stores_self:
+                sink.update(_names_in(node))
+            elif node.value is not None:
+                local_targets = set()
+                for t in targets:
+                    local_targets.update(
+                        sub.id
+                        for sub in ast.walk(t)
+                        if isinstance(sub, ast.Name)
+                    )
+                if local_targets:
+                    local_flows.append((local_targets, _names_in(node.value)))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_super_init = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__init__"
+                or (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id == "super"
+                )
+            )
+            if is_super_init:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    sink.update(_names_in(arg))
+
+    # propagate backwards: a local feeding the sink makes its sources sinks
+    changed = True
+    while changed:
+        changed = False
+        for local_targets, rhs_names in local_flows:
+            if local_targets & sink and not rhs_names <= sink:
+                sink.update(rhs_names)
+                changed = True
+    return sink
+
+
+def _init_params(init: ast.FunctionDef) -> List[ast.arg]:
+    params = [*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs]
+    return [p for p in params if p.arg not in ("self", "cls")]
+
+
+def rl004_fingerprint_completeness(
+    contexts: Sequence[FileContext],
+) -> Iterator[Finding]:
+    """Flag ``Distribution.__init__`` parameters the cache key cannot see."""
+    # pass 1: the class graph over all fingerprint-zone files
+    classes: Dict[str, Tuple[ast.ClassDef, FileContext]] = {}
+    for ctx in contexts:
+        if not ctx.in_fingerprint_zone:
+            continue
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (node, ctx)
+
+    # pass 2: transitive subclasses of the fingerprinted roots
+    dist_names: Set[str] = set(_ROOT_CLASSES)
+    changed = True
+    while changed:
+        changed = False
+        for name, (cls, _) in classes.items():
+            if name in dist_names:
+                continue
+            if any(b in dist_names for b in _base_names(cls)):
+                dist_names.add(name)
+                changed = True
+
+    for name in sorted(dist_names - set(_ROOT_CLASSES)):
+        cls, ctx = classes[name]
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+            ):
+                yield Finding(
+                    rule="RL004",
+                    path=ctx.rel_path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"Distribution subclass {name} defines __slots__; "
+                        "fingerprint() reads vars(self) and cannot see slotted "
+                        "attributes, so caching would break"
+                    ),
+                )
+        if _is_dataclass(cls):
+            continue  # dataclass fields are instance attributes by construction
+        init = next(
+            (
+                s
+                for s in cls.body
+                if isinstance(s, ast.FunctionDef) and s.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            continue  # inherited __init__ was already checked on the base
+        if init.args.vararg is not None or init.args.kwarg is not None:
+            continue  # *args/**kwargs: cannot reason statically
+        captured = _captured_names(init)
+        for param in _init_params(init):
+            if param.arg not in captured:
+                yield Finding(
+                    rule="RL004",
+                    path=ctx.rel_path,
+                    line=param.lineno,
+                    col=param.col_offset,
+                    message=(
+                        f"constructor parameter {param.arg!r} of Distribution "
+                        f"subclass {name} never reaches an instance attribute; "
+                        "fingerprint() serializes vars(self), so two instances "
+                        "differing only in this parameter would alias the same "
+                        "SolverCache entry"
+                    ),
+                )

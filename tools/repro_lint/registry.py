@@ -1,0 +1,47 @@
+"""Rule registry: stable ids, descriptions, and dispatch tables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from .engine import FileContext, Finding
+from .project import rl004_fingerprint_completeness
+from .rules import (
+    rl001_float_equality,
+    rl002_convolution_outside_kernel,
+    rl003_global_rng,
+    rl005_wall_clock,
+    rl006_silent_except,
+    rl007_mutable_default,
+    rl008_math_in_hot_path,
+)
+
+__all__ = ["FILE_RULES", "PROJECT_RULES", "ALL_RULES", "rule_catalogue"]
+
+FileRule = Callable[[FileContext], Iterable[Finding]]
+ProjectRule = Callable[[Sequence[FileContext]], Iterable[Finding]]
+
+FILE_RULES: Dict[str, FileRule] = {
+    "RL001": rl001_float_equality,
+    "RL002": rl002_convolution_outside_kernel,
+    "RL003": rl003_global_rng,
+    "RL005": rl005_wall_clock,
+    "RL006": rl006_silent_except,
+    "RL007": rl007_mutable_default,
+    "RL008": rl008_math_in_hot_path,
+}
+
+PROJECT_RULES: Dict[str, ProjectRule] = {
+    "RL004": rl004_fingerprint_completeness,
+}
+
+ALL_RULES: List[str] = sorted([*FILE_RULES, *PROJECT_RULES])
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """``{rule id: first line of its docstring}`` for ``--list-rules``."""
+    out: Dict[str, str] = {}
+    for rule_id, fn in {**FILE_RULES, **PROJECT_RULES}.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        out[rule_id] = doc[0] if doc else ""
+    return dict(sorted(out.items()))

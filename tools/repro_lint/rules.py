@@ -1,0 +1,404 @@
+"""Per-file AST rules RL001–RL003 and RL005–RL008.
+
+Each rule is a function ``(FileContext) -> Iterable[Finding]``; registration
+happens in :mod:`repro_lint.registry`.  The cross-file fingerprint rule
+RL004 lives in :mod:`repro_lint.project`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set
+
+from .engine import FileContext, Finding
+from .imports import ImportTracker
+
+__all__ = [
+    "rl001_float_equality",
+    "rl002_convolution_outside_kernel",
+    "rl003_global_rng",
+    "rl005_wall_clock",
+    "rl006_silent_except",
+    "rl007_mutable_default",
+    "rl008_math_in_hot_path",
+]
+
+
+def _finding(ctx: FileContext, rule: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule=rule,
+        path=ctx.rel_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# RL001 — float equality
+# ----------------------------------------------------------------------
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _is_tolerance_helper(node: ast.expr, imports: ImportTracker) -> bool:
+    """``pytest.approx(...)`` (or an aliased import of it) as a comparator."""
+    if not isinstance(node, ast.Call):
+        return False
+    qual = imports.qualify(node.func)
+    return qual in ("pytest.approx", "numpy.testing.assert_allclose")
+
+
+def rl001_float_equality(ctx: FileContext) -> Iterator[Finding]:
+    """Float literals compared with ``==`` / ``!=``.
+
+    Exact comparison against a float literal silently breaks under round-off
+    (the optimizer then picks the wrong policy cell); use ``math.isclose``,
+    an explicit threshold, or integer-coded state.  In test files, ``assert``
+    statements are exempt: exact boundary values (``cdf(x) == 0.0`` outside
+    the support) are legitimate oracles there.
+    """
+    imports = ImportTracker(ctx.tree)
+    in_assert: Set[int] = set()
+    if ctx.is_test_file:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                in_assert.update(id(c) for c in ast.walk(node))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if id(node) in in_assert:
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_tolerance_helper(left, imports) or _is_tolerance_helper(right, imports):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                yield _finding(
+                    ctx,
+                    "RL001",
+                    node,
+                    "float equality comparison; use math.isclose, an explicit "
+                    "threshold, or integer-coded state",
+                )
+                break
+
+
+# ----------------------------------------------------------------------
+# RL002 — convolution outside the kernel layer
+# ----------------------------------------------------------------------
+_CONV_EXACT = {
+    "numpy.convolve",
+    "scipy.signal.fftconvolve",
+    "scipy.signal.convolve",
+    "scipy.signal.oaconvolve",
+}
+_CONV_PREFIXES = ("numpy.fft.", "scipy.fft.", "scipy.fftpack.")
+
+
+def rl002_convolution_outside_kernel(ctx: FileContext) -> Iterator[Finding]:
+    """Convolution/FFT primitives outside the blessed kernel modules.
+
+    All convolution must go through the cached kernel layer
+    (``core/convolution.py`` + ``distributions/spectral.py`` +
+    ``distributions/grid.py``): ad-hoc ``fftconvolve`` calls bypass the
+    shared spectra, the canonical FFT length and the tail bookkeeping.
+    """
+    if ctx.is_blessed_convolution:
+        return
+    imports = ImportTracker(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = imports.qualify(node.func)
+        if qual is None:
+            continue
+        if qual in _CONV_EXACT or qual.startswith(_CONV_PREFIXES):
+            yield _finding(
+                ctx,
+                "RL002",
+                node,
+                f"direct call to {qual} outside the kernel layer; route "
+                "convolutions through GridMass.conv / repro.distributions.spectral",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL003 — global-state RNG
+# ----------------------------------------------------------------------
+#: np.random attributes that *construct* explicit generators (allowed)
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+_STDLIB_RANDOM_STATEFUL = {
+    "seed",
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+}
+
+
+def rl003_global_rng(ctx: FileContext) -> Iterator[Finding]:
+    """Global-state RNG (``np.random.seed`` / module-level ``random.*``).
+
+    Hidden global RNG state breaks the replay guarantees of the estimator
+    layer (chunked streams must be a function of ``n_reps`` alone) and makes
+    ``jobs=1`` vs ``jobs=N`` runs diverge.  Pass an explicit
+    ``np.random.Generator`` instead.
+    """
+    imports = ImportTracker(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = imports.qualify(node.func)
+        if qual is None:
+            continue
+        if qual.startswith("numpy.random."):
+            tail = qual[len("numpy.random.") :]
+            if tail.split(".")[0] not in _NP_RANDOM_OK:
+                yield _finding(
+                    ctx,
+                    "RL003",
+                    node,
+                    f"global-state RNG call {qual}; pass an explicit "
+                    "np.random.Generator (np.random.default_rng(seed))",
+                )
+        elif qual.startswith("random."):
+            tail = qual[len("random.") :]
+            if tail in _STDLIB_RANDOM_STATEFUL:
+                yield _finding(
+                    ctx,
+                    "RL003",
+                    node,
+                    f"module-level stdlib RNG call {qual}; pass an explicit "
+                    "np.random.Generator instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL005 — wall clock in the deterministic core
+# ----------------------------------------------------------------------
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def rl005_wall_clock(ctx: FileContext) -> Iterator[Finding]:
+    """Wall-clock reads inside ``src/repro/core`` / ``src/repro/distributions``.
+
+    The solver core is a pure function of (model, grid, policy); a clock
+    read there means results depend on when they were computed — benchmarks
+    and the analysis layer time themselves outside the core.
+    """
+    if not ctx.in_deterministic_zone:
+        return
+    imports = ImportTracker(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = imports.qualify(node.func)
+        if qual in _WALL_CLOCK:
+            yield _finding(
+                ctx,
+                "RL005",
+                node,
+                f"wall-clock call {qual} inside the deterministic solver core",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL006 — silent exception handling
+# ----------------------------------------------------------------------
+def rl006_silent_except(ctx: FileContext) -> Iterator[Finding]:
+    """Bare ``except:`` and ``except Exception: pass`` handlers.
+
+    Bare handlers swallow ``KeyboardInterrupt``/``SystemExit``; an
+    ``except Exception`` whose whole body is ``pass`` hides numerical
+    failures (a ``ContractViolation`` included) without a trace.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield _finding(
+                ctx,
+                "RL006",
+                node,
+                "bare except: catches KeyboardInterrupt/SystemExit; name the "
+                "exception type",
+            )
+            continue
+        if (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+            and all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        ):
+            yield _finding(
+                ctx,
+                "RL006",
+                node,
+                f"except {node.type.id}: pass silently swallows all errors; "
+                "handle or at least log the failure",
+            )
+
+
+# ----------------------------------------------------------------------
+# RL007 — mutable default arguments
+# ----------------------------------------------------------------------
+def _is_mutable_default(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def rl007_mutable_default(ctx: FileContext) -> Iterator[Finding]:
+    """Mutable default arguments (evaluated once, shared across calls)."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults: List[Optional[ast.expr]] = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                yield _finding(
+                    ctx,
+                    "RL007",
+                    default if default is not None else node,
+                    f"mutable default argument in {name}(); use None and "
+                    "create the object inside the function",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL008 — scalar math.* on the array argument of a hot-path method
+# ----------------------------------------------------------------------
+_MATH_TRANSCENDENTAL = {
+    "exp",
+    "expm1",
+    "log",
+    "log1p",
+    "log2",
+    "log10",
+    "sqrt",
+    "pow",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "erf",
+    "erfc",
+    "gamma",
+    "lgamma",
+}
+
+
+def _array_param_name(fn: ast.FunctionDef) -> Optional[str]:
+    """First data parameter of a vectorized method (skipping self/cls)."""
+    args = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+    if args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return args[0] if args else None
+
+
+def rl008_math_in_hot_path(ctx: FileContext) -> Iterator[Finding]:
+    """``math.*`` transcendentals applied to the array argument of a
+    vectorized method (``pdf``/``cdf``/``sf``/... in the distributions
+    package).
+
+    ``math.exp`` silently truncates 0-d arrays and raises on real vectors —
+    and even where it works it de-vectorizes the hot path.  Use the ``np.*``
+    ufunc.  Scalar uses on distribution *parameters* (``math.log(self.x_m)``)
+    are fine and not flagged.
+    """
+    if not ctx.in_hot_path_zone:
+        return
+    imports = ImportTracker(ctx.tree)
+    hot = ctx.config.hot_path_methods
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, ast.FunctionDef) or fn.name not in hot:
+            continue
+        param = _array_param_name(fn)
+        if param is None:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = imports.qualify(node.func)
+            if qual is None or not qual.startswith("math."):
+                continue
+            if qual[len("math.") :] not in _MATH_TRANSCENDENTAL:
+                continue
+            touches_param = any(
+                isinstance(sub, ast.Name) and sub.id == param
+                for arg in node.args
+                for sub in ast.walk(arg)
+            )
+            if touches_param:
+                np_name = qual.replace("math.", "np.")
+                yield _finding(
+                    ctx,
+                    "RL008",
+                    node,
+                    f"scalar {qual} applied to array argument {param!r} in "
+                    f"hot-path method {fn.name}(); use {np_name}",
+                )
+
+
+def iter_all(ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover - debug aid
+    """All per-file findings for one context (used interactively)."""
+    for rule in (
+        rl001_float_equality,
+        rl002_convolution_outside_kernel,
+        rl003_global_rng,
+        rl005_wall_clock,
+        rl006_silent_except,
+        rl007_mutable_default,
+        rl008_math_in_hot_path,
+    ):
+        yield from rule(ctx)
