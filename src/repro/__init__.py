@@ -21,15 +21,20 @@ Package map
 ``repro.simulation``    — discrete-event simulator, MC estimators, the
                           emulated testbed;
 ``repro.workloads``     — the paper's scenarios and model families;
-``repro.analysis``      — table/figure regeneration harness.
+``repro.analysis``      — table/figure regeneration harness;
+``repro.faults``        — seeded fault plans + injectors for the simulator
+                          (see docs/ROBUSTNESS.md).
 """
 
+from ._checkpoint import CheckpointStore, checkpoint_key
+from ._parallel import ExecutionPolicy, ForkMapError, set_execution_policy
 from .core import (
     Algorithm1,
     Algorithm1Result,
     DCSModel,
     HeterogeneousNetwork,
     HomogeneousNetwork,
+    KernelFallbackWarning,
     MarkovianSolver,
     MCEstimate,
     MCPolicySearch,
@@ -45,18 +50,25 @@ from .core import (
     markovian_approximation,
     sweep_policies,
 )
-from .simulation import DCSSimulator, EmulatedTestbed, estimate_metric
+from .faults import FaultPlan
+from .simulation import DCSSimulator, EmulatedTestbed, Outcome, estimate_metric
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Algorithm1",
     "Algorithm1Result",
+    "CheckpointStore",
+    "checkpoint_key",
     "DCSModel",
     "DCSSimulator",
     "EmulatedTestbed",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "ForkMapError",
     "HeterogeneousNetwork",
     "HomogeneousNetwork",
+    "KernelFallbackWarning",
     "MarkovianSolver",
     "MCEstimate",
     "MCPolicySearch",
@@ -64,6 +76,7 @@ __all__ = [
     "MetricValue",
     "NetworkModel",
     "OptimizationResult",
+    "Outcome",
     "ReallocationPolicy",
     "Theorem1Solver",
     "TransformSolver",
@@ -71,6 +84,7 @@ __all__ = [
     "ZeroDelayNetwork",
     "estimate_metric",
     "markovian_approximation",
+    "set_execution_policy",
     "sweep_policies",
     "__version__",
 ]

@@ -1,0 +1,90 @@
+"""Chunk-granular checkpoint/resume for long campaign drivers.
+
+A :class:`CheckpointStore` persists labelled JSON payloads (one per
+completed work chunk — a lattice row, a campaign cell) to a single file,
+rewritten atomically (`tmp` + ``os.replace``) after every ``put`` so a
+killed run never leaves a torn snapshot.  The file is bound to a ``key``
+fingerprinting the computation's inputs — model fingerprints, grid, seeds,
+fault plan; see :func:`checkpoint_key`.  Reloading with a different key
+silently discards the stale entries, so a checkpoint can never leak results
+across changed inputs.
+
+Payloads must round-trip through JSON; store plain floats/ints/lists (the
+drivers store reduced metric values, never raw ndarrays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["CheckpointStore", "checkpoint_key"]
+
+_FORMAT = "repro-checkpoint-v1"
+
+
+def checkpoint_key(spec: Any) -> str:
+    """Deterministic fingerprint of a JSON-serializable input description."""
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Atomic, key-guarded map of chunk label -> JSON payload on disk."""
+
+    def __init__(self, path: str, key: str, resume: bool = True):
+        """``resume=False`` ignores whatever is on disk (a fresh campaign);
+        with ``resume=True`` entries are reloaded when — and only when —
+        the stored key matches ``key``."""
+        self.path = str(path)
+        self.key = str(key)
+        self._entries: Dict[str, Any] = {}
+        if resume:
+            self._entries = self._load()
+
+    def _load(self) -> Dict[str, Any]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}  # missing or torn file: start fresh
+        if not isinstance(data, dict) or data.get("format") != _FORMAT:
+            return {}
+        if data.get("key") != self.key:
+            return {}  # inputs changed: stale entries must not leak
+        entries = data.get("entries")
+        return dict(entries) if isinstance(entries, dict) else {}
+
+    def _flush(self) -> None:
+        payload = {"format": _FORMAT, "key": self.key, "entries": self._entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    def get(self, label: str) -> Optional[Any]:
+        """The stored payload for ``label``, or ``None`` if not done yet."""
+        return self._entries.get(label)
+
+    def put(self, label: str, payload: Any) -> None:
+        """Record ``label`` as done and persist the snapshot atomically."""
+        self._entries[label] = payload
+        self._flush()
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._entries
+
+    @property
+    def labels(self) -> List[str]:
+        """Labels of all completed chunks, sorted for stable reporting."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -14,21 +14,50 @@ factories) — entirely.  On platforms without ``fork`` (Windows, some macOS
 configurations) the map degrades to serial evaluation — always correct,
 announced by a one-time :class:`RuntimeWarning`.
 
-Results must be picklable (floats, ndarrays, small dataclasses).  Do not
-nest ``fork_map`` calls: inner calls run serially in workers anyway, and
-the module-level payload slot is not re-entrant across processes.
+Resilient execution
+-------------------
+Long campaigns must survive worker crashes and hangs.  When a per-item
+``timeout`` and/or a positive ``retries`` budget is in effect — passed
+explicitly or installed globally via :func:`set_execution_policy` —
+``fork_map`` switches from the fast chunked ``pool.map`` path to a
+future-per-item path that
+
+* bounds each item's wait with ``timeout`` (hung workers are killed),
+* retries items lost to a crash (``BrokenProcessPool``) or a timeout in
+  fresh worker pools (dead-worker replacement), sleeping an exponentially
+  growing ``backoff`` between rounds, and
+* raises :class:`ForkMapError` naming the unrecoverable items once the
+  retry budget is exhausted.
+
+Ordinary exceptions raised *by* ``fn`` are never retried — they indicate a
+deterministic bug and propagate immediately.  Because every item re-runs
+``fn`` on the same index, retries cannot change numerics.
+
+Results must be picklable (floats, ndarrays, small dataclasses).  The
+module-level payload slot is not re-entrant within one process: a nested
+``fork_map`` issued while a fan-out is already driving workers from the
+same process raises :class:`RuntimeError` (inside a forked worker the
+nested call simply runs serially, which is the intended degradation).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 __all__ = [
+    "ExecutionPolicy",
+    "ForkMapError",
     "fork_map",
+    "get_execution_policy",
+    "set_execution_policy",
     "resolve_jobs",
     "parallelism_available",
     "reset_serial_fallback_warning",
@@ -37,8 +66,77 @@ __all__ = [
 #: work payload inherited by forked workers (set only around a pool's life)
 _PAYLOAD: Optional[Callable[[int], Any]] = None
 
+#: pid of the process that owns the payload slot — lets a forked worker
+#: (which inherits ``_PAYLOAD`` copy-on-write) be told apart from an illegal
+#: re-entrant fan-out in the parent process
+_PAYLOAD_PID: Optional[int] = None
+
 #: whether the no-fork serial-fallback warning has been issued already
 _warned_no_fork = False
+
+#: exceptions that mean "the worker died / hung", not "fn is buggy"
+_RETRYABLE = (BrokenProcessPool, FuturesTimeoutError)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Process-wide defaults for resilient fan-out.
+
+    ``timeout``
+        per-item wait bound in seconds (``None`` = wait forever);
+    ``retries``
+        how many extra rounds a crashed/hung item may be re-run;
+    ``backoff``
+        base sleep between retry rounds; round ``k`` sleeps
+        ``backoff * 2**(k-1)`` seconds.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+
+
+#: the installed process-wide policy; the default preserves the historical
+#: fail-fast semantics (no timeout, no retries -> fast chunked pool.map)
+_POLICY = ExecutionPolicy()
+
+_UNSET: Any = object()
+
+
+class ForkMapError(RuntimeError):
+    """A fan-out lost items to crashes/hangs beyond the retry budget."""
+
+    def __init__(self, indices: Sequence[int], attempts: int, last_error: Optional[BaseException]):
+        self.indices = tuple(indices)
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = f": {last_error!r}" if last_error is not None else ""
+        super().__init__(
+            f"fork_map items {list(self.indices)} failed after {attempts} "
+            f"attempt(s) (worker crash or timeout){detail}"
+        )
+
+
+def get_execution_policy() -> ExecutionPolicy:
+    """The process-wide :class:`ExecutionPolicy` currently in effect."""
+    return _POLICY
+
+
+def set_execution_policy(policy: ExecutionPolicy) -> ExecutionPolicy:
+    """Install ``policy`` as the process-wide default; returns the previous
+    policy so callers (and tests) can restore it."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    return previous
 
 
 def reset_serial_fallback_warning() -> None:
@@ -61,9 +159,40 @@ def _warn_serial_fallback() -> None:
     )
 
 
+def _maybe_chaos(index: int) -> None:
+    """Optional fault injection for the worker path (CI smoke / tests).
+
+    ``REPRO_CHAOS="crash:0,hang:2"`` makes the worker handling item 0 die
+    and the worker handling item 2 hang.  When ``REPRO_CHAOS_DIR`` points at
+    a writable directory each fault fires at most once (a marker file is
+    claimed atomically), so a retried item succeeds — exactly the transient
+    failure the resilient path exists to absorb.
+    """
+    spec = os.environ.get("REPRO_CHAOS")
+    if not spec:
+        return
+    for part in spec.split(","):
+        kind, _, idx = part.strip().partition(":")
+        if idx != str(index) or kind not in ("crash", "hang"):
+            continue
+        marker_dir = os.environ.get("REPRO_CHAOS_DIR")
+        if marker_dir:
+            marker = os.path.join(marker_dir, f"chaos-{kind}-{idx}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this fault already fired once
+        if kind == "crash":
+            os._exit(17)
+        time.sleep(3600.0)  # hang until the timeout reaper kills us
+
+
 def _invoke(index: int) -> Any:
-    assert _PAYLOAD is not None, "fork_map payload missing in worker"
-    return _PAYLOAD(index)
+    payload = _PAYLOAD
+    if payload is None:
+        raise RuntimeError("fork_map payload missing in worker")
+    _maybe_chaos(index)
+    return payload(index)
 
 
 def parallelism_available() -> bool:
@@ -78,30 +207,125 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
-def fork_map(fn: Callable[[int], Any], n_items: int, jobs: int) -> List[Any]:
+def _teardown_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+    """Shut a pool down; ``force`` kills workers first (hung or crashed)."""
+    if force:
+        processes: Dict[int, Any] = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - already gone
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        pool.shutdown(wait=True)
+
+
+def _run_resilient(
+    n_items: int,
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> List[Any]:
+    """Future-per-item fan-out with timeout, retry and pool replacement."""
+    context = multiprocessing.get_context("fork")
+    results: List[Any] = [None] * n_items
+    done = [False] * n_items
+    last_error: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        pending = [i for i in range(n_items) if not done[i]]
+        if not pending:
+            break
+        if attempt > 0 and backoff > 0:
+            time.sleep(backoff * (2.0 ** (attempt - 1)))
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        )
+        abandoned = False
+        try:
+            futures = {i: pool.submit(_invoke, i) for i in pending}
+            for i in pending:
+                fut = futures[i]
+                if abandoned:
+                    # the pool is compromised (crash or hung worker): salvage
+                    # items that already finished, requeue the rest
+                    if fut.done() and fut.exception() is None:
+                        results[i] = fut.result()
+                        done[i] = True
+                    continue
+                try:
+                    results[i] = fut.result(timeout=timeout)
+                    done[i] = True
+                except _RETRYABLE as exc:
+                    last_error = exc
+                    abandoned = True
+        finally:
+            _teardown_pool(pool, force=abandoned)
+    remaining = [i for i in range(n_items) if not done[i]]
+    if remaining:
+        raise ForkMapError(remaining, retries + 1, last_error)
+    return results
+
+
+def fork_map(
+    fn: Callable[[int], Any],
+    n_items: int,
+    jobs: int,
+    *,
+    timeout: Optional[float] = _UNSET,
+    retries: int = _UNSET,
+    backoff: float = _UNSET,
+) -> List[Any]:
     """``[fn(0), ..., fn(n_items - 1)]``, evaluated by ``jobs`` processes.
 
     ``fn`` must be deterministic and side-effect free with respect to the
     result (workers mutate only their own copy-on-write memory; caches they
     warm are discarded with the worker).  With ``jobs <= 1``, a single item,
     or no ``fork`` support the map runs serially in-process.
+
+    ``timeout``/``retries``/``backoff`` default to the process-wide
+    :class:`ExecutionPolicy` (see :func:`set_execution_policy`); any
+    non-default setting activates the resilient future-per-item path that
+    survives worker crashes and hangs.  Serial evaluation cannot be guarded
+    this way — a crash there is a crash of the caller itself.
     """
+    policy = _POLICY
+    if timeout is _UNSET:
+        timeout = policy.timeout
+    if retries is _UNSET:
+        retries = policy.retries
+    if backoff is _UNSET:
+        backoff = policy.backoff
     jobs = resolve_jobs(jobs)
     if jobs > 1 and n_items > 1 and not parallelism_available():
         # keep jobs=N a usable no-op on spawn-only platforms, but say so once
         _warn_serial_fallback()
     if jobs <= 1 or n_items <= 1 or not parallelism_available():
         return [fn(i) for i in range(n_items)]
-    global _PAYLOAD
+    global _PAYLOAD, _PAYLOAD_PID
     if _PAYLOAD is not None:
-        # nested fan-out: run the inner level serially
+        if _PAYLOAD_PID == os.getpid():
+            raise RuntimeError(
+                "nested fork_map: a fan-out is already running in this "
+                "process and the payload slot is not re-entrant; restructure "
+                "the caller so only one level fans out (inner levels may use "
+                "jobs=1)"
+            )
+        # we are inside a forked worker (payload inherited copy-on-write):
+        # run the inner level serially
         return [fn(i) for i in range(n_items)]
     _PAYLOAD = fn
+    _PAYLOAD_PID = os.getpid()
     try:
-        context = multiprocessing.get_context("fork")
         workers = min(jobs, n_items)
-        chunk = max(n_items // (4 * workers), 1)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(_invoke, range(n_items), chunksize=chunk))
+        if timeout is None and retries == 0:
+            # fast path: chunked map, fail-fast semantics
+            context = multiprocessing.get_context("fork")
+            chunk = max(n_items // (4 * workers), 1)
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                return list(pool.map(_invoke, range(n_items), chunksize=chunk))
+        return _run_resilient(n_items, workers, timeout, retries, backoff)
     finally:
         _PAYLOAD = None
+        _PAYLOAD_PID = None

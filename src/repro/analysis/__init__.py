@@ -17,6 +17,7 @@ from .figures import (
     fitted_model_from_characterization,
     qos_deadline_sweep,
 )
+from .resilience import ResilienceCampaign, ResilienceCell, ResilienceReport
 from .sensitivity import SensitivityRow, metric_sensitivities
 from .tables import (
     Table1Row,
@@ -42,6 +43,9 @@ __all__ = [
     "fig4_data",
     "fitted_model_from_characterization",
     "qos_deadline_sweep",
+    "ResilienceCampaign",
+    "ResilienceCell",
+    "ResilienceReport",
     "SensitivityRow",
     "metric_sensitivities",
     "Table1Row",

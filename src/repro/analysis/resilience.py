@@ -1,0 +1,273 @@
+"""Resilience campaigns — metric degradation under injected faults.
+
+The paper's optimality results assume the Sec. II semantics hold exactly:
+reliable group delivery, failures sampled only at ``t = 0``, iid service
+draws.  A :class:`ResilienceCampaign` stress-tests a policy against a
+:class:`~repro.faults.FaultPlan` swept over an intensity grid and reports,
+per policy, how the figures of merit degrade:
+
+* ``r_inf`` — the completion probability ``R_inf`` (all work served);
+* ``r_tm`` — the deadline QoS ``R_TM = P(T < deadline)``;
+* ``mean_completion`` — mean completion time of the runs that finished.
+
+The canonical comparison is the do-nothing baseline against the optimal
+one-shot policy: it quantifies how much of the optimal policy's advantage
+survives lossy/duplicated transfers, mid-execution failures and stragglers.
+
+Every cell of the sweep draws from its own deterministic stream seeded by
+``(seed, intensity index, policy index)``, so results are independent of
+evaluation order and of how many worker processes ran them — which is what
+makes checkpoint/resume (:class:`~repro._checkpoint.CheckpointStore`)
+numerically exact: a campaign killed mid-run and resumed produces the same
+report as one that ran uninterrupted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._checkpoint import CheckpointStore, checkpoint_key
+from .._parallel import fork_map, resolve_jobs
+from ..core.policy import ReallocationPolicy
+from ..core.system import DCSModel
+from ..faults import FaultPlan
+from ..simulation.dcs import DCSSimulator, Outcome, SimulationResult
+
+__all__ = ["ResilienceCell", "ResilienceReport", "ResilienceCampaign"]
+
+#: replications per independent stream — mirrors the MC estimator layout so
+#: jobs=1 and jobs=N campaigns are bit-identical for the same seed
+_CHUNK_REPS = 64
+
+# encoded per-run outcomes (completion times are always >= 0)
+_FAILED = -1.0
+_CENSORED = -2.0
+
+
+def _encode(result: SimulationResult) -> float:
+    """Reduce one run to a float: completion time, or a tagged non-result."""
+    if result.outcome is Outcome.COMPLETED:
+        return float(result.completion_time)
+    return _FAILED if result.outcome is Outcome.FAILED else _CENSORED
+
+
+def _spawn_streams(rng: np.random.Generator, n: int):
+    """``n`` independent child generators (SeedSequence spawning)."""
+    try:
+        return rng.spawn(n)
+    except AttributeError:  # pragma: no cover - numpy < 1.25
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None) or rng.bit_generator._seed_seq
+        return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+
+
+@dataclass
+class ResilienceCell:
+    """Aggregated outcomes for one (intensity, policy) point of the sweep."""
+
+    intensity: float
+    policy: str
+    n_reps: int
+    n_completed: int
+    n_failed: int
+    n_censored: int
+    r_tm: float
+    r_inf: float
+    mean_completion: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "intensity": self.intensity,
+            "policy": self.policy,
+            "n_reps": self.n_reps,
+            "n_completed": self.n_completed,
+            "n_failed": self.n_failed,
+            "n_censored": self.n_censored,
+            "r_tm": self.r_tm,
+            "r_inf": self.r_inf,
+            "mean_completion": self.mean_completion,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Full campaign output: one cell per (intensity, policy) pair."""
+
+    deadline: float
+    n_reps: int
+    seed: int
+    plan: Dict[str, Any]
+    intensities: List[float]
+    policies: List[str]
+    cells: List[ResilienceCell] = field(default_factory=list)
+
+    def series(self, policy: str) -> Dict[str, List[float]]:
+        """Degradation curves for one policy, keyed by metric name."""
+        rows = [c for c in self.cells if c.policy == policy]
+        if not rows:
+            raise KeyError(f"no cells for policy {policy!r}")
+        return {
+            "intensity": [c.intensity for c in rows],
+            "r_tm": [c.r_tm for c in rows],
+            "r_inf": [c.r_inf for c in rows],
+            "mean_completion": [c.mean_completion for c in rows],
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "deadline": self.deadline,
+            "n_reps": self.n_reps,
+            "seed": self.seed,
+            "plan": self.plan,
+            "intensities": list(self.intensities),
+            "policies": list(self.policies),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+class ResilienceCampaign:
+    """Sweep fault intensity x policy and measure metric degradation."""
+
+    def __init__(
+        self,
+        model: DCSModel,
+        loads: Sequence[int],
+        policies: Sequence[Tuple[str, ReallocationPolicy]],
+        plan: FaultPlan,
+        deadline: float,
+        n_reps: int = 256,
+        seed: int = 0,
+        horizon: Optional[float] = None,
+        jobs: int = 1,
+    ):
+        """``policies`` is an ordered list of ``(label, policy)`` pairs —
+        typically the do-nothing baseline and the optimal policy.  ``plan``
+        is the full-intensity fault plan; :meth:`run` scales it per
+        intensity via :meth:`~repro.faults.FaultPlan.scaled`.  ``horizon``
+        (optional) censors runs — without one, faulty runs still terminate
+        because lost work is detected as doomed, but a horizon bounds
+        straggler-stretched runs and makes ``CENSORED`` outcomes possible.
+        """
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if n_reps <= 0:
+            raise ValueError("need at least one replication per cell")
+        if not policies:
+            raise ValueError("need at least one policy to evaluate")
+        labels = [label for label, _ in policies]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"policy labels must be unique, got {labels}")
+        self.model = model
+        self.loads = [int(v) for v in loads]
+        self.policies = list(policies)
+        self.plan = plan
+        self.deadline = float(deadline)
+        self.n_reps = int(n_reps)
+        self.seed = int(seed)
+        self.horizon = horizon
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    def checkpoint_key(self, intensities: Sequence[float]) -> str:
+        """Fingerprint of every input that shapes the campaign's numbers.
+
+        Feed this to :class:`~repro._checkpoint.CheckpointStore` — a stale
+        checkpoint written under different inputs is then discarded rather
+        than resumed.
+        """
+        spec = {
+            "campaign": "resilience-v1",
+            "loads": self.loads,
+            "policies": [
+                [label, policy.matrix.tolist()] for label, policy in self.policies
+            ],
+            "plan": self.plan.to_dict(),
+            "deadline": self.deadline,
+            "n_reps": self.n_reps,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "intensities": [float(v) for v in intensities],
+        }
+        return checkpoint_key(spec)
+
+    def _replicate(
+        self,
+        sim: DCSSimulator,
+        policy: ReallocationPolicy,
+        rng: np.random.Generator,
+    ) -> List[float]:
+        """Encoded outcomes of ``n_reps`` runs, chunked over workers."""
+        n_chunks = -(-self.n_reps // _CHUNK_REPS)
+        sizes = [_CHUNK_REPS] * (n_chunks - 1) + [
+            self.n_reps - _CHUNK_REPS * (n_chunks - 1)
+        ]
+        streams = _spawn_streams(rng, n_chunks)
+
+        def run_chunk(c: int) -> List[float]:
+            chunk_rng = streams[c]
+            return [
+                _encode(sim.run(self.loads, policy, chunk_rng, horizon=self.horizon))
+                for _ in range(sizes[c])
+            ]
+
+        chunks = fork_map(run_chunk, n_chunks, resolve_jobs(self.jobs))
+        return [v for chunk in chunks for v in chunk]
+
+    def _aggregate(self, intensity: float, label: str, values: List[float]) -> ResilienceCell:
+        arr = np.asarray(values, dtype=float)
+        completed = arr >= 0.0
+        n_completed = int(completed.sum())
+        return ResilienceCell(
+            intensity=float(intensity),
+            policy=label,
+            n_reps=arr.size,
+            n_completed=n_completed,
+            n_failed=int((arr == _FAILED).sum()),
+            n_censored=int((arr == _CENSORED).sum()),
+            r_tm=float((completed & (arr < self.deadline)).sum()) / arr.size,
+            r_inf=n_completed / arr.size,
+            mean_completion=float(arr[completed].mean()) if n_completed else math.nan,
+        )
+
+    def run(
+        self,
+        intensities: Sequence[float],
+        checkpoint: Optional[CheckpointStore] = None,
+    ) -> ResilienceReport:
+        """Evaluate every (intensity, policy) cell and aggregate.
+
+        With a ``checkpoint``, each completed cell's raw encoded outcomes
+        are snapshotted atomically; on resume, finished cells are replayed
+        from disk and the rest recomputed — numerically identical to an
+        uninterrupted run because each cell owns a deterministic stream.
+        """
+        if len(intensities) == 0:
+            raise ValueError("need at least one fault intensity")
+        report = ResilienceReport(
+            deadline=self.deadline,
+            n_reps=self.n_reps,
+            seed=self.seed,
+            plan=self.plan.to_dict(),
+            intensities=[float(v) for v in intensities],
+            policies=[label for label, _ in self.policies],
+        )
+        for i_int, intensity in enumerate(report.intensities):
+            scaled = self.plan.scaled(intensity)
+            sim = DCSSimulator(self.model, faults=scaled)
+            for i_pol, (label, policy) in enumerate(self.policies):
+                cell_label = f"cell:{i_int}:{label}"
+                values: Optional[List[float]] = None
+                if checkpoint is not None:
+                    hit = checkpoint.get(cell_label)
+                    if hit is not None:
+                        values = [float(v) for v in hit["values"]]
+                if values is None:
+                    rng = np.random.default_rng((self.seed, i_int, i_pol))
+                    values = self._replicate(sim, policy, rng)
+                    if checkpoint is not None:
+                        checkpoint.put(cell_label, {"values": values})
+                report.cells.append(self._aggregate(intensity, label, values))
+        return report

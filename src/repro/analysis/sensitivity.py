@@ -71,7 +71,8 @@ def _with_service(model: DCSModel, k: int, factor: float) -> DCSModel:
 
 
 def _with_failure(model: DCSModel, k: int, factor: float) -> DCSModel:
-    assert model.failure is not None and model.failure[k] is not None
+    if model.failure is None or model.failure[k] is None:
+        raise ValueError(f"server {k} has no failure law to perturb")
     failure = list(model.failure)
     failure[k] = _scale_distribution(failure[k], factor)
     return DCSModel(service=model.service, network=model.network, failure=failure)

@@ -6,12 +6,19 @@ Commands
 ``optimize``     solve the paper's problems (3)/(4) for a 2-server scenario
 ``algorithm1``   run the scalable multi-server DTR heuristic
 ``simulate``     Monte Carlo estimate of a metric for a policy
+``resilience``   fault-injection campaign: metric degradation vs intensity
 ``experiments``  regenerate the paper's tables and figures (run_all)
+
+Resilient execution flags (``--timeout``, ``--retries``, ``--backoff``) are
+shared by the fan-out commands: they install a process-wide
+:class:`~repro._parallel.ExecutionPolicy` so hung or crashed worker
+processes are killed, replaced and their work items retried.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -70,6 +77,55 @@ def _metric_from_args(args):
     return Metric(args.metric)
 
 
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-work-item timeout in seconds; hung workers are killed "
+        "and their items retried",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry rounds for items lost to worker crashes or timeouts",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base delay (seconds) of the exponential backoff between retries",
+    )
+
+
+def _apply_execution_policy(args) -> None:
+    """Install the CLI's resilient-execution flags process-wide."""
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", 0)
+    if timeout is None and not retries:
+        return
+    from ._parallel import ExecutionPolicy, set_execution_policy
+
+    set_execution_policy(
+        ExecutionPolicy(
+            timeout=timeout, retries=retries, backoff=getattr(args, "backoff", 0.5)
+        )
+    )
+
+
+def _fault_plan_from_args(spec: Optional[str]):
+    """``--faults`` value -> FaultPlan: 'standard', 'none' or a JSON path."""
+    from .faults import FaultPlan
+
+    if spec is None or spec == "none":
+        return None
+    if spec == "standard":
+        return FaultPlan.standard()
+    with open(spec, "r", encoding="utf-8") as fh:
+        return FaultPlan.from_dict(json.load(fh))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -117,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="lattice evaluation: vectorized FFT surfaces or per-policy scan",
     )
+    _add_exec_args(p_opt)
 
     p_algo = sub.add_parser("algorithm1", help="multi-server DTR heuristic")
     _add_scenario_args(p_algo)
@@ -137,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the pairwise sub-problems (0 = all cores)",
     )
+    _add_exec_args(p_algo)
 
     p_sim = sub.add_parser("simulate", help="Monte Carlo metric estimation")
     _add_scenario_args(p_sim)
@@ -158,6 +216,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the MC replications (0 = all cores); "
         "estimates are identical for any jobs value",
     )
+    p_sim.add_argument(
+        "--faults",
+        default=None,
+        help="fault plan: 'standard', 'none' or a path to a FaultPlan JSON",
+    )
+    _add_exec_args(p_sim)
+
+    p_res = sub.add_parser(
+        "resilience", help="fault-injection campaign over an intensity sweep"
+    )
+    _add_scenario_args(p_res)
+    p_res.add_argument("--l12", type=int, default=0)
+    p_res.add_argument("--l21", type=int, default=0)
+    p_res.add_argument("--policy", default=None, help="n>2: 'row;row;...' matrix")
+    p_res.add_argument("--deadline", type=float, default=180.0)
+    p_res.add_argument("--reps", type=int, default=256)
+    p_res.add_argument("--seed", type=int, default=0)
+    p_res.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per campaign cell (0 = all cores)",
+    )
+    p_res.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.25, 0.5, 0.75, 1.0],
+        help="fault-plan intensity grid (0 = fault-free, 1 = full plan)",
+    )
+    p_res.add_argument(
+        "--faults",
+        default="standard",
+        help="full-intensity plan: 'standard' or a path to a FaultPlan JSON",
+    )
+    p_res.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="censoring horizon in seconds (bounds straggler-stretched runs)",
+    )
+    p_res.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: completed cells are snapshotted atomically",
+    )
+    p_res.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload completed cells from --checkpoint instead of recomputing",
+    )
+    p_res.add_argument("--out", default=None, help="write the report as JSON")
+    _add_exec_args(p_res)
 
     p_exp = sub.add_parser("experiments", help="regenerate tables and figures")
     p_exp.add_argument("--only", nargs="*", default=None)
@@ -239,13 +350,15 @@ def _cmd_algorithm1(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .simulation import estimate_metric
+    from .simulation import DCSSimulator, estimate_metric
 
     sc = _build_scenario(args)
     metric = _metric_from_args(args)
     policy = _policy_from_args(args, sc.model.n)
     rng = np.random.default_rng(args.seed)
     deadline = args.deadline if metric.value == "qos" else None
+    plan = _fault_plan_from_args(args.faults)
+    simulator = DCSSimulator(sc.model, faults=plan) if plan is not None else None
     est = estimate_metric(
         metric,
         sc.model,
@@ -254,10 +367,67 @@ def _cmd_simulate(args) -> int:
         args.reps,
         rng,
         deadline=deadline,
+        simulator=simulator,
         jobs=args.jobs,
     )
-    print(f"scenario: {sc.name}   metric: {metric.value}   reps: {args.reps}")
+    faults_note = f"   faults: {args.faults}" if plan is not None else ""
+    print(
+        f"scenario: {sc.name}   metric: {metric.value}   reps: {args.reps}"
+        f"{faults_note}"
+    )
     print(f"estimate: {est}")
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    from ._checkpoint import CheckpointStore
+    from .analysis.resilience import ResilienceCampaign
+    from .core import ReallocationPolicy
+
+    sc = _build_scenario(args)
+    plan = _fault_plan_from_args(args.faults)
+    if plan is None:
+        raise SystemExit("resilience needs a fault plan (--faults standard|PATH)")
+    baseline = ReallocationPolicy.none(sc.model.n)
+    policy = _policy_from_args(args, sc.model.n)
+    policies = [("baseline", baseline)]
+    if not np.array_equal(policy.matrix, baseline.matrix):
+        policies.append(("policy", policy))
+    campaign = ResilienceCampaign(
+        sc.model,
+        list(sc.loads),
+        policies,
+        plan,
+        deadline=args.deadline,
+        n_reps=args.reps,
+        seed=args.seed,
+        horizon=args.horizon,
+        jobs=args.jobs,
+    )
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = CheckpointStore(
+            args.checkpoint,
+            campaign.checkpoint_key(args.intensities),
+            resume=args.resume,
+        )
+    report = campaign.run(args.intensities, checkpoint=checkpoint)
+    print(
+        f"scenario: {sc.name}   deadline: {args.deadline:g} s   "
+        f"reps/cell: {args.reps}"
+    )
+    header = f"{'intensity':>9}  {'policy':<10} {'R_TM':>7} {'R_inf':>7} {'mean T':>9}"
+    print(header)
+    for cell in report.cells:
+        mean = f"{cell.mean_completion:9.2f}" if cell.n_completed else "        -"
+        print(
+            f"{cell.intensity:9.3f}  {cell.policy:<10} "
+            f"{cell.r_tm:7.4f} {cell.r_inf:7.4f} {mean}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -274,11 +444,13 @@ def _cmd_experiments(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_execution_policy(args)
     handlers = {
         "metrics": _cmd_metrics,
         "optimize": _cmd_optimize,
         "algorithm1": _cmd_algorithm1,
         "simulate": _cmd_simulate,
+        "resilience": _cmd_resilience,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

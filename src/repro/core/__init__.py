@@ -23,7 +23,7 @@ Optimizers:
 from .algorithm1 import Algorithm1, Algorithm1Result, criterion_vector, seed_policy
 from .baselines import all_to_fastest, no_action, proportional_policy, water_filling_policy
 from .cache import SolverCache, fingerprint, get_default_cache, set_default_cache
-from .convolution import ServerAssignment, TransformSolver
+from .convolution import KernelFallbackWarning, ServerAssignment, TransformSolver
 from .markovian import ExponentializedNetwork, MarkovianSolver, markovian_approximation
 from .mc_search import MCPolicySearch, MCSearchResult, allocation_to_policy
 from .metrics import MCEstimate, Metric, MetricValue
@@ -54,6 +54,7 @@ __all__ = [
     "no_action",
     "proportional_policy",
     "water_filling_policy",
+    "KernelFallbackWarning",
     "ServerAssignment",
     "TransformSolver",
     "SolverCache",

@@ -21,11 +21,13 @@ integers exactly as eq. (5) floors its expression.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._contracts import ContractViolation
 from .._parallel import fork_map, resolve_jobs
 from .convolution import TransformSolver
 from .metrics import Metric
@@ -302,8 +304,19 @@ def _multires_argbest(
         if not missing:
             return
         if batch_fn is not None and len(missing) > 1:
-            cache.update(zip(missing, batch_fn(missing)))
-            return
+            try:
+                cache.update(zip(missing, batch_fn(missing)))
+                return
+            except (ContractViolation, ArithmeticError, ValueError) as exc:
+                # graceful degradation: a broken batched evaluation must not
+                # abort the search — fall back to per-point evaluation,
+                # which carries its own spectral -> direct kernel fallback
+                warnings.warn(
+                    f"batched candidate evaluation failed ({exc}); degrading "
+                    "to per-point evaluation",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         cache.update(zip(missing, fork_map(lambda k: fn(missing[k]), len(missing), jobs)))
 
     while True:

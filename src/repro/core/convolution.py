@@ -32,6 +32,7 @@ is available through the Monte Carlo estimator, as in the paper.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -49,10 +50,28 @@ from .metrics import Metric, MetricValue
 from .policy import ReallocationPolicy, Transfer
 from .system import DCSModel
 
-__all__ = ["TransformSolver", "ServerAssignment"]
+__all__ = ["TransformSolver", "ServerAssignment", "KernelFallbackWarning"]
 
 #: sentinel: "use the process-wide default SolverCache"
 _DEFAULT_CACHE = object()
+
+
+class KernelFallbackWarning(RuntimeWarning):
+    """The spectral kernel produced invalid output for one case and the
+    solver transparently re-evaluated it with ``kernel="direct"``.
+
+    Structured fields (``where``, ``reason``, ``kernel``) let campaign
+    drivers log exactly which case degraded without parsing the message.
+    """
+
+    def __init__(self, where: str, reason: str, kernel: str = "spectral") -> None:
+        self.where = where
+        self.reason = reason
+        self.kernel = kernel
+        super().__init__(
+            f"{where}: the {kernel!r} kernel produced {reason}; "
+            "re-evaluating with kernel='direct'"
+        )
 
 
 def _conv_truncate(a: np.ndarray, b: np.ndarray, n: int) -> np.ndarray:
@@ -142,6 +161,7 @@ class TransformSolver:
         ]
         self._transfer_cache: Dict[Tuple[int, int, int], Tuple[Optional[Hashable], GridMass]] = {}
         self._finish_cache: Dict[Hashable, GridMass] = {}
+        self._fallback: Optional["TransformSolver"] = None
         self._deadline_weight_cache: Dict[float, np.ndarray] = {}
         self._failure_sf: List[Optional[np.ndarray]] = [None] * model.n
         for k in range(model.n):
@@ -628,6 +648,8 @@ class TransformSolver:
             else:
                 w = self._deadline_weights(deadline)
                 prob *= float(mass.mass @ (sf_y * w))
+        if math.isnan(prob):
+            return math.nan  # min() below would silently mask a NaN as 1.0
         return min(prob, 1.0)
 
     def reliability(self, loads: Sequence[int], policy: ReallocationPolicy) -> float:
@@ -641,7 +663,72 @@ class TransformSolver:
                 continue  # a reliable server always finishes
             mass = self.finish_time_mass(a)
             prob *= float(mass.mass @ sf_y)
+        if math.isnan(prob):
+            return math.nan  # min() below would silently mask a NaN as 1.0
         return min(prob, 1.0)
+
+    # ------------------------------------------------------------------
+    # graceful degradation: spectral -> direct kernel fallback
+    # ------------------------------------------------------------------
+    def _direct_fallback(self) -> Optional["TransformSolver"]:
+        """Lazily built twin solver with ``kernel="direct"`` (shared cache).
+
+        Cache keys include the kernel, so the twin never reads poisoned
+        spectral entries.  Returns ``None`` when *this* solver is already
+        the direct one — there is nothing left to fall back to.
+        """
+        if self.kernel == "direct":
+            return None
+        if self._fallback is None:
+            self._fallback = TransformSolver(
+                self.model,
+                self.grid,
+                batch_mode=self.batch_mode,
+                cache=self.cache,
+                kernel="direct",
+            )
+        return self._fallback
+
+    @staticmethod
+    def _value_defect(metric: Metric, value: float) -> Optional[str]:
+        """Why ``value`` is unusable as a metric value, or ``None`` if fine."""
+        if not math.isfinite(value):
+            return f"a non-finite value ({value!r})"
+        if metric is Metric.AVG_EXECUTION_TIME:
+            if value < 0.0:
+                return f"a negative execution time ({value!r})"
+        elif not (-1e-9 <= value <= 1.0 + 1e-9):
+            return f"an out-of-range probability ({value!r})"
+        return None
+
+    @staticmethod
+    def _surface_defect(metric: Metric, surface: np.ndarray) -> Optional[str]:
+        """Why ``surface`` is unusable as a metric surface, or ``None``."""
+        if not np.all(np.isfinite(surface)):
+            return "non-finite surface entries"
+        if metric is Metric.AVG_EXECUTION_TIME:
+            if np.any(surface < 0.0):
+                return "negative execution times"
+        elif np.any(surface < -1e-9) or np.any(surface > 1.0 + 1e-9):
+            return "out-of-range probabilities"
+        return None
+
+    def _evaluate_value(
+        self,
+        metric: Metric,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        deadline: Optional[float],
+    ) -> float:
+        if metric is Metric.AVG_EXECUTION_TIME:
+            return self.average_execution_time(loads, policy)
+        if metric is Metric.QOS:
+            if deadline is None:
+                raise ValueError("QoS evaluation needs a deadline")
+            return self.qos(loads, policy, deadline)
+        if metric is Metric.RELIABILITY:
+            return self.reliability(loads, policy)
+        raise ValueError(f"unknown metric {metric}")  # pragma: no cover
 
     def evaluate(
         self,
@@ -650,17 +737,29 @@ class TransformSolver:
         policy: ReallocationPolicy,
         deadline: Optional[float] = None,
     ) -> MetricValue:
-        """Uniform entry point used by the optimizers."""
-        if metric is Metric.AVG_EXECUTION_TIME:
-            value = self.average_execution_time(loads, policy)
-        elif metric is Metric.QOS:
-            if deadline is None:
-                raise ValueError("QoS evaluation needs a deadline")
-            value = self.qos(loads, policy, deadline)
-        elif metric is Metric.RELIABILITY:
-            value = self.reliability(loads, policy)
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown metric {metric}")
+        """Uniform entry point used by the optimizers.
+
+        If the spectral kernel yields a non-finite or contract-violating
+        value for this case, a :class:`KernelFallbackWarning` is emitted and
+        the case is transparently recomputed with ``kernel="direct"`` so a
+        sweep never aborts on one bad case.
+        """
+        try:
+            value = self._evaluate_value(metric, loads, policy, deadline)
+            reason = self._value_defect(metric, value)
+        except _contracts.ContractViolation as exc:
+            reason = f"a contract violation ({exc})"
+        if reason is not None:
+            fallback = self._direct_fallback()
+            if fallback is None:
+                raise _contracts.ContractViolation(
+                    f"TransformSolver.evaluate: the 'direct' kernel produced {reason}"
+                )
+            warnings.warn(
+                KernelFallbackWarning("TransformSolver.evaluate", reason, self.kernel),
+                stacklevel=2,
+            )
+            return fallback.evaluate(metric, loads, policy, deadline=deadline)
         return MetricValue(metric=metric, value=value, method="transform", deadline=deadline)
 
     # ------------------------------------------------------------------
@@ -710,6 +809,38 @@ class TransformSolver:
             return np.zeros((len(l12s), len(l21s)))
         if min(l12s) < 0 or max(l12s) > m1 or min(l21s) < 0 or max(l21s) > m2:
             raise ValueError("lattice values must satisfy 0 <= L12 <= m1, 0 <= L21 <= m2")
+        try:
+            surface = self._lattice_surface(metric, m1, m2, l12s, l21s, deadline)
+            reason = self._surface_defect(metric, surface)
+        except _contracts.ContractViolation as exc:
+            reason = f"a contract violation ({exc})"
+        if reason is not None:
+            fallback = self._direct_fallback()
+            if fallback is None:
+                raise _contracts.ContractViolation(
+                    f"TransformSolver.evaluate_lattice: the 'direct' kernel "
+                    f"produced {reason}"
+                )
+            warnings.warn(
+                KernelFallbackWarning(
+                    "TransformSolver.evaluate_lattice", reason, self.kernel
+                ),
+                stacklevel=2,
+            )
+            return fallback.evaluate_lattice(
+                metric, loads, l12_values, l21_values, deadline=deadline
+            )
+        return surface
+
+    def _lattice_surface(
+        self,
+        metric: Metric,
+        m1: int,
+        m2: int,
+        l12s: List[int],
+        l21s: List[int],
+        deadline: Optional[float],
+    ) -> np.ndarray:
         key = self._lattice_key(metric, (m1, m2), l12s, l21s, deadline)
         if key is not None and self.cache is not None:
             surface = self.cache.get_or_create(

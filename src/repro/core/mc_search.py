@@ -185,7 +185,8 @@ class MCPolicySearch:
             if best_est is None or better(est, best_est):
                 best_alloc, best_est = alloc.copy(), est
 
-        assert best_alloc is not None and best_est is not None
+        if best_alloc is None or best_est is None:  # candidates is never empty
+            raise RuntimeError("MC policy search produced no candidate allocations")
         # pairwise hill climbing with shrinking steps
         for step in step_sizes:
             improved = True

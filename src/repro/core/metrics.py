@@ -56,13 +56,20 @@ class MetricValue:
 
 @dataclass(frozen=True)
 class MCEstimate:
-    """A Monte Carlo estimate with a 95% confidence interval."""
+    """A Monte Carlo estimate with a 95% confidence interval.
+
+    ``n_failures`` counts replications whose workload was irrecoverably
+    lost; ``n_censored`` counts replications a finite horizon cut short
+    without loss (they might still have completed) — keeping the two apart
+    stops "silent inf" ambiguity in downstream analyses.
+    """
 
     value: float
     ci_low: float
     ci_high: float
     n_samples: int
     n_failures: int = 0
+    n_censored: int = 0
 
     @property
     def half_width(self) -> float:

@@ -9,11 +9,14 @@ while still ending with an exhaustive scan of the refined neighbourhood.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._checkpoint import CheckpointStore
+from .._contracts import ContractViolation
 from .._parallel import fork_map, resolve_jobs
 from .metrics import Metric
 from .policy import ReallocationPolicy
@@ -121,16 +124,28 @@ class TwoServerOptimizer:
         if self.batched and hasattr(self.solver, "evaluate_lattice"):
             l12s = sorted({p[0] for p in missing})
             l21s = sorted({p[1] for p in missing})
-            surface = self.solver.evaluate_lattice(
-                metric, list(loads), l12s, l21s, deadline=deadline
-            )
-            idx12 = {v: i for i, v in enumerate(l12s)}
-            idx21 = {v: i for i, v in enumerate(l21s)}
-            for l12, l21 in missing:
-                self._cache[(metric, loads, l12, l21, deadline)] = float(
-                    surface[idx12[l12], idx21[l21]]
+            try:
+                surface = self.solver.evaluate_lattice(
+                    metric, list(loads), l12s, l21s, deadline=deadline
                 )
-            return
+            except (ContractViolation, ArithmeticError, ValueError) as exc:
+                # graceful degradation: a broken batched surface must not
+                # abort the search — the per-cell scan (with its own
+                # kernel fallback) still covers every pair
+                warnings.warn(
+                    f"batched lattice evaluation failed ({exc}); degrading "
+                    "to per-cell evaluation",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                idx12 = {v: i for i, v in enumerate(l12s)}
+                idx21 = {v: i for i, v in enumerate(l21s)}
+                for l12, l21 in missing:
+                    self._cache[(metric, loads, l12, l21, deadline)] = float(
+                        surface[idx12[l12], idx21[l21]]
+                    )
+                return
         if jobs <= 1:
             return
         values = fork_map(
@@ -230,6 +245,7 @@ def sweep_policies(
     deadline: Optional[float] = None,
     jobs: int = 1,
     batched: bool = True,
+    checkpoint: Optional[CheckpointStore] = None,
 ) -> np.ndarray:
     """Metric values over a policy grid — the raw data behind Figs. 1–3.
 
@@ -240,24 +256,55 @@ def sweep_policies(
     process doing vector work).  Otherwise ``jobs > 1`` evaluates the grid
     cells across worker processes (``jobs=0`` = all cores) with
     bit-identical results.
+
+    ``checkpoint`` (a :class:`~repro._checkpoint.CheckpointStore`) makes the
+    sweep resumable: the batched path snapshots the whole surface, the
+    per-cell path snapshots one ``L12`` row at a time, so a killed sweep
+    restarts from the last completed chunk with identical numerics (each
+    cell's value depends only on its policy, never on evaluation order).
     """
     if len(loads) != 2:
         raise ValueError("policy sweeps are defined for two servers")
+    l12s = [int(v) for v in l12_values]
+    l21s = [int(v) for v in l21_values]
     if batched and hasattr(solver, "evaluate_lattice"):
-        return solver.evaluate_lattice(
-            metric,
-            list(loads),
-            [int(v) for v in l12_values],
-            [int(v) for v in l21_values],
-            deadline=deadline,
+        if checkpoint is not None:
+            hit = checkpoint.get("surface")
+            if hit is not None:
+                return np.asarray(hit["values"], dtype=float)
+        surface = solver.evaluate_lattice(
+            metric, list(loads), l12s, l21s, deadline=deadline
         )
-    cells = [
-        (int(l12), int(l21)) for l12 in l12_values for l21 in l21_values
-    ]
+        if checkpoint is not None:
+            checkpoint.put("surface", {"values": np.asarray(surface).tolist()})
+        return surface
 
-    def value(k: int) -> float:
-        policy = ReallocationPolicy.two_server(*cells[k])
-        return solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+    def cell_value(l12: int, l21: int) -> float:
+        policy = ReallocationPolicy.two_server(l12, l21)
+        return float(
+            solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+        )
 
-    values = fork_map(value, len(cells), resolve_jobs(jobs))
-    return np.asarray(values).reshape(len(l12_values), len(l21_values))
+    if checkpoint is None:
+        cells = [(l12, l21) for l12 in l12s for l21 in l21s]
+        values = fork_map(
+            lambda k: cell_value(*cells[k]), len(cells), resolve_jobs(jobs)
+        )
+        return np.asarray(values).reshape(len(l12s), len(l21s))
+
+    rows: List[List[float]] = []
+    for i, l12 in enumerate(l12s):
+        label = f"row:{i}:{l12}"
+        hit = checkpoint.get(label)
+        if hit is not None:
+            rows.append([float(v) for v in hit["values"]])
+            continue
+        row = fork_map(
+            lambda k, _l12=l12: cell_value(_l12, l21s[k]),
+            len(l21s),
+            resolve_jobs(jobs),
+        )
+        row = [float(v) for v in row]
+        checkpoint.put(label, {"values": row})
+        rows.append(row)
+    return np.asarray(rows, dtype=float)

@@ -1,0 +1,14 @@
+"""Model-side fault injection: break the paper's Sec. II assumptions on
+purpose and measure how far the "optimal" DTR policies degrade.
+
+:class:`FaultPlan` is the serializable description (what to break, how
+hard, under which seed); :class:`FaultInjector` is its per-run realization,
+hooked into :class:`~repro.simulation.dcs.DCSSimulator` at explicit
+extension points.  ``FaultPlan.none()`` injects nothing and leaves the
+simulation bit-identical to a plain run.
+"""
+
+from .inject import FaultInjector
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan"]

@@ -1,0 +1,120 @@
+"""Per-run realization of a :class:`~repro.faults.plan.FaultPlan`.
+
+One :class:`FaultInjector` lives for exactly one ``DCSSimulator.run``.  It
+owns a dedicated random generator — decoupled from the simulation's own
+stream, so the *nominal* draws (service times, transfer delays, failure
+times) are identical with and without faults — plus the run-local
+bookkeeping the simulator needs to classify the outcome: how many tasks
+vanished in flight and how much duplicated work was added.
+
+Every hook is called at an explicit extension point of the simulator:
+
+* :meth:`transfer_delays` / :meth:`fn_delays` — lossy/duplicated/jittered
+  delivery of task groups and failure notices;
+* :meth:`extra_failure_time` — a mid-execution (non-``t=0``) permanent
+  failure per server;
+* :meth:`service_time` — transient straggler slowdown of one service draw;
+* :meth:`gossip_delay` — dropped or stale-delayed INFO gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful fault source for a single simulation run."""
+
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+        self.plan = plan
+        self.rng = rng
+        #: tasks that vanished in flight (lost groups) — any positive count
+        #: makes workload completion impossible (outcome ``FAILED``)
+        self.tasks_lost_in_flight = 0
+        #: redundant tasks added by duplicated deliveries that the run must
+        #: also serve before it counts as complete
+        self.extra_required = 0
+        #: per-channel event counters for structured campaign reporting
+        self.counters: Dict[str, int] = {
+            "group_lost": 0,
+            "group_duplicated": 0,
+            "fn_lost": 0,
+            "fn_duplicated": 0,
+            "midrun_failures": 0,
+            "stragglers": 0,
+            "gossip_dropped": 0,
+            "gossip_delayed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _jitter(self, mean: float) -> float:
+        if mean <= 0.0:
+            return 0.0
+        return float(self.rng.exponential(mean))
+
+    def _channel(
+        self, base: float, loss: float, duplicate: float, jitter: float, name: str
+    ) -> List[float]:
+        """Delivery delays for one packet on a lossy/dup/jittered channel.
+
+        Empty list = lost; a second entry = a duplicated delivery.
+        """
+        if loss > 0.0 and self.rng.random() < loss:
+            self.counters[f"{name}_lost"] += 1
+            return []
+        out = [base + self._jitter(jitter)]
+        if duplicate > 0.0 and self.rng.random() < duplicate:
+            self.counters[f"{name}_duplicated"] += 1
+            out.append(base + self._jitter(jitter))
+        return out
+
+    # ------------------------------------------------------------------
+    def transfer_delays(self, base: float) -> List[float]:
+        """Delivery delays of one task-group transfer (may be empty/doubled)."""
+        p = self.plan
+        return self._channel(base, p.group_loss, p.group_duplicate, p.group_jitter, "group")
+
+    def fn_delays(self, base: float) -> List[float]:
+        """Delivery delays of one failure-notice packet."""
+        p = self.plan
+        return self._channel(base, p.fn_loss, p.fn_duplicate, p.fn_jitter, "fn")
+
+    def extra_failure_time(self) -> Optional[float]:
+        """An additional permanent-failure time for one server, or ``None``.
+
+        Drawn ``Exp(midrun_failure_rate)`` — failures are no longer confined
+        to the ``t = 0`` age-zero sample the paper assumes.
+        """
+        rate = self.plan.midrun_failure_rate
+        if rate <= 0.0:
+            return None
+        self.counters["midrun_failures"] += 1
+        return float(self.rng.exponential(1.0 / rate))
+
+    def service_time(self, base: float) -> float:
+        """One service draw, transiently slowed down for a straggling server."""
+        p = self.plan
+        if p.straggler_prob > 0.0 and p.straggler_factor > 1.0:
+            if self.rng.random() < p.straggler_prob:
+                self.counters["stragglers"] += 1
+                return base * p.straggler_factor
+        return base
+
+    def gossip_delay(self, base: float) -> Optional[float]:
+        """Delivery delay of one INFO packet, or ``None`` when dropped."""
+        p = self.plan
+        if p.gossip_loss > 0.0 and self.rng.random() < p.gossip_loss:
+            self.counters["gossip_dropped"] += 1
+            return None
+        if p.gossip_stale > 0.0:
+            extra = self._jitter(p.gossip_stale)
+            if extra > 0.0:
+                self.counters["gossip_delayed"] += 1
+            return base + extra
+        return base

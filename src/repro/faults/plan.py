@@ -1,0 +1,148 @@
+"""Serializable, seeded description of the faults injected into a run.
+
+A :class:`FaultPlan` is pure data: which of the paper's Sec. II assumptions
+to break, and how hard.  The plan itself never draws randomness — the
+per-run :class:`~repro.faults.inject.FaultInjector` does, from its own
+generator — so a plan can be stored in JSON next to campaign results and
+replayed exactly.
+
+Fault taxonomy (each knob independently breaks one modelling assumption):
+
+==================== =====================================================
+``group_loss``        P(a task-group transfer vanishes in flight) — breaks
+                      reliable message passing; the workload can then never
+                      complete (outcome ``FAILED``).
+``group_duplicate``   P(a transfer is delivered twice); the duplicate adds
+                      redundant work the run must also serve.
+``group_jitter``      mean of an extra Exp-distributed delay added per
+                      delivery — reorders otherwise-ordered arrivals.
+``fn_loss`` /         the same three knobs for failure-notice packets
+``fn_duplicate`` /    (FN channel).
+``fn_jitter``
+``midrun_failure_rate`` rate of an extra Exp-distributed permanent failure
+                      per server — failures no longer sampled only at t=0.
+``straggler_prob``    P(a service draw is slowed down transiently),
+``straggler_factor``  multiplying that draw (>= 1).
+``gossip_loss``       P(an INFO gossip packet is dropped).
+``gossip_stale``      mean extra Exp delay per gossip packet (stale views).
+==================== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict
+
+__all__ = ["FaultPlan"]
+
+_PROB_FIELDS = (
+    "group_loss",
+    "group_duplicate",
+    "fn_loss",
+    "fn_duplicate",
+    "straggler_prob",
+    "gossip_loss",
+)
+_RATE_FIELDS = ("group_jitter", "fn_jitter", "midrun_failure_rate", "gossip_stale")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, and under which fault seed."""
+
+    seed: int = 0
+    group_loss: float = 0.0
+    group_duplicate: float = 0.0
+    group_jitter: float = 0.0
+    fn_loss: float = 0.0
+    fn_duplicate: float = 0.0
+    fn_jitter: float = 0.0
+    midrun_failure_rate: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 1.0
+    gossip_loss: float = 0.0
+    gossip_stale: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1], got {v}")
+        for name in _RATE_FIELDS:
+            v = getattr(self, name)
+            if v < 0.0:
+                raise ValueError(f"{name} must be non-negative, got {v}")
+        if self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1 (a slowdown), got {self.straggler_factor}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """The null plan: inject nothing (bit-identical to a plain run)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def standard(cls, seed: int = 0) -> "FaultPlan":
+        """A moderate all-channels plan, the default campaign base plan."""
+        return cls(
+            seed=seed,
+            group_loss=0.05,
+            group_duplicate=0.05,
+            group_jitter=2.0,
+            fn_loss=0.10,
+            fn_jitter=2.0,
+            midrun_failure_rate=1e-4,
+            straggler_prob=0.10,
+            straggler_factor=3.0,
+            gossip_loss=0.10,
+            gossip_stale=2.0,
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        if any(getattr(self, name) > 0.0 for name in _PROB_FIELDS if name != "straggler_prob"):
+            return False
+        if any(getattr(self, name) > 0.0 for name in _RATE_FIELDS):
+            return False
+        return not (self.straggler_prob > 0.0 and self.straggler_factor > 1.0)
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """The plan with every knob scaled by ``intensity`` (>= 0).
+
+        Probabilities scale linearly and clip at 1; rates/jitters scale
+        linearly; the straggler slowdown interpolates
+        ``1 + intensity * (factor - 1)``.  ``scaled(0)`` is the null plan,
+        ``scaled(1)`` is this plan.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be non-negative, got {intensity}")
+        updates: Dict[str, Any] = {
+            name: min(getattr(self, name) * intensity, 1.0) for name in _PROB_FIELDS
+        }
+        updates.update(
+            {name: getattr(self, name) * intensity for name in _RATE_FIELDS}
+        )
+        updates["straggler_factor"] = 1.0 + intensity * (self.straggler_factor - 1.0)
+        return replace(self, **updates)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips through :meth:`from_dict`)."""
+        out: Dict[str, Any] = {"type": "FaultPlan"}
+        out.update(asdict(self))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        payload = dict(data)
+        kind = payload.pop("type", "FaultPlan")
+        if kind != "FaultPlan":
+            raise ValueError(f"not a FaultPlan payload: type={kind!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {unknown}")
+        return cls(**payload)

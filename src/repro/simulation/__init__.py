@@ -7,7 +7,7 @@ substitutes for the paper's physical Internet testbed (DESIGN.md Sec. 4.5).
 """
 
 from .compare import PolicyComparison, compare_policies
-from .dcs import DCSSimulator, SimulationResult
+from .dcs import DCSSimulator, Outcome, SimulationResult
 from .estimator import (
     bernoulli_ci,
     estimate_average_execution_time,
@@ -31,6 +31,7 @@ __all__ = [
     "PolicyComparison",
     "compare_policies",
     "DCSSimulator",
+    "Outcome",
     "SimulationResult",
     "bernoulli_ci",
     "estimate_average_execution_time",

@@ -16,10 +16,26 @@ Implements exactly the stochastic semantics of Sec. II (assumptions A1/A2):
 
 The workload execution time is ``inf`` when any task is lost — a failed
 server held tasks or tasks were in flight toward it (paper Sec. II-B).
+:class:`SimulationResult.outcome` disambiguates the two ways a run can end
+without completing: ``FAILED`` (tasks irrecoverably lost) versus
+``CENSORED`` (the horizon cut a run that might still have finished).
+
+Fault injection
+---------------
+Each of the assumptions above can be broken on purpose through a
+:class:`~repro.faults.FaultPlan` (constructor argument or per-``run``
+override).  A non-null plan attaches a per-run
+:class:`~repro.faults.FaultInjector` at explicit extension points: group
+and FN deliveries become lossy/duplicated/jittered, servers may fail
+mid-execution (not only from the ``t = 0`` age-zero sample), service draws
+may straggle, and gossip may be dropped or delayed.  ``FaultPlan.none()``
+(or no plan) leaves the event flow and every random draw bit-identical to
+the plain simulator.
 """
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -28,11 +44,23 @@ import numpy as np
 
 from ..core.policy import ReallocationPolicy
 from ..core.system import DCSModel
+from ..faults import FaultInjector, FaultPlan
 from .events import EventKind, EventQueue, ScheduledEvent
 from .server import Server
 from .trace import Trace
 
-__all__ = ["SimulationResult", "DCSSimulator"]
+__all__ = ["Outcome", "SimulationResult", "DCSSimulator"]
+
+
+class Outcome(enum.Enum):
+    """How a simulated workload execution ended."""
+
+    #: every task (including duplicated work) was served
+    COMPLETED = "completed"
+    #: tasks were irrecoverably lost (dead server or lost in flight)
+    FAILED = "failed"
+    #: the horizon cut the run short with no loss — it might have finished
+    CENSORED = "censored"
 
 
 class _GossipViews:
@@ -77,6 +105,8 @@ class SimulationResult:
     failed_at: Tuple[Optional[float], ...]
     trace: Optional[Trace] = None
     tasks_arrived: Tuple[int, ...] = ()
+    outcome: Outcome = Outcome.COMPLETED
+    tasks_lost_in_flight: int = 0
 
     @property
     def total_served(self) -> int:
@@ -84,7 +114,7 @@ class SimulationResult:
 
     @property
     def total_lost(self) -> int:
-        return sum(self.tasks_lost)
+        return sum(self.tasks_lost) + self.tasks_lost_in_flight
 
     def meets_deadline(self, deadline: float) -> bool:
         """Whether the whole workload finished strictly before ``deadline``."""
@@ -102,13 +132,17 @@ class DCSSimulator:
         info_period: Optional[float] = None,
         rebalancer=None,
         horizon: float = math.inf,
+        faults: Optional[FaultPlan] = None,
     ):
         """``info_period`` turns on queue-length gossip: every server
         broadcasts its queue length periodically; packets travel with the
         network's control-message (FN) law.  ``rebalancer`` (a
         :class:`~repro.simulation.rebalance.Rebalancer`) additionally lets
         servers ship tasks at gossip receptions — the paper's general
-        run-time DTR, beyond the one-shot policy of its evaluation."""
+        run-time DTR, beyond the one-shot policy of its evaluation.
+        ``faults`` installs a default :class:`~repro.faults.FaultPlan` for
+        every run (overridable per ``run``); ``None`` or a null plan keeps
+        the paper's reliable semantics bit-for-bit."""
         if rebalancer is not None and info_period is None:
             raise ValueError("a rebalancer needs info_period gossip to act on")
         self.model = model
@@ -117,6 +151,7 @@ class DCSSimulator:
         self.info_period = info_period
         self.rebalancer = rebalancer
         self.horizon = horizon
+        self.faults = faults
         self.arrival_rates: Optional[np.ndarray] = None
         self.arrival_cap = 0
 
@@ -151,12 +186,15 @@ class DCSSimulator:
         policy: ReallocationPolicy,
         rng: np.random.Generator,
         horizon: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> SimulationResult:
         """One independent realization of the workload execution.
 
         ``horizon`` tightens (never loosens) the simulator's censoring
         horizon for this run — the estimators use it to bound QoS runs
         uniformly whether they construct the simulator or receive one.
+        ``faults`` overrides the simulator's default fault plan for this
+        run only.
         """
         model = self.model
         n = model.n
@@ -164,6 +202,17 @@ class DCSSimulator:
             raise ValueError(f"policy is for {policy.n} servers, model has {n}")
         residual = policy.residual_loads(loads)
         total_tasks = int(np.sum(loads))
+
+        plan = faults if faults is not None else self.faults
+        injector: Optional[FaultInjector] = None
+        if plan is not None and not plan.is_null:
+            # the fault stream is decoupled from the nominal stream: one
+            # entropy draw ties it to this replication, the plan seed makes
+            # distinct plans produce distinct faults for the same run
+            entropy = int(rng.integers(0, 2**31 - 1))
+            injector = FaultInjector(
+                plan, np.random.default_rng((entropy, plan.seed))
+            )
 
         servers = [
             Server(index=k, service_dist=model.service[k], queue=int(residual[k]))
@@ -183,7 +232,8 @@ class DCSSimulator:
                         ScheduledEvent(gap, EventKind.TASK_ARRIVAL, {"server": k})
                     )
 
-        # failures sampled at t = 0 (absolute, age zero)
+        # failures sampled at t = 0 (absolute, age zero) — plus, under a
+        # fault plan, an extra mid-execution failure clock per server
         for k in range(n):
             fdist = model.failure_of(k)
             if fdist is not None:
@@ -194,22 +244,25 @@ class DCSSimulator:
                         {"server": k},
                     )
                 )
+            if injector is not None:
+                extra = injector.extra_failure_time()
+                if extra is not None:
+                    queue.push(
+                        ScheduledEvent(
+                            extra,
+                            EventKind.SERVER_FAILURE,
+                            {"server": k, "midrun": True},
+                        )
+                    )
 
         # groups leave at t = 0
         for t in policy.transfers():
-            z = float(model.network.group_transfer(t.src, t.dst, t.size).sample(rng))
-            queue.push(
-                ScheduledEvent(
-                    z,
-                    EventKind.GROUP_ARRIVAL,
-                    {"src": t.src, "dst": t.dst, "size": t.size, "duration": z},
-                )
-            )
+            self._send_group(t.src, t.dst, t.size, 0.0, queue, rng, injector)
 
         # initial services
         for s in servers:
             if s.wants_to_serve:
-                self._begin_service(s, 0.0, queue, rng)
+                self._begin_service(s, 0.0, queue, rng, injector)
 
         # optional queue-length gossip + online rebalancing state
         views = None
@@ -225,6 +278,12 @@ class DCSSimulator:
                         {"src": k, "dst": None},
                     )
                 )
+
+        def required() -> int:
+            # duplicated deliveries add redundant work the run must serve
+            if injector is None:
+                return total_tasks
+            return total_tasks + injector.extra_required
 
         served = 0
         completion_time = math.inf
@@ -249,15 +308,17 @@ class DCSSimulator:
                 s.complete_service(now)
                 served += 1
                 trace.record(now, kind, **event.payload)
-                if served == total_tasks:
+                if served >= required():
                     completion_time = now
                     break
                 if s.wants_to_serve:
-                    self._begin_service(s, now, queue, rng)
+                    self._begin_service(s, now, queue, rng, injector)
             elif kind == EventKind.SERVER_FAILURE:
                 k = event.payload["server"]
                 s = servers[k]
-                if not s.alive:  # pragma: no cover - single failure per server
+                if not s.alive:
+                    # already dead: the t=0 sample and an injected mid-run
+                    # clock can both fire for the same server
                     continue
                 lost = s.fail(now)
                 trace.record(now, kind, server=k, tasks_lost=lost)
@@ -265,24 +326,35 @@ class DCSSimulator:
                     for j in range(n):
                         if j != k and servers[j].alive:
                             x = float(model.network.failure_notice(k, j).sample(rng))
-                            queue.push(
-                                ScheduledEvent(
-                                    now + x,
-                                    EventKind.FN_ARRIVAL,
-                                    {"src": k, "dst": j, "duration": x},
-                                )
+                            delays = (
+                                [x] if injector is None else injector.fn_delays(x)
                             )
-                if self._doomed(servers, queue):
+                            for xi in delays:
+                                queue.push(
+                                    ScheduledEvent(
+                                        now + xi,
+                                        EventKind.FN_ARRIVAL,
+                                        {"src": k, "dst": j, "duration": xi},
+                                    )
+                                )
+                if self._doomed(servers, injector):
                     break
             elif kind == EventKind.GROUP_ARRIVAL:
                 dst = event.payload["dst"]
                 s = servers[dst]
+                if not s.alive and event.payload.get("duplicate"):
+                    # a redundant copy stranded at a dead server is not a
+                    # loss — the original delivery decides the outcome
+                    # (duplicates exist only under an injector)
+                    if injector is not None:
+                        injector.extra_required -= event.payload["size"]
+                    continue
                 s.receive(event.payload["size"])
                 trace.record(now, kind, **event.payload)
                 if not s.alive:
                     break  # tasks stranded at a dead server: doomed
                 if s.wants_to_serve:
-                    self._begin_service(s, now, queue, rng)
+                    self._begin_service(s, now, queue, rng, injector)
             elif kind == EventKind.TASK_ARRIVAL:
                 k = event.payload["server"]
                 if sum(arrived) >= self.arrival_cap:
@@ -294,7 +366,7 @@ class DCSSimulator:
                 if not s.alive:
                     break  # the new task is stranded: doomed
                 if s.wants_to_serve:
-                    self._begin_service(s, now, queue, rng)
+                    self._begin_service(s, now, queue, rng, injector)
                 if sum(arrived) < self.arrival_cap and self.arrival_rates[k] > 0:
                     gap = rng.exponential(1.0 / self.arrival_rates[k])
                     queue.push(
@@ -308,13 +380,24 @@ class DCSSimulator:
                     views.mark_dead(event.payload["dst"], event.payload["src"])
             elif kind == EventKind.INFO_ARRIVAL:
                 if event.payload["dst"] is None:
-                    self._gossip_tick(event, servers, queue, rng, served, total_tasks)
+                    self._gossip_tick(
+                        event, servers, queue, rng, served, required(), injector
+                    )
                 else:
-                    self._gossip_deliver(event, servers, views, queue, rng, trace)
+                    self._gossip_deliver(
+                        event, servers, views, queue, rng, trace, injector
+                    )
             else:  # pragma: no cover - exhaustive kinds
                 raise ValueError(f"unknown event kind {kind}")
 
-        completed = served == total_tasks
+        lost_in_flight = injector.tasks_lost_in_flight if injector is not None else 0
+        completed = served >= required()
+        if completed:
+            outcome = Outcome.COMPLETED
+        elif any(s.tasks_lost > 0 for s in servers) or lost_in_flight > 0:
+            outcome = Outcome.FAILED
+        else:
+            outcome = Outcome.CENSORED
         return SimulationResult(
             completed=completed,
             completion_time=completion_time if completed else math.inf,
@@ -324,13 +407,22 @@ class DCSSimulator:
             failed_at=tuple(s.failed_at for s in servers),
             trace=trace if self.record_trace else None,
             tasks_arrived=tuple(arrived),
+            outcome=outcome,
+            tasks_lost_in_flight=lost_in_flight,
         )
 
     # ------------------------------------------------------------------
     def _begin_service(
-        self, server: Server, now: float, queue: EventQueue, rng: np.random.Generator
+        self,
+        server: Server,
+        now: float,
+        queue: EventQueue,
+        rng: np.random.Generator,
+        injector: Optional[FaultInjector],
     ) -> None:
         w = server.draw_service_time(rng)
+        if injector is not None:
+            w = injector.service_time(w)
         server.start_service(now)
         queue.push(
             ScheduledEvent(
@@ -340,6 +432,32 @@ class DCSSimulator:
             )
         )
 
+    def _send_group(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        now: float,
+        queue: EventQueue,
+        rng: np.random.Generator,
+        injector: Optional[FaultInjector],
+    ) -> None:
+        """Put a task group on the wire (lossy/duplicated under faults)."""
+        z = float(self.model.network.group_transfer(src, dst, size).sample(rng))
+        if injector is None:
+            delays = [z]
+        else:
+            delays = injector.transfer_delays(z)
+            if not delays:
+                injector.tasks_lost_in_flight += size
+            else:
+                injector.extra_required += size * (len(delays) - 1)
+        for copy_idx, zi in enumerate(delays):
+            payload = {"src": src, "dst": dst, "size": size, "duration": zi}
+            if copy_idx > 0:
+                payload["duplicate"] = True
+            queue.push(ScheduledEvent(now + zi, EventKind.GROUP_ARRIVAL, payload))
+
     def _gossip_tick(
         self,
         event: ScheduledEvent,
@@ -347,7 +465,8 @@ class DCSSimulator:
         queue: EventQueue,
         rng: np.random.Generator,
         served: int,
-        total_tasks: int,
+        required: int,
+        injector: Optional[FaultInjector],
     ) -> None:
         """A server broadcasts its queue length; then schedules the next tick."""
         src = event.payload["src"]
@@ -358,6 +477,11 @@ class DCSSimulator:
             if dst == src or not servers[dst].alive:
                 continue
             delay = float(self.model.network.failure_notice(src, dst).sample(rng))
+            if injector is not None:
+                delivered = injector.gossip_delay(delay)
+                if delivered is None:
+                    continue
+                delay = delivered
             queue.push(
                 ScheduledEvent(
                     now + delay,
@@ -370,7 +494,8 @@ class DCSSimulator:
                     },
                 )
             )
-        if served < total_tasks and now + self.info_period <= self.horizon:
+        doomed = injector is not None and injector.tasks_lost_in_flight > 0
+        if served < required and not doomed and now + self.info_period <= self.horizon:
             queue.push(
                 ScheduledEvent(
                     now + self.info_period,
@@ -387,6 +512,7 @@ class DCSSimulator:
         queue: EventQueue,
         rng: np.random.Generator,
         trace: Trace,
+        injector: Optional[FaultInjector],
     ) -> None:
         """A gossip packet lands: update the view, maybe rebalance."""
         src, dst = event.payload["src"], event.payload["dst"]
@@ -405,17 +531,12 @@ class DCSSimulator:
             actual = receiver.send_away(size)
             if actual <= 0:
                 continue
-            z = float(self.model.network.group_transfer(dst, to, actual).sample(rng))
             trace.record(now, EventKind.REBALANCE, src=dst, dst=to, size=actual)
-            queue.push(
-                ScheduledEvent(
-                    now + z,
-                    EventKind.GROUP_ARRIVAL,
-                    {"src": dst, "dst": to, "size": actual, "duration": z},
-                )
-            )
+            self._send_group(dst, to, actual, now, queue, rng, injector)
 
     @staticmethod
-    def _doomed(servers: List[Server], queue: EventQueue) -> bool:
+    def _doomed(servers: List[Server], injector: Optional[FaultInjector]) -> bool:
         """True when some tasks can never be served any more."""
+        if injector is not None and injector.tasks_lost_in_flight > 0:
+            return True
         return any(s.tasks_lost > 0 for s in servers)

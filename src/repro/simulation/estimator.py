@@ -24,7 +24,7 @@ from .._parallel import fork_map, resolve_jobs
 from ..core.metrics import MCEstimate, Metric
 from ..core.policy import ReallocationPolicy
 from ..core.system import DCSModel
-from .dcs import DCSSimulator, SimulationResult
+from .dcs import DCSSimulator, Outcome, SimulationResult
 
 __all__ = [
     "estimate_average_execution_time",
@@ -151,15 +151,25 @@ def estimate_qos(
     constructed here or supplied by the caller — the censoring horizon is
     applied per run, so both call paths have identical semantics (a
     caller-supplied simulator with an even tighter horizon keeps it).
+
+    The returned estimate separates the two ways a run can miss the
+    deadline without completing: ``n_failures`` counts runs whose workload
+    was irrecoverably lost (``Outcome.FAILED``), ``n_censored`` counts runs
+    the horizon cut short with no loss (``Outcome.CENSORED``) — previously
+    both were conflated into ``n_failures``.
     """
     sim = simulator or DCSSimulator(model)
     censor = deadline * 1.000001
 
     def outcome(result: SimulationResult) -> float:
-        # bit 0: deadline met; bit 1: run censored/failed before completion
-        return float(result.meets_deadline(deadline)) + 2.0 * float(
-            not result.completed
-        )
+        # bit 0: deadline met; bit 1: workload lost to failure;
+        # bit 2: censored by the horizon (might still have finished)
+        code = int(result.meets_deadline(deadline))
+        if result.outcome is Outcome.FAILED:
+            code |= 2
+        elif result.outcome is Outcome.CENSORED:
+            code |= 4
+        return float(code)
 
     outcomes = _replicate(
         sim, loads, policy, n_reps, rng, jobs, outcome, horizon=censor
@@ -168,9 +178,17 @@ def estimate_qos(
     # encoded outcome is exactly the drift RL001 exists to catch
     codes = outcomes.astype(np.int64)
     hits = int((codes & 1).sum())
-    failures = int((codes >= 2).sum())
+    failures = int(((codes & 2) != 0).sum())
+    censored = int(((codes & 4) != 0).sum())
     est = bernoulli_ci(hits, n_reps)
-    return MCEstimate(est.value, est.ci_low, est.ci_high, n_reps, n_failures=failures)
+    return MCEstimate(
+        est.value,
+        est.ci_low,
+        est.ci_high,
+        n_reps,
+        n_failures=failures,
+        n_censored=censored,
+    )
 
 
 def estimate_reliability(
@@ -184,13 +202,24 @@ def estimate_reliability(
 ) -> MCEstimate:
     """MC estimate of ``R_inf = P(all tasks served)``."""
     sim = simulator or DCSSimulator(model)
-    completed = _replicate(
-        sim, loads, policy, n_reps, rng, jobs, lambda r: float(r.completed)
-    )
-    hits = int(completed.sum())
+
+    def outcome(result: SimulationResult) -> float:
+        if result.outcome is Outcome.COMPLETED:
+            return 1.0
+        return 2.0 if result.outcome is Outcome.FAILED else 3.0
+
+    codes = _replicate(
+        sim, loads, policy, n_reps, rng, jobs, outcome
+    ).astype(np.int64)
+    hits = int((codes == 1).sum())
     est = bernoulli_ci(hits, n_reps)
     return MCEstimate(
-        est.value, est.ci_low, est.ci_high, n_reps, n_failures=n_reps - hits
+        est.value,
+        est.ci_low,
+        est.ci_high,
+        n_reps,
+        n_failures=int((codes == 2).sum()),
+        n_censored=int((codes == 3).sum()),
     )
 
 

@@ -1,0 +1,158 @@
+"""ResilienceCampaign: structure, fault-free limit, checkpoint/resume."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._checkpoint import CheckpointStore
+from repro._parallel import parallelism_available
+from repro.analysis.resilience import ResilienceCampaign
+from repro.core import ReallocationPolicy
+from repro.faults import FaultPlan
+
+from ..conftest import small_exp_model
+
+POLICIES = [
+    ("baseline", ReallocationPolicy.none(2)),
+    ("optimal", ReallocationPolicy.two_server(2, 1)),
+]
+
+
+def make_campaign(**overrides):
+    kwargs = dict(
+        model=small_exp_model(),
+        loads=[5, 3],
+        policies=POLICIES,
+        plan=FaultPlan.standard(seed=5),
+        deadline=60.0,
+        n_reps=24,
+        seed=17,
+    )
+    kwargs.update(overrides)
+    return ResilienceCampaign(**kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="deadline"):
+            make_campaign(deadline=0.0)
+        with pytest.raises(ValueError, match="replication"):
+            make_campaign(n_reps=0)
+        with pytest.raises(ValueError, match="policy"):
+            make_campaign(policies=[])
+        with pytest.raises(ValueError, match="unique"):
+            make_campaign(policies=[POLICIES[0], POLICIES[0]])
+
+    def test_rejects_empty_intensity_grid(self):
+        with pytest.raises(ValueError, match="intensity"):
+            make_campaign().run([])
+
+
+class TestReportStructure:
+    def test_one_cell_per_intensity_policy_pair(self):
+        report = make_campaign().run([0.0, 0.5])
+        assert len(report.cells) == 4
+        assert report.policies == ["baseline", "optimal"]
+        assert report.intensities == [0.0, 0.5]
+        for cell in report.cells:
+            assert cell.n_completed + cell.n_failed + cell.n_censored == cell.n_reps
+            assert 0.0 <= cell.r_tm <= cell.r_inf <= 1.0
+
+    def test_series_extracts_one_policy(self):
+        report = make_campaign().run([0.0, 1.0])
+        series = report.series("optimal")
+        assert series["intensity"] == [0.0, 1.0]
+        assert len(series["r_tm"]) == 2
+        with pytest.raises(KeyError):
+            report.series("unknown")
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = make_campaign().run([0.0])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["plan"]["type"] == "FaultPlan"
+        assert len(payload["cells"]) == 2
+
+
+class TestFaultFreeLimit:
+    def test_zero_intensity_on_a_reliable_model_always_completes(self):
+        report = make_campaign().run([0.0])
+        for cell in report.cells:
+            assert cell.r_inf == 1.0
+            assert cell.n_failed == 0
+            assert not math.isnan(cell.mean_completion)
+
+    def test_faults_degrade_the_transferring_policy(self):
+        # with certain group loss, every transferring run fails while the
+        # baseline (nothing on the wire) is untouched
+        campaign = make_campaign(plan=FaultPlan(group_loss=1.0))
+        report = campaign.run([1.0])
+        by_policy = {c.policy: c for c in report.cells}
+        assert by_policy["baseline"].r_inf == 1.0
+        assert by_policy["optimal"].r_inf == 0.0
+        assert by_policy["optimal"].n_failed == campaign.n_reps
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_identical(self):
+        a = make_campaign().run([0.0, 1.0]).to_dict()
+        b = make_campaign().run([0.0, 1.0]).to_dict()
+        assert a == b
+
+    @pytest.mark.skipif(not parallelism_available(), reason="needs fork")
+    def test_jobs_do_not_change_numbers(self):
+        serial = make_campaign(n_reps=96, jobs=1).run([1.0]).to_dict()
+        fanned = make_campaign(n_reps=96, jobs=2).run([1.0]).to_dict()
+        assert serial == fanned
+
+
+class TestCheckpointResume:
+    def test_key_tracks_campaign_inputs(self):
+        base = make_campaign().checkpoint_key([0.0, 1.0])
+        assert make_campaign().checkpoint_key([0.0, 1.0]) == base
+        assert make_campaign(seed=18).checkpoint_key([0.0, 1.0]) != base
+        assert make_campaign(n_reps=25).checkpoint_key([0.0, 1.0]) != base
+        assert make_campaign().checkpoint_key([0.0]) != base
+
+    def test_full_checkpointed_run_matches_plain_run(self, tmp_path):
+        campaign = make_campaign()
+        intensities = [0.0, 1.0]
+        reference = campaign.run(intensities).to_dict()
+        store = CheckpointStore(
+            str(tmp_path / "c.ckpt"), campaign.checkpoint_key(intensities)
+        )
+        checkpointed = campaign.run(intensities, checkpoint=store).to_dict()
+        assert checkpointed == reference
+        assert len(store) == 4
+
+    def test_interrupted_campaign_resumes_to_identical_results(self, tmp_path):
+        campaign = make_campaign()
+        intensities = [0.0, 0.5, 1.0]
+        key = campaign.checkpoint_key(intensities)
+        reference = campaign.run(intensities).to_dict()
+
+        # full run recorded to one store ...
+        done = CheckpointStore(str(tmp_path / "full.ckpt"), key)
+        campaign.run(intensities, checkpoint=done)
+        # ... emulate a mid-run kill: only the first 2 of 6 cells survived
+        partial_path = str(tmp_path / "partial.ckpt")
+        partial = CheckpointStore(partial_path, key)
+        for label in done.labels[:2]:
+            partial.put(label, done.get(label))
+
+        resumed_store = CheckpointStore(partial_path, key, resume=True)
+        assert len(resumed_store) == 2
+        resumed = campaign.run(intensities, checkpoint=resumed_store).to_dict()
+        assert resumed == reference
+        assert len(resumed_store) == 6
+
+    def test_stale_checkpoint_from_other_inputs_is_recomputed(self, tmp_path):
+        campaign = make_campaign()
+        path = str(tmp_path / "c.ckpt")
+        # a checkpoint written under a different key must not be resumed
+        CheckpointStore(path, "other-key").put("cell:0:baseline", {"values": [0.0]})
+        store = CheckpointStore(path, campaign.checkpoint_key([0.0]), resume=True)
+        report = campaign.run([0.0], checkpoint=store)
+        assert report.cells[0].n_reps == campaign.n_reps

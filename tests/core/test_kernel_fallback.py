@@ -1,0 +1,181 @@
+"""Graceful solver degradation: spectral -> direct kernel fallback and the
+optimizers' batched -> per-cell degradation, none of which may abort a sweep."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._contracts import ContractViolation
+from repro.core import (
+    Algorithm1,
+    KernelFallbackWarning,
+    Metric,
+    TransformSolver,
+    TwoServerOptimizer,
+    sweep_policies,
+)
+from repro.core.policy import ReallocationPolicy
+
+from ..conftest import small_exp_model
+
+LOADS = [5, 3]
+
+
+def make_solver(kernel="spectral"):
+    # cache=None: poisoned spectral results must never leak into the
+    # process-wide cache other tests read
+    return TransformSolver.for_workload(
+        small_exp_model(with_failures=True), LOADS, dt=0.05, cache=None, kernel=kernel
+    )
+
+
+@pytest.fixture
+def poisoned_values(monkeypatch):
+    """Make every *spectral* scalar evaluation return NaN (direct untouched)."""
+    real = TransformSolver._evaluate_value
+
+    def poisoned(self, metric, loads, policy, deadline):
+        if self.kernel == "spectral":
+            return math.nan
+        return real(self, metric, loads, policy, deadline)
+
+    monkeypatch.setattr(TransformSolver, "_evaluate_value", poisoned)
+
+
+@pytest.fixture
+def poisoned_surfaces(monkeypatch):
+    """Make every *spectral* lattice surface raise a contract violation."""
+    real = TransformSolver._lattice_surface
+
+    def poisoned(self, metric, m1, m2, l12s, l21s, deadline):
+        if self.kernel == "spectral":
+            raise ContractViolation("poisoned spectral surface")
+        return real(self, metric, m1, m2, l12s, l21s, deadline)
+
+    monkeypatch.setattr(TransformSolver, "_lattice_surface", poisoned)
+
+
+class TestEvaluateFallback:
+    def test_nan_value_falls_back_to_the_direct_kernel(self, poisoned_values):
+        policy = ReallocationPolicy.two_server(2, 1)
+        reference = make_solver("direct").evaluate(Metric.RELIABILITY, LOADS, policy)
+        with pytest.warns(KernelFallbackWarning):
+            value = make_solver().evaluate(Metric.RELIABILITY, LOADS, policy)
+        assert value.value == reference.value
+        assert 0.0 <= value.value <= 1.0
+
+    def test_warning_carries_structured_fields(self, poisoned_values):
+        policy = ReallocationPolicy.two_server(2, 1)
+        with pytest.warns(KernelFallbackWarning) as caught:
+            make_solver().evaluate(Metric.RELIABILITY, LOADS, policy)
+        w = caught[0].message
+        assert w.where == "TransformSolver.evaluate"
+        assert w.kernel == "spectral"
+        assert "non-finite" in w.reason
+
+    def test_direct_kernel_defect_raises_instead_of_looping(self, monkeypatch):
+        monkeypatch.setattr(
+            TransformSolver,
+            "_evaluate_value",
+            lambda self, metric, loads, policy, deadline: math.nan,
+        )
+        policy = ReallocationPolicy.two_server(2, 1)
+        with pytest.raises(ContractViolation, match="direct"):
+            with pytest.warns(KernelFallbackWarning):
+                make_solver().evaluate(Metric.RELIABILITY, LOADS, policy)
+
+    def test_healthy_solver_emits_no_warning(self):
+        import warnings as _warnings
+
+        policy = ReallocationPolicy.two_server(2, 1)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", KernelFallbackWarning)
+            make_solver().evaluate(Metric.RELIABILITY, LOADS, policy)
+
+
+class TestLatticeFallback:
+    def test_contract_violation_falls_back_to_the_direct_surface(
+        self, poisoned_surfaces
+    ):
+        l12s, l21s = [0, 1, 2], [0, 1]
+        reference = make_solver("direct").evaluate_lattice(
+            Metric.RELIABILITY, LOADS, l12s, l21s
+        )
+        with pytest.warns(KernelFallbackWarning) as caught:
+            surface = make_solver().evaluate_lattice(
+                Metric.RELIABILITY, LOADS, l12s, l21s
+            )
+        np.testing.assert_array_equal(surface, reference)
+        w = caught[0].message
+        assert w.where == "TransformSolver.evaluate_lattice"
+        assert "contract violation" in w.reason
+
+
+class BrokenLatticeSolver:
+    """Per-policy evaluation works; the batched surface always explodes."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.lattice_calls = 0
+
+    def evaluate(self, metric, loads, policy, deadline=None):
+        return self._inner.evaluate(metric, loads, policy, deadline=deadline)
+
+    def evaluate_lattice(self, *args, **kwargs):
+        self.lattice_calls += 1
+        raise ContractViolation("poisoned batched surface")
+
+
+class TestOptimizerDegradation:
+    def test_optimizer_degrades_to_per_cell_and_finds_the_same_optimum(self):
+        inner = make_solver("direct")
+        reference = TwoServerOptimizer(inner, batched=False).optimize(
+            Metric.RELIABILITY, LOADS
+        )
+        broken = BrokenLatticeSolver(inner)
+        with pytest.warns(RuntimeWarning, match="degrading to per-cell"):
+            degraded = TwoServerOptimizer(broken).optimize(Metric.RELIABILITY, LOADS)
+        assert broken.lattice_calls > 0
+        assert (degraded.l12, degraded.l21) == (reference.l12, reference.l21)
+        assert degraded.value == reference.value
+
+    def test_sweep_is_not_aborted_by_a_poisoned_spectral_surface(
+        self, poisoned_surfaces
+    ):
+        l12s, l21s = [0, 1, 2], [0, 1, 2, 3]
+        reference = sweep_policies(
+            make_solver("direct"), Metric.RELIABILITY, LOADS, l12s, l21s
+        )
+        with pytest.warns(KernelFallbackWarning):
+            surface = sweep_policies(
+                make_solver(), Metric.RELIABILITY, LOADS, l12s, l21s
+            )
+        np.testing.assert_array_equal(surface, reference)
+
+
+class TestAlgorithm1Degradation:
+    def test_broken_batched_candidates_degrade_to_per_point(self):
+        model = small_exp_model(with_failures=True)
+        factory_calls = []
+
+        def broken_factory(pair_model, total_tasks):
+            solver = BrokenLatticeSolver(
+                TransformSolver.for_workload(
+                    pair_model, [total_tasks, total_tasks], dt=0.05,
+                    cache=None, kernel="direct",
+                )
+            )
+            factory_calls.append(solver)
+            return solver
+
+        algo = Algorithm1(
+            model,
+            Metric.RELIABILITY,
+            max_iterations=1,
+            pair_solver_factory=broken_factory,
+        )
+        with pytest.warns(RuntimeWarning, match="degrading to per-point"):
+            result = algo.run(LOADS)
+        assert any(s.lattice_calls > 0 for s in factory_calls)
+        assert result.policy.matrix.shape == (2, 2)

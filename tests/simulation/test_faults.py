@@ -1,0 +1,262 @@
+"""Fault-injection semantics: plans, injectors, simulator integration."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DCSModel, ReallocationPolicy, ZeroDelayNetwork
+from repro.distributions import Deterministic
+from repro.faults import FaultInjector, FaultPlan
+from repro.simulation import DCSSimulator, Outcome, estimate_qos, estimate_reliability
+
+from ..conftest import small_exp_model
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: validation, scaling, serialization
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError, match="group_loss"):
+            FaultPlan(group_loss=1.5)
+        with pytest.raises(ValueError, match="fn_duplicate"):
+            FaultPlan(fn_duplicate=-0.1)
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="midrun_failure_rate"):
+            FaultPlan(midrun_failure_rate=-1.0)
+
+    def test_straggler_factor_must_be_a_slowdown(self):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_null_plan_detection(self):
+        assert FaultPlan.none().is_null
+        assert not FaultPlan.standard().is_null
+        # a straggler probability with factor 1 slows nothing down
+        assert FaultPlan(straggler_prob=0.5, straggler_factor=1.0).is_null
+        assert not FaultPlan(straggler_prob=0.5, straggler_factor=2.0).is_null
+
+    def test_scaled_zero_is_null_and_scaled_one_is_identity(self):
+        plan = FaultPlan.standard(seed=3)
+        assert plan.scaled(0.0).is_null
+        assert plan.scaled(1.0) == plan
+
+    def test_scaled_clips_probabilities(self):
+        plan = FaultPlan(group_loss=0.8)
+        assert plan.scaled(2.0).group_loss == 1.0
+        assert plan.scaled(2.0).seed == plan.seed
+
+    def test_scaled_rejects_negative_intensity(self):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultPlan.standard().scaled(-0.5)
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.standard(seed=11)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = FaultPlan.none().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            FaultPlan.from_dict(payload)
+
+    def test_from_dict_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="type"):
+            FaultPlan.from_dict({"type": "SomethingElse"})
+
+
+# ----------------------------------------------------------------------
+# FaultInjector: per-channel hooks
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def make(self, plan, seed=0):
+        return FaultInjector(plan, np.random.default_rng(seed))
+
+    def test_certain_loss_drops_the_group(self):
+        inj = self.make(FaultPlan(group_loss=1.0))
+        assert inj.transfer_delays(2.0) == []
+        assert inj.counters["group_lost"] == 1
+
+    def test_certain_duplication_doubles_the_delivery(self):
+        inj = self.make(FaultPlan(group_duplicate=1.0))
+        delays = inj.transfer_delays(2.0)
+        assert len(delays) == 2
+        assert all(d == 2.0 for d in delays)
+        assert inj.counters["group_duplicated"] == 1
+
+    def test_jitter_only_adds_delay(self):
+        inj = self.make(FaultPlan(fn_jitter=1.0))
+        (delay,) = inj.fn_delays(3.0)
+        assert delay >= 3.0
+
+    def test_straggler_multiplies_the_service_draw(self):
+        inj = self.make(FaultPlan(straggler_prob=1.0, straggler_factor=3.0))
+        assert inj.service_time(2.0) == pytest.approx(6.0)
+        assert inj.counters["stragglers"] == 1
+
+    def test_no_midrun_failure_without_a_rate(self):
+        inj = self.make(FaultPlan.none())
+        assert inj.extra_failure_time() is None
+
+    def test_midrun_failure_time_drawn_from_the_rate(self):
+        inj = self.make(FaultPlan(midrun_failure_rate=2.0))
+        t = inj.extra_failure_time()
+        assert t is not None and t > 0.0
+        assert inj.counters["midrun_failures"] == 1
+
+    def test_gossip_drop_and_stale_delay(self):
+        inj = self.make(FaultPlan(gossip_loss=1.0))
+        assert inj.gossip_delay(1.0) is None
+        inj = self.make(FaultPlan(gossip_stale=2.0))
+        delayed = inj.gossip_delay(1.0)
+        assert delayed is not None and delayed >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: a null plan must change nothing at all
+# ----------------------------------------------------------------------
+def _run_pair(seed, plan):
+    """(plain, faulted) results for identical seeds, traces enabled."""
+    model = small_exp_model(with_failures=True)
+    pol = ReallocationPolicy.two_server(2, 1)
+    plain = DCSSimulator(model, record_trace=True)
+    faulted = DCSSimulator(model, record_trace=True, faults=plan)
+    r0 = plain.run([5, 3], pol, np.random.default_rng(seed))
+    r1 = faulted.run([5, 3], pol, np.random.default_rng(seed))
+    return r0, r1
+
+
+def _assert_identical(r0, r1):
+    assert r0.completed == r1.completed
+    assert r0.completion_time == r1.completion_time
+    assert r0.tasks_served == r1.tasks_served
+    assert r0.tasks_lost == r1.tasks_lost
+    assert r0.busy_time == r1.busy_time
+    assert r0.failed_at == r1.failed_at
+    assert r0.outcome == r1.outcome
+    assert r0.tasks_lost_in_flight == r1.tasks_lost_in_flight
+    assert len(r0.trace) == len(r1.trace)
+    for a, b in zip(r0.trace, r1.trace):
+        assert (a.time, a.kind, a.payload) == (b.time, b.kind, b.payload)
+
+
+class TestNullPlanBitIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_null_plan_is_bit_identical(self, seed):
+        _assert_identical(*_run_pair(seed, FaultPlan.none()))
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_zero_intensity_scaled_plan_is_bit_identical(self, seed):
+        _assert_identical(*_run_pair(seed, FaultPlan.standard(seed=9).scaled(0.0)))
+
+    def test_per_run_override_beats_the_constructor_plan(self, rng):
+        model = small_exp_model()
+        pol = ReallocationPolicy.two_server(2, 1)
+        sim = DCSSimulator(model, faults=FaultPlan(group_loss=1.0))
+        # overriding with the null plan restores the reliable semantics
+        result = sim.run([5, 3], pol, rng, faults=FaultPlan.none())
+        assert result.outcome is Outcome.COMPLETED
+
+
+# ----------------------------------------------------------------------
+# Simulator integration: each channel visibly changes the outcome
+# ----------------------------------------------------------------------
+class TestInjectedOutcomes:
+    def test_certain_group_loss_fails_the_run(self, rng):
+        sim = DCSSimulator(small_exp_model(), faults=FaultPlan(group_loss=1.0))
+        result = sim.run([5, 3], ReallocationPolicy.two_server(2, 0), rng)
+        assert result.outcome is Outcome.FAILED
+        assert not result.completed
+        assert result.tasks_lost_in_flight == 2
+        assert result.completion_time == math.inf
+
+    def test_lossless_baseline_policy_is_immune_to_group_loss(self, rng):
+        # no transfers -> nothing on the wire -> nothing to lose
+        sim = DCSSimulator(small_exp_model(), faults=FaultPlan(group_loss=1.0))
+        result = sim.run([5, 3], ReallocationPolicy.none(2), rng)
+        assert result.outcome is Outcome.COMPLETED
+
+    def test_duplicated_group_adds_redundant_served_work(self, rng):
+        sim = DCSSimulator(
+            small_exp_model(), faults=FaultPlan(group_duplicate=1.0)
+        )
+        result = sim.run([5, 3], ReallocationPolicy.two_server(2, 0), rng)
+        assert result.outcome is Outcome.COMPLETED
+        # the duplicated 2-task group must also be served
+        assert result.total_served == 8 + 2
+
+    def test_midrun_failures_break_a_reliable_model(self, rng):
+        sim = DCSSimulator(
+            small_exp_model(), faults=FaultPlan(midrun_failure_rate=50.0)
+        )
+        result = sim.run([20, 20], ReallocationPolicy.none(2), rng)
+        assert result.outcome is Outcome.FAILED
+        assert sum(result.tasks_lost) > 0
+
+    def test_stragglers_stretch_a_deterministic_run(self, rng):
+        model = DCSModel(service=[Deterministic(2.0)], network=ZeroDelayNetwork())
+        plain = DCSSimulator(model)
+        slow = DCSSimulator(
+            model, faults=FaultPlan(straggler_prob=1.0, straggler_factor=3.0)
+        )
+        pol = ReallocationPolicy.none(1)
+        t_plain = plain.run([4], pol, np.random.default_rng(0)).completion_time
+        t_slow = slow.run([4], pol, np.random.default_rng(0)).completion_time
+        assert t_plain == pytest.approx(8.0)
+        assert t_slow == pytest.approx(24.0)
+
+    def test_horizon_cut_with_no_loss_is_censored(self, rng):
+        sim = DCSSimulator(small_exp_model())
+        result = sim.run([50, 50], ReallocationPolicy.none(2), rng, horizon=0.01)
+        assert result.outcome is Outcome.CENSORED
+        assert not result.completed
+        assert result.total_lost == 0
+
+    def test_gossip_loss_does_not_break_termination(self, rng):
+        sim = DCSSimulator(
+            small_exp_model(),
+            info_period=0.5,
+            faults=FaultPlan(gossip_loss=0.5, gossip_stale=1.0, seed=4),
+        )
+        result = sim.run([5, 3], ReallocationPolicy.none(2), rng)
+        assert result.outcome is Outcome.COMPLETED
+
+
+# ----------------------------------------------------------------------
+# Estimators: failure vs censoring separation
+# ----------------------------------------------------------------------
+class TestEstimatorOutcomeSeparation:
+    def test_failures_counted_separately(self):
+        model = small_exp_model()
+        sim = DCSSimulator(model, faults=FaultPlan(group_loss=1.0))
+        est = estimate_reliability(
+            model,
+            [5, 3],
+            ReallocationPolicy.two_server(2, 1),
+            n_reps=32,
+            rng=np.random.default_rng(0),
+            simulator=sim,
+        )
+        assert est.value == 0.0
+        assert est.n_failures == 32
+        assert est.n_censored == 0
+
+    def test_censoring_counted_separately(self):
+        model = small_exp_model()  # reliable: nothing can be lost
+        est = estimate_qos(
+            model,
+            [50, 50],
+            ReallocationPolicy.none(2),
+            deadline=0.01,
+            n_reps=32,
+            rng=np.random.default_rng(0),
+        )
+        assert est.value == 0.0
+        assert est.n_failures == 0
+        assert est.n_censored == 32

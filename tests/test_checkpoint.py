@@ -1,0 +1,82 @@
+"""CheckpointStore: atomic snapshots, key guarding, resume semantics."""
+
+import json
+
+import pytest
+
+from repro._checkpoint import CheckpointStore, checkpoint_key
+
+
+class TestCheckpointKey:
+    def test_deterministic_and_order_insensitive(self):
+        assert checkpoint_key({"a": 1, "b": [2, 3]}) == checkpoint_key(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_different_specs_differ(self):
+        assert checkpoint_key({"seed": 0}) != checkpoint_key({"seed": 1})
+
+
+class TestCheckpointStore:
+    def test_put_get_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(str(path), key="k1")
+        assert store.get("row:0") is None
+        store.put("row:0", {"values": [1.0, 2.5]})
+        assert store.get("row:0") == {"values": [1.0, 2.5]}
+        assert "row:0" in store
+        assert len(store) == 1
+
+    def test_snapshot_survives_a_new_process_view(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(str(path), key="k1").put("a", [1, 2])
+        resumed = CheckpointStore(str(path), key="k1", resume=True)
+        assert resumed.get("a") == [1, 2]
+        assert resumed.labels == ["a"]
+
+    def test_key_mismatch_discards_stale_entries(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(str(path), key="old-inputs").put("a", 1)
+        resumed = CheckpointStore(str(path), key="new-inputs", resume=True)
+        assert resumed.get("a") is None
+        assert len(resumed) == 0
+
+    def test_resume_false_ignores_the_disk_state(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(str(path), key="k1").put("a", 1)
+        fresh = CheckpointStore(str(path), key="k1", resume=False)
+        assert fresh.get("a") is None
+
+    def test_torn_file_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text('{"format": "repro-checkpoint-v1", "key": ', encoding="utf-8")
+        store = CheckpointStore(str(path), key="k1")
+        assert len(store) == 0
+        store.put("a", 1)  # and the store recovers by rewriting atomically
+        assert CheckpointStore(str(path), key="k1").get("a") == 1
+
+    def test_foreign_format_is_not_resumed(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(json.dumps({"format": "other", "entries": {"a": 1}}))
+        assert CheckpointStore(str(path), key="k1").get("a") is None
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(str(path), key="k1")
+        store.put("a", 1)
+        store.put("b", 2)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "run.ckpt"]
+        assert leftovers == []
+
+    def test_file_is_valid_json_with_format_and_key(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(str(path), key="k1").put("a", {"x": 1})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["format"] == "repro-checkpoint-v1"
+        assert data["key"] == "k1"
+        assert data["entries"] == {"a": {"x": 1}}
+
+    def test_missing_parent_directory_is_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.ckpt"
+        CheckpointStore(str(path), key="k1").put("a", 1)
+        assert path.exists()

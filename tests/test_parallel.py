@@ -1,11 +1,16 @@
-"""`fork_map` platform behavior: serial fallback where fork is unavailable."""
+"""`fork_map` behavior: serial fallback, resilient retries, nesting guard."""
 
+import os
 import warnings
 
 import pytest
 
 from repro import _parallel
-from repro._parallel import fork_map
+from repro._parallel import ExecutionPolicy, ForkMapError, fork_map
+
+needs_fork = pytest.mark.skipif(
+    not _parallel.parallelism_available(), reason="needs the fork start method"
+)
 
 
 @pytest.fixture
@@ -52,3 +57,132 @@ class TestSerialFallback:
 class TestForkPath:
     def test_results_in_index_order(self):
         assert fork_map(lambda i: 2 * i, 6, jobs=2) == [0, 2, 4, 6, 8, 10]
+
+
+@pytest.fixture
+def chaos(monkeypatch, tmp_path):
+    """Arm the worker-side fault injection (REPRO_CHAOS).
+
+    ``once=True`` (default) claims marker files so each fault fires a single
+    time — a retry then succeeds; ``once=False`` makes the fault permanent.
+    """
+
+    def arm(spec, once=True):
+        monkeypatch.setenv("REPRO_CHAOS", spec)
+        if once:
+            monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        else:
+            monkeypatch.delenv("REPRO_CHAOS_DIR", raising=False)
+
+    return arm
+
+
+@needs_fork
+class TestResilientPath:
+    def test_recovers_from_a_worker_crash(self, chaos):
+        chaos("crash:2")
+        out = fork_map(
+            lambda i: i * i, 5, jobs=2, timeout=60.0, retries=2, backoff=0.0
+        )
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_recovers_from_a_hung_worker(self, chaos):
+        chaos("hang:1")
+        out = fork_map(
+            lambda i: i + 10, 4, jobs=2, timeout=3.0, retries=2, backoff=0.0
+        )
+        assert out == [10, 11, 12, 13]
+
+    def test_recovers_from_crash_and_hang_in_one_batch(self, chaos):
+        chaos("crash:0,hang:3")
+        out = fork_map(
+            lambda i: 5 * i, 6, jobs=2, timeout=3.0, retries=3, backoff=0.0
+        )
+        assert out == [0, 5, 10, 15, 20, 25]
+
+    def test_exhausted_retries_raise_fork_map_error(self, chaos):
+        chaos("crash:0", once=False)  # no marker dir: the crash is permanent
+        with pytest.raises(ForkMapError) as exc_info:
+            fork_map(lambda i: i, 3, jobs=2, timeout=60.0, retries=1, backoff=0.0)
+        err = exc_info.value
+        assert 0 in err.indices
+        assert err.attempts == 2
+        assert err.last_error is not None
+
+    def test_fn_exceptions_propagate_without_retry(self):
+        def flaky(i):
+            if i == 1:
+                raise ValueError("bad item")
+            return i
+
+        with pytest.raises(ValueError, match="bad item"):
+            fork_map(flaky, 4, jobs=2, timeout=60.0, retries=3, backoff=0.0)
+
+    def test_resilient_results_match_fast_path(self):
+        fast = fork_map(lambda i: 3 * i - 1, 8, jobs=2)
+        resilient = fork_map(
+            lambda i: 3 * i - 1, 8, jobs=2, timeout=60.0, retries=1, backoff=0.0
+        )
+        assert resilient == fast
+
+
+class TestNestedGuard:
+    @needs_fork
+    def test_reentrant_fan_out_in_the_same_process_raises(self, monkeypatch):
+        monkeypatch.setattr(_parallel, "_PAYLOAD", lambda i: i)
+        monkeypatch.setattr(_parallel, "_PAYLOAD_PID", os.getpid())
+        with pytest.raises(RuntimeError, match="nested fork_map"):
+            fork_map(lambda i: i, 4, jobs=2)
+
+    @needs_fork
+    def test_inherited_payload_from_another_pid_degrades_serially(self, monkeypatch):
+        # a forked worker inherits the parent's payload slot copy-on-write;
+        # its own nested fork_map must run serially, not raise
+        monkeypatch.setattr(_parallel, "_PAYLOAD", lambda i: i)
+        monkeypatch.setattr(_parallel, "_PAYLOAD_PID", os.getpid() + 1)
+        assert fork_map(lambda i: 3 * i, 4, jobs=4) == [0, 3, 6, 9]
+
+    @needs_fork
+    def test_nested_call_from_a_real_worker_degrades_serially(self):
+        def outer(i):
+            return sum(fork_map(lambda j: i + j, 3, jobs=2))
+
+        expected = [sum(i + j for j in range(3)) for i in range(3)]
+        assert fork_map(outer, 3, jobs=2) == expected
+
+    def test_serial_paths_do_not_touch_the_payload_slot(self):
+        assert fork_map(lambda i: i, 4, jobs=1) == [0, 1, 2, 3]
+        assert _parallel._PAYLOAD is None
+        assert _parallel._PAYLOAD_PID is None
+
+
+class TestExecutionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backoff=-0.1)
+
+    def test_set_returns_previous_policy(self):
+        default = _parallel.get_execution_policy()
+        replacement = ExecutionPolicy(timeout=10.0, retries=2)
+        previous = _parallel.set_execution_policy(replacement)
+        try:
+            assert previous is default
+            assert _parallel.get_execution_policy() is replacement
+        finally:
+            _parallel.set_execution_policy(previous)
+        assert _parallel.get_execution_policy() is default
+
+    @needs_fork
+    def test_installed_policy_drives_the_resilient_path(self, chaos):
+        chaos("crash:1")
+        previous = _parallel.set_execution_policy(
+            ExecutionPolicy(timeout=60.0, retries=2, backoff=0.0)
+        )
+        try:
+            assert fork_map(lambda i: i, 4, jobs=2) == [0, 1, 2, 3]
+        finally:
+            _parallel.set_execution_policy(previous)

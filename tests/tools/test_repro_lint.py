@@ -462,6 +462,72 @@ class TestRL008:
 
 
 # ----------------------------------------------------------------------
+# RL009 — assert statements in shipped library code
+# ----------------------------------------------------------------------
+class TestRL009:
+    def test_fires_on_assert_in_library_code(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/core/mod.py",
+            """
+            def f(x):
+                assert x >= 0, "negative input"
+                return x
+            """,
+        )
+        assert rules_of(findings) == ["RL009"]
+        assert "python -O" in findings[0].message
+
+    def test_silent_on_explicit_raise(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/core/mod.py",
+            """
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative input")
+                return x
+            """,
+        )
+        assert findings == []
+
+    def test_test_files_are_exempt(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "tests/test_mod.py",
+            """
+            def test_f():
+                assert 1 + 1 == 2
+            """,
+        )
+        assert findings == []
+
+    def test_code_outside_the_package_is_exempt(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "benchmarks/bench_mod.py",
+            """
+            def f(x):
+                assert x >= 0
+                return x
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            "src/repro/core/mod.py",
+            """
+            def f(x):
+                assert x >= 0  # repro-lint: disable=RL009
+                return x
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # engine: suppressions, selection, syntax errors
 # ----------------------------------------------------------------------
 class TestEngine:

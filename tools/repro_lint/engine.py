@@ -69,6 +69,10 @@ class LintConfig:
     #: equality inside ``assert`` statements there — boundary/degenerate
     #: values are legitimate test oracles)
     test_dirs: Tuple[str, ...] = ("tests/",)
+    #: shipped-package directories where ``assert`` statements are banned
+    #: (RL009): ``python -O`` strips them, so invariants must go through
+    #: ``repro._contracts`` or plain ``raise``
+    no_assert_zones: Tuple[str, ...] = ("src/repro/",)
     #: directories scanned for Distribution subclasses by RL004 (cache
     #: aliasing only matters for shipped laws, not for test doubles)
     fingerprint_zones: Tuple[str, ...] = ("src/",)
@@ -140,6 +144,12 @@ class FileContext:
     @property
     def in_deterministic_zone(self) -> bool:
         return any(self.rel_path.startswith(d) for d in self.config.deterministic_zones)
+
+    @property
+    def in_no_assert_zone(self) -> bool:
+        return not self.is_test_file and any(
+            self.rel_path.startswith(d) for d in self.config.no_assert_zones
+        )
 
     @property
     def in_fingerprint_zone(self) -> bool:

@@ -14,6 +14,7 @@ from .rules import (
     rl006_silent_except,
     rl007_mutable_default,
     rl008_math_in_hot_path,
+    rl009_runtime_assert,
 )
 
 __all__ = ["FILE_RULES", "PROJECT_RULES", "ALL_RULES", "rule_catalogue"]
@@ -29,6 +30,7 @@ FILE_RULES: Dict[str, FileRule] = {
     "RL006": rl006_silent_except,
     "RL007": rl007_mutable_default,
     "RL008": rl008_math_in_hot_path,
+    "RL009": rl009_runtime_assert,
 }
 
 PROJECT_RULES: Dict[str, ProjectRule] = {

@@ -1,4 +1,4 @@
-"""Per-file AST rules RL001–RL003 and RL005–RL008.
+"""Per-file AST rules RL001–RL003 and RL005–RL009.
 
 Each rule is a function ``(FileContext) -> Iterable[Finding]``; registration
 happens in :mod:`repro_lint.registry`.  The cross-file fingerprint rule
@@ -21,6 +21,7 @@ __all__ = [
     "rl006_silent_except",
     "rl007_mutable_default",
     "rl008_math_in_hot_path",
+    "rl009_runtime_assert",
 ]
 
 
@@ -390,6 +391,32 @@ def rl008_math_in_hot_path(ctx: FileContext) -> Iterator[Finding]:
                 )
 
 
+# ----------------------------------------------------------------------
+# RL009 — assert statements in shipped library code
+# ----------------------------------------------------------------------
+def rl009_runtime_assert(ctx: FileContext) -> Iterator[Finding]:
+    """``assert`` statements in shipped library code (``src/repro``).
+
+    ``python -O`` strips asserts, so an invariant guarded by one silently
+    stops being checked in optimized deployments — the failure then
+    surfaces far from its cause (or not at all).  Raise an explicit
+    exception, or route opt-in invariants through ``repro._contracts``
+    (whose checks survive ``-O`` and are toggled at runtime).  Test code is
+    exempt: there ``assert`` is the assertion idiom.
+    """
+    if not ctx.in_no_assert_zone:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assert):
+            yield _finding(
+                ctx,
+                "RL009",
+                node,
+                "assert in shipped library code is stripped under python -O; "
+                "raise an explicit exception or use repro._contracts",
+            )
+
+
 def iter_all(ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover - debug aid
     """All per-file findings for one context (used interactively)."""
     for rule in (
@@ -400,5 +427,6 @@ def iter_all(ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover - debug
         rl006_silent_except,
         rl007_mutable_default,
         rl008_math_in_hot_path,
+        rl009_runtime_assert,
     ):
         yield from rule(ctx)
