@@ -79,6 +79,26 @@ class TwoServerOptimizer:
         self.batched = bool(batched)
         self._cache: Dict[Tuple[Metric, Tuple[int, int], int, int, Optional[float]], float] = {}
 
+    def _compute(
+        self,
+        metric: Metric,
+        loads: Tuple[int, int],
+        l12: int,
+        l21: int,
+        deadline: Optional[float],
+    ) -> float:
+        """Evaluate one lattice cell without touching the value cache.
+
+        This is the fork_map payload of :meth:`_prefetch`: workers must
+        stay side-effect free, because any write to ``self`` would land in
+        the forked copy and silently diverge between ``jobs=1`` and
+        ``jobs>1`` (RL012).
+        """
+        policy = ReallocationPolicy.two_server(l12, l21)
+        return float(
+            self.solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+        )
+
     def _value(
         self,
         metric: Metric,
@@ -89,10 +109,7 @@ class TwoServerOptimizer:
     ) -> float:
         key = (metric, loads, l12, l21, deadline)
         if key not in self._cache:
-            policy = ReallocationPolicy.two_server(l12, l21)
-            self._cache[key] = self.solver.evaluate(
-                metric, list(loads), policy, deadline=deadline
-            ).value
+            self._cache[key] = self._compute(metric, loads, l12, l21, deadline)
         return self._cache[key]
 
     def _prefetch(
@@ -149,7 +166,7 @@ class TwoServerOptimizer:
         if jobs <= 1:
             return
         values = fork_map(
-            lambda k: self._value(metric, loads, missing[k][0], missing[k][1], deadline),
+            lambda k: self._compute(metric, loads, missing[k][0], missing[k][1], deadline),
             len(missing),
             jobs,
         )

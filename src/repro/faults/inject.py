@@ -31,7 +31,7 @@ __all__ = ["FaultInjector"]
 class FaultInjector:
     """Stateful fault source for a single simulation run."""
 
-    def __init__(self, plan: FaultPlan, rng: np.random.Generator):
+    def __init__(self, plan: FaultPlan, rng: np.random.Generator) -> None:
         self.plan = plan
         self.rng = rng
         #: tasks that vanished in flight (lost groups) — any positive count

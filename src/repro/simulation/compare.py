@@ -18,7 +18,7 @@ import numpy as np
 from ..core.metrics import Metric
 from ..core.policy import ReallocationPolicy
 from ..core.system import DCSModel
-from .dcs import DCSSimulator
+from .dcs import DCSSimulator, SimulationResult
 
 __all__ = ["PolicyComparison", "compare_policies"]
 
@@ -64,7 +64,7 @@ class PolicyComparison:
         return "\n".join(lines)
 
 
-def _outcome(result, metric: Metric, deadline: Optional[float]) -> float:
+def _outcome(result: SimulationResult, metric: Metric, deadline: Optional[float]) -> float:
     if metric is Metric.AVG_EXECUTION_TIME:
         return result.completion_time
     if metric is Metric.QOS:

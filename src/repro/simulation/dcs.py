@@ -38,7 +38,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from ..faults import FaultInjector, FaultPlan
 from .events import EventKind, EventQueue, ScheduledEvent
 from .server import Server
 from .trace import Trace
+
+if TYPE_CHECKING:  # runtime import stays local to avoid an import cycle
+    from .rebalance import QueueView, Rebalancer
 
 __all__ = ["Outcome", "SimulationResult", "DCSSimulator"]
 
@@ -66,7 +69,7 @@ class Outcome(enum.Enum):
 class _GossipViews:
     """Per-server stale views assembled from received gossip packets."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = n
         self.reported = np.full((n, n), -1, dtype=np.int64)
         self.reported_at = np.full((n, n), -math.inf)
@@ -80,7 +83,7 @@ class _GossipViews:
     def mark_dead(self, receiver: int, about: int) -> None:
         self.believed_alive[receiver, about] = False
 
-    def view_for(self, me: int, own_queue: int):
+    def view_for(self, me: int, own_queue: int) -> "QueueView":
         from .rebalance import QueueView
 
         return QueueView(
@@ -130,10 +133,10 @@ class DCSSimulator:
         record_trace: bool = False,
         fn_broadcast: bool = True,
         info_period: Optional[float] = None,
-        rebalancer=None,
+        rebalancer: Optional["Rebalancer"] = None,
         horizon: float = math.inf,
         faults: Optional[FaultPlan] = None,
-    ):
+    ) -> None:
         """``info_period`` turns on queue-length gossip: every server
         broadcasts its queue length periodically; packets travel with the
         network's control-message (FN) law.  ``rebalancer`` (a
@@ -508,7 +511,7 @@ class DCSSimulator:
         self,
         event: ScheduledEvent,
         servers: List[Server],
-        views,
+        views: Optional[_GossipViews],
         queue: EventQueue,
         rng: np.random.Generator,
         trace: Trace,

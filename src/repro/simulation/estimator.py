@@ -71,7 +71,7 @@ def _mean_ci(samples: np.ndarray) -> MCEstimate:
     return MCEstimate(mean, mean - half, mean + half, n)
 
 
-def _spawn_streams(rng: np.random.Generator, n: int):
+def _spawn_streams(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
     """``n`` independent child generators (SeedSequence spawning)."""
     try:
         return rng.spawn(n)

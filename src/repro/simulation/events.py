@@ -47,7 +47,7 @@ class ScheduledEvent:
 class EventQueue:
     """A deterministic min-heap calendar (FIFO among equal timestamps)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: List[Tuple[float, int, ScheduledEvent]] = []
         self._counter = itertools.count()
 

@@ -59,6 +59,13 @@ class Rebalancer(abc.ABC):
         with (it never ships the task in service).
         """
 
+    def reset(self) -> None:
+        """Forget any per-run state (called between independent runs).
+
+        The base policy is stateless, so this is a no-op; stateful
+        subclasses (cooldowns, learned estimates) override it.
+        """
+
 
 class FairShareRebalancer(Rebalancer):
     """Continuous eq.-(5)-style balancing with hysteresis and cooldown."""
@@ -69,7 +76,7 @@ class FairShareRebalancer(Rebalancer):
         threshold: int = 2,
         cooldown: float = 0.0,
         max_fraction: float = 1.0,
-    ):
+    ) -> None:
         """``lam`` is the Λ criterion vector (e.g. processing speeds);
         transfers trigger only when the excess over the fair share exceeds
         ``threshold`` tasks, at most once per ``cooldown`` seconds, moving at

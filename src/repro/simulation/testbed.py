@@ -112,7 +112,7 @@ class EmulatedTestbed:
         nominal: DCSModel,
         rng: np.random.Generator,
         reality_perturbation: float = 0.03,
-    ):
+    ) -> None:
         """``nominal`` holds the laws the experimenter *believes*; the
         emulator's ground truth jitters every service law by
         ``reality_perturbation`` (log-normal mean factor)."""

@@ -22,11 +22,11 @@ class TraceRecord:
 class Trace:
     """An append-only event log with simple query helpers."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
 
-    def record(self, time: float, kind: EventKind, **payload) -> None:
+    def record(self, time: float, kind: EventKind, **payload: Any) -> None:
         if self.enabled:
             self._records.append(TraceRecord(time, kind, payload))
 
@@ -36,7 +36,7 @@ class Trace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
-    def __getitem__(self, i):
+    def __getitem__(self, i: int) -> TraceRecord:
         return self._records[i]
 
     def of_kind(self, kind: EventKind) -> List[TraceRecord]:

@@ -1,0 +1,532 @@
+"""Whole-program (``--flow``) rules: RL010–RL013 on synthetic projects.
+
+Each fixture is a miniature project laid out like the real repository
+(``src/repro/...``), so the extractor's module naming and the production
+sink/fork_map qualnames apply unchanged.  Supporting modules (the cache,
+checkpoint and parallel stand-ins) only need matching *names* — the flow
+analysis never imports the code it lints.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro_lint import LintConfig, lint_paths
+from repro_lint.flow import FlowOptions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: stand-ins giving fixtures the production sink / fan-out qualnames
+SUPPORT = {
+    "src/repro/__init__.py": "",
+    "src/repro/core/__init__.py": "",
+    "src/repro/core/cache.py": """
+        def fingerprint(payload):
+            return repr(payload)
+        """,
+    "src/repro/_checkpoint.py": """
+        def checkpoint_key(spec):
+            return repr(spec)
+        """,
+    "src/repro/_parallel.py": """
+        def fork_map(fn, n, jobs=1):
+            return [fn(i) for i in range(n)]
+        """,
+}
+
+
+def run_flow(tmp_path, files, select=None, flow=None):
+    for rel, source in {**SUPPORT, **files}.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    config = LintConfig(select=set(select) if select else None)
+    return lint_paths(
+        [str(tmp_path / "src")],
+        config,
+        root=tmp_path,
+        flow=flow or FlowOptions(),
+    )
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RL010 — nondeterminism reaching a fingerprint/serialization sink
+# ----------------------------------------------------------------------
+class TestRL010:
+    def test_clock_through_helper_reaches_fingerprint(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import time
+
+                from repro.core.cache import fingerprint
+
+                def stamp():
+                    return time.time()
+
+                def build_key(spec):
+                    return fingerprint({"spec": spec, "at": stamp()})
+                """
+            },
+            select={"RL010"},
+        )
+        assert rules_of(findings) == ["RL010"]
+        assert findings[0].path == "src/repro/app.py"
+        assert "wall-clock" in findings[0].message
+        assert "fingerprint" in findings[0].message
+
+    def test_deterministic_key_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.core.cache import fingerprint
+
+                def build_key(spec):
+                    return fingerprint({"spec": spec, "version": 2})
+                """
+            },
+            select={"RL010"},
+        )
+        assert findings == []
+
+    def test_unseeded_module_rng_reaches_sink(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                from repro.core.cache import fingerprint
+
+                _RNG = np.random.default_rng()
+
+                def jitter():
+                    return float(_RNG.normal())
+
+                def build_key(spec):
+                    return fingerprint((spec, jitter()))
+                """
+            },
+            select={"RL010"},
+        )
+        assert rules_of(findings) == ["RL010"]
+        assert "RNG" in findings[0].message
+
+    def test_seeded_module_rng_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                from repro.core.cache import fingerprint
+
+                _RNG = np.random.default_rng(1234)
+
+                def jitter():
+                    return float(_RNG.normal())
+
+                def build_key(spec):
+                    return fingerprint((spec, jitter()))
+                """
+            },
+            select={"RL010"},
+        )
+        assert findings == []
+
+    def test_set_iteration_order_reaches_checkpoint_key(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._checkpoint import checkpoint_key
+
+                def build(items):
+                    distinct = set(items)
+                    return checkpoint_key(list(distinct))
+                """
+            },
+            select={"RL010"},
+        )
+        assert rules_of(findings) == ["RL010"]
+        assert "order" in findings[0].message
+
+    def test_sorted_sanitizes_set_order(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._checkpoint import checkpoint_key
+
+                def build(items):
+                    distinct = set(items)
+                    return checkpoint_key(sorted(distinct))
+                """
+            },
+            select={"RL010"},
+        )
+        assert findings == []
+
+    def test_sorted_does_not_sanitize_rng(self, tmp_path):
+        # a sorted list of random numbers is still random
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                from repro.core.cache import fingerprint
+
+                _RNG = np.random.default_rng()
+
+                def build_key(n):
+                    draws = [float(_RNG.normal()) for _ in range(n)]
+                    return fingerprint(sorted(draws))
+                """
+            },
+            select={"RL010"},
+        )
+        assert rules_of(findings) == ["RL010"]
+
+    def test_forwarder_chain_is_named_in_the_message(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import time
+
+                from repro.core.cache import fingerprint
+
+                def forwarder(payload):
+                    return fingerprint(payload)
+
+                def build_key(spec):
+                    return forwarder((spec, time.monotonic()))
+                """
+            },
+            select={"RL010"},
+        )
+        assert rules_of(findings) == ["RL010"]
+        assert "forwarder" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# RL011 — fork_map payloads capturing unpicklable / shared-mutable state
+# ----------------------------------------------------------------------
+class TestRL011:
+    def test_captured_mutable_module_global(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                _BUF = []
+
+                def run():
+                    return fork_map(lambda i: (len(_BUF), i), 4, jobs=2)
+                """
+            },
+            select={"RL011"},
+        )
+        assert rules_of(findings) == ["RL011"]
+        assert "_BUF" in findings[0].message
+
+    def test_captured_open_file_handle(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                _LOG = open("run.log", "w")
+
+                def run():
+                    return fork_map(lambda i: _LOG.name, 4, jobs=2)
+                """
+            },
+            select={"RL011"},
+        )
+        assert rules_of(findings) == ["RL011"]
+        assert "file handle" in findings[0].message
+
+    def test_pure_payload_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                def run(scale):
+                    return fork_map(lambda i: scale * i, 4, jobs=2)
+                """
+            },
+            select={"RL011"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL012 — worker-side mutation of state shared with the parent
+# ----------------------------------------------------------------------
+class TestRL012:
+    def test_direct_mutation_of_module_global(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                _RESULTS = []
+
+                def run():
+                    fork_map(lambda i: _RESULTS.append(i), 4, jobs=2)
+                    return _RESULTS
+                """
+            },
+            select={"RL012"},
+        )
+        assert rules_of(findings) == ["RL012"]
+
+    def test_memoizing_method_payload_regression(self, tmp_path):
+        # mirrors the in-tree bug fixed in repro.core.optimize: the payload
+        # captured ``self`` and called a memoizing method whose cache write
+        # lands in the forked copy, silently diverging from jobs=1
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                class Grid:
+                    def __init__(self):
+                        self._cache = {}
+
+                    def _value(self, k):
+                        if k not in self._cache:
+                            self._cache[k] = k * k
+                        return self._cache[k]
+
+                    def prefetch(self, jobs):
+                        return fork_map(lambda k: self._value(k), 8, jobs)
+                """
+            },
+            select={"RL012"},
+        )
+        assert rules_of(findings) == ["RL012"]
+
+    def test_side_effect_free_compute_split_is_clean(self, tmp_path):
+        # the shape the in-tree fix adopted: a pure _compute payload, the
+        # memoizing wrapper stays parent-side
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                class Grid:
+                    def __init__(self):
+                        self._cache = {}
+
+                    def _compute(self, k):
+                        return k * k
+
+                    def prefetch(self, jobs):
+                        values = fork_map(lambda k: self._compute(k), 8, jobs)
+                        for k, v in enumerate(values):
+                            self._cache[k] = v
+                """
+            },
+            select={"RL012"},
+        )
+        assert findings == []
+
+    def test_worker_local_mutation_is_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                def work(i):
+                    local = []
+                    local.append(i * i)
+                    return local
+
+                def run():
+                    return fork_map(work, 4, jobs=2)
+                """
+            },
+            select={"RL012"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL013 — statically detectable nested fan-out
+# ----------------------------------------------------------------------
+class TestRL013:
+    def test_nested_fork_map_through_helper(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                def inner(n):
+                    return fork_map(lambda j: j * j, n, jobs=2)
+
+                def outer():
+                    return fork_map(lambda i: sum(inner(i)), 3, jobs=2)
+                """
+            },
+            select={"RL013"},
+        )
+        assert rules_of(findings) == ["RL013"]
+        assert "inner" in findings[0].message
+
+    def test_sequential_fan_outs_are_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                def run():
+                    first = fork_map(lambda i: i, 4, jobs=2)
+                    second = fork_map(lambda i: i * i, 4, jobs=2)
+                    return first, second
+                """
+            },
+            select={"RL013"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression comments interact with the project-wide rules
+# ----------------------------------------------------------------------
+class TestFlowSuppression:
+    def test_rl010_same_line_suppression(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import time
+
+                from repro.core.cache import fingerprint
+
+                def build_key(spec):
+                    return fingerprint((spec, time.time()))  # repro-lint: disable=RL010
+                """
+            },
+            select={"RL010"},
+        )
+        assert findings == []
+
+    def test_rl013_disable_next_line(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                def inner(n):
+                    return fork_map(lambda j: j, n, jobs=2)
+
+                def outer():
+                    # repro-lint: disable-next-line=RL013
+                    return fork_map(lambda i: sum(inner(i)), 3, jobs=2)
+                """
+            },
+            select={"RL013"},
+        )
+        assert findings == []
+
+    def test_wrong_rule_suppression_does_not_hide(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+
+                _RESULTS = []
+
+                def run():
+                    fork_map(lambda i: _RESULTS.append(i), 4, jobs=2)  # repro-lint: disable=RL010
+                    return _RESULTS
+                """
+            },
+            select={"RL012"},
+        )
+        assert rules_of(findings) == ["RL012"]
+
+    def test_select_and_ignore_gate_flow_rules(self, tmp_path):
+        files = {
+            "src/repro/app.py": """
+            from repro._parallel import fork_map
+
+            _RESULTS = []
+
+            def inner(n):
+                return fork_map(lambda j: j, n, jobs=2)
+
+            def run():
+                fork_map(lambda i: _RESULTS.append(i), 4, jobs=2)
+                return fork_map(lambda i: sum(inner(i)), 3, jobs=2)
+            """
+        }
+        only_012 = run_flow(tmp_path, files, select={"RL012"})
+        assert rules_of(only_012) == ["RL012"]
+        for rel, source in {**SUPPORT, **files}.items():
+            (tmp_path / rel).write_text(textwrap.dedent(source), encoding="utf-8")
+        no_013 = lint_paths(
+            [str(tmp_path / "src")],
+            LintConfig(select={"RL012", "RL013"}, ignore={"RL013"}),
+            root=tmp_path,
+            flow=FlowOptions(),
+        )
+        assert rules_of(no_013) == ["RL012"]
+
+
+# ----------------------------------------------------------------------
+# the repository satisfies its own whole-program rules
+# ----------------------------------------------------------------------
+def test_repository_is_flow_clean():
+    """`src/repro` (and the rest of the tree) is clean under RL010-13."""
+    findings = lint_paths(
+        ["src", "tests", "benchmarks", "tools", "examples"],
+        LintConfig(select={"RL010", "RL011", "RL012", "RL013"}),
+        root=REPO_ROOT,
+        flow=FlowOptions(),
+    )
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+    )
+
+
+def test_flow_analysis_is_fast_enough(tmp_path):
+    """Acceptance bound: cold < 10 s, cache-warm < 2 s on the full repo."""
+    import time
+
+    cache_dir = str(tmp_path / "flow-cache")
+    paths = ["src", "tests", "benchmarks", "tools", "examples"]
+    config = LintConfig(select={"RL010", "RL011", "RL012", "RL013"})
+
+    start = time.perf_counter()
+    lint_paths(paths, config, root=REPO_ROOT, flow=FlowOptions(cache_dir=cache_dir))
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lint_paths(paths, config, root=REPO_ROOT, flow=FlowOptions(cache_dir=cache_dir))
+    warm = time.perf_counter() - start
+
+    assert cold < 10.0, f"cold flow analysis took {cold:.2f}s"
+    assert warm < 2.0, f"warm flow analysis took {warm:.2f}s"

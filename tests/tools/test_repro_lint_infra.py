@@ -1,0 +1,238 @@
+"""Reporting infrastructure: baseline ratchet, SARIF, CLI, escaping."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro_lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro_lint.cli import _render
+from repro_lint.engine import Finding
+from repro_lint.sarif import render_sarif, to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def finding(rule="RL001", path="src/a.py", line=3, col=4, message="m"):
+    return Finding(rule=rule, path=path, line=line, col=col, message=message)
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip_suppresses_recorded_findings(self, tmp_path):
+        recorded = [finding(message="one"), finding(message="two")]
+        path = tmp_path / "baseline.json"
+        write_baseline(recorded, path)
+        new, suppressed, stale = apply_baseline(recorded, path)
+        assert new == []
+        assert suppressed == 2
+        assert stale == []
+
+    def test_new_findings_pass_through(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(message="old")], path)
+        fresh = finding(message="new")
+        new, suppressed, stale = apply_baseline(
+            [finding(message="old"), fresh], path
+        )
+        assert new == [fresh]
+        assert suppressed == 1
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        # two identical findings recorded; a third identical one is new
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(), finding()], path)
+        new, suppressed, _ = apply_baseline([finding(), finding(), finding()], path)
+        assert suppressed == 2
+        assert len(new) == 1
+
+    def test_fixed_findings_are_reported_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(message="fixed-since"), finding(message="kept")], path)
+        new, suppressed, stale = apply_baseline([finding(message="kept")], path)
+        assert new == []
+        assert suppressed == 1
+        assert stale == ["RL001|src/a.py|fixed-since"]
+
+    def test_line_numbers_do_not_churn_the_key(self, tmp_path):
+        # the same finding on a different line still matches the baseline
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3)], path)
+        new, suppressed, _ = apply_baseline([finding(line=99)], path)
+        assert new == []
+        assert suppressed == 1
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"format": "something-else", "entries": {}}')
+        try:
+            load_baseline(path)
+        except ValueError as exc:
+            assert "repro-lint-baseline-v1" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_file_is_deterministic_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(message="b"), finding(message="a")], path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        data = json.loads(text)
+        assert data["format"] == "repro-lint-baseline-v1"
+        assert list(data["entries"]) == sorted(data["entries"])
+
+
+# ----------------------------------------------------------------------
+# SARIF rendering
+# ----------------------------------------------------------------------
+class TestSarif:
+    def test_minimal_document_structure(self):
+        doc = to_sarif([finding(rule="RL010", message="taint reaches sink")])
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL010"
+        assert result["message"]["text"] == "taint reaches sink"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] == 5  # 0-based col 4 -> 1-based
+
+    def test_rule_index_points_into_the_catalogue(self):
+        doc = to_sarif([finding(rule="RL012")])
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        result = run["results"][0]
+        assert rules[result["ruleIndex"]]["id"] == "RL012"
+
+    def test_catalogue_covers_flow_rules(self):
+        doc = to_sarif([])
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"RL010", "RL011", "RL012", "RL013"} <= ids
+
+    def test_render_is_stable_json(self):
+        text = render_sarif([finding()])
+        assert text.endswith("\n")
+        assert json.loads(text) == to_sarif([finding()])
+
+
+# ----------------------------------------------------------------------
+# GitHub annotation escaping
+# ----------------------------------------------------------------------
+class TestGithubEscaping:
+    def test_newlines_and_percent_in_message(self):
+        f = finding(message="50% of runs\ndiffer")
+        line = _render(f, "github")
+        assert "\n" not in line
+        assert "50%25 of runs%0Adiffer" in line
+
+    def test_double_colon_in_message_cannot_split_the_command(self):
+        f = finding(message="key '::' corrupts")
+        line = _render(f, "github")
+        # exactly one '::' separator: the real one before the message
+        assert line.count("::error") == 1
+        prefix, _, message = line.partition("::")
+        assert message.startswith("error file=")
+        assert "corrupts" in line
+
+    def test_properties_escape_colons_and_commas(self):
+        f = finding(path="src/a,b:c.py", message="m")
+        line = _render(f, "github")
+        assert "file=src/a%2Cb%3Ac.py" in line
+
+    def test_carriage_return_is_escaped(self):
+        f = finding(message="a\rb")
+        assert "%0D" in _render(f, "github")
+        assert "\r" not in _render(f, "github")
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def _run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "tools"), env.get("PYTHONPATH", "")])
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+DIRTY = "def f(x):\n    return x == 1.5\n"
+
+
+class TestCLI:
+    def test_sarif_output_to_file(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        out = tmp_path / "report.sarif"
+        proc = _run_cli(
+            ["dirty.py", "--format", "sarif", "--output", str(out)], cwd=tmp_path
+        )
+        assert proc.returncode == 1
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RL001"
+
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        wrote = _run_cli(
+            ["dirty.py", "--baseline", str(baseline), "--write-baseline"],
+            cwd=tmp_path,
+        )
+        assert wrote.returncode == 0, wrote.stderr
+        assert baseline.exists()
+        rerun = _run_cli(["dirty.py", "--baseline", str(baseline)], cwd=tmp_path)
+        assert rerun.returncode == 0, rerun.stdout
+        assert "matched the baseline" in rerun.stderr
+
+    def test_baseline_reports_stale_entries(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        _run_cli(
+            ["dirty.py", "--baseline", str(baseline), "--write-baseline"],
+            cwd=tmp_path,
+        )
+        (tmp_path / "dirty.py").write_text("x = 1\n")  # debt paid down
+        proc = _run_cli(["dirty.py", "--baseline", str(baseline)], cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "stale baseline entry" in proc.stderr
+
+    def test_write_baseline_requires_baseline_path(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        proc = _run_cli(["clean.py", "--write-baseline"], cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "--baseline" in proc.stderr
+
+    def test_missing_baseline_file_is_a_usage_error(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        proc = _run_cli(
+            ["clean.py", "--baseline", str(tmp_path / "absent.json")], cwd=tmp_path
+        )
+        assert proc.returncode == 2
+
+    def test_list_rules_includes_flow_rules(self, tmp_path):
+        proc = _run_cli(["--list-rules"], cwd=tmp_path)
+        assert proc.returncode == 0
+        for rule in ("RL010", "RL011", "RL012", "RL013"):
+            assert rule in proc.stdout
+
+    def test_flow_flag_runs_on_the_repository(self):
+        proc = _run_cli(["src", "tools", "--flow"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_audit_contracts_subcommand(self):
+        proc = _run_cli(["audit-contracts", "src", "tests"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stderr
+        assert "contract" in proc.stdout.lower()
+        assert "SolverCache" in proc.stdout

@@ -1,0 +1,72 @@
+"""Baseline ratchet: accept today's findings, fail only on new ones.
+
+A baseline file records finding *identities* — ``(rule, path, message)``
+with a multiplicity — deliberately without line numbers, so unrelated
+edits that shift code around do not churn the file.  At lint time each
+finding consumes one matching baseline slot; findings left over are *new*
+and fail the run.  Baseline entries nothing consumed are *stale*: the debt
+they grandfathered is gone, and ``--write-baseline`` shrinks the file —
+the ratchet only ever tightens unless a human regenerates it.
+
+The file is JSON (sorted keys, trailing newline) so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Finding
+
+__all__ = ["baseline_key", "write_baseline", "apply_baseline", "load_baseline"]
+
+_FORMAT = "repro-lint-baseline-v1"
+
+
+def baseline_key(finding: Finding) -> str:
+    return f"{finding.rule}|{finding.path}|{finding.message}"
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        key = baseline_key(f)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {"format": _FORMAT, "entries": dict(sorted(counts.items()))}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: malformed 'entries'")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def apply_baseline(
+    findings: Sequence[Finding], path: Path
+) -> Tuple[List[Finding], int, List[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, suppressed_count, stale_keys)`` where
+    ``new_findings`` are not covered by the baseline, ``suppressed_count``
+    is how many were, and ``stale_keys`` are baseline entries with unused
+    multiplicity (debt that has since been paid down).
+    """
+    remaining = load_baseline(path)
+    new: List[Finding] = []
+    suppressed = 0
+    for f in findings:
+        key = baseline_key(f)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            new.append(f)
+    stale = sorted(k for k, v in remaining.items() if v > 0)
+    return new, suppressed, stale

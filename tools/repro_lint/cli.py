@@ -1,5 +1,14 @@
 """Command line front-end: ``python -m repro_lint`` / ``repro-lint``.
 
+Two modes share one option surface:
+
+* ``repro-lint [paths...]`` — lint; ``--flow`` adds the whole-program
+  rules (RL010–RL013) with ``--jobs``/``--cache-dir`` controlling the
+  extraction fan-out and the incremental summary cache, and
+  ``--baseline``/``--write-baseline`` operating the ratchet file;
+* ``repro-lint audit-contracts [paths...]`` — render the contract/test
+  coverage audit of the public kernel entry points (advisory: exit 0).
+
 Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error.
 """
 
@@ -14,6 +23,8 @@ from .engine import Finding, LintConfig, lint_paths
 from .registry import ALL_RULES, rule_catalogue
 
 __all__ = ["main"]
+
+_DEFAULT_PATHS = ["src", "tests", "benchmarks", "tools", "examples"]
 
 
 def _parse_rule_list(raw: str) -> set:
@@ -35,14 +46,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests", "benchmarks"],
-        help="files or directories to lint (default: src tests benchmarks)",
+        default=_DEFAULT_PATHS,
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "github"),
+        choices=("text", "github", "sarif"),
         default="text",
-        help="output format: human-readable text or GitHub workflow annotations",
+        help="output format: human-readable text, GitHub workflow "
+        "annotations, or SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout (useful for "
+        "uploading SARIF as a CI artifact)",
     )
     parser.add_argument(
         "--select",
@@ -65,6 +84,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: current directory)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program rules RL010-RL013 "
+        "(interprocedural taint + fork_map safety)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --flow summary extraction (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed summary cache for --flow; warm re-runs "
+        "skip parsing entirely",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratchet file: findings recorded there are grandfathered, "
+        "only new ones fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -72,13 +123,33 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=, ...)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_message(value: str) -> str:
+    """Escape workflow-command *message* data (after the ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
 def _render(finding: Finding, fmt: str) -> str:
     if fmt == "github":
-        # https://docs.github.com/actions/reference/workflow-commands
-        message = finding.message.replace("\n", " ")
+        # https://docs.github.com/actions/reference/workflow-commands —
+        # '%'/CR/LF must be URL-escaped everywhere; property values must
+        # additionally escape ':' and ',' or a message containing '::'
+        # corrupts the annotation
         return (
-            f"::error file={finding.path},line={finding.line},"
-            f"col={finding.col + 1},title={finding.rule}::{message}"
+            f"::error file={_escape_property(finding.path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_escape_property(finding.rule)}"
+            f"::{_escape_message(finding.message)}"
         )
     return (
         f"{finding.path}:{finding.line}:{finding.col + 1}: "
@@ -86,22 +157,108 @@ def _render(finding: Finding, fmt: str) -> str:
     )
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        sys.stdout.write(text)
+    else:
+        Path(output).write_text(text, encoding="utf-8")
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    from .engine import FileContext, _parse, _relativize, collect_files
+    from .flow import FlowOptions, build_program
+    from .flow.audit import audit_contracts
+
+    root = Path(args.root) if args.root else Path.cwd()
+    config = LintConfig()
+    contexts: List[FileContext] = []
+    try:
+        files = collect_files(args.paths, root=root)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for path in files:
+        try:
+            source, tree = _parse(path)
+        except SyntaxError:
+            continue
+        contexts.append(
+            FileContext(
+                path=path,
+                rel_path=_relativize(path, root),
+                source=source,
+                tree=tree,
+                config=config,
+            )
+        )
+    options = FlowOptions(jobs=args.jobs, cache_dir=args.cache_dir)
+    index = build_program(contexts, options)
+    audit = audit_contracts(index, options.config)
+    _emit(audit.render() + "\n", args.output)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    raw_args = list(sys.argv[1:] if argv is None else argv)
+    audit_mode = bool(raw_args) and raw_args[0] == "audit-contracts"
+    if audit_mode:
+        raw_args = raw_args[1:]
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw_args)
     if args.list_rules:
         for rule_id, summary in rule_catalogue().items():
             print(f"{rule_id}  {summary}")
         return 0
+    if audit_mode:
+        return _run_audit(args)
+
     config = LintConfig(select=args.select, ignore=args.ignore)
     root = Path(args.root) if args.root else None
+    flow_options = None
+    if args.flow:
+        from .flow import FlowOptions
+
+        flow_options = FlowOptions(jobs=args.jobs, cache_dir=args.cache_dir)
     try:
-        findings: List[Finding] = lint_paths(args.paths, config=config, root=root)
+        findings: List[Finding] = lint_paths(
+            args.paths, config=config, root=root, flow=flow_options
+        )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(_render(finding, args.format))
+
+    if args.baseline and args.write_baseline:
+        from .baseline import write_baseline
+
+        write_baseline(findings, Path(args.baseline))
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.write_baseline:
+        print("repro-lint: --write-baseline requires --baseline", file=sys.stderr)
+        return 2
+    if args.baseline:
+        from .baseline import apply_baseline
+
+        try:
+            findings, suppressed, stale = apply_baseline(findings, Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        if suppressed:
+            print(f"{suppressed} finding(s) matched the baseline", file=sys.stderr)
+        for key in stale:
+            print(f"stale baseline entry (fixed since recorded): {key}", file=sys.stderr)
+
+    if args.format == "sarif":
+        from .sarif import render_sarif
+
+        _emit(render_sarif(findings), args.output)
+    else:
+        lines = [_render(f, args.format) for f in findings]
+        _emit("".join(line + "\n" for line in lines), args.output)
     if findings:
         counts: dict = {}
         for f in findings:

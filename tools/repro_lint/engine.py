@@ -198,11 +198,15 @@ def lint_paths(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     root: Optional[Path] = None,
+    flow: Optional[object] = None,
 ) -> List[Finding]:
     """Lint files/directories and return suppression-filtered findings.
 
     ``root`` anchors the repo-relative paths the zone configuration matches
-    against (defaults to the current working directory).
+    against (defaults to the current working directory).  Passing a
+    :class:`repro_lint.flow.FlowOptions` as ``flow`` additionally runs the
+    whole-program rules (RL010–RL013) over the same file set; their
+    findings go through the same suppression filter as everything else.
     """
     # imported here to avoid a cycle: rule modules import the engine types
     from .registry import FILE_RULES, PROJECT_RULES
@@ -243,6 +247,10 @@ def lint_paths(
     for rule_id, project_rule in PROJECT_RULES.items():
         if cfg.enabled(rule_id):
             raw.extend(project_rule(contexts))
+    if flow is not None:
+        from .flow import run_flow_rules
+
+        raw.extend(run_flow_rules(contexts, cfg, flow))
 
     by_file: Dict[str, _Suppressions] = {
         ctx.rel_path: _Suppressions(ctx.source) for ctx in contexts

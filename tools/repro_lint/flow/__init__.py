@@ -1,0 +1,37 @@
+"""Whole-program analysis layer (``repro-flow``) on top of the lint engine.
+
+The per-file rules (RL001–RL009) see one module at a time; the properties
+this package checks live *between* modules: nondeterminism flowing through
+call chains into a cache key or a checkpoint snapshot, fork_map payloads
+mutating state they share with the parent process, a payload that fans out
+again.  The pipeline is
+
+1. **extract** — one cacheable, file-local pass per module producing a
+   :class:`~repro_lint.flow.model.FileSummary` (defs, resolved call sites,
+   name-level dataflow atoms, mutation facts);
+2. **index** — merge the summaries into a
+   :class:`~repro_lint.flow.program.ProgramIndex` (project symbol table,
+   method canonicalization over base classes, call graph, Tarjan SCCs);
+3. **rules** — the whole-program rules RL010–RL013 and the contract
+   coverage audit run over the index.
+
+Summaries are content-addressed (:mod:`repro_lint.flow.cache`), so warm
+re-runs skip extraction entirely; ``--jobs`` parallelizes the cold pass.
+"""
+
+from __future__ import annotations
+
+from .audit import ContractAudit, audit_contracts
+from .config import FlowConfig, FlowOptions
+from .program import ProgramIndex
+from .runner import build_program, run_flow_rules
+
+__all__ = [
+    "ContractAudit",
+    "FlowConfig",
+    "FlowOptions",
+    "ProgramIndex",
+    "audit_contracts",
+    "build_program",
+    "run_flow_rules",
+]

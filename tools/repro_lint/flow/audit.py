@@ -1,0 +1,190 @@
+"""Contract/coverage audit: which public kernel entry points are guarded?
+
+``repro._contracts`` centralizes the runtime invariants of the numerical
+kernel, and the test-suite carries property tests (hypothesis) alongside
+example-based ones.  This audit cross-references three facts for every
+*public kernel entry point* — a name exported by ``__all__`` of a module
+under the configured kernel zones:
+
+* **guarded** — the entry point (for classes: any of their methods) can
+  reach a ``repro._contracts.check_*`` call through the call graph, so the
+  invariants actually fire on that code path when contracts are enabled;
+* **tested** — some test file references the name at all;
+* **property-tested** — a test file that imports ``hypothesis`` references
+  the name.
+
+The audit is advisory (it does not produce findings and cannot fail the
+lint); ``repro-lint audit-contracts`` renders it as a table so gaps are
+visible in review instead of latent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from .config import FlowConfig
+from .program import ProgramIndex
+
+__all__ = ["AuditEntry", "ContractAudit", "audit_contracts"]
+
+
+@dataclass
+class AuditEntry:
+    """Audit verdict for one public kernel entry point."""
+
+    qualname: str
+    rel_path: str
+    line: int
+    kind: str  # "function" | "class"
+    guarded: bool
+    tested: bool
+    property_tested: bool
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "rel_path": self.rel_path,
+            "line": self.line,
+            "kind": self.kind,
+            "guarded": self.guarded,
+            "tested": self.tested,
+            "property_tested": self.property_tested,
+        }
+
+
+@dataclass
+class ContractAudit:
+    """The full audit result with render/serialize helpers."""
+
+    entries: List[AuditEntry] = field(default_factory=list)
+
+    @property
+    def unguarded(self) -> List[AuditEntry]:
+        return [e for e in self.entries if not e.guarded]
+
+    @property
+    def untested(self) -> List[AuditEntry]:
+        return [e for e in self.entries if not e.tested]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "entries": [e.to_json() for e in self.entries],
+            "summary": {
+                "total": len(self.entries),
+                "guarded": sum(e.guarded for e in self.entries),
+                "tested": sum(e.tested for e in self.entries),
+                "property_tested": sum(e.property_tested for e in self.entries),
+            },
+        }
+
+    def render(self) -> str:
+        if not self.entries:
+            return "no public kernel entry points found"
+        name_w = max(len(e.qualname) for e in self.entries)
+        lines = [
+            f"{'entry point':<{name_w}}  kind      contracts  tested  property",
+            "-" * (name_w + 42),
+        ]
+        mark = lambda b: "yes" if b else " - "  # noqa: E731
+        for e in sorted(self.entries, key=lambda e: (e.guarded, e.qualname)):
+            lines.append(
+                f"{e.qualname:<{name_w}}  {e.kind:<8}  "
+                f"{mark(e.guarded):^9}  {mark(e.tested):^6}  "
+                f"{mark(e.property_tested):^8}"
+            )
+        s = self.to_json()["summary"]
+        lines.append("")
+        lines.append(
+            f"{s['total']} entry points: {s['guarded']} contract-guarded, "
+            f"{s['tested']} tested, {s['property_tested']} property-tested"
+        )
+        return "\n".join(lines)
+
+
+def _reaches_contracts(
+    index: ProgramIndex, start: str, namespace: str, memo: Dict[str, bool]
+) -> bool:
+    if start in memo:
+        return memo[start]
+    memo[start] = False  # cycle guard
+    fn = index.functions.get(start)
+    if fn is None:
+        return False
+    for site in fn.callsites:
+        canon = index.canonical(site.callee)
+        target = canon or site.callee
+        if target is not None and target.startswith(namespace):
+            memo[start] = True
+            return True
+    for succ in index.edges.get(start, ()):  # resolved project calls
+        if _reaches_contracts(index, succ, namespace, memo):
+            memo[start] = True
+            return True
+    return memo[start]
+
+
+def audit_contracts(index: ProgramIndex, config: FlowConfig) -> ContractAudit:
+    audit = ContractAudit()
+    memo: Dict[str, bool] = {}
+
+    tested_names: Set[str] = set()
+    property_names: Set[str] = set()
+    for f in index.files.values():
+        if not any(f.rel_path.startswith(d) for d in config.test_dirs):
+            continue
+        tested_names.update(f.referenced_idents)
+        if f.imports_hypothesis:
+            property_names.update(f.referenced_idents)
+
+    seen: Set[str] = set()
+    for f in index.files.values():
+        if not any(f.rel_path.startswith(z) for z in config.kernel_zones):
+            continue
+        if not f.exports:
+            continue
+        for name in f.exports:
+            qual = index.canonical(f"{f.module}.{name}")
+            if qual is None or qual in seen:
+                continue
+            seen.add(qual)
+            short = qual.rsplit(".", 1)[-1]
+            if qual in index.classes:
+                cls = index.classes[qual]
+                guarded = any(
+                    _reaches_contracts(
+                        index, m, config.contracts_namespace, memo
+                    )
+                    for method in cls.methods
+                    if (m := f"{qual}.{method}") in index.functions
+                )
+                audit.entries.append(
+                    AuditEntry(
+                        qualname=qual,
+                        rel_path=index.file_of.get(
+                            f"{qual}.__init__", f.rel_path
+                        ),
+                        line=cls.line,
+                        kind="class",
+                        guarded=guarded,
+                        tested=short in tested_names,
+                        property_tested=short in property_names,
+                    )
+                )
+            elif qual in index.functions:
+                fn = index.functions[qual]
+                audit.entries.append(
+                    AuditEntry(
+                        qualname=qual,
+                        rel_path=index.file_of.get(qual, f.rel_path),
+                        line=fn.line,
+                        kind="function",
+                        guarded=_reaches_contracts(
+                            index, qual, config.contracts_namespace, memo
+                        ),
+                        tested=short in tested_names,
+                        property_tested=short in property_names,
+                    )
+                )
+    audit.entries.sort(key=lambda e: e.qualname)
+    return audit

@@ -1,0 +1,144 @@
+"""Content-addressed summary cache + parallel extraction.
+
+The extraction pass is the only part of the flow analysis that touches an
+AST, so it is the only part worth caching or parallelizing.  Summaries are
+keyed by ``sha256(version || rel_path || source)``: any edit to a file —
+or any change to the summary format — misses for exactly that file, and
+everything else is served from disk.  A warm run therefore does no parsing
+at all, which is what keeps ``repro-lint --flow`` inside its sub-2-second
+budget on re-runs.
+
+Cache entries are plain JSON, one file per summary, written atomically
+(tmp + rename) so concurrent lint runs sharing a cache directory cannot
+observe torn files.  Corrupt or version-skewed entries degrade to a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import FlowConfig
+from .extract import extract_file
+from .model import SUMMARY_FORMAT_VERSION, FileSummary
+
+__all__ = ["SummaryCache", "extract_summaries"]
+
+
+class SummaryCache:
+    """Content-addressed store of :class:`FileSummary` JSON blobs."""
+
+    def __init__(self, cache_dir: str):
+        self.root = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(rel_path: str, source: str) -> str:
+        h = hashlib.sha256()
+        h.update(f"repro-flow-v{SUMMARY_FORMAT_VERSION}\n".encode())
+        h.update(rel_path.encode())
+        h.update(b"\n")
+        h.update(source.encode())
+        return h.hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, rel_path: str, source: str) -> Optional[FileSummary]:
+        path = self._path_for(self.key_for(rel_path, source))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            if data.get("version") != SUMMARY_FORMAT_VERSION:
+                self.misses += 1
+                return None
+            summary = FileSummary.from_json(data)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if summary.rel_path != rel_path:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def store(self, rel_path: str, source: str, summary: FileSummary) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(self.key_for(rel_path, source))
+        payload = json.dumps(summary.to_json(), sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _extract_one(item: Tuple[str, str, bool], config: FlowConfig) -> FileSummary:
+    rel_path, source, is_test = item
+    return extract_file(rel_path, source, config=config, is_test=is_test)
+
+
+def _worker(payload: Tuple[Tuple[str, str, bool], FlowConfig]) -> Dict:
+    item, config = payload
+    return _extract_one(item, config).to_json()
+
+
+def extract_summaries(
+    items: Sequence[Tuple[str, str, bool]],
+    config: FlowConfig,
+    jobs: int = 1,
+    cache: Optional[SummaryCache] = None,
+) -> List[FileSummary]:
+    """Extract summaries for ``(rel_path, source, is_test)`` triples,
+    serving cache hits first and fanning the misses out over ``jobs``
+    processes (fork start method; serial fallback when unavailable)."""
+    summaries: Dict[int, FileSummary] = {}
+    misses: List[Tuple[int, Tuple[str, str, bool]]] = []
+    for i, item in enumerate(items):
+        cached = cache.load(item[0], item[1]) if cache is not None else None
+        if cached is not None:
+            summaries[i] = cached
+        else:
+            misses.append((i, item))
+
+    if misses:
+        extracted: List[FileSummary]
+        if jobs > 1 and len(misses) > 1:
+            extracted = _extract_parallel([m[1] for m in misses], config, jobs)
+        else:
+            extracted = [_extract_one(m[1], config) for m in misses]
+        for (i, item), summary in zip(misses, extracted):
+            summaries[i] = summary
+            if cache is not None:
+                cache.store(item[0], item[1], summary)
+    return [summaries[i] for i in range(len(items))]
+
+
+def _extract_parallel(
+    items: List[Tuple[str, str, bool]], config: FlowConfig, jobs: int
+) -> List[FileSummary]:
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return [_extract_one(item, config) for item in items]
+    try:
+        with ctx.Pool(processes=min(jobs, len(items))) as pool:
+            blobs = pool.map(_worker, [(item, config) for item in items])
+        return [FileSummary.from_json(b) for b in blobs]
+    except (OSError, ValueError):
+        return [_extract_one(item, config) for item in items]

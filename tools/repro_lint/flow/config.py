@@ -1,0 +1,187 @@
+"""Configuration of the whole-program analysis: sources, sinks, sanitizers.
+
+Everything here is data, not code, so the test-suite can lint synthetic
+projects with the production taint model and the production code can be
+analyzed with a tightened or loosened one.  Qualified names follow the
+resolution of :mod:`repro_lint.flow.extract`: project modules are rooted at
+the package name (``repro.core.cache.fingerprint``), third-party ones at
+their import root (``numpy.random.default_rng``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SinkSpec", "FlowConfig", "FlowOptions", "SOURCE_KINDS"]
+
+#: taint kinds with the human description used in finding messages
+SOURCE_KINDS: Dict[str, str] = {
+    "rng": "global/unseeded RNG draw",
+    "clock": "wall-clock read",
+    "entropy": "OS entropy read",
+    "set-order": "set/hash iteration order",
+    "completion-order": "worker completion order",
+}
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """One determinism-critical call target.
+
+    ``arg_indices`` selects which positional arguments are checked
+    (``None`` = every argument, receiver included); keyword arguments are
+    always checked.
+    """
+
+    qualname: str
+    label: str
+    arg_indices: Optional[Tuple[int, ...]] = None
+
+
+def _default_sinks() -> Tuple[SinkSpec, ...]:
+    return (
+        SinkSpec(
+            "repro.core.cache.fingerprint",
+            "SolverCache fingerprint construction",
+        ),
+        SinkSpec(
+            "repro.core.cache.SolverCache.get_or_create",
+            "SolverCache key",
+            arg_indices=(0,),
+        ),
+        SinkSpec(
+            "repro._checkpoint.checkpoint_key",
+            "checkpoint key fingerprint",
+        ),
+        SinkSpec(
+            "repro._checkpoint.CheckpointStore.put",
+            "repro-checkpoint-v1 snapshot",
+        ),
+        SinkSpec(
+            "repro._checkpoint.CheckpointStore.__init__",
+            "checkpoint store key",
+            arg_indices=(1,),
+        ),
+        SinkSpec(
+            "repro.simulation.trace.Trace.record",
+            "trace serialization",
+        ),
+        SinkSpec(
+            "repro._parallel.fork_map",
+            "fork_map task payload",
+        ),
+    )
+
+
+#: calls whose *result* carries the taint kind (matched on resolved name;
+#: a trailing dot matches the whole namespace)
+_DEFAULT_SOURCE_CALLS: Tuple[Tuple[str, str], ...] = (
+    ("time.time", "clock"),
+    ("time.time_ns", "clock"),
+    ("time.monotonic", "clock"),
+    ("time.monotonic_ns", "clock"),
+    ("time.perf_counter", "clock"),
+    ("time.perf_counter_ns", "clock"),
+    ("time.process_time", "clock"),
+    ("time.process_time_ns", "clock"),
+    ("datetime.datetime.now", "clock"),
+    ("datetime.datetime.utcnow", "clock"),
+    ("datetime.datetime.today", "clock"),
+    ("datetime.date.today", "clock"),
+    ("os.urandom", "entropy"),
+    ("uuid.uuid1", "entropy"),
+    ("uuid.uuid4", "entropy"),
+    ("secrets.", "entropy"),
+    ("concurrent.futures.as_completed", "completion-order"),
+    ("multiprocessing.pool.IMapUnorderedIterator", "completion-order"),
+)
+
+#: order-insensitive reducers: applying one strips *order* taint (the value
+#: of ``sorted(s)`` / ``len(s)`` does not depend on iteration order), but a
+#: sorted list of random numbers is still random, so rng/clock/entropy pass
+#: through
+_DEFAULT_ORDER_SANITIZERS: Tuple[str, ...] = (
+    "sorted",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "frozenset",  # set -> set conversions do not surface an order
+    "set",
+    "numpy.sort",
+    "numpy.unique",
+)
+
+
+@dataclass
+class FlowConfig:
+    """The taint model and project layout knobs of the flow analysis."""
+
+    #: resolved call name (or ``prefix.`` namespace) -> taint kind
+    source_calls: Tuple[Tuple[str, str], ...] = _DEFAULT_SOURCE_CALLS
+    #: ``np.random`` attributes that construct explicit generators and are
+    #: therefore *not* treated as global-RNG sources
+    rng_constructors: Tuple[str, ...] = (
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    )
+    sinks: Tuple[SinkSpec, ...] = field(default_factory=_default_sinks)
+    order_sanitizers: Tuple[str, ...] = _DEFAULT_ORDER_SANITIZERS
+    #: resolved names of the fan-out primitive (RL011–RL013)
+    fork_map_names: Tuple[str, ...] = ("repro._parallel.fork_map",)
+    #: mutating container methods that count as worker-side writes when
+    #: invoked on state shared with the parent process (RL012)
+    mutating_methods: Tuple[str, ...] = (
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    )
+    #: constructors whose instances do not survive pickling / fork fan-out
+    unpicklable_constructors: Tuple[Tuple[str, str], ...] = (
+        ("open", "an open file handle"),
+        ("threading.Lock", "a threading lock"),
+        ("threading.RLock", "a threading lock"),
+        ("threading.Condition", "a threading condition"),
+        ("threading.Event", "a threading event"),
+        ("sqlite3.connect", "a database connection"),
+    )
+    #: package directories (repo-relative) holding kernel entry points the
+    #: contract audit cross-references
+    kernel_zones: Tuple[str, ...] = (
+        "src/repro/core/",
+        "src/repro/distributions/",
+    )
+    #: contract-check namespace the audit looks for along call chains
+    contracts_namespace: str = "repro._contracts."
+    #: directories whose files count as test code for the audit
+    test_dirs: Tuple[str, ...] = ("tests/",)
+
+
+@dataclass
+class FlowOptions:
+    """Runtime switches (CLI-facing) for one flow-analysis invocation."""
+
+    enabled: bool = True
+    #: worker processes for cold summary extraction (<=1 = serial)
+    jobs: int = 1
+    #: directory for content-addressed summaries (``None`` disables caching)
+    cache_dir: Optional[str] = None
+    config: FlowConfig = field(default_factory=FlowConfig)

@@ -1,0 +1,1111 @@
+"""File-local extraction: AST -> :class:`~repro_lint.flow.model.FileSummary`.
+
+One pass per module, no knowledge of any other module required — that is
+the property that makes summaries content-addressable.  Cross-module facts
+(is this dotted name a class? does that method live on a base?) are left
+symbolic here and resolved by :mod:`repro_lint.flow.program`.
+
+The extractor performs three jobs at once while walking each function:
+
+* **name resolution** — imports (absolute *and* relative, unlike the
+  per-file :class:`repro_lint.imports.ImportTracker`), lexical scope
+  chains, ``self`` receivers, and a light type inference for locals
+  (parameter annotations, ``x: T`` annotations, ``x = ClassName(...)``
+  constructor results) so attribute calls like ``sim.run(...)`` resolve to
+  ``repro.simulation.dcs.DCSSimulator.run``;
+* **dataflow atoms** — a flow-insensitive, name-level fixpoint mapping each
+  local to the set of parameters / sources / call results that may feed it;
+* **mutation & fan-out facts** — stores through parameters or captured
+  names, and ``fork_map`` call sites with their payload resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .config import FlowConfig
+from .model import (
+    Atom,
+    CallSite,
+    ClassInfo,
+    FileSummary,
+    ForkMapSite,
+    FunctionSummary,
+    cap_atoms,
+)
+
+__all__ = ["module_name_of", "extract_file"]
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: roots stripped from repo-relative paths when deriving module names:
+#: ``src/repro/core/cache.py`` -> ``repro.core.cache``
+_SOURCE_ROOTS = ("src/", "tools/")
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+#: calls that materialize their argument's iteration order into data
+_ORDER_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter", "next", "reversed"})
+
+_ENV_PASSES = 4  # fixpoint bound for the per-function dataflow
+
+
+def module_name_of(rel_path: str) -> Tuple[str, bool]:
+    """``(module_name, is_package)`` for a repo-relative POSIX path."""
+    path = rel_path
+    for root in _SOURCE_ROOTS:
+        if path.startswith(root):
+            path = path[len(root) :]
+            break
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    parts = [p for p in path.split("/") if p]
+    is_package = bool(parts) and parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<root>", is_package
+
+
+class _Imports:
+    """Per-module import map with relative-import resolution."""
+
+    def __init__(self, tree: ast.Module, module: str, is_package: bool):
+        pkg_parts = module.split(".") if is_package else module.split(".")[:-1]
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.names[local] = alias.name if alias.asname else alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                    head = ".".join(base + ([node.module] if node.module else []))
+                else:
+                    head = node.module or ""
+                if not head:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{head}.{alias.name}"
+
+
+class _Scope:
+    """One lexical function (or module) scope."""
+
+    def __init__(
+        self,
+        qualname: str,
+        node: Optional[ast.AST],
+        parent: Optional["_Scope"],
+        class_qualname: Optional[str],
+    ):
+        self.qualname = qualname
+        self.node = node
+        self.parent = parent
+        self.class_qualname = class_qualname
+        self.locals: Set[str] = set()
+        self.env: Dict[str, FrozenSet[Atom]] = {}
+        #: local name -> resolved class qualname (annotation / constructor)
+        self.types: Dict[str, str] = {}
+        #: local name -> "the binding is a set" (for iteration-order taint)
+        self.set_typed: Set[str] = set()
+        #: nested function definitions by local name
+        self.nested: Dict[str, str] = {}
+        self.global_decls: Set[str] = set()
+
+    def lookup_type(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.types:
+                return scope.types[name]
+            if name in scope.locals:
+                return None  # shadowed without a known type
+            scope = scope.parent
+        return None
+
+    def lookup_set_typed(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.set_typed:
+                return True
+            if name in scope.locals:
+                return False
+            scope = scope.parent
+        return False
+
+    def lookup_nested(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.nested:
+                return scope.nested[name]
+            scope = scope.parent
+        return None
+
+
+def _collect_locals(node: ast.AST) -> Set[str]:
+    """Names bound inside one function body (without descending into
+    nested function definitions)."""
+    names: Set[str] = set()
+
+    class V(ast.NodeVisitor):
+        def visit_Name(self, n: ast.Name) -> None:
+            if isinstance(n.ctx, (ast.Store, ast.Del)):
+                names.add(n.id)
+
+        def visit_FunctionDef(self, n: ast.FunctionDef) -> None:
+            names.add(n.name)
+
+        def visit_AsyncFunctionDef(self, n: ast.AsyncFunctionDef) -> None:
+            names.add(n.name)
+
+        def visit_ClassDef(self, n: ast.ClassDef) -> None:
+            names.add(n.name)
+
+        def visit_Lambda(self, n: ast.Lambda) -> None:
+            pass  # lambda params are not bindings of the enclosing scope
+
+        def visit_Import(self, n: ast.Import) -> None:
+            for alias in n.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+
+        def visit_ImportFrom(self, n: ast.ImportFrom) -> None:
+            for alias in n.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        V().visit(stmt)
+    return names
+
+
+def _param_names(args: ast.arguments) -> Tuple[List[str], List[str]]:
+    positional = [a.arg for a in [*args.posonlyargs, *args.args]]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    return positional, kwonly
+
+
+def _annotation_to_name(node: Optional[ast.expr]) -> Optional[str]:
+    """Dotted name inside an annotation, unwrapping Optional/quoted forms."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.replace(".", "").replace("_", "").isalnum():
+            return text
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts: List[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return ".".join(reversed(parts))
+        return None
+    if isinstance(node, ast.Subscript):
+        head = _annotation_to_name(node.value)
+        if head in ("Optional", "typing.Optional", "Union", "typing.Union"):
+            inner = node.slice
+            elems = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            for e in elems:
+                name = _annotation_to_name(e)
+                if name not in (None, "None"):
+                    return name
+    return None
+
+
+class _Extractor:
+    def __init__(self, rel_path: str, tree: ast.Module, config: FlowConfig, is_test: bool):
+        self.rel_path = rel_path
+        self.tree = tree
+        self.config = config
+        self.is_test = is_test
+        self.module, self.is_package = module_name_of(rel_path)
+        self.imports = _Imports(tree, self.module, self.is_package)
+        self.functions: List[FunctionSummary] = []
+        self.classes: List[ClassInfo] = []
+        self.module_defs: Dict[str, str] = {}  # local name -> "func" | "class"
+        self.mutable_globals: Set[str] = set()
+        self.exports: Optional[List[str]] = None
+        self._source_exact: Dict[str, str] = {}
+        self._source_prefix: List[Tuple[str, str]] = []
+        for name, kind in config.source_calls:
+            if name.endswith("."):
+                self._source_prefix.append((name, kind))
+            else:
+                self._source_exact[name] = kind
+
+    # -- top level -----------------------------------------------------
+    def run(self) -> FileSummary:
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_defs[stmt.name] = "func"
+            elif isinstance(stmt, ast.ClassDef):
+                self.module_defs[stmt.name] = "class"
+        self._scan_module_level()
+        module_scope = _Scope(f"{self.module}.<module>", self.tree, None, None)
+        body_stmts = [
+            s
+            for s in self.tree.body
+            if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        module_scope.locals = (
+            set(self.module_defs)
+            | set(self.imports.names)
+            | _collect_locals(ast.Module(body=body_stmts, type_ignores=[]))
+        )
+        self._summarize_body(module_scope, body_stmts, params=[], kwonly=[], line=1)
+        for stmt in self.tree.body:
+            self._walk_definitions(stmt, module_scope, class_qualname=None)
+        global_bindings = {
+            name: atoms
+            for name, atoms in module_scope.env.items()
+            if atoms and name not in self.module_defs
+        }
+        referenced: List[str] = []
+        imports_hypothesis = False
+        if self.is_test:
+            seen: Set[str] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Name):
+                    seen.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    seen.add(node.attr)
+            referenced = sorted(seen)
+        for target in self.imports.names.values():
+            if target == "hypothesis" or target.startswith("hypothesis."):
+                imports_hypothesis = True
+        return FileSummary(
+            rel_path=self.rel_path,
+            module=self.module,
+            is_package=self.is_package,
+            functions=self.functions,
+            import_map=dict(self.imports.names),
+            classes=self.classes,
+            exports=self.exports,
+            mutable_globals=sorted(self.mutable_globals),
+            global_bindings=global_bindings,
+            referenced_idents=referenced,
+            imports_hypothesis=imports_hypothesis,
+        )
+
+    def _scan_module_level(self) -> None:
+        for stmt in self.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "__all__" in names and isinstance(value, (ast.List, ast.Tuple)):
+                self.exports = [
+                    e.value
+                    for e in value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+                continue
+            if self._is_mutable_container(value):
+                self.mutable_globals.update(names)
+
+    def _is_mutable_container(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = self._callee_name_only(node.func)
+            return name is not None and name.split(".")[-1] in _MUTABLE_CONSTRUCTORS
+        return False
+
+    def _callee_name_only(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            return f"{func.value.id}.{func.attr}"
+        return None
+
+    # -- definition walking --------------------------------------------
+    def _walk_definitions(
+        self, stmt: ast.stmt, parent_scope: _Scope, class_qualname: Optional[str]
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            owner = class_qualname or (
+                parent_scope.qualname.rsplit(".<module>", 1)[0]
+                if parent_scope.parent is None
+                else f"{parent_scope.qualname}.<locals>"
+            )
+            qualname = f"{owner}.{stmt.name}"
+            self._summarize_function(stmt, qualname, parent_scope, class_qualname)
+        elif isinstance(stmt, ast.ClassDef):
+            cls_qual = f"{self.module}.{stmt.name}"
+            bases = []
+            for base in stmt.bases:
+                resolved = self._resolve_dotted(base, parent_scope)
+                if resolved:
+                    bases.append(resolved)
+            methods = [
+                s.name
+                for s in stmt.body
+                if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            self.classes.append(
+                ClassInfo(qualname=cls_qual, line=stmt.lineno, bases=bases, methods=methods)
+            )
+            for sub in stmt.body:
+                self._walk_definitions(sub, parent_scope, class_qualname=cls_qual)
+
+    def _summarize_function(
+        self,
+        node: ast.AST,
+        qualname: str,
+        parent_scope: _Scope,
+        class_qualname: Optional[str],
+    ) -> FunctionSummary:
+        args = node.args
+        params, kwonly = _param_names(args)
+        scope = _Scope(qualname, node, parent_scope, class_qualname or parent_scope.class_qualname)
+        if class_qualname is not None:
+            scope.class_qualname = class_qualname
+        body = node.body if isinstance(node.body, list) else [node.body]
+        scope.locals = _collect_locals(node) | set(params) | set(kwonly)
+        if args.vararg:
+            scope.locals.add(args.vararg.arg)
+        if args.kwarg:
+            scope.locals.add(args.kwarg.arg)
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = _annotation_to_name(arg.annotation)
+            if ann:
+                resolved = self._resolve_name_str(ann, parent_scope)
+                if resolved:
+                    scope.types[arg.arg] = resolved
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.nested[stmt.name] = f"{qualname}.<locals>.{stmt.name}"
+        summary = self._summarize_body(
+            scope,
+            body,
+            params=params,
+            kwonly=kwonly,
+            line=getattr(node, "lineno", 1),
+            has_vararg=args.vararg is not None,
+            has_kwarg=args.kwarg is not None,
+            class_qualname=class_qualname,
+        )
+        # nested defs are summarized with the (now-populated) parent scope
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._summarize_function(
+                    stmt, scope.nested[stmt.name], scope, class_qualname=None
+                )
+        return summary
+
+    # -- body summarization --------------------------------------------
+    def _summarize_body(
+        self,
+        scope: _Scope,
+        body: Sequence[ast.stmt],
+        params: List[str],
+        kwonly: List[str],
+        line: int,
+        has_vararg: bool = False,
+        has_kwarg: bool = False,
+        class_qualname: Optional[str] = None,
+    ) -> FunctionSummary:
+        summary = FunctionSummary(
+            qualname=scope.qualname,
+            line=line,
+            params=params,
+            kwonly=kwonly,
+            has_vararg=has_vararg,
+            has_kwarg=has_kwarg,
+            class_qualname=class_qualname,
+        )
+        for p in [*params, *kwonly]:
+            scope.env[p] = frozenset({("param", p)})
+        mutated_params: Set[str] = set()
+        mutated_frees: Set[str] = set()
+        returns: Set[Atom] = set()
+        callsites: List[CallSite] = []
+        lambda_names: Dict[int, str] = {}
+
+        walker = _BodyWalker(
+            self,
+            scope,
+            summary,
+            mutated_params,
+            mutated_frees,
+            returns,
+            callsites,
+            lambda_names,
+        )
+        for _ in range(_ENV_PASSES):
+            walker.reset_pass()
+            for stmt in body:
+                walker.visit_stmt(stmt)
+            if not walker.changed:
+                break
+        summary.returns = cap_atoms(frozenset(returns))
+        summary.callsites = callsites
+        summary.mutated_params = sorted(mutated_params)
+        summary.mutated_frees = sorted(mutated_frees)
+        self.functions.append(summary)
+        # summarize lambdas encountered in this body as their own functions
+        for lam, lam_qual in walker.lambdas:
+            lam_scope = _Scope(lam_qual, lam, scope, scope.class_qualname)
+            lam_params, lam_kwonly = _param_names(lam.args)
+            lam_scope.locals = set(lam_params) | set(lam_kwonly)
+            lam_summary = FunctionSummary(
+                qualname=lam_qual,
+                line=lam.lineno,
+                params=lam_params,
+                kwonly=lam_kwonly,
+                has_vararg=lam.args.vararg is not None,
+                has_kwarg=lam.args.kwarg is not None,
+                class_qualname=None,
+            )
+            for p in [*lam_params, *lam_kwonly]:
+                lam_scope.env[p] = frozenset({("param", p)})
+            lam_mut_p: Set[str] = set()
+            lam_mut_f: Set[str] = set()
+            lam_ret: Set[Atom] = set()
+            lam_calls: List[CallSite] = []
+            lam_walker = _BodyWalker(
+                self, lam_scope, lam_summary, lam_mut_p, lam_mut_f, lam_ret, lam_calls, {}
+            )
+            for _ in range(2):
+                lam_walker.reset_pass()
+                lam_ret.update(lam_walker.eval_expr(lam.body))
+                if not lam_walker.changed:
+                    break
+            lam_summary.returns = cap_atoms(frozenset(lam_ret))
+            lam_summary.callsites = lam_calls
+            lam_summary.mutated_params = sorted(lam_mut_p)
+            lam_summary.mutated_frees = sorted(lam_mut_f)
+            self.functions.append(lam_summary)
+        return summary
+
+    # -- name resolution ----------------------------------------------
+    def _resolve_name_str(self, dotted: str, scope: _Scope) -> Optional[str]:
+        parts = dotted.split(".")
+        head = parts[0]
+        nested = scope.lookup_nested(head)
+        if nested is not None:
+            return ".".join([nested, *parts[1:]])
+        if head in self.module_defs:
+            return ".".join([f"{self.module}.{head}", *parts[1:]])
+        if head in self.imports.names:
+            return ".".join([self.imports.names[head], *parts[1:]])
+        if head in _BUILTIN_NAMES and len(parts) == 1:
+            return head
+        return None
+
+    def _resolve_dotted(self, node: ast.expr, scope: _Scope) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted name (best effort)."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        parts.reverse()
+        if isinstance(cur, ast.Name):
+            head = cur.id
+            if head == "self" and scope.class_qualname and len(parts) == 1:
+                return f"{scope.class_qualname}.{parts[0]}"
+            local_type = scope.lookup_type(head)
+            if local_type is not None and len(parts) == 1:
+                return f"{local_type}.{parts[0]}"
+            base = self._resolve_name_str(head, scope)
+            if base is not None:
+                return ".".join([base, *parts])
+            return None
+        if (
+            isinstance(cur, ast.Call)
+            and isinstance(cur.func, ast.Name)
+            and cur.func.id == "super"
+            and parts
+            and scope.class_qualname
+        ):
+            # super().m() -> symbolic "<super:Class>.m", canonicalized later
+            return f"<super:{scope.class_qualname}>.{parts[0]}"
+        return None
+
+    def source_kind_of(self, resolved: Optional[str], call: ast.Call) -> Optional[str]:
+        if resolved is None:
+            return None
+        if resolved in self._source_exact:
+            return self._source_exact[resolved]
+        for prefix, kind in self._source_prefix:
+            if resolved.startswith(prefix):
+                return kind
+        if resolved.startswith("numpy.random."):
+            tail = resolved[len("numpy.random.") :].split(".")[0]
+            if tail == "default_rng":
+                seeded = bool(call.args) and not (
+                    isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+                )
+                seeded = seeded or any(kw.arg == "seed" for kw in call.keywords)
+                return None if seeded else "rng"
+            if tail not in self.config.rng_constructors:
+                return "rng"
+        if resolved.startswith("random."):
+            return "rng"
+        return None
+
+
+class _BodyWalker:
+    """One fixpoint pass over a function body, updating scope.env."""
+
+    def __init__(
+        self,
+        extractor: _Extractor,
+        scope: _Scope,
+        summary: FunctionSummary,
+        mutated_params: Set[str],
+        mutated_frees: Set[str],
+        returns: Set[Atom],
+        callsites: List[CallSite],
+        lambda_names: Dict[int, str],
+    ):
+        self.ex = extractor
+        self.scope = scope
+        self.summary = summary
+        self.mutated_params = mutated_params
+        self.mutated_frees = mutated_frees
+        self.returns = returns
+        self.callsites = callsites
+        self.changed = False
+        #: (Lambda node, qualname) pairs discovered in this body
+        self.lambdas: List[Tuple[ast.Lambda, str]] = []
+        self._lambda_quals: Dict[int, str] = lambda_names
+        self._call_ids: Dict[int, int] = {}
+
+    def reset_pass(self) -> None:
+        self.changed = False
+
+    # -- environment --------------------------------------------------
+    def _bind(self, name: str, atoms: FrozenSet[Atom]) -> None:
+        old = self.scope.env.get(name, frozenset())
+        new = cap_atoms(old | atoms)
+        if new != old:
+            self.scope.env[name] = new
+            self.changed = True
+
+    def _atoms_of_name(self, name: str) -> FrozenSet[Atom]:
+        scope: Optional[_Scope] = self.scope
+        if name in self.scope.locals or name in self.scope.global_decls:
+            return self.scope.env.get(name, frozenset())
+        scope = self.scope.parent
+        while scope is not None:
+            if name in scope.locals:
+                return frozenset({("free", name)})
+            scope = scope.parent
+        if name in self.ex.module_defs or name in self.ex.imports.names:
+            return frozenset() if name not in self.ex.mutable_globals else frozenset({("free", name)})
+        if name in _BUILTIN_NAMES:
+            return frozenset()
+        return frozenset({("free", name)})
+
+    def _is_param(self, name: str) -> bool:
+        return name in self.summary.params or name in self.summary.kwonly
+
+    def _is_local(self, name: str) -> bool:
+        return name in self.scope.locals
+
+    # -- set-origin detection -----------------------------------------
+    def _is_set_origin(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.scope.lookup_set_typed(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_origin(node.left) or self._is_set_origin(node.right)
+        if isinstance(node, ast.Call):
+            resolved = self.ex._resolve_dotted(node.func, self.scope)
+            if resolved in ("set", "frozenset"):
+                # a set() of constants iterates arbitrarily but over known
+                # elements; only non-literal contents are order-hazardous
+                return bool(node.args) and not all(
+                    isinstance(a, ast.Constant) for a in node.args
+                )
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("keys", "values", "items")
+                and isinstance(node.func.value, ast.Call)
+            ):
+                inner = self.ex._resolve_dotted(node.func.value.func, self.scope)
+                return inner in ("vars", "globals", "locals")
+            if resolved is not None and resolved.startswith("os.environ"):
+                return True
+        if isinstance(node, ast.Attribute):
+            resolved = self.ex._resolve_dotted(node, self.scope)
+            return resolved == "os.environ"
+        return False
+
+    # -- expressions ---------------------------------------------------
+    def eval_expr(self, node: Optional[ast.expr]) -> FrozenSet[Atom]:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Constant):
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return self._atoms_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Lambda):
+            return self._eval_lambda(node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.IfExp):
+            return self.eval_expr(node.test) | self.eval_expr(node.body) | self.eval_expr(
+                node.orelse
+            )
+        if isinstance(node, ast.BoolOp):
+            out: FrozenSet[Atom] = frozenset()
+            for v in node.values:
+                out |= self.eval_expr(v)
+            return out
+        if isinstance(node, ast.BinOp):
+            return self.eval_expr(node.left) | self.eval_expr(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand)
+        if isinstance(node, ast.Compare):
+            out = self.eval_expr(node.left)
+            for c in node.comparators:
+                out |= self.eval_expr(c)
+            return out
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for e in node.elts:
+                out |= self.eval_expr(e)
+            return out
+        if isinstance(node, ast.Dict):
+            out = frozenset()
+            for k in node.keys:
+                if k is not None:
+                    out |= self.eval_expr(k)
+            for v in node.values:
+                out |= self.eval_expr(v)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.eval_expr(node.value) | self.eval_expr(node.slice)
+        if isinstance(node, ast.Slice):
+            return (
+                self.eval_expr(node.lower)
+                | self.eval_expr(node.upper)
+                | self.eval_expr(node.step)
+            )
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.JoinedStr):
+            out = frozenset()
+            for v in node.values:
+                out |= self.eval_expr(v)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.eval_expr(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval_expr(node.value)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.returns.update(self.eval_expr(node.value))
+            return frozenset()
+        if isinstance(node, ast.NamedExpr):
+            atoms = self.eval_expr(node.value)
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target.id, atoms)
+            return atoms
+        return frozenset()
+
+    def _eval_lambda(self, node: ast.Lambda) -> FrozenSet[Atom]:
+        key = id(node)
+        if key not in self._lambda_quals:
+            qual = f"{self.scope.qualname}.<lambda:{node.lineno}>"
+            self._lambda_quals[key] = qual
+            self.lambdas.append((node, qual))
+        bound = {a.arg for a in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]}
+        out: Set[Atom] = set()
+        for sub in ast.walk(node.body):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id not in bound:
+                    out.update(self._atoms_of_name(sub.id))
+        return cap_atoms(frozenset(out))
+
+    def _eval_comprehension(self, node: ast.expr) -> FrozenSet[Atom]:
+        order: FrozenSet[Atom] = frozenset()
+        for gen in node.generators:
+            iter_atoms = self.eval_expr(gen.iter)
+            if self._is_set_origin(gen.iter):
+                iter_atoms |= frozenset({("source", "set-order", gen.iter.lineno)})
+            for target in ast.walk(gen.target):
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, iter_atoms)
+                    self.scope.locals.add(target.id)
+            order |= iter_atoms
+            for cond in gen.ifs:
+                self.eval_expr(cond)
+        if isinstance(node, ast.DictComp):
+            return order | self.eval_expr(node.key) | self.eval_expr(node.value)
+        return order | self.eval_expr(node.elt)
+
+    def _eval_call(self, node: ast.Call) -> FrozenSet[Atom]:
+        resolved = self.ex._resolve_dotted(node.func, self.scope)
+        recv: FrozenSet[Atom] = frozenset()
+        if isinstance(node.func, ast.Attribute):
+            recv = self.eval_expr(node.func.value)
+        arg_atoms = [self.eval_expr(a.value if isinstance(a, ast.Starred) else a) for a in node.args]
+        kw_atoms: Dict[str, FrozenSet[Atom]] = {}
+        for kw in node.keywords:
+            kw_atoms[kw.arg or "*"] = kw_atoms.get(kw.arg or "*", frozenset()) | self.eval_expr(
+                kw.value
+            )
+        source_kind = self.ex.source_kind_of(resolved, node)
+        if (
+            source_kind is None
+            and resolved is not None
+            and resolved.split(".")[-1] in _ORDER_MATERIALIZERS
+            and len(resolved.split(".")) == 1
+            and any(self._is_set_origin(a) for a in node.args)
+        ):
+            source_kind = "set-order"
+        sanitizer = resolved in self.ex.config.order_sanitizers
+        # mutating container method on a bare shared name
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.attr in self.ex.config.mutating_methods
+        ):
+            root = node.func.value.id
+            if self._is_param(root):
+                self._record_param_mutation(root)
+            elif not self._is_local(root):
+                self._record_free_mutation(root)
+        key = id(node)
+        if key in self._call_ids:
+            index = self._call_ids[key]
+            site = self.callsites[index]
+            site.recv = cap_atoms(site.recv | recv)
+            site.args = [
+                cap_atoms(old | new) for old, new in zip(site.args, arg_atoms)
+            ] or arg_atoms
+            for k, v in kw_atoms.items():
+                site.kwargs[k] = cap_atoms(site.kwargs.get(k, frozenset()) | v)
+        else:
+            index = len(self.callsites)
+            self._call_ids[key] = index
+            payload = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and resolved is None
+                and isinstance(node.func.value, ast.Name)
+            ):
+                # unresolvable receiver: keep the bare method name so the
+                # program index can try a unique-method fallback
+                payload = f"?.{node.func.attr}"
+            self.callsites.append(
+                CallSite(
+                    index=index,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    callee=resolved if resolved is not None else payload,
+                    recv=cap_atoms(recv),
+                    args=[cap_atoms(a) for a in arg_atoms],
+                    kwargs={k: cap_atoms(v) for k, v in kw_atoms.items()},
+                    source_kind=source_kind,
+                    sanitizer=sanitizer,
+                    constructs=(
+                        resolved is not None
+                        and resolved.split(".")[-1][:1].isupper()
+                    ),
+                )
+            )
+        if resolved is not None and resolved in self.ex.config.fork_map_names:
+            self._record_forkmap(node)
+        if source_kind is not None:
+            return frozenset({("source", source_kind, node.lineno), ("call", index)})
+        return frozenset({("call", index)})
+
+    # -- mutation bookkeeping -----------------------------------------
+    def _record_param_mutation(self, name: str) -> None:
+        if name not in self.mutated_params:
+            self.mutated_params.add(name)
+            self.changed = True
+
+    def _record_free_mutation(self, name: str) -> None:
+        if name not in self.mutated_frees:
+            self.mutated_frees.add(name)
+            self.changed = True
+
+    def _record_store_target(self, target: ast.expr) -> None:
+        """Classify stores through attribute/subscript chains."""
+        root = target
+        depth = 0
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+            depth += 1
+        if depth == 0 or not isinstance(root, ast.Name):
+            return
+        name = root.id
+        if self._is_param(name):
+            self._record_param_mutation(name)
+        elif name in self.scope.global_decls or not self._is_local(name):
+            self._record_free_mutation(name)
+
+    # -- fork_map sites ------------------------------------------------
+    def _record_forkmap(self, node: ast.Call) -> None:
+        for site in self.summary.forkmap_sites:
+            if site.line == node.lineno and site.col == node.col_offset:
+                return
+        payload_qual: Optional[str] = None
+        payload_kind = "opaque"
+        captured: Set[str] = set()
+        if node.args:
+            payload = node.args[0]
+            if isinstance(payload, ast.Lambda):
+                payload_kind = "lambda"
+                payload_qual = self._lambda_quals.get(id(payload))
+                if payload_qual is None:
+                    payload_qual = f"{self.scope.qualname}.<lambda:{payload.lineno}>"
+                bound = {
+                    a.arg
+                    for a in [
+                        *payload.args.posonlyargs,
+                        *payload.args.args,
+                        *payload.args.kwonlyargs,
+                    ]
+                }
+                for sub in ast.walk(payload.body):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                        if sub.id not in bound and sub.id not in _BUILTIN_NAMES:
+                            captured.add(sub.id)
+            elif isinstance(payload, ast.Name):
+                nested = self.scope.lookup_nested(payload.name if False else payload.id)
+                if nested is not None:
+                    payload_kind = "local"
+                    payload_qual = nested
+                    fn_node = self._find_nested_def(payload.id)
+                    if fn_node is not None:
+                        local = _collect_locals(fn_node) | {
+                            a.arg
+                            for a in [
+                                *fn_node.args.posonlyargs,
+                                *fn_node.args.args,
+                                *fn_node.args.kwonlyargs,
+                            ]
+                        }
+                        for sub in ast.walk(fn_node):
+                            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                                if sub.id not in local and sub.id not in _BUILTIN_NAMES:
+                                    captured.add(sub.id)
+                else:
+                    resolved = self.ex._resolve_name_str(payload.id, self.scope)
+                    if resolved is not None:
+                        payload_kind = "function"
+                        payload_qual = resolved
+        mutable_globals = sorted(
+            name for name in captured if name in self.ex.mutable_globals
+        )
+        unpicklable: List[Tuple[str, str]] = []
+        ctor_map = dict(self.ex.config.unpicklable_constructors)
+        for name in sorted(captured):
+            binding = self._find_binding_call(name)
+            if binding is not None and binding in ctor_map:
+                unpicklable.append((name, ctor_map[binding]))
+        self.summary.forkmap_sites.append(
+            ForkMapSite(
+                line=node.lineno,
+                col=node.col_offset,
+                payload=payload_qual,
+                payload_kind=payload_kind,
+                captured_mutable_globals=mutable_globals,
+                captured_unpicklable=unpicklable,
+            )
+        )
+
+    def _find_nested_def(self, name: str) -> Optional[ast.FunctionDef]:
+        scope: Optional[_Scope] = self.scope
+        while scope is not None:
+            node = scope.node
+            body = getattr(node, "body", None)
+            if isinstance(body, list):
+                for stmt in body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if stmt.name == name:
+                            return stmt
+            scope = scope.parent
+        return None
+
+    def _find_binding_call(self, name: str) -> Optional[str]:
+        """Resolved constructor bound to ``name`` in an enclosing scope."""
+        scope: Optional[_Scope] = self.scope.parent
+        while scope is not None:
+            node = scope.node
+            body = getattr(node, "body", None)
+            if isinstance(body, list):
+                for stmt in ast.walk_stmts(body) if hasattr(ast, "walk_stmts") else _iter_stmts(body):
+                    if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                        for t in stmt.targets:
+                            if isinstance(t, ast.Name) and t.id == name:
+                                return self.ex._resolve_dotted(stmt.value.func, scope)
+                    if isinstance(stmt, ast.With):
+                        for item in stmt.items:
+                            var = item.optional_vars
+                            if (
+                                isinstance(var, ast.Name)
+                                and var.id == name
+                                and isinstance(item.context_expr, ast.Call)
+                            ):
+                                return self.ex._resolve_dotted(item.context_expr.func, scope)
+            scope = scope.parent
+        return None
+
+    # -- statements ----------------------------------------------------
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # summarized separately
+        if isinstance(stmt, ast.Global):
+            self.scope.global_decls.update(stmt.names)
+            return
+        if isinstance(stmt, ast.Return):
+            self.returns.update(self.eval_expr(stmt.value))
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._visit_assign(stmt)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_atoms = self.eval_expr(stmt.iter)
+            if self._is_set_origin(stmt.iter):
+                iter_atoms |= frozenset({("source", "set-order", stmt.iter.lineno)})
+            for target in ast.walk(stmt.target):
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, iter_atoms)
+            for s in [*stmt.body, *stmt.orelse]:
+                self.visit_stmt(s)
+            return
+        if isinstance(stmt, (ast.While, ast.If)):
+            self.eval_expr(stmt.test)
+            for s in [*stmt.body, *stmt.orelse]:
+                self.visit_stmt(s)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                atoms = self.eval_expr(item.context_expr)
+                var = item.optional_vars
+                if isinstance(var, ast.Name):
+                    self._bind(var.id, atoms)
+            for s in stmt.body:
+                self.visit_stmt(s)
+            return
+        if isinstance(stmt, ast.Try):
+            for s in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self.visit_stmt(s)
+            for handler in stmt.handlers:
+                for s in handler.body:
+                    self.visit_stmt(s)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    pass
+            if isinstance(stmt, ast.Raise):
+                if stmt.exc is not None:
+                    self.eval_expr(stmt.exc)
+            else:
+                self.eval_expr(stmt.test)
+                if stmt.msg is not None:
+                    self.eval_expr(stmt.msg)
+            return
+        if isinstance(stmt, ast.Delete):
+            return
+        if isinstance(stmt, (ast.Match,)) if hasattr(ast, "Match") else False:
+            for case in stmt.cases:
+                for s in case.body:
+                    self.visit_stmt(s)
+            return
+
+    def _visit_assign(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.AugAssign):
+            value_atoms = self.eval_expr(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                self._bind(target.id, value_atoms)
+                if target.id in self.scope.global_decls:
+                    self._record_free_mutation(target.id)
+            else:
+                self._record_store_target(target)
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.expr) and not isinstance(sub, (ast.Name, ast.Attribute, ast.Subscript, ast.Slice)):
+                        self.eval_expr(sub)
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        value_atoms = self.eval_expr(value) if value is not None else frozenset()
+        set_origin = value is not None and self._is_set_origin(value)
+        type_name: Optional[str] = None
+        if isinstance(stmt, ast.AnnAssign):
+            ann = _annotation_to_name(stmt.annotation)
+            if ann:
+                type_name = self.ex._resolve_name_str(ann, self.scope)
+        elif value is not None and isinstance(value, ast.Call):
+            resolved = self.ex._resolve_dotted(value.func, self.scope)
+            if resolved is not None and resolved.split(".")[-1][:1].isupper():
+                type_name = resolved
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, value_atoms)
+                if set_origin:
+                    if target.id not in self.scope.set_typed:
+                        self.scope.set_typed.add(target.id)
+                        self.changed = True
+                if type_name is not None:
+                    if self.scope.types.get(target.id) != type_name:
+                        self.scope.types[target.id] = type_name
+                        self.changed = True
+                if target.id in self.scope.global_decls:
+                    self._record_free_mutation(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        self._bind(sub.id, value_atoms)
+            else:
+                self._record_store_target(target)
+
+
+def _iter_stmts(body: List[ast.stmt]):
+    for stmt in body:
+        yield stmt
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.stmt) and sub is not stmt:
+                yield sub
+
+
+def extract_file(
+    rel_path: str,
+    source: str,
+    config: Optional[FlowConfig] = None,
+    tree: Optional[ast.Module] = None,
+    is_test: bool = False,
+) -> FileSummary:
+    """Summarize one module (parses ``source`` unless ``tree`` is given)."""
+    cfg = config or FlowConfig()
+    if tree is None:
+        tree = ast.parse(source, filename=rel_path)
+    return _Extractor(rel_path, tree, cfg, is_test=is_test).run()

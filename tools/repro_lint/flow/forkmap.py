@@ -1,0 +1,227 @@
+"""``fork_map`` safety rules — RL011, RL012, RL013.
+
+``repro._parallel.fork_map`` runs its payload in forked worker processes:
+the payload's closure is snapshotted copy-on-write, results come back by
+pickle, and any write a worker makes to state shared with the parent is
+silently lost (or, worse, survives on the serial fallback path only —
+the classic "works with jobs=1" heisenbug).  These rules check the three
+static preconditions of that contract:
+
+RL011
+    the payload captures something that cannot round-trip a fork fan-out:
+    a module-level mutable container (each worker sees its own copy) or an
+    unpicklable resource (file handle, lock, DB connection);
+RL012
+    the payload — directly or through anything it calls — writes to state
+    it shares with the parent process (captured objects, ``self``, module
+    globals);
+RL013
+    the payload can reach another ``fork_map`` call: nested fan-out raises
+    at runtime, so catching it statically turns a crash into a lint line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Finding
+from .config import FlowConfig
+from .model import ForkMapSite, FunctionSummary
+from .program import ProgramIndex
+
+__all__ = ["run_forkmap_rules"]
+
+_MUT_FIXPOINT_ROUNDS = 12
+
+
+def _transitive_mutated_params(index: ProgramIndex) -> Dict[str, Set[str]]:
+    """For every function, the parameters whose object state may be written
+    by the function itself or by anything it passes them to."""
+    mut: Dict[str, Set[str]] = {
+        q: set(fn.mutated_params) for q, fn in index.functions.items()
+    }
+    for _ in range(_MUT_FIXPOINT_ROUNDS):
+        changed = False
+        for qual, fn in index.functions.items():
+            for site in fn.callsites:
+                callee = index.callee_function(site.callee)
+                if callee is None:
+                    continue
+                callee_mut = mut.get(callee.qualname)
+                if not callee_mut:
+                    continue
+                binding = index.bind_callsite(site, callee)
+                for pname in callee_mut:
+                    for atom in binding.get(pname, frozenset()):
+                        if atom[0] == "param" and atom[1] not in mut[qual]:
+                            mut[qual].add(atom[1])
+                            changed = True
+        if not changed:
+            break
+    return mut
+
+
+def _module_level_frees(index: ProgramIndex, fn: FunctionSummary) -> Set[str]:
+    """The subset of ``fn.mutated_frees`` that are module-level names —
+    writes to those leak across the fork boundary.  Frees that are locals
+    of an enclosing function belong to the worker's own (copied) frame and
+    are excluded."""
+    rel = index.file_of.get(fn.qualname)
+    f = index.files.get(rel) if rel else None
+    if f is None:
+        return set(fn.mutated_frees)
+    module_names = (
+        set(f.global_bindings) | set(f.mutable_globals) | set(f.import_map)
+    )
+    return {n for n in fn.mutated_frees if n in module_names}
+
+
+def _shared_write_reasons(
+    index: ProgramIndex,
+    payload: FunctionSummary,
+    mut_params: Dict[str, Set[str]],
+) -> List[str]:
+    """Human-readable reasons the payload writes shared state."""
+    reasons: List[str] = []
+    captured_writes = set(payload.mutated_frees)
+    if captured_writes:
+        names = ", ".join(sorted(captured_writes))
+        reasons.append(f"writes captured state ({names}) directly")
+    for site in payload.callsites:
+        callee = index.callee_function(site.callee)
+        if callee is None:
+            continue
+        callee_mut = mut_params.get(callee.qualname, set())
+        if callee_mut:
+            binding = index.bind_callsite(site, callee)
+            for pname in sorted(callee_mut):
+                # only *captured* values are shared with the parent; the
+                # payload's own parameter is the per-task index, which is
+                # worker-local by construction
+                shared = sorted(
+                    a[1]
+                    for a in binding.get(pname, frozenset())
+                    if a[0] == "free"
+                )
+                if shared:
+                    reasons.append(
+                        f"passes captured {', '.join(shared)} to "
+                        f"{_short(callee.qualname)} which mutates its "
+                        f"'{pname}' parameter"
+                    )
+        # transitive module-global writes anywhere beneath the payload
+    for reached_qual in sorted(index.reachable_from(payload.qualname)):
+        reached = index.functions.get(reached_qual)
+        if reached is None or reached.qualname == payload.qualname:
+            continue
+        globals_written = _module_level_frees(index, reached)
+        if globals_written:
+            reasons.append(
+                f"reaches {_short(reached_qual)} which writes module "
+                f"state ({', '.join(sorted(globals_written))})"
+            )
+    return reasons
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname
+
+
+def run_forkmap_rules(index: ProgramIndex, config: FlowConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    mut_params = _transitive_mutated_params(index)
+
+    # functions that *contain* a fork_map call (targets for RL013)
+    fanout_functions: Set[str] = {
+        qual
+        for qual, fn in index.functions.items()
+        if fn.forkmap_sites
+        or any(
+            site.callee is not None
+            and index.canonical(site.callee) is None
+            and site.callee in config.fork_map_names
+            for site in fn.callsites
+        )
+    }
+    # exclude the parallel runtime itself — fork_map's own helpers are the
+    # machinery, not a nested fan-out
+    fanout_functions = {
+        q for q in fanout_functions if not q.startswith("repro._parallel.")
+    }
+
+    for fn in index.functions.values():
+        rel = index.file_of.get(fn.qualname, "<unknown>")
+        for site in fn.forkmap_sites:
+            # RL011 — captures that do not survive the fork fan-out
+            if site.captured_mutable_globals:
+                names = ", ".join(site.captured_mutable_globals)
+                findings.append(
+                    Finding(
+                        rule="RL011",
+                        path=rel,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"fork_map payload captures module-global mutable "
+                            f"state ({names}); workers see copy-on-write "
+                            f"copies, so updates diverge between jobs=1 and "
+                            f"jobs>1 — pass the data per task or make it "
+                            f"immutable"
+                        ),
+                    )
+                )
+            for name, what in site.captured_unpicklable:
+                findings.append(
+                    Finding(
+                        rule="RL011",
+                        path=rel,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"fork_map payload captures {what} ('{name}'); "
+                            f"it cannot cross the fork/pickle boundary — "
+                            f"open the resource inside the payload instead"
+                        ),
+                    )
+                )
+            payload = (
+                index.functions.get(site.payload) if site.payload else None
+            )
+            if payload is None:
+                continue
+            # RL012 — worker-side mutation of shared state
+            for reason in _shared_write_reasons(index, payload, mut_params):
+                findings.append(
+                    Finding(
+                        rule="RL012",
+                        path=rel,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"fork_map payload {_short(payload.qualname)} "
+                            f"{reason}; worker writes are lost on fork and "
+                            f"survive only on the serial fallback — return "
+                            f"results instead of mutating shared state"
+                        ),
+                    )
+                )
+            # RL013 — statically detectable nested fork_map
+            path = index.find_path(payload.qualname, fanout_functions)
+            if path is not None and not fn.qualname.startswith("repro._parallel."):
+                chain = " -> ".join(_short(q) for q in path)
+                findings.append(
+                    Finding(
+                        rule="RL013",
+                        path=rel,
+                        line=site.line,
+                        col=site.col,
+                        message=(
+                            f"fork_map payload can fan out again "
+                            f"({chain}); nested fork_map raises at runtime "
+                            f"— flatten the work items or run the inner "
+                            f"level serially"
+                        ),
+                    )
+                )
+    return findings

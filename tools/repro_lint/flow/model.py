@@ -1,0 +1,302 @@
+"""Serializable summaries the extractor produces and the rules consume.
+
+A *summary* is everything the whole-program phase needs to know about one
+module — and nothing else.  The AST never crosses this boundary, which is
+what makes summaries cacheable by content hash (:mod:`.cache`) and cheap to
+ship across worker processes for ``--jobs`` extraction.
+
+Dataflow is expressed in *atoms*, the currency of the taint analysis:
+
+``("param", name)``
+    the value of a function parameter;
+``("free", name)``
+    the value of a name captured from an enclosing scope or the module
+    globals (the program index resolves module-level bindings later);
+``("source", kind, line)``
+    a nondeterminism source observed directly (kinds in
+    :data:`repro_lint.flow.config.SOURCE_KINDS`);
+``("call", id)``
+    the result of call site ``id`` — expanded interprocedurally by
+    :mod:`.taint` once every function's summary is known.
+
+Atom sets are capped (:data:`MAX_ATOMS`) so pathological expressions cannot
+blow the analysis up; the cap trades recall for bounded memory, never
+soundness of what *is* reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "Atom",
+    "AtomSet",
+    "MAX_ATOMS",
+    "cap_atoms",
+    "CallSite",
+    "ForkMapSite",
+    "ClassInfo",
+    "FunctionSummary",
+    "FileSummary",
+    "SUMMARY_FORMAT_VERSION",
+]
+
+#: bump when the extraction semantics change — cached summaries written by
+#: an older extractor are then treated as misses instead of being trusted
+SUMMARY_FORMAT_VERSION = 1
+
+Atom = Tuple[Any, ...]
+AtomSet = FrozenSet[Atom]
+
+MAX_ATOMS = 64
+
+
+def cap_atoms(atoms: FrozenSet[Atom]) -> FrozenSet[Atom]:
+    if len(atoms) <= MAX_ATOMS:
+        return atoms
+    return frozenset(sorted(atoms, key=repr)[:MAX_ATOMS])
+
+
+def _atoms_to_json(atoms: FrozenSet[Atom]) -> List[List[Any]]:
+    return sorted([list(a) for a in atoms])
+
+
+def _atoms_from_json(data: List[List[Any]]) -> FrozenSet[Atom]:
+    return frozenset(tuple(a) for a in data)
+
+
+@dataclass
+class CallSite:
+    """One resolved (or opaque) call expression inside a function."""
+
+    index: int
+    line: int
+    col: int
+    #: best-effort resolved dotted name (``None`` = opaque expression)
+    callee: Optional[str]
+    #: atoms feeding the receiver of an attribute call (``a.b(...)``)
+    recv: FrozenSet[Atom] = frozenset()
+    #: atoms feeding each positional argument, in order
+    args: List[FrozenSet[Atom]] = field(default_factory=list)
+    #: atoms feeding keyword arguments, by name (``**kwargs`` under ``"*"``)
+    kwargs: Dict[str, FrozenSet[Atom]] = field(default_factory=dict)
+    #: taint kind produced by this call itself (a source), if any
+    source_kind: Optional[str] = None
+    #: order-insensitive reducer — strips order taint from its result
+    sanitizer: bool = False
+    #: the callee is a class: the call constructs an instance and binds
+    #: positional args starting at the ``__init__`` parameter after ``self``
+    constructs: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "line": self.line,
+            "col": self.col,
+            "callee": self.callee,
+            "recv": _atoms_to_json(self.recv),
+            "args": [_atoms_to_json(a) for a in self.args],
+            "kwargs": {k: _atoms_to_json(v) for k, v in sorted(self.kwargs.items())},
+            "source_kind": self.source_kind,
+            "sanitizer": self.sanitizer,
+            "constructs": self.constructs,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CallSite":
+        return cls(
+            index=data["index"],
+            line=data["line"],
+            col=data["col"],
+            callee=data["callee"],
+            recv=_atoms_from_json(data["recv"]),
+            args=[_atoms_from_json(a) for a in data["args"]],
+            kwargs={k: _atoms_from_json(v) for k, v in data["kwargs"].items()},
+            source_kind=data["source_kind"],
+            sanitizer=data["sanitizer"],
+            constructs=data["constructs"],
+        )
+
+
+@dataclass
+class ForkMapSite:
+    """One ``fork_map(payload, ...)`` call with its payload resolved."""
+
+    line: int
+    col: int
+    #: qualname of the payload function/lambda (``None`` = unresolvable)
+    payload: Optional[str]
+    #: "lambda" | "local" | "function" | "opaque"
+    payload_kind: str = "opaque"
+    #: free names of the payload bound to module-level mutable containers
+    captured_mutable_globals: List[str] = field(default_factory=list)
+    #: ``(name, what)`` pairs for captures of unpicklable resources
+    captured_unpicklable: List[Tuple[str, str]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "payload": self.payload,
+            "payload_kind": self.payload_kind,
+            "captured_mutable_globals": list(self.captured_mutable_globals),
+            "captured_unpicklable": [list(p) for p in self.captured_unpicklable],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ForkMapSite":
+        return cls(
+            line=data["line"],
+            col=data["col"],
+            payload=data["payload"],
+            payload_kind=data["payload_kind"],
+            captured_mutable_globals=list(data["captured_mutable_globals"]),
+            captured_unpicklable=[tuple(p) for p in data["captured_unpicklable"]],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """A project class: resolved bases and the methods defined on it."""
+
+    qualname: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ClassInfo":
+        return cls(
+            qualname=data["qualname"],
+            line=data["line"],
+            bases=list(data["bases"]),
+            methods=list(data["methods"]),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """File-local dataflow facts about one function, method or lambda."""
+
+    qualname: str
+    line: int
+    #: positionally bindable parameter names, in order (``self`` included)
+    params: List[str] = field(default_factory=list)
+    #: keyword-only parameter names
+    kwonly: List[str] = field(default_factory=list)
+    has_vararg: bool = False
+    has_kwarg: bool = False
+    #: atoms that may flow into the return value
+    returns: FrozenSet[Atom] = frozenset()
+    callsites: List[CallSite] = field(default_factory=list)
+    #: parameters whose object state the body writes (``p.x = ...``,
+    #: ``p.x[k] = ...``, ``p.items.append`` is *not* counted — only stores
+    #: and mutating-method calls rooted at the bare parameter name)
+    mutated_params: List[str] = field(default_factory=list)
+    #: captured/global names the body writes through
+    mutated_frees: List[str] = field(default_factory=list)
+    forkmap_sites: List[ForkMapSite] = field(default_factory=list)
+    #: owning class qualname for methods (``None`` for plain functions)
+    class_qualname: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": list(self.params),
+            "kwonly": list(self.kwonly),
+            "has_vararg": self.has_vararg,
+            "has_kwarg": self.has_kwarg,
+            "returns": _atoms_to_json(self.returns),
+            "callsites": [c.to_json() for c in self.callsites],
+            "mutated_params": list(self.mutated_params),
+            "mutated_frees": list(self.mutated_frees),
+            "forkmap_sites": [s.to_json() for s in self.forkmap_sites],
+            "class_qualname": self.class_qualname,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=data["qualname"],
+            line=data["line"],
+            params=list(data["params"]),
+            kwonly=list(data["kwonly"]),
+            has_vararg=data["has_vararg"],
+            has_kwarg=data["has_kwarg"],
+            returns=_atoms_from_json(data["returns"]),
+            callsites=[CallSite.from_json(c) for c in data["callsites"]],
+            mutated_params=list(data["mutated_params"]),
+            mutated_frees=list(data["mutated_frees"]),
+            forkmap_sites=[ForkMapSite.from_json(s) for s in data["forkmap_sites"]],
+            class_qualname=data["class_qualname"],
+        )
+
+
+@dataclass
+class FileSummary:
+    """Everything the whole-program phase keeps about one module."""
+
+    rel_path: str
+    module: str
+    is_package: bool = False
+    functions: List[FunctionSummary] = field(default_factory=list)
+    classes: List[ClassInfo] = field(default_factory=list)
+    #: names listed in a literal ``__all__`` (``None`` = no ``__all__``)
+    exports: Optional[List[str]] = None
+    #: module-level names bound to mutable containers (list/dict/set/…)
+    mutable_globals: List[str] = field(default_factory=list)
+    #: module-level name -> atoms of its binding (for ``("free", n)``
+    #: resolution across functions of the same module)
+    global_bindings: Dict[str, FrozenSet[Atom]] = field(default_factory=dict)
+    #: identifiers a test file references (empty for non-test files)
+    referenced_idents: List[str] = field(default_factory=list)
+    imports_hypothesis: bool = False
+    #: local import alias -> resolved dotted target (drives re-export
+    #: resolution: ``repro.simulation.DCSSimulator`` -> ``...dcs.DCSSimulator``)
+    import_map: Dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": SUMMARY_FORMAT_VERSION,
+            "rel_path": self.rel_path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "functions": [f.to_json() for f in self.functions],
+            "classes": [c.to_json() for c in self.classes],
+            "exports": self.exports,
+            "mutable_globals": list(self.mutable_globals),
+            "global_bindings": {
+                k: _atoms_to_json(v) for k, v in sorted(self.global_bindings.items())
+            },
+            "referenced_idents": list(self.referenced_idents),
+            "imports_hypothesis": self.imports_hypothesis,
+            "import_map": dict(sorted(self.import_map.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FileSummary":
+        return cls(
+            rel_path=data["rel_path"],
+            module=data["module"],
+            is_package=data["is_package"],
+            functions=[FunctionSummary.from_json(f) for f in data["functions"]],
+            classes=[ClassInfo.from_json(c) for c in data["classes"]],
+            exports=data["exports"],
+            mutable_globals=list(data["mutable_globals"]),
+            global_bindings={
+                k: _atoms_from_json(v) for k, v in data["global_bindings"].items()
+            },
+            referenced_idents=list(data["referenced_idents"]),
+            imports_hypothesis=data["imports_hypothesis"],
+            import_map=dict(data["import_map"]),
+        )

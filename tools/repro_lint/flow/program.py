@@ -1,0 +1,316 @@
+"""Whole-program index: merge file summaries, canonicalize names, build
+the call graph.
+
+Canonicalization turns the extractor's *tentative* dotted names into the
+qualnames of actual project definitions:
+
+* re-exports — ``repro.simulation.DCSSimulator.run`` follows the package
+  ``__init__`` import map to ``repro.simulation.dcs.DCSSimulator.run``;
+* inheritance — a method referenced through a subclass resolves to the
+  base class that actually defines it (depth-first linearization, which
+  matches C3 for the single-inheritance hierarchies in this project);
+* ``super()`` calls — the symbolic ``<super:Class>.m`` form resolves along
+  the linearization *after* ``Class``;
+* opaque receivers — ``?.m`` resolves only when exactly one project class
+  defines a method ``m`` (anything ambiguous stays unresolved rather than
+  guessing).
+
+The call graph is conservative in the usual static-analysis sense: edges
+exist only for calls we can resolve, and the rules treat unresolved calls
+as taint-through rather than taint-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .model import ClassInfo, FileSummary, FunctionSummary
+
+__all__ = ["ProgramIndex"]
+
+_MAX_RESOLVE_STEPS = 16
+
+
+class ProgramIndex:
+    """Symbol table + call graph over a set of :class:`FileSummary`."""
+
+    def __init__(self, files: Sequence[FileSummary]):
+        self.files: Dict[str, FileSummary] = {f.rel_path: f for f in files}
+        self.by_module: Dict[str, FileSummary] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: function qualname -> repo-relative path of its file
+        self.file_of: Dict[str, str] = {}
+        self._method_index: Dict[str, List[str]] = {}
+        self._canonical_cache: Dict[str, Optional[str]] = {}
+        for f in files:
+            # later files win on module collisions (should not happen in a
+            # well-formed tree; deterministic either way)
+            self.by_module[f.module] = f
+        for f in files:
+            for cls in f.classes:
+                self.classes[cls.qualname] = cls
+            for fn in f.functions:
+                self.functions[fn.qualname] = fn
+                self.file_of[fn.qualname] = f.rel_path
+        for cls in self.classes.values():
+            for m in cls.methods:
+                self._method_index.setdefault(m, []).append(f"{cls.qualname}.{m}")
+        self._edges: Optional[Dict[str, Set[str]]] = None
+        self._sccs: Optional[List[List[str]]] = None
+
+    # -- class hierarchy ----------------------------------------------
+    def linearize(self, class_qualname: str) -> List[str]:
+        """Depth-first base-class linearization starting at the class."""
+        out: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            seen.add(name)
+            out.append(name)
+            cls = self.classes.get(name)
+            if cls is None:
+                return
+            for base in cls.bases:
+                resolved = self._resolve_export_chain(base)
+                if resolved is not None:
+                    visit(resolved)
+
+        visit(class_qualname)
+        return out
+
+    def find_method(self, class_qualname: str, method: str) -> Optional[str]:
+        for cls_name in self.linearize(class_qualname):
+            candidate = f"{cls_name}.{method}"
+            if candidate in self.functions:
+                return candidate
+        return None
+
+    # -- name canonicalization ----------------------------------------
+    def _resolve_export_chain(self, name: str) -> Optional[str]:
+        """Follow package-``__init__`` re-exports until ``name`` is a
+        project definition (function/class) or cannot be rewritten."""
+        current = name
+        for _ in range(_MAX_RESOLVE_STEPS):
+            if current in self.functions or current in self.classes:
+                return current
+            parts = current.split(".")
+            rewritten = None
+            # longest module prefix whose import map knows the next part
+            for cut in range(len(parts) - 1, 0, -1):
+                module = ".".join(parts[:cut])
+                f = self.by_module.get(module)
+                if f is None:
+                    continue
+                head, rest = parts[cut], parts[cut + 1 :]
+                if head in f.import_map:
+                    rewritten = ".".join([f.import_map[head], *rest])
+                break
+            if rewritten is None or rewritten == current:
+                return current if current in self.functions or current in self.classes else None
+            current = rewritten
+        return None
+
+    def canonical(self, name: Optional[str]) -> Optional[str]:
+        """Canonical project qualname for a tentative callee, or ``None``."""
+        if name is None:
+            return None
+        if name in self._canonical_cache:
+            return self._canonical_cache[name]
+        self._canonical_cache[name] = None  # cycle guard
+        result = self._canonical_uncached(name)
+        self._canonical_cache[name] = result
+        return result
+
+    def _canonical_uncached(self, name: str) -> Optional[str]:
+        if name.startswith("?."):
+            method = name[2:]
+            candidates = self._method_index.get(method, [])
+            resolved = {self.canonical(c) for c in candidates}
+            resolved.discard(None)
+            if len(resolved) == 1:
+                return next(iter(resolved))
+            return None
+        if name.startswith("<super:"):
+            head, _, method = name.partition(">.")
+            class_name = head[len("<super:") :]
+            order = self.linearize(class_name)
+            for cls_name in order[1:]:
+                candidate = f"{cls_name}.{method}"
+                if candidate in self.functions:
+                    return candidate
+            return None
+        direct = self._resolve_export_chain(name)
+        if direct is not None:
+            if direct in self.functions:
+                return direct
+            if direct in self.classes:
+                return direct  # constructor reference; callers map to __init__
+        # Class.method where the method lives on a base
+        parts = name.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            cls = self._resolve_export_chain(prefix)
+            if cls is not None and cls in self.classes and cut == len(parts) - 1:
+                return self.find_method(cls, parts[-1])
+        return None
+
+    def callee_function(self, name: Optional[str]) -> Optional[FunctionSummary]:
+        """The :class:`FunctionSummary` a call site executes (constructors
+        map to ``__init__``), or ``None`` for external/opaque calls."""
+        canon = self.canonical(name)
+        if canon is None:
+            return None
+        if canon in self.classes:
+            init = self.find_method(canon, "__init__")
+            return self.functions.get(init) if init else None
+        return self.functions.get(canon)
+
+    def is_class(self, name: Optional[str]) -> bool:
+        canon = self.canonical(name)
+        return canon is not None and canon in self.classes
+
+    # -- call graph ----------------------------------------------------
+    @property
+    def edges(self) -> Dict[str, Set[str]]:
+        if self._edges is None:
+            edges: Dict[str, Set[str]] = {q: set() for q in self.functions}
+            for qual, fn in self.functions.items():
+                for site in fn.callsites:
+                    callee = self.callee_function(site.callee)
+                    if callee is not None:
+                        edges[qual].add(callee.qualname)
+                for fsite in fn.forkmap_sites:
+                    if fsite.payload and fsite.payload in self.functions:
+                        edges[qual].add(fsite.payload)
+            self._edges = edges
+        return self._edges
+
+    @property
+    def sccs(self) -> List[List[str]]:
+        """Tarjan SCCs of the call graph in reverse topological order
+        (callees before callers) — iterative, recursion-free."""
+        if self._sccs is not None:
+            return self._sccs
+        edges = self.edges
+        index_of: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        for root in sorted(edges):
+            if root in index_of:
+                continue
+            work: List[Tuple[str, Iterable[str]]] = [(root, iter(sorted(edges[root])))]
+            index_of[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index_of:
+                        index_of[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(edges[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    scc: List[str] = []
+                    while True:
+                        top = stack.pop()
+                        on_stack.discard(top)
+                        scc.append(top)
+                        if top == node:
+                            break
+                    sccs.append(scc)
+        self._sccs = sccs
+        return sccs
+
+    # -- reachability ---------------------------------------------------
+    def reachable_from(self, start: str) -> Set[str]:
+        edges = self.edges
+        seen: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(edges.get(node, ()))
+        return seen
+
+    def find_path(self, start: str, targets: Set[str]) -> Optional[List[str]]:
+        """Shortest call-graph path from ``start`` to any of ``targets``."""
+        edges = self.edges
+        if start in targets:
+            return [start]
+        prev: Dict[str, str] = {}
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for succ in sorted(edges.get(node, ())):
+                    if succ in seen:
+                        continue
+                    seen.add(succ)
+                    prev[succ] = node
+                    if succ in targets:
+                        path = [succ]
+                        while path[-1] != start:
+                            path.append(prev[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    # -- binding --------------------------------------------------------
+    def bind_callsite(
+        self, site: "object", callee: FunctionSummary
+    ) -> Dict[str, FrozenSet[Tuple]]:
+        """Map callee parameter names to the caller-side atom sets feeding
+        them at one call site (positional + keyword + receiver/self)."""
+        binding: Dict[str, FrozenSet[Tuple]] = {}
+        params = list(callee.params)
+        pos_args = list(site.args)
+        is_method = callee.class_qualname is not None and params[:1] == ["self"]
+        constructs = self.is_class(site.callee)
+        if is_method and constructs:
+            # Constructor call: the instance is created by the call itself;
+            # positional args bind after self.
+            binding["self"] = frozenset()
+            params = params[1:]
+        elif is_method:
+            binding["self"] = site.recv
+            params = params[1:]
+        for name, atoms in zip(params, pos_args):
+            binding[name] = binding.get(name, frozenset()) | atoms
+        if len(pos_args) > len(params) and params:
+            # overflow into *args: attribute the spill to the last param so
+            # taint is not dropped
+            spill = frozenset().union(*pos_args[len(params) :])
+            last = params[-1]
+            binding[last] = binding.get(last, frozenset()) | spill
+        for kw, atoms in site.kwargs.items():
+            if kw == "*":
+                for name in [*params, *callee.kwonly]:
+                    binding[name] = binding.get(name, frozenset()) | atoms
+            else:
+                binding[kw] = binding.get(kw, frozenset()) | atoms
+        return binding

@@ -1,0 +1,55 @@
+"""Entry points tying extraction, the program index and the flow rules
+together for the engine and the CLI."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..engine import Finding, FileContext, LintConfig
+from .cache import SummaryCache, extract_summaries
+from .config import FlowOptions
+from .forkmap import run_forkmap_rules
+from .program import ProgramIndex
+from .taint import run_taint
+
+__all__ = ["build_program", "run_flow_rules"]
+
+
+def build_program(
+    contexts: Sequence[FileContext], options: Optional[FlowOptions] = None
+) -> ProgramIndex:
+    """Extract (or load cached) summaries for the given files and index
+    them into one :class:`ProgramIndex`."""
+    opts = options or FlowOptions()
+    cache = SummaryCache(opts.cache_dir) if opts.cache_dir else None
+    items = [(ctx.rel_path, ctx.source, ctx.is_test_file) for ctx in contexts]
+    summaries = extract_summaries(items, opts.config, jobs=opts.jobs, cache=cache)
+    return ProgramIndex(summaries)
+
+
+def run_flow_rules(
+    contexts: Sequence[FileContext],
+    config: Optional[LintConfig] = None,
+    options: Optional[FlowOptions] = None,
+) -> List[Finding]:
+    """Run the whole-program rules (RL010–RL013) over the given files.
+
+    Returns *raw* findings — the engine applies suppression comments
+    centrally, exactly as for the per-file rules.
+    """
+    cfg = config or LintConfig()
+    opts = options or FlowOptions()
+    wanted = [r for r in ("RL010", "RL011", "RL012", "RL013") if cfg.enabled(r)]
+    if not wanted:
+        return []
+    index = build_program(contexts, opts)
+    findings: List[Finding] = []
+    if "RL010" in wanted:
+        findings.extend(run_taint(index, opts.config))
+    if any(r in wanted for r in ("RL011", "RL012", "RL013")):
+        findings.extend(
+            f
+            for f in run_forkmap_rules(index, opts.config)
+            if f.rule in wanted
+        )
+    return findings

@@ -1,0 +1,298 @@
+"""Interprocedural taint analysis — rule RL010.
+
+Two passes over the :class:`~repro_lint.flow.program.ProgramIndex`:
+
+1. a fixpoint over the SCC condensation (callees first) computing, for
+   every function, the taint *kinds* its return value may carry and the
+   *parameters* that flow to its return;
+2. a sink pass that expands the atoms feeding each determinism-critical
+   call site.  Kinds that materialize locally become findings at the sink;
+   parameters that reach a sink make the enclosing function a *forwarder*,
+   and the finding surfaces at whichever caller actually binds a tainted
+   value — with the forwarding chain spelled out in the message.
+
+Sanitizers act during expansion: an order-insensitive reducer
+(``sorted``, ``len``, …) strips the order kinds (``set-order``,
+``completion-order``) from everything that flowed through it; nothing
+strips ``rng``/``clock``/``entropy`` — a sorted list of random numbers is
+still random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Finding
+from .config import SOURCE_KINDS, FlowConfig, SinkSpec
+from .model import Atom, FileSummary, FunctionSummary
+from .program import ProgramIndex
+
+__all__ = ["run_taint", "TaintAnalysis"]
+
+#: (kind, "qualname:line" provenance)
+KindProv = Tuple[str, str]
+
+_ORDER_KINDS = frozenset({"set-order", "completion-order"})
+_MAX_PROVENANCE = 6
+_MAX_CHAIN = 20
+
+
+def _cap_kinds(kinds: Set[KindProv]) -> Set[KindProv]:
+    if len(kinds) <= _MAX_PROVENANCE * len(SOURCE_KINDS):
+        return kinds
+    by_kind: Dict[str, List[KindProv]] = {}
+    for kp in sorted(kinds):
+        by_kind.setdefault(kp[0], []).append(kp)
+    capped: Set[KindProv] = set()
+    for entries in by_kind.values():
+        capped.update(entries[:_MAX_PROVENANCE])
+    return capped
+
+
+class TaintAnalysis:
+    """Computes and stores the interprocedural taint facts."""
+
+    def __init__(self, index: ProgramIndex, config: FlowConfig):
+        self.index = index
+        self.config = config
+        self.ret_kinds: Dict[str, Set[KindProv]] = {}
+        self.ret_params: Dict[str, Set[str]] = {}
+        self._sink_by_name: Dict[str, SinkSpec] = {s.qualname: s for s in config.sinks}
+        self._callers: Optional[Dict[str, List[Tuple[FunctionSummary, int]]]] = None
+
+    # -- atom expansion ------------------------------------------------
+    def expand(
+        self,
+        fn: FunctionSummary,
+        atoms: FrozenSet[Atom],
+        _active: Optional[Set[Tuple[str, Atom]]] = None,
+    ) -> Tuple[Set[KindProv], Set[str]]:
+        """Expand ``atoms`` in the context of ``fn``.
+
+        Returns the taint kinds that materialize plus the names of ``fn``'s
+        own parameters the atoms depend on.
+        """
+        active = _active if _active is not None else set()
+        kinds: Set[KindProv] = set()
+        params: Set[str] = set()
+        for atom in atoms:
+            key = (fn.qualname, atom)
+            if key in active:
+                continue
+            active.add(key)
+            try:
+                tag = atom[0]
+                if tag == "param":
+                    params.add(atom[1])
+                elif tag == "source":
+                    kinds.add((atom[1], f"{fn.qualname}:{atom[2]}"))
+                elif tag == "free":
+                    kinds.update(self._expand_free(fn, atom[1], active))
+                elif tag == "call":
+                    k, p = self._expand_call(fn, atom[1], active)
+                    kinds.update(k)
+                    params.update(p)
+            finally:
+                active.discard(key)
+        return _cap_kinds(kinds), params
+
+    def _module_summary(self, fn: FunctionSummary) -> Optional[FileSummary]:
+        rel = self.index.file_of.get(fn.qualname)
+        return self.index.files.get(rel) if rel else None
+
+    def _expand_free(
+        self, fn: FunctionSummary, name: str, active: Set[Tuple[str, Atom]]
+    ) -> Set[KindProv]:
+        """A captured/global name: resolve through the owning module's
+        top-level bindings (closure locals of enclosing functions are out
+        of reach of the summary model and stay untainted)."""
+        f = self._module_summary(fn)
+        if f is None:
+            return set()
+        binding = f.global_bindings.get(name)
+        if not binding:
+            return set()
+        module_fn = self.index.functions.get(f"{f.module}.<module>")
+        if module_fn is None:
+            return set()
+        kinds, _ = self.expand(module_fn, binding, active)
+        return kinds
+
+    def _expand_call(
+        self, fn: FunctionSummary, call_index: int, active: Set[Tuple[str, Atom]]
+    ) -> Tuple[Set[KindProv], Set[str]]:
+        if call_index >= len(fn.callsites):
+            return set(), set()
+        site = fn.callsites[call_index]
+        kinds: Set[KindProv] = set()
+        params: Set[str] = set()
+        if site.source_kind is not None:
+            kinds.add((site.source_kind, f"{fn.qualname}:{site.line}"))
+        callee = self.index.callee_function(site.callee)
+        if callee is None or self.index.is_class(site.callee):
+            # external call or constructor: taint passes through every
+            # operand into the result / the constructed instance
+            pooled: FrozenSet[Atom] = site.recv
+            for a in site.args:
+                pooled |= a
+            for v in site.kwargs.values():
+                pooled |= v
+            k, p = self.expand(fn, pooled, active)
+            kinds.update(k)
+            params.update(p)
+        else:
+            kinds.update(self.ret_kinds.get(callee.qualname, set()))
+            passing = self.ret_params.get(callee.qualname, set())
+            if passing:
+                binding = self.index.bind_callsite(site, callee)
+                for pname in passing:
+                    atoms = binding.get(pname)
+                    if atoms:
+                        k, p = self.expand(fn, atoms, active)
+                        kinds.update(k)
+                        params.update(p)
+        if site.sanitizer:
+            kinds = {kp for kp in kinds if kp[0] not in _ORDER_KINDS}
+        return kinds, params
+
+    # -- global fixpoint -----------------------------------------------
+    def solve(self) -> None:
+        for scc in self.index.sccs:  # callees before callers
+            for _ in range(len(scc) + 2):
+                changed = False
+                for qual in scc:
+                    fn = self.index.functions[qual]
+                    kinds, params = self.expand(fn, fn.returns)
+                    if kinds != self.ret_kinds.get(qual, set()):
+                        self.ret_kinds[qual] = kinds
+                        changed = True
+                    if params != self.ret_params.get(qual, set()):
+                        self.ret_params[qual] = params
+                        changed = True
+                if not changed:
+                    break
+
+    # -- sink pass -----------------------------------------------------
+    def _sink_for(self, callee: Optional[str]) -> Optional[SinkSpec]:
+        canon = self.index.canonical(callee)
+        if canon is None:
+            return self._sink_by_name.get(callee) if callee else None
+        spec = self._sink_by_name.get(canon)
+        if spec is None and canon in self.index.classes:
+            spec = self._sink_by_name.get(f"{canon}.__init__")
+        return spec
+
+    def _sink_atoms(self, site: "object", spec: SinkSpec) -> FrozenSet[Atom]:
+        pooled: FrozenSet[Atom] = frozenset()
+        if spec.arg_indices is None:
+            pooled |= site.recv
+            for a in site.args:
+                pooled |= a
+        else:
+            for i in spec.arg_indices:
+                if i < len(site.args):
+                    pooled |= site.args[i]
+        for v in site.kwargs.values():
+            pooled |= v
+        return pooled
+
+    def _caller_map(self) -> Dict[str, List[Tuple[FunctionSummary, int]]]:
+        if self._callers is None:
+            callers: Dict[str, List[Tuple[FunctionSummary, int]]] = {}
+            for fn in self.index.functions.values():
+                for site in fn.callsites:
+                    callee = self.index.callee_function(site.callee)
+                    if callee is not None:
+                        callers.setdefault(callee.qualname, []).append(
+                            (fn, site.index)
+                        )
+            self._callers = callers
+        return self._callers
+
+    def find_sink_flows(self) -> List[Finding]:
+        findings: List[Finding] = []
+        #: (forwarder qualname, param) -> (sink label, chain of qualnames)
+        queue: List[Tuple[str, str, str, Tuple[str, ...]]] = []
+        seen_fwd: Set[Tuple[str, str]] = set()
+
+        def emit(fn: FunctionSummary, line: int, kinds: Set[KindProv], label: str,
+                 chain: Tuple[str, ...]) -> None:
+            rel = self.index.file_of.get(fn.qualname, "<unknown>")
+            for kind, prov in sorted(kinds):
+                via = ""
+                if chain:
+                    via = " via " + " -> ".join(_short(q) for q in chain)
+                findings.append(
+                    Finding(
+                        rule="RL010",
+                        path=rel,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"{SOURCE_KINDS[kind]} (from {_short_prov(prov)}) "
+                            f"flows into {label}{via}; make the input "
+                            f"deterministic or hoist it out of the "
+                            f"fingerprinted/serialized data"
+                        ),
+                    )
+                )
+
+        for fn in self.index.functions.values():
+            for site in fn.callsites:
+                spec = self._sink_for(site.callee)
+                if spec is None:
+                    continue
+                pooled = self._sink_atoms(site, spec)
+                if not pooled:
+                    continue
+                kinds, params = self.expand(fn, pooled)
+                if kinds:
+                    emit(fn, site.line, kinds, spec.label, ())
+                for p in params:
+                    key = (fn.qualname, p)
+                    if key not in seen_fwd:
+                        seen_fwd.add(key)
+                        queue.append((fn.qualname, p, spec.label, (fn.qualname,)))
+
+        callers = self._caller_map()
+        while queue:
+            fwd_qual, pname, label, chain = queue.pop()
+            if len(chain) >= _MAX_CHAIN:
+                continue
+            for caller, site_index in callers.get(fwd_qual, ()):  # noqa: B020
+                site = caller.callsites[site_index]
+                callee = self.index.callee_function(site.callee)
+                if callee is None or callee.qualname != fwd_qual:
+                    continue
+                binding = self.index.bind_callsite(site, callee)
+                atoms = binding.get(pname)
+                if not atoms:
+                    continue
+                kinds, params = self.expand(caller, atoms)
+                if kinds:
+                    emit(caller, site.line, kinds, label, chain)
+                for q in params:
+                    key = (caller.qualname, q)
+                    if key not in seen_fwd:
+                        seen_fwd.add(key)
+                        queue.append(
+                            (caller.qualname, q, label, (caller.qualname, *chain))
+                        )
+        return findings
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname
+
+
+def _short_prov(prov: str) -> str:
+    qual, _, line = prov.rpartition(":")
+    return f"{_short(qual)}:{line}"
+
+
+def run_taint(index: ProgramIndex, config: FlowConfig) -> List[Finding]:
+    """RL010: nondeterminism reaching a determinism-critical sink."""
+    analysis = TaintAnalysis(index, config)
+    analysis.solve()
+    return analysis.find_sink_flows()

@@ -17,7 +17,13 @@ from .rules import (
     rl009_runtime_assert,
 )
 
-__all__ = ["FILE_RULES", "PROJECT_RULES", "ALL_RULES", "rule_catalogue"]
+__all__ = [
+    "FILE_RULES",
+    "PROJECT_RULES",
+    "FLOW_RULES",
+    "ALL_RULES",
+    "rule_catalogue",
+]
 
 FileRule = Callable[[FileContext], Iterable[Finding]]
 ProjectRule = Callable[[Sequence[FileContext]], Iterable[Finding]]
@@ -37,13 +43,31 @@ PROJECT_RULES: Dict[str, ProjectRule] = {
     "RL004": rl004_fingerprint_completeness,
 }
 
-ALL_RULES: List[str] = sorted([*FILE_RULES, *PROJECT_RULES])
+#: whole-program rules implemented by :mod:`repro_lint.flow` — they need the
+#: cross-module :class:`~repro_lint.flow.program.ProgramIndex`, so they run
+#: through :func:`repro_lint.flow.run_flow_rules` (opt-in via ``--flow``)
+#: rather than the per-file dispatch tables above.  Registered here so rule
+#: selection (``--select``/``--ignore``), suppression comments and the
+#: catalogue treat them like any other rule.
+FLOW_RULES: Dict[str, str] = {
+    "RL010": "Nondeterminism (RNG/clock/entropy/iteration order) reaches a "
+    "cache key, checkpoint, trace or fork_map payload.",
+    "RL011": "fork_map payload captures module-global mutable state or an "
+    "unpicklable resource.",
+    "RL012": "fork_map payload mutates state shared with the parent process "
+    "(captured objects, self, module globals).",
+    "RL013": "fork_map payload can statically reach another fork_map call "
+    "(nested fan-out raises at runtime).",
+}
+
+ALL_RULES: List[str] = sorted([*FILE_RULES, *PROJECT_RULES, *FLOW_RULES])
 
 
 def rule_catalogue() -> Dict[str, str]:
-    """``{rule id: first line of its docstring}`` for ``--list-rules``."""
+    """``{rule id: one-line summary}`` for ``--list-rules``."""
     out: Dict[str, str] = {}
     for rule_id, fn in {**FILE_RULES, **PROJECT_RULES}.items():
         doc = (fn.__doc__ or "").strip().splitlines()
         out[rule_id] = doc[0] if doc else ""
+    out.update(FLOW_RULES)
     return dict(sorted(out.items()))

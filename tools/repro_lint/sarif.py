@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 rendering of findings.
+
+SARIF is the interchange format GitHub code scanning (and most editors'
+problem panes) ingest, which is what lets the CI job upload ``--flow``
+results as an artifact that renders as annotations instead of a log dump.
+Only the small, stable core of the spec is emitted: one run, one tool
+driver with the rule catalogue, one result per finding with a physical
+location.  Columns are converted from the engine's 0-based offsets to
+SARIF's 1-based ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .engine import Finding
+from .registry import rule_catalogue
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    catalogue = rule_catalogue()
+    used = sorted({f.rule for f in findings} | set(catalogue))
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": catalogue.get(rule_id, rule_id)},
+        }
+        for rule_id in used
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(used)}
+    results: List[Dict[str, Any]] = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n"
