@@ -115,13 +115,15 @@ def _apply_execution_policy(args) -> None:
 
 
 def _fault_plan_from_args(spec: Optional[str]):
-    """``--faults`` value -> FaultPlan: 'standard', 'none' or a JSON path."""
+    """``--faults`` -> FaultPlan: 'standard', 'limplock', 'none' or a JSON path."""
     from .faults import FaultPlan
 
     if spec is None or spec == "none":
         return None
     if spec == "standard":
         return FaultPlan.standard()
+    if spec == "limplock":
+        return FaultPlan.limplock()
     with open(spec, "r", encoding="utf-8") as fh:
         return FaultPlan.from_dict(json.load(fh))
 
@@ -219,7 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--faults",
         default=None,
-        help="fault plan: 'standard', 'none' or a path to a FaultPlan JSON",
+        help="fault plan: 'standard', 'limplock', 'none' or a FaultPlan JSON path",
+    )
+    p_sim.add_argument(
+        "--engine",
+        choices=["event", "vector"],
+        default="event",
+        help="simulation core: scalar event loop or the batched vector engine "
+        "(statistically equivalent; vector is orders of magnitude faster)",
     )
     _add_exec_args(p_sim)
 
@@ -358,7 +367,11 @@ def _cmd_simulate(args) -> int:
     rng = np.random.default_rng(args.seed)
     deadline = args.deadline if metric.value == "qos" else None
     plan = _fault_plan_from_args(args.faults)
-    simulator = DCSSimulator(sc.model, faults=plan) if plan is not None else None
+    simulator = (
+        DCSSimulator(sc.model, faults=plan, engine=args.engine)
+        if plan is not None
+        else None
+    )
     est = estimate_metric(
         metric,
         sc.model,
@@ -369,11 +382,12 @@ def _cmd_simulate(args) -> int:
         deadline=deadline,
         simulator=simulator,
         jobs=args.jobs,
+        engine=args.engine,
     )
     faults_note = f"   faults: {args.faults}" if plan is not None else ""
     print(
         f"scenario: {sc.name}   metric: {metric.value}   reps: {args.reps}"
-        f"{faults_note}"
+        f"   engine: {args.engine}{faults_note}"
     )
     print(f"estimate: {est}")
     return 0

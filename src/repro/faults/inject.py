@@ -13,7 +13,8 @@ Every hook is called at an explicit extension point of the simulator:
   delivery of task groups and failure notices;
 * :meth:`extra_failure_time` — a mid-execution (non-``t=0``) permanent
   failure per server;
-* :meth:`service_time` — transient straggler slowdown of one service draw;
+* :meth:`service_time` — transient straggler slowdown of one service draw,
+  plus the persistent per-server limplock (fail-slow) stretch;
 * :meth:`gossip_delay` — dropped or stale-delayed INFO gossip.
 """
 
@@ -48,9 +49,13 @@ class FaultInjector:
             "fn_duplicated": 0,
             "midrun_failures": 0,
             "stragglers": 0,
+            "limplocked": 0,
             "gossip_dropped": 0,
             "gossip_delayed": 0,
         }
+        #: lazily drawn per-server limplock flags (a degraded server stays
+        #: degraded for the whole run); keyed by server index
+        self._limplocked: Dict[int, bool] = {}
 
     # ------------------------------------------------------------------
     def _jitter(self, mean: float) -> float:
@@ -97,9 +102,34 @@ class FaultInjector:
         self.counters["midrun_failures"] += 1
         return float(self.rng.exponential(1.0 / rate))
 
-    def service_time(self, base: float) -> float:
-        """One service draw, transiently slowed down for a straggling server."""
+    def is_limplocked(self, server: int) -> bool:
+        """Whether ``server`` is degraded for this whole run (lazy draw).
+
+        The flag is drawn once per server on first use and memoized, so a
+        degraded server stays degraded — the persistent fail-slow mode —
+        and plans without limplock draw nothing extra from the fault
+        stream (existing campaign realizations are unchanged).
+        """
         p = self.plan
+        if p.limplock_prob <= 0.0 or p.limplock_factor <= 1.0:
+            return False
+        flag = self._limplocked.get(server)
+        if flag is None:
+            flag = bool(self.rng.random() < p.limplock_prob)
+            self._limplocked[server] = flag
+            if flag:
+                self.counters["limplocked"] += 1
+        return flag
+
+    def service_time(self, base: float, server: Optional[int] = None) -> float:
+        """One service draw, slowed down by faults.
+
+        Applies the persistent limplock stretch when ``server`` is known
+        and degraded, then the transient straggler slowdown.
+        """
+        p = self.plan
+        if server is not None and self.is_limplocked(server):
+            base = base * p.limplock_factor
         if p.straggler_prob > 0.0 and p.straggler_factor > 1.0:
             if self.rng.random() < p.straggler_prob:
                 self.counters["stragglers"] += 1

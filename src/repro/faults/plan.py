@@ -23,6 +23,12 @@ Fault taxonomy (each knob independently breaks one modelling assumption):
                       per server — failures no longer sampled only at t=0.
 ``straggler_prob``    P(a service draw is slowed down transiently),
 ``straggler_factor``  multiplying that draw (>= 1).
+``limplock_prob``     P(a server is *degraded for the whole run*): every
+``limplock_factor``   service draw on that server is stretched by the
+                      factor (>= 1).  This is the fail-slow "limplock"
+                      mode of degraded-node cluster studies — unlike
+                      stragglers the slowdown is persistent per server,
+                      not per task.
 ``gossip_loss``       P(an INFO gossip packet is dropped).
 ``gossip_stale``      mean extra Exp delay per gossip packet (stale views).
 ==================== =====================================================
@@ -41,6 +47,7 @@ _PROB_FIELDS = (
     "fn_loss",
     "fn_duplicate",
     "straggler_prob",
+    "limplock_prob",
     "gossip_loss",
 )
 _RATE_FIELDS = ("group_jitter", "fn_jitter", "midrun_failure_rate", "gossip_stale")
@@ -60,6 +67,8 @@ class FaultPlan:
     midrun_failure_rate: float = 0.0
     straggler_prob: float = 0.0
     straggler_factor: float = 1.0
+    limplock_prob: float = 0.0
+    limplock_factor: float = 1.0
     gossip_loss: float = 0.0
     gossip_stale: float = 0.0
 
@@ -75,6 +84,10 @@ class FaultPlan:
         if self.straggler_factor < 1.0:
             raise ValueError(
                 f"straggler_factor must be >= 1 (a slowdown), got {self.straggler_factor}"
+            )
+        if self.limplock_factor < 1.0:
+            raise ValueError(
+                f"limplock_factor must be >= 1 (a slowdown), got {self.limplock_factor}"
             )
 
     # ------------------------------------------------------------------
@@ -100,20 +113,36 @@ class FaultPlan:
             gossip_stale=2.0,
         )
 
+    @classmethod
+    def limplock(
+        cls, seed: int = 0, prob: float = 0.25, factor: float = 10.0
+    ) -> "FaultPlan":
+        """The degraded-node ("fail-slow") preset: limplock only.
+
+        With probability ``prob`` a server spends the whole run degraded,
+        every service draw stretched by ``factor`` — the limplock regime
+        of big-distributed-simulator-style cluster studies, where a node
+        neither crashes nor keeps up.
+        """
+        return cls(seed=seed, limplock_prob=prob, limplock_factor=factor)
+
     @property
     def is_null(self) -> bool:
         """Whether this plan injects nothing at all."""
-        if any(getattr(self, name) > 0.0 for name in _PROB_FIELDS if name != "straggler_prob"):
+        slowdowns = ("straggler_prob", "limplock_prob")
+        if any(getattr(self, name) > 0.0 for name in _PROB_FIELDS if name not in slowdowns):
             return False
         if any(getattr(self, name) > 0.0 for name in _RATE_FIELDS):
             return False
-        return not (self.straggler_prob > 0.0 and self.straggler_factor > 1.0)
+        if self.straggler_prob > 0.0 and self.straggler_factor > 1.0:
+            return False
+        return not (self.limplock_prob > 0.0 and self.limplock_factor > 1.0)
 
     def scaled(self, intensity: float) -> "FaultPlan":
         """The plan with every knob scaled by ``intensity`` (>= 0).
 
         Probabilities scale linearly and clip at 1; rates/jitters scale
-        linearly; the straggler slowdown interpolates
+        linearly; the straggler and limplock slowdowns interpolate
         ``1 + intensity * (factor - 1)``.  ``scaled(0)`` is the null plan,
         ``scaled(1)`` is this plan.
         """
@@ -126,6 +155,7 @@ class FaultPlan:
             {name: getattr(self, name) * intensity for name in _RATE_FIELDS}
         )
         updates["straggler_factor"] = 1.0 + intensity * (self.straggler_factor - 1.0)
+        updates["limplock_factor"] = 1.0 + intensity * (self.limplock_factor - 1.0)
         return replace(self, **updates)
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from .estimator import (
     estimate_qos,
     estimate_reliability,
 )
-from .events import EventKind, EventQueue, ScheduledEvent
+from .events import BatchEventCalendar, EventKind, EventQueue, ScheduledEvent
 from .info import fresh_estimates, stale_estimates
 from .rebalance import FairShareRebalancer, QueueView, Rebalancer
 from .server import Server
@@ -25,7 +25,8 @@ from .testbed import (
     perturb_distribution,
     perturb_model,
 )
-from .trace import Trace, TraceRecord
+from .trace import ColumnarTrace, Trace, TraceRecord
+from .vector import BatchResult, batch_from_results, simulate_batch
 
 __all__ = [
     "PolicyComparison",
@@ -38,9 +39,13 @@ __all__ = [
     "estimate_metric",
     "estimate_qos",
     "estimate_reliability",
+    "BatchEventCalendar",
     "EventKind",
     "EventQueue",
     "ScheduledEvent",
+    "BatchResult",
+    "batch_from_results",
+    "simulate_batch",
     "fresh_estimates",
     "stale_estimates",
     "FairShareRebalancer",
@@ -53,4 +58,5 @@ __all__ = [
     "perturb_model",
     "Trace",
     "TraceRecord",
+    "ColumnarTrace",
 ]

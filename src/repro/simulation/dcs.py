@@ -51,6 +51,7 @@ from .trace import Trace
 
 if TYPE_CHECKING:  # runtime import stays local to avoid an import cycle
     from .rebalance import QueueView, Rebalancer
+    from .vector import BatchResult
 
 __all__ = ["Outcome", "SimulationResult", "DCSSimulator"]
 
@@ -136,6 +137,7 @@ class DCSSimulator:
         rebalancer: Optional["Rebalancer"] = None,
         horizon: float = math.inf,
         faults: Optional[FaultPlan] = None,
+        engine: str = "event",
     ) -> None:
         """``info_period`` turns on queue-length gossip: every server
         broadcasts its queue length periodically; packets travel with the
@@ -145,9 +147,24 @@ class DCSSimulator:
         run-time DTR, beyond the one-shot policy of its evaluation.
         ``faults`` installs a default :class:`~repro.faults.FaultPlan` for
         every run (overridable per ``run``); ``None`` or a null plan keeps
-        the paper's reliable semantics bit-for-bit."""
+        the paper's reliable semantics bit-for-bit.
+
+        ``engine`` selects the execution core: ``"event"`` is the scalar
+        discrete-event loop (the compatibility reference, supporting every
+        feature), ``"vector"`` the batched array engine of
+        :mod:`repro.simulation.vector` — statistically equivalent on the
+        one-shot batch model and orders of magnitude faster for many
+        replications, but without gossip/rebalancing/open-system arrivals
+        and with only a subset of fault channels."""
         if rebalancer is not None and info_period is None:
             raise ValueError("a rebalancer needs info_period gossip to act on")
+        if engine not in ("event", "vector"):
+            raise ValueError(f"unknown engine {engine!r}; use 'event' or 'vector'")
+        if engine == "vector" and (info_period is not None or rebalancer is not None):
+            raise ValueError(
+                "the vector engine supports only the one-shot batch model; "
+                "gossip and rebalancing need engine='event'"
+            )
         self.model = model
         self.record_trace = record_trace
         self.fn_broadcast = fn_broadcast
@@ -155,6 +172,7 @@ class DCSSimulator:
         self.rebalancer = rebalancer
         self.horizon = horizon
         self.faults = faults
+        self.engine = engine
         self.arrival_rates: Optional[np.ndarray] = None
         self.arrival_cap = 0
 
@@ -169,6 +187,8 @@ class DCSSimulator:
         new tasks at rate ``rates[k]`` until ``cap`` external tasks have
         arrived system-wide (the cap keeps runs finite).
         """
+        if self.engine == "vector":
+            raise ValueError("open-system arrivals need engine='event'")
         rates_arr = np.asarray(rates, dtype=float)
         if rates_arr.shape != (self.model.n,):
             raise ValueError("need one arrival rate per server")
@@ -199,6 +219,8 @@ class DCSSimulator:
         ``faults`` overrides the simulator's default fault plan for this
         run only.
         """
+        if self.engine == "vector":
+            return self.run_batch(loads, policy, rng, 1, horizon, faults).result(0)
         model = self.model
         n = model.n
         if policy.n != n:
@@ -384,7 +406,14 @@ class DCSSimulator:
             elif kind == EventKind.INFO_ARRIVAL:
                 if event.payload["dst"] is None:
                     self._gossip_tick(
-                        event, servers, queue, rng, served, required(), injector
+                        event,
+                        servers,
+                        queue,
+                        rng,
+                        served,
+                        required(),
+                        injector,
+                        effective_horizon,
                     )
                 else:
                     self._gossip_deliver(
@@ -415,6 +444,50 @@ class DCSSimulator:
         )
 
     # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        loads: Sequence[int],
+        policy: ReallocationPolicy,
+        rng: np.random.Generator,
+        n_reps: int,
+        horizon: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> "BatchResult":
+        """``n_reps`` independent replications as a struct-of-arrays batch.
+
+        Under ``engine="vector"`` this is the fast path: one array draw
+        per (server, round) across the whole batch.  Under
+        ``engine="event"`` it loops :meth:`run` sequentially on the shared
+        ``rng`` — bit-identical to calling :meth:`run` ``n_reps`` times —
+        and packs the results, so callers can switch engines without
+        changing shape-handling code.
+        """
+        from .vector import batch_from_results, simulate_batch
+
+        if n_reps <= 0:
+            raise ValueError(f"n_reps must be positive, got {n_reps}")
+        if self.engine == "vector":
+            effective = (
+                self.horizon if horizon is None else min(self.horizon, horizon)
+            )
+            return simulate_batch(
+                self.model,
+                loads,
+                policy,
+                rng,
+                n_reps,
+                horizon=effective,
+                plan=faults if faults is not None else self.faults,
+                record_trace=self.record_trace,
+                fn_broadcast=self.fn_broadcast,
+            )
+        results = [
+            self.run(loads, policy, rng, horizon=horizon, faults=faults)
+            for _ in range(n_reps)
+        ]
+        return batch_from_results(results, self.model.n)
+
+    # ------------------------------------------------------------------
     def _begin_service(
         self,
         server: Server,
@@ -425,7 +498,7 @@ class DCSSimulator:
     ) -> None:
         w = server.draw_service_time(rng)
         if injector is not None:
-            w = injector.service_time(w)
+            w = injector.service_time(w, server=server.index)
         server.start_service(now)
         queue.push(
             ScheduledEvent(
@@ -470,6 +543,7 @@ class DCSSimulator:
         served: int,
         required: int,
         injector: Optional[FaultInjector],
+        effective_horizon: float,
     ) -> None:
         """A server broadcasts its queue length; then schedules the next tick."""
         src = event.payload["src"]
@@ -498,7 +572,14 @@ class DCSSimulator:
                 )
             )
         doomed = injector is not None and injector.tasks_lost_in_flight > 0
-        if served < required and not doomed and now + self.info_period <= self.horizon:
+        # reschedule against the per-run *effective* horizon: a tightened
+        # (QoS-censoring) run must not keep pushing gossip out to the
+        # simulator-wide horizon
+        if (
+            served < required
+            and not doomed
+            and now + self.info_period <= effective_horizon
+        ):
             queue.push(
                 ScheduledEvent(
                     now + self.info_period,

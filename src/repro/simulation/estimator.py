@@ -11,12 +11,22 @@ depends only on ``n_reps`` — never on the worker count — so estimates with
 ``jobs=1`` and ``jobs=N`` are bit-identical for the same seed; ``jobs``
 only decides how many chunks run concurrently (fork-based, see
 :mod:`repro._parallel`).
+
+When the simulator uses the batched vector engine
+(``DCSSimulator(engine="vector")`` or the ``engine="vector"`` shortcut on
+the estimators), whole chunks are routed to
+:meth:`DCSSimulator.run_batch` and reduced with a vectorized per-metric
+reducer instead of one :meth:`DCSSimulator.run` call per replication.
+Chunks are much larger there (``_VECTOR_CHUNK_REPS``) since a batched run
+amortizes its setup across the batch.  Estimates remain jobs-invariant
+*within* an engine; seeds do **not** map across engines (the two consume
+the random stream in different orders).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +35,7 @@ from ..core.metrics import MCEstimate, Metric
 from ..core.policy import ReallocationPolicy
 from ..core.system import DCSModel
 from .dcs import DCSSimulator, Outcome, SimulationResult
+from .vector import OUTCOME_CODES, BatchResult
 
 __all__ = [
     "estimate_average_execution_time",
@@ -39,6 +50,10 @@ _Z95 = 1.959963984540054  # standard normal 97.5% quantile
 #: replications per independent random stream; fixed so that the stream
 #: layout (and hence every estimate) is a function of ``n_reps`` alone
 _CHUNK_REPS = 64
+
+#: chunk size when whole chunks run on the batched vector engine — larger,
+#: because one ``run_batch`` call amortizes setup across the whole chunk
+_VECTOR_CHUNK_REPS = 8192
 
 
 def bernoulli_ci(successes: int, n: int) -> MCEstimate:
@@ -89,25 +104,62 @@ def _replicate(
     jobs: int,
     reduce_result: Callable[[SimulationResult], float],
     horizon: Optional[float] = None,
+    reduce_batch: Optional[Callable[[BatchResult], np.ndarray]] = None,
 ) -> np.ndarray:
-    """``n_reps`` reduced simulation outcomes, chunked over ``jobs`` workers."""
+    """``n_reps`` reduced simulation outcomes, chunked over ``jobs`` workers.
+
+    On a vector-engine simulator with a ``reduce_batch`` reducer, each
+    chunk is a single :meth:`DCSSimulator.run_batch` call; otherwise each
+    replication is an individual :meth:`DCSSimulator.run` reduced by
+    ``reduce_result``.  Chunk layout stays a function of ``n_reps`` (and
+    the engine) alone, so jobs-invariance holds on both paths.
+    """
     if n_reps <= 0:
         raise ValueError(f"need at least one replication, got {n_reps}")
-    n_chunks = -(-n_reps // _CHUNK_REPS)
-    sizes = [_CHUNK_REPS] * (n_chunks - 1) + [n_reps - _CHUNK_REPS * (n_chunks - 1)]
+    batched = sim.engine == "vector" and reduce_batch is not None
+    chunk_reps = _VECTOR_CHUNK_REPS if batched else _CHUNK_REPS
+    n_chunks = -(-n_reps // chunk_reps)
+    sizes = [chunk_reps] * (n_chunks - 1) + [n_reps - chunk_reps * (n_chunks - 1)]
     streams = _spawn_streams(rng, n_chunks)
 
-    def run_chunk(c: int) -> np.ndarray:
-        chunk_rng = streams[c]
-        return np.array(
-            [
-                reduce_result(sim.run(loads, policy, chunk_rng, horizon=horizon))
-                for _ in range(sizes[c])
-            ],
-            dtype=float,
-        )
+    if batched and reduce_batch is not None:  # second clause narrows the type
+        batch_reducer = reduce_batch
+
+        def run_chunk(c: int) -> np.ndarray:
+            batch = sim.run_batch(
+                loads, policy, streams[c], sizes[c], horizon=horizon
+            )
+            return np.asarray(batch_reducer(batch), dtype=float)
+
+    else:
+
+        def run_chunk(c: int) -> np.ndarray:
+            chunk_rng = streams[c]
+            return np.array(
+                [
+                    reduce_result(sim.run(loads, policy, chunk_rng, horizon=horizon))
+                    for _ in range(sizes[c])
+                ],
+                dtype=float,
+            )
 
     return np.concatenate(fork_map(run_chunk, n_chunks, resolve_jobs(jobs)))
+
+
+def _make_simulator(
+    model: DCSModel,
+    simulator: Optional[DCSSimulator],
+    engine: Optional[str],
+) -> DCSSimulator:
+    """Resolve the caller's ``simulator``/``engine`` pair into one simulator."""
+    if simulator is not None:
+        if engine is not None and simulator.engine != engine:
+            raise ValueError(
+                f"conflicting request: simulator uses engine="
+                f"{simulator.engine!r} but engine={engine!r} was asked for"
+            )
+        return simulator
+    return DCSSimulator(model, engine=engine or "event")
 
 
 def estimate_average_execution_time(
@@ -118,20 +170,29 @@ def estimate_average_execution_time(
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> MCEstimate:
     """MC estimate of ``T̄`` (requires completely reliable servers)."""
     if not model.reliable:
         raise ValueError(
             "the average execution time is only defined for reliable servers"
         )
-    sim = simulator or DCSSimulator(model)
+    sim = _make_simulator(model, simulator, engine)
 
     def completion(result: SimulationResult) -> float:
         if not result.completed:  # pragma: no cover - impossible when reliable
             raise RuntimeError("a reliable run failed to complete")
         return result.completion_time
 
-    times = _replicate(sim, loads, policy, n_reps, rng, jobs, completion)
+    def completion_batch(batch: BatchResult) -> np.ndarray:
+        if not bool(batch.completed.all()):  # pragma: no cover - reliable
+            raise RuntimeError("a reliable run failed to complete")
+        return batch.completion_time
+
+    times = _replicate(
+        sim, loads, policy, n_reps, rng, jobs, completion,
+        reduce_batch=completion_batch,
+    )
     return _mean_ci(times)
 
 
@@ -144,6 +205,7 @@ def estimate_qos(
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> MCEstimate:
     """MC estimate of ``R_TM = P(T < deadline)``.
 
@@ -158,7 +220,7 @@ def estimate_qos(
     the horizon cut short with no loss (``Outcome.CENSORED``) — previously
     both were conflated into ``n_failures``.
     """
-    sim = simulator or DCSSimulator(model)
+    sim = _make_simulator(model, simulator, engine)
     censor = deadline * 1.000001
 
     def outcome(result: SimulationResult) -> float:
@@ -171,8 +233,17 @@ def estimate_qos(
             code |= 4
         return float(code)
 
+    def outcome_batch(batch: BatchResult) -> np.ndarray:
+        codes = (
+            batch.completed & (batch.completion_time < deadline)
+        ).astype(np.int64)
+        codes |= np.where(batch.outcome_code == OUTCOME_CODES[Outcome.FAILED], 2, 0)
+        codes |= np.where(batch.outcome_code == OUTCOME_CODES[Outcome.CENSORED], 4, 0)
+        return codes.astype(float)
+
     outcomes = _replicate(
-        sim, loads, policy, n_reps, rng, jobs, outcome, horizon=censor
+        sim, loads, policy, n_reps, rng, jobs, outcome, horizon=censor,
+        reduce_batch=outcome_batch,
     )
     # decode the bit flags in integer space: float modulo/equality on the
     # encoded outcome is exactly the drift RL001 exists to catch
@@ -199,17 +270,23 @@ def estimate_reliability(
     rng: np.random.Generator,
     simulator: Optional[DCSSimulator] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> MCEstimate:
     """MC estimate of ``R_inf = P(all tasks served)``."""
-    sim = simulator or DCSSimulator(model)
+    sim = _make_simulator(model, simulator, engine)
 
     def outcome(result: SimulationResult) -> float:
         if result.outcome is Outcome.COMPLETED:
             return 1.0
         return 2.0 if result.outcome is Outcome.FAILED else 3.0
 
+    def outcome_batch(batch: BatchResult) -> np.ndarray:
+        # OUTCOME_CODES already encodes COMPLETED/FAILED/CENSORED as 1/2/3
+        return batch.outcome_code.astype(float)
+
     codes = _replicate(
-        sim, loads, policy, n_reps, rng, jobs, outcome
+        sim, loads, policy, n_reps, rng, jobs, outcome,
+        reduce_batch=outcome_batch,
     ).astype(np.int64)
     hits = int((codes == 1).sum())
     est = bernoulli_ci(hits, n_reps)
@@ -233,20 +310,24 @@ def estimate_metric(
     deadline: Optional[float] = None,
     simulator: Optional[DCSSimulator] = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> MCEstimate:
     """Dispatching front-end used by the MC policy search and the benches."""
     if metric is Metric.AVG_EXECUTION_TIME:
         return estimate_average_execution_time(
-            model, loads, policy, n_reps, rng, simulator, jobs=jobs
+            model, loads, policy, n_reps, rng, simulator, jobs=jobs,
+            engine=engine,
         )
     if metric is Metric.QOS:
         if deadline is None:
             raise ValueError("QoS estimation needs a deadline")
         return estimate_qos(
-            model, loads, policy, deadline, n_reps, rng, simulator, jobs=jobs
+            model, loads, policy, deadline, n_reps, rng, simulator, jobs=jobs,
+            engine=engine,
         )
     if metric is Metric.RELIABILITY:
         return estimate_reliability(
-            model, loads, policy, n_reps, rng, simulator, jobs=jobs
+            model, loads, policy, n_reps, rng, simulator, jobs=jobs,
+            engine=engine,
         )
     raise ValueError(f"unknown metric {metric}")  # pragma: no cover

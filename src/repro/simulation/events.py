@@ -1,14 +1,28 @@
-"""Event types of the DCS discrete-event simulator."""
+"""Event types of the DCS discrete-event simulator.
+
+Two calendars live here.  :class:`EventQueue` is the scalar min-heap used
+by the event-driven engine: one timestamped event at a time, FIFO among
+equal timestamps.  :class:`BatchEventCalendar` is its columnar counterpart
+for the vectorized engine (:mod:`repro.simulation.vector`): every *kind*
+of potential event is scheduled once as an array of per-replication times
+(``inf`` = never happens in that replication) and the calendar answers the
+only ordering question the batched dynamics need — which channel fires
+first in each replication, and when.  Ties break toward the
+earliest-scheduled channel, mirroring the heap's FIFO rule.
+"""
 
 from __future__ import annotations
 
 import enum
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["EventKind", "ScheduledEvent", "EventQueue"]
+import numpy as np
+
+__all__ = ["EventKind", "ScheduledEvent", "EventQueue", "BatchEventCalendar"]
 
 
 class EventKind(enum.Enum):
@@ -58,6 +72,10 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, event: ScheduledEvent) -> None:
+        # NaN compares False against everything, so a plain `time < 0` guard
+        # would let it through and silently corrupt the heap invariant.
+        if math.isnan(event.time):
+            raise ValueError(f"event time is NaN: {event}")
         if event.time < 0:
             raise ValueError(f"event scheduled in the past: {event}")
         heapq.heappush(self._heap, (event.time, next(self._counter), event))
@@ -73,3 +91,75 @@ class EventQueue:
     def drain(self) -> Iterator[ScheduledEvent]:
         while self._heap:
             yield self.pop()
+
+
+class BatchEventCalendar:
+    """Columnar event calendar over a batch of B replications.
+
+    Each :meth:`schedule` call opens one *channel*: a kind, a payload
+    template shared by every replication, and a ``(B,)`` array of firing
+    times where ``inf`` means "never fires in this replication".  The
+    calendar then resolves, per replication, which channel fires first
+    (:meth:`first_channel`) and when (:meth:`first_time`).  Among channels
+    tied at the same instant the earliest-scheduled one wins — the batched
+    equivalent of :class:`EventQueue`'s FIFO tie-break.
+
+    The vectorized engine uses this to find the first run-ending loss
+    event (server failure with queued work, or a group stranded at a dead
+    server) in every replication with a single argmin.
+    """
+
+    def __init__(self, n_reps: int) -> None:
+        if n_reps <= 0:
+            raise ValueError(f"n_reps must be positive, got {n_reps}")
+        self.n_reps = int(n_reps)
+        self._times: List[np.ndarray] = []
+        self._channels: List[Tuple[EventKind, Dict[str, Any]]] = []
+
+    def __len__(self) -> int:
+        """Number of scheduled channels."""
+        return len(self._channels)
+
+    def schedule(self, times: np.ndarray, kind: EventKind, **payload: Any) -> int:
+        """Open a channel; returns its index (= its tie-break priority)."""
+        arr = np.asarray(times, dtype=float)
+        if arr.shape != (self.n_reps,):
+            raise ValueError(
+                f"channel times must have shape ({self.n_reps},), got {arr.shape}"
+            )
+        if bool(np.isnan(arr).any()):
+            raise ValueError(f"channel times contain NaN ({kind})")
+        if bool((arr < 0).any()):
+            raise ValueError(f"channel times contain negative entries ({kind})")
+        self._times.append(arr)
+        self._channels.append((kind, dict(payload)))
+        return len(self._channels) - 1
+
+    def channel(self, index: int) -> Tuple[EventKind, Dict[str, Any]]:
+        """Kind and payload template of one channel."""
+        return self._channels[index]
+
+    def _matrix(self) -> np.ndarray:
+        if not self._times:
+            return np.full((self.n_reps, 0), np.inf)
+        return np.stack(self._times, axis=1)
+
+    def first_time(self) -> np.ndarray:
+        """Per-replication time of the earliest event (``inf`` when none)."""
+        mat = self._matrix()
+        if mat.shape[1] == 0:
+            return np.full(self.n_reps, np.inf)
+        return np.min(mat, axis=1)
+
+    def first_channel(self) -> np.ndarray:
+        """Per-replication index of the earliest channel (−1 when none fires).
+
+        ``np.argmin`` returns the first occurrence of the minimum, so ties
+        resolve toward the earliest-scheduled channel.
+        """
+        mat = self._matrix()
+        if mat.shape[1] == 0:
+            return np.full(self.n_reps, -1, dtype=np.int64)
+        idx = np.argmin(mat, axis=1).astype(np.int64)
+        none_fire = np.isinf(np.min(mat, axis=1))
+        return np.where(none_fire, np.int64(-1), idx)

@@ -1,13 +1,23 @@
-"""Execution traces: a structured log of everything a run did."""
+"""Execution traces: a structured log of everything a run did.
+
+Two formats coexist.  :class:`Trace` is the scalar engine's append-only
+list of :class:`TraceRecord` (one dict payload per event).  For batched
+runs that log is prohibitively heavy, so :class:`ColumnarTrace` stores the
+same information as a struct of parallel arrays — one row per committed
+event across *all* B replications — and converts any single replication
+back to a :class:`Trace` on demand via :meth:`ColumnarTrace.to_trace`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .events import EventKind
 
-__all__ = ["TraceRecord", "Trace"]
+__all__ = ["TraceRecord", "Trace", "ColumnarTrace"]
 
 
 @dataclass(frozen=True)
@@ -52,10 +62,23 @@ class Trace:
                     out.append(duration)
         return out
 
-    def transfer_times(self, src: Optional[int] = None, dst: Optional[int] = None) -> List[float]:
-        """Observed group transfer durations."""
+    def transfer_times(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        include_duplicates: bool = False,
+    ) -> List[float]:
+        """Observed group transfer durations.
+
+        Fault-injected duplicate deliveries (payload ``duplicate: True``)
+        are redundant copies of a transfer that already happened; counting
+        them would bias any empirical delay fit, so they are excluded
+        unless ``include_duplicates=True``.
+        """
         out = []
         for r in self.of_kind(EventKind.GROUP_ARRIVAL):
+            if not include_duplicates and r.payload.get("duplicate"):
+                continue
             if src is not None and r.payload.get("src") != src:
                 continue
             if dst is not None and r.payload.get("dst") != dst:
@@ -69,3 +92,234 @@ class Trace:
         """Sanity invariant: committed event times never decrease."""
         times = [r.time for r in self._records]
         return all(a <= b for a, b in zip(times, times[1:]))
+
+
+#: the four regeneration-event kinds a ColumnarTrace can encode
+_COLUMNAR_KINDS: Tuple[EventKind, ...] = (
+    EventKind.SERVICE_COMPLETE,
+    EventKind.SERVER_FAILURE,
+    EventKind.GROUP_ARRIVAL,
+    EventKind.FN_ARRIVAL,
+)
+_KIND_CODE: Dict[EventKind, int] = {k: i for i, k in enumerate(_COLUMNAR_KINDS)}
+
+
+class ColumnarTrace:
+    """Struct-of-arrays event log for a batch of B replications.
+
+    One row per committed event across the whole batch, with parallel
+    columns instead of per-event payload dicts:
+
+    ============= =====================================================
+    ``rep``       replication index in ``[0, n_reps)``
+    ``time``      committed event time
+    ``kind``      integer code indexing :attr:`KINDS`
+    ``a``         primary server (``server``, or ``src`` of a packet)
+    ``b``         destination server (``dst``; ``-1`` when n/a)
+    ``size``      group size, or ``tasks_lost`` of a failure (else 0)
+    ``duration``  service/transfer/FN duration (``NaN`` when n/a)
+    ``duplicate`` fault-injected duplicate-delivery flag
+    ============= =====================================================
+
+    Only the paper's four regeneration events (:attr:`KINDS`) are
+    representable — INFO gossip, rebalance and open-system arrival
+    records have no columnar encoding.  Rows are kept sorted by
+    ``(rep, time)``, stable within ties, so :meth:`to_trace` yields a
+    monotone :class:`Trace` for any single replication.
+    """
+
+    KINDS: Tuple[EventKind, ...] = _COLUMNAR_KINDS
+
+    def __init__(
+        self,
+        n_reps: int,
+        rep: np.ndarray,
+        time: np.ndarray,
+        kind: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        size: np.ndarray,
+        duration: np.ndarray,
+        duplicate: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_reps <= 0:
+            raise ValueError(f"n_reps must be positive, got {n_reps}")
+        self.n_reps = int(n_reps)
+        rep_ = np.asarray(rep, dtype=np.int64)
+        time_ = np.asarray(time, dtype=float)
+        kind_ = np.asarray(kind, dtype=np.int64)
+        a_ = np.asarray(a, dtype=np.int64)
+        b_ = np.asarray(b, dtype=np.int64)
+        size_ = np.asarray(size, dtype=np.int64)
+        duration_ = np.asarray(duration, dtype=float)
+        dup_ = (
+            np.zeros(rep_.shape[0], dtype=bool)
+            if duplicate is None
+            else np.asarray(duplicate, dtype=bool)
+        )
+        columns = (rep_, time_, kind_, a_, b_, size_, duration_, dup_)
+        n_rows = rep_.shape[0]
+        if any(c.ndim != 1 or c.shape[0] != n_rows for c in columns):
+            raise ValueError("all trace columns must be 1-d arrays of equal length")
+        if n_rows:
+            if bool((rep_ < 0).any()) or bool((rep_ >= self.n_reps).any()):
+                raise ValueError(f"rep column out of range [0, {self.n_reps})")
+            if bool((kind_ < 0).any()) or bool((kind_ >= len(_COLUMNAR_KINDS)).any()):
+                raise ValueError("kind column contains unknown codes")
+            if bool(np.isnan(time_).any()):
+                raise ValueError("time column contains NaN")
+        # stable (rep, time) order: lexsort's last key is the primary one,
+        # and the row-index key keeps insertion order among exact ties.
+        order = np.lexsort((np.arange(n_rows), time_, rep_))
+        self.rep = rep_[order]
+        self.time = time_[order]
+        self.kind = kind_[order]
+        self.a = a_[order]
+        self.b = b_[order]
+        self.size = size_[order]
+        self.duration = duration_[order]
+        self.duplicate = dup_[order]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.rep.shape[0])
+
+    def kind_counts(self) -> Dict[EventKind, int]:
+        """Number of committed events per kind, across the whole batch."""
+        return {
+            k: int(np.count_nonzero(self.kind == code))
+            for k, code in _KIND_CODE.items()
+        }
+
+    def _mask(self, kind: EventKind, rep: Optional[int]) -> np.ndarray:
+        mask = self.kind == _KIND_CODE[kind]
+        if rep is not None:
+            mask = mask & (self.rep == rep)
+        return mask
+
+    def service_times(
+        self, server: Optional[int] = None, rep: Optional[int] = None
+    ) -> np.ndarray:
+        """Observed per-task service durations, optionally filtered."""
+        mask = self._mask(EventKind.SERVICE_COMPLETE, rep)
+        if server is not None:
+            mask = mask & (self.a == server)
+        return self.duration[mask]
+
+    def transfer_times(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        rep: Optional[int] = None,
+        include_duplicates: bool = False,
+    ) -> np.ndarray:
+        """Observed group transfer durations (duplicates excluded by default)."""
+        mask = self._mask(EventKind.GROUP_ARRIVAL, rep)
+        if not include_duplicates:
+            mask = mask & ~self.duplicate
+        if src is not None:
+            mask = mask & (self.a == src)
+        if dst is not None:
+            mask = mask & (self.b == dst)
+        return self.duration[mask]
+
+    # ------------------------------------------------------------------
+    def to_trace(self, rep: int) -> Trace:
+        """Reconstruct one replication as a scalar :class:`Trace`."""
+        if not 0 <= rep < self.n_reps:
+            raise ValueError(f"rep must be in [0, {self.n_reps}), got {rep}")
+        trace = Trace()
+        for i in np.nonzero(self.rep == rep)[0]:
+            kind = _COLUMNAR_KINDS[int(self.kind[i])]
+            payload: Dict[str, Any]
+            if kind is EventKind.SERVICE_COMPLETE:
+                payload = {"server": int(self.a[i]), "duration": float(self.duration[i])}
+            elif kind is EventKind.SERVER_FAILURE:
+                payload = {"server": int(self.a[i]), "tasks_lost": int(self.size[i])}
+            elif kind is EventKind.GROUP_ARRIVAL:
+                payload = {
+                    "src": int(self.a[i]),
+                    "dst": int(self.b[i]),
+                    "size": int(self.size[i]),
+                    "duration": float(self.duration[i]),
+                }
+                if bool(self.duplicate[i]):
+                    payload["duplicate"] = True
+            else:  # FN_ARRIVAL
+                payload = {
+                    "src": int(self.a[i]),
+                    "dst": int(self.b[i]),
+                    "duration": float(self.duration[i]),
+                }
+            trace.record(float(self.time[i]), kind, **payload)
+        return trace
+
+    @classmethod
+    def from_traces(
+        cls, traces: Sequence[Trace], skip_unsupported: bool = False
+    ) -> "ColumnarTrace":
+        """Pack scalar per-replication traces into one columnar log.
+
+        Kinds outside :attr:`KINDS` (INFO gossip, rebalance, open-system
+        arrivals) cannot be encoded; they raise unless
+        ``skip_unsupported=True``, in which case they are dropped.
+        """
+        if not traces:
+            raise ValueError("from_traces needs at least one trace")
+        rep: List[int] = []
+        time: List[float] = []
+        kind: List[int] = []
+        a: List[int] = []
+        b: List[int] = []
+        size: List[int] = []
+        duration: List[float] = []
+        duplicate: List[bool] = []
+        for r_idx, trace in enumerate(traces):
+            for record in trace:
+                code = _KIND_CODE.get(record.kind)
+                if code is None:
+                    if skip_unsupported:
+                        continue
+                    raise ValueError(
+                        f"{record.kind} has no columnar encoding; "
+                        "pass skip_unsupported=True to drop such records"
+                    )
+                p = record.payload
+                rep.append(r_idx)
+                time.append(record.time)
+                kind.append(code)
+                if record.kind is EventKind.SERVICE_COMPLETE:
+                    a.append(int(p["server"]))
+                    b.append(-1)
+                    size.append(0)
+                    duration.append(float(p["duration"]))
+                    duplicate.append(False)
+                elif record.kind is EventKind.SERVER_FAILURE:
+                    a.append(int(p["server"]))
+                    b.append(-1)
+                    size.append(int(p["tasks_lost"]))
+                    duration.append(float("nan"))
+                    duplicate.append(False)
+                elif record.kind is EventKind.GROUP_ARRIVAL:
+                    a.append(int(p["src"]))
+                    b.append(int(p["dst"]))
+                    size.append(int(p["size"]))
+                    duration.append(float(p["duration"]))
+                    duplicate.append(bool(p.get("duplicate", False)))
+                else:  # FN_ARRIVAL
+                    a.append(int(p["src"]))
+                    b.append(int(p["dst"]))
+                    size.append(0)
+                    duration.append(float(p["duration"]))
+                    duplicate.append(False)
+        return cls(
+            n_reps=len(traces),
+            rep=np.asarray(rep, dtype=np.int64),
+            time=np.asarray(time, dtype=float),
+            kind=np.asarray(kind, dtype=np.int64),
+            a=np.asarray(a, dtype=np.int64),
+            b=np.asarray(b, dtype=np.int64),
+            size=np.asarray(size, dtype=np.int64),
+            duration=np.asarray(duration, dtype=float),
+            duplicate=np.asarray(duplicate, dtype=bool),
+        )

@@ -1,0 +1,669 @@
+"""Batched, vectorized Monte-Carlo engine (``DCSSimulator(engine="vector")``).
+
+Runs B independent replications of the one-shot workload execution at
+once.  The scalar event loop in :mod:`repro.simulation.dcs` pays one
+Python event dispatch and one scalar rng call per task; this engine
+exploits the structure of the paper's Sec. II model instead: under a
+one-shot DTR policy servers interact only through the ``t = 0`` task
+transfers, so each server's busy timeline is a cumulative sum of iid
+service draws interleaved with its (few) group arrivals, and every random
+quantity can be drawn as one array per (server, round) across the whole
+batch:
+
+* service times — one ``(B, m_k)`` draw per server ``k`` (``m_k`` =
+  residual load + incoming group sizes);
+* failure times — one ``(B,)`` draw per server (plus the optional
+  injected mid-run failure clock);
+* transfer delays — one ``(B,)`` draw per policy transfer;
+* FN delays — one ``(B,)`` draw per (failed, alive) server pair, drawn
+  only when tracing: FN packets never alter a one-shot outcome.
+
+Within a replication the run ends at the first *loss* event (a server
+failing with work on hand, or a group arriving at a dead server), at the
+censoring horizon, or at workload completion — whichever is earliest.
+The engine resolves that minimum for all B replications with a
+:class:`~repro.simulation.events.BatchEventCalendar` of loss-candidate
+channels and a single argmin.
+
+Equivalence with the scalar engine
+----------------------------------
+For the *same realization* of all clocks the two engines produce
+identical accounting (outcome, served/lost counts, completion time, busy
+time, failure times, traces); the deterministic-clock property tests pin
+this.  For random clocks the engines are *statistically* equivalent but
+draw in different orders, so a seed does not map across engines.
+Tie-breaking conventions mirror the event queue's FIFO rule (failures and
+group departures are pushed at ``t = 0``, before any service
+completion): a task finishing exactly at its server's failure time counts
+as lost, one finishing exactly at the horizon counts as served.
+
+Unsupported features — gossip, rebalancing, open-system arrivals, and the
+fault channels whose bookkeeping is inherently scalar (duplicated
+deliveries, FN-channel faults) — raise ``ValueError`` up front rather
+than silently diverging from the event engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.policy import ReallocationPolicy
+from ..core.system import DCSModel
+from ..faults import FaultPlan
+from .dcs import Outcome, SimulationResult
+from .events import BatchEventCalendar, EventKind
+from .trace import ColumnarTrace
+
+__all__ = ["OUTCOME_CODES", "BatchResult", "simulate_batch", "batch_from_results"]
+
+#: integer encoding of :class:`~repro.simulation.dcs.Outcome` used by
+#: :attr:`BatchResult.outcome_code` (and the estimators' reducers)
+OUTCOME_CODES: Dict[Outcome, int] = {
+    Outcome.COMPLETED: 1,
+    Outcome.FAILED: 2,
+    Outcome.CENSORED: 3,
+}
+_OUTCOME_BY_CODE: Dict[int, Outcome] = {v: k for k, v in OUTCOME_CODES.items()}
+
+_KIND_CODE: Dict[EventKind, int] = {k: i for i, k in enumerate(ColumnarTrace.KINDS)}
+
+#: fault channels the vector engine cannot realize (duplicate deliveries
+#: change the required-work accounting mid-run; FN faults exist only on a
+#: packet-by-packet basis).  Gossip knobs are irrelevant — the engine has
+#: no gossip — exactly as they are no-ops in a one-shot scalar run.
+_UNSUPPORTED_FAULT_FIELDS = ("group_duplicate", "fn_loss", "fn_duplicate", "fn_jitter")
+
+
+def _check_plan(plan: FaultPlan) -> None:
+    active = [name for name in _UNSUPPORTED_FAULT_FIELDS if getattr(plan, name) > 0.0]
+    if active:
+        raise ValueError(
+            f"the vector engine cannot inject {active}; use engine='event'"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Struct-of-arrays outcome of B batched replications.
+
+    Row ``i`` of every array is replication ``i``; :meth:`result` expands
+    one row into the scalar :class:`~repro.simulation.dcs.SimulationResult`.
+    """
+
+    #: (B,) workload execution time; ``inf`` where the run did not complete
+    completion_time: np.ndarray
+    #: (B,) outcome per :data:`OUTCOME_CODES`
+    outcome_code: np.ndarray
+    #: (B, n) tasks served per server
+    tasks_served: np.ndarray
+    #: (B, n) tasks irrecoverably lost per server
+    tasks_lost: np.ndarray
+    #: (B, n) cumulative busy time per server
+    busy_time: np.ndarray
+    #: (B, n) failure time per server; NaN = did not fail within the run
+    failed_at: np.ndarray
+    #: (B,) tasks that vanished in flight
+    tasks_lost_in_flight: np.ndarray
+    #: (B, n) open-system external arrivals (all zero for the vector engine)
+    tasks_arrived: np.ndarray
+    #: columnar event log of the whole batch (when tracing was enabled)
+    trace: Optional[ColumnarTrace] = None
+    #: committed simulation events per replication (services + failures +
+    #: arrivals), maintained even without a trace — benchmarking currency
+    events: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return int(self.completion_time.shape[0])
+
+    @property
+    def n_reps(self) -> int:
+        return len(self)
+
+    @property
+    def n_servers(self) -> int:
+        return int(self.tasks_served.shape[1])
+
+    @property
+    def completed(self) -> np.ndarray:
+        """(B,) boolean completion mask."""
+        mask: np.ndarray = self.outcome_code == OUTCOME_CODES[Outcome.COMPLETED]
+        return mask
+
+    def outcomes(self) -> List[Outcome]:
+        return [_OUTCOME_BY_CODE[int(c)] for c in self.outcome_code]
+
+    def total_events(self) -> int:
+        """Committed events across the batch (the events/sec numerator)."""
+        return int(self.events.sum())
+
+    def result(self, i: int) -> SimulationResult:
+        """Replication ``i`` as a scalar :class:`SimulationResult`."""
+        if not 0 <= i < len(self):
+            raise IndexError(f"replication index {i} out of range [0, {len(self)})")
+        failed_at = tuple(
+            None if math.isnan(v) else float(v) for v in self.failed_at[i]
+        )
+        code = int(self.outcome_code[i])
+        return SimulationResult(
+            completed=code == OUTCOME_CODES[Outcome.COMPLETED],
+            completion_time=float(self.completion_time[i]),
+            tasks_served=tuple(int(v) for v in self.tasks_served[i]),
+            tasks_lost=tuple(int(v) for v in self.tasks_lost[i]),
+            busy_time=tuple(float(v) for v in self.busy_time[i]),
+            failed_at=failed_at,
+            trace=self.trace.to_trace(i) if self.trace is not None else None,
+            tasks_arrived=tuple(int(v) for v in self.tasks_arrived[i]),
+            outcome=_OUTCOME_BY_CODE[code],
+            tasks_lost_in_flight=int(self.tasks_lost_in_flight[i]),
+        )
+
+
+def batch_from_results(
+    results: Sequence[SimulationResult], n_servers: int
+) -> BatchResult:
+    """Pack scalar results (the event engine's loop) into a batch.
+
+    The inverse of :meth:`BatchResult.result`; traces are packed when
+    every result carries one (unsupported record kinds, e.g. INFO gossip,
+    are dropped — they have no columnar encoding).
+    """
+    if not results:
+        raise ValueError("batch_from_results needs at least one result")
+    B = len(results)
+    failed_at = np.full((B, n_servers), np.nan)
+    for i, r in enumerate(results):
+        for k, t in enumerate(r.failed_at):
+            if t is not None:
+                failed_at[i, k] = t
+    trace: Optional[ColumnarTrace] = None
+    if all(r.trace is not None for r in results):
+        trace = ColumnarTrace.from_traces(
+            [r.trace for r in results if r.trace is not None],
+            skip_unsupported=True,
+        )
+    events = np.array(
+        [
+            r.total_served
+            + sum(1 for t in r.failed_at if t is not None)
+            + (len(r.trace.of_kind(EventKind.GROUP_ARRIVAL)) if r.trace else 0)
+            for r in results
+        ],
+        dtype=np.int64,
+    )
+    arrived = np.array(
+        [r.tasks_arrived if r.tasks_arrived else (0,) * n_servers for r in results],
+        dtype=np.int64,
+    )
+    return BatchResult(
+        completion_time=np.array([r.completion_time for r in results], dtype=float),
+        outcome_code=np.array(
+            [OUTCOME_CODES[r.outcome] for r in results], dtype=np.int64
+        ),
+        tasks_served=np.array([r.tasks_served for r in results], dtype=np.int64),
+        tasks_lost=np.array([r.tasks_lost for r in results], dtype=np.int64),
+        busy_time=np.array([r.busy_time for r in results], dtype=float),
+        failed_at=failed_at,
+        tasks_lost_in_flight=np.array(
+            [r.tasks_lost_in_flight for r in results], dtype=np.int64
+        ),
+        tasks_arrived=arrived,
+        trace=trace,
+        events=events,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the batched engine
+# ---------------------------------------------------------------------------
+def simulate_batch(
+    model: DCSModel,
+    loads: Sequence[int],
+    policy: ReallocationPolicy,
+    rng: np.random.Generator,
+    n_reps: int,
+    horizon: float = math.inf,
+    plan: Optional[FaultPlan] = None,
+    record_trace: bool = False,
+    fn_broadcast: bool = True,
+) -> BatchResult:
+    """Run ``n_reps`` one-shot workload executions as one array program.
+
+    Draw layout is fixed (for seeded reproducibility): per-server service
+    arrays in server order, then per-server failure clocks, then
+    per-transfer delays in ``policy.transfers()`` order, then — only when
+    tracing — FN delays per (src, dst) pair.  Fault randomness comes from
+    a dedicated generator exactly as in the scalar engine, so the nominal
+    draws are identical with and without an active plan.
+    """
+    n = model.n
+    if policy.n != n:
+        raise ValueError(f"policy is for {policy.n} servers, model has {n}")
+    if n_reps <= 0:
+        raise ValueError(f"n_reps must be positive, got {n_reps}")
+    if math.isnan(horizon) or horizon < 0:
+        raise ValueError(f"horizon must be a non-negative time, got {horizon}")
+    B = int(n_reps)
+    residual = [int(v) for v in policy.residual_loads(loads)]
+    transfers = policy.transfers()
+    total_tasks = int(np.sum(np.asarray(loads, dtype=np.int64)))
+
+    active_plan = plan is not None and not plan.is_null
+    frng: Optional[np.random.Generator] = None
+    if active_plan and plan is not None:
+        _check_plan(plan)
+        entropy = int(rng.integers(0, 2**31 - 1))
+        frng = np.random.default_rng((entropy, plan.seed))
+    p_straggler = plan.straggler_prob if active_plan and plan else 0.0
+    f_straggler = plan.straggler_factor if active_plan and plan else 1.0
+    p_limp = plan.limplock_prob if active_plan and plan else 0.0
+    f_limp = plan.limplock_factor if active_plan and plan else 1.0
+    jitter = plan.group_jitter if active_plan and plan else 0.0
+    p_loss = plan.group_loss if active_plan and plan else 0.0
+    midrun = plan.midrun_failure_rate if active_plan and plan else 0.0
+
+    # ---- workload columns: server k owns residual[k] tasks plus every
+    # incoming group; iid service draws make any fixed column-to-batch
+    # assignment exchangeable with the scalar engine's draw-on-demand
+    m = list(residual)
+    for t in transfers:
+        m[t.dst] += t.size
+
+    # ---- service draws (one array call per server) --------------------
+    S: List[Optional[np.ndarray]] = []
+    for k in range(n):
+        if m[k] == 0:
+            S.append(None)
+            continue
+        draws = np.asarray(model.service[k].sample(rng, size=(B, m[k])), dtype=float)
+        if frng is not None and p_straggler > 0.0 and f_straggler > 1.0:
+            slow = frng.random((B, m[k])) < p_straggler
+            draws = np.where(slow, draws * f_straggler, draws)
+        if frng is not None and p_limp > 0.0 and f_limp > 1.0:
+            degraded = frng.random(B) < p_limp
+            draws = np.where(degraded[:, None], draws * f_limp, draws)
+        S.append(draws)
+
+    # ---- failure clocks (t = 0 age-zero sample + injected mid-run) ----
+    F = np.full((B, n), np.inf)
+    for k in range(n):
+        fdist = model.failure_of(k)
+        if fdist is not None:
+            F[:, k] = np.asarray(fdist.sample(rng, size=B), dtype=float)
+        if frng is not None and midrun > 0.0:
+            F[:, k] = np.minimum(F[:, k], frng.exponential(1.0 / midrun, size=B))
+
+    # ---- transfer delays (one array call per policy transfer) ---------
+    n_groups = len(transfers)
+    Z = np.zeros((B, n_groups))
+    lost_mask = np.zeros((B, n_groups), dtype=bool)
+    group_sizes = np.array([t.size for t in transfers], dtype=np.int64)
+    for g, t in enumerate(transfers):
+        z = np.asarray(
+            model.network.group_transfer(t.src, t.dst, t.size).sample(rng, size=B),
+            dtype=float,
+        )
+        if frng is not None and jitter > 0.0:
+            z = z + frng.exponential(jitter, size=B)
+        if frng is not None and p_loss > 0.0:
+            lost_mask[:, g] = frng.random(B) < p_loss
+        Z[:, g] = z
+    arrival_of_group = np.where(lost_mask, np.inf, Z)
+    lost_in_flight = (
+        (lost_mask * group_sizes[np.newaxis, :]).sum(axis=1).astype(np.int64)
+        if n_groups
+        else np.zeros(B, dtype=np.int64)
+    )
+
+    # ---- per-server busy timelines ------------------------------------
+    # finish[k][i, j] = absolute completion time of column j on server k in
+    # replication i, ignoring failures/horizon (those mask later).
+    finish: List[Optional[np.ndarray]] = [None] * n
+    arrive: List[Optional[np.ndarray]] = [None] * n
+    for k in range(n):
+        s_k = S[k]
+        if s_k is None:
+            continue
+        batch_arrivals: List[np.ndarray] = []
+        batch_cols: List[Tuple[int, int]] = []
+        off = 0
+        if residual[k] > 0:
+            batch_arrivals.append(np.zeros(B))
+            batch_cols.append((0, residual[k]))
+            off = residual[k]
+        for g, t in enumerate(transfers):
+            if t.dst != k:
+                continue
+            batch_arrivals.append(arrival_of_group[:, g])
+            batch_cols.append((off, off + t.size))
+            off += t.size
+        a_k = np.empty((B, m[k]))
+        for (lo, hi), arr in zip(batch_cols, batch_arrivals):
+            a_k[:, lo:hi] = arr[:, np.newaxis]
+        if len(batch_cols) == 1 and residual[k] > 0:
+            f_k = np.cumsum(s_k, axis=1)  # single t=0 batch: plain cumsum
+        else:
+            A = np.stack(batch_arrivals, axis=1)  # (B, p)
+            order = np.argsort(A, axis=1, kind="stable")
+            busy = np.zeros(B)
+            f_k = np.empty((B, m[k]))
+            for rnd in range(len(batch_cols)):
+                chosen = order[:, rnd]
+                for b, (lo, hi) in enumerate(batch_cols):
+                    rows = np.nonzero(chosen == b)[0]
+                    if rows.size == 0:
+                        continue
+                    start = np.maximum(busy[rows], A[rows, b])
+                    f_k[rows, lo:hi] = start[:, np.newaxis] + np.cumsum(
+                        s_k[rows, lo:hi], axis=1
+                    )
+                    busy[rows] = f_k[rows, hi - 1]
+        finish[k] = f_k
+        arrive[k] = a_k
+
+    # ---- first loss event per replication (batched calendar) ----------
+    # channel order mirrors the event queue's FIFO: all failure clocks are
+    # pushed before the t=0 group departures, so failure channels get the
+    # lower tie-break priority.
+    calendar = BatchEventCalendar(B)
+    channel_server: List[int] = []
+    channel_count: List[np.ndarray] = []
+    for k in range(n):
+        f_col = F[:, k]
+        q_at_fail = np.zeros(B, dtype=np.int64)
+        if residual[k] > 0:
+            # the residual queue is on hand from t = 0, before any failure
+            q_at_fail += residual[k]
+        f_k = finish[k]
+        a_k = arrive[k]
+        if f_k is not None and a_k is not None:
+            if residual[k] > 0:
+                late = a_k[:, residual[k]:] < f_col[:, np.newaxis]
+            else:
+                late = a_k < f_col[:, np.newaxis]
+            q_at_fail += late.sum(axis=1)
+            q_at_fail -= (f_k < f_col[:, np.newaxis]).sum(axis=1)
+        times = np.where(q_at_fail > 0, f_col, np.inf)
+        calendar.schedule(times, EventKind.SERVER_FAILURE, server=k)
+        channel_server.append(k)
+        channel_count.append(q_at_fail)
+    for g, t in enumerate(transfers):
+        stranded = ~lost_mask[:, g] & (Z[:, g] >= F[:, t.dst])
+        times = np.where(stranded, Z[:, g], np.inf)
+        calendar.schedule(
+            times, EventKind.GROUP_ARRIVAL, src=t.src, dst=t.dst, size=t.size
+        )
+        channel_server.append(t.dst)
+        channel_count.append(np.full(B, t.size, dtype=np.int64))
+    t_loss_raw = calendar.first_time()
+    loss_channel = calendar.first_channel()
+    loss_active = np.isfinite(t_loss_raw) & (t_loss_raw <= horizon)
+    t_loss = np.where(loss_active, t_loss_raw, np.inf)
+
+    # ---- accounting ----------------------------------------------------
+    served = np.zeros((B, n), dtype=np.int64)
+    busy_time = np.zeros((B, n))
+    served_masks: List[Optional[np.ndarray]] = [None] * n
+    for k in range(n):
+        f_k = finish[k]
+        s_k = S[k]
+        if f_k is None or s_k is None:
+            continue
+        # strict vs the server's own failure and the loss time (those
+        # events were pushed first, FIFO pops them first at a tie); <= vs
+        # the horizon (the loop breaks only strictly past it)
+        mask = (
+            (f_k < F[:, k][:, np.newaxis])
+            & (f_k < t_loss[:, np.newaxis])
+            & (f_k <= horizon)
+        )
+        served_masks[k] = mask
+        served[:, k] = mask.sum(axis=1)
+        busy_time[:, k] = np.where(mask, s_k, 0.0).sum(axis=1)
+
+    completed = served.sum(axis=1) == total_tasks
+    if total_tasks > 0:
+        ct = np.full(B, -np.inf)
+        for k in range(n):
+            f_k = finish[k]
+            mask = served_masks[k]
+            if f_k is None or mask is None:
+                continue
+            ct = np.maximum(ct, np.where(mask, f_k, -np.inf).max(axis=1))
+        completion_time = np.where(completed, ct, np.inf)
+    else:
+        # scalar quirk: an empty workload is complete but its completion
+        # time is never stamped (no SERVICE_COMPLETE event fires)
+        completion_time = np.full(B, np.inf)
+
+    # the per-replication break time: first loss, horizon cut, or the
+    # completion break — events strictly after it were never processed
+    t_end = np.minimum(np.minimum(t_loss, horizon), completion_time)
+
+    failed_at = np.full((B, n), np.nan)
+    fail_processed = np.zeros((B, n), dtype=bool)
+    for k in range(n):
+        # isfinite guard: F = t_end = inf (e.g. an empty reliable run)
+        # must not count as a processed failure
+        proc = np.isfinite(F[:, k]) & (F[:, k] <= t_end)
+        fail_processed[:, k] = proc
+        failed_at[:, k] = np.where(proc, F[:, k], np.nan)
+        f_k = finish[k]
+        s_k = S[k]
+        if f_k is None or s_k is None:
+            continue
+        # partial busy credit for the task in service when the failure
+        # fired (scalar Server.fail): started strictly before F, not done
+        start = f_k - s_k
+        in_service = (start < F[:, k][:, np.newaxis]) & (
+            f_k >= F[:, k][:, np.newaxis]
+        )
+        partial = np.where(in_service, F[:, k][:, np.newaxis] - start, 0.0).sum(axis=1)
+        busy_time[:, k] += np.where(proc, partial, 0.0)
+
+    lost = np.zeros((B, n), dtype=np.int64)
+    rows = np.nonzero(loss_active)[0]
+    if rows.size:
+        chan = loss_channel[rows]
+        srv = np.array(channel_server, dtype=np.int64)[chan]
+        counts = np.stack(channel_count, axis=1)[rows, chan]
+        lost[rows, srv] = counts
+
+    any_loss = (lost.sum(axis=1) + lost_in_flight) > 0
+    outcome_code = np.where(
+        completed,
+        OUTCOME_CODES[Outcome.COMPLETED],
+        np.where(
+            any_loss, OUTCOME_CODES[Outcome.FAILED], OUTCOME_CODES[Outcome.CENSORED]
+        ),
+    ).astype(np.int64)
+
+    # committed events: services + processed failures + delivered groups.
+    # A group landing exactly at the break instant commits only if its
+    # calendar channel pops before the breaking one (scalar FIFO: at equal
+    # times, push order decides — failures first, then groups in policy
+    # order, so channel index is pop priority).
+    events = served.sum(axis=1) + fail_processed.sum(axis=1)
+    if n_groups:
+        group_chan = n + np.arange(n_groups, dtype=np.int64)
+        beats_break = (Z < t_loss[:, np.newaxis]) | (
+            group_chan[np.newaxis, :] <= loss_channel[:, np.newaxis]
+        )
+        group_committed = (
+            ~lost_mask
+            & (Z <= t_end[:, np.newaxis])
+            & (beats_break | ~loss_active[:, np.newaxis])
+        )
+        events = events + group_committed.sum(axis=1)
+    else:
+        group_committed = np.zeros((B, 0), dtype=bool)
+
+    trace: Optional[ColumnarTrace] = None
+    if record_trace:
+        trace = _build_trace(
+            model=model,
+            rng=rng,
+            B=B,
+            n=n,
+            transfers_src=[t.src for t in transfers],
+            transfers_dst=[t.dst for t in transfers],
+            group_sizes=group_sizes,
+            S=S,
+            finish=finish,
+            served_masks=served_masks,
+            F=F,
+            Z=Z,
+            group_committed=group_committed,
+            q_at_fail=np.stack(channel_count[:n], axis=1) if n else
+            np.zeros((B, 0), dtype=np.int64),
+            fail_processed=fail_processed,
+            t_end=t_end,
+            fn_broadcast=fn_broadcast,
+        )
+
+    return BatchResult(
+        completion_time=completion_time,
+        outcome_code=outcome_code,
+        tasks_served=served,
+        tasks_lost=lost,
+        busy_time=busy_time,
+        failed_at=failed_at,
+        tasks_lost_in_flight=lost_in_flight,
+        tasks_arrived=np.zeros((B, n), dtype=np.int64),
+        trace=trace,
+        events=events.astype(np.int64),
+    )
+
+
+def _build_trace(
+    model: DCSModel,
+    rng: np.random.Generator,
+    B: int,
+    n: int,
+    transfers_src: List[int],
+    transfers_dst: List[int],
+    group_sizes: np.ndarray,
+    S: List[Optional[np.ndarray]],
+    finish: List[Optional[np.ndarray]],
+    served_masks: List[Optional[np.ndarray]],
+    F: np.ndarray,
+    Z: np.ndarray,
+    group_committed: np.ndarray,
+    q_at_fail: np.ndarray,
+    fail_processed: np.ndarray,
+    t_end: np.ndarray,
+    fn_broadcast: bool,
+) -> ColumnarTrace:
+    """Columnar log of every committed event (same commit rules as scalar)."""
+    reps: List[np.ndarray] = []
+    times: List[np.ndarray] = []
+    kinds: List[np.ndarray] = []
+    col_a: List[np.ndarray] = []
+    col_b: List[np.ndarray] = []
+    sizes: List[np.ndarray] = []
+    durs: List[np.ndarray] = []
+
+    def emit(
+        rep: np.ndarray,
+        time: np.ndarray,
+        kind: EventKind,
+        a: np.ndarray,
+        b: np.ndarray,
+        size: np.ndarray,
+        dur: np.ndarray,
+    ) -> None:
+        reps.append(rep.astype(np.int64))
+        times.append(time.astype(float))
+        kinds.append(np.full(rep.shape[0], _KIND_CODE[kind], dtype=np.int64))
+        col_a.append(a.astype(np.int64))
+        col_b.append(b.astype(np.int64))
+        sizes.append(size.astype(np.int64))
+        durs.append(dur.astype(float))
+
+    for k in range(n):
+        f_k = finish[k]
+        s_k = S[k]
+        mask = served_masks[k]
+        if f_k is not None and s_k is not None and mask is not None:
+            rep_idx, col_idx = np.nonzero(mask)
+            emit(
+                rep_idx,
+                f_k[rep_idx, col_idx],
+                EventKind.SERVICE_COMPLETE,
+                np.full(rep_idx.shape[0], k),
+                np.full(rep_idx.shape[0], -1),
+                np.zeros(rep_idx.shape[0]),
+                s_k[rep_idx, col_idx],
+            )
+    for g in range(len(transfers_src)):
+        delivered = np.nonzero(group_committed[:, g])[0]
+        emit(
+            delivered,
+            Z[delivered, g],
+            EventKind.GROUP_ARRIVAL,
+            np.full(delivered.shape[0], transfers_src[g]),
+            np.full(delivered.shape[0], transfers_dst[g]),
+            np.full(delivered.shape[0], int(group_sizes[g])),
+            Z[delivered, g],
+        )
+    for k in range(n):
+        proc = np.nonzero(fail_processed[:, k])[0]
+        emit(
+            proc,
+            F[proc, k],
+            EventKind.SERVER_FAILURE,
+            np.full(proc.shape[0], k),
+            np.full(proc.shape[0], -1),
+            # the payload counts tasks held *at the failure instant* —
+            # losses the calendar later attributes to this server (e.g. a
+            # group stranded toward it) do not belong in this row
+            q_at_fail[proc, k],
+            np.full(proc.shape[0], np.nan),
+        )
+    if fn_broadcast:
+        # FN packets: src's processed failure broadcasts to every server
+        # still alive at that instant; delivery must land before the break
+        for k in range(n):
+            if bool(np.isinf(F[:, k]).all()):
+                continue
+            for j in range(n):
+                if j == k:
+                    continue
+                x = np.asarray(
+                    model.network.failure_notice(k, j).sample(rng, size=B),
+                    dtype=float,
+                )
+                delivery = F[:, k] + x
+                ok = np.nonzero(
+                    fail_processed[:, k]
+                    & (F[:, j] >= F[:, k])
+                    & (delivery <= t_end)
+                )[0]
+                emit(
+                    ok,
+                    delivery[ok],
+                    EventKind.FN_ARRIVAL,
+                    np.full(ok.shape[0], k),
+                    np.full(ok.shape[0], j),
+                    np.zeros(ok.shape[0]),
+                    x[ok],
+                )
+
+    def cat(parts: List[np.ndarray], dtype: type) -> np.ndarray:
+        if not parts:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate(parts)
+
+    return ColumnarTrace(
+        n_reps=B,
+        rep=cat(reps, np.int64),
+        time=cat(times, float),
+        kind=cat(kinds, np.int64),
+        a=cat(col_a, np.int64),
+        b=cat(col_b, np.int64),
+        size=cat(sizes, np.int64),
+        duration=cat(durs, float),
+    )

@@ -6,6 +6,8 @@ from .scenarios import (
     FIVE_SERVER_FAILURE_MEANS,
     FIVE_SERVER_LOADS,
     FIVE_SERVER_SERVICE_MEANS,
+    LIMPLOCK_FACTOR,
+    LIMPLOCK_PROB,
     QOS_DEADLINE,
     TWO_SERVER_FAILURE_MEANS,
     TWO_SERVER_LOADS,
@@ -13,6 +15,7 @@ from .scenarios import (
     DelayRegime,
     Scenario,
     five_server_scenario,
+    limplock_scenario,
     testbed_scenario,
     two_server_scenario,
 )
@@ -27,6 +30,9 @@ __all__ = [
     "Scenario",
     "two_server_scenario",
     "five_server_scenario",
+    "limplock_scenario",
+    "LIMPLOCK_PROB",
+    "LIMPLOCK_FACTOR",
     "testbed_scenario",
     "TWO_SERVER_LOADS",
     "TWO_SERVER_SERVICE_MEANS",

@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core.system import DCSModel, HeterogeneousNetwork, HomogeneousNetwork
 from ..distributions import Exponential, Pareto, ShiftedGamma
+from ..faults import FaultPlan
 from .models import ModelFamily, get_family
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "Scenario",
     "two_server_scenario",
     "five_server_scenario",
+    "limplock_scenario",
+    "LIMPLOCK_PROB",
+    "LIMPLOCK_FACTOR",
     "testbed_scenario",
     "TWO_SERVER_LOADS",
     "TWO_SERVER_SERVICE_MEANS",
@@ -68,7 +72,13 @@ DELAY_REGIMES: Dict[str, DelayRegime] = {
 
 @dataclass
 class Scenario:
-    """A ready-to-run experimental configuration."""
+    """A ready-to-run experimental configuration.
+
+    ``faults`` (optional) is the scenario's canonical fault plan — e.g.
+    the limplock family ships a degraded-node plan; pass it to the
+    simulator (``DCSSimulator(..., faults=scenario.faults)``) to run the
+    scenario as intended, or leave it off for the nominal system.
+    """
 
     name: str
     model: DCSModel
@@ -76,6 +86,7 @@ class Scenario:
     family: ModelFamily
     regime: Optional[DelayRegime] = None
     deadline: Optional[float] = None
+    faults: Optional[FaultPlan] = None
 
     @property
     def reliable_model(self) -> DCSModel:
@@ -149,6 +160,47 @@ def five_server_scenario(
         family=fam,
         regime=regime,
         deadline=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# degraded-node ("limplock") family
+# ---------------------------------------------------------------------------
+#: default probability that a server is degraded for a whole run
+LIMPLOCK_PROB: float = 0.25
+#: default service-time stretch of a degraded server (fail-slow, not crash)
+LIMPLOCK_FACTOR: float = 10.0
+
+
+def limplock_scenario(
+    family: str,
+    delay: str = "low",
+    with_failures: bool = True,
+    prob: float = LIMPLOCK_PROB,
+    factor: float = LIMPLOCK_FACTOR,
+    seed: int = 0,
+) -> Scenario:
+    """The two-server study with degraded (fail-slow) nodes.
+
+    Same nominal system as :func:`two_server_scenario`, but each run draws
+    per-server limplock flags: with probability ``prob`` a server spends
+    the whole run degraded, every service draw stretched by ``factor``.
+    This is the "limplock" regime of degraded-node cluster studies (cf.
+    big-distributed-simulator): the node neither crashes — so the paper's
+    failure model never notices — nor keeps up, which is exactly the
+    condition that breaks an age-ignorant one-shot reallocation.  The
+    plan rides in :attr:`Scenario.faults` and works on both engines.
+    """
+    base = two_server_scenario(family, delay=delay, with_failures=with_failures)
+    plan = FaultPlan.limplock(seed=seed, prob=prob, factor=factor)
+    return Scenario(
+        name=f"limplock/{family}/{delay}",
+        model=base.model,
+        loads=base.loads,
+        family=base.family,
+        regime=base.regime,
+        deadline=base.deadline,
+        faults=plan,
     )
 
 

@@ -168,6 +168,47 @@ class TestTraceAndFN:
         assert not result.completed
 
 
+class TestGossipHorizon:
+    """Gossip ticks must respect the per-run *effective* horizon.
+
+    Regression: ``_gossip_tick`` rescheduled the next tick against the
+    simulator-wide ``self.horizon``, so a run tightened via the ``horizon``
+    argument (the QoS-censoring path) kept pushing INFO ticks past its own
+    cut-off.
+    """
+
+    def _recording_queue(self, monkeypatch):
+        import repro.simulation.dcs as dcs_mod
+        from repro.simulation import EventQueue
+
+        pushed = []
+
+        class Recording(EventQueue):
+            def push(self, event):
+                if (
+                    event.kind is EventKind.INFO_ARRIVAL
+                    and event.payload.get("dst") is None
+                ):
+                    pushed.append(event.time)
+                super().push(event)
+
+        monkeypatch.setattr(dcs_mod, "EventQueue", Recording)
+        return pushed
+
+    def test_no_tick_pushed_past_tightened_horizon(self, monkeypatch, rng):
+        pushed = self._recording_queue(monkeypatch)
+        sim = DCSSimulator(small_exp_model(), info_period=1.0)  # horizon = inf
+        sim.run([30, 30], ReallocationPolicy.none(2), rng, horizon=3.0)
+        assert pushed, "gossip must have ticked at all"
+        assert max(pushed) <= 3.0
+
+    def test_untightened_run_still_gossips_freely(self, monkeypatch, rng):
+        pushed = self._recording_queue(monkeypatch)
+        sim = DCSSimulator(small_exp_model(), info_period=1.0)
+        sim.run([30, 30], ReallocationPolicy.none(2), rng)
+        assert pushed and max(pushed) > 3.0
+
+
 def _det_network(latency: float, per_task: float):
     from repro.core import HomogeneousNetwork
 

@@ -177,3 +177,73 @@ class TestJobsDeterminism:
             model, [4, 3], pol, 100, np.random.default_rng(3), jobs=0
         )
         assert serial == all_cores
+
+
+class TestVectorEngineRouting:
+    """engine="vector" routes whole chunks through run_batch."""
+
+    def test_vector_estimates_reproduce(self):
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.two_server(2, 1)
+        a = estimate_reliability(
+            model, [5, 3], pol, 500, np.random.default_rng(4), engine="vector"
+        )
+        b = estimate_reliability(
+            model, [5, 3], pol, 500, np.random.default_rng(4), engine="vector"
+        )
+        assert a == b
+
+    def test_vector_jobs_invariance_across_chunks(self):
+        # 10 000 reps spans two 8192-rep vector chunks, so this exercises
+        # the chunk layout on the batched path as well
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.two_server(2, 1)
+        serial = estimate_reliability(
+            model, [5, 3], pol, 10_000, np.random.default_rng(6),
+            engine="vector", jobs=1,
+        )
+        fanned = estimate_reliability(
+            model, [5, 3], pol, 10_000, np.random.default_rng(6),
+            engine="vector", jobs=2,
+        )
+        assert serial == fanned
+
+    def test_engines_agree_statistically(self):
+        model = small_exp_model(with_failures=True)
+        pol = ReallocationPolicy.two_server(2, 1)
+        ev = estimate_reliability(
+            model, [5, 3], pol, 800, np.random.default_rng(8), engine="event"
+        )
+        vec = estimate_reliability(
+            model, [5, 3], pol, 4000, np.random.default_rng(9), engine="vector"
+        )
+        # the event CI must cover the (tighter) vector estimate
+        assert ev.ci_low - 0.02 <= vec.value <= ev.ci_high + 0.02
+
+    def test_vector_qos_separates_outcomes(self):
+        model = small_exp_model()
+        est = estimate_qos(
+            model, [50, 50], ReallocationPolicy.none(2), deadline=0.01,
+            n_reps=64, rng=np.random.default_rng(0), engine="vector",
+        )
+        assert est.value == 0.0
+        assert est.n_failures == 0
+        assert est.n_censored == 64
+
+    def test_conflicting_simulator_and_engine_rejected(self):
+        model = small_exp_model()
+        sim = DCSSimulator(model)  # event engine
+        with pytest.raises(ValueError, match="conflicting"):
+            estimate_reliability(
+                model, [4, 3], ReallocationPolicy.none(2), 10,
+                np.random.default_rng(0), simulator=sim, engine="vector",
+            )
+
+    def test_matching_simulator_and_engine_accepted(self):
+        model = small_exp_model()
+        sim = DCSSimulator(model, engine="vector")
+        est = estimate_reliability(
+            model, [4, 3], ReallocationPolicy.none(2), 32,
+            np.random.default_rng(0), simulator=sim, engine="vector",
+        )
+        assert est.value == 1.0

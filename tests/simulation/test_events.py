@@ -1,8 +1,16 @@
 """Event calendar: ordering, FIFO ties, validation."""
 
+import math
+
+import numpy as np
 import pytest
 
-from repro.simulation import EventKind, EventQueue, ScheduledEvent
+from repro.simulation import (
+    BatchEventCalendar,
+    EventKind,
+    EventQueue,
+    ScheduledEvent,
+)
 
 
 class TestEventQueue:
@@ -51,3 +59,56 @@ class TestEventQueue:
             q.push(ScheduledEvent(t, EventKind.INFO_ARRIVAL, {}))
         assert [e.time for e in q.drain()] == [1.0, 3.0, 5.0]
         assert not q
+
+    def test_rejects_nan_time(self):
+        # NaN compares False against 0, so the old `time < 0` guard let it
+        # through and silently corrupted the heap order
+        q = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            q.push(ScheduledEvent(math.nan, EventKind.INFO_ARRIVAL, {}))
+        assert len(q) == 0
+
+    def test_accepts_infinite_time(self):
+        q = EventQueue()
+        q.push(ScheduledEvent(math.inf, EventKind.INFO_ARRIVAL, {}))
+        assert q.peek_time() == math.inf
+
+
+class TestBatchEventCalendar:
+    def test_first_time_and_channel(self):
+        cal = BatchEventCalendar(3)
+        cal.schedule(np.array([5.0, 1.0, np.inf]), EventKind.SERVER_FAILURE, server=0)
+        cal.schedule(np.array([2.0, 4.0, np.inf]), EventKind.GROUP_ARRIVAL, dst=1)
+        np.testing.assert_array_equal(cal.first_time(), [2.0, 1.0, np.inf])
+        np.testing.assert_array_equal(cal.first_channel(), [1, 0, -1])
+
+    def test_ties_break_toward_earlier_channel(self):
+        # mirrors the scalar heap's FIFO rule
+        cal = BatchEventCalendar(2)
+        cal.schedule(np.array([3.0, 3.0]), EventKind.SERVER_FAILURE)
+        cal.schedule(np.array([3.0, 1.0]), EventKind.GROUP_ARRIVAL)
+        np.testing.assert_array_equal(cal.first_channel(), [0, 1])
+
+    def test_empty_calendar(self):
+        cal = BatchEventCalendar(2)
+        assert len(cal) == 0
+        np.testing.assert_array_equal(cal.first_time(), [np.inf, np.inf])
+        np.testing.assert_array_equal(cal.first_channel(), [-1, -1])
+
+    def test_channel_payload_round_trip(self):
+        cal = BatchEventCalendar(1)
+        idx = cal.schedule(np.array([1.0]), EventKind.GROUP_ARRIVAL, src=0, dst=1)
+        kind, payload = cal.channel(idx)
+        assert kind is EventKind.GROUP_ARRIVAL
+        assert payload == {"src": 0, "dst": 1}
+
+    def test_rejects_nan_negative_and_bad_shape(self):
+        cal = BatchEventCalendar(2)
+        with pytest.raises(ValueError, match="NaN"):
+            cal.schedule(np.array([1.0, np.nan]), EventKind.SERVER_FAILURE)
+        with pytest.raises(ValueError, match="negative"):
+            cal.schedule(np.array([1.0, -1.0]), EventKind.SERVER_FAILURE)
+        with pytest.raises(ValueError, match="shape"):
+            cal.schedule(np.array([1.0]), EventKind.SERVER_FAILURE)
+        with pytest.raises(ValueError):
+            BatchEventCalendar(0)

@@ -229,6 +229,94 @@ class TestInjectedOutcomes:
 
 
 # ----------------------------------------------------------------------
+# Limplock (fail-slow) degraded nodes
+# ----------------------------------------------------------------------
+class TestLimplock:
+    def test_preset_plan(self):
+        plan = FaultPlan.limplock(seed=7)
+        assert plan.limplock_prob == pytest.approx(0.25)
+        assert plan.limplock_factor == pytest.approx(10.0)
+        assert plan.seed == 7
+        assert not plan.is_null
+
+    def test_null_detection_mirrors_straggler_rule(self):
+        # a limplock probability with factor 1 slows nothing down
+        assert FaultPlan(limplock_prob=0.5, limplock_factor=1.0).is_null
+        assert not FaultPlan(limplock_prob=0.5, limplock_factor=2.0).is_null
+
+    def test_factor_must_be_a_slowdown(self):
+        with pytest.raises(ValueError, match="limplock_factor"):
+            FaultPlan(limplock_factor=0.5)
+
+    def test_scaled_interpolates_the_factor(self):
+        plan = FaultPlan.limplock(prob=0.4, factor=9.0)
+        half = plan.scaled(0.5)
+        assert half.limplock_prob == pytest.approx(0.2)
+        assert half.limplock_factor == pytest.approx(5.0)
+        assert plan.scaled(0.0).is_null
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan.limplock(seed=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_flag_is_memoized_per_server(self):
+        inj = FaultInjector(
+            FaultPlan(limplock_prob=0.5, limplock_factor=10.0),
+            np.random.default_rng(0),
+        )
+        flags = [inj.is_limplocked(k) for k in range(8)]
+        assert flags == [inj.is_limplocked(k) for k in range(8)]
+
+    def test_non_limplock_plan_draws_nothing(self):
+        # the lazy flag draw must not perturb other channels' streams:
+        # with limplock off, two injectors sharing a seed stay in lockstep
+        a = FaultInjector(FaultPlan(group_jitter=1.0), np.random.default_rng(5))
+        b = FaultInjector(FaultPlan(group_jitter=1.0), np.random.default_rng(5))
+        assert not a.is_limplocked(0)
+        assert a.counters["limplocked"] == 0
+        assert a.transfer_delays(2.0) == b.transfer_delays(2.0)
+
+    def test_certain_limplock_stretches_service(self):
+        inj = FaultInjector(
+            FaultPlan(limplock_prob=1.0, limplock_factor=10.0),
+            np.random.default_rng(0),
+        )
+        assert inj.service_time(2.0, server=0) == pytest.approx(20.0)
+        assert inj.counters["limplocked"] == 1
+
+    def test_limplocked_run_is_slower(self):
+        model = DCSModel(service=[Deterministic(2.0)], network=ZeroDelayNetwork())
+        pol = ReallocationPolicy.none(1)
+        plain = DCSSimulator(model).run([4], pol, np.random.default_rng(0))
+        limping = DCSSimulator(
+            model, faults=FaultPlan(limplock_prob=1.0, limplock_factor=10.0)
+        ).run([4], pol, np.random.default_rng(0))
+        assert limping.completion_time == pytest.approx(
+            10.0 * plain.completion_time
+        )
+
+    def test_limplock_scenario_builder(self):
+        from repro.workloads import (
+            LIMPLOCK_FACTOR,
+            LIMPLOCK_PROB,
+            limplock_scenario,
+        )
+
+        sc = limplock_scenario("exponential", delay="low")
+        assert sc.name.startswith("limplock/")
+        assert sc.faults is not None
+        assert sc.faults.limplock_prob == pytest.approx(LIMPLOCK_PROB)
+        assert sc.faults.limplock_factor == pytest.approx(LIMPLOCK_FACTOR)
+        # the plan plugs straight into the simulator
+        sim = DCSSimulator(sc.model, faults=sc.faults)
+        result = sim.run(
+            sc.loads, ReallocationPolicy.none(len(sc.loads)),
+            np.random.default_rng(0),
+        )
+        assert result.outcome in (Outcome.COMPLETED, Outcome.FAILED)
+
+
+# ----------------------------------------------------------------------
 # Estimators: failure vs censoring separation
 # ----------------------------------------------------------------------
 class TestEstimatorOutcomeSeparation:

@@ -79,3 +79,20 @@ class TestTrace:
         assert t.is_monotone()
         t.record(1.5, EventKind.FN_ARRIVAL)
         assert not t.is_monotone()
+
+    def test_transfer_times_excludes_fault_duplicates(self):
+        """Regression: duplicated deliveries must not contaminate fitting.
+
+        A fault-injected duplicate (payload ``duplicate: True``) is a
+        redundant copy of a transfer that already happened; counting it
+        would double-weight that transfer in any empirical delay fit.
+        """
+        t = Trace()
+        t.record(3.0, EventKind.GROUP_ARRIVAL, src=0, dst=1, size=2, duration=3.0)
+        t.record(
+            4.5, EventKind.GROUP_ARRIVAL, src=0, dst=1, size=2, duration=4.5,
+            duplicate=True,
+        )
+        assert t.transfer_times(src=0, dst=1) == [3.0]
+        assert t.transfer_times() == [3.0]
+        assert t.transfer_times(include_duplicates=True) == [3.0, 4.5]

@@ -1,0 +1,118 @@
+"""Every public annotation in ``repro`` must actually resolve.
+
+Regression guard for the ``estimator._spawn_streams`` bug, where a
+``List[...]`` return annotation was written without importing ``List``:
+under ``from __future__ import annotations`` the module imports fine and
+the break only surfaces once something calls ``typing.get_type_hints``
+(dataclass introspection, runtime contract checking, doc tooling).
+
+The sweep resolves hints per module.  Names imported only under
+``if TYPE_CHECKING:`` are parsed out of the module source with ``ast``
+and injected as that module's *own* local namespace — a shared union
+namespace would leak ``List`` (imported for real elsewhere) into every
+module and mask exactly the bug this test exists to catch.
+"""
+
+import ast
+import importlib
+import inspect
+import pkgutil
+import typing
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def _iter_module_names() -> List[str]:
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def _type_checking_namespace(module: Any) -> Dict[str, Any]:
+    """Resolve names imported under ``if TYPE_CHECKING:`` in *module* only."""
+    source_file = getattr(module, "__file__", None)
+    if source_file is None:
+        return {}
+    tree = ast.parse(Path(source_file).read_text(encoding="utf-8"))
+    namespace: Dict[str, Any] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.If) and _is_type_checking_test(node.test)):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module is not None:
+                package = module.__package__ or ""
+                imported = importlib.import_module(
+                    "." * stmt.level + stmt.module if stmt.level else stmt.module,
+                    package=package,
+                )
+                for alias in stmt.names:
+                    namespace[alias.asname or alias.name] = getattr(
+                        imported, alias.name
+                    )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    namespace[alias.asname or alias.name.split(".")[0]] = (
+                        importlib.import_module(alias.name)
+                    )
+    return namespace
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _module_functions(module: Any) -> List[Tuple[str, Any]]:
+    """All functions defined in *module* — public API plus private helpers.
+
+    Private helpers are included deliberately: the original bug lived in
+    the private ``_spawn_streams``, whose broken annotation poisoned the
+    hints of the public estimators that call it.
+    """
+    found: List[Tuple[str, Any]] = []
+    for name, obj in vars(module).items():
+        if name.startswith("__") or getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isfunction(obj):
+            found.append((name, obj))
+        elif inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("__") and mname != "__init__":
+                    continue
+                fn = inspect.unwrap(getattr(member, "__func__", member))
+                if inspect.isfunction(fn) and fn.__module__ == module.__name__:
+                    found.append((f"{name}.{mname}", fn))
+    return found
+
+
+@pytest.mark.parametrize("module_name", _iter_module_names())
+def test_all_public_annotations_resolve(module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    localns = _type_checking_namespace(module)
+    functions = _module_functions(module)
+    failures: List[str] = []
+    for qualname, fn in functions:
+        try:
+            typing.get_type_hints(fn, localns=localns)
+        except Exception as exc:  # noqa: BLE001 - report every break at once
+            failures.append(f"{module_name}.{qualname}: {exc!r}")
+    assert not failures, "unresolvable annotations:\n" + "\n".join(failures)
+
+
+def test_sweep_covers_the_estimator_module() -> None:
+    """The sweep must actually reach the function the original bug lived in."""
+    assert "repro.simulation.estimator" in _iter_module_names()
+    module = importlib.import_module("repro.simulation.estimator")
+    names = [q for q, _ in _module_functions(module)]
+    assert "_spawn_streams" in names
+    assert any("estimate" in q for q in names)
