@@ -1,0 +1,16 @@
+"""Environment provenance fields stamped into every benchmark record.
+
+Every ``BENCH_solvers.json`` entry carries the convolution backend it
+measured, the working precision, and the numba version compiled kernels
+would use (``null`` when numba is absent and the ``jit`` backend degrades
+to ``spectral``) — so stored baselines are comparable across machines and
+dependency sets.
+"""
+
+from typing import Dict, Optional
+
+from repro.distributions.jit_kernels import numba_version
+
+
+def env_fields(backend: str, dtype: str = "float64") -> Dict[str, Optional[str]]:
+    return {"backend": backend, "dtype": dtype, "numba": numba_version()}

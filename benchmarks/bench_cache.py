@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from _env import env_fields
 from repro.core import (
     Algorithm1,
     Metric,
@@ -65,6 +66,7 @@ def _table1_records(params: dict) -> List[dict]:
     assert warm.value == cold.value and (warm.l12, warm.l21) == (cold.l12, cold.l21)
     base = {
         "bench": "table1_two_server_sweep",
+        **env_fields("spectral"),
         "scenario": "two-server/pareto1/severe",
         "metric": "reliability",
         "dt": params["t1_dt"],
@@ -108,6 +110,7 @@ def _table2_records(params: dict) -> List[dict]:
     assert np.array_equal(warm.policy.matrix, cold.policy.matrix)
     base = {
         "bench": "table2_algorithm1",
+        **env_fields("spectral"),
         "scenario": "five-server/pareto1/severe",
         "metric": "reliability",
         "dt": params["t2_dt"],
@@ -137,6 +140,7 @@ def _mc_records(params: dict) -> List[dict]:
         records.append(
             {
                 "bench": "mc_reliability",
+                **env_fields("simulation"),
                 "scenario": "two-server/pareto1/severe",
                 "variant": f"jobs={jobs}",
                 "jobs": jobs,

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from _env import env_fields
 from repro.core import (
     DCSModel,
     HomogeneousNetwork,
@@ -80,9 +81,16 @@ def _table1_records(params: dict) -> List[dict]:
         "max_abs_diff": agreement,
     }
     return [
-        {**base, "variant": "direct-percell", "seconds": direct_s, "value": direct.value},
         {
             **base,
+            **env_fields("direct"),
+            "variant": "direct-percell",
+            "seconds": direct_s,
+            "value": direct.value,
+        },
+        {
+            **base,
+            **env_fields("spectral"),
             "variant": "spectral-batched",
             "seconds": spectral_s,
             "value": spectral.value,
@@ -147,9 +155,16 @@ def _exact2_records(params: dict) -> List[dict]:
         "max_abs_diff": agreement,
     }
     return [
-        {**base, "variant": "direct-loop", "seconds": direct_s, "value": direct[0]},
         {
             **base,
+            **env_fields("direct"),
+            "variant": "direct-loop",
+            "seconds": direct_s,
+            "value": direct[0],
+        },
+        {
+            **base,
+            **env_fields("spectral"),
             "variant": "spectral-batched",
             "seconds": spectral_s,
             "value": spectral[0],
@@ -194,6 +209,7 @@ def _agreement_records(params: dict) -> List[dict]:
         records.append(
             {
                 "bench": "spectral_metric_agreement",
+                **env_fields("spectral+direct"),
                 "scenario": "two-server/pareto1/severe",
                 "metric": name,
                 "dt": params["agree_dt"],

@@ -38,10 +38,26 @@ module-level payload slot is not re-entrant within one process: a nested
 ``fork_map`` issued while a fan-out is already driving workers from the
 same process raises :class:`RuntimeError` (inside a forked worker the
 nested call simply runs serially, which is the intended degradation).
+
+Shared-memory payload tables
+----------------------------
+Large read-only operand tables (policy-cell tables, lattice blocks,
+service-sum ladder stacks) can be **published once** into a single
+``multiprocessing.shared_memory`` segment with :func:`publish_arrays` and
+read by every worker as zero-copy views (:class:`SharedArrays`), instead
+of being captured per task.  Forked workers inherit the mapping directly;
+a pickled handle (the resilient path re-submits items into fresh pools)
+re-attaches by segment name.  Segment names are deterministic
+(``repro-shm-<pid>-<seq>``), cleanup is deterministic too: the owning
+process unlinks on ``close()``/context exit, and an ``atexit`` sweep
+unlinks anything still registered (:func:`active_shared_segments`) so a
+crashed sweep cannot leak ``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
 import os
 import time
@@ -50,14 +66,25 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
 
 __all__ = [
     "ExecutionPolicy",
     "ForkMapError",
+    "SharedArrays",
     "fork_map",
     "get_execution_policy",
     "set_execution_policy",
+    "publish_arrays",
+    "active_shared_segments",
+    "shared_memory_available",
     "resolve_jobs",
     "parallelism_available",
     "reset_serial_fallback_warning",
@@ -205,6 +232,220 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return int(jobs)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory payload tables
+# ---------------------------------------------------------------------------
+
+#: deterministic per-process sequence for segment names
+_SHM_SEQ = itertools.count()
+
+#: segments created (and still owned) by this process, keyed by name
+_OWNED_SEGMENTS: Dict[str, "SharedArrays"] = {}
+
+#: whether the atexit sweep has been registered in this process
+_SWEEP_REGISTERED = False
+
+#: alignment of array payloads inside a segment (cache-line friendly)
+_SHM_ALIGN = 64
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works on this platform."""
+    return _shm is not None
+
+
+def active_shared_segments() -> List[str]:
+    """Names of shared segments this process currently owns (un-unlinked)."""
+    return sorted(_OWNED_SEGMENTS)
+
+
+def _sweep_shared_segments() -> None:
+    """atexit guard: unlink every segment the process still owns.
+
+    Normal callers close their :class:`SharedArrays` (or use the context
+    manager) and never reach this; the sweep exists so an aborted sweep —
+    an exception between publish and close, a ``sys.exit`` mid-campaign —
+    cannot leak named segments in ``/dev/shm``.
+    """
+    for name in list(_OWNED_SEGMENTS):
+        handle = _OWNED_SEGMENTS.get(name)
+        if handle is not None:
+            handle.close()
+
+
+def _untrack_attachment(shm: Any) -> None:
+    """Detach a non-owner mapping from the resource tracker.
+
+    ``SharedMemory(name=...)`` registers every attachment with the process's
+    resource tracker, which would unlink the segment when the *attaching*
+    process exits — yanking it from under the owner and other workers.  Only
+    the owner may unlink, so attachments are unregistered.
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # repro-lint: disable=RL006
+        # best-effort: the tracker API is private and varies across
+        # CPython versions; a failed unregister only risks an early unlink
+        # warning, never wrong results
+        pass
+
+
+class SharedArrays:
+    """Read-only ndarray views over one published shared-memory segment.
+
+    Obtained from :func:`publish_arrays`; behaves as a mapping from the
+    published names to ``(shape, dtype)``-faithful read-only views.  The
+    handle pickles as ``(segment name, layout)`` and re-attaches lazily on
+    first access in the receiving process, so it can ride inside a
+    ``fork_map`` payload on both the fork-inherited fast path (zero copies,
+    zero pickling) and the future-per-item resilient path.
+
+    Closing is idempotent.  The owner (the publishing process) unlinks the
+    segment; workers merely drop their mapping.  Without platform shared
+    memory the handle degrades to carrying the arrays in-process — forked
+    workers then read them copy-on-write, which is slower but identical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layout: Dict[str, Tuple[Tuple[int, ...], str, int]],
+        shm: Any,
+        owner: bool,
+        fallback: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.name = name
+        self._layout = layout
+        self._shm = shm
+        self._owner = owner
+        self._owner_pid = os.getpid() if owner else None
+        self._closed = False
+        self._fallback = fallback
+
+    # -- mapping protocol ----------------------------------------------
+    def keys(self) -> List[str]:
+        return list(self._layout)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._layout
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        if self._closed:
+            raise ValueError(f"shared segment {self.name!r} is closed")
+        if self._fallback is not None:
+            return self._fallback[key]
+        if self._shm is None:  # re-attach after unpickling
+            if _shm is None:  # pragma: no cover - guarded by publish_arrays
+                raise RuntimeError("shared memory is unavailable on this platform")
+            self._shm = _shm.SharedMemory(name=self.name)
+            if self.name not in _OWNED_SEGMENTS:
+                # the owner's registration must survive; strangers' must not
+                # (their resource tracker would unlink the live segment)
+                _untrack_attachment(self._shm)
+        shape, dtype_str, offset = self._layout[key]
+        view: np.ndarray = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=self._shm.buf, offset=offset
+        )
+        view.flags.writeable = False
+        return view
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        _OWNED_SEGMENTS.pop(self.name, None)
+        if self._shm is None:
+            return
+        # a forked child inherits ``_owner=True`` handles; only the process
+        # that actually created the segment may unlink it
+        unlink = self._owner and self._owner_pid == os.getpid()
+        try:
+            # live numpy views pin the mapping (BufferError); unlinking the
+            # name below still guarantees the segment cannot leak
+            self._shm.close()
+        except BufferError:
+            pass
+        except OSError:  # pragma: no cover - mapping already gone
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- pickling (resilient path re-submits payloads into fresh pools) -
+    def __getstate__(self) -> Dict[str, Any]:
+        if self._fallback is not None:
+            # no platform shared memory: ship the arrays themselves
+            return {"name": self.name, "layout": self._layout, "fallback": self._fallback}
+        return {"name": self.name, "layout": self._layout, "fallback": None}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.name = state["name"]
+        self._layout = state["layout"]
+        self._shm = None  # lazily re-attached on first access
+        self._owner = False
+        self._owner_pid = None
+        self._closed = False
+        self._fallback = state["fallback"]
+
+
+def publish_arrays(arrays: Mapping[str, np.ndarray]) -> SharedArrays:
+    """Publish read-only arrays into one shared segment, once, for workers.
+
+    Copies every array of ``arrays`` into a single named
+    ``multiprocessing.shared_memory`` segment and returns the
+    :class:`SharedArrays` handle workers index by name.  Use as a context
+    manager (or call ``close()``) so the segment is unlinked
+    deterministically; an ``atexit`` sweep covers abnormal exits.
+
+    Segment names are ``repro-shm-<pid>-<seq>`` — deterministic, no entropy
+    source — so reruns and leak checks can reason about them.
+    """
+    materialized = {
+        str(k): np.ascontiguousarray(v) for k, v in arrays.items()
+    }
+    name = f"repro-shm-{os.getpid()}-{next(_SHM_SEQ)}"
+    layout: Dict[str, Tuple[Tuple[int, ...], str, int]] = {}
+    if _shm is None:
+        for key, arr in materialized.items():
+            arr.flags.writeable = False
+            layout[key] = (arr.shape, arr.dtype.str, 0)
+        return SharedArrays(name, layout, None, owner=False, fallback=materialized)
+    offset = 0
+    for key, arr in materialized.items():
+        layout[key] = (arr.shape, arr.dtype.str, offset)
+        offset += arr.nbytes
+        offset += (-offset) % _SHM_ALIGN
+    segment = _shm.SharedMemory(create=True, size=max(offset, 1), name=name)
+    handle = SharedArrays(name, layout, segment, owner=True)
+    for key, arr in materialized.items():
+        if arr.size == 0:
+            continue
+        shape, dtype_str, off = layout[key]
+        dest: np.ndarray = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=segment.buf, offset=off
+        )
+        dest[...] = arr
+    global _SWEEP_REGISTERED
+    _OWNED_SEGMENTS[name] = handle
+    if not _SWEEP_REGISTERED:
+        _SWEEP_REGISTERED = True
+        atexit.register(_sweep_shared_segments)
+    return handle
 
 
 def _teardown_pool(pool: ProcessPoolExecutor, force: bool) -> None:

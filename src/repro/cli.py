@@ -141,9 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--dt", type=float, default=None, help="solver grid step")
     p_metrics.add_argument(
         "--kernel",
-        choices=["spectral", "direct"],
+        choices=["spectral", "direct", "jit"],
         default="spectral",
-        help="convolution kernel (direct = pre-spectral fftconvolve baseline)",
+        help="convolution kernel (direct = pre-spectral fftconvolve baseline; "
+        "jit = compiled backend, degrades to spectral without numba)",
     )
 
     p_opt = sub.add_parser("optimize", help="optimal 2-server DTR policy")
@@ -164,9 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.add_argument(
         "--kernel",
-        choices=["spectral", "direct"],
+        choices=["spectral", "direct", "jit"],
         default="spectral",
-        help="convolution kernel (direct = pre-spectral fftconvolve baseline)",
+        help="convolution kernel (direct = pre-spectral fftconvolve baseline; "
+        "jit = compiled backend, degrades to spectral without numba)",
+    )
+    p_opt.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="working precision of the batched lattice surfaces "
+        "(float32 trades ~1e-4 absolute error for speed and memory)",
     )
     p_opt.add_argument(
         "--eval",
@@ -190,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--criterion", choices=["speed", "reliability"], default="speed"
     )
     p_algo.add_argument("--dt", type=float, default=0.25)
+    p_algo.add_argument(
+        "--kernel",
+        choices=["spectral", "direct", "jit"],
+        default="spectral",
+        help="convolution kernel for the pairwise sub-problem solvers",
+    )
+    p_algo.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="working precision of the batched candidate evaluations",
+    )
     p_algo.add_argument(
         "--jobs",
         type=int,
@@ -321,9 +342,10 @@ def _cmd_optimize(args) -> int:
         sc.model, loads, dt=args.dt, kernel=args.kernel
     )
     deadline = args.deadline if metric is Metric.QOS else None
-    result = TwoServerOptimizer(solver, batched=args.eval_mode == "batched").optimize(
-        metric, loads, deadline=deadline, step=args.step, jobs=args.jobs
-    )
+    dtype = np.float32 if args.dtype == "float32" else None
+    result = TwoServerOptimizer(
+        solver, batched=args.eval_mode == "batched", dtype=dtype
+    ).optimize(metric, loads, deadline=deadline, step=args.step, jobs=args.jobs)
     print(f"scenario: {sc.name}   metric: {metric.value}")
     print(f"optimal policy: L12={result.l12}, L21={result.l21}")
     print(f"optimal value:  {result.value:.4f}")
@@ -347,6 +369,8 @@ def _cmd_algorithm1(args) -> int:
         max_iterations=args.iterations,
         dt=args.dt,
         jobs=args.jobs,
+        kernel=args.kernel,
+        dtype=np.float32 if args.dtype == "float32" else None,
     )
     result = algo.run(list(sc.loads), criterion=args.criterion)
     print(f"scenario: {sc.name}   metric: {metric.value}")

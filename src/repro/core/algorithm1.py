@@ -125,6 +125,11 @@ class Algorithm1:
         worker processes used to evaluate each sub-problem's candidate
         policies (``0`` = all cores).  Results are bit-identical to the
         serial run.
+    kernel, dtype:
+        convolution backend (``"spectral"``, ``"direct"`` or ``"jit"``) for
+        the default pair-solver factory, and the working precision the
+        batched candidate evaluations request from ``evaluate_lattice``
+        (``None`` = float64).
     """
 
     def __init__(
@@ -137,6 +142,8 @@ class Algorithm1:
         pair_search: str = "scan",
         dt: Optional[float] = None,
         jobs: int = 1,
+        kernel: str = "spectral",
+        dtype: Optional[object] = None,
     ) -> None:
         if metric is Metric.QOS and deadline is None:
             raise ValueError("QoS optimization needs a deadline")
@@ -149,13 +156,15 @@ class Algorithm1:
         self.pair_search = pair_search
         self.dt = dt
         self.jobs = resolve_jobs(jobs)
+        self.kernel = kernel
+        self.dtype = dtype
         self._factory = pair_solver_factory or self._default_factory
         self._pair_solvers: Dict[Tuple[int, int], object] = {}
         self._pair_cache: Dict[Tuple[int, int, int, int], int] = {}
 
     def _default_factory(self, pair_model: DCSModel, total_tasks: int) -> TransformSolver:
         return TransformSolver.for_workload(
-            pair_model, [total_tasks, total_tasks], dt=self.dt
+            pair_model, [total_tasks, total_tasks], dt=self.dt, kernel=self.kernel
         )
 
     def _pair_solver(self, i: int, j: int, total_tasks: int) -> object:
@@ -187,7 +196,7 @@ class Algorithm1:
             from .optimize import TwoServerOptimizer
 
             step = max((max(m1, m2) + 1) // 12, 1)
-            result = TwoServerOptimizer(solver).optimize(
+            result = TwoServerOptimizer(solver, dtype=self.dtype).optimize(
                 self.metric, [m1, m2], deadline=self.deadline, step=step,
                 jobs=self.jobs,
             )
@@ -195,10 +204,14 @@ class Algorithm1:
         else:
             batch_fn = None
             if hasattr(solver, "evaluate_lattice"):
+                kwargs: Dict[str, object] = {"deadline": self.deadline}
+                if self.dtype is not None:
+                    kwargs["dtype"] = self.dtype
+
                 def batch_fn(points: List[int]) -> List[float]:
                     # one-column lattice: the L12 candidates at L21 = 0
                     surface = solver.evaluate_lattice(
-                        self.metric, [m1, m2], points, [0], deadline=self.deadline
+                        self.metric, [m1, m2], points, [0], **kwargs
                     )
                     return [float(v) for v in surface[:, 0]]
 

@@ -46,9 +46,17 @@ __all__ = [
 ]
 
 #: kernels understood by the ladder builders ("spectral" = batched
-#: frequency-domain doubling; "direct" = the pre-spectral sequential
-#: ``fftconvolve`` path, kept for benchmarking and equivalence tests)
-KERNELS = ("spectral", "direct")
+#: frequency-domain doubling; "jit" = the same transform plan with the
+#: non-FFT inner loops dispatched through ``distributions.jit_kernels``
+#: (compiled when numba is installed, NumPy twins otherwise); "direct" =
+#: the pre-spectral sequential ``fftconvolve`` path, kept for
+#: benchmarking and equivalence tests)
+KERNELS = ("spectral", "direct", "jit")
+
+#: kernels that share the spectral transform plan (and therefore share
+#: ladder storage — their masses are identical apart from the inner-loop
+#: implementation, which the equivalence tests pin to <= 1e-9)
+SPECTRAL_FAMILY = ("spectral", "jit")
 
 
 def extend_service_ladder(
@@ -86,7 +94,9 @@ def extend_service_ladder(
     masses = [gm.mass for gm in ladder]
     spectra = [gm.spectrum() for gm in ladder]
     known = len(ladder)
-    spectral.extend_ladder_masses(masses, spectra, k_max, grid.fft_length, grid.n)
+    spectral.extend_ladder_masses(
+        masses, spectra, k_max, grid.fft_length, grid.n, jit=kernel == "jit"
+    )
     for row, row_spec in zip(masses[known:], spectra[known:]):
         gm = GridMass(grid, row)
         row_spec.flags.writeable = False
@@ -247,6 +257,67 @@ class SolverCache:
             )
             extend_service_ladder(ladder, mass, k_max, kernel=kernel)
             return ladder[: k_max + 1]
+
+    def service_sums_at(
+        self,
+        fp: Hashable,
+        grid: Grid,
+        mass: GridMass,
+        ks: List[int],
+        kernel: str = "spectral",
+    ) -> Dict[int, GridMass]:
+        """Exactly the iid-sum powers ``ks`` of law ``fp``, built sparsely.
+
+        The lattice paths know the precise set of ladder powers a sweep
+        touches; building only the halving closure of that set skips the
+        bulk of the dense ladder's transforms.  Powers already in the
+        shared dense ladder are reused as-is; sparse extras live beside it
+        under a companion key and are shared the same way.  The ``direct``
+        kernel has no sparse plan and falls back to the dense ladder.
+        """
+        if not ks:
+            return {}
+        if kernel == "direct":
+            ladder = self.service_sums(fp, grid, mass, max(ks), kernel=kernel)
+            return {k: ladder[k] for k in ks}
+        lkey = ("ladder", fp, _grid_key(grid))
+        xkey = ("ladderx", fp, _grid_key(grid))
+        with self._lock:
+            ladder = self.get_or_create(lkey, lambda: [gridmod.delta(grid)])
+            extras: Dict[int, GridMass] = self.get_or_create(xkey, dict)
+            if len(ladder) < 2 and max(ks) > 0:
+                extend_service_ladder(ladder, mass, 1, kernel=kernel)
+            missing = [k for k in ks if k >= len(ladder) and k not in extras]
+            if missing:
+                masses = [gm.mass for gm in ladder]
+                spectra = [gm.spectrum() for gm in ladder]
+                extra_masses = {k: gm.mass for k, gm in extras.items()}
+                extra_spectra = {
+                    k: gm.spectrum() for k, gm in extras.items()
+                    if gm._spec is not None
+                }
+                spectral.ladder_masses_at(
+                    masses,
+                    spectra,
+                    extra_masses,
+                    extra_spectra,
+                    missing,
+                    grid.fft_length,
+                    grid.n,
+                    jit=kernel == "jit",
+                )
+                for k, row in extra_masses.items():
+                    if k in extras:
+                        continue
+                    gm = GridMass(grid, row)
+                    spec = extra_spectra.get(k)
+                    if spec is not None:
+                        spec.flags.writeable = False
+                        gm._spec = spec
+                    extras[k] = gm
+            return {
+                k: ladder[k] if k < len(ladder) else extras[k] for k in ks
+            }
 
     def survival(self, fp: Hashable, grid: Grid, dist: Distribution) -> np.ndarray:
         """Survival function of ``dist`` evaluated on the grid points."""

@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -42,7 +42,7 @@ from scipy import signal
 
 from .. import _contracts
 from ..distributions import grid as gridmod
-from ..distributions import spectral
+from ..distributions import jit_kernels, spectral
 from ..distributions.base import Distribution
 from ..distributions.grid import Grid, GridMass
 from .cache import KERNELS, SolverCache, extend_service_ladder, fingerprint, get_default_cache
@@ -50,28 +50,84 @@ from .metrics import Metric, MetricValue
 from .policy import ReallocationPolicy, Transfer
 from .system import DCSModel
 
-__all__ = ["TransformSolver", "ServerAssignment", "KernelFallbackWarning"]
+__all__ = [
+    "TransformSolver",
+    "ServerAssignment",
+    "KernelFallbackWarning",
+    "reset_jit_fallback_warning",
+    "FLOAT32_SURFACE_ATOL",
+]
 
 #: sentinel: "use the process-wide default SolverCache"
 _DEFAULT_CACHE = object()
 
+#: documented absolute error bound of ``dtype=float32`` lattice surfaces
+#: against the float64 reference for the bounded metrics (QoS/reliability;
+#: probabilities in [0, 1]).  Property-tested in
+#: ``tests/core/test_float32_lattice.py``; observed errors sit one to two
+#: orders of magnitude below this.
+FLOAT32_SURFACE_ATOL = 1e-4
+
+#: documented relative error bound of ``dtype=float32`` average-execution
+#: -time surfaces against float64 (values are O(grid horizon), so the
+#: bound is relative; same property suite).
+FLOAT32_SURFACE_RTOL = 1e-4
+
 
 class KernelFallbackWarning(RuntimeWarning):
-    """The spectral kernel produced invalid output for one case and the
-    solver transparently re-evaluated it with ``kernel="direct"``.
+    """A kernel could not serve one case and the solver transparently
+    degraded: the spectral kernel re-evaluates invalid output with
+    ``kernel="direct"``, and a ``kernel="jit"`` request without a numba
+    installation degrades (once, at construction) to ``"spectral"``.
 
-    Structured fields (``where``, ``reason``, ``kernel``) let campaign
-    drivers log exactly which case degraded without parsing the message.
+    Structured fields (``where``, ``reason``, ``kernel``, ``fallback``)
+    let campaign drivers log exactly which case degraded without parsing
+    the message.
     """
 
-    def __init__(self, where: str, reason: str, kernel: str = "spectral") -> None:
+    def __init__(
+        self,
+        where: str,
+        reason: str,
+        kernel: str = "spectral",
+        fallback: str = "direct",
+    ) -> None:
         self.where = where
         self.reason = reason
         self.kernel = kernel
+        self.fallback = fallback
         super().__init__(
             f"{where}: the {kernel!r} kernel produced {reason}; "
-            "re-evaluating with kernel='direct'"
+            f"re-evaluating with kernel={fallback!r}"
         )
+
+
+#: emitted at most once per process: every solver constructed with
+#: ``kernel="jit"`` degrades the same way, so one warning carries all the
+#: information and a lattice sweep does not drown the log
+_jit_fallback_warned = False
+
+
+def reset_jit_fallback_warning() -> None:
+    """Re-arm the one-time ``kernel="jit"`` degradation warning (tests)."""
+    global _jit_fallback_warned
+    _jit_fallback_warned = False
+
+
+def _warn_jit_fallback(where: str) -> None:
+    global _jit_fallback_warned
+    if _jit_fallback_warned:
+        return
+    _jit_fallback_warned = True
+    warnings.warn(
+        KernelFallbackWarning(
+            where,
+            "no compiled backend (numba is not importable)",
+            kernel="jit",
+            fallback="spectral",
+        ),
+        stacklevel=4,
+    )
 
 
 def _conv_truncate(a: np.ndarray, b: np.ndarray, n: int) -> np.ndarray:
@@ -142,10 +198,19 @@ class TransformSolver:
             raise ValueError(f"unknown batch_mode {batch_mode!r}")
         if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}; use one of {KERNELS}")
+        self.requested_kernel = kernel
+        if kernel == "jit" and not jit_kernels.HAVE_NUMBA:
+            # graceful degradation: the jit backend shares the spectral
+            # transform plan, so without numba the results are *identical*
+            # under kernel="spectral" — warn once and proceed
+            _warn_jit_fallback("TransformSolver.__init__")
+            kernel = "spectral"
         self.model = model
         self.grid = grid
         self.batch_mode = batch_mode
         self.kernel = kernel
+        #: dispatch compiled inner loops (only ever true with numba present)
+        self._use_jit = kernel == "jit"
         self.cache: Optional[SolverCache] = (
             get_default_cache() if cache is _DEFAULT_CACHE else cache
         )
@@ -164,10 +229,12 @@ class TransformSolver:
         self._fallback: Optional["TransformSolver"] = None
         self._deadline_weight_cache: Dict[float, np.ndarray] = {}
         self._failure_sf: List[Optional[np.ndarray]] = [None] * model.n
+        self._failure_fp: List[Optional[Hashable]] = [None] * model.n
         for k in range(model.n):
             fdist = model.failure_of(k)
             if fdist is not None:
                 fp = fingerprint(fdist)
+                self._failure_fp[k] = fp
                 if self.cache is not None and fp is not None:
                     self._failure_sf[k] = self.cache.survival(fp, grid, fdist)
                 else:
@@ -263,6 +330,27 @@ class TransformSolver:
         matrix — the row layout the vectorized lattice evaluation consumes."""
         ladder = self.service_sums(server, max(ks, default=0))
         return np.stack([ladder[k].mass for k in ks])
+
+    def _service_sums_at(self, server: int, ks: Sequence[int]) -> Dict[int, GridMass]:
+        """Exactly the iid-sum powers ``ks`` at ``server``, built sparsely.
+
+        The lattice paths know the precise power set a sweep touches — on
+        Table-I-style lattices a sparse arithmetic progression — so the
+        spectral-family kernels materialize only its halving closure
+        (:meth:`SolverCache.service_sums_at`) instead of every power up to
+        the maximum.  The direct kernel (and the cache-less / opaque-law
+        paths) keep the dense ladder.
+        """
+        wanted = sorted({int(k) for k in ks})
+        if not wanted:
+            return {}
+        fp = self._service_fp[server]
+        if self.kernel != "direct" and self.cache is not None and fp is not None:
+            return self.cache.service_sums_at(
+                fp, self.grid, self._service_mass[server], wanted, kernel=self.kernel
+            )
+        ladder = self.service_sums(server, wanted[-1])
+        return {k: ladder[k] for k in wanted}
 
     def transfer_mass(self, src: int, dst: int, size: int) -> GridMass:
         """Mass of the group transfer law ``Z`` for ``size`` tasks (cached)."""
@@ -397,14 +485,97 @@ class TransformSolver:
         The arrival laws are discretized on a coarse lattice of
         ``_EXACT2_CELLS`` cells; the conditioning is exact up to that
         lattice, whose resolution only limits the *arrival times*, not the
-        service sums.  The spectral kernel telescopes the per-cell
-        convolutions into one batched segment product per branch
-        (:meth:`_finish_time_two_batches_batched`); the direct kernel keeps
-        the sequential per-cell reference (:meth:`_finish_time_two_batches_loop`).
+        service sums.  The spectral-family kernels collapse the whole cell
+        sweep into rank-2 closed form — three row convolutions and an O(n)
+        assembly per branch (:meth:`_finish_time_two_batches_rank2`); the
+        direct kernel keeps the sequential per-cell reference
+        (:meth:`_finish_time_two_batches_loop`).  The pre-rank-2 telescoped
+        segment-product path (:meth:`_finish_time_two_batches_batched`) is
+        retained as an equivalence reference.
         """
         if self.kernel == "direct":
             return self._finish_time_two_batches_loop(i, base, incoming)
-        return self._finish_time_two_batches_batched(i, base, incoming)
+        return self._finish_time_two_batches_rank2(i, base, incoming)
+
+    def _finish_time_two_batches_rank2(
+        self, i: int, base: GridMass, incoming: List[Transfer]
+    ) -> GridMass:
+        """Order conditioning in rank-2 closed form (no cell sweep at all).
+
+        Write ``X_t = conv(base·1[u>ρ_t] + B_t·δ_ρt, S_f)`` for the inner
+        law of first-arrival atom ``t`` (cell representative ``ρ_t``, base
+        prefix mass ``B_t``).  Every second-arrival atom ``s`` at ``r_s``
+        truncates the running mixture ``Σ_{t ⊴ s} w1_t X_t`` below ``r_s``
+        — but since ``X_t`` is supported on ``u >= ρ_t >= r_s`` for every
+        ``t`` *not* yet mixed in (``s`` fires before ``t``), the truncation
+        may act on the **full** mixture ``M = Σ_t w1_t X_t`` provided the
+        atoms mixed in late are subtracted with their own weight:
+
+            ``pre_second = PW2·M − N + Σ_s w2_s·cumsum_excl(M)(r_s)·δ_rs``
+
+        where ``PW2(u) = Σ_{r_s <= u} w2_s`` and
+        ``N = Σ_t w1_t·w2_before(t)·X_t`` with ``w2_before(t)`` the second
+        mass fired strictly before ``t`` joins the mixture (branch tie rule
+        included).  Both ``M`` and ``N`` are single convolutions of
+        step-weighted copies of the base law — one batched two-row pass —
+        so each branch costs three row transforms plus O(n) assembly,
+        independent of the number of active coarse cells.
+        """
+        grid = self.grid
+        n = grid.n
+        nfft = grid.fft_length
+        sizes = [t.size for t in incoming]
+        coarse, reps = self._coarse_arrival_cells(i, incoming)
+        base_prefix = np.cumsum(base.mass)
+
+        total = np.zeros(n)
+        for first, second in ((0, 1), (1, 0)):
+            p_first, p_second = coarse[first], coarse[second]
+            s_first = self.service_sum(i, sizes[first])
+            s_second = self.service_sum(i, sizes[second])
+            # ties (same coarse cell): counted once, in the (0, 1) branch
+            strict = first == 1
+            f_cells = np.nonzero(p_first > 0.0)[0]
+            s_cells = np.nonzero(p_second > 0.0)[0]
+            if f_cells.size == 0 or s_cells.size == 0:
+                # an identically-zero mixture contributes nothing
+                continue
+            reps_f = reps[f_cells]
+            w1 = p_first[f_cells]
+            prefix_f = base_prefix[reps_f]
+            reps_s = reps[s_cells]
+            w2 = p_second[s_cells]
+            # second mass fired strictly before each first atom joins: in
+            # the non-strict branch the first atom of a tied cell joins
+            # *before* the cell's second atom fires, so only s-cells
+            # strictly below count ("left"); the strict branch flips ties
+            w2_prefix = np.concatenate((np.zeros(1), np.cumsum(w2)))
+            w2_before = w2_prefix[
+                np.searchsorted(s_cells, f_cells, side="right" if strict else "left")
+            ]
+
+            # M and N as convolutions of step-weighted base copies:
+            #   rows = base·g + h,  g(u) = Σ_{ρ_t < u} w,  h = Σ_t w·B_t·δ_ρt
+            step = np.zeros((2, n + 1))
+            np.add.at(step[0], reps_f + 1, w1)
+            np.add.at(step[1], reps_f + 1, w1 * w2_before)
+            rows = base.mass[None, :] * np.cumsum(step[:, :n], axis=1)
+            np.add.at(rows[0], reps_f, w1 * prefix_f)
+            np.add.at(rows[1], reps_f, (w1 * w2_before) * prefix_f)
+            mn = spectral.conv_rows(
+                rows, s_first.spectrum(), nfft, n, jit=self._use_jit
+            )
+
+            spikes = np.zeros(n)
+            np.add.at(spikes, reps_s, w2)
+            pw2 = np.cumsum(spikes)
+            pre_second = jit_kernels.exact2_pre_second(
+                mn[0], mn[1], pw2, reps_s, w2, jit=self._use_jit
+            )
+            total += spectral.conv_rows(
+                pre_second, s_second.spectrum(), nfft, n, jit=self._use_jit
+            )
+        return GridMass(grid, np.maximum(total, 0.0))
 
     def _coarse_arrival_cells(
         self, i: int, incoming: List[Transfer]
@@ -702,14 +873,25 @@ class TransformSolver:
         return None
 
     @staticmethod
-    def _surface_defect(metric: Metric, surface: np.ndarray) -> Optional[str]:
-        """Why ``surface`` is unusable as a metric surface, or ``None``."""
+    def _surface_defect(
+        metric: Metric,
+        surface: np.ndarray,
+        dtype: Optional["np.dtype[Any]"] = None,
+    ) -> Optional[str]:
+        """Why ``surface`` is unusable as a metric surface, or ``None``.
+
+        The probability slack scales with the evaluation precision:
+        ``float32`` surfaces legitimately carry round-off at the 1e-7
+        scale, which must not trip a spurious kernel fallback.
+        """
+        dt = surface.dtype if dtype is None else dtype
+        tol = 1e-9 if dt == np.float64 else 1e-4
         if not np.all(np.isfinite(surface)):
             return "non-finite surface entries"
         if metric is Metric.AVG_EXECUTION_TIME:
             if np.any(surface < 0.0):
                 return "negative execution times"
-        elif np.any(surface < -1e-9) or np.any(surface > 1.0 + 1e-9):
+        elif np.any(surface < -tol) or np.any(surface > 1.0 + tol):
             return "out-of-range probabilities"
         return None
 
@@ -765,6 +947,16 @@ class TransformSolver:
     # ------------------------------------------------------------------
     # batched policy-lattice evaluation (2 servers)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_dtype(dtype: object) -> "np.dtype[Any]":
+        """Normalize a lattice ``dtype`` request to float64/float32."""
+        dt = np.dtype(np.float64 if dtype is None else dtype)  # type: ignore[arg-type]
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"unsupported lattice dtype {dt}; use float64 or float32"
+            )
+        return dt
+
     def evaluate_lattice(
         self,
         metric: Metric,
@@ -772,6 +964,7 @@ class TransformSolver:
         l12_values: Sequence[int],
         l21_values: Sequence[int],
         deadline: Optional[float] = None,
+        dtype: object = None,
     ) -> np.ndarray:
         """Metric surface over a 2-server ``(L12, L21)`` policy lattice.
 
@@ -790,8 +983,17 @@ class TransformSolver:
         FFT round-trips *per cell*).
 
         Computed surfaces are memoized in the :class:`SolverCache` (keyed on
-        the laws' fingerprints, the lattice and the grid), so repeated
-        sweeps stay as cheap as the per-policy value cache made them.
+        the laws' fingerprints, the lattice, the grid and the dtype), so
+        repeated sweeps stay as cheap as the per-policy value cache made
+        them.
+
+        ``dtype=np.float32`` runs the batched transforms and matrix
+        products in single precision (~half the memory traffic); the
+        result stays within :data:`FLOAT32_SURFACE_ATOL` of the float64
+        surface for the bounded metrics and within
+        :data:`FLOAT32_SURFACE_RTOL` relatively for the average execution
+        time (property-tested bounds).  The scalar fallback path always
+        recomputes in float64 and casts.
         """
         if len(loads) != 2:
             raise ValueError("lattice evaluation is defined for two servers")
@@ -802,16 +1004,17 @@ class TransformSolver:
                 "the average execution time is only defined for reliable "
                 "servers (failure laws present in the model)"
             )
+        dt = self._resolve_dtype(dtype)
         m1, m2 = int(loads[0]), int(loads[1])
         l12s = [int(v) for v in l12_values]
         l21s = [int(v) for v in l21_values]
         if not l12s or not l21s:
-            return np.zeros((len(l12s), len(l21s)))
+            return np.zeros((len(l12s), len(l21s)), dtype=dt)
         if min(l12s) < 0 or max(l12s) > m1 or min(l21s) < 0 or max(l21s) > m2:
             raise ValueError("lattice values must satisfy 0 <= L12 <= m1, 0 <= L21 <= m2")
         try:
-            surface = self._lattice_surface(metric, m1, m2, l12s, l21s, deadline)
-            reason = self._surface_defect(metric, surface)
+            surface = self._lattice_surface(metric, m1, m2, l12s, l21s, deadline, dt)
+            reason = self._surface_defect(metric, surface, dt)
         except _contracts.ContractViolation as exc:
             reason = f"a contract violation ({exc})"
         if reason is not None:
@@ -829,7 +1032,7 @@ class TransformSolver:
             )
             return fallback.evaluate_lattice(
                 metric, loads, l12_values, l21_values, deadline=deadline
-            )
+            ).astype(dt, copy=False)
         return surface
 
     def _lattice_surface(
@@ -840,18 +1043,19 @@ class TransformSolver:
         l12s: List[int],
         l21s: List[int],
         deadline: Optional[float],
+        dtype: "np.dtype[Any]",
     ) -> np.ndarray:
-        key = self._lattice_key(metric, (m1, m2), l12s, l21s, deadline)
+        key = self._lattice_key(metric, (m1, m2), l12s, l21s, deadline, dtype)
         if key is not None and self.cache is not None:
             surface = self.cache.get_or_create(
                 key,
                 lambda: self._evaluate_lattice_uncached(
-                    metric, m1, m2, l12s, l21s, deadline
+                    metric, m1, m2, l12s, l21s, deadline, dtype
                 ),
             ).copy()
         else:
             surface = self._evaluate_lattice_uncached(
-                metric, m1, m2, l12s, l21s, deadline
+                metric, m1, m2, l12s, l21s, deadline, dtype
             )
         _contracts.check_metric_surface(
             surface,
@@ -867,6 +1071,7 @@ class TransformSolver:
         l12s: List[int],
         l21s: List[int],
         deadline: Optional[float],
+        dtype: "np.dtype[Any]",
     ) -> Optional[Hashable]:
         """Cache key of one metric surface, or ``None`` when any law is opaque.
 
@@ -898,6 +1103,7 @@ class TransformSolver:
             tuple(l21s),
             deadline,
             self.kernel,
+            dtype.str,
             tuple(fps),
             (self.grid.dt, self.grid.n),
         )
@@ -910,18 +1116,31 @@ class TransformSolver:
         l12s: List[int],
         l21s: List[int],
         deadline: Optional[float],
+        dtype: "np.dtype[Any]",
     ) -> np.ndarray:
         grid = self.grid
         n, nfft = grid.n, grid.fft_length
-        ladder0 = self.service_sums(0, max(m1, max(l21s)))
-        ladder1 = self.service_sums(1, max(m2, max(l12s)))
+        fdt: "np.dtype[Any]" = dtype
+        cdt = np.dtype(np.complex64 if dtype == np.float32 else np.complex128)
+        # only the powers this lattice actually touches are materialized
+        # (sparse halving closure under the spectral-family kernels)
+        ladder0 = self._service_sums_at(
+            0, [m1 - v for v in l12s] + [v for v in l21s if v > 0]
+        )
+        ladder1 = self._service_sums_at(
+            1, [m2 - v for v in l21s] + [v for v in l12s]
+        )
         l12a = np.asarray(l12s)
 
         # per-row (L12) ingredients shared by every column
-        base0 = np.stack([ladder0[m1 - v].mass for v in l12s])
+        base0 = np.stack([ladder0[m1 - v].mass for v in l12s]).astype(
+            fdt, copy=False
+        )
         base0_cdf = np.minimum(np.cumsum(base0, axis=1), 1.0)
-        spec1 = np.stack([ladder1[v].spectrum() for v in l12s])
-        z01_cdf = np.ones((len(l12s), n))
+        spec1 = np.stack([ladder1[v].spectrum() for v in l12s]).astype(
+            cdt, copy=False
+        )
+        z01_cdf = np.ones((len(l12s), n), dtype=fdt)
         for i, v in enumerate(l12s):
             if v > 0:
                 z01_cdf[i] = self.transfer_mass(0, 1, v).cdf()
@@ -929,39 +1148,58 @@ class TransformSolver:
         if metric is not Metric.AVG_EXECUTION_TIME:
             return self._lattice_scalar_surface(
                 metric, m1, m2, l12s, l21s, deadline,
-                ladder0, ladder1, base0, base0_cdf, spec1, z01_cdf,
+                ladder0, ladder1, base0, base0_cdf, spec1, z01_cdf, fdt,
             )
 
         # AVG needs the full finish laws (a mean per cell, not a scalar
         # dot): build them column-by-column with batched convolutions.
-        surface = np.zeros((len(l12s), len(l21s)))
+        # All cheap CDF/diff algebra and the final mean/tail reduction run
+        # in float64 even in float32 mode: clamping float32-rounded
+        # monotonicity violations would bias every cell upward by
+        # ~n * eps32, and the tail correction multiplies escaped mass by
+        # the grid horizon.  Only the transforms run at reduced precision.
+        tail_tol = 1e-9 if fdt == np.float64 else 1e-6
+        if fdt == np.float64:
+            base0_cdf64, z01_cdf64 = base0_cdf, z01_cdf
+        else:
+            base0_cdf64 = np.minimum(np.cumsum(base0, axis=1, dtype=np.float64), 1.0)
+            z01_cdf64 = z01_cdf.astype(np.float64)
+        surface = np.zeros((len(l12s), len(l21s)), dtype=fdt)
         for j, l21 in enumerate(l21s):
             base1 = ladder1[m2 - l21]
             if l21 == 0:
                 mass0 = base0
             else:
-                f0 = base0_cdf * self.transfer_mass(1, 0, l21).cdf()[None, :]
+                f0 = base0_cdf64 * self.transfer_mass(1, 0, l21).cdf()[None, :]
                 rows = np.maximum(np.diff(f0, prepend=0.0, axis=1), 0.0)
-                mass0 = spectral.conv_rows(rows, ladder0[l21].spectrum(), nfft, n)
-            f1 = base1.cdf()[None, :] * z01_cdf
+                mass0 = spectral.conv_rows(
+                    rows.astype(fdt, copy=False),
+                    ladder0[l21].spectrum(),
+                    nfft,
+                    n,
+                    jit=self._use_jit,
+                )
+            f1 = base1.cdf()[None, :] * z01_cdf64
             rows = np.maximum(np.diff(f1, prepend=0.0, axis=1), 0.0)
-            mass1 = spectral.conv_rows(rows, spec1, nfft, n)
+            mass1 = spectral.conv_rows(
+                rows.astype(fdt, copy=False), spec1, nfft, n, jit=self._use_jit
+            )
             # rows with L12 = 0 receive nothing: finish law is the base alone
             mass1[l12a == 0] = base1.mass
 
             include0 = (m1 - l12a > 0) | (l21 > 0)
             include1 = (m2 - l21 > 0) | (l12a > 0)
-            c0 = np.minimum(np.cumsum(mass0, axis=1), 1.0)
-            c1 = np.minimum(np.cumsum(mass1, axis=1), 1.0)
+            c0 = np.minimum(np.cumsum(mass0, axis=1, dtype=np.float64), 1.0)
+            c1 = np.minimum(np.cumsum(mass1, axis=1, dtype=np.float64), 1.0)
             f = np.where(include0[:, None], c0, 1.0)
             f *= np.where(include1[:, None], c1, 1.0)
-            mass = np.maximum(np.diff(f, prepend=0.0, axis=1), 0.0)
-            col = mass @ grid.times
-            tails = 1.0 - mass.sum(axis=1)
-            for i in np.nonzero(tails > 1e-9)[0]:
+            mass64 = np.maximum(np.diff(f, prepend=0.0, axis=1), 0.0)
+            col = mass64 @ grid.times
+            tails = 1.0 - mass64.sum(axis=1)
+            for i in np.nonzero(tails > tail_tol)[0]:
                 # heavy residual tail: defer to the fitted tail correction
-                col[i] = GridMass(grid, mass[i]).mean()
-            surface[:, j] = col
+                col[i] = GridMass(grid, np.ascontiguousarray(mass64[i])).mean()
+            surface[:, j] = col.astype(fdt, copy=False)
         return surface
 
     def _lattice_scalar_surface(
@@ -972,12 +1210,13 @@ class TransformSolver:
         l12s: List[int],
         l21s: List[int],
         deadline: Optional[float],
-        ladder0: List[GridMass],
-        ladder1: List[GridMass],
+        ladder0: Dict[int, GridMass],
+        ladder1: Dict[int, GridMass],
         base0: np.ndarray,
         base0_cdf: np.ndarray,
         spec1: np.ndarray,
         z01_cdf: np.ndarray,
+        fdt: "np.dtype[Any]",
     ) -> np.ndarray:
         """Reliability / QoS surfaces with no per-cell convolutions at all.
 
@@ -992,30 +1231,50 @@ class TransformSolver:
         """
         grid = self.grid
         n, nfft = grid.n, grid.fft_length
+        cdt = np.dtype(np.complex64 if fdt == np.float32 else np.complex128)
         shape = (len(l12s), len(l21s))
         if metric is Metric.QOS and (deadline is None or deadline <= 0):
-            return np.zeros(shape)
+            return np.zeros(shape, dtype=fdt)
         dw = self._deadline_weights(deadline) if metric is Metric.QOS else None
         ys: List[Optional[np.ndarray]] = []
-        for sf_y in self._failure_sf:
+        y_keys: List[Optional[Hashable]] = []
+        for k, sf_y in enumerate(self._failure_sf):
             if metric is Metric.QOS:
                 ys.append(dw if sf_y is None else sf_y * dw)
             else:
                 ys.append(sf_y)  # None: a reliable server always finishes
+            # workspace key of the metric vector's forward transform —
+            # reused across solver instances sweeping the same model/grid
+            fp = self._failure_fp[k]
+            if ys[-1] is None or (sf_y is not None and fp is None):
+                y_keys.append(None)
+            else:
+                y_keys.append(
+                    ("latt-y", metric.name, deadline, fp, fdt.str,
+                     grid.dt, grid.n)
+                )
         y0, y1 = ys
+        if fdt == np.float32:
+            y0 = None if y0 is None else y0.astype(fdt)
+            y1 = None if y1 is None else y1.astype(fdt)
 
         l12a = np.asarray(l12s)
         l21a = np.asarray(l21s)
         include0 = (m1 - l12a > 0)[:, None] | (l21a > 0)[None, :]
         include1 = (m2 - l21a > 0)[None, :] | (l12a > 0)[:, None]
-        surface = np.ones(shape)
+        one = np.asarray(1.0, dtype=fdt)
+        surface = np.ones(shape, dtype=fdt)
 
         if y0 is not None:
-            fac0 = np.empty(shape)
+            fac0 = np.empty(shape, dtype=fdt)
             nz = np.nonzero(l21a > 0)[0]
             if nz.size:
-                specs = np.stack([ladder0[l21s[j]].spectrum() for j in nz])
-                weights = spectral.corr_weights(specs, y0, nfft, n)
+                specs = np.stack(
+                    [ladder0[l21s[j]].spectrum() for j in nz]
+                ).astype(cdt, copy=False)
+                weights = spectral.corr_weights(
+                    specs, y0, nfft, n, y_key=y_keys[0], jit=self._use_jit
+                )
                 weights *= np.stack(
                     [self.transfer_mass(1, 0, l21s[j]).cdf() for j in nz]
                 )
@@ -1023,16 +1282,27 @@ class TransformSolver:
             if nz.size < l21a.size:
                 # L21 = 0 columns: the finish law is the base batch alone
                 fac0[:, l21a == 0] = (base0 @ y0)[:, None]
-            surface *= np.where(include0, fac0, 1.0)
+            surface *= np.where(include0, fac0, one)
 
         if y1 is not None:
-            b1_cdf = np.stack([ladder1[m2 - v].cdf() for v in l21s])
-            weights = z01_cdf * spectral.corr_weights(spec1, y1, nfft, n)
+            b1_cdf = np.stack([ladder1[m2 - v].cdf() for v in l21s]).astype(
+                fdt, copy=False
+            )
+            weights = z01_cdf * spectral.corr_weights(
+                spec1, y1, nfft, n, y_key=y_keys[1], jit=self._use_jit
+            )
             fac1 = weights @ b1_cdf.T
             zero_rows = l12a == 0
             if zero_rows.any():
-                b1_mass = np.stack([ladder1[m2 - v].mass for v in l21s])
+                b1_mass = np.stack(
+                    [ladder1[m2 - v].mass for v in l21s]
+                ).astype(fdt, copy=False)
                 fac1[zero_rows, :] = b1_mass @ y1
-            surface *= np.where(include1, fac1, 1.0)
+            surface *= np.where(include1, fac1, one)
 
-        return np.minimum(surface, 1.0)
+        jit_kernels.surface_cap(surface, jit=self._use_jit)
+        if fdt == np.float32:
+            # single-precision round-off can dip a probability slightly
+            # negative; clamp so the runtime contracts see a true surface
+            np.maximum(surface, 0.0, out=surface)
+        return surface

@@ -17,7 +17,7 @@ import numpy as np
 
 from .._checkpoint import CheckpointStore
 from .._contracts import ContractViolation
-from .._parallel import fork_map, resolve_jobs
+from .._parallel import fork_map, publish_arrays, resolve_jobs
 from .metrics import Metric
 from .policy import ReallocationPolicy
 
@@ -66,7 +66,9 @@ class OptimizationResult:
 class TwoServerOptimizer:
     """Exhaustive (optionally coarse-to-fine) 2-server policy search."""
 
-    def __init__(self, solver: object, batched: bool = True) -> None:
+    def __init__(
+        self, solver: object, batched: bool = True, dtype: Optional[object] = None
+    ) -> None:
         """``solver`` is any object with the ``evaluate(metric, loads, policy,
         deadline)`` protocol (transform, Markovian or Theorem 1 solver).
 
@@ -74,9 +76,14 @@ class TwoServerOptimizer:
         solver's vectorized ``evaluate_lattice`` surface when it offers one
         (the transform solver does); ``batched=False`` forces the per-policy
         scan — useful for benchmarking and equivalence testing.
+
+        ``dtype`` is forwarded to ``evaluate_lattice`` when set (e.g.
+        ``numpy.float32`` for the transform solver's reduced-precision
+        batched mode); the per-policy scan always evaluates in float64.
         """
         self.solver = solver
         self.batched = bool(batched)
+        self.dtype = dtype
         self._cache: Dict[Tuple[Metric, Tuple[int, int], int, int, Optional[float]], float] = {}
 
     def _compute(
@@ -141,9 +148,12 @@ class TwoServerOptimizer:
         if self.batched and hasattr(self.solver, "evaluate_lattice"):
             l12s = sorted({p[0] for p in missing})
             l21s = sorted({p[1] for p in missing})
+            kwargs: Dict[str, object] = {"deadline": deadline}
+            if self.dtype is not None:
+                kwargs["dtype"] = self.dtype
             try:
                 surface = self.solver.evaluate_lattice(
-                    metric, list(loads), l12s, l21s, deadline=deadline
+                    metric, list(loads), l12s, l21s, **kwargs
                 )
             except (ContractViolation, ArithmeticError, ValueError) as exc:
                 # graceful degradation: a broken batched surface must not
@@ -165,11 +175,20 @@ class TwoServerOptimizer:
                 return
         if jobs <= 1:
             return
-        values = fork_map(
-            lambda k: self._compute(metric, loads, missing[k][0], missing[k][1], deadline),
-            len(missing),
-            jobs,
-        )
+        # the cell table travels through one shared-memory segment instead
+        # of being captured per task; workers read zero-copy views
+        with publish_arrays({"cells": np.asarray(missing, dtype=np.int64)}) as shared:
+            values = fork_map(
+                lambda k: self._compute(
+                    metric,
+                    loads,
+                    int(shared["cells"][k, 0]),
+                    int(shared["cells"][k, 1]),
+                    deadline,
+                ),
+                len(missing),
+                jobs,
+            )
         for (l12, l21), v in zip(missing, values):
             self._cache[(metric, loads, l12, l21, deadline)] = v
 
@@ -263,6 +282,7 @@ def sweep_policies(
     jobs: int = 1,
     batched: bool = True,
     checkpoint: Optional[CheckpointStore] = None,
+    dtype: Optional[object] = None,
 ) -> np.ndarray:
     """Metric values over a policy grid — the raw data behind Figs. 1–3.
 
@@ -279,6 +299,9 @@ def sweep_policies(
     per-cell path snapshots one ``L12`` row at a time, so a killed sweep
     restarts from the last completed chunk with identical numerics (each
     cell's value depends only on its policy, never on evaluation order).
+
+    ``dtype`` is forwarded to the batched ``evaluate_lattice`` surface when
+    set (reduced-precision sweeps); the per-cell path ignores it.
     """
     if len(loads) != 2:
         raise ValueError("policy sweeps are defined for two servers")
@@ -289,9 +312,10 @@ def sweep_policies(
             hit = checkpoint.get("surface")
             if hit is not None:
                 return np.asarray(hit["values"], dtype=float)
-        surface = solver.evaluate_lattice(
-            metric, list(loads), l12s, l21s, deadline=deadline
-        )
+        kwargs: Dict[str, object] = {"deadline": deadline}
+        if dtype is not None:
+            kwargs["dtype"] = dtype
+        surface = solver.evaluate_lattice(metric, list(loads), l12s, l21s, **kwargs)
         if checkpoint is not None:
             checkpoint.put("surface", {"values": np.asarray(surface).tolist()})
         return surface
@@ -303,25 +327,35 @@ def sweep_policies(
         )
 
     if checkpoint is None:
-        cells = [(l12, l21) for l12 in l12s for l21 in l21s]
-        values = fork_map(
-            lambda k: cell_value(*cells[k]), len(cells), resolve_jobs(jobs)
-        )
+        cells = np.array(
+            [(l12, l21) for l12 in l12s for l21 in l21s], dtype=np.int64
+        ).reshape(-1, 2)
+        # one shared-memory segment carries the whole cell table; workers
+        # index zero-copy views instead of pickling cells per task
+        with publish_arrays({"cells": cells}) as shared:
+            values = fork_map(
+                lambda k: cell_value(
+                    int(shared["cells"][k, 0]), int(shared["cells"][k, 1])
+                ),
+                len(cells),
+                resolve_jobs(jobs),
+            )
         return np.asarray(values).reshape(len(l12s), len(l21s))
 
     rows: List[List[float]] = []
-    for i, l12 in enumerate(l12s):
-        label = f"row:{i}:{l12}"
-        hit = checkpoint.get(label)
-        if hit is not None:
-            rows.append([float(v) for v in hit["values"]])
-            continue
-        row = fork_map(
-            lambda k, _l12=l12: cell_value(_l12, l21s[k]),
-            len(l21s),
-            resolve_jobs(jobs),
-        )
-        row = [float(v) for v in row]
-        checkpoint.put(label, {"values": row})
-        rows.append(row)
+    with publish_arrays({"l21s": np.asarray(l21s, dtype=np.int64)}) as shared:
+        for i, l12 in enumerate(l12s):
+            label = f"row:{i}:{l12}"
+            hit = checkpoint.get(label)
+            if hit is not None:
+                rows.append([float(v) for v in hit["values"]])
+                continue
+            row = fork_map(
+                lambda k, _l12=l12: cell_value(_l12, int(shared["l21s"][k])),
+                len(l21s),
+                resolve_jobs(jobs),
+            )
+            row = [float(v) for v in row]
+            checkpoint.put(label, {"values": row})
+            rows.append(row)
     return np.asarray(rows, dtype=float)

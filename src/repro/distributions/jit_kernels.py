@@ -1,0 +1,202 @@
+"""Optional numba-compiled inner loops for the ``kernel="jit"`` backend.
+
+The FFTs themselves already run through compiled scipy code paths, so the
+``jit`` backend targets the *non-transform* inner loops of the spectral
+layer: truncation clipping after inverse transforms, the adjoint-collapse
+difference step of :func:`repro.distributions.spectral.corr_weights`, the
+rank-2 exact2 spike assembly, and the final lattice-surface cap.  Every
+kernel here has two implementations with identical semantics:
+
+* a vectorized NumPy twin (always available, and the reference for the
+  equivalence tests), and
+* an ``@njit`` variant compiled lazily when :data:`HAVE_NUMBA` is true.
+
+When numba is not importable the module still imports cleanly and every
+entry point silently uses the NumPy twin; the *warning* for a requested
+``kernel="jit"`` that degrades to ``"spectral"`` is emitted once by the
+solver layer (``repro.core.convolution``), not here, so the distributions
+package keeps no dependency on core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "numba_version",
+    "clip_nonneg",
+    "adjoint_collapse",
+    "exact2_pre_second",
+    "surface_cap",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba  # type: ignore[import-not-found]
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the only path on the CI no-numba job
+    _numba = None
+    HAVE_NUMBA = False
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version string, or ``None`` when unavailable."""
+    if not HAVE_NUMBA:
+        return None
+    version: str = _numba.__version__
+    return version
+
+
+_COMPILED: Dict[str, Callable[..., Any]] = {}
+
+
+def _compiled(name: str, py_impl: Callable[..., Any]) -> Callable[..., Any]:
+    """Lazily ``njit``-compile ``py_impl`` (memoized per kernel name)."""
+    fn = _COMPILED.get(name)
+    if fn is None:  # pragma: no cover - requires numba
+        fn = _numba.njit(cache=True)(py_impl)
+        _COMPILED[name] = fn
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# truncation clipping
+# ---------------------------------------------------------------------------
+
+
+def _clip_nonneg_py(out: np.ndarray) -> np.ndarray:  # pragma: no cover - numba body
+    flat = out.reshape(-1)
+    for i in range(flat.shape[0]):
+        if flat[i] < 0.0:
+            flat[i] = 0.0
+    return out
+
+
+def clip_nonneg(out: np.ndarray, jit: bool = False) -> np.ndarray:
+    """Clamp FFT round-off negatives to zero, in place.
+
+    Inverse transforms of products of sub-probability spectra are
+    non-negative in exact arithmetic; round-off leaves ``-1e-17``-scale
+    dust that the grid-mass contracts reject, so every truncation ends
+    with this clip.
+    """
+    if jit and HAVE_NUMBA:  # pragma: no cover - requires numba
+        result: np.ndarray = _compiled("clip_nonneg", _clip_nonneg_py)(out)
+        return result
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# adjoint collapse (corr_weights difference step)
+# ---------------------------------------------------------------------------
+
+
+def _adjoint_collapse_py(q: np.ndarray, n: int) -> np.ndarray:  # pragma: no cover
+    rows = q.shape[0]
+    e = np.empty((rows, n), dtype=q.dtype)
+    for r in range(rows):
+        for i in range(n - 1):
+            e[r, i] = q[r, i] - q[r, i + 1]
+        e[r, n - 1] = q[r, n - 1]
+    return e
+
+
+def adjoint_collapse(q: np.ndarray, n: int, jit: bool = False) -> np.ndarray:
+    """Turn correlation prefix sums ``q`` into per-cell weights.
+
+    ``e[..., i] = q[..., i] - q[..., i + 1]`` for ``i < n - 1`` and
+    ``e[..., n - 1] = q[..., n - 1]`` — the discrete adjoint of the
+    cumulative-sum that built ``q``.  Returns a fresh array of width
+    ``n``; ``q`` is left untouched.
+    """
+    if jit and HAVE_NUMBA and q.ndim == 2:  # pragma: no cover - requires numba
+        result: np.ndarray = _compiled("adjoint_collapse", _adjoint_collapse_py)(q, n)
+        return result
+    e = np.array(q[..., :n])
+    e[..., :-1] -= q[..., 1:n]
+    return e
+
+
+# ---------------------------------------------------------------------------
+# rank-2 exact2 assembly
+# ---------------------------------------------------------------------------
+
+
+def _exact2_pre_second_py(  # pragma: no cover - numba body
+    m_row: np.ndarray,
+    n_row: np.ndarray,
+    step_w2: np.ndarray,
+    second_cells: np.ndarray,
+    second_weights: np.ndarray,
+) -> np.ndarray:
+    n = m_row.shape[0]
+    pre = np.empty(n, dtype=m_row.dtype)
+    for i in range(n):
+        pre[i] = step_w2[i] * m_row[i] - n_row[i]
+    cum = 0.0
+    excl = np.empty(n, dtype=m_row.dtype)
+    for i in range(n):
+        excl[i] = cum
+        cum += m_row[i]
+    for s in range(second_cells.shape[0]):
+        r = second_cells[s]
+        pre[r] += second_weights[s] * excl[r]
+    return pre
+
+
+def exact2_pre_second(
+    m_row: np.ndarray,
+    n_row: np.ndarray,
+    step_w2: np.ndarray,
+    second_cells: np.ndarray,
+    second_weights: np.ndarray,
+    jit: bool = False,
+) -> np.ndarray:
+    """Assemble the rank-2 exact2 pre-second-service vector.
+
+    ``pre = step_w2 * M - N`` plus, per second-arrival atom ``s`` at cell
+    ``r_s`` with weight ``w2_s``, a spike ``w2_s * cumsum_excl(M)[r_s]``
+    (the mass of the mixture that already sits strictly below the second
+    arrival and therefore restarts at it).  Duplicate cells accumulate.
+    """
+    if jit and HAVE_NUMBA:  # pragma: no cover - requires numba
+        result: np.ndarray = _compiled("exact2_pre_second", _exact2_pre_second_py)(
+            m_row, n_row, step_w2, second_cells, second_weights
+        )
+        return result
+    pre = step_w2 * m_row - n_row
+    excl = np.cumsum(m_row, dtype=m_row.dtype)
+    excl = np.concatenate((np.zeros(1, dtype=m_row.dtype), excl[:-1]))
+    np.add.at(pre, second_cells, second_weights * excl[second_cells])
+    return pre
+
+
+# ---------------------------------------------------------------------------
+# lattice surface reduction
+# ---------------------------------------------------------------------------
+
+
+def _surface_cap_py(surface: np.ndarray) -> np.ndarray:  # pragma: no cover
+    flat = surface.reshape(-1)
+    for i in range(flat.shape[0]):
+        if flat[i] > 1.0:
+            flat[i] = 1.0
+    return surface
+
+
+def surface_cap(surface: np.ndarray, jit: bool = False) -> np.ndarray:
+    """Cap a probability surface at ``1.0``, in place.
+
+    Matches the spectral path's ``np.minimum(surface, 1.0)`` exactly —
+    round-off *negatives* are deliberately left for the contract layer's
+    slack so the jit and spectral backends stay bit-identical.
+    """
+    if jit and HAVE_NUMBA:  # pragma: no cover - requires numba
+        result: np.ndarray = _compiled("surface_cap", _surface_cap_py)(surface)
+        return result
+    np.minimum(surface, 1.0, out=surface)
+    return surface

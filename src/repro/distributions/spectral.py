@@ -18,20 +18,36 @@ length ``>= 2n - 1`` (:func:`fft_length`) — which makes spectra reusable:
   (:func:`extend_ladder_masses`): with truncated powers ``0..J`` known, the
   powers ``J+1..2J`` are the elementwise spectrum products
   ``S_ceil(k/2) * S_floor(k/2)`` — one batched inverse transform per round,
-  one batched forward transform for the new block, ``O(log k)`` rounds.
+  one batched forward transform for the new block, ``O(log k)`` rounds;
+* when a caller knows the exact *set* of powers it needs (the lattice
+  paths do), :func:`ladder_masses_at` builds only the halving closure of
+  that set instead of every power up to the maximum — typically a quarter
+  of the dense ladder's transforms on Table-I-style sweeps.
+
+All forward/inverse transforms run through the per-length
+:class:`~repro.distributions.workspace.FFTWorkspace` arenas (persistent
+pre-padded input buffers, cached metric-vector spectra), and the non-FFT
+inner loops dispatch through :mod:`repro.distributions.jit_kernels` so the
+``kernel="jit"`` backend can swap in compiled variants via ``jit=True``.
 
 Correctness note: truncating intermediate results to the grid never changes
 the first ``n`` cells of a longer convolution chain (indices only add), so
 the doubling ladder agrees with the sequential ``conv``-ladder to floating
-point round-off — this is asserted to ``1e-12`` in the test suite.
+point round-off — this is asserted to ``1e-12`` in the test suite.  The
+same argument covers the sparse closure: any association order of the same
+power agrees on the kept cells to round-off.
 """
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 from scipy import fft as sfft
+
+from .jit_kernels import adjoint_collapse, clip_nonneg
+from .workspace import FFTWorkspace, get_workspace
 
 __all__ = [
     "fft_length",
@@ -40,7 +56,14 @@ __all__ = [
     "conv_rows",
     "corr_weights",
     "extend_ladder_masses",
+    "needed_power_closure",
+    "ladder_masses_at",
 ]
+
+
+@lru_cache(maxsize=None)
+def _fft_length_uncached(n: int) -> int:
+    return int(sfft.next_fast_len(2 * n - 1, real=True))
 
 
 def fft_length(n: int) -> int:
@@ -49,25 +72,39 @@ def fft_length(n: int) -> int:
     Large enough (``>= 2n - 1``) that the circular convolution of any two
     vectors supported on ``[0, n)`` is exactly their linear convolution on
     every cell ``< 2n - 1`` — in particular on the ``n`` cells kept.
+    Memoized: the 5-smooth search re-scans candidate lengths, and every
+    ``Grid``/``GridMass``/solver touchpoint funnels through this function.
     """
-    return int(sfft.next_fast_len(2 * n - 1, real=True))
+    return _fft_length_uncached(int(n))
+
+
+# the memo itself (cache_info()/cache_clear()), for the micro-benchmark test
+fft_length_cache = _fft_length_uncached
 
 
 def mass_spectrum(mass: np.ndarray, nfft: int) -> np.ndarray:
     """Real FFT of a mass vector, zero-padded to the canonical length."""
-    return sfft.rfft(mass, nfft)
+    return get_workspace(nfft).rfft(np.asarray(mass))
 
 
 def conv_masses(
-    spec_a: np.ndarray, spec_b: np.ndarray, nfft: int, n: int
+    spec_a: np.ndarray,
+    spec_b: np.ndarray,
+    nfft: int,
+    n: int,
+    jit: bool = False,
 ) -> np.ndarray:
     """Truncated linear convolution from two cached spectra."""
-    out = sfft.irfft(spec_a * spec_b, nfft)[:n]
-    return np.maximum(out, 0.0)
+    out = get_workspace(nfft).irfft_trunc(spec_a * spec_b, n)
+    return clip_nonneg(np.ascontiguousarray(out), jit=jit)
 
 
 def conv_rows(
-    rows: np.ndarray, kernel_spec: np.ndarray, nfft: int, n: int
+    rows: np.ndarray,
+    kernel_spec: np.ndarray,
+    nfft: int,
+    n: int,
+    jit: bool = False,
 ) -> np.ndarray:
     """Convolve every row of ``rows`` with a kernel, in one batched pass.
 
@@ -76,14 +113,20 @@ def conv_rows(
     ``(m, nfft//2 + 1)``.  Returns the ``(m, n)`` truncated convolutions,
     clipped to be non-negative exactly like the scalar path.
     """
-    spec = sfft.rfft(rows, nfft, axis=-1)
+    ws = get_workspace(nfft)
+    spec = ws.rfft(rows)
     spec *= kernel_spec
-    out = sfft.irfft(spec, nfft, axis=-1)[..., :n]
-    return np.maximum(out, 0.0)
+    out = ws.irfft_trunc(spec, n)
+    return clip_nonneg(np.ascontiguousarray(out), jit=jit)
 
 
 def corr_weights(
-    kernel_specs: np.ndarray, y: np.ndarray, nfft: int, n: int
+    kernel_specs: np.ndarray,
+    y: np.ndarray,
+    nfft: int,
+    n: int,
+    y_key: Optional[Hashable] = None,
+    jit: bool = False,
 ) -> np.ndarray:
     """Summation-by-parts weights of the truncated-convolution adjoint.
 
@@ -97,13 +140,18 @@ def corr_weights(
     becomes ``F @ e`` with ``e[u] = q[u] - q[u+1]`` (and ``q[n] = 0``),
     which is what this function returns — one row of weights per kernel
     spectrum in ``kernel_specs``.
+
+    When ``y_key`` is given the forward transform of ``y`` is served from
+    the workspace's keyed spectrum cache (the adjoint paths correlate many
+    kernels against the same few metric vectors).
     """
-    q = sfft.irfft(
-        np.conj(kernel_specs) * sfft.rfft(y, nfft), nfft, axis=-1
-    )[..., :n]
-    e = q.copy()
-    e[..., :-1] -= q[..., 1:]
-    return e
+    ws = get_workspace(nfft)
+    if y_key is not None:
+        y_spec = ws.cached_spectrum(y_key, y)
+    else:
+        y_spec = ws.rfft(np.asarray(y))
+    q = ws.irfft_trunc(np.conj(kernel_specs) * y_spec, n)
+    return adjoint_collapse(q, n, jit=jit)
 
 
 def extend_ladder_masses(
@@ -112,6 +160,7 @@ def extend_ladder_masses(
     k_max: int,
     nfft: int,
     n: int,
+    jit: bool = False,
 ) -> None:
     """Extend a truncated k-fold convolution ladder to ``k_max``, in place.
 
@@ -128,6 +177,7 @@ def extend_ladder_masses(
         raise ValueError(
             "ladder must be seeded with powers 0 (delta) and 1 (the base law)"
         )
+    ws = get_workspace(nfft)
     while len(masses) <= k_max:
         have = len(masses) - 1  # highest power already known
         lo = have + 1
@@ -136,9 +186,116 @@ def extend_ladder_masses(
         prod = np.stack(
             [spectra[(k + 1) // 2] * spectra[k // 2] for k in ks]
         )
-        block = sfft.irfft(prod, nfft, axis=-1)[:, :n]
-        block = np.maximum(block, 0.0)
-        block_spec = sfft.rfft(block, nfft, axis=-1)
+        block = np.ascontiguousarray(ws.irfft_trunc(prod, n))
+        clip_nonneg(block, jit=jit)
+        block_spec = ws.rfft(block)
         for row, row_spec in zip(block, block_spec):
             masses.append(row)
             spectra.append(row_spec)
+
+
+def needed_power_closure(
+    have_upto: int,
+    have_extra: Sequence[int],
+    ks: Sequence[int],
+) -> List[int]:
+    """Halving closure of the missing powers in ``ks``, in ascending order.
+
+    A power ``k`` is buildable from ``ceil(k/2)`` and ``floor(k/2)``; the
+    closure adds those operand powers recursively until everything bottoms
+    out in powers already available (``<= have_upto`` or in
+    ``have_extra``).  The ascending order guarantees each round of
+    :func:`ladder_masses_at` finds ready work.
+    """
+    available = set(range(have_upto + 1)) | set(int(k) for k in have_extra)
+    closure: set[int] = set()
+    stack = [int(k) for k in ks if int(k) not in available]
+    while stack:
+        k = stack.pop()
+        if k in closure or k in available:
+            continue
+        if k < 0:
+            raise ValueError(f"negative ladder power {k}")
+        closure.add(k)
+        for half in ((k + 1) // 2, k // 2):
+            if half not in closure and half not in available:
+                stack.append(half)
+    return sorted(closure)
+
+
+def ladder_masses_at(
+    masses: List[np.ndarray],
+    spectra: List[np.ndarray],
+    extra_masses: Dict[int, np.ndarray],
+    extra_spectra: Dict[int, np.ndarray],
+    ks: Sequence[int],
+    nfft: int,
+    n: int,
+    jit: bool = False,
+) -> None:
+    """Materialize exactly the powers ``ks`` of an iid sum ladder, sparsely.
+
+    The dense ladder ``masses[0..have]`` (with ``spectra`` in sync) stays
+    untouched; powers beyond it that the caller needs land in
+    ``extra_masses`` (and, when used as operands, ``extra_spectra``),
+    keyed by power.  Only the halving closure of the missing powers is
+    computed — on Table-I-style lattices, whose needed powers are a sparse
+    arithmetic progression, this is a fraction of the dense doubling
+    ladder's transform volume.  Rounds are batched exactly like
+    :func:`extend_ladder_masses`: one inverse transform per round of ready
+    powers, one forward transform for the entries some later round uses
+    as operands.
+
+    Truncation-commutes-with-convolution makes any association order agree
+    with the dense ladder to floating-point round-off on the kept cells.
+    """
+    if len(masses) != len(spectra):
+        raise ValueError("masses and spectra ladders out of sync")
+    if len(masses) < 2:
+        raise ValueError(
+            "ladder must be seeded with powers 0 (delta) and 1 (the base law)"
+        )
+    have = len(masses) - 1
+    closure = needed_power_closure(have, tuple(extra_masses), ks)
+    if not closure:
+        return
+    ws = get_workspace(nfft)
+    # powers consumed as operands by some other closure member get their
+    # forward transform eagerly (batched); pure leaves skip it
+    operands = set()
+    for k in closure:
+        operands.add((k + 1) // 2)
+        operands.add(k // 2)
+
+    def _spec(k: int) -> np.ndarray:
+        if k <= have:
+            return spectra[k]
+        hit = extra_spectra.get(k)
+        if hit is None:
+            hit = ws.rfft(extra_masses[k])
+            extra_spectra[k] = hit
+        return hit
+
+    pending = list(closure)
+    while pending:
+        ready = [
+            k
+            for k in pending
+            if ((k + 1) // 2 <= have or (k + 1) // 2 in extra_masses)
+            and (k // 2 <= have or k // 2 in extra_masses)
+        ]
+        if not ready:
+            raise RuntimeError(
+                f"ladder closure stalled with powers {pending} unresolved"
+            )
+        prod = np.stack([_spec((k + 1) // 2) * _spec(k // 2) for k in ready])
+        block = np.ascontiguousarray(ws.irfft_trunc(prod, n))
+        clip_nonneg(block, jit=jit)
+        spec_rows = [i for i, k in enumerate(ready) if k in operands]
+        if spec_rows:
+            block_spec = ws.rfft(block[spec_rows])
+            for i, row_spec in zip(spec_rows, block_spec):
+                extra_spectra[ready[i]] = row_spec
+        for i, k in enumerate(ready):
+            extra_masses[k] = block[i]
+        pending = [k for k in pending if k not in extra_masses]

@@ -1,0 +1,184 @@
+"""Preplanned FFT workspaces for the spectral kernel's hot paths.
+
+Every transform in the spectral layer runs at one canonical 5-smooth
+length per grid (:func:`repro.distributions.spectral.fft_length`), which
+makes the transform *setup* — the zero-padded input buffer ``scipy.fft``
+otherwise allocates and fills on every call — perfectly reusable.  An
+:class:`FFTWorkspace` owns, per canonical length:
+
+* a persistent **pre-padded input arena** per dtype: mass rows are copied
+  into the leading ``n`` columns of a zero-tailed ``(rows, nfft)`` buffer
+  that survives between calls, so the pad region is written once instead
+  of being re-allocated and re-zeroed on every ``rfft(x, nfft)``;
+* a small keyed **spectrum cache** for fixed metric vectors (failure
+  survival curves, deadline weights): the adjoint-collapse path correlates
+  many kernel spectra against the *same* ``y``, whose forward transform
+  this cache pays exactly once.
+
+Workspaces are process-wide singletons keyed by ``nfft``
+(:func:`get_workspace`) and expose reuse counters for the benchmarks.
+Forked workers inherit the arenas copy-on-write; the buffers hold no
+results, only scratch, so sharing them never changes numerics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable
+
+import numpy as np
+from scipy import fft as sfft
+
+__all__ = [
+    "FFTWorkspace",
+    "get_workspace",
+    "reset_workspaces",
+    "workspace_stats",
+]
+
+
+class _Arena:
+    """One growable pre-padded input buffer (per dtype) of an FFT workspace."""
+
+    __slots__ = ("buf", "fill")
+
+    def __init__(self, rows: int, nfft: int, dtype: np.dtype) -> None:
+        self.buf: np.ndarray = np.zeros((rows, nfft), dtype=dtype)
+        #: columns possibly non-zero from the previous call (per whole arena)
+        self.fill: int = 0
+
+
+class FFTWorkspace:
+    """Persistent rfft/irfft scratch for one canonical transform length."""
+
+    def __init__(self, nfft: int, max_spectra: int = 32) -> None:
+        if nfft < 1:
+            raise ValueError(f"nfft must be positive, got {nfft}")
+        if max_spectra < 1:
+            raise ValueError(f"max_spectra must be positive, got {max_spectra}")
+        self.nfft = int(nfft)
+        self.max_spectra = int(max_spectra)
+        self._arenas: Dict[str, _Arena] = {}
+        self._spectra: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._lock = threading.RLock()
+        # reuse counters (read by the benchmarks and tests)
+        self.arena_allocations = 0
+        self.arena_reuses = 0
+        self.spectrum_hits = 0
+        self.spectrum_misses = 0
+
+    # -- pre-padded forward transforms ---------------------------------
+    def _arena_view(self, rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+        """A ``(rows, nfft)`` zero-tailed buffer ready to receive ``width``
+        columns of payload; grows (never shrinks) the per-dtype arena."""
+        key = dtype.str
+        with self._lock:
+            arena = self._arenas.get(key)
+            if arena is None or arena.buf.shape[0] < rows:
+                arena = _Arena(rows, self.nfft, dtype)
+                self._arenas[key] = arena
+                self.arena_allocations += 1
+            else:
+                self.arena_reuses += 1
+        if arena.fill > width:
+            # a previous, wider call left payload in the pad region; restore
+            # the invariant that every column >= fill is zero arena-wide
+            arena.buf[:, width : arena.fill] = 0.0
+        arena.fill = width
+        return arena.buf[:rows]
+
+    def rfft(self, rows: np.ndarray) -> np.ndarray:
+        """Forward real FFT at the canonical length, via the input arena.
+
+        ``rows`` is ``(m,)`` or ``(batch, m)`` with ``m <= nfft``; returns
+        the spectrum stack of shape ``(..., nfft // 2 + 1)``.  Only the
+        payload columns are copied — the zero pad persists between calls.
+        """
+        arr = np.asarray(rows)
+        if arr.dtype not in (np.float64, np.float32):
+            arr = arr.astype(np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise ValueError(f"rows must be 1-D or 2-D, got shape {arr.shape}")
+        width = arr.shape[1]
+        if width > self.nfft:
+            raise ValueError(
+                f"rows of length {width} exceed the canonical length {self.nfft}"
+            )
+        buf = self._arena_view(arr.shape[0], width, arr.dtype)
+        buf[:, :width] = arr
+        spec = sfft.rfft(buf, axis=-1)
+        out: np.ndarray = spec[0] if squeeze else spec
+        return out
+
+    def irfft_trunc(self, spec: np.ndarray, n: int) -> np.ndarray:
+        """Inverse real FFT truncated to the leading ``n`` samples."""
+        out: np.ndarray = sfft.irfft(spec, self.nfft, axis=-1)[..., :n]
+        return out
+
+    # -- keyed spectra for fixed metric vectors ------------------------
+    def cached_spectrum(self, key: Hashable, vec: np.ndarray) -> np.ndarray:
+        """Forward transform of ``vec`` memoized under a caller-chosen key.
+
+        The caller owns the key's meaning (e.g. *"failure survival of
+        server 0 at this grid"*); the cache is a small LRU so one-off
+        vectors cannot pin memory.  The returned spectrum is read-only.
+        """
+        with self._lock:
+            hit = self._spectra.get(key)
+            if hit is not None:
+                self.spectrum_hits += 1
+                self._spectra.move_to_end(key)
+                return hit
+            self.spectrum_misses += 1
+        # the caller's key must encode the dtype if it mixes precisions
+        spec = self.rfft(np.asarray(vec))
+        spec.flags.writeable = False
+        with self._lock:
+            self._spectra[key] = spec
+            while len(self._spectra) > self.max_spectra:
+                self._spectra.popitem(last=False)
+        return spec
+
+    def stats(self) -> Dict[str, int]:
+        """Reuse counters plus current arena/spectrum footprints."""
+        with self._lock:
+            rows = sum(a.buf.shape[0] for a in self._arenas.values())
+            return {
+                "nfft": self.nfft,
+                "arena_allocations": self.arena_allocations,
+                "arena_reuses": self.arena_reuses,
+                "arena_rows": rows,
+                "spectrum_hits": self.spectrum_hits,
+                "spectrum_misses": self.spectrum_misses,
+                "spectra": len(self._spectra),
+            }
+
+
+_REGISTRY: Dict[int, FFTWorkspace] = {}
+_REGISTRY_LOCK = threading.RLock()
+
+
+def get_workspace(nfft: int) -> FFTWorkspace:
+    """The process-wide workspace for canonical length ``nfft``."""
+    with _REGISTRY_LOCK:
+        ws = _REGISTRY.get(nfft)
+        if ws is None:
+            ws = FFTWorkspace(nfft)
+            _REGISTRY[nfft] = ws
+        return ws
+
+
+def reset_workspaces() -> None:
+    """Drop every workspace (frees arenas; mainly for tests/benchmarks)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+
+
+def workspace_stats() -> Dict[int, Dict[str, int]]:
+    """Stats of every live workspace, keyed by canonical length."""
+    with _REGISTRY_LOCK:
+        return {nfft: ws.stats() for nfft, ws in _REGISTRY.items()}

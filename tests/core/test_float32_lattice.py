@@ -1,0 +1,122 @@
+"""Property suite for ``dtype=float32`` lattice surfaces.
+
+The reduced-precision mode documents a hard error bound against the
+float64 reference: bounded metrics (QoS / reliability) stay within
+``FLOAT32_SURFACE_ATOL`` absolutely, the average execution time within
+``FLOAT32_SURFACE_RTOL`` relatively.  Hypothesis drives random models,
+loads and grid resolutions through both precisions and checks the bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Metric, TransformSolver
+from repro.core.convolution import FLOAT32_SURFACE_ATOL, FLOAT32_SURFACE_RTOL
+from repro.core.system import DCSModel, HomogeneousNetwork
+from repro.distributions import Exponential, Pareto, Uniform, Weibull
+
+SERVICE_FAMILIES = [
+    lambda m: Exponential.from_mean(m),
+    lambda m: Pareto.from_mean(m, 2.5),
+    lambda m: Weibull.from_mean(m),
+    lambda m: Uniform.from_mean(m),
+]
+
+
+def build_model(fam1: int, fam2: int, with_failures: bool) -> DCSModel:
+    network = HomogeneousNetwork(
+        Exponential.from_mean, latency=0.5, per_task=0.3, fn_mean=1.0
+    )
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(50.0), Exponential.from_mean(40.0)]
+    return DCSModel(
+        service=[SERVICE_FAMILIES[fam1](2.0), SERVICE_FAMILIES[fam2](1.0)],
+        network=network,
+        failure=failure,
+    )
+
+
+def surfaces(model, metric, loads, dt, deadline=None):
+    solver = TransformSolver.for_workload(model, loads, dt=dt, cache=None)
+    l12s = list(range(0, loads[0] + 1, 2))
+    l21s = list(range(0, loads[1] + 1, 2))
+    f64 = solver.evaluate_lattice(metric, loads, l12s, l21s, deadline=deadline)
+    f32 = solver.evaluate_lattice(
+        metric, loads, l12s, l21s, deadline=deadline, dtype=np.float32
+    )
+    return f64, f32
+
+
+@given(
+    fam1=st.integers(0, len(SERVICE_FAMILIES) - 1),
+    fam2=st.integers(0, len(SERVICE_FAMILIES) - 1),
+    m1=st.integers(4, 9),
+    m2=st.integers(3, 7),
+    dt=st.sampled_from([0.2, 0.1, 0.05]),
+    metric=st.sampled_from([Metric.RELIABILITY, Metric.QOS]),
+)
+@settings(max_examples=12, deadline=None)
+def test_bounded_metrics_within_documented_atol(fam1, fam2, m1, m2, dt, metric):
+    model = build_model(fam1, fam2, with_failures=True)
+    deadline = 25.0 if metric is Metric.QOS else None
+    f64, f32 = surfaces(model, metric, [m1, m2], dt, deadline)
+    assert f32.dtype == np.float32
+    assert np.all(f32 >= 0.0) and np.all(f32 <= 1.0)
+    assert np.max(np.abs(f64 - f32.astype(np.float64))) <= FLOAT32_SURFACE_ATOL
+
+
+@given(
+    fam1=st.integers(0, len(SERVICE_FAMILIES) - 1),
+    fam2=st.integers(0, len(SERVICE_FAMILIES) - 1),
+    m1=st.integers(4, 9),
+    m2=st.integers(3, 7),
+    dt=st.sampled_from([0.2, 0.1, 0.05]),
+)
+@settings(max_examples=8, deadline=None)
+def test_avg_time_within_documented_rtol(fam1, fam2, m1, m2, dt):
+    model = build_model(fam1, fam2, with_failures=False)
+    f64, f32 = surfaces(model, Metric.AVG_EXECUTION_TIME, [m1, m2], dt)
+    assert f32.dtype == np.float32
+    rel = np.max(np.abs(f64 - f32.astype(np.float64)) / np.maximum(np.abs(f64), 1.0))
+    assert rel <= FLOAT32_SURFACE_RTOL
+
+
+class TestDtypeContract:
+    def test_float64_is_the_default_and_unchanged(self):
+        model = build_model(0, 1, with_failures=True)
+        solver = TransformSolver.for_workload(model, [5, 4], dt=0.1, cache=None)
+        base = solver.evaluate_lattice(Metric.RELIABILITY, [5, 4], [0, 2], [0, 2])
+        explicit = solver.evaluate_lattice(
+            Metric.RELIABILITY, [5, 4], [0, 2], [0, 2], dtype=np.float64
+        )
+        assert base.dtype == np.float64
+        np.testing.assert_array_equal(base, explicit)
+
+    def test_dtype_is_part_of_the_lattice_cache_key(self):
+        model = build_model(0, 0, with_failures=True)
+        solver = TransformSolver.for_workload(model, [5, 4], dt=0.1)
+        f64 = solver.evaluate_lattice(Metric.RELIABILITY, [5, 4], [0, 2], [0, 2])
+        f32 = solver.evaluate_lattice(
+            Metric.RELIABILITY, [5, 4], [0, 2], [0, 2], dtype=np.float32
+        )
+        # a cached float64 surface must not be served for a float32 request
+        assert f64.dtype == np.float64 and f32.dtype == np.float32
+
+    def test_unsupported_dtype_rejected(self):
+        model = build_model(0, 0, with_failures=True)
+        solver = TransformSolver.for_workload(model, [5, 4], dt=0.1, cache=None)
+        with pytest.raises(ValueError, match="float64 or float32"):
+            solver.evaluate_lattice(
+                Metric.RELIABILITY, [5, 4], [0, 2], [0, 2], dtype=np.int32
+            )
+
+    def test_empty_lattice_respects_dtype(self):
+        model = build_model(0, 0, with_failures=True)
+        solver = TransformSolver.for_workload(model, [5, 4], dt=0.1, cache=None)
+        out = solver.evaluate_lattice(
+            Metric.RELIABILITY, [5, 4], [], [], dtype=np.float32
+        )
+        assert out.shape == (0, 0) and out.dtype == np.float32

@@ -1,0 +1,194 @@
+"""The ``kernel="jit"`` backend: agreement with direct/spectral, graceful
+degradation without numba, and the sparse/rank-2 fast paths behind it."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KernelFallbackWarning,
+    Metric,
+    TransformSolver,
+    TwoServerOptimizer,
+)
+from repro.core.cache import SolverCache
+from repro.core.convolution import reset_jit_fallback_warning
+from repro.core.policy import ReallocationPolicy
+from repro.core.system import DCSModel, HomogeneousNetwork
+from repro.distributions import Exponential, Pareto
+from repro.distributions.jit_kernels import HAVE_NUMBA
+
+from ..conftest import small_exp_model
+
+LOADS = [6, 4]
+
+
+def pareto_model(with_failures: bool = True) -> DCSModel:
+    network = HomogeneousNetwork(
+        lambda m: Pareto.from_mean(m, 2.5), latency=0.5, per_task=0.3, fn_mean=1.0
+    )
+    failure = None
+    if with_failures:
+        failure = [Exponential.from_mean(50.0), Exponential.from_mean(40.0)]
+    return DCSModel(
+        service=[Pareto.from_mean(2.0, 2.5), Pareto.from_mean(1.0, 2.5)],
+        network=network,
+        failure=failure,
+    )
+
+
+def three_server_model() -> DCSModel:
+    """Middle server receives from both neighbours -> two incoming batches,
+    exercising the rank-2 exact2 finish-time path."""
+    network = HomogeneousNetwork(
+        Exponential.from_mean, latency=0.4, per_task=0.2, fn_mean=0.5
+    )
+    return DCSModel(
+        service=[
+            Exponential.from_mean(2.0),
+            Exponential.from_mean(1.0),
+            Exponential.from_mean(1.5),
+        ],
+        network=network,
+        failure=[Exponential.from_mean(30.0)] * 3,
+    )
+
+
+def make_solver(kernel, model=None, loads=LOADS, dt=0.1):
+    return TransformSolver.for_workload(
+        model or pareto_model(), list(loads), dt=dt, cache=None, kernel=kernel
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_jit_fallback_warning()
+    yield
+    reset_jit_fallback_warning()
+
+
+def request_jit(**kwargs):
+    """Build a jit-kernel solver, tolerating the no-numba degradation warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", KernelFallbackWarning)
+        return make_solver("jit", **kwargs)
+
+
+class TestFallbackContract:
+    def test_jit_without_numba_degrades_to_spectral_once(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba present: no degradation to observe")
+        with pytest.warns(KernelFallbackWarning) as caught:
+            solver = make_solver("jit")
+        assert len(caught) == 1
+        w = caught[0].message
+        assert w.where == "TransformSolver.__init__"
+        assert w.kernel == "jit"
+        assert w.fallback == "spectral"
+        assert "numba" in w.reason
+        assert solver.kernel == "spectral"
+        assert solver.requested_kernel == "jit"
+        # the warning is one-time: further jit solvers stay silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", KernelFallbackWarning)
+            second = make_solver("jit")
+        assert second.kernel == "spectral"
+
+    def test_jit_with_numba_keeps_the_kernel(self):
+        if not HAVE_NUMBA:
+            pytest.skip("needs numba")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", KernelFallbackWarning)
+            solver = make_solver("jit")
+        assert solver.kernel == "jit"
+
+    def test_degraded_jit_results_identical_to_spectral(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba present: jit runs compiled kernels")
+        policy = ReallocationPolicy.two_server(2, 1)
+        jit_solver = request_jit()
+        spec_solver = make_solver("spectral")
+        v_jit = jit_solver.evaluate(Metric.RELIABILITY, LOADS, policy)
+        v_spec = spec_solver.evaluate(Metric.RELIABILITY, LOADS, policy)
+        assert v_jit.value == v_spec.value  # bit-identical, not just close
+        s_jit = jit_solver.evaluate_lattice(
+            Metric.RELIABILITY, LOADS, [0, 2, 4], [0, 1, 3]
+        )
+        s_spec = spec_solver.evaluate_lattice(
+            Metric.RELIABILITY, LOADS, [0, 2, 4], [0, 1, 3]
+        )
+        np.testing.assert_array_equal(s_jit, s_spec)
+
+
+class TestAgreementWithDirect:
+    @pytest.mark.parametrize("metric", [Metric.RELIABILITY, Metric.QOS])
+    def test_lattice_agrees_with_direct_kernel(self, metric):
+        deadline = 25.0 if metric is Metric.QOS else None
+        l12s, l21s = [0, 2, 4, 6], [0, 1, 2]
+        jit_surface = request_jit().evaluate_lattice(
+            metric, LOADS, l12s, l21s, deadline=deadline
+        )
+        direct_surface = make_solver("direct").evaluate_lattice(
+            metric, LOADS, l12s, l21s, deadline=deadline
+        )
+        np.testing.assert_allclose(jit_surface, direct_surface, atol=1e-9)
+
+    def test_avg_time_lattice_agrees_with_direct(self):
+        model = pareto_model(with_failures=False)
+        jit_surface = request_jit(model=model).evaluate_lattice(
+            Metric.AVG_EXECUTION_TIME, LOADS, [0, 2, 4], [0, 1, 2]
+        )
+        direct_surface = make_solver("direct", model=model).evaluate_lattice(
+            Metric.AVG_EXECUTION_TIME, LOADS, [0, 2, 4], [0, 1, 2]
+        )
+        np.testing.assert_allclose(jit_surface, direct_surface, atol=1e-9, rtol=1e-9)
+
+    def test_two_incoming_batches_agree_with_direct(self):
+        """The rank-2 exact2 reformulation vs the direct per-policy kernel."""
+        model = three_server_model()
+        loads = [5, 2, 4]
+        matrix = np.zeros((3, 3), dtype=np.int64)
+        matrix[0, 1] = 2
+        matrix[2, 1] = 2
+        policy = ReallocationPolicy(matrix)
+        jit_solver = request_jit(model=model, loads=loads, dt=0.2)
+        direct = make_solver("direct", model=model, loads=loads, dt=0.2)
+        v_jit = jit_solver.evaluate(Metric.RELIABILITY, loads, policy)
+        v_direct = direct.evaluate(Metric.RELIABILITY, loads, policy)
+        assert abs(v_jit.value - v_direct.value) <= 1e-9
+
+    def test_optimizer_finds_the_same_optimum(self):
+        jit_best = TwoServerOptimizer(request_jit()).optimize(
+            Metric.RELIABILITY, LOADS
+        )
+        direct_best = TwoServerOptimizer(
+            make_solver("direct"), batched=False
+        ).optimize(Metric.RELIABILITY, LOADS)
+        assert (jit_best.l12, jit_best.l21) == (direct_best.l12, direct_best.l21)
+        assert abs(jit_best.value - direct_best.value) <= 1e-9
+
+
+class TestSparseLadder:
+    def test_service_sums_at_matches_dense_ladder(self):
+        solver = make_solver("spectral", model=small_exp_model(True), dt=0.05)
+        dense = solver.service_sums(0, 6)
+        sparse = solver._service_sums_at(0, [2, 5, 6])
+        assert sorted(sparse) == [2, 5, 6]
+        for k, gm in sparse.items():
+            np.testing.assert_allclose(gm.mass, dense[k].mass, atol=1e-12)
+
+    def test_sparse_extras_are_cached_across_calls(self):
+        cache = SolverCache()
+        solver = TransformSolver.for_workload(
+            small_exp_model(True), LOADS, dt=0.05, cache=cache, kernel="spectral"
+        )
+        first = solver._service_sums_at(0, [5])
+        second = solver._service_sums_at(0, [5])
+        assert first[5] is second[5]  # served from the shared extras store
+
+    def test_direct_kernel_uses_dense_path(self):
+        solver = make_solver("direct", model=small_exp_model(True), dt=0.05)
+        out = solver._service_sums_at(0, [3])
+        dense = solver.service_sums(0, 3)
+        np.testing.assert_allclose(out[3].mass, dense[3].mass, atol=1e-12)

@@ -48,10 +48,10 @@ def poisoned_surfaces(monkeypatch):
     """Make every *spectral* lattice surface raise a contract violation."""
     real = TransformSolver._lattice_surface
 
-    def poisoned(self, metric, m1, m2, l12s, l21s, deadline):
+    def poisoned(self, metric, m1, m2, l12s, l21s, deadline, *args):
         if self.kernel == "spectral":
             raise ContractViolation("poisoned spectral surface")
-        return real(self, metric, m1, m2, l12s, l21s, deadline)
+        return real(self, metric, m1, m2, l12s, l21s, deadline, *args)
 
     monkeypatch.setattr(TransformSolver, "_lattice_surface", poisoned)
 

@@ -1,0 +1,93 @@
+"""Compiled inner-loop twins: jit and pure-numpy paths must agree exactly."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import jit_kernels
+from repro.distributions.jit_kernels import (
+    HAVE_NUMBA,
+    adjoint_collapse,
+    clip_nonneg,
+    exact2_pre_second,
+    numba_version,
+    surface_cap,
+)
+
+JIT_MODES = [False, True] if HAVE_NUMBA else [False]
+
+
+class TestAvailabilityReporting:
+    def test_numba_version_consistent_with_flag(self):
+        version = numba_version()
+        if HAVE_NUMBA:
+            assert isinstance(version, str) and version
+        else:
+            assert version is None
+
+    def test_jit_request_without_numba_uses_numpy_path(self, rng):
+        """jit=True must be safe (silent numpy execution) when numba is absent;
+        the user-facing warning lives at the solver layer, not here."""
+        out = rng.random(16) - 0.5
+        expected = np.maximum(out.copy(), 0.0)
+        got = clip_nonneg(out.copy(), jit=True)
+        np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.parametrize("jit", JIT_MODES)
+class TestTwins:
+    def test_clip_nonneg(self, jit, rng):
+        x = rng.standard_normal((4, 9))
+        expected = np.maximum(x, 0.0)
+        got = clip_nonneg(x.copy(), jit=jit)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_clip_nonneg_is_in_place(self, jit, rng):
+        x = rng.standard_normal(8)
+        out = clip_nonneg(x, jit=jit)
+        assert out is x
+
+    def test_adjoint_collapse_matches_reference(self, jit, rng):
+        n = 11
+        q = rng.standard_normal((3, n + 4))
+        expected = q[:, :n].copy()
+        expected[:, :-1] -= q[:, 1:n]
+        got = adjoint_collapse(q, n, jit=jit)
+        np.testing.assert_array_equal(got, expected)
+        # input untouched
+        assert q.shape == (3, n + 4)
+
+    def test_adjoint_collapse_1d(self, jit, rng):
+        n = 7
+        q = rng.standard_normal(n)
+        expected = q[:n].copy()
+        expected[:-1] -= q[1:n]
+        np.testing.assert_array_equal(adjoint_collapse(q, n, jit=jit), expected)
+
+    def test_exact2_pre_second_matches_reference(self, jit, rng):
+        n = 32
+        m_row = rng.random(n)
+        n_row = rng.random(n)
+        step_w2 = np.cumsum(rng.random(n) * 0.01)
+        cells = np.array([3, 3, 10, 31])
+        weights = rng.random(4)
+        # reference: PW2*M - N + sum_s w2_s * exclusive_cumsum(M)[r_s] at r_s
+        pre = step_w2 * m_row - n_row
+        excl = np.concatenate(([0.0], np.cumsum(m_row)[:-1]))
+        np.add.at(pre, cells, weights * excl[cells])
+        got = exact2_pre_second(
+            m_row.copy(), n_row, step_w2, cells, weights, jit=jit
+        )
+        np.testing.assert_allclose(got, pre, atol=1e-15)
+
+    def test_surface_cap_upper_only(self, jit):
+        surface = np.array([[-0.25, 0.5], [1.5, 1.0]])
+        got = surface_cap(surface.copy(), jit=jit)
+        # upper cap only — negatives pass through exactly like np.minimum
+        np.testing.assert_array_equal(got, np.array([[-0.25, 0.5], [1.0, 1.0]]))
+
+
+class TestCompilationCache:
+    def test_compiled_registry_only_populated_with_numba(self, rng):
+        clip_nonneg(rng.random(4), jit=True)
+        if not HAVE_NUMBA:
+            assert jit_kernels._COMPILED == {}

@@ -1,0 +1,137 @@
+"""Preplanned FFT workspaces: arena reuse, spectrum caching, memoized sizes."""
+
+import numpy as np
+import pytest
+from scipy import fft as sfft
+
+from repro.distributions import spectral
+from repro.distributions.workspace import (
+    FFTWorkspace,
+    get_workspace,
+    reset_workspaces,
+    workspace_stats,
+)
+
+
+class TestArena:
+    def test_rfft_matches_scipy_for_1d_and_2d(self, rng):
+        ws = FFTWorkspace(32)
+        x1 = rng.random(10)
+        x2 = rng.random((4, 13))
+        # reference transforms straight through scipy, on purpose
+        np.testing.assert_allclose(
+            ws.rfft(x1), sfft.rfft(x1, 32), atol=1e-15  # repro-lint: disable=RL002
+        )
+        np.testing.assert_allclose(
+            ws.rfft(x2), sfft.rfft(x2, 32, axis=-1), atol=1e-15  # repro-lint: disable=RL002
+        )
+
+    def test_arena_is_reused_between_calls(self, rng):
+        ws = FFTWorkspace(64)
+        ws.rfft(rng.random((3, 20)))
+        allocs = ws.arena_allocations
+        ws.rfft(rng.random((3, 20)))
+        ws.rfft(rng.random((2, 31)))
+        assert ws.arena_allocations == allocs
+        assert ws.arena_reuses >= 2
+
+    def test_narrow_call_after_wide_call_sees_clean_pad(self, rng):
+        ws = FFTWorkspace(32)
+        wide = rng.random(20)
+        narrow = rng.random(5)
+        ws.rfft(wide)  # leaves payload in columns 5..20 of the arena
+        got = ws.rfft(narrow)
+        np.testing.assert_allclose(
+            got, sfft.rfft(narrow, 32), atol=1e-15  # repro-lint: disable=RL002
+        )
+
+    def test_separate_arenas_per_dtype(self, rng):
+        ws = FFTWorkspace(32)
+        a64 = ws.rfft(rng.random(8))
+        a32 = ws.rfft(rng.random(8).astype(np.float32))
+        assert a64.dtype == np.complex128
+        assert a32.dtype == np.complex64
+
+    def test_irfft_trunc_round_trip(self, rng):
+        ws = FFTWorkspace(32)
+        x = rng.random(12)
+        back = ws.irfft_trunc(ws.rfft(x), 12)
+        np.testing.assert_allclose(back, x, atol=1e-14)
+
+    def test_oversize_rows_rejected(self, rng):
+        ws = FFTWorkspace(16)
+        with pytest.raises(ValueError, match="exceed"):
+            ws.rfft(rng.random(17))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            FFTWorkspace(0)
+        with pytest.raises(ValueError):
+            FFTWorkspace(16, max_spectra=0)
+
+
+class TestSpectrumCache:
+    def test_cached_spectrum_hit_returns_same_object(self, rng):
+        ws = FFTWorkspace(32)
+        y = rng.random(10)
+        first = ws.cached_spectrum(("y", 0), y)
+        second = ws.cached_spectrum(("y", 0), y)
+        assert first is second
+        assert not first.flags.writeable
+        assert ws.spectrum_hits == 1 and ws.spectrum_misses == 1
+
+    def test_lru_eviction_bounds_the_cache(self, rng):
+        ws = FFTWorkspace(32, max_spectra=2)
+        for k in range(4):
+            ws.cached_spectrum(("y", k), rng.random(8))
+        assert ws.stats()["spectra"] == 2
+
+    def test_float32_vector_yields_complex64_spectrum(self, rng):
+        ws = FFTWorkspace(32)
+        spec = ws.cached_spectrum(("y32",), rng.random(8).astype(np.float32))
+        assert spec.dtype == np.complex64
+
+
+class TestRegistry:
+    def test_get_workspace_is_a_singleton_per_length(self):
+        reset_workspaces()
+        a = get_workspace(48)
+        b = get_workspace(48)
+        c = get_workspace(64)
+        assert a is b and a is not c
+        assert set(workspace_stats()) >= {48, 64}
+        reset_workspaces()
+        assert workspace_stats() == {}
+
+
+class TestFftLengthMemo:
+    def test_fft_length_is_memoized(self):
+        spectral.fft_length_cache.cache_clear()
+        n = 12345
+        first = spectral.fft_length(n)
+        info0 = spectral.fft_length_cache.cache_info()
+        for _ in range(10):
+            assert spectral.fft_length(n) == first
+        info1 = spectral.fft_length_cache.cache_info()
+        assert info1.hits - info0.hits == 10
+        assert info1.misses == info0.misses
+
+    def test_fft_length_micro_benchmark(self):
+        """The memoized lookup must beat re-running the 5-smooth search.
+
+        Counter-based (no wall clock): the uncached path calls scipy's
+        ``next_fast_len`` every time, the memo calls it exactly once per
+        distinct ``n`` — asserted through the cache counters.
+        """
+        spectral.fft_length_cache.cache_clear()
+        ns = [1000, 2000, 3000] * 50
+        for n in ns:
+            spectral.fft_length(n)
+        info = spectral.fft_length_cache.cache_info()
+        assert info.misses == 3  # one search per distinct grid size
+        assert info.hits == len(ns) - 3
+
+    def test_values_agree_with_scipy(self):
+        for n in (1, 2, 7, 100, 4097):
+            expect = sfft.next_fast_len(2 * n - 1, real=True)  # repro-lint: disable=RL002
+            assert spectral.fft_length(n) == expect

@@ -1,0 +1,169 @@
+"""Shared-memory fork_map payloads: zero-copy views, bit-identity across
+worker counts, deterministic cleanup (including under chaos injection)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro._parallel import (
+    ExecutionPolicy,
+    SharedArrays,
+    active_shared_segments,
+    fork_map,
+    parallelism_available,
+    publish_arrays,
+    set_execution_policy,
+    shared_memory_available,
+)
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="fork start method unavailable"
+)
+
+
+def shm_leftovers():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [f for f in os.listdir("/dev/shm") if f.startswith("repro-shm-")]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    before = set(shm_leftovers())
+    yield
+    assert active_shared_segments() == []
+    assert set(shm_leftovers()) <= before
+
+
+class TestSharedArrays:
+    def test_views_are_faithful_and_read_only(self, rng):
+        arrays = {
+            "floats": rng.random((5, 7)),
+            "ints": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "empty": np.zeros((0, 3)),
+        }
+        with publish_arrays(arrays) as shared:
+            assert sorted(shared.keys()) == ["empty", "floats", "ints"]
+            for key, arr in arrays.items():
+                view = shared[key]
+                assert view.shape == arr.shape and view.dtype == arr.dtype
+                np.testing.assert_array_equal(view, arr)
+                assert not view.flags.writeable
+            assert "floats" in shared and "missing" not in shared
+
+    def test_deterministic_names_and_registry(self, rng):
+        handle = publish_arrays({"x": rng.random(4)})
+        try:
+            assert handle.name.startswith(f"repro-shm-{os.getpid()}-")
+            if shared_memory_available():
+                assert handle.name in active_shared_segments()
+        finally:
+            handle.close()
+        assert handle.name not in active_shared_segments()
+
+    def test_close_is_idempotent(self, rng):
+        handle = publish_arrays({"x": rng.random(4)})
+        handle.close()
+        handle.close()
+        with pytest.raises(ValueError, match="closed"):
+            handle["x"]
+
+    def test_pickle_round_trip_reattaches(self, rng):
+        data = rng.random((3, 5))
+        with publish_arrays({"data": data}) as shared:
+            clone = pickle.loads(pickle.dumps(shared))
+            assert isinstance(clone, SharedArrays)
+            np.testing.assert_array_equal(clone["data"], data)
+            clone.close()  # non-owner close must not unlink ...
+            np.testing.assert_array_equal(shared["data"], data)  # ... proof
+
+
+@needs_fork
+class TestForkMapIntegration:
+    def test_bit_identical_across_jobs(self, rng):
+        """A ladder stack plus a cell table published once; every worker
+        count must produce byte-identical results."""
+        ladder = rng.random((8, 64)).cumsum(axis=1)
+        cells = np.array([(i, j) for i in range(8) for j in range(0, 64, 16)])
+        with publish_arrays({"ladder": ladder, "cells": cells}) as shared:
+
+            def item(k):
+                i, j = shared["cells"][k]
+                return float(shared["ladder"][i, j:].sum())
+
+            serial = [item(k) for k in range(len(cells))]
+            for jobs in (2, 3):
+                fanned = fork_map(item, len(cells), jobs)
+                assert fanned == serial  # == on floats: bit-identity
+
+    def test_resilient_path_reads_shared_views(self, rng, tmp_path):
+        """Chaos: a worker crash mid-fan-out (future-per-item path) must not
+        corrupt results nor leak the published segment."""
+        table = rng.random((6, 32))
+        previous = set_execution_policy(ExecutionPolicy(timeout=30.0, retries=2))
+        os.environ["REPRO_CHAOS"] = "crash:1"
+        os.environ["REPRO_CHAOS_DIR"] = str(tmp_path)
+        try:
+            with publish_arrays({"table": table}) as shared:
+                got = fork_map(
+                    lambda k: float(shared["table"][k].sum()), 6, 2
+                )
+        finally:
+            set_execution_policy(previous)
+            del os.environ["REPRO_CHAOS"], os.environ["REPRO_CHAOS_DIR"]
+        assert got == [float(table[k].sum()) for k in range(6)]
+
+    def test_publisher_crash_is_swept_at_exit(self, rng, tmp_path):
+        """A process that publishes and dies without closing must leave no
+        segment behind (the atexit sweep)."""
+        script = tmp_path / "leaker.py"
+        script.write_text(
+            "import numpy as np\n"
+            "from repro._parallel import publish_arrays\n"
+            "handle = publish_arrays({'x': np.ones(1000)})\n"
+            "print(handle.name)\n"
+            "raise SystemExit(0)\n"  # atexit sweep must unlink
+        )
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            cwd=os.getcwd(),
+            env=env,
+        )
+        assert out.returncode == 0, out.stderr
+        name = out.stdout.strip().splitlines()[-1]
+        assert name.startswith("repro-shm-")
+        assert name not in shm_leftovers()
+
+
+class TestSweepUsesSharedTables:
+    def test_per_cell_sweep_matches_batched(self):
+        from repro.core import Metric, TransformSolver, sweep_policies
+
+        from .conftest import small_exp_model
+
+        solver = TransformSolver.for_workload(
+            small_exp_model(with_failures=True), [5, 3], dt=0.05, cache=None
+        )
+        batched = sweep_policies(
+            solver, Metric.RELIABILITY, [5, 3], [0, 1, 2], [0, 1, 2]
+        )
+        jobs = 2 if parallelism_available() else 1
+        percell = sweep_policies(
+            solver,
+            Metric.RELIABILITY,
+            [5, 3],
+            [0, 1, 2],
+            [0, 1, 2],
+            batched=False,
+            jobs=jobs,
+        )
+        np.testing.assert_allclose(percell, batched, atol=1e-9)
+        assert active_shared_segments() == []

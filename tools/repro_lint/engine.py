@@ -54,11 +54,14 @@ class LintConfig:
     """
 
     #: modules allowed to call convolution/FFT primitives directly (RL002):
-    #: the spectral kernel, the grid-mass algebra and the transform solver
+    #: the spectral kernel, the grid-mass algebra, the transform solver,
+    #: the preplanned FFT workspaces and the compiled inner loops
     blessed_convolution_modules: Tuple[str, ...] = (
         "src/repro/core/convolution.py",
         "src/repro/distributions/spectral.py",
         "src/repro/distributions/grid.py",
+        "src/repro/distributions/workspace.py",
+        "src/repro/distributions/jit_kernels.py",
     )
     #: directories whose modules must stay wall-clock free (RL005)
     deterministic_zones: Tuple[str, ...] = (

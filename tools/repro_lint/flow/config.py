@@ -71,6 +71,10 @@ def _default_sinks() -> Tuple[SinkSpec, ...]:
             "repro._parallel.fork_map",
             "fork_map task payload",
         ),
+        SinkSpec(
+            "repro._parallel.publish_arrays",
+            "shared-memory payload table",
+        ),
     )
 
 
