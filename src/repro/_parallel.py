@@ -421,7 +421,14 @@ def publish_arrays(arrays: Mapping[str, np.ndarray]) -> SharedArrays:
     name = f"repro-shm-{os.getpid()}-{next(_SHM_SEQ)}"
     layout: Dict[str, Tuple[Tuple[int, ...], str, int]] = {}
     if _shm is None:
-        for key, arr in materialized.items():
+        for k, v in arrays.items():
+            key = str(k)
+            arr = materialized[key]
+            if arr is v:
+                # ascontiguousarray returned the caller's own array; copy
+                # before freezing or the caller's array turns read-only
+                arr = arr.copy()
+                materialized[key] = arr
             arr.flags.writeable = False
             layout[key] = (arr.shape, arr.dtype.str, 0)
         return SharedArrays(name, layout, None, owner=False, fallback=materialized)
@@ -432,19 +439,26 @@ def publish_arrays(arrays: Mapping[str, np.ndarray]) -> SharedArrays:
         offset += (-offset) % _SHM_ALIGN
     segment = _shm.SharedMemory(create=True, size=max(offset, 1), name=name)
     handle = SharedArrays(name, layout, segment, owner=True)
-    for key, arr in materialized.items():
-        if arr.size == 0:
-            continue
-        shape, dtype_str, off = layout[key]
-        dest: np.ndarray = np.ndarray(
-            shape, dtype=np.dtype(dtype_str), buffer=segment.buf, offset=off
-        )
-        dest[...] = arr
+    # register the segment for the atexit sweep *before* filling it: an
+    # exception mid-copy (or a worker killing the process) must not leak
+    # a segment no cleanup path knows about
     global _SWEEP_REGISTERED
     _OWNED_SEGMENTS[name] = handle
     if not _SWEEP_REGISTERED:
         _SWEEP_REGISTERED = True
         atexit.register(_sweep_shared_segments)
+    try:
+        for key, arr in materialized.items():
+            if arr.size == 0:
+                continue
+            shape, dtype_str, off = layout[key]
+            dest: np.ndarray = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=segment.buf, offset=off
+            )
+            dest[...] = arr
+    except BaseException:
+        handle.close()
+        raise
     return handle
 
 

@@ -42,6 +42,7 @@ except ImportError:  # pragma: no cover - the only path on the CI no-numba job
     HAVE_NUMBA = False
 
 
+# repro-lint: disable-next-line=RL017 -- version probe, not a kernel: it has no NumPy twin by design
 def numba_version() -> Optional[str]:
     """The installed numba version string, or ``None`` when unavailable."""
     if not HAVE_NUMBA:

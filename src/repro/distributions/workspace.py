@@ -81,12 +81,13 @@ class FFTWorkspace:
                 self.arena_allocations += 1
             else:
                 self.arena_reuses += 1
-        if arena.fill > width:
-            # a previous, wider call left payload in the pad region; restore
-            # the invariant that every column >= fill is zero arena-wide
-            arena.buf[:, width : arena.fill] = 0.0
-        arena.fill = width
-        return arena.buf[:rows]
+            if arena.fill > width:
+                # a previous, wider call left payload in the pad region;
+                # restore the invariant that every column >= fill is zero
+                # arena-wide
+                arena.buf[:, width : arena.fill] = 0.0
+            arena.fill = width
+            return arena.buf[:rows]
 
     def rfft(self, rows: np.ndarray) -> np.ndarray:
         """Forward real FFT at the canonical length, via the input arena.
@@ -108,9 +109,14 @@ class FFTWorkspace:
             raise ValueError(
                 f"rows of length {width} exceed the canonical length {self.nfft}"
             )
-        buf = self._arena_view(arr.shape[0], width, arr.dtype)
-        buf[:, :width] = arr
-        spec = sfft.rfft(buf, axis=-1)
+        # the lock is reentrant, so holding it across the nested
+        # _arena_view call and the transform makes payload copy + rfft
+        # atomic: a concurrent caller sharing the arena can no longer
+        # zero these columns mid-transform
+        with self._lock:
+            buf = self._arena_view(arr.shape[0], width, arr.dtype)
+            buf[:, :width] = arr
+            spec = sfft.rfft(buf, axis=-1)
         out: np.ndarray = spec[0] if squeeze else spec
         return out
 

@@ -84,6 +84,42 @@ def test_avg_time_within_documented_rtol(fam1, fam2, m1, m2, dt):
     assert rel <= FLOAT32_SURFACE_RTOL
 
 
+_INTERLEAVE_SOLVER = None
+
+
+def _interleave_solver():
+    """One solver reused across hypothesis examples, so the process-wide
+    FFT workspace accumulates state from *every* prior interleaving."""
+    global _INTERLEAVE_SOLVER
+    if _INTERLEAVE_SOLVER is None:
+        model = build_model(0, 1, with_failures=True)
+        _INTERLEAVE_SOLVER = TransformSolver.for_workload(
+            model, [5, 4], dt=0.2, cache=None
+        )
+    return _INTERLEAVE_SOLVER
+
+
+@given(order=st.lists(st.booleans(), min_size=2, max_size=6))
+@settings(max_examples=10, deadline=None)
+def test_interleaved_precisions_never_corrupt_each_other(order):
+    """Interleaved float32/float64 lattice calls share one process-wide
+    workspace (per canonical length); each precision's surface must be
+    bit-identical no matter which dtype ran before it.  Regression for
+    the arena zero-pad/fill update racing outside the workspace lock."""
+    solver = _interleave_solver()
+    args = (Metric.RELIABILITY, [5, 4], [0, 2, 4], [0, 2])
+    base = {
+        False: solver.evaluate_lattice(*args),
+        True: solver.evaluate_lattice(*args, dtype=np.float32),
+    }
+    for use32 in order:
+        got = solver.evaluate_lattice(
+            *args, dtype=np.float32 if use32 else np.float64
+        )
+        assert got.dtype == (np.float32 if use32 else np.float64)
+        np.testing.assert_array_equal(got, base[use32])
+
+
 class TestDtypeContract:
     def test_float64_is_the_default_and_unchanged(self):
         model = build_model(0, 1, with_failures=True)

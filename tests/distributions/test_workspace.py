@@ -1,7 +1,11 @@
 """Preplanned FFT workspaces: arena reuse, spectrum caching, memoized sizes."""
 
+import threading
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from scipy import fft as sfft
 
 from repro.distributions import spectral
@@ -90,6 +94,65 @@ class TestSpectrumCache:
         ws = FFTWorkspace(32)
         spec = ws.cached_spectrum(("y32",), rng.random(8).astype(np.float32))
         assert spec.dtype == np.complex64
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_width_rffts_do_not_corrupt(self, rng):
+        """Regression: the zero-pad restore and ``fill`` update used to
+        run outside the arena lock, so a narrow transform in one thread
+        could zero a concurrent wide transform's payload mid-flight."""
+        ws = FFTWorkspace(64)
+        widths = [64, 5, 40, 11, 23]
+        inputs = {w: rng.random((2, w)) for w in widths}
+        expected = {
+            w: sfft.rfft(inputs[w], 64, axis=-1)  # repro-lint: disable=RL002
+            for w in widths
+        }
+        failures = []
+        gate = threading.Barrier(len(widths))
+
+        def worker(w):
+            gate.wait()
+            for _ in range(60):
+                got = ws.rfft(inputs[w])
+                if not np.allclose(got, expected[w], atol=1e-12):
+                    failures.append(w)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in widths
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+
+
+class TestSpectrumStaleness:
+    @given(
+        max_spectra=st.integers(1, 6),
+        churn=st.integers(1, 12),
+        width=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lru_eviction_cannot_hand_out_a_stale_view(
+        self, max_spectra, churn, width, seed
+    ):
+        """A spectrum obtained before arbitrary cache churn and arena
+        reuse must keep its values: eviction frees the slot, never the
+        array a caller already holds, and the array must not alias the
+        reusable transform arena."""
+        local = np.random.default_rng(seed)
+        ws = FFTWorkspace(32, max_spectra=max_spectra)
+        pinned = ws.cached_spectrum(("pinned",), local.random(width))
+        snapshot = pinned.copy()
+        for k in range(churn):
+            ws.cached_spectrum(("churn", k), local.random(width))
+            ws.rfft(local.random((3, width)))  # rewrite the arenas hard
+        np.testing.assert_array_equal(pinned, snapshot)
+        assert not pinned.flags.writeable
 
 
 class TestRegistry:

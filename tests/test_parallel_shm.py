@@ -80,6 +80,54 @@ class TestSharedArrays:
             np.testing.assert_array_equal(shared["data"], data)  # ... proof
 
 
+class TestPublishLifecycle:
+    def test_failed_publish_does_not_leak_the_segment(self, rng, monkeypatch):
+        """Regression: the segment used to be registered for cleanup only
+        *after* the copy loop, so an exception mid-copy leaked a segment
+        no sweep could see.  Now registration precedes the fill and a
+        failed fill closes (and unlinks) the segment on the way out."""
+        if not shared_memory_available():
+            pytest.skip("no platform shared memory on this host")
+        import types
+
+        import repro._parallel as par
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("copy failed")
+
+        monkeypatch.setattr(
+            par,
+            "np",
+            types.SimpleNamespace(
+                ascontiguousarray=np.ascontiguousarray,
+                dtype=np.dtype,
+                ndarray=boom,
+            ),
+        )
+        before = set(shm_leftovers())
+        with pytest.raises(RuntimeError, match="copy failed"):
+            par.publish_arrays({"x": rng.random(8)})
+        assert active_shared_segments() == []
+        assert set(shm_leftovers()) <= before
+
+    def test_fallback_publish_leaves_callers_array_writable(self, rng, monkeypatch):
+        """Regression: without platform shared memory, a contiguous input
+        was frozen in place (``ascontiguousarray`` returns its argument
+        unchanged), turning the *caller's* array read-only."""
+        import repro._parallel as par
+
+        monkeypatch.setattr(par, "_shm", None)
+        mine = np.ascontiguousarray(rng.random(16))
+        assert mine.flags.writeable
+        with par.publish_arrays({"x": mine}) as shared:
+            view = shared["x"]
+            assert not view.flags.writeable
+            np.testing.assert_array_equal(view, mine)
+            assert mine.flags.writeable  # a copy was frozen, not ours
+            mine[0] += 1.0  # and edits to ours do not reach the snapshot
+            assert view[0] != mine[0]
+
+
 @needs_fork
 class TestForkMapIntegration:
     def test_bit_identical_across_jobs(self, rng):

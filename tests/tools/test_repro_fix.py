@@ -1,0 +1,269 @@
+"""``repro-lint --fix``: mechanical RL007/RL008 rewrites.
+
+Every case checks three things: the rewrite is what the rule's message
+prescribes, the fixed source is clean under the rule, and a second pass
+is a no-op (idempotency).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro_lint import LintConfig, lint_paths
+from repro_lint.fix import fix_paths, fix_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HOT = "src/repro/distributions/pareto.py"  # any hot-path-zone module
+
+
+def fix(source, rel="src/repro/app.py", config=None):
+    return fix_source(textwrap.dedent(source), rel, config)
+
+
+def relint(tmp_path, rel, source, select):
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return lint_paths(
+        [str(target)], LintConfig(select=select), root=tmp_path
+    )
+
+
+class TestRL007Fix:
+    def test_list_default_becomes_none_with_guard(self, tmp_path):
+        fixed, count = fix(
+            """
+            def collect(x, acc=[]):
+                acc.append(x)
+                return acc
+            """
+        )
+        assert count == 1
+        assert "def collect(x, acc=None):" in fixed
+        assert "    if acc is None:\n        acc = []\n" in fixed
+        assert relint(tmp_path, "src/repro/app.py", fixed, {"RL007"}) == []
+
+    def test_guard_lands_after_the_docstring(self):
+        fixed, count = fix(
+            """
+            def collect(x, acc={}):
+                \"\"\"Accumulate into ``acc``.\"\"\"
+                acc[x] = True
+                return acc
+            """
+        )
+        assert count == 1
+        lines = fixed.splitlines()
+        doc = next(i for i, l in enumerate(lines) if "Accumulate" in l)
+        assert lines[doc + 1].strip() == "if acc is None:"
+        assert lines[doc + 2].strip() == "acc = {}"
+
+    def test_keyword_only_default(self, tmp_path):
+        fixed, count = fix(
+            """
+            def collect(x, *, seen=set()):
+                seen.add(x)
+                return seen
+            """
+        )
+        assert count == 1
+        assert "seen=None" in fixed
+        assert "seen = set()" in fixed
+        assert relint(tmp_path, "src/repro/app.py", fixed, {"RL007"}) == []
+
+    def test_multiple_defaults_in_one_signature(self, tmp_path):
+        fixed, count = fix(
+            """
+            def merge(a=[], b={}):
+                return a, b
+            """
+        )
+        assert count == 2
+        assert "def merge(a=None, b=None):" in fixed
+        assert "a = []" in fixed and "b = {}" in fixed
+        assert relint(tmp_path, "src/repro/app.py", fixed, {"RL007"}) == []
+
+    def test_lambda_is_left_alone(self):
+        source = "f = lambda x, acc=[]: acc + [x]\n"
+        fixed, count = fix_source(source, "src/repro/app.py")
+        assert count == 0
+        assert fixed == source
+
+    def test_suppressed_finding_is_not_fixed(self):
+        source = textwrap.dedent(
+            """
+            def collect(x, acc=[]):  # repro-lint: disable=RL007
+                return acc + [x]
+            """
+        )
+        fixed, count = fix_source(source, "src/repro/app.py")
+        assert count == 0
+        assert fixed == source
+
+    def test_fix_is_idempotent(self):
+        fixed, count = fix(
+            """
+            def collect(x, acc=[]):
+                acc.append(x)
+                return acc
+            """
+        )
+        assert count == 1
+        again, count2 = fix_source(fixed, "src/repro/app.py")
+        assert count2 == 0
+        assert again == fixed
+
+
+class TestRL008Fix:
+    def test_math_exp_becomes_np_exp(self, tmp_path):
+        fixed, count = fix(
+            """
+            import math
+
+            import numpy as np
+
+            class Law:
+                def pdf(self, x):
+                    return math.exp(-x)
+            """,
+            rel=HOT,
+        )
+        assert count == 1
+        assert "np.exp(-x)" in fixed
+        assert relint(tmp_path, HOT, fixed, {"RL008"}) == []
+
+    def test_renamed_ufuncs(self, tmp_path):
+        fixed, count = fix(
+            """
+            import math
+
+            import numpy as np
+
+            class Law:
+                def cdf(self, x):
+                    return math.atan2(x, 1.0) + math.asin(x)
+            """,
+            rel=HOT,
+        )
+        assert count == 2
+        assert "np.arctan2(x, 1.0)" in fixed
+        assert "np.arcsin(x)" in fixed
+        assert relint(tmp_path, HOT, fixed, {"RL008"}) == []
+
+    def test_numpy_import_is_added_when_missing(self, tmp_path):
+        fixed, count = fix(
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.sqrt(x)
+            """,
+            rel=HOT,
+        )
+        assert count == 1
+        assert "import numpy as np" in fixed
+        assert "np.sqrt(x)" in fixed
+        # the insertion must keep the module parseable and the fix clean
+        assert relint(tmp_path, HOT, fixed, {"RL008"}) == []
+
+    def test_special_functions_without_np_ufunc_are_skipped(self):
+        source = textwrap.dedent(
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.erf(x)
+            """
+        )
+        fixed, count = fix_source(source, HOT)
+        assert count == 0
+        assert fixed == source
+
+    def test_parameter_only_uses_are_untouched(self):
+        source = textwrap.dedent(
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return x * math.log(self.x_m)
+            """
+        )
+        fixed, count = fix_source(source, HOT)
+        assert count == 0
+        assert fixed == source
+
+    def test_outside_hot_path_zone_is_untouched(self):
+        source = textwrap.dedent(
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.exp(-x)
+            """
+        )
+        fixed, count = fix_source(source, "src/repro/analysis/report.py")
+        assert count == 0
+        assert fixed == source
+
+    def test_fix_is_idempotent(self):
+        fixed, count = fix(
+            """
+            import math
+
+            class Law:
+                def pdf(self, x):
+                    return math.exp(-x)
+            """,
+            rel=HOT,
+        )
+        assert count == 1
+        again, count2 = fix_source(fixed, HOT)
+        assert count2 == 0
+        assert again == fixed
+
+
+class TestFixPaths:
+    def test_fixes_are_written_in_place(self, tmp_path):
+        rel = "src/repro/app.py"
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True)
+        target.write_text("def collect(x, acc=[]):\n    return acc + [x]\n")
+        fixed = fix_paths(["src"], root=tmp_path)
+        assert fixed == {rel: 1}
+        assert "acc=None" in target.read_text()
+        assert fix_paths(["src"], root=tmp_path) == {}
+
+    def test_clean_files_stay_untouched(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(x):\n    return x\n")
+        before = target.stat().st_mtime_ns
+        assert fix_paths(["clean.py"], root=tmp_path) == {}
+        assert target.stat().st_mtime_ns == before
+
+
+def test_cli_fix_flag_repairs_then_lints(tmp_path):
+    target = tmp_path / "app.py"
+    target.write_text("def collect(x, acc=[]):\n    return acc + [x]\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "tools"), env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro_lint", "app.py", "--fix", "--select", "RL007"],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "fixed 1 finding(s) in app.py" in proc.stderr
+    assert "acc=None" in target.read_text()

@@ -513,20 +513,40 @@ def test_repository_is_flow_clean():
 
 
 def test_flow_analysis_is_fast_enough(tmp_path):
-    """Acceptance bound: cold < 10 s, cache-warm < 2 s on the full repo."""
+    """Acceptance bound, flow + resources passes together on the full
+    repo: cold < 12 s, cache-warm (shared summary cache) < 3 s."""
     import time
+
+    from repro_lint.resources import ResourceOptions
 
     cache_dir = str(tmp_path / "flow-cache")
     paths = ["src", "tests", "benchmarks", "tools", "examples"]
-    config = LintConfig(select={"RL010", "RL011", "RL012", "RL013"})
+    config = LintConfig(
+        select={
+            "RL010", "RL011", "RL012", "RL013",
+            "RL014", "RL015", "RL016", "RL017", "RL018", "RL019",
+        }
+    )
 
     start = time.perf_counter()
-    lint_paths(paths, config, root=REPO_ROOT, flow=FlowOptions(cache_dir=cache_dir))
+    lint_paths(
+        paths,
+        config,
+        root=REPO_ROOT,
+        flow=FlowOptions(cache_dir=cache_dir),
+        resources=ResourceOptions(cache_dir=cache_dir),
+    )
     cold = time.perf_counter() - start
 
     start = time.perf_counter()
-    lint_paths(paths, config, root=REPO_ROOT, flow=FlowOptions(cache_dir=cache_dir))
+    lint_paths(
+        paths,
+        config,
+        root=REPO_ROOT,
+        flow=FlowOptions(cache_dir=cache_dir),
+        resources=ResourceOptions(cache_dir=cache_dir),
+    )
     warm = time.perf_counter() - start
 
-    assert cold < 10.0, f"cold flow analysis took {cold:.2f}s"
-    assert warm < 2.0, f"warm flow analysis took {warm:.2f}s"
+    assert cold < 12.0, f"cold flow+resources analysis took {cold:.2f}s"
+    assert warm < 3.0, f"warm flow+resources analysis took {warm:.2f}s"

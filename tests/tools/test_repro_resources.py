@@ -1,0 +1,940 @@
+"""Resource- and numeric-safety (``--resources``) rules: RL014–RL019.
+
+Same fixture style as ``test_repro_flow``: each case is a miniature
+project laid out like the real repository, so the default
+:class:`~repro_lint.resources.ResourceConfig` (owner modules, jit
+modules, simulator names) applies unchanged.  The analysis never imports
+the code it lints — stand-ins only need matching names.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro_lint import LintConfig, lint_paths
+from repro_lint.resources import ResourceOptions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+RESOURCE_RULES = ("RL014", "RL015", "RL016", "RL017", "RL018", "RL019")
+
+
+def run_resources(tmp_path, files, select=None, options=None, config=None):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    cfg = config or LintConfig(select=set(select) if select else None)
+    tops = sorted({rel.split("/", 1)[0] for rel in files})
+    return lint_paths(
+        [str(tmp_path / top) for top in tops],
+        cfg,
+        root=tmp_path,
+        resources=options or ResourceOptions(),
+    )
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+#: minimal owner module so fixtures have the production workspace shape
+WORKSPACE_STUB = {
+    "src/repro/__init__.py": "",
+    "src/repro/distributions/__init__.py": "",
+    "src/repro/distributions/workspace.py": """
+        import threading
+
+        class FFTWorkspace:
+            def __init__(self, nfft):
+                self.nfft = nfft
+                self._lock = threading.RLock()
+
+            def _arena_view(self, rows, width, dtype):
+                return None
+
+            def rfft(self, rows):
+                return rows
+
+            def cached_spectrum(self, key, vec):
+                return vec
+        """,
+}
+
+
+# ----------------------------------------------------------------------
+# RL014 — arena-view escape
+# ----------------------------------------------------------------------
+class TestRL014:
+    def test_return_escape_outside_owner_module(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                def grab(ws, n, dtype):
+                    return ws._arena_view(n, n, dtype)
+                """,
+            },
+            select={"RL014"},
+        )
+        assert rules_of(findings) == ["RL014"]
+        assert findings[0].path == "src/repro/app.py"
+        assert "returns a live arena view" in findings[0].message
+
+    def test_transitive_return_escape(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                def inner(ws, n, dtype):
+                    return ws._arena_view(n, n, dtype)
+
+                def outer(ws, n, dtype):
+                    return inner(ws, n, dtype)
+                """,
+            },
+            select={"RL014"},
+        )
+        assert len(findings) == 2  # inner and outer both leak the view
+        assert all("arena view" in f.message for f in findings)
+
+    def test_store_escape_into_object_state(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                class Holder:
+                    def warm(self, ws, n, dtype):
+                        self._buf = ws._arena_view(n, n, dtype)
+                """,
+            },
+            select={"RL014"},
+        )
+        assert rules_of(findings) == ["RL014"]
+        assert "stored into object/module state" in findings[0].message
+
+    def test_view_live_across_arena_reuse(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                def double(ws, x, dtype):
+                    buf = ws._arena_view(4, 4, dtype)
+                    spec = ws.rfft(x)
+                    total = buf.sum()
+                    return float(total) + float(spec.sum())
+                """,
+            },
+            select={"RL014"},
+        )
+        assert rules_of(findings) == ["RL014"]
+        assert "reused the arena" in findings[0].message
+
+    def test_view_consumed_before_reuse_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                def safe(ws, x, dtype):
+                    buf = ws._arena_view(4, 4, dtype)
+                    total = float(buf.sum())
+                    ws.rfft(x)
+                    return total
+                """,
+            },
+            select={"RL014"},
+        )
+        assert findings == []
+
+    def test_reuse_on_other_workspace_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                def mixed(ws_a, ws_b, x, dtype):
+                    buf = ws_a._arena_view(4, 4, dtype)
+                    ws_b.rfft(x)
+                    return float(buf.sum())
+                """,
+            },
+            select={"RL014"},
+        )
+        assert findings == []
+
+    def test_owner_module_arena_write_outside_lock(self, tmp_path):
+        files = dict(WORKSPACE_STUB)
+        files["src/repro/distributions/workspace.py"] = """
+            import threading
+
+            class FFTWorkspace:
+                def __init__(self, nfft):
+                    self.nfft = nfft
+                    self._lock = threading.RLock()
+
+                def _arena_view(self, arena, rows, width):
+                    arena.buf[:, width:] = 0.0
+                    arena.fill = width
+                    return arena.buf[:rows]
+            """
+        findings = run_resources(tmp_path, files, select={"RL014"})
+        assert rules_of(findings) == ["RL014", "RL014"]
+        assert "outside the workspace lock" in findings[0].message
+
+    def test_owner_module_locked_write_is_clean(self, tmp_path):
+        files = dict(WORKSPACE_STUB)
+        files["src/repro/distributions/workspace.py"] = """
+            import threading
+
+            class FFTWorkspace:
+                def __init__(self, nfft):
+                    self.nfft = nfft
+                    self._lock = threading.RLock()
+
+                def _arena_view(self, arena, rows, width):
+                    with self._lock:
+                        arena.buf[:, width:] = 0.0
+                        arena.fill = width
+                        return arena.buf[:rows]
+            """
+        findings = run_resources(tmp_path, files, select={"RL014"})
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL015 — shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestRL015:
+    def test_unmanaged_publish(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import publish_arrays
+
+                def broadcast(arrays):
+                    handle = publish_arrays(arrays)
+                    return handle.name
+                """,
+            },
+            select={"RL015"},
+        )
+        assert rules_of(findings) == ["RL015"]
+        assert "fork_map" in findings[0].message
+
+    def test_context_managed_publish_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import publish_arrays
+
+                def broadcast(arrays, work):
+                    with publish_arrays(arrays) as handle:
+                        return work(handle)
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+    def test_finally_guarded_publish_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import publish_arrays
+
+                def broadcast(arrays, work):
+                    handle = publish_arrays(arrays)
+                    try:
+                        return work(handle)
+                    finally:
+                        handle.close()
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+    def test_returned_publish_is_the_callers_problem(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import publish_arrays
+
+                def open_segment(arrays):
+                    return publish_arrays(arrays)
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+    def test_use_after_unlink(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def teardown(seg):
+                    seg.unlink()
+                    return seg
+                """,
+            },
+            select={"RL015"},
+        )
+        assert rules_of(findings) == ["RL015"]
+        assert "after unlink()" in findings[0].message
+
+    def test_rebound_handle_after_unlink_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def recycle(seg, fresh):
+                    seg.unlink()
+                    seg = fresh
+                    return seg
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+    def test_unregistered_create_window(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                _OWNED_SEGMENTS = {}
+
+                def make(name, payload, compute):
+                    seg = SharedMemory(create=True, size=64, name=name)
+                    checksum = compute(payload)
+                    _OWNED_SEGMENTS[name] = seg
+                    return seg, checksum
+                """,
+            },
+            select={"RL015"},
+        )
+        assert rules_of(findings) == ["RL015"]
+        assert "atexit sweep" in findings[0].message
+
+    def test_register_before_fill_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                _OWNED_SEGMENTS = {}
+
+                def make(name, payload, compute):
+                    seg = SharedMemory(create=True, size=64, name=name)
+                    _OWNED_SEGMENTS[name] = seg
+                    checksum = compute(payload)
+                    return seg, checksum
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+    def test_close_guarded_create_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                _OWNED_SEGMENTS = {}
+
+                def make(name, payload, compute):
+                    seg = SharedMemory(create=True, size=64, name=name)
+                    try:
+                        checksum = compute(payload)
+                    except Exception:
+                        seg.close()
+                        raise
+                    _OWNED_SEGMENTS[name] = seg
+                    return seg, checksum
+                """,
+            },
+            select={"RL015"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL016 — dtype-flow contamination
+# ----------------------------------------------------------------------
+class TestRL016:
+    def test_float32_reaches_cdf_accumulation(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                def cdf_mass(x):
+                    small = np.float32(x)
+                    return np.cumsum(small)
+                """,
+            },
+            select={"RL016"},
+        )
+        assert rules_of(findings) == ["RL016"]
+        assert "float32" in findings[0].message
+        assert "cumsum" in findings[0].message
+
+    def test_contamination_through_helper(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                def compact(x):
+                    return np.asarray(x, dtype=np.float32)
+
+                def summarize(x):
+                    return np.mean(compact(x))
+                """,
+            },
+            select={"RL016"},
+        )
+        assert rules_of(findings) == ["RL016"]
+        assert findings[0].path == "src/repro/app.py"
+
+    def test_float64_cast_sanitizes(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                def cdf_mass(x):
+                    small = np.float32(x)
+                    wide = small.astype(np.float64)
+                    return np.cumsum(wide)
+                """,
+            },
+            select={"RL016"},
+        )
+        assert findings == []
+
+    def test_sink_with_float64_dtype_kwarg_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                def cdf_mass(x):
+                    small = np.float32(x)
+                    return np.cumsum(small, dtype=np.float64)
+                """,
+            },
+            select={"RL016"},
+        )
+        assert findings == []
+
+    def test_float64_values_are_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                import numpy as np
+
+                def cdf_mass(x):
+                    wide = np.asarray(x, dtype=np.float64)
+                    return np.cumsum(wide)
+                """,
+            },
+            select={"RL016"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL017 — jit-twin parity
+# ----------------------------------------------------------------------
+def jit_module(body):
+    return {
+        "src/repro/__init__.py": "",
+        "src/repro/distributions/__init__.py": "",
+        "src/repro/distributions/jit_kernels.py": body,
+    }
+
+
+JIT_TEST = {
+    "tests/__init__.py": "",
+    "tests/test_kernels.py": """
+        from repro.distributions.jit_kernels import scale
+
+        def test_scale():
+            assert scale(1.0) == 2.0
+        """,
+}
+
+
+class TestRL017:
+    def test_well_formed_pair_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def _scale_py(out):
+                        return out * 2.0
+
+                    def scale(out, jit=False):
+                        if jit and HAVE_NUMBA:
+                            return _scale_py(out)
+                        return _scale_py(out)
+                    """
+                ),
+                **JIT_TEST,
+            },
+            select={"RL017"},
+        )
+        assert findings == []
+
+    def test_twin_without_dispatcher(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            jit_module(
+                """
+                HAVE_NUMBA = False
+
+                def _orphan_py(out):
+                    return out
+                """
+            ),
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "no public dispatcher" in findings[0].message
+
+    def test_signature_drift(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def _scale_py(out, factor):
+                        return out * factor
+
+                    def scale(vec, jit=False):
+                        if jit and HAVE_NUMBA:
+                            return _scale_py(vec, 2.0)
+                        return _scale_py(vec, 2.0)
+                    """
+                ),
+                **JIT_TEST,
+            },
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "signature drift" in findings[0].message
+
+    def test_dispatcher_without_gate(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def _scale_py(out):
+                        return out * 2.0
+
+                    def scale(out, jit=False):
+                        if jit:
+                            return _scale_py(out)
+                        return _scale_py(out)
+                    """
+                ),
+                **JIT_TEST,
+            },
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "HAVE_NUMBA" in findings[0].message
+
+    def test_dtype_promotion_divergence(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    import numpy as np
+
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def _scale_py(out):
+                        return out.astype(np.float64) * 2.0
+
+                    def scale(out, jit=False):
+                        if jit and HAVE_NUMBA:
+                            return _scale_py(out).astype(np.float32)
+                        return _scale_py(out)
+                    """
+                ),
+                **JIT_TEST,
+            },
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "dtype promotion divergence" in findings[0].message
+
+    def test_untested_kernel(self, tmp_path):
+        # the scope DOES include tests — they just never reference scale
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def _scale_py(out):
+                        return out * 2.0
+
+                    def scale(out, jit=False):
+                        if jit and HAVE_NUMBA:
+                            return _scale_py(out)
+                        return _scale_py(out)
+                    """
+                ),
+                "tests/__init__.py": "",
+                "tests/test_other.py": """
+                    from repro.core import something_else
+
+                    def test_unrelated():
+                        assert something_else() is not None
+                    """,
+            },
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "referenced by no test" in findings[0].message
+
+    def test_scope_without_tests_skips_coverage_check(self, tmp_path):
+        # linting src alone must not demand test references it cannot see
+        findings = run_resources(
+            tmp_path,
+            jit_module(
+                """
+                HAVE_NUMBA = False
+
+                __all__ = ["scale"]
+
+                def _scale_py(out):
+                    return out * 2.0
+
+                def scale(out, jit=False):
+                    if jit and HAVE_NUMBA:
+                        return _scale_py(out)
+                    return _scale_py(out)
+                """
+            ),
+            select={"RL017"},
+        )
+        assert findings == []
+
+    def test_gated_kernel_without_twin(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **jit_module(
+                    """
+                    HAVE_NUMBA = False
+
+                    __all__ = ["scale"]
+
+                    def scale(out, jit=False):
+                        if jit and HAVE_NUMBA:
+                            return out * 2.0
+                        return out * 2.0
+                    """
+                ),
+                **JIT_TEST,
+            },
+            select={"RL017"},
+        )
+        assert rules_of(findings) == ["RL017"]
+        assert "has no NumPy twin" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# RL018 — engine-capability mismatch
+# ----------------------------------------------------------------------
+class TestRL018:
+    def test_vector_engine_with_info_period(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.simulation import DCSSimulator
+
+                def build(model):
+                    return DCSSimulator(model, engine="vector", info_period=3.0)
+                """,
+            },
+            select={"RL018"},
+        )
+        assert rules_of(findings) == ["RL018"]
+        assert "info_period" in findings[0].message
+
+    def test_event_engine_with_info_period_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.simulation import DCSSimulator
+
+                def build(model):
+                    return DCSSimulator(model, engine="event", info_period=3.0)
+                """,
+            },
+            select={"RL018"},
+        )
+        assert findings == []
+
+    def test_restricted_method_on_vector_local(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.simulation import DCSSimulator
+
+                def build(model, rate):
+                    sim = DCSSimulator(model, engine="vector")
+                    sim.with_arrivals(rate)
+                    return sim
+                """,
+            },
+            select={"RL018"},
+        )
+        assert rules_of(findings) == ["RL018"]
+        assert "with_arrivals" in findings[0].message
+
+    def test_rejected_fault_plan_into_vector_run(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.faults import FaultPlan
+                from repro.simulation import DCSSimulator
+
+                def campaign(model, loads, policy, rng):
+                    plan = FaultPlan(seed=7, fn_loss=0.1)
+                    sim = DCSSimulator(model, engine="vector")
+                    return sim.run_batch(loads, policy, rng, faults=plan)
+                """,
+            },
+            select={"RL018"},
+        )
+        assert rules_of(findings) == ["RL018"]
+        assert "fn_loss" in findings[0].message
+
+    def test_standard_factory_into_vector_constructor(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.faults import FaultPlan
+                from repro.simulation import DCSSimulator
+
+                def build(model):
+                    return DCSSimulator(
+                        model, engine="vector", faults=FaultPlan.standard()
+                    )
+                """,
+            },
+            select={"RL018"},
+        )
+        assert rules_of(findings) == ["RL018"]
+        assert "standard" in findings[0].message
+
+    def test_supported_fault_plan_on_vector_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.faults import FaultPlan
+                from repro.simulation import DCSSimulator
+
+                def campaign(model, loads, policy, rng):
+                    plan = FaultPlan(seed=7, group_loss=0.05, fn_loss=0.0)
+                    sim = DCSSimulator(model, engine="vector")
+                    return sim.run_batch(loads, policy, rng, faults=plan)
+                """,
+            },
+            select={"RL018"},
+        )
+        assert findings == []
+
+    def test_rejected_plan_on_event_engine_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.faults import FaultPlan
+                from repro.simulation import DCSSimulator
+
+                def campaign(model, loads, policy, rng):
+                    plan = FaultPlan(seed=7, fn_loss=0.1)
+                    sim = DCSSimulator(model, engine="event")
+                    return sim.run(loads, policy, rng, faults=plan)
+                """,
+            },
+            select={"RL018"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL019 — workspace-cache key completeness
+# ----------------------------------------------------------------------
+class TestRL019:
+    def test_key_without_dtype_element(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def spectrum(ws, metric, vec):
+                    key = ("survival", metric, len(vec))
+                    return ws.cached_spectrum(key, vec)
+                """,
+            },
+            select={"RL019"},
+        )
+        assert rules_of(findings) == ["RL019"]
+        assert "omits the arena dtype" in findings[0].message
+
+    def test_inline_key_without_dtype_element(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def spectrum(ws, metric, vec):
+                    return ws.cached_spectrum(("survival", metric), vec)
+                """,
+            },
+            select={"RL019"},
+        )
+        assert rules_of(findings) == ["RL019"]
+
+    def test_key_with_dtype_str_is_clean(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def spectrum(ws, metric, vec):
+                    key = ("survival", metric, vec.dtype.str, len(vec))
+                    return ws.cached_spectrum(key, vec)
+                """,
+            },
+            select={"RL019"},
+        )
+        assert findings == []
+
+    def test_opaque_key_parameter_is_the_callers_contract(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                def spectrum(ws, key, vec):
+                    return ws.cached_spectrum(key, vec)
+                """,
+            },
+            select={"RL019"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# engine integration: suppressions, selection, baseline plumbing
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_suppression_comment_blesses_a_finding(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {
+                **WORKSPACE_STUB,
+                "src/repro/app.py": """
+                class Holder:
+                    def warm(self, ws, n, dtype):
+                        # repro-lint: disable-next-line=RL014
+                        self._buf = ws._arena_view(n, n, dtype)
+                """,
+            },
+            select={"RL014"},
+        )
+        assert findings == []
+
+    def test_select_and_ignore_gate_resource_rules(self, tmp_path):
+        files = {
+            "src/repro/app.py": """
+            def teardown(seg, ws, metric, vec):
+                seg.unlink()
+                out = ws.cached_spectrum(("k", metric), vec)
+                return seg, out
+            """,
+        }
+        only_19 = run_resources(tmp_path, files, select={"RL019"})
+        assert rules_of(only_19) == ["RL019"]
+        no_19 = run_resources(
+            tmp_path,
+            files,
+            config=LintConfig(select={"RL015", "RL019"}, ignore={"RL019"}),
+        )
+        assert rules_of(no_19) == ["RL015"]
+
+    def test_disabled_rules_skip_extraction_entirely(self, tmp_path):
+        findings = run_resources(
+            tmp_path,
+            {"src/repro/app.py": "x = 1\n"},
+            select={"RL001"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the repository satisfies its own resource rules
+# ----------------------------------------------------------------------
+def test_repository_is_resources_clean():
+    """`src/repro` (and the rest of the tree) is clean under RL014-19."""
+    findings = lint_paths(
+        ["src", "tests", "benchmarks", "tools", "examples"],
+        LintConfig(select=set(RESOURCE_RULES)),
+        root=REPO_ROOT,
+        resources=ResourceOptions(),
+    )
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+    )

@@ -90,18 +90,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "(interprocedural taint + fork_map safety)",
     )
     parser.add_argument(
+        "--resources",
+        action="store_true",
+        help="also run the resource- and numeric-safety rules RL014-RL019 "
+        "(arena aliasing, shared-memory lifecycle, dtype flow, jit-twin "
+        "parity, engine capabilities, cache-key completeness)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite files in place to fix mechanically-safe findings "
+        "(RL007 mutable defaults, RL008 math.* in hot paths), then lint "
+        "the fixed tree",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for --flow summary extraction (default: 1)",
+        help="worker processes for --flow/--resources summary extraction "
+        "(default: 1)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="content-addressed summary cache for --flow; warm re-runs "
-        "skip parsing entirely",
+        help="content-addressed summary cache shared by --flow and "
+        "--resources; warm re-runs skip parsing entirely",
     )
     parser.add_argument(
         "--baseline",
@@ -219,9 +234,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .flow import FlowOptions
 
         flow_options = FlowOptions(jobs=args.jobs, cache_dir=args.cache_dir)
+    resource_options = None
+    if args.resources:
+        from .resources import ResourceOptions
+
+        resource_options = ResourceOptions(
+            jobs=args.jobs, cache_dir=args.cache_dir
+        )
+    if args.fix:
+        from .fix import fix_paths
+
+        try:
+            fixed = fix_paths(args.paths, config=config, root=root)
+        except FileNotFoundError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        for rel, count in sorted(fixed.items()):
+            print(f"fixed {count} finding(s) in {rel}", file=sys.stderr)
     try:
         findings: List[Finding] = lint_paths(
-            args.paths, config=config, root=root, flow=flow_options
+            args.paths,
+            config=config,
+            root=root,
+            flow=flow_options,
+            resources=resource_options,
         )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)

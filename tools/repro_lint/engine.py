@@ -202,14 +202,17 @@ def lint_paths(
     config: Optional[LintConfig] = None,
     root: Optional[Path] = None,
     flow: Optional[object] = None,
+    resources: Optional[object] = None,
 ) -> List[Finding]:
     """Lint files/directories and return suppression-filtered findings.
 
     ``root`` anchors the repo-relative paths the zone configuration matches
     against (defaults to the current working directory).  Passing a
     :class:`repro_lint.flow.FlowOptions` as ``flow`` additionally runs the
-    whole-program rules (RL010–RL013) over the same file set; their
-    findings go through the same suppression filter as everything else.
+    whole-program rules (RL010–RL013) over the same file set; a
+    :class:`repro_lint.resources.ResourceOptions` as ``resources`` runs
+    the resource- and numeric-safety rules (RL014–RL019).  Both go
+    through the same suppression filter as everything else.
     """
     # imported here to avoid a cycle: rule modules import the engine types
     from .registry import FILE_RULES, PROJECT_RULES
@@ -254,6 +257,10 @@ def lint_paths(
         from .flow import run_flow_rules
 
         raw.extend(run_flow_rules(contexts, cfg, flow))
+    if resources is not None:
+        from .resources import run_resource_rules
+
+        raw.extend(run_resource_rules(contexts, cfg, resources))
 
     by_file: Dict[str, _Suppressions] = {
         ctx.rel_path: _Suppressions(ctx.source) for ctx in contexts

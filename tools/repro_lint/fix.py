@@ -1,0 +1,247 @@
+"""Mechanical autofixes for ``repro-lint --fix``.
+
+Only findings with one canonical, behavior-preserving rewrite are
+eligible:
+
+* **RL007** (mutable default argument) — the default becomes ``None``
+  and an ``if param is None: param = <original>`` guard is inserted
+  after the docstring, which is the fix the rule's message prescribes.
+  Lambdas are left alone (there is no body to guard in).
+* **RL008** (scalar ``math.*`` on a hot-path array argument) — the
+  ``math.<fn>`` reference is rewritten to the ``np.<ufunc>`` spelling
+  (``asin`` → ``arcsin`` etc.); ``import numpy as np`` is added when the
+  module does not already bind ``np``.  ``erf``/``erfc``/``gamma``/
+  ``lgamma`` have no plain NumPy ufunc and are skipped.
+
+Fixes re-run the rules' own detectors, so a clean file stays untouched
+and a second ``--fix`` pass is a no-op; suppression comments are
+honoured exactly as when linting.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import (
+    Finding,
+    LintConfig,
+    _parse,
+    _relativize,
+    _Suppressions,
+    collect_files,
+)
+from .imports import ImportTracker
+from .rules import _MATH_TRANSCENDENTAL, _array_param_name, _is_mutable_default
+
+__all__ = ["fix_paths", "fix_source"]
+
+#: math.<name> -> np.<name> — identity unless NumPy spells it differently
+_NP_NAMES: Dict[str, str] = {
+    "asin": "arcsin",
+    "acos": "arccos",
+    "atan": "arctan",
+    "atan2": "arctan2",
+    "pow": "power",
+}
+#: transcendentals with no plain ``np.*`` ufunc (live in scipy.special)
+_NO_NP_UFUNC = frozenset({"erf", "erfc", "gamma", "lgamma"})
+
+#: one text edit: replace ``source[start:end]`` with ``text``
+_Edit = Tuple[int, int, str]
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: List[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _suppressed(supp: _Suppressions, rule: str, rel: str, line: int) -> bool:
+    return supp.suppressed(Finding(rule=rule, path=rel, line=line, col=0, message=""))
+
+
+def _fix_rl007(
+    source: str,
+    tree: ast.Module,
+    rel: str,
+    offsets: List[int],
+    supp: _Suppressions,
+) -> List[_Edit]:
+    edits: List[_Edit] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # pair every defaulted parameter with its default expression
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        pairs: List[Tuple[str, ast.expr]] = []
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            pairs.append((arg.arg, default))
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                pairs.append((arg.arg, default))
+
+        guards: List[Tuple[str, str]] = []
+        for param, default in pairs:
+            if not _is_mutable_default(default):
+                continue
+            if _suppressed(supp, "RL007", rel, default.lineno):
+                continue
+            original = ast.get_source_segment(source, default)
+            if original is None or "\n" in original:
+                continue  # multi-line default: not mechanically safe
+            start = _offset(offsets, default.lineno, default.col_offset)
+            end = _offset(offsets, default.end_lineno, default.end_col_offset)
+            edits.append((start, end, "None"))
+            guards.append((param, original))
+
+        if not guards:
+            continue
+        body = node.body
+        insert_at = 0
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            insert_at = 1
+        anchor = body[insert_at] if insert_at < len(body) else body[-1]
+        indent = " " * anchor.col_offset
+        text = "".join(
+            f"{indent}if {param} is None:\n{indent}    {param} = {original}\n"
+            for param, original in guards
+        )
+        pos = offsets[anchor.lineno - 1]
+        edits.append((pos, pos, text))
+    return edits
+
+
+def _np_bound(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.asname or alias.name) == "np":
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if (alias.asname or alias.name) == "np":
+                    return True
+    return False
+
+
+def _import_insertion_line(tree: ast.Module) -> int:
+    """1-based line *before* which ``import numpy as np`` goes."""
+    line = 1
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            line = (node.end_lineno or node.lineno) + 1
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            and line == 1
+        ):
+            line = (node.end_lineno or node.lineno) + 1
+    return line
+
+
+def _fix_rl008(
+    source: str,
+    tree: ast.Module,
+    rel: str,
+    offsets: List[int],
+    supp: _Suppressions,
+    config: LintConfig,
+) -> List[_Edit]:
+    if not any(rel.startswith(zone) for zone in config.hot_path_zones):
+        return []
+    imports = ImportTracker(tree)
+    edits: List[_Edit] = []
+    needs_np = False
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.FunctionDef) or fn.name not in config.hot_path_methods:
+            continue
+        param = _array_param_name(fn)
+        if param is None:
+            continue
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = imports.qualify(node.func)
+            if qual is None or not qual.startswith("math."):
+                continue
+            name = qual[len("math."):]
+            if name not in _MATH_TRANSCENDENTAL or name in _NO_NP_UFUNC:
+                continue
+            touches_param = any(
+                isinstance(sub, ast.Name) and sub.id == param
+                for arg in node.args
+                for sub in ast.walk(arg)
+            )
+            if not touches_param:
+                continue
+            if _suppressed(supp, "RL008", rel, node.lineno):
+                continue
+            func = node.func
+            start = _offset(offsets, func.lineno, func.col_offset)
+            end = _offset(offsets, func.end_lineno, func.end_col_offset)
+            edits.append((start, end, f"np.{_NP_NAMES.get(name, name)}"))
+            needs_np = True
+    if needs_np and not _np_bound(tree):
+        pos = offsets[_import_insertion_line(tree) - 1]
+        edits.append((pos, pos, "import numpy as np\n"))
+    return edits
+
+
+def fix_source(source: str, rel: str, config: Optional[LintConfig] = None) -> Tuple[str, int]:
+    """Return ``(fixed source, number of fixes applied)`` for one module."""
+    cfg = config or LintConfig()
+    tree = ast.parse(source)
+    offsets = _line_offsets(source)
+    supp = _Suppressions(source)
+    edits: List[_Edit] = []
+    if cfg.enabled("RL007"):
+        edits.extend(_fix_rl007(source, tree, rel, offsets, supp))
+    if cfg.enabled("RL008"):
+        edits.extend(_fix_rl008(source, tree, rel, offsets, supp, cfg))
+    if not edits:
+        return source, 0
+    # guard/import insertions ride along with their replacement edits and
+    # do not count as separate fixes
+    count = sum(1 for start, end, _text in edits if start != end)
+    fixed = source
+    for start, end, text in sorted(edits, key=lambda e: (e[0], e[1]), reverse=True):
+        fixed = fixed[:start] + text + fixed[end:]
+    return fixed, count
+
+
+def fix_paths(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> Dict[str, int]:
+    """Apply the autofixes in place; ``{rel_path: fix count}`` of changed
+    files.  Files that do not parse are skipped (the subsequent lint run
+    reports them as RL000)."""
+    cfg = config or LintConfig()
+    base = root or Path.cwd()
+    fixed_counts: Dict[str, int] = {}
+    for path in collect_files(paths, root=base):
+        rel = _relativize(path, base)
+        try:
+            source, _tree = _parse(path)
+        except SyntaxError:
+            continue
+        fixed, count = fix_source(source, rel, cfg)
+        if count and fixed != source:
+            path.write_text(fixed, encoding="utf-8")
+            fixed_counts[rel] = count
+    return fixed_counts

@@ -50,7 +50,14 @@ def _cap_kinds(kinds: Set[KindProv]) -> Set[KindProv]:
 
 
 class TaintAnalysis:
-    """Computes and stores the interprocedural taint facts."""
+    """Computes and stores the interprocedural taint facts.
+
+    The machinery is generic over the taint *model*: which kinds exist,
+    which kinds sanitizers strip, which rule id findings carry and how
+    they are worded.  The defaults encode the determinism analysis
+    (RL010); the resource pass instantiates the same engine with a
+    float32 model (RL016) by overriding the attributes below.
+    """
 
     def __init__(self, index: ProgramIndex, config: FlowConfig):
         self.index = index
@@ -59,6 +66,28 @@ class TaintAnalysis:
         self.ret_params: Dict[str, Set[str]] = {}
         self._sink_by_name: Dict[str, SinkSpec] = {s.qualname: s for s in config.sinks}
         self._callers: Optional[Dict[str, List[Tuple[FunctionSummary, int]]]] = None
+        #: rule id stamped on findings
+        self.rule_id: str = "RL010"
+        #: advice appended to every finding message
+        self.advice: str = (
+            "make the input deterministic or hoist it out of the "
+            "fingerprinted/serialized data"
+        )
+        #: kind -> human description used in finding messages
+        self.kind_labels: Dict[str, str] = dict(SOURCE_KINDS)
+        #: kinds a ``sanitizer`` call site strips from its result
+        self.sanitized_kinds: FrozenSet[str] = _ORDER_KINDS
+        #: restrict findings to these kinds (``None`` = all kinds)
+        self.kinds_of_interest: Optional[FrozenSet[str]] = None
+        #: skip sink call sites that are themselves sanitizers (a sink
+        #: like ``np.cumsum(x, dtype=np.float64)`` fixes the dtype at the
+        #: site, so the float32 operand is harmless there)
+        self.skip_sanitized_sinks: bool = False
+
+    def _interesting(self, kinds: Set[KindProv]) -> Set[KindProv]:
+        if self.kinds_of_interest is None:
+            return kinds
+        return {kp for kp in kinds if kp[0] in self.kinds_of_interest}
 
     # -- atom expansion ------------------------------------------------
     def expand(
@@ -152,7 +181,7 @@ class TaintAnalysis:
                         kinds.update(k)
                         params.update(p)
         if site.sanitizer:
-            kinds = {kp for kp in kinds if kp[0] not in _ORDER_KINDS}
+            kinds = {kp for kp in kinds if kp[0] not in self.sanitized_kinds}
         return kinds, params
 
     # -- global fixpoint -----------------------------------------------
@@ -224,15 +253,14 @@ class TaintAnalysis:
                     via = " via " + " -> ".join(_short(q) for q in chain)
                 findings.append(
                     Finding(
-                        rule="RL010",
+                        rule=self.rule_id,
                         path=rel,
                         line=line,
                         col=0,
                         message=(
-                            f"{SOURCE_KINDS[kind]} (from {_short_prov(prov)}) "
-                            f"flows into {label}{via}; make the input "
-                            f"deterministic or hoist it out of the "
-                            f"fingerprinted/serialized data"
+                            f"{self.kind_labels.get(kind, kind)} "
+                            f"(from {_short_prov(prov)}) "
+                            f"flows into {label}{via}; {self.advice}"
                         ),
                     )
                 )
@@ -242,10 +270,13 @@ class TaintAnalysis:
                 spec = self._sink_for(site.callee)
                 if spec is None:
                     continue
+                if site.sanitizer and self.skip_sanitized_sinks:
+                    continue
                 pooled = self._sink_atoms(site, spec)
                 if not pooled:
                     continue
                 kinds, params = self.expand(fn, pooled)
+                kinds = self._interesting(kinds)
                 if kinds:
                     emit(fn, site.line, kinds, spec.label, ())
                 for p in params:
@@ -269,6 +300,7 @@ class TaintAnalysis:
                 if not atoms:
                     continue
                 kinds, params = self.expand(caller, atoms)
+                kinds = self._interesting(kinds)
                 if kinds:
                     emit(caller, site.line, kinds, label, chain)
                 for q in params:

@@ -21,6 +21,7 @@ __all__ = [
     "FILE_RULES",
     "PROJECT_RULES",
     "FLOW_RULES",
+    "RESOURCE_RULES",
     "ALL_RULES",
     "rule_catalogue",
 ]
@@ -60,7 +61,32 @@ FLOW_RULES: Dict[str, str] = {
     "(nested fan-out raises at runtime).",
 }
 
-ALL_RULES: List[str] = sorted([*FILE_RULES, *PROJECT_RULES, *FLOW_RULES])
+#: resource- and numeric-safety rules implemented by
+#: :mod:`repro_lint.resources` — like the flow rules they need the
+#: whole-program view, so they run through
+#: :func:`repro_lint.resources.run_resource_rules` (opt-in via
+#: ``--resources``) rather than the per-file dispatch tables.
+RESOURCE_RULES: Dict[str, str] = {
+    "RL014": "A live view into a reusable FFT/shared-memory arena escapes "
+    "(returned, stored, or read after the arena was rewritten), or arena "
+    "state is mutated outside the workspace lock.",
+    "RL015": "Named shared-memory segment lifecycle violation: publish "
+    "without close/unlink on all paths, use-after-unlink, or a segment "
+    "created before it is registered for cleanup.",
+    "RL016": "A float32-typed value flows into float64-contracted "
+    "CDF/difference/mean algebra or a cache-fingerprint site.",
+    "RL017": "A numba jit kernel and its NumPy twin drifted apart "
+    "(signature, dtype promotion, gating, export, or test coverage).",
+    "RL018": "Gossip/rebalancing/arrival options or FN/duplicate fault "
+    "channels are fed into an engine='vector' simulator that rejects them "
+    "at runtime.",
+    "RL019": "A workspace LRU cache key omits an argument (dtype) that "
+    "changes the cached arena's representation.",
+}
+
+ALL_RULES: List[str] = sorted(
+    [*FILE_RULES, *PROJECT_RULES, *FLOW_RULES, *RESOURCE_RULES]
+)
 
 
 def rule_catalogue() -> Dict[str, str]:
@@ -70,4 +96,5 @@ def rule_catalogue() -> Dict[str, str]:
         doc = (fn.__doc__ or "").strip().splitlines()
         out[rule_id] = doc[0] if doc else ""
     out.update(FLOW_RULES)
+    out.update(RESOURCE_RULES)
     return dict(sorted(out.items()))

@@ -1,0 +1,20 @@
+"""Resource- and numeric-safety pass (RL014–RL019).
+
+Companion to :mod:`repro_lint.flow`: where the flow layer tracks
+*determinism* (seeds, ordering, fork_map hygiene), this package tracks
+*resources and numerics* — arena-view aliasing into the reusable FFT
+workspaces, named shared-memory lifecycle, float32 contamination of
+float64-contracted algebra, numba/NumPy twin parity, engine capability
+mismatches and workspace-cache key completeness.
+"""
+
+from .config import KeyedCacheSpec, ResourceConfig, ResourceOptions
+from .runner import RESOURCE_RULE_IDS, run_resource_rules
+
+__all__ = [
+    "KeyedCacheSpec",
+    "RESOURCE_RULE_IDS",
+    "ResourceConfig",
+    "ResourceOptions",
+    "run_resource_rules",
+]

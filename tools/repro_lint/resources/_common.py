@@ -1,0 +1,96 @@
+"""Small AST helpers shared by the resource rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..engine import FileContext, Finding
+
+__all__ = [
+    "finding",
+    "call_name",
+    "last_component",
+    "receiver_chain",
+    "receiver_root",
+    "iter_functions",
+    "literal_exports",
+]
+
+
+def finding(
+    ctx: FileContext, rule: str, node: ast.AST, message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=ctx.rel_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Final name component of a call's target (``ws._arena_view`` ->
+    ``_arena_view``; ``publish_arrays`` -> itself)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def last_component(name: Optional[str]) -> Optional[str]:
+    """Final dotted component of a resolved callee (handles ``?.m``)."""
+    if name is None:
+        return None
+    return name.rpartition(".")[2]
+
+
+def receiver_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Dotted name chain of an expression (``self._shm`` ->
+    ``("self", "_shm")``), or ``None`` for non-name expressions."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return tuple(reversed(parts))
+
+
+def receiver_root(call: ast.Call) -> Optional[str]:
+    """Root name of an attribute call's receiver (``ws.rfft(x)`` -> ``ws``)."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    chain = receiver_chain(call.func.value)
+    return chain[0] if chain else None
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]
+
+
+def literal_exports(tree: ast.Module) -> Optional[List[str]]:
+    """Names in a literal module-level ``__all__`` (``None`` = absent)."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            out = []
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append(elt.value)
+            return out
+    return None

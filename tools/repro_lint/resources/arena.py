@@ -1,0 +1,278 @@
+"""RL014 — arena-view escape.
+
+The FFT workspaces hand out *views into reusable arenas*: the buffer
+behind the view is rewritten by the next workspace call that touches the
+same arena.  A view is therefore only safe while it is (a) local, (b)
+consumed before any further arena-touching call, and (c) handled inside
+the owner module, whose lock discipline the rest of the codebase cannot
+see.  Four escape shapes are flagged:
+
+1. **return-escape** — a function outside the owner modules returns a
+   live view (tracked interprocedurally through the call graph);
+2. **store-escape** — a view is stored into object/module state, where
+   it outlives the frame that knows when the arena is rewritten;
+3. **live-across-reuse** — a view is read after a second arena-touching
+   call on the same workspace already rewrote the buffer;
+4. **unsynchronized state write** — arena buffers or their ``fill``
+   invariant are mutated outside the workspace lock inside an owner
+   module (two threads then zero each other's payload mid-transform).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import FileContext, Finding
+from ..flow.program import ProgramIndex
+from ._common import (
+    call_name,
+    finding,
+    iter_functions,
+    last_component,
+    receiver_root,
+)
+from .config import ResourceConfig
+
+__all__ = ["run_arena_rule"]
+
+_RULE = "RL014"
+
+
+def _return_escapes(
+    index: Optional[ProgramIndex], cfg: ResourceConfig
+) -> List[Tuple[str, str, int]]:
+    """``(rel_path, qualname, line)`` of view-returning functions outside
+    the owner modules (fixpoint over functions returning producer calls)."""
+    if index is None:
+        return []
+    producers: Set[str] = {
+        qual
+        for qual in index.functions
+        if last_component(qual) in cfg.arena_view_methods
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual, fn in index.functions.items():
+            if qual in producers:
+                continue
+            for atom in fn.returns:
+                if atom[0] != "call" or atom[1] >= len(fn.callsites):
+                    continue
+                site = fn.callsites[atom[1]]
+                callee_last = last_component(site.callee)
+                if callee_last in cfg.arena_view_methods:
+                    producers.add(qual)
+                    changed = True
+                    break
+                callee = index.callee_function(site.callee)
+                if callee is not None and callee.qualname in producers:
+                    producers.add(qual)
+                    changed = True
+                    break
+    out = []
+    for qual in sorted(producers):
+        if last_component(qual) in cfg.arena_view_methods:
+            continue  # the producer itself is the owner-module primitive
+        rel = index.file_of.get(qual)
+        if rel is None or rel in cfg.arena_owner_modules:
+            continue
+        out.append((rel, qual, index.functions[qual].line))
+    return out
+
+
+def _view_bindings(
+    fn: ast.FunctionDef, cfg: ResourceConfig
+) -> Dict[str, Tuple[int, Optional[str]]]:
+    """Locals bound to a fresh arena view: name -> (line, receiver root)."""
+    views: Dict[str, Tuple[int, Optional[str]]] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if call_name(node.value) not in cfg.arena_view_methods:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                views[target.id] = (node.lineno, receiver_root(node.value))
+    return views
+
+
+def _check_function_body(
+    ctx: FileContext, fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    views = _view_bindings(fn, cfg)
+
+    # store-escape: a view (or a fresh producer call) assigned to
+    # attribute/subscript state
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_view = (
+            isinstance(value, ast.Call)
+            and call_name(value) in cfg.arena_view_methods
+        ) or (
+            isinstance(value, ast.Name)
+            and value.id in views
+            and node.lineno > views[value.id][0]
+        )
+        if not is_view:
+            continue
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        node,
+                        "arena view stored into object/module state; the "
+                        "buffer behind it is rewritten by the next workspace "
+                        "call — copy the payload instead of keeping the view",
+                    )
+                )
+
+    # live-across-reuse: a view read after a later arena-touching call on
+    # the same workspace receiver
+    if views:
+        reuse_calls: List[Tuple[int, Optional[str]]] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and (
+                call_name(node) in cfg.arena_reuse_methods
+            ):
+                reuse_calls.append((node.lineno, receiver_root(node)))
+        for name, (bind_line, recv) in views.items():
+            barrier: Optional[int] = None
+            for line, r in reuse_calls:
+                if line > bind_line and (recv is None or r is None or r == recv):
+                    if barrier is None or line < barrier:
+                        barrier = line
+            if barrier is None:
+                continue
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                    and node.lineno > barrier
+                ):
+                    findings.append(
+                        finding(
+                            ctx,
+                            _RULE,
+                            node,
+                            f"arena view {name!r} (bound at line {bind_line}) "
+                            f"is read after the workspace call at line "
+                            f"{barrier} reused the arena; consume or copy the "
+                            f"view before transforming again",
+                        )
+                    )
+                    break
+    return findings
+
+
+def _locked_node_ids(fn: ast.FunctionDef, cfg: ResourceConfig) -> Set[int]:
+    locked: Set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        guards_lock = any(
+            isinstance(sub, ast.Attribute) and sub.attr in cfg.arena_lock_attrs
+            for item in node.items
+            for sub in ast.walk(item.context_expr)
+        )
+        if not guards_lock:
+            continue
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                locked.add(id(sub))
+    return locked
+
+
+def _check_owner_locking(
+    ctx: FileContext, cfg: ResourceConfig
+) -> List[Finding]:
+    """Sub-check 4, owner modules only: arena buffers / ``fill`` written
+    outside a ``with <lock>`` block (constructors excepted — the arena is
+    not shared before ``__init__`` returns)."""
+    findings: List[Finding] = []
+    for fn in iter_functions(ctx.tree):
+        if fn.name in ("__init__", "__new__"):
+            continue
+        locked = _locked_node_ids(fn, cfg)
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            if id(node) in locked:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                hit = None
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in cfg.arena_state_attrs
+                ):
+                    hit = f"arena invariant {target.attr!r}"
+                elif isinstance(target, ast.Subscript) and any(
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in cfg.arena_buffer_attrs
+                    for sub in ast.walk(target.value)
+                ):
+                    hit = "arena buffer"
+                if hit:
+                    findings.append(
+                        finding(
+                            ctx,
+                            _RULE,
+                            node,
+                            f"{hit} written outside the workspace lock; a "
+                            f"concurrent caller sharing the arena can zero "
+                            f"this thread's payload mid-transform — widen "
+                            f"the locked region to cover the write",
+                        )
+                    )
+    return findings
+
+
+def run_arena_rule(
+    contexts: Sequence[FileContext],
+    index: Optional[ProgramIndex],
+    cfg: ResourceConfig,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    test_paths = {c.rel_path for c in contexts if c.is_test_file}
+    for rel, qual, line in _return_escapes(index, cfg):
+        if rel in test_paths:
+            continue
+        findings.append(
+            Finding(
+                rule=_RULE,
+                path=rel,
+                line=line,
+                col=0,
+                message=(
+                    f"{qual} returns a live arena view past the kernel "
+                    f"boundary; the next workspace call rewrites the buffer "
+                    f"under the caller — return a copy, or keep the "
+                    f"consumer inside the owner module"
+                ),
+            )
+        )
+    view_tokens = (*cfg.arena_view_methods, *cfg.arena_reuse_methods)
+    for ctx in contexts:
+        if ctx.is_test_file:
+            continue
+        # textual gate: only files touching an arena view producer (or the
+        # owner module itself) can bind, store, or hold a live view
+        if ctx.rel_path not in cfg.arena_owner_modules and not any(
+            t in ctx.source for t in view_tokens
+        ):
+            continue
+        for fn in iter_functions(ctx.tree):
+            findings.extend(_check_function_body(ctx, fn, cfg))
+        if ctx.rel_path in cfg.arena_owner_modules:
+            findings.extend(_check_owner_locking(ctx, cfg))
+    return findings

@@ -1,0 +1,169 @@
+"""Configuration of the resource- and numeric-safety pass (RL014–RL019).
+
+Like :mod:`repro_lint.flow.config`, everything here is data: the test
+suite lints synthetic projects with the production model, and the
+production tree can be analyzed with a tightened one.  Names follow the
+same resolution conventions as the flow layer (project qualnames rooted
+at the package, third-party ones at their import root); method names
+(``arena_view_methods`` etc.) match on the final attribute, because
+receivers are resolved best-effort only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..flow.config import FlowConfig, SinkSpec
+
+__all__ = ["KeyedCacheSpec", "ResourceConfig", "ResourceOptions"]
+
+
+@dataclass(frozen=True)
+class KeyedCacheSpec:
+    """One LRU-keyed workspace cache whose key must encode the dtype.
+
+    ``method`` is the attribute name of the memoizing call
+    (``ws.cached_spectrum(key, vec)``); ``key_arg``/``key_kwarg`` locate
+    the key operand.  RL019 inspects tuple-literal keys only — opaque
+    keys are the caller's contract and stay unflagged.
+    """
+
+    method: str
+    key_arg: int = 0
+    key_kwarg: str = "key"
+
+
+def _default_float64_sinks() -> Tuple[SinkSpec, ...]:
+    return (
+        SinkSpec("numpy.cumsum", "float64-contracted CDF accumulation (cumsum)"),
+        SinkSpec("numpy.diff", "float64-contracted difference algebra (diff)"),
+        SinkSpec("numpy.mean", "float64-contracted mean reduction"),
+        SinkSpec(
+            "repro.core.cache.fingerprint",
+            "cache-fingerprint site (float64 contract)",
+        ),
+        SinkSpec(
+            "repro.core.cache.SolverCache.get_or_create",
+            "SolverCache key (float64 contract)",
+            arg_indices=(0,),
+        ),
+    )
+
+
+@dataclass
+class ResourceConfig:
+    """Knobs of the six resource rules."""
+
+    # -- RL014: arena-view escape --------------------------------------
+    #: methods returning a live view into a reusable arena
+    arena_view_methods: Tuple[str, ...] = ("_arena_view",)
+    #: workspace calls that may rewrite the arena a view aliases
+    arena_reuse_methods: Tuple[str, ...] = (
+        "_arena_view",
+        "rfft",
+        "irfft_trunc",
+        "cached_spectrum",
+    )
+    #: modules (repo-relative) allowed to hold and return raw arena views
+    arena_owner_modules: Tuple[str, ...] = (
+        "src/repro/distributions/workspace.py",
+    )
+    #: lock attributes guarding arena state in the owner modules
+    arena_lock_attrs: Tuple[str, ...] = ("_lock",)
+    #: attributes forming the arena's published invariant state
+    arena_state_attrs: Tuple[str, ...] = ("fill",)
+    #: attributes holding the reusable buffer itself
+    arena_buffer_attrs: Tuple[str, ...] = ("buf",)
+
+    # -- RL015: shared-memory lifecycle --------------------------------
+    #: publishing call (matched on the final name component)
+    shm_publish_names: Tuple[str, ...] = ("publish_arrays",)
+    #: raw segment constructors (resolved qualnames)
+    shm_create_names: Tuple[str, ...] = (
+        "multiprocessing.shared_memory.SharedMemory",
+    )
+    #: module-level registries an owned segment must be recorded in
+    shm_registries: Tuple[str, ...] = ("_OWNED_SEGMENTS",)
+    #: methods releasing a handle's mapping / the segment
+    shm_release_methods: Tuple[str, ...] = ("close", "unlink")
+    #: methods destroying the named segment (use-after is an error)
+    shm_unlink_methods: Tuple[str, ...] = ("unlink",)
+
+    # -- RL016: dtype-flow contamination -------------------------------
+    #: scalar/array casts producing float32 (resolved qualnames)
+    float32_casts: Tuple[str, ...] = ("numpy.float32",)
+    #: array factories whose ``dtype=float32`` makes the result float32
+    dtype_factories: Tuple[str, ...] = (
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.ones",
+        "numpy.full",
+        "numpy.asarray",
+        "numpy.ascontiguousarray",
+        "numpy.array",
+        "numpy.arange",
+        "numpy.linspace",
+    )
+    #: casts restoring the float64 contract
+    float64_casts: Tuple[str, ...] = ("numpy.float64",)
+    #: call targets contracted to receive float64 operands
+    float64_sinks: Tuple[SinkSpec, ...] = field(
+        default_factory=_default_float64_sinks
+    )
+
+    # -- RL017: jit-twin parity ----------------------------------------
+    #: modules (repo-relative) holding numba kernels with NumPy twins
+    jit_modules: Tuple[str, ...] = ("src/repro/distributions/jit_kernels.py",)
+    #: a twin body is named ``{prefix}{public}{suffix}``
+    jit_twin_prefix: str = "_"
+    jit_twin_suffix: str = "_py"
+    #: availability gates the public dispatcher must consult
+    jit_gate_names: Tuple[str, ...] = ("HAVE_NUMBA",)
+    #: extra dispatcher-only parameters the signature check permits
+    jit_dispatch_params: Tuple[str, ...] = ("jit",)
+
+    # -- RL018: engine-capability mismatch -----------------------------
+    #: simulator constructors with an ``engine=`` capability switch
+    simulator_names: Tuple[str, ...] = ("DCSSimulator",)
+    engine_kwarg: str = "engine"
+    #: engine values with a restricted feature surface
+    restricted_engines: Tuple[str, ...] = ("vector",)
+    #: constructor kwargs the restricted engines reject when non-None
+    rejected_sim_kwargs: Tuple[str, ...] = ("info_period", "rebalancer")
+    #: methods the restricted engines reject outright
+    rejected_methods: Tuple[str, ...] = ("with_arrivals",)
+    #: fault-plan constructors whose fields feed the capability check
+    fault_plan_names: Tuple[str, ...] = ("FaultPlan",)
+    #: plan fields the restricted engines reject when positive
+    rejected_fault_fields: Tuple[str, ...] = (
+        "group_duplicate",
+        "fn_loss",
+        "fn_duplicate",
+        "fn_jitter",
+    )
+    #: plan factory classmethods known to set rejected fields
+    rejected_plan_factories: Tuple[str, ...] = ("standard",)
+    #: simulator entry points accepting a plan
+    run_methods: Tuple[str, ...] = ("run", "run_batch")
+    #: kwarg (and constructor kwarg) carrying the plan
+    plan_kwargs: Tuple[str, ...] = ("faults",)
+
+    # -- RL019: workspace-cache key completeness -----------------------
+    keyed_caches: Tuple[KeyedCacheSpec, ...] = (
+        KeyedCacheSpec("cached_spectrum"),
+    )
+
+
+@dataclass
+class ResourceOptions:
+    """Runtime switches for one resource-pass invocation."""
+
+    enabled: bool = True
+    #: worker processes for cold summary extraction (<=1 = serial)
+    jobs: int = 1
+    #: content-addressed summary cache shared with ``--flow``
+    cache_dir: Optional[str] = None
+    config: ResourceConfig = field(default_factory=ResourceConfig)
+    #: extraction model (sources/sanitizers recorded in the summaries)
+    flow_config: FlowConfig = field(default_factory=FlowConfig)

@@ -1,0 +1,145 @@
+"""RL016 — dtype-flow contamination.
+
+The compiled-kernel contract is *FFTs in float32, algebra and
+fingerprints in float64*: a float32 value reaching CDF/difference/mean
+algebra or a cache-fingerprint site quietly halves the precision of
+everything downstream (and forks the cache on representation noise).
+This rule reuses the RL010 taint engine with a float32 model: calls
+producing float32 values become sources, float64 casts become
+sanitizers, and the float64-contracted call targets become sinks — so
+contamination is tracked through the call graph exactly like
+nondeterminism is.
+
+The extractor's cached summaries are dtype-agnostic; this pass works on
+in-memory copies, marking call sites by joining the summary's
+``(line, col)`` against a per-file AST scan, so the on-disk cache stays
+shared with ``--flow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import FileContext, Finding
+from ..flow.config import FlowConfig
+from ..flow.model import FileSummary
+from ..flow.program import ProgramIndex
+from ..flow.taint import TaintAnalysis
+from ..imports import ImportTracker
+from .config import ResourceConfig
+
+__all__ = ["run_dtype_rule"]
+
+_F32_STRINGS = {"float32", "f4", "<f4", "single"}
+_F64_STRINGS = {"float64", "f8", "<f8", "double", "float"}
+
+
+def _dtype_class(
+    node: Optional[ast.expr], imports: ImportTracker, cfg: ResourceConfig
+) -> Optional[str]:
+    """``"f32"``/``"f64"`` for a dtype-valued expression, else ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _F32_STRINGS:
+            return "f32"
+        if node.value in _F64_STRINGS:
+            return "f64"
+        return None
+    qual = imports.qualify(node)
+    if qual in cfg.float32_casts:
+        return "f32"
+    if qual in cfg.float64_casts or qual == "float":
+        return "f64"
+    return None
+
+
+def _scan_dtype_calls(
+    ctx: FileContext, cfg: ResourceConfig
+) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
+    """``(line, col)`` positions of float32-producing and float64-casting
+    call expressions in one module."""
+    imports = ImportTracker(ctx.tree)
+    sources: Set[Tuple[int, int]] = set()
+    sanitizers: Set[Tuple[int, int]] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        pos = (node.lineno, node.col_offset)
+        qual = imports.qualify(node.func)
+        if qual in cfg.float32_casts and (node.args or node.keywords):
+            sources.add(pos)
+            continue
+        if qual in cfg.float64_casts and (node.args or node.keywords):
+            sanitizers.add(pos)
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            target = node.args[0] if node.args else None
+            if target is None:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        target = kw.value
+            cls = _dtype_class(target, imports, cfg)
+            if cls == "f32":
+                sources.add(pos)
+            elif cls == "f64":
+                sanitizers.add(pos)
+            continue
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                continue
+            cls = _dtype_class(kw.value, imports, cfg)
+            if cls == "f32":
+                sources.add(pos)
+            elif cls == "f64":
+                sanitizers.add(pos)
+    return sources, sanitizers
+
+
+def run_dtype_rule(
+    contexts: Sequence[FileContext],
+    summaries: Sequence[FileSummary],
+    cfg: ResourceConfig,
+) -> List[Finding]:
+    marked = [FileSummary.from_json(s.to_json()) for s in summaries]
+    by_rel: Dict[str, FileSummary] = {s.rel_path: s for s in marked}
+    test_paths = {c.rel_path for c in contexts if c.is_test_file}
+    for ctx in contexts:
+        summary = by_rel.get(ctx.rel_path)
+        if summary is None:
+            continue
+        # textual gate: dtype sources/sanitizers all spell out a float
+        # family or an astype call somewhere in the text
+        if not (
+            "float" in ctx.source
+            or "astype" in ctx.source
+            or "dtype" in ctx.source
+        ):
+            continue
+        sources, sanitizers = _scan_dtype_calls(ctx, cfg)
+        if not sources and not sanitizers:
+            continue
+        for fn in summary.functions:
+            for site in fn.callsites:
+                pos = (site.line, site.col)
+                if pos in sources:
+                    if site.source_kind is None:
+                        site.source_kind = "float32"
+                elif pos in sanitizers:
+                    site.sanitizer = True
+
+    index = ProgramIndex(marked)
+    analysis = TaintAnalysis(index, FlowConfig(sinks=tuple(cfg.float64_sinks)))
+    analysis.rule_id = "RL016"
+    analysis.kind_labels = {"float32": "float32-typed value"}
+    analysis.sanitized_kinds = frozenset({"float32"})
+    analysis.kinds_of_interest = frozenset({"float32"})
+    analysis.skip_sanitized_sinks = True
+    analysis.advice = (
+        "cast to float64 before this site or move the float32 conversion "
+        "downstream; the kernel contract is FFTs in float32, algebra and "
+        "fingerprints in float64"
+    )
+    analysis.solve()
+    return [f for f in analysis.find_sink_flows() if f.path not in test_paths]

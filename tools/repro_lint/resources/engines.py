@@ -1,0 +1,198 @@
+"""RL018 — engine-capability mismatch.
+
+``DCSSimulator(engine="vector")`` trades features for throughput: the
+vectorized engine rejects gossip (``info_period``), rebalancing,
+open-system arrivals and the FN/duplicate fault channels *at runtime* —
+deep inside a campaign, after hours of cells already ran.  This rule
+moves the rejection to lint time: constructor kwargs the restricted
+engine refuses, restricted methods called on a vector-bound simulator,
+and fault plans carrying unsupported channels into a vector ``run``.
+
+Tracking is local (one function body): a simulator local is
+vector-bound when assigned from a constructor whose ``engine`` kwarg is
+a restricted literal; a plan local is contaminated when built with a
+rejected field (non-zero literal or any non-literal expression) or by a
+factory known to set one (``FaultPlan.standard``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import FileContext, Finding
+from ._common import call_name, finding, iter_functions, receiver_chain
+from .config import ResourceConfig
+
+__all__ = ["run_engine_rule"]
+
+_RULE = "RL018"
+
+
+def _is_restricted_ctor(call: ast.Call, cfg: ResourceConfig) -> Optional[str]:
+    """The restricted engine literal of a simulator constructor, if any."""
+    if call_name(call) not in cfg.simulator_names:
+        return None
+    for kw in call.keywords:
+        if (
+            kw.arg == cfg.engine_kwarg
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value in cfg.restricted_engines
+        ):
+            return str(kw.value.value)
+    return None
+
+
+def _plan_problem(call: ast.Call, cfg: ResourceConfig) -> Optional[str]:
+    """Why a fault-plan expression is unsupported on a restricted engine."""
+    if isinstance(call.func, ast.Attribute):
+        chain = receiver_chain(call.func.value)
+        if (
+            chain
+            and chain[-1] in cfg.fault_plan_names
+            and call.func.attr in cfg.rejected_plan_factories
+        ):
+            return (
+                f"{chain[-1]}.{call.func.attr}() sets the FN/duplicate "
+                f"channels"
+            )
+        return None
+    if call_name(call) not in cfg.fault_plan_names:
+        return None
+    bad = []
+    for kw in call.keywords:
+        if kw.arg not in cfg.rejected_fault_fields:
+            continue
+        value = kw.value
+        if isinstance(value, ast.Constant) and value.value in (0, 0.0, None):
+            continue
+        bad.append(kw.arg)
+    if bad:
+        return f"plan sets {', '.join(sorted(bad))}"
+    return None
+
+
+def _check_function(
+    ctx: FileContext, fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    vector_locals: Dict[str, int] = {}
+    plan_problems: Dict[str, str] = {}
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            engine = _is_restricted_ctor(node.value, cfg)
+            problem = _plan_problem(node.value, cfg)
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if engine is not None:
+                    vector_locals[target.id] = node.lineno
+                if problem is not None:
+                    plan_problems[target.id] = problem
+
+    def plan_value_problem(value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            return _plan_problem(value, cfg)
+        if isinstance(value, ast.Name):
+            return plan_problems.get(value.id)
+        return None
+
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        engine = _is_restricted_ctor(node, cfg)
+        if engine is not None:
+            for kw in node.keywords:
+                if kw.arg in cfg.rejected_sim_kwargs and not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                ):
+                    findings.append(
+                        finding(
+                            ctx,
+                            _RULE,
+                            node,
+                            f"{kw.arg!r} passed into an "
+                            f"engine={engine!r} simulator; the vectorized "
+                            f"engine rejects it at runtime — drop the option "
+                            f"or use engine='event'",
+                        )
+                    )
+                elif kw.arg in cfg.plan_kwargs:
+                    problem = plan_value_problem(kw.value)
+                    if problem:
+                        findings.append(
+                            finding(
+                                ctx,
+                                _RULE,
+                                node,
+                                f"fault plan with unsupported channels "
+                                f"({problem}) installed on an "
+                                f"engine={engine!r} simulator; the vector "
+                                f"engine raises on "
+                                f"{'/'.join(cfg.rejected_fault_fields)}",
+                            )
+                        )
+            continue
+
+        # method calls on a vector-bound receiver (local name or a
+        # chained restricted constructor)
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        recv = node.func.value
+        on_vector = (
+            isinstance(recv, ast.Name)
+            and recv.id in vector_locals
+            and node.lineno >= vector_locals[recv.id]
+        ) or (
+            isinstance(recv, ast.Call)
+            and _is_restricted_ctor(recv, cfg) is not None
+        )
+        if not on_vector:
+            continue
+        method = node.func.attr
+        if method in cfg.rejected_methods:
+            findings.append(
+                finding(
+                    ctx,
+                    _RULE,
+                    node,
+                    f"{method}() called on an engine='vector' simulator; "
+                    f"the vectorized engine rejects it at runtime — use "
+                    f"engine='event' for this feature",
+                )
+            )
+        elif method in cfg.run_methods:
+            for kw in node.keywords:
+                if kw.arg not in cfg.plan_kwargs:
+                    continue
+                problem = plan_value_problem(kw.value)
+                if problem:
+                    findings.append(
+                        finding(
+                            ctx,
+                            _RULE,
+                            node,
+                            f"fault plan with unsupported channels "
+                            f"({problem}) passed to {method}() on an "
+                            f"engine='vector' simulator; the vector engine "
+                            f"raises on "
+                            f"{'/'.join(cfg.rejected_fault_fields)}",
+                        )
+                    )
+    return findings
+
+
+def run_engine_rule(
+    contexts: Sequence[FileContext], cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    tokens = (*cfg.simulator_names, *cfg.fault_plan_names)
+    for ctx in contexts:
+        # textual gate: only files mentioning a simulator or a fault plan
+        # can produce an engine-capability mismatch
+        if not any(t in ctx.source for t in tokens):
+            continue
+        for fn in iter_functions(ctx.tree):
+            findings.extend(_check_function(ctx, fn, cfg))
+    return findings

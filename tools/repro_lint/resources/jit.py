@@ -1,0 +1,210 @@
+"""RL017 — jit-twin parity.
+
+Every numba kernel ships with a NumPy twin (``_<name>_py``) that *is*
+the backend when numba is absent — so the pair must not drift.  The
+check is structural, the way ``audit-contracts`` cross-references
+``repro._contracts``: for each twin body the public dispatcher must
+exist, bind the same positional parameters (plus at most the declared
+dispatch flags), reference the twin under a ``HAVE_NUMBA`` gate, agree
+with it on hard-coded dtype tokens, be exported, and be referenced by at
+least one test — all decidable with or without numba installed, which
+is what lets the no-numba CI leg assert parity too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from ..engine import FileContext, Finding
+from ..flow.program import ProgramIndex
+from ._common import finding, literal_exports
+from .config import ResourceConfig
+
+__all__ = ["run_jit_rule"]
+
+_RULE = "RL017"
+_DTYPE_TOKENS = ("float32", "float64", "complex64", "complex128")
+
+
+def _dtype_tokens(fn: ast.FunctionDef) -> Set[str]:
+    tokens: Set[str] = set()
+    for node in ast.walk(fn):
+        text: Optional[str] = None
+        if isinstance(node, ast.Name):
+            text = node.id
+        elif isinstance(node, ast.Attribute):
+            text = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value
+        if text in _DTYPE_TOKENS:
+            tokens.add(text)
+    return tokens
+
+
+def _positional(fn: ast.FunctionDef) -> List[str]:
+    return [a.arg for a in [*fn.args.posonlyargs, *fn.args.args]]
+
+
+def _tested_names(index: Optional[ProgramIndex]) -> Set[str]:
+    names: Set[str] = set()
+    if index is None:
+        return names
+    for f in index.files.values():
+        names.update(f.referenced_idents)  # populated for test files only
+    return names
+
+
+def run_jit_rule(
+    contexts: Sequence[FileContext],
+    index: Optional[ProgramIndex],
+    cfg: ResourceConfig,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    tested = _tested_names(index)
+    pre, suf = cfg.jit_twin_prefix, cfg.jit_twin_suffix
+    for ctx in contexts:
+        if ctx.rel_path not in cfg.jit_modules:
+            continue
+        module_fns = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        exports = literal_exports(ctx.tree)
+        bodies = {
+            name[len(pre) : len(name) - len(suf)]: fn
+            for name, fn in module_fns.items()
+            if name.startswith(pre)
+            and name.endswith(suf)
+            and len(name) > len(pre) + len(suf)
+        }
+
+        for public_name, body_fn in sorted(bodies.items()):
+            pub = module_fns.get(public_name)
+            if pub is None:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        body_fn,
+                        f"NumPy twin {body_fn.name} has no public dispatcher "
+                        f"{public_name}(); the kernel is unreachable when "
+                        f"numba is the only caller",
+                    )
+                )
+                continue
+            body_pos = _positional(body_fn)
+            pub_pos = _positional(pub)
+            extras = pub_pos[len(body_pos) :] + [
+                a.arg for a in pub.args.kwonlyargs
+            ]
+            if pub_pos[: len(body_pos)] != body_pos:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"signature drift: {public_name}({', '.join(pub_pos)}) "
+                        f"no longer matches its twin {body_fn.name}"
+                        f"({', '.join(body_pos)}); the backends now bind "
+                        f"arguments differently",
+                    )
+                )
+            elif any(e not in cfg.jit_dispatch_params for e in extras):
+                bad = [e for e in extras if e not in cfg.jit_dispatch_params]
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"{public_name}() takes parameter(s) "
+                        f"{', '.join(bad)} its twin {body_fn.name} does not; "
+                        f"only dispatch flags "
+                        f"({', '.join(cfg.jit_dispatch_params)}) may differ",
+                    )
+                )
+            pub_names = {
+                n.id for n in ast.walk(pub) if isinstance(n, ast.Name)
+            }
+            if body_fn.name not in pub_names:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"{public_name}() never references its NumPy twin "
+                        f"{body_fn.name}; without numba the kernel has no "
+                        f"backend",
+                    )
+                )
+            elif not any(g in pub_names for g in cfg.jit_gate_names):
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"{public_name}() dispatches without consulting "
+                        f"{'/'.join(cfg.jit_gate_names)}; it will call into "
+                        f"numba machinery even where numba is absent",
+                    )
+                )
+            body_tokens = _dtype_tokens(body_fn)
+            pub_tokens = _dtype_tokens(pub)
+            if body_tokens != pub_tokens:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"dtype promotion divergence between {public_name}() "
+                        f"and {body_fn.name}: "
+                        f"{sorted(pub_tokens) or 'none'} vs "
+                        f"{sorted(body_tokens) or 'none'}; the backends no "
+                        f"longer promote identically",
+                    )
+                )
+            if exports is not None and public_name not in exports:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"jit kernel {public_name}() is missing from "
+                        f"__all__; twin pairs are public API",
+                    )
+                )
+            # only meaningful when the lint scope includes test files at
+            # all (tested is the union of test-file identifier references)
+            if tested and public_name not in tested:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        pub,
+                        f"jit kernel {public_name}() is referenced by no "
+                        f"test; twin parity is unverified",
+                    )
+                )
+
+        # reverse direction: a public numba-gated kernel without a twin
+        for name, fn in sorted(module_fns.items()):
+            if name.startswith("_"):
+                continue
+            if name in bodies:
+                continue
+            names_in = {n.id for n in ast.walk(fn) if isinstance(n, ast.Name)}
+            if not any(g in names_in for g in cfg.jit_gate_names):
+                continue
+            twin = f"{pre}{name}{suf}"
+            if twin not in module_fns:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        fn,
+                        f"numba-gated kernel {name}() has no NumPy twin "
+                        f"{twin}(); it cannot run where numba is absent",
+                    )
+                )
+    return findings

@@ -1,0 +1,133 @@
+"""RL019 — workspace-cache key completeness.
+
+``cached_spectrum``-style LRU caches return frozen arena views keyed by
+the caller's tuple.  Any argument that changes the *shape or dtype* of
+the cached arena must appear in that key: a float32 and a float64
+spectrum computed for the same logical input would otherwise collide on
+one slot, handing one caller a view with the other's representation.
+
+The check is deliberately shallow — only keys that are tuple literals
+in the calling function (directly at the call site, or via a single
+local assignment) are inspected; a key received as a parameter is the
+caller's responsibility and is skipped.  A tuple satisfies the rule
+when some element encodes a dtype: an attribute access ending in
+``.dtype``/``.str``, any identifier mentioning ``dtype``, or a literal
+dtype string.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import FileContext, Finding
+from ._common import call_name, finding, iter_functions
+from .config import KeyedCacheSpec, ResourceConfig
+
+__all__ = ["run_key_rule"]
+
+_RULE = "RL019"
+
+_DTYPE_STRINGS = {
+    "float32", "float64", "f4", "f8", "<f4", "<f8",
+    "complex64", "complex128", "single", "double",
+}
+
+
+def _encodes_dtype(elt: ast.expr) -> bool:
+    for node in ast.walk(elt):
+        if isinstance(node, ast.Attribute) and (
+            node.attr in ("dtype", "str") or "dtype" in node.attr
+        ):
+            return True
+        if isinstance(node, ast.Name) and "dtype" in node.id.lower():
+            return True
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in _DTYPE_STRINGS
+        ):
+            return True
+    return False
+
+
+def _key_expr(call: ast.Call, spec: KeyedCacheSpec) -> Optional[ast.expr]:
+    if len(call.args) > spec.key_arg:
+        return call.args[spec.key_arg]
+    for kw in call.keywords:
+        if kw.arg == spec.key_kwarg:
+            return kw.value
+    return None
+
+
+def _tuple_locals(fn: ast.FunctionDef) -> Dict[str, ast.Tuple]:
+    """Locals assigned a tuple literal exactly once."""
+    out: Dict[str, ast.Tuple] = {}
+    seen: set = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in seen:
+                out.pop(target.id, None)
+                continue
+            seen.add(target.id)
+            if isinstance(node.value, ast.Tuple):
+                out[target.id] = node.value
+    return out
+
+
+def _check_function(
+    ctx: FileContext, fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    specs = {spec.method: spec for spec in cfg.keyed_caches}
+    tuples: Optional[Dict[str, ast.Tuple]] = None
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        spec = specs.get(call_name(node))
+        if spec is None:
+            continue
+        key = _key_expr(node, spec)
+        if key is None:
+            continue
+        tup: Optional[ast.Tuple] = None
+        if isinstance(key, ast.Tuple):
+            tup = key
+        elif isinstance(key, ast.Name):
+            if tuples is None:
+                tuples = _tuple_locals(fn)
+            tup = tuples.get(key.id)
+        if tup is None:
+            continue  # key built elsewhere — the caller owns completeness
+        if any(_encodes_dtype(elt) for elt in tup.elts):
+            continue
+        findings.append(
+            finding(
+                ctx,
+                _RULE,
+                node,
+                f"{spec.method}() key omits the arena dtype; a float32 and "
+                f"a float64 request for the same input collide on one cache "
+                f"slot — add a dtype-encoding element (e.g. arr.dtype.str) "
+                f"to the key tuple",
+            )
+        )
+    return findings
+
+
+def run_key_rule(
+    contexts: Sequence[FileContext], cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    tokens = tuple(spec.method for spec in cfg.keyed_caches)
+    for ctx in contexts:
+        # textual gate: the file must call a keyed cache to be of interest
+        if not any(t in ctx.source for t in tokens):
+            continue
+        for fn in iter_functions(ctx.tree):
+            findings.extend(_check_function(ctx, fn, cfg))
+    return findings

@@ -1,0 +1,72 @@
+"""Entry points of the resource- and numeric-safety pass (RL014–RL019).
+
+Mirrors :mod:`repro_lint.flow.runner`: the engine hands over the parsed
+file contexts, summaries are extracted once (through the same
+content-addressed cache ``--flow`` uses, when configured) and each
+enabled rule runs over the shared program index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..engine import FileContext, Finding, LintConfig
+from ..flow.cache import SummaryCache, extract_summaries
+from ..flow.model import FileSummary
+from ..flow.program import ProgramIndex
+from .arena import run_arena_rule
+from .config import ResourceOptions
+from .dtype import run_dtype_rule
+from .engines import run_engine_rule
+from .jit import run_jit_rule
+from .keys import run_key_rule
+from .shm import run_shm_rule
+
+__all__ = ["RESOURCE_RULE_IDS", "run_resource_rules"]
+
+RESOURCE_RULE_IDS = ("RL014", "RL015", "RL016", "RL017", "RL018", "RL019")
+
+
+def run_resource_rules(
+    contexts: Sequence[FileContext],
+    config: Optional[LintConfig] = None,
+    options: Optional[ResourceOptions] = None,
+) -> List[Finding]:
+    """Run RL014–RL019 over the given files.
+
+    Returns *raw* findings — the engine applies suppression comments
+    centrally, exactly as for the per-file and flow rules.
+    """
+    cfg = config or LintConfig()
+    opts = options or ResourceOptions()
+    wanted = [r for r in RESOURCE_RULE_IDS if cfg.enabled(r)]
+    if not wanted:
+        return []
+
+    summaries: Sequence[FileSummary] = ()
+    index: Optional[ProgramIndex] = None
+    if any(r in wanted for r in ("RL014", "RL016", "RL017")):
+        cache = SummaryCache(opts.cache_dir) if opts.cache_dir else None
+        items = [
+            (ctx.rel_path, ctx.source, ctx.is_test_file) for ctx in contexts
+        ]
+        summaries = extract_summaries(
+            items, opts.flow_config, jobs=opts.jobs, cache=cache
+        )
+        index = ProgramIndex(summaries)
+
+    non_test = [ctx for ctx in contexts if not ctx.is_test_file]
+    findings: List[Finding] = []
+    if "RL014" in wanted:
+        findings.extend(run_arena_rule(contexts, index, opts.config))
+    if "RL015" in wanted:
+        findings.extend(run_shm_rule(non_test, opts.config))
+    if "RL016" in wanted:
+        findings.extend(run_dtype_rule(contexts, summaries, opts.config))
+    if "RL017" in wanted:
+        findings.extend(run_jit_rule(non_test, index, opts.config))
+    if "RL018" in wanted:
+        findings.extend(run_engine_rule(non_test, opts.config))
+    if "RL019" in wanted:
+        findings.extend(run_key_rule(non_test, opts.config))
+    return findings

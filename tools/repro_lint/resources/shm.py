@@ -1,0 +1,337 @@
+"""RL015 — shared-memory segment lifecycle.
+
+Named shared-memory segments outlive the process that forgets them: a
+``publish_arrays`` handle that is neither context-managed, closed on all
+paths, nor handed to the caller leaks ``/dev/shm`` space until reboot —
+and a ``fork_map`` worker dying mid-lease leaves the parent's handle as
+the only route to cleanup.  Three shapes are flagged:
+
+1. **unmanaged publish** — the handle is dropped, or kept without a
+   ``with`` block, a ``close()``/``unlink()`` on a cleanup path, or an
+   ownership transfer (return / store);
+2. **use-after-unlink** — a handle is read after the call that destroyed
+   the segment (reassignment of the same name kills the tracking);
+3. **unregistered create** — a raw ``SharedMemory(create=True)`` segment
+   is not recorded in an owned-segment registry (or close-guarded by a
+   ``try``) before statements that can raise run: an exception in the
+   window leaks a segment no atexit sweep knows about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import FileContext, Finding
+from ..imports import ImportTracker
+from ._common import (
+    call_name,
+    finding,
+    iter_functions,
+    receiver_chain,
+)
+from .config import ResourceConfig
+
+__all__ = ["run_shm_rule"]
+
+_RULE = "RL015"
+
+
+def _release_calls(
+    fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Tuple[int, Tuple[str, ...], str, ast.Call]]:
+    """``(line, receiver chain, method, node)`` of close/unlink calls."""
+    out = []
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in cfg.shm_release_methods
+        ):
+            chain = receiver_chain(node.func.value)
+            if chain:
+                out.append((node.lineno, chain, node.func.attr, node))
+    return out
+
+
+def _cleanup_guarded_names(fn: ast.FunctionDef, cfg: ResourceConfig) -> Set[str]:
+    """Local names released inside an except handler or finally block."""
+    guarded: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup_stmts: List[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup_stmts.extend(handler.body)
+        for stmt in cleanup_stmts:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in cfg.shm_release_methods
+                ):
+                    chain = receiver_chain(sub.func.value)
+                    if chain:
+                        guarded.add(chain[0])
+    return guarded
+
+
+def _check_publish(
+    ctx: FileContext, fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    publish_calls = [
+        node
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Call) and call_name(node) in cfg.shm_publish_names
+    ]
+    if not publish_calls:
+        return findings
+
+    managed_ids: Set[int] = set()  # call node ids that are with-managed
+    returned_ids: Set[int] = set()
+    assigned: Dict[int, str] = {}  # call node id -> bound local name
+    with_names: Set[str] = set()
+    returned_names: Set[str] = set()
+    stored_names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    managed_ids.add(id(item.context_expr))
+                elif isinstance(item.context_expr, ast.Name):
+                    with_names.add(item.context_expr.id)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Call):
+                returned_ids.add(id(node.value))
+            elif isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigned[id(node.value)] = target.id
+            if isinstance(node.value, ast.Name):
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        stored_names.add(node.value.id)
+
+    guarded = _cleanup_guarded_names(fn, cfg)
+    for call in publish_calls:
+        if id(call) in managed_ids or id(call) in returned_ids:
+            continue
+        name = assigned.get(id(call))
+        if name is not None and (
+            name in with_names
+            or name in returned_names
+            or name in stored_names
+            or name in guarded
+        ):
+            continue
+        findings.append(
+            finding(
+                ctx,
+                _RULE,
+                call,
+                "shared-memory publish is neither context-managed, "
+                "close-guarded on a cleanup path, nor handed to the caller; "
+                "the segment leaks if this frame unwinds (or a fork_map "
+                "worker holding the lease dies) — use 'with publish_arrays"
+                "(...) as handle:' or close() in a finally",
+            )
+        )
+    return findings
+
+
+def _check_use_after_unlink(
+    ctx: FileContext, fn: ast.FunctionDef, cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    unlinks = [
+        (line, chain)
+        for line, chain, method, _ in _release_calls(fn, cfg)
+        if method in cfg.shm_unlink_methods
+    ]
+    if not unlinks:
+        return findings
+    for line, chain in unlinks:
+        # a store to the exact chain after the unlink re-binds the name
+        # and ends the tracked lifetime
+        kill_line: Optional[int] = None
+        for node in ast.walk(fn):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if receiver_chain(target) == chain and node.lineno > line:
+                    if kill_line is None or node.lineno < kill_line:
+                        kill_line = node.lineno
+        for node in ast.walk(fn):
+            use_chain = None
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                use_chain = receiver_chain(node)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                use_chain = (node.id,)
+            if use_chain != chain:
+                continue
+            if node.lineno <= line:
+                continue
+            if kill_line is not None and node.lineno >= kill_line:
+                continue
+            findings.append(
+                finding(
+                    ctx,
+                    _RULE,
+                    node,
+                    f"{'.'.join(chain)} is used after unlink() destroyed "
+                    f"the segment at line {line}; reads through the handle "
+                    f"now race the kernel reclaiming the mapping",
+                )
+            )
+            break
+    return findings
+
+
+def _registry_store_lines(fn: ast.FunctionDef, cfg: ResourceConfig) -> List[int]:
+    lines = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                chain = receiver_chain(target.value)
+                if chain and chain[0] in cfg.shm_registries:
+                    lines.append(node.lineno)
+    return lines
+
+
+def _try_guarded_ids(fn: ast.FunctionDef, cfg: ResourceConfig) -> Set[int]:
+    """Node ids inside a ``try`` whose handlers/finally release a handle."""
+    guarded: Set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        cleanup: List[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            cleanup.extend(handler.body)
+        releases = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in cfg.shm_release_methods
+            for stmt in cleanup
+            for sub in ast.walk(stmt)
+        )
+        if not releases:
+            continue
+        guarded.add(id(node))  # the try statement itself is the guard
+        for stmt in [*node.body, *cleanup, *node.orelse]:
+            for sub in ast.walk(stmt):
+                guarded.add(id(sub))
+    return guarded
+
+
+def _check_unregistered_create(
+    ctx: FileContext,
+    fn: ast.FunctionDef,
+    cfg: ResourceConfig,
+    imports: ImportTracker,
+) -> List[Finding]:
+    creates: List[Tuple[int, str, ast.Call]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        call = node.value
+        qual = imports.qualify(call.func)
+        if qual not in cfg.shm_create_names:
+            continue
+        creating = any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+        if not creating:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                creates.append((node.lineno, target.id, call))
+    if not creates:
+        return []
+
+    findings: List[Finding] = []
+    registry_lines = _registry_store_lines(fn, cfg)
+    guarded_ids = _try_guarded_ids(fn, cfg)
+    for create_line, seg_name, call in creates:
+        reg_line = min(
+            (ln for ln in registry_lines if ln > create_line), default=None
+        )
+        end = reg_line if reg_line is not None else 10**9
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.stmt):
+                continue
+            if not (create_line < node.lineno < end):
+                continue
+            if id(node) in guarded_ids:
+                continue
+            risky = None
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                # wrapping the segment (SharedArrays(..., segment, ...))
+                # packages it for the registry; releasing it is cleanup
+                wraps = any(
+                    isinstance(a, ast.Name) and a.id == seg_name
+                    for a in [*sub.args, *[kw.value for kw in sub.keywords]]
+                )
+                releases = (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in cfg.shm_release_methods
+                )
+                if not wraps and not releases:
+                    risky = sub
+                    break
+            if risky is not None:
+                findings.append(
+                    finding(
+                        ctx,
+                        _RULE,
+                        node,
+                        f"shared segment {seg_name!r} (created at line "
+                        f"{create_line}) is not registered for cleanup or "
+                        f"close-guarded before this statement; an exception "
+                        f"here leaks a segment the atexit sweep cannot see — "
+                        f"register the handle first, then fill it under a "
+                        f"try that closes on failure",
+                    )
+                )
+                break
+    return findings
+
+
+def run_shm_rule(
+    contexts: Sequence[FileContext], cfg: ResourceConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    create_tokens = tuple(
+        name.rpartition(".")[2] for name in cfg.shm_create_names
+    )
+    for ctx in contexts:
+        # cheap textual gate: most files never touch shared memory at all
+        has_publish = any(n in ctx.source for n in cfg.shm_publish_names)
+        has_unlink = any(m in ctx.source for m in cfg.shm_unlink_methods)
+        has_create = any(t in ctx.source for t in create_tokens)
+        if not (has_publish or has_unlink or has_create):
+            continue
+        imports = ImportTracker(ctx.tree) if has_create else None
+        for fn in iter_functions(ctx.tree):
+            if has_publish:
+                findings.extend(_check_publish(ctx, fn, cfg))
+            if has_unlink:
+                findings.extend(_check_use_after_unlink(ctx, fn, cfg))
+            if imports is not None:
+                findings.extend(
+                    _check_unregistered_create(ctx, fn, cfg, imports)
+                )
+    return findings
