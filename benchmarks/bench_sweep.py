@@ -1,0 +1,134 @@
+"""Distributed sweep scaling records (``BENCH_sweep.json``).
+
+Times the same policy lattice three ways — serial per-cell evaluation and
+the leased distributed engine at 2 and 4 workers — on the paper's Table I
+two-server scenario, asserting the surfaces are bit-identical before any
+throughput number is recorded.  The scaling records double as the
+regression gate for the engine's overhead: a scheduler that burns its win
+on leases and heartbeats shows up here as a speedup below ~2x at 4 workers.
+
+Runs standalone (``python benchmarks/bench_sweep.py [--quick]``) or under
+pytest-benchmark (``pytest benchmarks/bench_sweep.py``, quick settings).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from _env import env_fields
+from repro._parallel import parallelism_available
+from repro.core import Metric, TransformSolver, sweep_policies
+from repro.workloads import two_server_scenario
+
+_OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: dt and lattice stride; full sweeps a fine Table I grid, quick a coarse
+#: sub-lattice sized for a CI smoke slot.  dt stays small enough in both
+#: profiles for the per-cell transform work to dwarf scheduler overhead —
+#: that is the regime the engine is for.
+_FULL = {"dt": 0.05, "step": 4}
+_QUICK = {"dt": 0.05, "step": 6}
+
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _sweep_records(params: dict) -> List[dict]:
+    sc = two_server_scenario("pareto1", delay="severe")
+    loads = list(sc.loads)
+    solver = TransformSolver.for_workload(sc.model, loads, dt=params["dt"])
+    l12s = list(range(0, loads[0] + 1, params["step"]))
+    l21s = list(range(0, loads[1] + 1, params["step"]))
+    cells = len(l12s) * len(l21s)
+
+    def run(workers):
+        if workers == 1:
+            return sweep_policies(
+                solver, Metric.RELIABILITY, loads, l12s, l21s,
+                batched=False, jobs=1,
+            )
+        return sweep_policies(
+            solver, Metric.RELIABILITY, loads, l12s, l21s,
+            workers=workers,
+            scheduler_options={"tick": 0.002},
+        )
+
+    records, surfaces, serial_seconds = [], [], None
+    for workers in _WORKER_COUNTS:
+        if workers > 1 and not parallelism_available():
+            continue
+        seconds, surface = _timed(lambda: run(workers))
+        surfaces.append(surface)
+        if serial_seconds is None:
+            serial_seconds = seconds
+        records.append(
+            {
+                "bench": "distributed_sweep_scaling",
+                **env_fields("spectral"),
+                "scenario": "two-server/pareto1/severe",
+                "metric": "reliability",
+                "dt": params["dt"],
+                "cells": cells,
+                "variant": f"workers={workers}",
+                "workers": workers,
+                "seconds": seconds,
+                "cells_per_second": cells / seconds,
+                "speedup": serial_seconds / seconds,
+            }
+        )
+    for surface in surfaces[1:]:
+        assert np.array_equal(surface, surfaces[0]), (
+            "distributed sweep diverged from serial"
+        )
+    return records
+
+
+def run_suite(quick: bool = False) -> List[dict]:
+    params = _QUICK if quick else _FULL
+    records = _sweep_records(params)
+    for r in records:
+        r["profile"] = "quick" if quick else "full"
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse lattice (CI smoke profile)"
+    )
+    parser.add_argument("--out", default=str(_OUT_DEFAULT), help="output JSON path")
+    args = parser.parse_args(argv)
+    records = run_suite(quick=args.quick)
+    Path(args.out).write_text(json.dumps(records, indent=2) + "\n")
+    for r in records:
+        print(
+            f"{r['bench']:26s} {r['variant']:10s} {r['seconds']:8.3f}s"
+            f"  {r['cells_per_second']:7.1f} cells/s  speedup={r['speedup']:.2f}x"
+        )
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (quick profile; timing via the records)
+
+def bench_sweep_scaling(once):
+    records = once(_sweep_records, _QUICK)
+    print()
+    for r in records:
+        print(f"{r['variant']}: {r['seconds']:.3f}s  speedup={r['speedup']:.2f}x")
+    assert records, "no sweep records produced"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

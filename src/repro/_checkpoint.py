@@ -1,16 +1,38 @@
 """Chunk-granular checkpoint/resume for long campaign drivers.
 
 A :class:`CheckpointStore` persists labelled JSON payloads (one per
-completed work chunk — a lattice row, a campaign cell) to a single file,
-rewritten atomically (`tmp` + ``os.replace``) after every ``put`` so a
-killed run never leaves a torn snapshot.  The file is bound to a ``key``
-fingerprinting the computation's inputs — model fingerprints, grid, seeds,
-fault plan; see :func:`checkpoint_key`.  Reloading with a different key
-silently discards the stale entries, so a checkpoint can never leak results
-across changed inputs.
+completed work chunk — a lattice row, a campaign cell, a distributed sweep
+task) to a single file, rewritten atomically (`tmp` + ``os.replace``) after
+every ``put`` so a killed run never leaves a torn snapshot.  The file is
+bound to a ``key`` fingerprinting the computation's inputs — model
+fingerprints, grid, seeds, fault plan; see :func:`checkpoint_key`.
+Reloading with a different key silently discards the stale entries, so a
+checkpoint can never leak results across changed inputs.
 
 Payloads must round-trip through JSON; store plain floats/ints/lists (the
 drivers store reduced metric values, never raw ndarrays).
+
+Corruption handling
+-------------------
+The snapshot itself is only ever *replaced* atomically, but the file can
+still turn bad outside our control — a truncating filesystem, a partial
+copy, manual editing.  A file that cannot be parsed is **quarantined**:
+renamed to ``<path>.corrupt-<ts>`` (kept for post-mortems, never re-read)
+with a :class:`CheckpointCorruptionWarning`, and loading falls back to the
+last good snapshot at ``<path>.bak`` — each flush first rotates the
+current snapshot there, so at most the single most recent ``put`` is lost.
+Runs therefore resume from the last good state instead of raising.
+
+Leases and generations
+----------------------
+The distributed sweep engine (:mod:`repro.distributed`) uses the store as
+its durable substrate: task results are idempotent entries, and the store
+additionally tracks *lease records* (which worker may run a task, until
+when) and per-task *generation counters* (how many times a task has been
+(re)assigned — crashed, hung or speculatively re-executed).  Lease state
+rides in the same atomic snapshot; expired leases surviving a scheduler
+crash are reclaimed by expiry on the next run.  Completing a task with
+:meth:`put` / :meth:`put_if_absent` clears its lease.
 """
 
 from __future__ import annotations
@@ -18,11 +40,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import warnings
 from typing import Any, Dict, List, Optional
 
-__all__ = ["CheckpointStore", "checkpoint_key"]
+__all__ = [
+    "CheckpointStore",
+    "CheckpointCorruptionWarning",
+    "checkpoint_key",
+]
 
 _FORMAT = "repro-checkpoint-v1"
+
+
+class CheckpointCorruptionWarning(RuntimeWarning):
+    """A checkpoint file was unreadable and has been quarantined."""
 
 
 def checkpoint_key(spec: Any) -> str:
@@ -41,24 +73,90 @@ class CheckpointStore:
         self.path = str(path)
         self.key = str(key)
         self._entries: Dict[str, Any] = {}
+        self._leases: Dict[str, Dict[str, Any]] = {}
+        self._generations: Dict[str, int] = {}
+        #: ``get`` calls answered from the loaded snapshot — the campaign
+        #: drivers assert over this to prove a resume recomputed nothing
+        self.hits = 0
+        #: ``get`` calls that found nothing (the work had to run)
+        self.misses = 0
         if resume:
-            self._entries = self._load()
+            self._load()
 
-    def _load(self) -> Dict[str, Any]:
+    @property
+    def backup_path(self) -> str:
+        """Location of the previous snapshot (one ``put`` behind)."""
+        return f"{self.path}.bak"
+
+    def _quarantine(self) -> None:
+        """Move the unreadable snapshot aside; never destroy evidence."""
+        stamp = int(time.time())
+        target = f"{self.path}.corrupt-{stamp}"
+        seq = 0
+        while os.path.exists(target):  # same-second double corruption
+            seq += 1
+            target = f"{self.path}.corrupt-{stamp}.{seq}"
         try:
-            with open(self.path, "r", encoding="utf-8") as fh:
+            os.replace(self.path, target)
+        except OSError:
+            return  # racing cleanup; nothing left to quarantine
+        warnings.warn(
+            f"checkpoint file {self.path!r} was truncated or corrupt; "
+            f"quarantined as {target!r} and resuming from the last good "
+            f"snapshot",
+            CheckpointCorruptionWarning,
+            stacklevel=4,
+        )
+
+    def _read_snapshot(self, path: str) -> Optional[Dict[str, Any]]:
+        """Parse one snapshot file; ``None`` when missing or unparseable."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
         except (OSError, ValueError):
-            return {}  # missing or torn file: start fresh
-        if not isinstance(data, dict) or data.get("format") != _FORMAT:
-            return {}
+            return None
+        if not isinstance(data, dict):
+            return None
+        return data
+
+    def _load(self) -> None:
+        data = self._read_snapshot(self.path)
+        if data is None:
+            if os.path.exists(self.path):
+                # the file exists but cannot be parsed: torn or corrupt
+                self._quarantine()
+            data = self._read_snapshot(self.backup_path)
+            if data is None:
+                return  # no good state anywhere: start fresh
+        if data.get("format") != _FORMAT:
+            return
         if data.get("key") != self.key:
-            return {}  # inputs changed: stale entries must not leak
+            return  # inputs changed: stale entries must not leak
         entries = data.get("entries")
-        return dict(entries) if isinstance(entries, dict) else {}
+        self._entries = dict(entries) if isinstance(entries, dict) else {}
+        leases = data.get("leases")
+        if isinstance(leases, dict):
+            self._leases = {
+                str(label): dict(rec)
+                for label, rec in leases.items()
+                if isinstance(rec, dict)
+            }
+        generations = data.get("generations")
+        if isinstance(generations, dict):
+            self._generations = {
+                str(label): int(n) for label, n in generations.items()
+            }
 
     def _flush(self) -> None:
-        payload = {"format": _FORMAT, "key": self.key, "entries": self._entries}
+        payload: Dict[str, Any] = {
+            "format": _FORMAT,
+            "key": self.key,
+            "entries": self._entries,
+        }
+        if self._leases:
+            payload["leases"] = self._leases
+        if self._generations:
+            payload["generations"] = self._generations
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         tmp = f"{self.path}.tmp.{os.getpid()}"
@@ -66,17 +164,47 @@ class CheckpointStore:
             json.dump(payload, fh, sort_keys=True)
             fh.flush()
             os.fsync(fh.fileno())
+        if os.path.exists(self.path):
+            # rotate the outgoing snapshot to .bak: the last good state a
+            # corrupt primary file falls back to
+            try:
+                os.replace(self.path, self.backup_path)
+            except OSError:  # pragma: no cover - racing external cleanup
+                pass
         os.replace(tmp, self.path)
 
     # ------------------------------------------------------------------
     def get(self, label: str) -> Optional[Any]:
         """The stored payload for ``label``, or ``None`` if not done yet."""
-        return self._entries.get(label)
+        if label in self._entries:
+            self.hits += 1
+            return self._entries[label]
+        self.misses += 1
+        return None
 
     def put(self, label: str, payload: Any) -> None:
-        """Record ``label`` as done and persist the snapshot atomically."""
+        """Record ``label`` as done and persist the snapshot atomically.
+
+        Any lease on ``label`` is cleared in the same snapshot — a
+        completed task needs no further protection.
+        """
         self._entries[label] = payload
+        self._leases.pop(label, None)
         self._flush()
+
+    def put_if_absent(self, label: str, payload: Any) -> bool:
+        """Idempotent completion: record ``payload`` unless ``label`` is
+        already done.  Returns ``True`` when this call committed the entry,
+        ``False`` when an earlier completion already had (the late result
+        is discarded — first commit wins, deterministically).
+        """
+        if label in self._entries:
+            if label in self._leases:
+                self._leases.pop(label, None)
+                self._flush()
+            return False
+        self.put(label, payload)
+        return True
 
     def __contains__(self, label: str) -> bool:
         return label in self._entries
@@ -88,3 +216,92 @@ class CheckpointStore:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus entry/lease counts, for the dashboards."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "leases": len(self._leases),
+        }
+
+    # -- generation counters -------------------------------------------
+    def generation(self, label: str) -> int:
+        """How many times ``label`` has been assigned so far (0 = never)."""
+        return self._generations.get(label, 0)
+
+    def next_generation(self, label: str) -> int:
+        """Increment and return ``label``'s assignment counter.
+
+        Persisted with the next flush (the paired ``acquire_lease`` flushes
+        immediately), so retry caps survive a scheduler restart.
+        """
+        gen = self._generations.get(label, 0) + 1
+        self._generations[label] = gen
+        return gen
+
+    # -- lease records --------------------------------------------------
+    def acquire_lease(
+        self, label: str, owner: str, ttl: float, now: float
+    ) -> Optional[Dict[str, Any]]:
+        """Try to lease ``label`` for ``owner`` until ``now + ttl``.
+
+        Returns the persisted lease record, or ``None`` when the task is
+        already completed or a different owner holds an unexpired lease.
+        Re-acquiring one's own lease (or an expired one) bumps the
+        generation counter — that is what tells a late original result
+        apart from the lease's current assignee.
+        """
+        if label in self._entries:
+            return None
+        held = self._leases.get(label)
+        if held is not None and held["owner"] != owner and held["deadline"] > now:
+            return None
+        record = {
+            "owner": str(owner),
+            "deadline": float(now) + float(ttl),
+            "generation": self.next_generation(label),
+        }
+        self._leases[label] = record
+        self._flush()
+        return dict(record)
+
+    def renew_lease(self, label: str, owner: str, ttl: float, now: float) -> bool:
+        """Heartbeat renewal: extend ``owner``'s lease to ``now + ttl``.
+
+        In-memory only (renewals are frequent and a crash merely lets the
+        lease expire early, which is safe); returns ``False`` when the
+        lease is gone or owned by someone else — the worker has been
+        superseded and should stand down.
+        """
+        held = self._leases.get(label)
+        if held is None or held["owner"] != owner:
+            return False
+        held["deadline"] = float(now) + float(ttl)
+        return True
+
+    def release_lease(self, label: str, owner: str) -> bool:
+        """Drop ``owner``'s lease on ``label`` (task abandoned, not done)."""
+        held = self._leases.get(label)
+        if held is None or held["owner"] != owner:
+            return False
+        del self._leases[label]
+        self._flush()
+        return True
+
+    def lease_of(self, label: str) -> Optional[Dict[str, Any]]:
+        """The current lease record for ``label`` (a copy), if any."""
+        rec = self._leases.get(label)
+        return dict(rec) if rec is not None else None
+
+    def expired_leases(self, now: float) -> List[str]:
+        """Labels whose lease deadline has passed — ready to reclaim."""
+        return sorted(
+            label for label, rec in self._leases.items() if rec["deadline"] <= now
+        )
+
+    @property
+    def active_leases(self) -> Dict[str, Dict[str, Any]]:
+        """All current lease records (copies), keyed by label."""
+        return {label: dict(rec) for label, rec in self._leases.items()}

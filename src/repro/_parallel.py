@@ -24,8 +24,10 @@ future-per-item path that
 
 * bounds each item's wait with ``timeout`` (hung workers are killed),
 * retries items lost to a crash (``BrokenProcessPool``) or a timeout in
-  fresh worker pools (dead-worker replacement), sleeping an exponentially
-  growing ``backoff`` between rounds, and
+  fresh worker pools (dead-worker replacement), sleeping a *full-jitter*
+  exponential ``backoff`` between rounds (see :func:`retry_backoff`:
+  deterministically seeded per task set and attempt, so colliding retries
+  decollide yet schedules stay reproducible), and
 * raises :class:`ForkMapError` naming the unrecoverable items once the
   retry budget is exhausted.
 
@@ -57,6 +59,7 @@ crashed sweep cannot leak ``/dev/shm`` segments.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import itertools
 import multiprocessing
 import os
@@ -80,6 +83,7 @@ __all__ = [
     "ForkMapError",
     "SharedArrays",
     "fork_map",
+    "retry_backoff",
     "get_execution_policy",
     "set_execution_policy",
     "publish_arrays",
@@ -150,6 +154,30 @@ class ForkMapError(RuntimeError):
             f"fork_map items {list(self.indices)} failed after {attempts} "
             f"attempt(s) (worker crash or timeout){detail}"
         )
+
+
+def retry_backoff(base: float, attempt: int, task_key: Any = None) -> float:
+    """Full-jitter exponential backoff delay for one retry of one task.
+
+    Deterministic exponential backoff makes colliding retries re-collide:
+    two tasks that crashed together retry together, forever.  The standard
+    fix is *full jitter* — sleep ``U(0, base * 2**(attempt-1))`` — but the
+    repo's determinism contract forbids an unseeded draw.  The delay is
+    therefore drawn from a generator seeded by ``(task_key, attempt)``:
+    reproducible across runs (same key, same schedule), yet distinct per
+    task and per attempt, so retry storms spread out.
+
+    ``attempt`` counts from 1 (the first retry); ``attempt <= 0`` or a
+    non-positive ``base`` yield 0.0 (no sleep).
+    """
+    if base <= 0.0 or attempt <= 0:
+        return 0.0
+    ceiling = base * (2.0 ** (attempt - 1))
+    digest = hashlib.sha256(
+        repr((task_key, int(attempt))).encode("utf-8")
+    ).digest()
+    seed = int.from_bytes(digest[:8], "big")
+    return float(np.random.default_rng(seed).uniform(0.0, ceiling))
 
 
 def get_execution_policy() -> ExecutionPolicy:
@@ -493,7 +521,10 @@ def _run_resilient(
         if not pending:
             break
         if attempt > 0 and backoff > 0:
-            time.sleep(backoff * (2.0 ** (attempt - 1)))
+            # full jitter, seeded by the set of items being retried: two
+            # concurrent fan-outs that lost different items sleep different
+            # amounts and stop re-colliding, yet reruns are reproducible
+            time.sleep(retry_backoff(backoff, attempt, tuple(pending)))
         pool = ProcessPoolExecutor(
             max_workers=min(workers, len(pending)), mp_context=context
         )

@@ -193,6 +193,28 @@ class ResilienceCampaign:
         }
         return checkpoint_key(spec)
 
+    def _chunk_layout(self) -> Tuple[int, List[int]]:
+        """Replication chunking shared by the fanned and serial paths —
+        identical chunk sizes mean identical stream spawning, which is what
+        keeps every execution mode bit-identical for the same seed."""
+        n_chunks = -(-self.n_reps // _CHUNK_REPS)
+        sizes = [_CHUNK_REPS] * (n_chunks - 1) + [
+            self.n_reps - _CHUNK_REPS * (n_chunks - 1)
+        ]
+        return n_chunks, sizes
+
+    def _run_chunk(
+        self,
+        sim: DCSSimulator,
+        policy: ReallocationPolicy,
+        chunk_rng: np.random.Generator,
+        size: int,
+    ) -> List[float]:
+        return [
+            _encode(sim.run(self.loads, policy, chunk_rng, horizon=self.horizon))
+            for _ in range(size)
+        ]
+
     def _replicate(
         self,
         sim: DCSSimulator,
@@ -200,21 +222,32 @@ class ResilienceCampaign:
         rng: np.random.Generator,
     ) -> List[float]:
         """Encoded outcomes of ``n_reps`` runs, chunked over workers."""
-        n_chunks = -(-self.n_reps // _CHUNK_REPS)
-        sizes = [_CHUNK_REPS] * (n_chunks - 1) + [
-            self.n_reps - _CHUNK_REPS * (n_chunks - 1)
-        ]
+        n_chunks, sizes = self._chunk_layout()
         streams = _spawn_streams(rng, n_chunks)
 
         def run_chunk(c: int) -> List[float]:
-            chunk_rng = streams[c]
-            return [
-                _encode(sim.run(self.loads, policy, chunk_rng, horizon=self.horizon))
-                for _ in range(sizes[c])
-            ]
+            return self._run_chunk(sim, policy, streams[c], sizes[c])
 
         chunks = fork_map(run_chunk, n_chunks, resolve_jobs(self.jobs))
         return [v for chunk in chunks for v in chunk]
+
+    def _replicate_serial(
+        self,
+        sim: DCSSimulator,
+        policy: ReallocationPolicy,
+        rng: np.random.Generator,
+    ) -> List[float]:
+        """The same chunk/stream structure as :meth:`_replicate`, run
+        entirely in-process — the mode used when a *distributed* worker owns
+        the whole cell, so a cell never fans out a nested ``fork_map`` from
+        inside a forked worker."""
+        n_chunks, sizes = self._chunk_layout()
+        streams = _spawn_streams(rng, n_chunks)
+        return [
+            v
+            for c in range(n_chunks)
+            for v in self._run_chunk(sim, policy, streams[c], sizes[c])
+        ]
 
     def _aggregate(self, intensity: float, label: str, values: List[float]) -> ResilienceCell:
         arr = np.asarray(values, dtype=float)
@@ -232,10 +265,51 @@ class ResilienceCampaign:
             mean_completion=float(arr[completed].mean()) if n_completed else math.nan,
         )
 
+    def _cell_values(self, intensities: List[float], i_int: int, i_pol: int) -> List[float]:
+        """One cell's encoded outcomes, computed entirely in-process.
+
+        The distributed task payload: a fresh simulator is built from the
+        scaled plan and the cell's own ``(seed, i_int, i_pol)`` stream
+        drives the identical chunk structure as the serial scan — worker
+        identity, assignment order and re-execution cannot change a draw.
+        """
+        scaled = self.plan.scaled(intensities[i_int])
+        sim = DCSSimulator(self.model, faults=scaled)
+        _, policy = self.policies[i_pol]
+        rng = np.random.default_rng((self.seed, i_int, i_pol))
+        return self._replicate_serial(sim, policy, rng)
+
+    def _run_distributed(
+        self,
+        report: ResilienceReport,
+        checkpoint: Optional[CheckpointStore],
+        workers: int,
+        scheduler_options: Optional[Dict[str, Any]],
+    ) -> None:
+        """Fill ``report.cells`` via the fault-tolerant distributed engine."""
+        from ..distributed.sweeps import distributed_campaign_cells
+
+        intensities = list(report.intensities)
+        cell_map = distributed_campaign_cells(
+            lambda i_int, i_pol: self._cell_values(intensities, i_int, i_pol),
+            len(intensities),
+            report.policies,
+            campaign_key=self.checkpoint_key(intensities),
+            store=checkpoint,
+            workers=workers,
+            scheduler_options=scheduler_options,
+        )
+        for i_int, intensity in enumerate(intensities):
+            for i_pol, (label, _) in enumerate(self.policies):
+                values = cell_map[(i_int, i_pol)]
+                report.cells.append(self._aggregate(intensity, label, values))
+
     def run(
         self,
         intensities: Sequence[float],
         checkpoint: Optional[CheckpointStore] = None,
+        workers: Optional[int] = None,
+        scheduler_options: Optional[Dict[str, Any]] = None,
     ) -> ResilienceReport:
         """Evaluate every (intensity, policy) cell and aggregate.
 
@@ -243,6 +317,14 @@ class ResilienceCampaign:
         are snapshotted atomically; on resume, finished cells are replayed
         from disk and the rest recomputed — numerically identical to an
         uninterrupted run because each cell owns a deterministic stream.
+
+        ``workers > 1`` shards the (intensity, policy) grid across worker
+        processes through :mod:`repro.distributed`: cells become leased
+        idempotent tasks with content-addressed checkpoint entries, and
+        crashed/hung workers are replaced without losing completed cells.
+        Inside a distributed worker the cell's replications run serially
+        (no nested fan-out), drawing from the very same per-cell stream —
+        the report is bit-identical to the serial scan.
         """
         if len(intensities) == 0:
             raise ValueError("need at least one fault intensity")
@@ -254,6 +336,11 @@ class ResilienceCampaign:
             intensities=[float(v) for v in intensities],
             policies=[label for label, _ in self.policies],
         )
+        if workers is not None and int(workers) > 1:
+            self._run_distributed(
+                report, checkpoint, int(workers), scheduler_options
+            )
+            return report
         for i_int, intensity in enumerate(report.intensities):
             scaled = self.plan.scaled(intensity)
             sim = DCSSimulator(self.model, faults=scaled)

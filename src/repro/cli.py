@@ -6,6 +6,7 @@ Commands
 ``optimize``     solve the paper's problems (3)/(4) for a 2-server scenario
 ``algorithm1``   run the scalable multi-server DTR heuristic
 ``simulate``     Monte Carlo estimate of a metric for a policy
+``sweep``        metric surface over the full (L12, L21) policy lattice
 ``resilience``   fault-injection campaign: metric degradation vs intensity
 ``experiments``  regenerate the paper's tables and figures (run_all)
 
@@ -13,6 +14,12 @@ Resilient execution flags (``--timeout``, ``--retries``, ``--backoff``) are
 shared by the fan-out commands: they install a process-wide
 :class:`~repro._parallel.ExecutionPolicy` so hung or crashed worker
 processes are killed, replaced and their work items retried.
+
+The campaign commands (``sweep``, ``resilience``) additionally accept
+``--workers N`` to shard cells over the fault-tolerant distributed engine
+(:mod:`repro.distributed`): leased idempotent cells over the checkpoint
+store, crash/hang/limplock recovery, and — with ``--dashboard`` — a live
+progress display on stderr.  Results are bit-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -112,6 +119,59 @@ def _apply_execution_policy(args) -> None:
             timeout=timeout, retries=retries, backoff=getattr(args, "backoff", 0.5)
         )
     )
+
+
+def _add_distributed_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard cells over this many worker processes via the "
+        "fault-tolerant distributed engine (leases, crash/hang recovery, "
+        "straggler speculation); results are bit-identical to serial",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="lease time-to-live in seconds: a worker that stops "
+        "heartbeating for this long loses its cell (crash detection)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-time bound in seconds: a cell running longer "
+        "is reassigned even if its worker still heartbeats (hang detection)",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="assignment generations per cell before the campaign aborts",
+    )
+    p.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="live campaign dashboard on stderr: progress, throughput, "
+        "in-flight leases, stragglers, retries, checkpoint hit rate",
+    )
+
+
+def _scheduler_options_from_args(args, title: str):
+    """``--workers`` companions -> Scheduler keyword overrides (or None)."""
+    opts = {}
+    if getattr(args, "lease_ttl", None) is not None:
+        opts["lease_ttl"] = args.lease_ttl
+    if getattr(args, "task_timeout", None) is not None:
+        opts["task_timeout"] = args.task_timeout
+    if getattr(args, "max_attempts", None) is not None:
+        opts["max_attempts"] = args.max_attempts
+    if getattr(args, "dashboard", False):
+        from .distributed import Dashboard
+
+        opts["on_stats"] = Dashboard(title).emit
+    return opts or None
 
 
 def _fault_plan_from_args(spec: Optional[str]):
@@ -253,6 +313,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_args(p_sim)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="metric surface over the full (L12, L21) policy lattice"
+    )
+    _add_scenario_args(p_sweep)
+    p_sweep.add_argument(
+        "--metric",
+        choices=["avg_execution_time", "qos", "reliability"],
+        default="avg_execution_time",
+    )
+    p_sweep.add_argument("--deadline", type=float, default=180.0)
+    p_sweep.add_argument("--dt", type=float, default=None)
+    p_sweep.add_argument(
+        "--step",
+        type=int,
+        default=1,
+        help="lattice stride: evaluate every step-th (L12, L21) cell",
+    )
+    p_sweep.add_argument(
+        "--kernel",
+        choices=["spectral", "direct", "jit"],
+        default="spectral",
+        help="convolution kernel (direct = pre-spectral fftconvolve baseline; "
+        "jit = compiled backend, degrades to spectral without numba)",
+    )
+    p_sweep.add_argument(
+        "--eval",
+        dest="eval_mode",
+        choices=["batched", "percell"],
+        default="batched",
+        help="lattice evaluation: vectorized FFT surfaces or per-policy scan "
+        "(--workers implies percell — the distributed path shards cells)",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-cell scan (0 = all cores); "
+        "see --workers for the fault-tolerant distributed engine",
+    )
+    p_sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: completed cells/rows are snapshotted atomically",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload completed cells from --checkpoint instead of recomputing",
+    )
+    p_sweep.add_argument("--out", default=None, help="write the surface as JSON")
+    _add_distributed_args(p_sweep)
+    _add_exec_args(p_sweep)
+
     p_res = sub.add_parser(
         "resilience", help="fault-injection campaign over an intensity sweep"
     )
@@ -298,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload completed cells from --checkpoint instead of recomputing",
     )
     p_res.add_argument("--out", default=None, help="write the report as JSON")
+    _add_distributed_args(p_res)
     _add_exec_args(p_res)
 
     p_exp = sub.add_parser("experiments", help="regenerate tables and figures")
@@ -417,6 +531,88 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from ._checkpoint import CheckpointStore, checkpoint_key
+    from .core import Metric, TransformSolver, sweep_policies
+
+    sc = _build_scenario(args)
+    metric = _metric_from_args(args)
+    if metric is Metric.AVG_EXECUTION_TIME and not sc.model.reliable:
+        raise SystemExit("average execution time needs --reliable")
+    if sc.model.n != 2:
+        raise SystemExit("sweep handles 2-server scenarios; use algorithm1")
+    loads = list(sc.loads)
+    solver = TransformSolver.for_workload(
+        sc.model, loads, dt=args.dt, kernel=args.kernel
+    )
+    deadline = args.deadline if metric is Metric.QOS else None
+    step = max(1, int(args.step))
+    l12s = list(range(0, loads[0] + 1, step))
+    l21s = list(range(0, loads[1] + 1, step))
+    checkpoint = None
+    if args.checkpoint:
+        key = checkpoint_key(
+            {
+                "sweep": "policy-v1",
+                "scenario": sc.name,
+                "family": args.family,
+                "delay": args.delay,
+                "reliable": bool(sc.model.reliable),
+                "metric": metric.value,
+                "loads": loads,
+                "deadline": deadline,
+                "dt": args.dt,
+                "kernel": args.kernel,
+                "l12s": l12s,
+                "l21s": l21s,
+            }
+        )
+        checkpoint = CheckpointStore(args.checkpoint, key, resume=args.resume)
+    surface = np.asarray(
+        sweep_policies(
+            solver,
+            metric,
+            loads,
+            l12s,
+            l21s,
+            deadline=deadline,
+            jobs=args.jobs,
+            batched=args.eval_mode == "batched",
+            checkpoint=checkpoint,
+            workers=args.workers,
+            scheduler_options=_scheduler_options_from_args(args, title="sweep"),
+        ),
+        dtype=float,
+    )
+    flat_best = (
+        int(np.nanargmin(surface))
+        if metric.value == "avg_execution_time"
+        else int(np.nanargmax(surface))
+    )
+    b12, b21 = divmod(flat_best, len(l21s))
+    print(
+        f"scenario: {sc.name}   metric: {metric.value}   "
+        f"grid: {len(l12s)}x{len(l21s)}"
+    )
+    print(f"best cell: L12={l12s[b12]}, L21={l21s[b21]}   value: {surface[b12, b21]:.4f}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "scenario": sc.name,
+                    "metric": metric.value,
+                    "l12_values": l12s,
+                    "l21_values": l21s,
+                    "values": surface.tolist(),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"surface written to {args.out}")
+    return 0
+
+
 def _cmd_resilience(args) -> int:
     from ._checkpoint import CheckpointStore
     from .analysis.resilience import ResilienceCampaign
@@ -449,7 +645,12 @@ def _cmd_resilience(args) -> int:
             campaign.checkpoint_key(args.intensities),
             resume=args.resume,
         )
-    report = campaign.run(args.intensities, checkpoint=checkpoint)
+    report = campaign.run(
+        args.intensities,
+        checkpoint=checkpoint,
+        workers=args.workers,
+        scheduler_options=_scheduler_options_from_args(args, title="resilience"),
+    )
     print(
         f"scenario: {sc.name}   deadline: {args.deadline:g} s   "
         f"reps/cell: {args.reps}"
@@ -488,6 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "optimize": _cmd_optimize,
         "algorithm1": _cmd_algorithm1,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "resilience": _cmd_resilience,
         "experiments": _cmd_experiments,
     }

@@ -283,6 +283,8 @@ def sweep_policies(
     batched: bool = True,
     checkpoint: Optional[CheckpointStore] = None,
     dtype: Optional[object] = None,
+    workers: Optional[int] = None,
+    scheduler_options: Optional[Dict[str, object]] = None,
 ) -> np.ndarray:
     """Metric values over a policy grid — the raw data behind Figs. 1–3.
 
@@ -302,11 +304,46 @@ def sweep_policies(
 
     ``dtype`` is forwarded to the batched ``evaluate_lattice`` surface when
     set (reduced-precision sweeps); the per-cell path ignores it.
+
+    ``workers > 1`` routes the grid through the fault-tolerant distributed
+    engine (:mod:`repro.distributed`): every cell becomes a leased
+    idempotent task, crashed/hung/limplocked workers are detected and their
+    cells reassigned, and ``checkpoint`` entries become content-addressed
+    per-cell records (finer-grained resume than the row snapshots of the
+    ``jobs`` path).  An explicit ``workers`` request overrides ``batched``
+    — the distributed path is the per-cell scan, sharded.
+    ``scheduler_options`` passes keyword overrides straight to
+    :class:`~repro.distributed.Scheduler` (lease TTL, timeouts, transport,
+    the dashboard's ``on_stats`` hook, ...).
     """
     if len(loads) != 2:
         raise ValueError("policy sweeps are defined for two servers")
     l12s = [int(v) for v in l12_values]
     l21s = [int(v) for v in l21_values]
+
+    def cell_value(l12: int, l21: int) -> float:
+        policy = ReallocationPolicy.two_server(l12, l21)
+        return float(
+            solver.evaluate(metric, list(loads), policy, deadline=deadline).value
+        )
+
+    if workers is not None and int(workers) > 1:
+        # imported lazily: the distributed engine is optional machinery and
+        # core stays importable without touching it
+        from ..distributed.sweeps import distributed_sweep
+
+        return distributed_sweep(
+            cell_value,
+            l12s,
+            l21s,
+            metric_name=str(getattr(metric, "value", metric)),
+            loads=[int(v) for v in loads],
+            deadline=deadline,
+            store=checkpoint,
+            workers=int(workers),
+            scheduler_options=scheduler_options,
+        )
+
     if batched and hasattr(solver, "evaluate_lattice"):
         if checkpoint is not None:
             hit = checkpoint.get("surface")
@@ -319,12 +356,6 @@ def sweep_policies(
         if checkpoint is not None:
             checkpoint.put("surface", {"values": np.asarray(surface).tolist()})
         return surface
-
-    def cell_value(l12: int, l21: int) -> float:
-        policy = ReallocationPolicy.two_server(l12, l21)
-        return float(
-            solver.evaluate(metric, list(loads), policy, deadline=deadline).value
-        )
 
     if checkpoint is None:
         cells = np.array(

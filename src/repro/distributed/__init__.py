@@ -1,0 +1,58 @@
+"""Fault-tolerant distributed sweep engine.
+
+The policy-lattice sweeps (:func:`repro.core.optimize.sweep_policies`) and
+resilience campaigns (:class:`repro.analysis.resilience.ResilienceCampaign`)
+are embarrassingly parallel grids of deterministic cells.  This package
+turns those cells into **content-addressed idempotent tasks** scheduled
+across worker processes, with the atomic
+:class:`~repro._checkpoint.CheckpointStore` as the durable substrate:
+
+* workers acquire time-bounded **leases** with heartbeat renewal;
+* expired leases — crashed, hung or limplocked workers — are reclaimed and
+  reassigned with capped retries and full-jitter backoff;
+* straggler cells are **speculatively re-executed** kill-on-first-finish,
+  with a deterministic winner rule, so results stay bit-identical to the
+  serial sweep;
+* a live text **dashboard** reports throughput, in-flight leases,
+  stragglers, retry counts and checkpoint-cache hit rates.
+
+The engine deliberately *runs on* the kind of system the paper *analyzes*:
+redundant task copies with kill-on-first-finish (Zubeldia, 1910.09602) and
+straggler-aware placement (Behrouzi-Far & Soljanin, 1808.02838).
+
+Module map
+----------
+``tasks``      task model: :class:`Task`, :class:`TaskGraph`, content keys
+``lease``      lease bookkeeping over the checkpoint store
+``transport``  pluggable worker transports (in-process threads, forked
+               processes; the message protocol is host-agnostic)
+``worker``     the worker run loop (heartbeats, chaos hooks)
+``scheduler``  the dependency-aware scheduler driving it all
+``dashboard``  live text dashboard of campaign progress
+``sweeps``     drivers: distributed ``sweep_policies`` / campaign cells
+"""
+
+from .dashboard import Dashboard
+from .lease import LeaseManager
+from .scheduler import Scheduler, SchedulerError, SchedulerStats
+from .tasks import Task, TaskGraph, make_task, task_key
+from .transport import ForkTransport, InprocTransport, Transport
+from .sweeps import distributed_campaign_cells, distributed_sweep, ephemeral_store
+
+__all__ = [
+    "Dashboard",
+    "ForkTransport",
+    "InprocTransport",
+    "LeaseManager",
+    "Scheduler",
+    "SchedulerError",
+    "SchedulerStats",
+    "Task",
+    "TaskGraph",
+    "Transport",
+    "distributed_campaign_cells",
+    "distributed_sweep",
+    "ephemeral_store",
+    "make_task",
+    "task_key",
+]

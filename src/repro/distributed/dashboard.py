@@ -1,0 +1,85 @@
+"""Live text dashboard for a distributed campaign.
+
+Renders one compact frame per refresh from a
+:class:`~repro.distributed.scheduler.SchedulerStats` snapshot:
+
+.. code-block:: text
+
+    sweep 961 cells  [#########################.....]  801/961 (83.3%)
+    throughput  12.4 cells/s   elapsed 64.5 s   eta ~12.9 s
+    workers 4 (1 killed)   in-flight 4   ready 156   stragglers 1
+    retries 2   speculative 1   duplicates 0   resumed 640
+    checkpoint hits 640 / misses 321 (66.6% hit rate)
+
+The dashboard is a pure *renderer* — it owns no clock, no thread and no
+scheduler state, so tests can feed it synthetic stats and golden-check the
+frame.  Wire it to a scheduler via ``on_stats=Dashboard(...).emit`` (the
+CLI does); ``emit`` rewrites the frame in place on a TTY and appends plain
+lines otherwise (logs, CI).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+from .scheduler import SchedulerStats
+
+__all__ = ["Dashboard"]
+
+_BAR_WIDTH = 30
+
+
+class Dashboard:
+    """Text renderer of campaign progress, throughput and fleet health."""
+
+    def __init__(
+        self,
+        title: str = "campaign",
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.title = title
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_height = 0
+
+    # ------------------------------------------------------------------
+    def render(self, stats: SchedulerStats) -> str:
+        """One dashboard frame for ``stats`` (no I/O — pure string)."""
+        total = max(stats.total, 1)
+        frac = stats.done / total
+        filled = int(round(frac * _BAR_WIDTH))
+        bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+        remaining = stats.total - stats.done
+        if stats.throughput > 0 and remaining > 0:
+            eta = f"eta ~{remaining / stats.throughput:.1f} s"
+        else:
+            eta = "eta -"
+        probes = stats.store_hits + stats.store_misses
+        hit_rate = (stats.store_hits / probes * 100.0) if probes else 0.0
+        lines: List[str] = [
+            f"{self.title} {stats.total} cells  [{bar}]  "
+            f"{stats.done}/{stats.total} ({frac * 100.0:.1f}%)",
+            f"throughput {stats.throughput:6.1f} cells/s   "
+            f"elapsed {stats.elapsed:.1f} s   {eta}",
+            f"workers {stats.workers} ({stats.workers_killed} killed)   "
+            f"in-flight {stats.in_flight}   ready {stats.ready}   "
+            f"stragglers {stats.stragglers}",
+            f"retries {stats.retries}   speculative {stats.speculated}   "
+            f"duplicates {stats.duplicates_discarded}   "
+            f"resumed {stats.resumed}",
+            f"checkpoint hits {stats.store_hits} / misses {stats.store_misses} "
+            f"({hit_rate:.1f}% hit rate)",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def emit(self, stats: SchedulerStats) -> None:
+        """Write one frame; on a TTY the previous frame is overwritten."""
+        frame = self.render(stats)
+        height = frame.count("\n") + 1
+        if self._last_height and getattr(self.stream, "isatty", lambda: False)():
+            # move the cursor back over the previous frame and redraw
+            self.stream.write(f"\x1b[{self._last_height}F\x1b[J")
+        self.stream.write(frame + "\n")
+        self.stream.flush()
+        self._last_height = height

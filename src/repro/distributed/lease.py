@@ -1,0 +1,90 @@
+"""Lease bookkeeping over the checkpoint store.
+
+A *lease* is the scheduler's claim record that one worker may run one task
+until a deadline; heartbeats renew it, completion clears it, and a lease
+whose deadline passes without renewal marks its worker as crashed, hung or
+too limplocked to matter — the task is then reclaimed and reassigned.
+
+The durable half of the state (the lease records and per-task generation
+counters) lives inside :class:`~repro._checkpoint.CheckpointStore`, so a
+scheduler crash loses nothing: on restart every surviving lease is either
+expired (reclaimed by :meth:`LeaseManager.reclaim_all`) or belongs to a
+worker that no longer exists.  :class:`LeaseManager` adds the clock and
+the policy — TTLs, who may renew, what counts as expired — keeping the
+store itself mechanism-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .._checkpoint import CheckpointStore
+
+__all__ = ["LeaseManager"]
+
+
+class LeaseManager:
+    """Time-bounded task leases with heartbeat renewal, over one store."""
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        ttl: float,
+        clock: Callable[[], float],
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.store = store
+        self.ttl = float(ttl)
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def acquire(self, key: str, owner: str) -> Optional[int]:
+        """Lease ``key`` for ``owner``; returns the assignment generation.
+
+        ``None`` means the task is completed or validly leased elsewhere.
+        Every successful acquisition — first assignment, reclaim after
+        expiry, speculative re-execution — bumps the task's generation
+        counter, which is what tells a late result from a superseded
+        assignment apart from the current one.
+        """
+        record = self.store.acquire_lease(key, owner, self.ttl, self.clock())
+        return None if record is None else int(record["generation"])
+
+    def speculative_generation(self, key: str) -> int:
+        """A generation for a speculative copy (no lease of its own).
+
+        The primary assignment keeps the lease; the speculative twin only
+        needs a distinct generation so the two results are tellable apart.
+        Kill-on-first-finish: whichever commits first wins, the loser's
+        result is discarded by the store's idempotent commit.
+        """
+        return self.store.next_generation(key)
+
+    def renew(self, key: str, owner: str) -> bool:
+        """Heartbeat renewal; ``False`` when the worker was superseded."""
+        return self.store.renew_lease(key, owner, self.ttl, self.clock())
+
+    def release(self, key: str, owner: str) -> bool:
+        """Abandon a lease without completing the task."""
+        return self.store.release_lease(key, owner)
+
+    def expired(self) -> List[str]:
+        """Keys whose lease deadline has passed — ready to reclaim."""
+        return self.store.expired_leases(self.clock())
+
+    def reclaim_all(self) -> List[str]:
+        """Drop every lease record (scheduler restart: no workers exist)."""
+        reclaimed = []
+        for key, record in sorted(self.store.active_leases.items()):
+            if self.store.release_lease(key, record["owner"]):
+                reclaimed.append(key)
+        return reclaimed
+
+    def generation(self, key: str) -> int:
+        """Total assignments of ``key`` so far (the retry-cap input)."""
+        return self.store.generation(key)
+
+    def active(self) -> Dict[str, Dict[str, Any]]:
+        """Current lease records, keyed by task key (for the dashboard)."""
+        return self.store.active_leases

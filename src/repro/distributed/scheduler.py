@@ -1,0 +1,482 @@
+"""The dependency-aware, fault-tolerant task scheduler.
+
+One :class:`Scheduler` drives one :class:`~repro.distributed.tasks.TaskGraph`
+to completion over a worker fleet, with the
+:class:`~repro._checkpoint.CheckpointStore` as the durable substrate.  The
+design runs *on* the mechanisms the paper *analyzes*: redundant execution
+with kill-on-first-finish and straggler-aware reassignment.
+
+Recovery matrix
+---------------
+===========================  ==============================================
+failure mode                 detection -> recovery
+===========================  ==============================================
+worker crash (SIGKILL, OOM)  liveness probe, or lease expiry (heartbeats
+                             stop) -> kill bookkeeping, respawn worker,
+                             reassign task with full-jitter backoff
+worker hang (stuck payload)  per-task wall-time bound ``task_timeout``
+                             (a hung worker still heartbeats — liveness
+                             is not progress) -> kill + respawn + reassign
+limplocked worker (slow)     straggler speculation: a cell running longer
+                             than ``speculation_factor`` x the median
+                             completed duration gets a second copy on an
+                             idle worker; first finish wins, the loser is
+                             killed (kill-on-first-finish)
+scheduler crash              leases + generation counters persist in the
+                             checkpoint store; on ``--resume`` completed
+                             cells replay from disk (zero recompute) and
+                             stale leases are reclaimed
+corrupt checkpoint           quarantined by the store (``.corrupt-<ts>``),
+                             resume continues from the last good snapshot
+===========================  ==============================================
+
+Determinism
+-----------
+Task payloads are deterministic functions of their content-addressed key,
+so at-least-once execution cannot change values; the store's idempotent
+first-commit-wins rule (:meth:`~repro._checkpoint.CheckpointStore.put_if_absent`)
+makes the *recorded* result unique, and because any copy of a task commits
+the same value, results are bit-identical to a serial run no matter which
+copy wins.  Retries are capped per task (``max_attempts`` assignment
+generations); the cap survives restarts because generations live in the
+store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .._checkpoint import CheckpointStore
+from .._parallel import retry_backoff
+from .lease import LeaseManager
+from .tasks import TaskGraph
+from .transport import ForkTransport, InprocTransport, Transport
+
+__all__ = ["Scheduler", "SchedulerError", "SchedulerStats"]
+
+_PENDING = "pending"
+_READY = "ready"
+_RUNNING = "running"
+_DONE = "done"
+
+
+class SchedulerError(RuntimeError):
+    """A campaign cannot complete: retry budget exhausted or payload bug."""
+
+
+@dataclass
+class _Assignment:
+    worker: str
+    generation: int
+    started: float
+    speculative: bool = False
+
+
+@dataclass
+class SchedulerStats:
+    """Live campaign counters — the dashboard's data source."""
+
+    total: int = 0
+    done: int = 0
+    resumed: int = 0
+    executed: int = 0
+    in_flight: int = 0
+    ready: int = 0
+    retries: int = 0
+    speculated: int = 0
+    stragglers: int = 0
+    duplicates_discarded: int = 0
+    workers: int = 0
+    workers_killed: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    elapsed: float = 0.0
+    throughput: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "resumed": self.resumed,
+            "executed": self.executed,
+            "in_flight": self.in_flight,
+            "ready": self.ready,
+            "retries": self.retries,
+            "speculated": self.speculated,
+            "stragglers": self.stragglers,
+            "duplicates_discarded": self.duplicates_discarded,
+            "workers": self.workers,
+            "workers_killed": self.workers_killed,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+        }
+
+
+@dataclass
+class _TaskState:
+    status: str = _PENDING
+    not_before: float = 0.0
+    assignments: List[_Assignment] = field(default_factory=list)
+
+
+class Scheduler:
+    """Lease-based scheduler: dispatch, heartbeat, reclaim, speculate."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        store: CheckpointStore,
+        transport: Optional[Transport] = None,
+        *,
+        workers: int = 2,
+        lease_ttl: float = 15.0,
+        heartbeat_interval: Optional[float] = None,
+        task_timeout: Optional[float] = None,
+        max_attempts: int = 4,
+        backoff: float = 0.5,
+        speculate: bool = True,
+        speculation_factor: float = 3.0,
+        speculation_floor: float = 1.0,
+        min_durations: int = 3,
+        tick: float = 0.02,
+        clock: Callable[[], float] = time.time,
+        on_stats: Optional[Callable[[SchedulerStats], None]] = None,
+        stats_interval: float = 1.0,
+    ) -> None:
+        """``transport=None`` picks :class:`ForkTransport` when the platform
+        has ``fork``, :class:`InprocTransport` otherwise.  ``lease_ttl``
+        bounds how long a silent worker keeps its claim (heartbeats every
+        ``heartbeat_interval``, default ``lease_ttl / 5``, renew it);
+        ``task_timeout`` bounds one task's wall time (hang detection);
+        ``max_attempts`` caps assignment generations per task —
+        first assignment, reclaims and speculative copies all count.
+        ``on_stats`` is invoked at most every ``stats_interval`` seconds
+        with a :class:`SchedulerStats` snapshot (the dashboard hook).
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.graph = graph
+        self.store = store
+        self.transport = transport if transport is not None else _default_transport()
+        self.workers = max(int(workers), 1)
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat_interval = (
+            float(heartbeat_interval)
+            if heartbeat_interval is not None
+            else self.lease_ttl / 5.0
+        )
+        self.task_timeout = task_timeout
+        self.max_attempts = int(max_attempts)
+        self.backoff = float(backoff)
+        self.speculate = bool(speculate)
+        self.speculation_factor = float(speculation_factor)
+        self.speculation_floor = float(speculation_floor)
+        self.min_durations = int(min_durations)
+        self.tick = float(tick)
+        self.clock = clock
+        self.on_stats = on_stats
+        self.stats_interval = float(stats_interval)
+        self.leases = LeaseManager(store, ttl=self.lease_ttl, clock=clock)
+        self.stats = SchedulerStats()
+        self._states: Dict[str, _TaskState] = {}
+        self._results: Dict[str, Any] = {}
+        self._worker_task: Dict[str, str] = {}
+        self._idle: List[str] = []
+        self._durations: List[float] = []
+        self._dependents: Dict[str, List[str]] = {}
+        self._n_done = 0
+        self._started_at = 0.0
+        self._last_stats_at = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Drive the graph to completion; returns ``{task key: payload}``.
+
+        Raises :class:`SchedulerError` when a task exhausts its retry
+        budget or a payload raises (a deterministic bug — retrying cannot
+        help).  Results are keyed by task key; iterate the graph's
+        canonical order to assemble order-stable output.
+        """
+        self._started_at = self.clock()
+        self._init_states()
+        if self._n_done == len(self.graph):
+            self._refresh_stats(force=True)
+            return dict(self._results)
+        self.leases.reclaim_all()
+        self.transport.start(self.graph, self.workers, self.heartbeat_interval)
+        try:
+            while self._n_done < len(self.graph):
+                messages = self.transport.recv_all()
+                for msg in messages:
+                    self._handle(msg)
+                now = self.clock()
+                self._reap_dead_workers(now)
+                self._reap_expired_leases(now)
+                self._reap_timeouts(now)
+                self._maybe_speculate(now)
+                self._dispatch(now)
+                self._refresh_stats()
+                if not messages:
+                    time.sleep(self.tick)
+        finally:
+            self.transport.stop()
+        self._refresh_stats(force=True)
+        return dict(self._results)
+
+    # ------------------------------------------------------------------
+    def _init_states(self) -> None:
+        """Resume completed tasks from the store; seed readiness."""
+        self._dependents = self.graph.dependents()
+        self.stats.total = len(self.graph)
+        for task in self.graph:
+            state = _TaskState()
+            if task.key in self.store:
+                hit = self.store.get(task.key)  # counts a store hit
+                state.status = _DONE
+                self._results[task.key] = hit
+                self._n_done += 1
+                self.stats.resumed += 1
+            self._states[task.key] = state
+        for task in self.graph:
+            state = self._states[task.key]
+            if state.status == _PENDING and self._deps_done(task.key):
+                state.status = _READY
+
+    def _deps_done(self, key: str) -> bool:
+        return all(
+            self._states[dep].status == _DONE for dep in self.graph[key].deps
+        )
+
+    # -- message handling ----------------------------------------------
+    def _handle(self, msg: Any) -> None:
+        kind = msg[0]
+        if kind == "ready":
+            worker = msg[1]
+            if self.transport.is_alive(worker) and worker not in self._idle:
+                if worker not in self._worker_task:
+                    self._idle.append(worker)
+        elif kind == "heartbeat":
+            _, worker, key, _gen, _ = msg
+            if self._worker_task.get(worker) == key:
+                self.leases.renew(key, worker)
+        elif kind == "result":
+            _, worker, key, generation, value = msg
+            self._commit(worker, key, int(generation), value)
+        elif kind == "error":
+            _, worker, key, _gen, detail = msg
+            self.transport.stop()
+            raise SchedulerError(
+                f"task {key!r} raised on worker {worker}: {detail} — payload "
+                f"errors are deterministic bugs and are not retried"
+            )
+
+    def _commit(self, worker: str, key: str, generation: int, value: Any) -> None:
+        """First commit wins; late twins are discarded, losers killed."""
+        state = self._states.get(key)
+        if state is None:
+            return
+        started = min((a.started for a in state.assignments), default=None)
+        self._drop_assignment(key, worker)
+        if state.status == _DONE:
+            # the late side of a double completion (original overtaken by a
+            # speculative winner, or a reclaimed-then-finished straggler):
+            # deterministic payloads guarantee the identical value, so the
+            # duplicate is bookkeeping, not information
+            self.stats.duplicates_discarded += 1
+            return
+        self.store.put_if_absent(key, value)
+        state.status = _DONE
+        self._results[key] = value
+        self._n_done += 1
+        self.stats.executed += 1
+        if started is not None:
+            self._durations.append(max(self.clock() - started, 0.0))
+        # kill-on-first-finish: a still-running twin's work is now waste
+        for twin in list(state.assignments):
+            self._retire_worker(twin.worker, kill=True)
+            self._drop_assignment(key, twin.worker)
+        state.assignments = []
+        for dep_key in self._dependents.get(key, []):
+            dep_state = self._states[dep_key]
+            if dep_state.status == _PENDING and self._deps_done(dep_key):
+                dep_state.status = _READY
+
+    def _drop_assignment(self, key: str, worker: str) -> None:
+        state = self._states[key]
+        state.assignments = [a for a in state.assignments if a.worker != worker]
+        if self._worker_task.get(worker) == key:
+            del self._worker_task[worker]
+
+    # -- failure detection and reclaim ---------------------------------
+    def _retire_worker(self, worker: str, kill: bool) -> None:
+        """Remove a worker from the fleet and spawn its replacement."""
+        if worker in self._idle:
+            self._idle.remove(worker)
+        alive = self.transport.is_alive(worker)
+        if kill or not alive:
+            self.transport.kill(worker)
+            self.stats.workers_killed += 1
+            replacement = self.transport.spawn()
+            # the replacement announces itself with a "ready" message;
+            # nothing to do here but wait for it
+            del replacement
+
+    def _reclaim(self, key: str, worker: str, now: float) -> None:
+        """A worker failed its task: reassign within the retry budget."""
+        state = self._states[key]
+        self.leases.release(key, worker)
+        self._retire_worker(worker, kill=True)
+        self._drop_assignment(key, worker)
+        if state.status == _DONE:
+            return
+        if state.assignments:
+            return  # a twin is still running the task
+        attempts = self.leases.generation(key)
+        if attempts >= self.max_attempts:
+            self.transport.stop()
+            raise SchedulerError(
+                f"task {key!r} exhausted its retry budget "
+                f"({attempts}/{self.max_attempts} assignments lost to "
+                f"crashes, hangs or timeouts)"
+            )
+        state.status = _READY
+        state.not_before = now + retry_backoff(self.backoff, attempts, key)
+        self.stats.retries += 1
+
+    def _reap_dead_workers(self, now: float) -> None:
+        for worker, key in list(self._worker_task.items()):
+            if not self.transport.is_alive(worker):
+                self._reclaim(key, worker, now)
+        for worker in list(self._idle):
+            if not self.transport.is_alive(worker):
+                self._retire_worker(worker, kill=False)
+
+    def _reap_expired_leases(self, now: float) -> None:
+        for key in self.leases.expired():
+            lease = self.store.lease_of(key)
+            if lease is None:
+                continue
+            owner = str(lease["owner"])
+            state = self._states.get(key)
+            if (
+                state is not None
+                and state.status == _RUNNING
+                and any(a.worker == owner for a in state.assignments)
+            ):
+                # the assignee stopped heartbeating: crashed or unreachable
+                self._reclaim(key, owner, now)
+            else:
+                # stale record (no live assignment behind it): just drop it
+                self.store.release_lease(key, owner)
+
+    def _reap_timeouts(self, now: float) -> None:
+        if self.task_timeout is None:
+            return
+        for task in self.graph:
+            state = self._states[task.key]
+            if state.status != _RUNNING:
+                continue
+            for a in list(state.assignments):
+                if now - a.started > self.task_timeout:
+                    # hung (it still heartbeats) or hopelessly limplocked
+                    self._reclaim(task.key, a.worker, now)
+
+    # -- straggler speculation -----------------------------------------
+    def _straggler_threshold(self) -> Optional[float]:
+        if len(self._durations) < self.min_durations:
+            return None
+        ordered = sorted(self._durations)
+        median = ordered[len(ordered) // 2]
+        return max(self.speculation_factor * median, self.speculation_floor)
+
+    def _maybe_speculate(self, now: float) -> None:
+        if not self.speculate or not self._idle:
+            return
+        threshold = self._straggler_threshold()
+        if threshold is None:
+            return
+        for task in self.graph:
+            if not self._idle:
+                return
+            state = self._states[task.key]
+            if state.status != _RUNNING or len(state.assignments) != 1:
+                continue
+            primary = state.assignments[0]
+            if primary.speculative or now - primary.started <= threshold:
+                continue
+            if self.leases.generation(task.key) >= self.max_attempts:
+                continue
+            worker = self._idle.pop(0)
+            generation = self.leases.speculative_generation(task.key)
+            state.assignments.append(
+                _Assignment(worker, generation, now, speculative=True)
+            )
+            self._worker_task[worker] = task.key
+            self.transport.send(worker, ("run", task.key, generation, task.index))
+            self.stats.speculated += 1
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(self, now: float) -> None:
+        if not self._idle:
+            return
+        for task in self.graph:
+            if not self._idle:
+                return
+            state = self._states[task.key]
+            if state.status != _READY or state.not_before > now:
+                continue
+            worker = self._idle.pop(0)
+            generation = self.leases.acquire(task.key, worker)
+            if generation is None:  # completed or leased elsewhere: skip
+                self._idle.insert(0, worker)
+                continue
+            if generation > self.max_attempts:
+                self.transport.stop()
+                raise SchedulerError(
+                    f"task {task.key!r} exhausted its retry budget "
+                    f"({generation - 1}/{self.max_attempts} assignments)"
+                )
+            state.status = _RUNNING
+            state.assignments = [_Assignment(worker, generation, now)]
+            self._worker_task[worker] = task.key
+            self.transport.send(worker, ("run", task.key, generation, task.index))
+
+    # -- stats / dashboard ---------------------------------------------
+    def _refresh_stats(self, force: bool = False) -> None:
+        now = self.clock()
+        stats = self.stats
+        stats.done = self._n_done
+        stats.in_flight = sum(
+            len(s.assignments) for s in self._states.values() if s.status == _RUNNING
+        )
+        stats.ready = sum(1 for s in self._states.values() if s.status == _READY)
+        stats.stragglers = sum(
+            1
+            for s in self._states.values()
+            if s.status == _RUNNING and any(a.speculative for a in s.assignments)
+        )
+        stats.workers = len(self.transport.workers())
+        store_stats = self.store.stats()
+        stats.store_hits = store_stats["hits"]
+        stats.store_misses = store_stats["misses"]
+        stats.elapsed = max(now - self._started_at, 0.0)
+        stats.throughput = (
+            stats.executed / stats.elapsed if stats.elapsed > 0 else 0.0
+        )
+        if self.on_stats is not None and (
+            force or now - self._last_stats_at >= self.stats_interval
+        ):
+            self._last_stats_at = now
+            self.on_stats(stats)
+
+
+def _default_transport() -> Transport:
+    from .._parallel import parallelism_available
+
+    return ForkTransport() if parallelism_available() else InprocTransport()

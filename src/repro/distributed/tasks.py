@@ -1,0 +1,137 @@
+"""Task model of the distributed sweep engine.
+
+A :class:`Task` is one idempotent unit of work: a zero-argument callable
+producing a JSON-serializable payload, named by a **content-addressed
+key** (:func:`task_key`) derived from everything that shapes its value —
+solver fingerprints, grid signature, cell coordinates, seeds, fault plan.
+Because the key is a pure function of those inputs, re-running a task can
+only reproduce the same value, which is what makes at-least-once delivery
+(retries, speculative copies) safe: the first committed result is the
+result.
+
+A :class:`TaskGraph` is an ordered, dependency-aware collection of tasks.
+Insertion order is the graph's *canonical order* — the dense per-task
+``index`` drives deterministic dispatch preference, chaos-hook addressing
+(``REPRO_CHAOS="crash:0"`` targets task index 0) and shared-memory table
+slots.  Dependencies gate readiness: a task becomes dispatchable only when
+every task it depends on has committed a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from .._checkpoint import checkpoint_key
+
+__all__ = ["Task", "TaskGraph", "make_task", "task_key"]
+
+
+def task_key(spec: Any) -> str:
+    """Content-addressed idempotency key of one task.
+
+    ``spec`` must be JSON-serializable and must cover every input the
+    task's value depends on (the same contract — and the same fingerprint
+    machinery — as :func:`repro._checkpoint.checkpoint_key`).  Equal specs
+    give equal keys regardless of process, host or insertion order.
+    """
+    return checkpoint_key(spec)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One leased, idempotent, content-addressed unit of work."""
+
+    key: str
+    fn: Callable[[], Any]
+    index: int
+    deps: Tuple[str, ...] = ()
+
+
+def make_task(
+    fn: Callable[[], Any],
+    spec: Any,
+    *,
+    index: int = 0,
+    deps: Sequence[str] = (),
+) -> Task:
+    """Build a :class:`Task` whose key is content-addressed from ``spec``.
+
+    ``fn`` runs on a worker process: it must be deterministic, must not
+    mutate state shared with the scheduler process, and must return a
+    JSON-serializable payload (the same contract as a ``fork_map``
+    payload — the repro-lint flow pass checks it statically).
+    """
+    return Task(key=task_key(spec), fn=fn, index=int(index), deps=tuple(deps))
+
+
+class TaskGraph:
+    """Ordered, dependency-aware task collection with cycle detection."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+        self._order: List[str] = []
+
+    def add(self, task: Task) -> Task:
+        """Insert ``task``; duplicate keys and unknown deps are errors.
+
+        Dependencies must be inserted before their dependents, which makes
+        cycles unrepresentable by construction.
+        """
+        if task.key in self._tasks:
+            raise ValueError(f"duplicate task key {task.key!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise ValueError(
+                    f"task {task.key!r} depends on unknown task {dep!r}; "
+                    "insert dependencies first"
+                )
+        if task.index != len(self._order):
+            # re-index on insertion: the graph owns the canonical order
+            task = Task(
+                key=task.key, fn=task.fn, index=len(self._order), deps=task.deps
+            )
+        self._tasks[task.key] = task
+        self._order.append(task.key)
+        return task
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        spec: Any,
+        deps: Sequence[str] = (),
+    ) -> Task:
+        """Convenience: :func:`make_task` + :meth:`add` in one call."""
+        return self.add(make_task(fn, spec, index=len(self._order), deps=deps))
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        for key in self._order:
+            yield self._tasks[key]
+
+    def __getitem__(self, key: str) -> Task:
+        return self._tasks[key]
+
+    @property
+    def keys(self) -> List[str]:
+        """Task keys in canonical (insertion) order."""
+        return list(self._order)
+
+    def dependents(self) -> Dict[str, List[str]]:
+        """Reverse adjacency: key -> keys that wait on it (canonical order)."""
+        out: Dict[str, List[str]] = {key: [] for key in self._order}
+        for key in self._order:
+            for dep in self._tasks[key].deps:
+                out[dep].append(key)
+        return out
+
+    # -- worker side ----------------------------------------------------
+    def run(self, key: str) -> Any:
+        """Execute one task's payload (called on a worker)."""
+        return self._tasks[key].fn()

@@ -1,0 +1,331 @@
+"""Pluggable worker transports for the distributed sweep engine.
+
+A :class:`Transport` owns the worker fleet: it spawns workers around a
+:class:`~repro.distributed.tasks.TaskGraph`, carries the five-tuple
+messages of :mod:`repro.distributed.worker` in both directions, answers
+liveness probes, and — where the platform allows — kills and replaces
+workers.  The scheduler only ever talks to this interface, so moving a
+campaign from threads to processes to (eventually) remote hosts is a
+transport swap, not a scheduler change.
+
+Two implementations ship:
+
+:class:`InprocTransport`
+    workers are daemon threads in the scheduler's own process.  Zero
+    start-up cost and fully deterministic — the unit-test transport.  It
+    cannot kill a hung thread (``can_kill`` is ``False``): "killing" a
+    worker *condemns* it — the scheduler stops counting it and its late
+    results are discarded by the idempotent commit.
+
+:class:`ForkTransport`
+    workers are forked daemon processes.  Task payloads (closures over
+    solvers, simulators, shared-memory handles) are inherited copy-on-
+    write — nothing but the task key crosses the process boundary, the
+    same zero-pickling trick as :func:`repro._parallel.fork_map`.  Each
+    worker gets its *own* pair of queues so a SIGKILLed worker can corrupt
+    at most its own channel, never a sibling's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple
+
+from .._parallel import parallelism_available
+from .tasks import TaskGraph
+from .worker import worker_loop
+
+__all__ = ["Transport", "InprocTransport", "ForkTransport"]
+
+Message = Tuple[str, str, Any, Any, Any]
+
+
+class Transport(ABC):
+    """Worker fleet interface: spawn, message, probe, kill, replace."""
+
+    #: whether :meth:`kill` really terminates a worker (process transports)
+    #: or merely condemns it (thread transports)
+    can_kill: bool = False
+
+    @abstractmethod
+    def start(
+        self, graph: TaskGraph, n_workers: int, heartbeat_interval: float
+    ) -> None:
+        """Spawn the initial fleet around ``graph``."""
+
+    @abstractmethod
+    def workers(self) -> List[str]:
+        """Ids of currently listed (non-condemned) workers, spawn order."""
+
+    @abstractmethod
+    def send(self, worker_id: str, msg: Tuple[Any, ...]) -> None:
+        """Deliver one scheduler->worker message."""
+
+    @abstractmethod
+    def recv_all(self) -> List[Message]:
+        """Drain every pending worker->scheduler message (never blocks).
+
+        Messages are returned grouped by worker in spawn order — a
+        deterministic drain order, so the scheduler's bookkeeping does not
+        depend on cross-worker queue timing beyond true completion order.
+        """
+
+    @abstractmethod
+    def is_alive(self, worker_id: str) -> bool:
+        """Liveness probe; condemned/killed workers are dead."""
+
+    @abstractmethod
+    def kill(self, worker_id: str) -> None:
+        """Terminate (or condemn) one worker."""
+
+    @abstractmethod
+    def spawn(self) -> str:
+        """Start one replacement worker; returns its fresh id."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Stop the fleet and release every channel."""
+
+
+# ---------------------------------------------------------------------------
+# in-process (thread) transport
+# ---------------------------------------------------------------------------
+
+
+class _InprocWorker:
+    def __init__(self, worker_id: str) -> None:
+        self.id = worker_id
+        self.inbox: "queue_mod.Queue[Tuple[Any, ...]]" = queue_mod.Queue()
+        self.outbox: "queue_mod.Queue[Message]" = queue_mod.Queue()
+        self.thread: Optional[threading.Thread] = None
+        self.condemned = False
+
+
+class InprocTransport(Transport):
+    """Thread-backed transport — deterministic, kill-free, test-friendly."""
+
+    can_kill = False
+
+    def __init__(self) -> None:
+        self._workers: Dict[str, _InprocWorker] = {}
+        self._order: List[str] = []
+        self._seq = 0
+        self._graph: Optional[TaskGraph] = None
+        self._heartbeat = 1.0
+
+    def start(
+        self, graph: TaskGraph, n_workers: int, heartbeat_interval: float
+    ) -> None:
+        self._graph = graph
+        self._heartbeat = float(heartbeat_interval)
+        for _ in range(max(int(n_workers), 1)):
+            self.spawn()
+
+    def spawn(self) -> str:
+        if self._graph is None:
+            raise RuntimeError("transport not started")
+        worker_id = f"w{self._seq}"
+        self._seq += 1
+        w = _InprocWorker(worker_id)
+        thread = threading.Thread(
+            target=worker_loop,
+            args=(worker_id, w.inbox.get, w.outbox.put, self._graph, self._heartbeat),
+            name=f"repro-inproc-{worker_id}",
+            daemon=True,
+        )
+        w.thread = thread
+        self._workers[worker_id] = w
+        self._order.append(worker_id)
+        thread.start()
+        return worker_id
+
+    def workers(self) -> List[str]:
+        return [wid for wid in self._order if not self._workers[wid].condemned]
+
+    def send(self, worker_id: str, msg: Tuple[Any, ...]) -> None:
+        self._workers[worker_id].inbox.put(msg)
+
+    def recv_all(self) -> List[Message]:
+        out: List[Message] = []
+        for wid in self._order:
+            w = self._workers[wid]
+            # a condemned worker's channel keeps draining: its late result
+            # must *arrive* so the idempotent commit can discard it
+            while True:
+                try:
+                    out.append(w.outbox.get_nowait())
+                except queue_mod.Empty:
+                    break
+        return out
+
+    def is_alive(self, worker_id: str) -> bool:
+        w = self._workers.get(worker_id)
+        if w is None or w.condemned:
+            return False
+        return w.thread is not None and w.thread.is_alive()
+
+    def kill(self, worker_id: str) -> None:
+        # threads cannot be killed: condemn the worker so the scheduler
+        # stops counting it; a hung daemon thread dies with the process
+        w = self._workers.get(worker_id)
+        if w is not None:
+            w.condemned = True
+
+    def stop(self) -> None:
+        for wid in self._order:
+            w = self._workers[wid]
+            if w.thread is not None and w.thread.is_alive():
+                w.inbox.put(("stop",))
+        for wid in self._order:
+            w = self._workers[wid]
+            if w.thread is not None:
+                w.thread.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# forked-process transport
+# ---------------------------------------------------------------------------
+
+
+def _fork_worker_main(
+    worker_id: str,
+    inbox: Any,
+    outbox: Any,
+    graph: TaskGraph,
+    heartbeat_interval: float,
+) -> None:  # pragma: no cover - runs in the forked child
+    worker_loop(worker_id, inbox.get, outbox.put, graph, heartbeat_interval)
+
+
+class _ForkWorker:
+    def __init__(self, worker_id: str, inbox: Any, outbox: Any, process: Any) -> None:
+        self.id = worker_id
+        self.inbox = inbox
+        self.outbox = outbox
+        self.process = process
+        self.condemned = False
+
+
+class ForkTransport(Transport):
+    """Forked-process transport: copy-on-write payloads, real kills."""
+
+    can_kill = True
+
+    def __init__(self) -> None:
+        if not parallelism_available():
+            raise RuntimeError(
+                "ForkTransport needs the 'fork' start method; use "
+                "InprocTransport (or run serially) on this platform"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: Dict[str, _ForkWorker] = {}
+        self._order: List[str] = []
+        self._seq = 0
+        self._graph: Optional[TaskGraph] = None
+        self._heartbeat = 1.0
+
+    def start(
+        self, graph: TaskGraph, n_workers: int, heartbeat_interval: float
+    ) -> None:
+        self._graph = graph
+        self._heartbeat = float(heartbeat_interval)
+        for _ in range(max(int(n_workers), 1)):
+            self.spawn()
+
+    def spawn(self) -> str:
+        if self._graph is None:
+            raise RuntimeError("transport not started")
+        worker_id = f"w{self._seq}"
+        self._seq += 1
+        # per-worker channels: a SIGKILL mid-write can tear only this
+        # worker's queue, never a sibling's
+        inbox = self._ctx.Queue()
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_fork_worker_main,
+            # fork start method: args are inherited, not pickled — the
+            # graph's closures (solvers, simulators) never serialize
+            args=(worker_id, inbox, outbox, self._graph, self._heartbeat),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        self._workers[worker_id] = _ForkWorker(worker_id, inbox, outbox, process)
+        self._order.append(worker_id)
+        process.start()
+        return worker_id
+
+    def workers(self) -> List[str]:
+        return [wid for wid in self._order if not self._workers[wid].condemned]
+
+    def send(self, worker_id: str, msg: Tuple[Any, ...]) -> None:
+        self._workers[worker_id].inbox.put(msg)
+
+    def recv_all(self) -> List[Message]:
+        out: List[Message] = []
+        for wid in self._order:
+            w = self._workers[wid]
+            if w.condemned:
+                continue
+            while True:
+                try:
+                    out.append(w.outbox.get_nowait())
+                except queue_mod.Empty:
+                    break
+                except (OSError, EOFError):  # torn channel after a kill
+                    break
+        return out
+
+    def is_alive(self, worker_id: str) -> bool:
+        w = self._workers.get(worker_id)
+        if w is None or w.condemned:
+            return False
+        return bool(w.process.is_alive())
+
+    def kill(self, worker_id: str) -> None:
+        w = self._workers.get(worker_id)
+        if w is None or w.condemned:
+            return
+        w.condemned = True
+        try:
+            w.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+        w.process.join(timeout=5.0)
+        self._release_channels(w)
+
+    @staticmethod
+    def _release_channels(w: _ForkWorker) -> None:
+        for q in (w.inbox, w.outbox):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+
+    def stop(self) -> None:
+        for wid in self._order:
+            w = self._workers[wid]
+            if w.condemned:
+                continue
+            if w.process.is_alive():
+                try:
+                    w.inbox.put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for wid in self._order:
+            w = self._workers[wid]
+            if w.condemned:
+                continue
+            w.process.join(timeout=2.0)
+            if w.process.is_alive():
+                # a hung worker ignores stop: kill it — its lease already
+                # expired or its task was re-run elsewhere
+                try:
+                    w.process.kill()
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
+                w.process.join(timeout=5.0)
+            self._release_channels(w)

@@ -1,0 +1,95 @@
+"""The worker run loop shared by every transport.
+
+A worker is a message-driven loop: receive ``("run", key, generation,
+index)``, execute the task's payload from its (inherited) task graph,
+report ``("result", ...)`` or ``("error", ...)``, announce ``("ready",
+...)`` and wait for the next assignment.  While a task runs, a background
+heartbeat thread emits ``("heartbeat", ...)`` every interval — the
+scheduler renews the task's lease on each beat, so a worker that stops
+beating (SIGKILL, OOM, power loss) is detected by lease expiry without
+any platform-specific process introspection.
+
+A worker that is *hung* (stuck inside the payload) still heartbeats —
+liveness is not progress — which is exactly why the scheduler pairs
+leases with a per-task wall-time bound and speculative re-execution; see
+:mod:`repro.distributed.scheduler` for the recovery matrix.
+
+Chaos hooks: the payload execution passes through
+:func:`repro._parallel._maybe_chaos`, so the existing ``REPRO_CHAOS``
+``crash:<index>`` / ``hang:<index>`` environment contract (and the marker
+``REPRO_CHAOS_DIR`` one-shot protocol) drives the chaos suite here too —
+indices address the task's canonical graph index.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Tuple
+
+from .._parallel import _maybe_chaos
+from .tasks import TaskGraph
+
+__all__ = ["worker_loop"]
+
+#: message tuples are deliberately primitive (kind, worker_id, key,
+#: generation, payload) — every transport can carry them, pickled or not
+Message = Tuple[str, str, Any, Any, Any]
+
+
+def _heartbeat_loop(
+    emit: Callable[[Message], None],
+    worker_id: str,
+    key: str,
+    generation: int,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            emit(("heartbeat", worker_id, key, generation, None))
+        except Exception:  # repro-lint: disable=RL006
+            # the scheduler is gone (queue closed mid-shutdown); the
+            # worker loop itself will find out on its next send
+            return
+
+
+def worker_loop(
+    worker_id: str,
+    recv: Callable[[], Tuple[Any, ...]],
+    emit: Callable[[Message], None],
+    graph: TaskGraph,
+    heartbeat_interval: float,
+) -> None:
+    """Run tasks until a ``("stop",)`` message arrives.
+
+    ``recv`` blocks for the next scheduler message; ``emit`` delivers one
+    message back.  The loop never raises out of a task: payload exceptions
+    are reported as ``("error", ...)`` messages (they indicate a
+    deterministic bug — the scheduler fails fast rather than retrying).
+    """
+    emit(("ready", worker_id, None, None, None))
+    while True:
+        msg = recv()
+        if not msg or msg[0] == "stop":
+            return
+        _, key, generation, index = msg
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(emit, worker_id, key, generation, heartbeat_interval, stop),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            _maybe_chaos(int(index))
+            value = graph.run(key)
+        except Exception as exc:
+            stop.set()
+            emit(("error", worker_id, key, generation, repr(exc)))
+        else:
+            stop.set()
+            emit(("result", worker_id, key, generation, value))
+        finally:
+            stop.set()
+            beat.join(timeout=heartbeat_interval * 2)
+        emit(("ready", worker_id, None, None, None))

@@ -1,0 +1,107 @@
+"""Shared fixtures for the distributed engine tests.
+
+``FakeClock`` gives lease/timeout tests a hand-cranked time source;
+``ScriptedTransport`` is a fully synchronous transport the tests drive
+message by message — no threads, no processes, no sleeps — so failure
+sequences (crash, silence, limplock) are exact scripts, not races.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro._checkpoint import CheckpointStore, checkpoint_key
+from repro.distributed.tasks import TaskGraph
+from repro.distributed.transport import Transport
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += float(dt)
+
+
+class ScriptedTransport(Transport):
+    """A transport whose workers are imaginary: tests inject the messages."""
+
+    can_kill = True
+
+    def __init__(self) -> None:
+        self.sent: List[Tuple[str, Tuple[Any, ...]]] = []
+        self.inbox: List[Tuple[Any, ...]] = []
+        self.alive: set = set()
+        self.killed: List[str] = []
+        self._order: List[str] = []
+        self._seq = 0
+        self.graph = None
+
+    def start(self, graph, n_workers, heartbeat_interval) -> None:
+        self.graph = graph
+        for _ in range(n_workers):
+            self.spawn()
+
+    def spawn(self) -> str:
+        wid = f"w{self._seq}"
+        self._seq += 1
+        self._order.append(wid)
+        self.alive.add(wid)
+        self.inbox.append(("ready", wid, None, None, None))
+        return wid
+
+    def workers(self):
+        return [w for w in self._order if w in self.alive]
+
+    def send(self, worker_id, msg) -> None:
+        self.sent.append((worker_id, msg))
+
+    def recv_all(self):
+        out, self.inbox = self.inbox, []
+        return out
+
+    def is_alive(self, worker_id) -> bool:
+        return worker_id in self.alive
+
+    def kill(self, worker_id) -> None:
+        self.alive.discard(worker_id)
+        self.killed.append(worker_id)
+
+    def stop(self) -> None:
+        pass
+
+    # -- test helpers ----------------------------------------------------
+    def assignment_of(self, key: str):
+        """Latest ("run", key, ...) send, as (worker, generation)."""
+        for worker, msg in reversed(self.sent):
+            if msg[0] == "run" and msg[1] == key:
+                return worker, msg[2]
+        return None
+
+    def crash(self, worker_id: str) -> None:
+        self.alive.discard(worker_id)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(
+        str(tmp_path / "cells.ckpt"), checkpoint_key({"suite": "distributed"})
+    )
+
+
+def square_graph(n: int = 4) -> TaskGraph:
+    """A graph of n independent squaring tasks with stable keys."""
+    graph = TaskGraph()
+    for i in range(n):
+        graph.submit(lambda i=i: i * i, {"task": "square", "i": i})
+    return graph

@@ -1,0 +1,194 @@
+"""Chaos suite: real forked workers killed and hung mid-campaign.
+
+Uses the existing ``REPRO_CHAOS`` contract (crash:<idx> / hang:<idx> with
+one-shot markers in ``REPRO_CHAOS_DIR``) against the ForkTransport: a
+worker is SIGKILLed mid-task or wedged inside a payload, and the campaign
+must still complete with results identical to an undisturbed run.
+"""
+
+import numpy as np
+import pytest
+
+from repro._checkpoint import CheckpointStore, checkpoint_key
+from repro._parallel import parallelism_available
+from repro.distributed.scheduler import Scheduler
+from repro.distributed.tasks import TaskGraph
+from repro.distributed.transport import ForkTransport
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="needs the fork start method"
+)
+
+SERIAL = [i * i for i in range(8)]
+
+
+def build_graph(n=8):
+    graph = TaskGraph()
+    for i in range(n):
+        graph.submit(lambda i=i: i * i, {"task": "chaos-square", "i": i})
+    return graph
+
+
+def fresh_store(tmp_path, name):
+    return CheckpointStore(
+        str(tmp_path / name), checkpoint_key({"suite": "chaos"})
+    )
+
+
+@needs_fork
+class TestCrashRecovery:
+    def test_sigkilled_worker_mid_campaign(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash:3")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        graph = build_graph()
+        sched = Scheduler(
+            graph,
+            fresh_store(tmp_path, "crash.ckpt"),
+            transport=ForkTransport(),
+            workers=3,
+            lease_ttl=5.0,
+            backoff=0.05,
+            tick=0.01,
+        )
+        results = sched.run()
+        assert [results[k] for k in graph.keys] == SERIAL
+        assert sched.stats.workers_killed >= 1
+        assert sched.stats.retries >= 1
+
+    def test_two_workers_killed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash:1,crash:5")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        graph = build_graph()
+        sched = Scheduler(
+            graph,
+            fresh_store(tmp_path, "crash2.ckpt"),
+            transport=ForkTransport(),
+            workers=3,
+            lease_ttl=5.0,
+            backoff=0.05,
+            tick=0.01,
+        )
+        results = sched.run()
+        assert [results[k] for k in graph.keys] == SERIAL
+        assert sched.stats.workers_killed >= 2
+
+
+@needs_fork
+class TestHangRecovery:
+    def test_hung_worker_is_timed_out_and_replaced(self, tmp_path, monkeypatch):
+        # the hung worker's heartbeat thread keeps beating: only the
+        # per-task wall-time bound catches it (liveness is not progress)
+        monkeypatch.setenv("REPRO_CHAOS", "hang:2")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        graph = build_graph()
+        sched = Scheduler(
+            graph,
+            fresh_store(tmp_path, "hang.ckpt"),
+            transport=ForkTransport(),
+            workers=3,
+            lease_ttl=30.0,  # heartbeats renew: the lease never expires
+            task_timeout=1.5,
+            backoff=0.05,
+            tick=0.01,
+        )
+        results = sched.run()
+        assert [results[k] for k in graph.keys] == SERIAL
+        assert sched.stats.workers_killed >= 1
+
+
+@needs_fork
+class TestKilledThenResumed:
+    def test_resumed_campaign_recomputes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash:0")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        path = str(tmp_path / "resume.ckpt")
+        key = checkpoint_key({"suite": "chaos"})
+        store = CheckpointStore(path, key)
+        graph = build_graph()
+        sched = Scheduler(
+            graph,
+            store,
+            transport=ForkTransport(),
+            workers=2,
+            lease_ttl=5.0,
+            backoff=0.05,
+            tick=0.01,
+        )
+        results = sched.run()
+        assert [results[k] for k in graph.keys] == SERIAL
+        # "scheduler killed": reopen the store as a fresh process would
+        store2 = CheckpointStore(path, key)
+        graph2 = build_graph()
+        sched2 = Scheduler(
+            graph2, store2, transport=ForkTransport(), workers=2, tick=0.01
+        )
+        results2 = sched2.run()
+        assert [results2[k] for k in graph2.keys] == SERIAL
+        assert sched2.stats.executed == 0  # zero recompute ...
+        assert store2.hits == len(graph2)  # ... verified via hit counts
+
+
+@needs_fork
+class TestCampaignParity:
+    def test_chaotic_distributed_campaign_matches_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.analysis.resilience import ResilienceCampaign
+        from repro.core import ReallocationPolicy
+        from repro.faults import FaultPlan
+
+        from ..conftest import small_exp_model
+
+        campaign = ResilienceCampaign(
+            model=small_exp_model(),
+            loads=[5, 3],
+            policies=[
+                ("baseline", ReallocationPolicy.none(2)),
+                ("optimal", ReallocationPolicy.two_server(2, 1)),
+            ],
+            plan=FaultPlan.standard(seed=5),
+            deadline=60.0,
+            n_reps=16,
+            seed=17,
+        )
+        serial = campaign.run([0.0, 0.6])
+        monkeypatch.setenv("REPRO_CHAOS", "crash:1")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        chaotic = campaign.run(
+            [0.0, 0.6],
+            workers=3,
+            scheduler_options={"lease_ttl": 5.0, "backoff": 0.05, "tick": 0.01},
+        )
+        assert len(chaotic.cells) == len(serial.cells)
+        for a, b in zip(serial.cells, chaotic.cells):
+            assert a.to_dict() == b.to_dict()  # bit-identical to serial
+
+    def test_chaotic_distributed_sweep_matches_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.distributed.sweeps import distributed_sweep
+
+        def cell_value(l12, l21):
+            return float(l12 * 10 + l21)
+
+        expected = np.array(
+            [[cell_value(i, j) for j in range(3)] for i in range(4)]
+        )
+        monkeypatch.setenv("REPRO_CHAOS", "crash:2,hang:7")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        surface = distributed_sweep(
+            cell_value,
+            list(range(4)),
+            list(range(3)),
+            metric_name="avg_execution_time",
+            loads=[3, 2],
+            store=fresh_store(tmp_path, "sweep.ckpt"),
+            workers=3,
+            scheduler_options={
+                "lease_ttl": 5.0,
+                "task_timeout": 1.5,
+                "backoff": 0.05,
+                "tick": 0.01,
+            },
+        )
+        np.testing.assert_array_equal(surface, expected)

@@ -1,0 +1,76 @@
+"""Dashboard rendering: golden frames from synthetic stats, no scheduler."""
+
+import io
+
+from repro.distributed.dashboard import Dashboard
+from repro.distributed.scheduler import SchedulerStats
+
+
+def make_stats(**overrides):
+    stats = SchedulerStats(total=961)
+    stats.done = 801
+    stats.resumed = 640
+    stats.executed = 161
+    stats.in_flight = 4
+    stats.ready = 156
+    stats.retries = 2
+    stats.speculated = 1
+    stats.stragglers = 1
+    stats.duplicates_discarded = 0
+    stats.workers = 4
+    stats.workers_killed = 1
+    stats.store_hits = 640
+    stats.store_misses = 321
+    stats.elapsed = 64.5
+    stats.throughput = 12.4
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestRender:
+    def test_golden_frame(self):
+        frame = Dashboard(title="sweep").render(make_stats())
+        assert frame.splitlines() == [
+            "sweep 961 cells  [#########################.....]  801/961 (83.4%)",
+            "throughput   12.4 cells/s   elapsed 64.5 s   eta ~12.9 s",
+            "workers 4 (1 killed)   in-flight 4   ready 156   stragglers 1",
+            "retries 2   speculative 1   duplicates 0   resumed 640",
+            "checkpoint hits 640 / misses 321 (66.6% hit rate)",
+        ]
+
+    def test_complete_run_has_no_eta(self):
+        frame = Dashboard().render(make_stats(done=961, throughput=15.0))
+        assert "eta -" in frame
+        assert "961/961 (100.0%)" in frame
+        assert "[" + "#" * 30 + "]" in frame
+
+    def test_empty_campaign_does_not_divide_by_zero(self):
+        stats = SchedulerStats(total=0)
+        frame = Dashboard().render(stats)
+        assert "0/0" in frame
+        assert "(0.0% hit rate)" in frame
+
+
+class TestEmit:
+    def test_plain_stream_appends_frames(self):
+        stream = io.StringIO()  # not a TTY: no cursor-control escapes
+        dash = Dashboard(title="t", stream=stream)
+        dash.emit(make_stats(done=1))
+        dash.emit(make_stats(done=2))
+        out = stream.getvalue()
+        assert "\x1b[" not in out
+        assert out.count("t 961 cells") == 2
+
+    def test_tty_stream_rewrites_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        dash = Dashboard(title="t", stream=stream)
+        dash.emit(make_stats(done=1))
+        dash.emit(make_stats(done=2))
+        out = stream.getvalue()
+        # second frame starts by cursoring back over the 5-line first frame
+        assert "\x1b[5F\x1b[J" in out

@@ -1,0 +1,135 @@
+"""Lease semantics over the checkpoint store (satellite #3 of the issue).
+
+Covers the full claim lifecycle: acquisition and generation bumps, renewal
+by heartbeat, expiry -> reclaim -> reassign, double-completion resolution,
+and persistence of lease/generation records across a store reopen.
+"""
+
+import pytest
+
+from repro._checkpoint import CheckpointStore, checkpoint_key
+from repro.distributed.lease import LeaseManager
+
+from .conftest import FakeClock
+
+KEY = "task-a"
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(str(tmp_path / "s.ckpt"), checkpoint_key({"t": 1}))
+
+
+@pytest.fixture
+def leases(store, clock):
+    return LeaseManager(store, ttl=10.0, clock=clock)
+
+
+class TestAcquire:
+    def test_first_acquire_is_generation_one(self, leases):
+        assert leases.acquire(KEY, "w0") == 1
+
+    def test_conflicting_acquire_is_refused_while_valid(self, leases):
+        leases.acquire(KEY, "w0")
+        assert leases.acquire(KEY, "w1") is None
+
+    def test_completed_task_cannot_be_leased(self, leases, store):
+        store.put(KEY, 123)
+        assert leases.acquire(KEY, "w0") is None
+
+    def test_reacquire_after_expiry_bumps_generation(self, leases, clock):
+        assert leases.acquire(KEY, "w0") == 1
+        clock.advance(10.0)  # deadline is inclusive: now >= deadline expires
+        assert leases.expired() == [KEY]
+        assert leases.acquire(KEY, "w1") == 2
+        assert leases.generation(KEY) == 2
+
+
+class TestRenewal:
+    def test_heartbeat_renewal_extends_the_deadline(self, leases, clock):
+        leases.acquire(KEY, "w0")
+        clock.advance(8.0)
+        assert leases.renew(KEY, "w0")
+        clock.advance(8.0)  # t=16 < 8+10: still covered by the renewal
+        assert leases.expired() == []
+
+    def test_limplocked_worker_keeps_its_lease_alive(self, leases, clock):
+        # limplock: the worker is slow but not silent — heartbeats keep
+        # arriving, so the *lease* never expires (detection of limplock is
+        # the scheduler's speculation/timeout job, not the lease's)
+        leases.acquire(KEY, "w0")
+        for _ in range(10):
+            clock.advance(5.0)
+            assert leases.renew(KEY, "w0")
+        assert leases.expired() == []
+
+    def test_superseded_worker_cannot_renew(self, leases, clock):
+        leases.acquire(KEY, "w0")
+        clock.advance(10.0)
+        leases.acquire(KEY, "w1")  # reclaim after expiry
+        assert not leases.renew(KEY, "w0")
+
+    def test_release_then_renew_fails(self, leases):
+        leases.acquire(KEY, "w0")
+        assert leases.release(KEY, "w0")
+        assert not leases.renew(KEY, "w0")
+
+
+class TestExpiryReclaimReassign:
+    def test_full_cycle(self, leases, clock):
+        gen0 = leases.acquire(KEY, "w0")
+        clock.advance(11.0)
+        assert leases.expired() == [KEY]
+        gen1 = leases.acquire(KEY, "w1")  # reassign to a fresh worker
+        assert (gen0, gen1) == (1, 2)
+        assert leases.expired() == []  # the new lease is live again
+
+    def test_reclaim_all_drops_every_record(self, leases, store):
+        leases.acquire("a", "w0")
+        leases.acquire("b", "w1")
+        assert sorted(leases.reclaim_all()) == ["a", "b"]
+        assert store.active_leases == {}
+        # generations survive the reclaim: the retry cap keeps counting
+        assert leases.generation("a") == 1
+
+
+class TestDoubleCompletion:
+    def test_first_commit_wins_deterministically(self, store):
+        assert store.put_if_absent(KEY, "first")
+        assert not store.put_if_absent(KEY, "late-twin")
+        assert store.get(KEY) == "first"
+
+    def test_completion_clears_the_lease(self, leases, store):
+        leases.acquire(KEY, "w0")
+        store.put_if_absent(KEY, 7)
+        assert store.lease_of(KEY) is None
+
+
+class TestPersistence:
+    def test_leases_and_generations_survive_reopen(self, tmp_path, clock):
+        key = checkpoint_key({"t": 1})
+        path = str(tmp_path / "s.ckpt")
+        store = CheckpointStore(path, key)
+        leases = LeaseManager(store, ttl=10.0, clock=clock)
+        leases.acquire(KEY, "w0")
+        reopened = CheckpointStore(path, key)
+        assert reopened.lease_of(KEY)["owner"] == "w0"
+        assert reopened.generation(KEY) == 1
+
+    def test_restart_reclaims_stale_leases_but_keeps_retry_count(
+        self, tmp_path, clock
+    ):
+        key = checkpoint_key({"t": 1})
+        path = str(tmp_path / "s.ckpt")
+        store = CheckpointStore(path, key)
+        LeaseManager(store, ttl=10.0, clock=clock).acquire(KEY, "w0")
+        # scheduler restart: a fresh manager over the reloaded store
+        store2 = CheckpointStore(path, key)
+        leases2 = LeaseManager(store2, ttl=10.0, clock=clock)
+        assert leases2.reclaim_all() == [KEY]
+        assert leases2.acquire(KEY, "w1") == 2  # the cap keeps counting

@@ -1,0 +1,281 @@
+"""Scheduler behavior under scripted failures (no threads, no sleeps).
+
+The ScriptedTransport plus a FakeClock turn every failure mode into an
+exact message sequence: the tests call the scheduler's reap/dispatch steps
+directly, so crash detection, lease expiry, hang timeouts, speculation and
+the retry budget are each pinned down without real concurrency.
+"""
+
+import pytest
+
+from repro.distributed.scheduler import Scheduler, SchedulerError
+from repro.distributed.tasks import TaskGraph
+from repro.distributed.transport import InprocTransport
+
+from .conftest import FakeClock, ScriptedTransport, square_graph
+
+
+def make_scheduler(graph, store, clock, **overrides):
+    options = dict(
+        transport=ScriptedTransport(),
+        workers=2,
+        lease_ttl=10.0,
+        backoff=0.0,
+        speculate=False,
+        clock=clock,
+    )
+    options.update(overrides)
+    return Scheduler(graph, store, **options)
+
+
+def boot(sched):
+    """Mirror run()'s setup: states, lease reclaim, fleet start, readies."""
+    sched._started_at = sched.clock()
+    sched._init_states()
+    sched.leases.reclaim_all()
+    sched.transport.start(sched.graph, sched.workers, sched.heartbeat_interval)
+    pump(sched)
+
+
+def pump(sched):
+    """One loop body: drain messages, reap, dispatch."""
+    for msg in sched.transport.recv_all():
+        sched._handle(msg)
+    now = sched.clock()
+    sched._reap_dead_workers(now)
+    sched._reap_expired_leases(now)
+    sched._reap_timeouts(now)
+    sched._maybe_speculate(now)
+    sched._dispatch(now)
+
+
+class TestDispatch:
+    def test_canonical_order_and_one_task_per_worker(self, store, clock):
+        graph = square_graph(4)
+        sched = make_scheduler(graph, store, clock)
+        boot(sched)
+        assigned = [msg[1] for _, msg in sched.transport.sent if msg[0] == "run"]
+        assert assigned == graph.keys[:2]  # two workers, canonical order
+
+    def test_dependency_gates_dispatch(self, store, clock):
+        graph = TaskGraph()
+        a = graph.submit(lambda: 1, {"i": 0})
+        b = graph.submit(lambda: 2, {"i": 1}, deps=[a.key])
+        sched = make_scheduler(graph, store, clock)
+        boot(sched)
+        assert sched.transport.assignment_of(b.key) is None
+        worker, gen = sched.transport.assignment_of(a.key)
+        sched.transport.inbox.append(("result", worker, a.key, gen, 1))
+        sched.transport.inbox.append(("ready", worker, None, None, None))
+        pump(sched)
+        assert sched.transport.assignment_of(b.key) is not None
+
+
+class TestCrashRecovery:
+    def test_dead_worker_detected_reassigned_and_replaced(self, store, clock):
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1)
+        boot(sched)
+        worker, _ = sched.transport.assignment_of(key)
+        sched.transport.crash(worker)  # SIGKILL: liveness probe fails
+        pump(sched)  # detect + reclaim + respawn
+        pump(sched)  # replacement announces ready; task reassigned
+        worker2, gen2 = sched.transport.assignment_of(key)
+        assert worker2 != worker
+        assert gen2 == 2
+        assert sched.stats.retries == 1
+        assert sched.stats.workers_killed == 1
+
+    def test_lease_expiry_reclaims_a_silent_worker(self, store, clock):
+        # the worker is alive but silent (no heartbeats): only the lease
+        # notices — this is the scheduler-crash-proof detection path
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1)
+        boot(sched)
+        worker, _ = sched.transport.assignment_of(key)
+        clock.advance(11.0)  # past the 10 s TTL with no renewal
+        pump(sched)
+        pump(sched)
+        worker2, _ = sched.transport.assignment_of(key)
+        assert worker2 != worker
+        assert worker in sched.transport.killed
+
+    def test_heartbeats_keep_the_lease_alive(self, store, clock):
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1)
+        boot(sched)
+        worker, gen = sched.transport.assignment_of(key)
+        for _ in range(4):
+            clock.advance(5.0)
+            sched.transport.inbox.append(("heartbeat", worker, key, gen, None))
+            pump(sched)
+        assert sched.transport.assignment_of(key) == (worker, gen)
+        assert sched.stats.retries == 0
+
+
+class TestHangAndLimplock:
+    def test_task_timeout_reclaims_despite_heartbeats(self, store, clock):
+        # a hung worker still heartbeats — liveness is not progress; the
+        # wall-time bound is what catches it
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1, task_timeout=20.0)
+        boot(sched)
+        worker, gen = sched.transport.assignment_of(key)
+        for _ in range(5):
+            clock.advance(5.0)
+            sched.transport.inbox.append(("heartbeat", worker, key, gen, None))
+            pump(sched)
+        pump(sched)
+        worker2, _ = sched.transport.assignment_of(key)
+        assert worker2 != worker
+        assert worker in sched.transport.killed
+
+    def test_straggler_gets_a_speculative_twin(self, store, clock):
+        graph = square_graph(4)
+        sched = make_scheduler(
+            graph,
+            store,
+            clock,
+            workers=2,
+            speculate=True,
+            min_durations=3,
+            speculation_factor=3.0,
+            speculation_floor=0.5,
+        )
+        boot(sched)
+        # three fast completions to establish the duration median (~0.1 s)
+        for key in graph.keys[:3]:
+            hit = sched.transport.assignment_of(key)
+            if hit is None:
+                pump(sched)
+                hit = sched.transport.assignment_of(key)
+            worker, gen = hit
+            clock.advance(0.1)
+            sched.transport.inbox.append(("result", worker, key, gen, 0))
+            sched.transport.inbox.append(("ready", worker, None, None, None))
+            pump(sched)
+        straggler = graph.keys[3]
+        primary, gen = sched.transport.assignment_of(straggler)
+        clock.advance(5.0)  # way past 3 x median
+        pump(sched)
+        assert sched.stats.speculated == 1
+        state = sched._states[straggler]
+        assert len(state.assignments) == 2
+        twin = next(a for a in state.assignments if a.speculative)
+        # kill-on-first-finish: the twin commits first, the primary dies
+        sched.transport.inbox.append(("result", twin.worker, straggler, twin.generation, 9))
+        pump(sched)
+        assert primary in sched.transport.killed
+        assert sched._results[straggler] == 9
+        # the loser's late result is discarded by the idempotent commit
+        sched.transport.inbox.append(("result", primary, straggler, gen, 9))
+        pump(sched)
+        assert sched.stats.duplicates_discarded == 1
+        assert store.get(straggler) == 9
+
+
+class TestRetryBudget:
+    def test_budget_exhaustion_raises(self, store, clock):
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1, max_attempts=2)
+        boot(sched)
+        worker, _ = sched.transport.assignment_of(key)
+        sched.transport.crash(worker)
+        pump(sched)  # reclaim: attempt 1 of 2 lost
+        pump(sched)  # replacement picks the task up again
+        worker2, gen2 = sched.transport.assignment_of(key)
+        assert worker2 != worker
+        assert gen2 == 2
+        sched.transport.crash(worker2)
+        with pytest.raises(SchedulerError, match="retry budget"):
+            pump(sched)
+
+    def test_backoff_defers_the_reassignment(self, store, clock):
+        graph = square_graph(1)
+        key = graph.keys[0]
+        sched = make_scheduler(graph, store, clock, workers=1, backoff=2.0)
+        boot(sched)
+        worker, _ = sched.transport.assignment_of(key)
+        sched.transport.crash(worker)
+        pump(sched)
+        pump(sched)
+        # still the crashed assignment: not_before is in the future
+        assert sched.transport.assignment_of(key) == (worker, 1)
+        clock.advance(2.0)  # full-jitter backoff is <= base * 2^(n-1)
+        pump(sched)
+        worker2, _ = sched.transport.assignment_of(key)
+        assert worker2 != worker
+
+
+class TestPayloadErrors:
+    def test_payload_exception_fails_fast(self, store, clock):
+        graph = TaskGraph()
+        t = graph.submit(lambda: 1, {"i": 0})
+        sched = make_scheduler(graph, store, clock, workers=1)
+        boot(sched)
+        worker, gen = sched.transport.assignment_of(t.key)
+        sched.transport.inbox.append(
+            ("error", worker, t.key, gen, "ValueError('boom')")
+        )
+        with pytest.raises(SchedulerError, match="deterministic bugs"):
+            pump(sched)
+
+
+class TestEndToEnd:
+    def test_inproc_run_returns_all_results(self, store):
+        graph = square_graph(6)
+        sched = Scheduler(
+            graph, store, transport=InprocTransport(), workers=3, tick=0.001
+        )
+        results = sched.run()
+        assert [results[k] for k in graph.keys] == [0, 1, 4, 9, 16, 25]
+        assert sched.stats.done == 6
+        assert sched.stats.executed == 6
+
+    def test_resume_recomputes_nothing(self, store):
+        graph = square_graph(6)
+        Scheduler(graph, store, transport=InprocTransport(), workers=2, tick=0.001).run()
+        hits_before = store.hits
+        # a second scheduler over the same store: every cell replays
+        graph2 = square_graph(6)
+        sched2 = Scheduler(
+            graph2, store, transport=InprocTransport(), workers=2, tick=0.001
+        )
+        results = sched2.run()
+        assert [results[k] for k in graph2.keys] == [0, 1, 4, 9, 16, 25]
+        assert sched2.stats.executed == 0
+        assert sched2.stats.resumed == 6
+        assert store.hits == hits_before + 6  # verified via hit counts
+
+    def test_partial_store_resumes_only_the_missing_cells(self, store):
+        first = square_graph(3)  # same keys as the first 3 of 6
+        Scheduler(first, store, transport=InprocTransport(), workers=2, tick=0.001).run()
+        full = square_graph(6)
+        sched = Scheduler(
+            full, store, transport=InprocTransport(), workers=2, tick=0.001
+        )
+        results = sched.run()
+        assert [results[k] for k in full.keys] == [0, 1, 4, 9, 16, 25]
+        assert sched.stats.resumed == 3
+        assert sched.stats.executed == 3
+
+    def test_stats_snapshot_reaches_the_hook(self, store):
+        graph = square_graph(4)
+        seen = []
+        sched = Scheduler(
+            graph,
+            store,
+            transport=InprocTransport(),
+            workers=2,
+            tick=0.001,
+            on_stats=lambda s: seen.append(s.to_dict()),
+            stats_interval=0.0,
+        )
+        sched.run()
+        assert seen and seen[-1]["done"] == 4
+        assert seen[-1]["total"] == 4

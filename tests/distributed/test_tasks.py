@@ -1,0 +1,57 @@
+"""Task model: content-addressed keys, canonical order, dependency gates."""
+
+import pytest
+
+from repro._checkpoint import checkpoint_key
+from repro.distributed.tasks import TaskGraph, make_task, task_key
+
+
+class TestTaskKey:
+    def test_equal_specs_equal_keys(self):
+        spec = {"task": "cell", "l12": 3, "l21": 1}
+        assert task_key(spec) == task_key({"l21": 1, "l12": 3, "task": "cell"})
+
+    def test_different_specs_differ(self):
+        assert task_key({"i": 0}) != task_key({"i": 1})
+
+    def test_same_fingerprint_machinery_as_checkpoints(self):
+        spec = {"campaign": "resilience-v1", "cell": [0, 1]}
+        assert task_key(spec) == checkpoint_key(spec)
+
+
+class TestTaskGraph:
+    def test_canonical_order_is_insertion_order(self):
+        graph = TaskGraph()
+        keys = [graph.submit(lambda: None, {"i": i}).key for i in range(5)]
+        assert graph.keys == keys
+        assert [t.index for t in graph] == [0, 1, 2, 3, 4]
+
+    def test_indices_are_reassigned_on_insertion(self):
+        graph = TaskGraph()
+        task = make_task(lambda: 1, {"i": 0}, index=99)
+        added = graph.add(task)
+        assert added.index == 0
+
+    def test_duplicate_key_rejected(self):
+        graph = TaskGraph()
+        graph.submit(lambda: 1, {"i": 0})
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.submit(lambda: 2, {"i": 0})
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="unknown task"):
+            graph.submit(lambda: 1, {"i": 0}, deps=["nope"])
+
+    def test_dependencies_must_precede_dependents(self):
+        # cycles are unrepresentable: a dep must already be in the graph
+        graph = TaskGraph()
+        a = graph.submit(lambda: 1, {"i": 0})
+        b = graph.submit(lambda: 2, {"i": 1}, deps=[a.key])
+        assert graph.dependents()[a.key] == [b.key]
+        assert graph.dependents()[b.key] == []
+
+    def test_run_executes_payload(self):
+        graph = TaskGraph()
+        t = graph.submit(lambda: 42, {"i": 0})
+        assert graph.run(t.key) == 42

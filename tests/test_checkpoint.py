@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro._checkpoint import CheckpointStore, checkpoint_key
+from repro._checkpoint import (
+    CheckpointCorruptionWarning,
+    CheckpointStore,
+    checkpoint_key,
+)
 
 
 class TestCheckpointKey:
@@ -50,7 +54,8 @@ class TestCheckpointStore:
     def test_torn_file_is_tolerated(self, tmp_path):
         path = tmp_path / "run.ckpt"
         path.write_text('{"format": "repro-checkpoint-v1", "key": ', encoding="utf-8")
-        store = CheckpointStore(str(path), key="k1")
+        with pytest.warns(CheckpointCorruptionWarning):
+            store = CheckpointStore(str(path), key="k1")
         assert len(store) == 0
         store.put("a", 1)  # and the store recovers by rewriting atomically
         assert CheckpointStore(str(path), key="k1").get("a") == 1
@@ -65,8 +70,9 @@ class TestCheckpointStore:
         store = CheckpointStore(str(path), key="k1")
         store.put("a", 1)
         store.put("b", 2)
+        # only the snapshot and its one-generation backup may remain
         leftovers = [p.name for p in tmp_path.iterdir() if p.name != "run.ckpt"]
-        assert leftovers == []
+        assert leftovers == ["run.ckpt.bak"]
 
     def test_file_is_valid_json_with_format_and_key(self, tmp_path):
         path = tmp_path / "run.ckpt"
@@ -80,3 +86,75 @@ class TestCheckpointStore:
         path = tmp_path / "deep" / "nested" / "run.ckpt"
         CheckpointStore(str(path), key="k1").put("a", 1)
         assert path.exists()
+
+
+class TestCorruptionQuarantine:
+    def write_generations(self, path):
+        """Two snapshot generations: run.ckpt (a, b) and run.ckpt.bak (a)."""
+        store = CheckpointStore(str(path), key="k1")
+        store.put("a", 1)
+        store.put("b", 2)
+        return store
+
+    def test_partial_write_is_quarantined_and_resumed_from_backup(
+        self, tmp_path
+    ):
+        path = tmp_path / "run.ckpt"
+        self.write_generations(path)
+        # a crash mid-write leaves a torn main snapshot behind
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning, match="quarantined"):
+            resumed = CheckpointStore(str(path), key="k1", resume=True)
+        # the torn file was preserved for post-mortem, not destroyed
+        corpses = list(tmp_path.glob("run.ckpt.corrupt-*"))
+        assert len(corpses) == 1
+        # and the store fell back to the last good generation
+        assert resumed.get("a") == 1
+        assert "b" not in resumed
+
+    def test_resumed_store_keeps_working_after_quarantine(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self.write_generations(path)
+        path.write_text("{definitely not json", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning):
+            resumed = CheckpointStore(str(path), key="k1", resume=True)
+        resumed.put("c", 3)
+        reread = CheckpointStore(str(path), key="k1", resume=True)
+        assert reread.get("a") == 1
+        assert reread.get("c") == 3
+
+    def test_both_generations_corrupt_starts_empty(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        self.write_generations(path)
+        path.write_text("xx", encoding="utf-8")
+        (tmp_path / "run.ckpt.bak").write_text("yy", encoding="utf-8")
+        with pytest.warns(CheckpointCorruptionWarning):
+            store = CheckpointStore(str(path), key="k1", resume=True)
+        assert len(store) == 0
+        store.put("a", 9)  # and it still functions
+        assert CheckpointStore(str(path), key="k1").get("a") == 9
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        for _ in range(2):
+            self.write_generations(path)
+            path.write_text("broken", encoding="utf-8")
+            with pytest.warns(CheckpointCorruptionWarning):
+                CheckpointStore(str(path), key="k1", resume=True)
+        assert len(list(tmp_path.glob("run.ckpt.corrupt-*"))) == 2
+
+
+class TestFirstCommitWins:
+    def test_put_if_absent_is_idempotent(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run.ckpt"), key="k1")
+        assert store.put_if_absent("cell", "winner")
+        assert not store.put_if_absent("cell", "late-duplicate")
+        assert store.get("cell") == "winner"
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "run.ckpt"), key="k1")
+        store.get("cell")
+        store.put("cell", 1)
+        store.get("cell")
+        assert (store.hits, store.misses) == (1, 1)

@@ -6,7 +6,12 @@ import warnings
 import pytest
 
 from repro import _parallel
-from repro._parallel import ExecutionPolicy, ForkMapError, fork_map
+from repro._parallel import (
+    ExecutionPolicy,
+    ForkMapError,
+    fork_map,
+    retry_backoff,
+)
 
 needs_fork = pytest.mark.skipif(
     not _parallel.parallelism_available(), reason="needs the fork start method"
@@ -187,3 +192,30 @@ class TestExecutionPolicy:
             assert fork_map(lambda i: i, 4, jobs=2) == [0, 1, 2, 3]
         finally:
             _parallel.set_execution_policy(previous)
+
+
+class TestRetryBackoff:
+    def test_reproducible_for_same_task_and_attempt(self):
+        a = retry_backoff(0.5, 2, "task-a")
+        b = retry_backoff(0.5, 2, "task-a")
+        assert a == b
+
+    def test_distinct_tasks_get_distinct_delays(self):
+        # full jitter: two tasks that crashed together must not retry in
+        # lockstep forever
+        delays_a = [retry_backoff(0.5, n, "task-a") for n in range(1, 6)]
+        delays_b = [retry_backoff(0.5, n, "task-b") for n in range(1, 6)]
+        assert all(x != y for x, y in zip(delays_a, delays_b))
+
+    def test_distinct_attempts_get_distinct_delays(self):
+        assert retry_backoff(0.5, 1, "t") != retry_backoff(0.5, 2, "t")
+
+    def test_delay_is_bounded_by_the_exponential_ceiling(self):
+        for attempt in range(1, 8):
+            delay = retry_backoff(0.25, attempt, "t")
+            assert 0.0 <= delay <= 0.25 * 2 ** (attempt - 1)
+
+    def test_zero_or_negative_base_disables_the_sleep(self):
+        assert retry_backoff(0.0, 3, "t") == 0.0
+        assert retry_backoff(-1.0, 3, "t") == 0.0
+        assert retry_backoff(0.5, 0, "t") == 0.0

@@ -33,6 +33,22 @@ SUPPORT = {
         def fork_map(fn, n, jobs=1):
             return [fn(i) for i in range(n)]
         """,
+    "src/repro/distributed/__init__.py": "",
+    "src/repro/distributed/tasks.py": """
+        def make_task(fn, spec, index=0, deps=()):
+            return fn
+
+        class TaskGraph:
+            def submit(self, fn, spec, deps=()):
+                return fn
+        """,
+    "src/repro/distributed/sweeps.py": """
+        def distributed_sweep(cell_value, l12_values, l21_values, **kw):
+            return cell_value
+
+        def distributed_campaign_cells(cell_values, n, labels, **kw):
+            return cell_values
+        """,
 }
 
 
@@ -406,6 +422,96 @@ class TestRL013:
                 """
             },
             select={"RL013"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# distributed submission entry points are fan-out sites too
+# ----------------------------------------------------------------------
+class TestDistributedEntryPoints:
+    def test_submitted_payload_mutating_shared_state_is_flagged(self, tmp_path):
+        # a cell payload runs in a worker process: writes to a module
+        # global land in the worker's copy, exactly like a fork_map payload
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.distributed.tasks import TaskGraph
+
+                _RESULTS = []
+
+                def build():
+                    graph = TaskGraph()
+                    graph.submit(lambda: _RESULTS.append(1), {"i": 0})
+                    return graph
+                """
+            },
+            select={"RL012"},
+        )
+        assert rules_of(findings) == ["RL012"]
+
+    def test_make_task_payload_is_checked_like_fork_map(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.distributed.tasks import make_task
+
+                _SEEN = {}
+
+                def build(i):
+                    return make_task(lambda: _SEEN.setdefault(i, i), {"i": i})
+                """
+            },
+            select={"RL012"},
+        )
+        assert rules_of(findings) == ["RL012"]
+
+    def test_cell_function_fanning_out_again_is_flagged(self, tmp_path):
+        # a sweep cell that opens its own fork_map would nest process pools
+        # inside distributed workers
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro._parallel import fork_map
+                from repro.distributed.sweeps import distributed_sweep
+
+                def cell(l12, l21):
+                    return sum(fork_map(lambda j: j, l12, jobs=2))
+
+                def sweep():
+                    return distributed_sweep(cell, [0, 1], [0, 1])
+                """
+            },
+            select={"RL013"},
+        )
+        assert rules_of(findings) == ["RL013"]
+
+    def test_pure_cell_payloads_are_clean(self, tmp_path):
+        findings = run_flow(
+            tmp_path,
+            {
+                "src/repro/app.py": """
+                from repro.distributed.sweeps import (
+                    distributed_campaign_cells,
+                    distributed_sweep,
+                )
+
+                def cell(l12, l21):
+                    return float(l12 + l21)
+
+                def cell_values(i_int, i_pol):
+                    return [float(i_int * i_pol)]
+
+                def run():
+                    surface = distributed_sweep(cell, [0, 1], [0, 1])
+                    cells = distributed_campaign_cells(cell_values, 2, ["a"])
+                    return surface, cells
+                """
+            },
+            select={"RL011", "RL012", "RL013"},
         )
         assert findings == []
 

@@ -139,8 +139,18 @@ class FlowConfig:
     )
     sinks: Tuple[SinkSpec, ...] = field(default_factory=_default_sinks)
     order_sanitizers: Tuple[str, ...] = _DEFAULT_ORDER_SANITIZERS
-    #: resolved names of the fan-out primitive (RL011–RL013)
-    fork_map_names: Tuple[str, ...] = ("repro._parallel.fork_map",)
+    #: resolved names of fan-out primitives (RL011–RL013): the first
+    #: positional argument of each is a payload that executes in a worker
+    #: process, so the fork_map payload contract applies to it verbatim —
+    #: this covers both the flat ``fork_map`` fan-out and the distributed
+    #: engine's task-submission entry points
+    fork_map_names: Tuple[str, ...] = (
+        "repro._parallel.fork_map",
+        "repro.distributed.tasks.make_task",
+        "repro.distributed.tasks.TaskGraph.submit",
+        "repro.distributed.sweeps.distributed_sweep",
+        "repro.distributed.sweeps.distributed_campaign_cells",
+    )
     #: mutating container methods that count as worker-side writes when
     #: invoked on state shared with the parent process (RL012)
     mutating_methods: Tuple[str, ...] = (

@@ -144,10 +144,14 @@ def run_forkmap_rules(index: ProgramIndex, config: FlowConfig) -> List[Finding]:
             for site in fn.callsites
         )
     }
-    # exclude the parallel runtime itself — fork_map's own helpers are the
-    # machinery, not a nested fan-out
+    # exclude the parallel runtimes themselves — fork_map's helpers and the
+    # distributed engine's submission/driver layer are the machinery, not a
+    # nested fan-out (calling *into* them from a payload is still caught:
+    # the calling payload records its own fan-out site)
     fanout_functions = {
-        q for q in fanout_functions if not q.startswith("repro._parallel.")
+        q
+        for q in fanout_functions
+        if not q.startswith(("repro._parallel.", "repro.distributed."))
     }
 
     for fn in index.functions.values():
@@ -208,7 +212,9 @@ def run_forkmap_rules(index: ProgramIndex, config: FlowConfig) -> List[Finding]:
                 )
             # RL013 — statically detectable nested fork_map
             path = index.find_path(payload.qualname, fanout_functions)
-            if path is not None and not fn.qualname.startswith("repro._parallel."):
+            if path is not None and not fn.qualname.startswith(
+                ("repro._parallel.", "repro.distributed.")
+            ):
                 chain = " -> ".join(_short(q) for q in path)
                 findings.append(
                     Finding(

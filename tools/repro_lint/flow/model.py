@@ -44,7 +44,7 @@ __all__ = [
 
 #: bump when the extraction semantics change — cached summaries written by
 #: an older extractor are then treated as misses instead of being trusted
-SUMMARY_FORMAT_VERSION = 1
+SUMMARY_FORMAT_VERSION = 2
 
 Atom = Tuple[Any, ...]
 AtomSet = FrozenSet[Atom]
