@@ -45,7 +45,8 @@ store.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from .._checkpoint import CheckpointStore
@@ -90,6 +91,7 @@ class SchedulerStats:
     duplicates_discarded: int = 0
     workers: int = 0
     workers_killed: int = 0
+    worker_warnings: int = 0
     store_hits: int = 0
     store_misses: int = 0
     elapsed: float = 0.0
@@ -109,6 +111,7 @@ class SchedulerStats:
             "duplicates_discarded": self.duplicates_discarded,
             "workers": self.workers,
             "workers_killed": self.workers_killed,
+            "worker_warnings": self.worker_warnings,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "elapsed": self.elapsed,
@@ -268,6 +271,17 @@ class Scheduler:
         elif kind == "result":
             _, worker, key, generation, value = msg
             self._commit(worker, key, int(generation), value)
+        elif kind == "warn":
+            # non-fatal worker-side anomaly (e.g. a heartbeat thread that
+            # outlived its timed join): count it and surface it, but let
+            # the campaign keep running
+            _, worker, key, _gen, detail = msg
+            self.stats.worker_warnings += 1
+            warnings.warn(
+                f"worker {worker} (task {key!r}): {detail}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         elif kind == "error":
             _, worker, key, _gen, detail = msg
             self.transport.stop()
@@ -473,7 +487,10 @@ class Scheduler:
             force or now - self._last_stats_at >= self.stats_interval
         ):
             self._last_stats_at = now
-            self.on_stats(stats)
+            # hand the callback a snapshot, not the live object: callbacks
+            # that stash successive stats would otherwise all alias one
+            # mutating instance
+            self.on_stats(replace(stats))
 
 
 def _default_transport() -> Transport:

@@ -183,6 +183,12 @@ class InprocTransport(Transport):
             w = self._workers[wid]
             if w.thread is not None:
                 w.thread.join(timeout=1.0)
+                if w.thread.is_alive():
+                    # the worker ignored stop within the timeout (hung
+                    # payload).  It is a daemon thread, so it cannot block
+                    # exit — condemn it so it disappears from workers()
+                    # and its late messages are discarded as usual.
+                    w.condemned = True
 
 
 # ---------------------------------------------------------------------------

@@ -77,6 +77,7 @@ def worker_loop(
         beat = threading.Thread(
             target=_heartbeat_loop,
             args=(emit, worker_id, key, generation, heartbeat_interval, stop),
+            name=f"repro-heartbeat-{worker_id}",
             daemon=True,
         )
         beat.start()
@@ -92,4 +93,20 @@ def worker_loop(
         finally:
             stop.set()
             beat.join(timeout=heartbeat_interval * 2)
+            if beat.is_alive():
+                # the timed join expired with the heartbeat thread still
+                # running (emit stuck in a slow/blocked channel).  It is
+                # daemonic and stop is set, so it cannot outlive the
+                # process or beat again — but the scheduler should know
+                # the worker is shedding threads.
+                emit(
+                    (
+                        "warn",
+                        worker_id,
+                        key,
+                        generation,
+                        f"heartbeat thread {beat.name!r} still alive "
+                        f"{heartbeat_interval * 2:.3f}s after stop",
+                    )
+                )
         emit(("ready", worker_id, None, None, None))

@@ -8,6 +8,8 @@ sequences (crash, silence, limplock) are exact scripts, not races.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 from typing import Any, List, Tuple
 
 import pytest
@@ -15,6 +17,11 @@ import pytest
 from repro._checkpoint import CheckpointStore, checkpoint_key
 from repro.distributed.tasks import TaskGraph
 from repro.distributed.transport import Transport
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_TOOLS = _REPO_ROOT / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))
 
 
 class FakeClock:
@@ -85,6 +92,34 @@ class ScriptedTransport(Transport):
 
     def crash(self, worker_id: str) -> None:
         self.alive.discard(worker_id)
+
+
+@pytest.fixture(scope="session")
+def static_lock_model():
+    """RL021's static lock table + acquisition-order graph for ``src/``."""
+    from repro_lint.concurrency import static_lock_order
+
+    return static_lock_order(["src"], root=_REPO_ROOT)
+
+
+@pytest.fixture
+def lock_tracer(static_lock_model):
+    """Record real lock acquisition orders; assert them against RL021.
+
+    Installed *before* the test body creates any engine objects, so the
+    ``threading.Lock``/``RLock`` factories hand out traced locks; on
+    teardown, observed orders must be inversion-free and explained by the
+    static model.
+    """
+    from lock_tracer import LockTracer
+
+    tracer = LockTracer()
+    tracer.install()
+    try:
+        yield tracer
+    finally:
+        tracer.uninstall()
+    tracer.assert_consistent(static_lock_model)
 
 
 @pytest.fixture

@@ -1,0 +1,145 @@
+"""Thread-lifecycle regressions the concurrency analyzer (RL024) found.
+
+Three real findings, each pinned here after the fix:
+
+* the heartbeat thread was unnamed (all other engine threads carry
+  ``repro-<role>-<id>`` names);
+* ``worker_loop``'s shutdown did ``beat.join(timeout=...)`` and ignored
+  the outcome — a heartbeat thread stuck in a slow ``emit`` leaked
+  silently;
+* ``InprocTransport.stop`` timed-joined workers and ignored the outcome —
+  a hung worker stayed listed and kept absorbing assignments.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.distributed.scheduler import Scheduler
+from repro.distributed.tasks import TaskGraph
+from repro.distributed.transport import InprocTransport
+
+from .conftest import square_graph
+from .test_scheduler import boot, make_scheduler, pump
+
+
+def one_task_graph(payload):
+    graph = TaskGraph()
+    graph.submit(payload, {"suite": "lifecycle"})
+    task = next(iter(graph))
+    return graph, task
+
+
+class TestHeartbeatThread:
+    def test_heartbeat_thread_is_named_and_daemonic(self):
+        from repro.distributed.worker import worker_loop
+
+        graph, task = one_task_graph(lambda: time.sleep(0.3) or 7)
+        inbox: "queue.Queue" = queue.Queue()
+        msgs: "queue.Queue" = queue.Queue()
+        inbox.put(("run", task.key, 1, task.index))
+        inbox.put(("stop",))
+        runner = threading.Thread(
+            target=worker_loop,
+            args=("wtest", inbox.get, msgs.put, graph, 0.05),
+            daemon=True,
+        )
+        runner.start()
+        beat = None
+        deadline = time.monotonic() + 2.0
+        while beat is None and time.monotonic() < deadline:
+            beat = next(
+                (
+                    t
+                    for t in threading.enumerate()
+                    if t.name == "repro-heartbeat-wtest"
+                ),
+                None,
+            )
+            time.sleep(0.01)
+        assert beat is not None, "heartbeat thread never appeared by name"
+        assert beat.daemon
+        runner.join(timeout=2.0)
+        assert not runner.is_alive()
+
+    def test_leaked_heartbeat_thread_is_reported(self):
+        """A heartbeat stuck in emit past the join timeout emits a warn."""
+        from repro.distributed.worker import worker_loop
+
+        graph, task = one_task_graph(lambda: time.sleep(0.15) or 7)
+        msgs = []
+
+        def emit(msg):
+            if msg[0] == "heartbeat":
+                # the scheduler channel is limplocked: the heartbeat
+                # thread blocks here well past join(timeout=2*interval)
+                time.sleep(0.6)
+            msgs.append(msg)
+
+        inbox: "queue.Queue" = queue.Queue()
+        inbox.put(("run", task.key, 1, task.index))
+        inbox.put(("stop",))
+        worker_loop("wleak", inbox.get, emit, graph, 0.05)
+        warns = [m for m in msgs if m[0] == "warn"]
+        assert warns, f"no warn message in {[m[0] for m in msgs]}"
+        kind, worker_id, key, generation, detail = warns[0]
+        assert worker_id == "wleak"
+        assert key == task.key
+        assert "repro-heartbeat-wleak" in detail
+        assert "still alive" in detail
+        # the result itself still commits: the leak is a warning, not a loss
+        assert any(m[0] == "result" and m[4] == 7 for m in msgs)
+
+
+class TestInprocStop:
+    def test_stop_condemns_a_hung_worker(self):
+        graph, task = one_task_graph(lambda: time.sleep(2.5) or 7)
+        transport = InprocTransport()
+        transport.start(graph, 1, heartbeat_interval=0.05)
+        wid = transport.workers()[0]
+        transport.send(wid, ("run", task.key, 1, task.index))
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if any(m[0] == "heartbeat" for m in transport.recv_all()):
+                break  # the payload is definitely running (and hung)
+            time.sleep(0.01)
+        transport.stop()
+        assert wid not in transport.workers(), (
+            "a worker that ignored stop within the join timeout must be "
+            "condemned, not left listed"
+        )
+        assert not transport.is_alive(wid)
+
+
+class TestSchedulerWarnChannel:
+    def test_warn_message_is_counted_and_non_fatal(self, store, clock):
+        sched = make_scheduler(square_graph(2), store, clock)
+        boot(sched)
+        sched.transport.inbox.append(
+            ("warn", "w0", "k", 1, "heartbeat thread leaked")
+        )
+        with pytest.warns(RuntimeWarning, match="heartbeat thread leaked"):
+            pump(sched)
+        assert sched.stats.worker_warnings == 1
+        assert "worker_warnings" in sched.stats.to_dict()
+
+    def test_on_stats_receives_snapshots_not_the_live_object(self, store):
+        seen = []
+        sched = Scheduler(
+            square_graph(4),
+            store,
+            transport=InprocTransport(),
+            workers=2,
+            tick=0.001,
+            on_stats=seen.append,
+            stats_interval=0.0,
+        )
+        sched.run()
+        assert seen
+        assert all(s is not sched.stats for s in seen)
+        assert len({id(s) for s in seen}) == len(seen)
+        assert seen[-1].done == 4

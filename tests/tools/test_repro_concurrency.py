@@ -1,0 +1,869 @@
+"""Concurrency-safety (``--concurrency``) rules: RL020–RL025.
+
+Same fixture style as ``test_repro_resources``: each case is a miniature
+project laid out like the real repository, so the default
+:class:`~repro_lint.concurrency.ConcurrencyConfig` (thread-entry names,
+lock constructors, the distributed thread-name zone) applies unchanged.
+The analysis never imports the code it lints — stand-ins only need
+matching names.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro_lint import LintConfig, lint_paths
+from repro_lint.concurrency import ConcurrencyOptions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CONCURRENCY_RULES = ("RL020", "RL021", "RL022", "RL023", "RL024", "RL025")
+
+
+def run_concurrency(tmp_path, files, select=None, options=None, config=None):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    cfg = config or LintConfig(select=set(select) if select else None)
+    tops = sorted({rel.split("/", 1)[0] for rel in files})
+    return lint_paths(
+        [str(tmp_path / top) for top in tops],
+        cfg,
+        root=tmp_path,
+        concurrency=options or ConcurrencyOptions(),
+    )
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RL020 — shared-state write without a lock
+# ----------------------------------------------------------------------
+class TestRL020:
+    def test_unlocked_write_from_both_sides(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/pool.py": """
+                class Pool:
+                    def __init__(self):
+                        self.items = []
+
+                    def worker_loop(self):
+                        self.items.append(1)
+
+                    def collect(self):
+                        self.items.pop()
+                """,
+            },
+            select={"RL020"},
+        )
+        assert rules_of(findings) == ["RL020", "RL020"]
+        assert all("Pool.items" in f.message for f in findings)
+
+    def test_thread_target_resolution(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/engine.py": """
+                import threading
+
+                class Engine:
+                    def __init__(self):
+                        self.count = 0
+
+                    def start(self):
+                        t = threading.Thread(target=self._run, daemon=True)
+                        t.start()
+
+                    def _run(self):
+                        self.count += 1
+
+                    def reset(self):
+                        self.count = 0
+                """,
+            },
+            select={"RL020"},
+        )
+        assert rules_of(findings) == ["RL020", "RL020"]
+
+    def test_common_lock_on_both_sides_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/pool.py": """
+                import threading
+
+                class Pool:
+                    def __init__(self):
+                        self.items = []
+                        self._lock = threading.Lock()
+
+                    def worker_loop(self):
+                        with self._lock:
+                            self.items.append(1)
+
+                    def collect(self):
+                        with self._lock:
+                            self.items.pop()
+                """,
+            },
+            select={"RL020"},
+        )
+        assert findings == []
+
+    def test_read_only_thread_side_is_clean(self, tmp_path):
+        # the frozen-before-share pattern: built by the driver, only read
+        # from the worker thread
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/pool.py": """
+                class Pool:
+                    def __init__(self):
+                        self.items = []
+
+                    def worker_loop(self):
+                        return len(self.items)
+
+                    def collect(self):
+                        self.items.pop()
+                """,
+            },
+            select={"RL020"},
+        )
+        assert findings == []
+
+    def test_module_global_raced_from_thread_entry(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/reg.py": """
+                REGISTRY = {}
+
+                def worker_loop(key):
+                    REGISTRY[key] = 1
+
+                def reset():
+                    REGISTRY.clear()
+                """,
+            },
+            select={"RL020"},
+        )
+        assert rules_of(findings) == ["RL020", "RL020"]
+        assert all("REGISTRY" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# RL021 — lock-order cycles
+# ----------------------------------------------------------------------
+class TestRL021:
+    def test_lexical_inversion(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/locks.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def forward():
+                    with A:
+                        with B:
+                            pass
+
+                def backward():
+                    with B:
+                        with A:
+                            pass
+                """,
+            },
+            select={"RL021"},
+        )
+        assert rules_of(findings) == ["RL021", "RL021"]
+        assert all("lock-order cycle" in f.message for f in findings)
+
+    def test_interprocedural_inversion(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/locks.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def take_b():
+                    with B:
+                        pass
+
+                def take_a():
+                    with A:
+                        pass
+
+                def forward():
+                    with A:
+                        take_b()
+
+                def backward():
+                    with B:
+                        take_a()
+                """,
+            },
+            select={"RL021"},
+        )
+        assert rules_of(findings) == ["RL021", "RL021"]
+
+    def test_nonreentrant_reacquire(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/locks.py": """
+                import threading
+
+                L = threading.Lock()
+
+                def twice():
+                    with L:
+                        with L:
+                            pass
+                """,
+            },
+            select={"RL021"},
+        )
+        assert rules_of(findings) == ["RL021"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/locks.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def one():
+                    with A:
+                        with B:
+                            pass
+
+                def two():
+                    with A:
+                        with B:
+                            pass
+                """,
+            },
+            select={"RL021"},
+        )
+        assert findings == []
+
+    def test_rlock_reacquire_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/locks.py": """
+                import threading
+
+                L = threading.RLock()
+
+                def twice():
+                    with L:
+                        with L:
+                            pass
+                """,
+            },
+            select={"RL021"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL022 — blocking call under a lock
+# ----------------------------------------------------------------------
+class TestRL022:
+    def test_sleep_under_lock(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+                import time
+
+                L = threading.Lock()
+
+                def slow():
+                    with L:
+                        time.sleep(0.5)
+                """,
+            },
+            select={"RL022"},
+        )
+        assert rules_of(findings) == ["RL022"]
+        assert "time.sleep" in findings[0].message
+
+    def test_interprocedural_blocking_callee(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import subprocess
+                import threading
+
+                L = threading.Lock()
+
+                def helper():
+                    subprocess.run(["true"])
+
+                def locked():
+                    with L:
+                        helper()
+                """,
+            },
+            select={"RL022"},
+        )
+        assert rules_of(findings) == ["RL022"]
+        assert "helper" in findings[0].message
+
+    def test_queue_get_under_lock(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import queue
+                import threading
+
+                class Pump:
+                    def __init__(self):
+                        self.q = queue.Queue()
+                        self._lock = threading.Lock()
+
+                    def drain_one(self):
+                        with self._lock:
+                            return self.q.get()
+                """,
+            },
+            select={"RL022"},
+        )
+        assert rules_of(findings) == ["RL022"]
+
+    def test_sleep_outside_region_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+                import time
+
+                L = threading.Lock()
+
+                def fine():
+                    with L:
+                        x = 1
+                    time.sleep(0.5)
+                    return x
+                """,
+            },
+            select={"RL022"},
+        )
+        assert findings == []
+
+    def test_condition_wait_under_its_lock_is_clean(self, tmp_path):
+        # cond.wait releases the condition's lock: the designed pattern
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def consume(ready):
+                    cond = threading.Condition()
+                    with cond:
+                        while not ready():
+                            cond.wait(0.1)
+                """,
+            },
+            select={"RL022"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL023 — fork safety
+# ----------------------------------------------------------------------
+class TestRL023:
+    def test_fork_under_lock(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import os
+                import threading
+
+                L = threading.Lock()
+
+                def bad():
+                    with L:
+                        pid = os.fork()
+                    return pid
+                """,
+            },
+            select={"RL023"},
+        )
+        assert rules_of(findings) == ["RL023"]
+        assert "inherits the locked lock" in findings[0].message
+
+    def test_fork_after_nondaemon_thread(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def fork_map(fn, items):
+                    return [fn(i) for i in items]
+
+                def campaign(fn, items):
+                    logger = threading.Thread(target=print)
+                    logger.start()
+                    return fork_map(fn, items)
+                """,
+            },
+            select={"RL023"},
+        )
+        assert rules_of(findings) == ["RL023"]
+        assert "non-daemon" in findings[0].message
+
+    def test_fork_reachable_from_thread_entry(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import os
+
+                def worker_loop():
+                    respawn()
+
+                def respawn():
+                    return os.fork()
+                """,
+            },
+            select={"RL023"},
+        )
+        assert rules_of(findings) == ["RL023"]
+        assert "worker thread" in findings[0].message
+
+    def test_fork_before_threads_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import os
+                import threading
+
+                def campaign():
+                    pid = os.fork()
+                    watcher = threading.Thread(target=print, daemon=True)
+                    watcher.start()
+                    return pid
+                """,
+            },
+            select={"RL023"},
+        )
+        assert findings == []
+
+    def test_fork_after_daemon_thread_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def fork_map(fn, items):
+                    return [fn(i) for i in items]
+
+                def campaign(fn, items):
+                    w = threading.Thread(target=print, daemon=True)
+                    w.start()
+                    return fork_map(fn, items)
+                """,
+            },
+            select={"RL023"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL024 — thread lifecycle
+# ----------------------------------------------------------------------
+class TestRL024:
+    def test_unnamed_thread_in_engine_zone(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/repro/distributed/pump.py": """
+                import threading
+
+                def start_pump(loop):
+                    t = threading.Thread(target=loop, daemon=True)
+                    t.start()
+                    return t
+                """,
+            },
+            select={"RL024"},
+        )
+        assert rules_of(findings) == ["RL024"]
+        assert "without name=" in findings[0].message
+
+    def test_nondaemon_thread_in_engine_zone(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/repro/distributed/pump.py": """
+                import threading
+
+                def start_pump(loop):
+                    t = threading.Thread(target=loop, name="repro-pump-0")
+                    t.start()
+                    return t
+                """,
+            },
+            select={"RL024"},
+        )
+        assert rules_of(findings) == ["RL024"]
+        assert "daemon=True" in findings[0].message
+
+    def test_untimed_join_in_shutdown_path(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/svc.py": """
+                import threading
+
+                class Service:
+                    def __init__(self, loop):
+                        self.t = threading.Thread(target=loop, daemon=True)
+
+                    def stop(self):
+                        self.t.join()
+                """,
+            },
+            select={"RL024"},
+        )
+        assert rules_of(findings) == ["RL024"]
+        assert "without a timeout" in findings[0].message
+
+    def test_timed_join_without_alive_probe_in_zone(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/repro/distributed/w.py": """
+                import threading
+
+                def run(loop):
+                    beat = threading.Thread(
+                        target=loop, name="repro-beat-0", daemon=True
+                    )
+                    beat.start()
+                    beat.join(timeout=1.0)
+                """,
+            },
+            select={"RL024"},
+        )
+        assert rules_of(findings) == ["RL024"]
+        assert "is_alive" in findings[0].message
+
+    def test_timed_join_with_alive_probe_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/repro/distributed/w.py": """
+                import threading
+
+                def run(loop, warn):
+                    beat = threading.Thread(
+                        target=loop, name="repro-beat-0", daemon=True
+                    )
+                    beat.start()
+                    beat.join(timeout=1.0)
+                    if beat.is_alive():
+                        warn("leaked")
+                """,
+            },
+            select={"RL024"},
+        )
+        assert findings == []
+
+    def test_nondaemon_never_joined_outside_zone(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/svc.py": """
+                import threading
+
+                def fire_and_forget(loop):
+                    t = threading.Thread(target=loop)
+                    t.start()
+                """,
+            },
+            select={"RL024"},
+        )
+        assert rules_of(findings) == ["RL024"]
+        assert "never joined" in findings[0].message
+
+    def test_nondaemon_joined_elsewhere_in_module_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/svc.py": """
+                import threading
+
+                class Service:
+                    def start(self, loop):
+                        self.t = threading.Thread(target=loop)
+                        self.t.start()
+
+                    def finish(self):
+                        self.t.join(timeout=5.0)
+                """,
+            },
+            select={"RL024"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RL025 — Event/Condition misuse
+# ----------------------------------------------------------------------
+class TestRL025:
+    def test_untimed_event_wait_in_unbounded_loop(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def pump(work):
+                    wake = threading.Event()
+                    while True:
+                        wake.wait()
+                        work()
+                        wake.clear()
+                """,
+            },
+            select={"RL025"},
+        )
+        assert rules_of(findings) == ["RL025"]
+        assert "Event.wait" in findings[0].message
+
+    def test_untimed_event_wait_via_annotation(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def loop(stop: threading.Event, work):
+                    while True:
+                        stop.wait()
+                        work()
+                """,
+            },
+            select={"RL025"},
+        )
+        assert rules_of(findings) == ["RL025"]
+
+    def test_condition_wait_outside_while(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def consume(ready, pop):
+                    cond = threading.Condition()
+                    with cond:
+                        if not ready():
+                            cond.wait()
+                        return pop()
+                """,
+            },
+            select={"RL025"},
+        )
+        assert rules_of(findings) == ["RL025"]
+        assert "while-predicate" in findings[0].message
+
+    def test_timed_event_wait_loop_is_clean(self, tmp_path):
+        # the engine's own heartbeat idiom
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def beat(stop: threading.Event, emit, interval):
+                    while not stop.wait(interval):
+                        emit()
+                """,
+            },
+            select={"RL025"},
+        )
+        assert findings == []
+
+    def test_condition_wait_in_predicate_loop_is_clean(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                def consume(ready, pop):
+                    cond = threading.Condition()
+                    with cond:
+                        while not ready():
+                            cond.wait()
+                        return pop()
+                """,
+            },
+            select={"RL025"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_suppression_comment_silences_a_finding(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+                import time
+
+                L = threading.Lock()
+
+                def slow():
+                    with L:
+                        time.sleep(0.5)  # repro-lint: disable=RL022
+                """,
+            },
+            select={"RL022"},
+        )
+        assert findings == []
+
+    def test_test_files_are_not_analyzed(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "tests/test_mod.py": """
+                import threading
+                import time
+
+                L = threading.Lock()
+
+                def slow():
+                    with L:
+                        time.sleep(0.5)
+                """,
+            },
+            select={"RL022"},
+        )
+        assert findings == []
+
+    def test_select_excludes_concurrency_rules(self, tmp_path):
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+                import time
+
+                L = threading.Lock()
+
+                def slow():
+                    with L:
+                        time.sleep(0.5)
+                """,
+            },
+            select={"RL001"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the static model export the runtime oracle consumes
+# ----------------------------------------------------------------------
+class TestStaticLockOrder:
+    def test_repo_lock_model_shape(self):
+        from repro_lint.concurrency import static_lock_order
+
+        model = static_lock_order(["src"], root=REPO_ROOT)
+        ids = {lock["id"] for lock in model["locks"]}
+        assert "repro.core.cache.SolverCache._lock" in ids
+        assert "repro.distributions.workspace.FFTWorkspace._lock" in ids
+        assert "repro.distributions.workspace._REGISTRY_LOCK" in ids
+        # the solver cache may acquire workspace locks inside the ladder
+        # extension; nothing acquires the cache lock while holding a
+        # workspace lock, so the graph must be acyclic
+        edges = {(e["src"], e["dst"]) for e in model["edges"]}
+        assert (
+            "repro.core.cache.SolverCache._lock",
+            "repro.distributions.workspace.FFTWorkspace._lock",
+        ) in edges
+        for src, dst in edges:
+            assert (dst, src) not in edges, f"cycle between {src} and {dst}"
+
+    def test_builtin_container_methods_do_not_fabricate_edges(self, tmp_path):
+        # dict.clear() on a module global must not resolve to the one
+        # project method named clear (which takes a lock)
+        findings = run_concurrency(
+            tmp_path,
+            {
+                "src/proj/mod.py": """
+                import threading
+
+                OTHER = threading.Lock()
+                REG = {}
+                REG_LOCK = threading.Lock()
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def clear(self):
+                        with self._lock:
+                            with OTHER:
+                                pass
+
+                def reset():
+                    with REG_LOCK:
+                        REG.clear()
+                """,
+            },
+            select={"RL021"},
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the repository satisfies its own concurrency rules
+# ----------------------------------------------------------------------
+def test_repository_is_concurrency_clean():
+    """`src/repro` (and the rest of the tree) is clean under RL020-25."""
+    findings = lint_paths(
+        ["src", "tests", "benchmarks", "tools", "examples"],
+        LintConfig(select=set(CONCURRENCY_RULES)),
+        root=REPO_ROOT,
+        concurrency=ConcurrencyOptions(),
+    )
+    assert findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+    )

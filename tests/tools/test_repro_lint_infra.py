@@ -121,6 +121,11 @@ class TestSarif:
         ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
         assert {"RL014", "RL015", "RL016", "RL017", "RL018", "RL019"} <= ids
 
+    def test_catalogue_covers_concurrency_rules(self):
+        doc = to_sarif([])
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"RL020", "RL021", "RL022", "RL023", "RL024", "RL025"} <= ids
+
     def test_render_is_stable_json(self):
         text = render_sarif([finding()])
         assert text.endswith("\n")
@@ -238,12 +243,22 @@ class TestCLI:
         for rule in ("RL014", "RL015", "RL016", "RL017", "RL018", "RL019"):
             assert rule in proc.stdout
 
+    def test_list_rules_includes_concurrency_rules(self, tmp_path):
+        proc = _run_cli(["--list-rules"], cwd=tmp_path)
+        assert proc.returncode == 0
+        for rule in ("RL020", "RL021", "RL022", "RL023", "RL024", "RL025"):
+            assert rule in proc.stdout
+
     def test_flow_flag_runs_on_the_repository(self):
         proc = _run_cli(["src", "tools", "--flow"], cwd=REPO_ROOT)
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_resources_flag_runs_on_the_repository(self):
         proc = _run_cli(["src", "tools", "--resources"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_concurrency_flag_runs_on_the_repository(self):
+        proc = _run_cli(["src", "tools", "--concurrency"], cwd=REPO_ROOT)
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_audit_contracts_subcommand(self):

@@ -1,0 +1,340 @@
+"""Runtime lock-tracing oracle for the concurrency analyzer.
+
+The static pass (``repro-lint --concurrency``, RL021) predicts a lock
+acquisition-order graph.  This module validates that model against
+reality: :class:`LockTracer` patches the ``threading.Lock`` /
+``threading.RLock`` factories with recording wrappers, so any test run
+under it (the distributed chaos/race-shaker suites install it via a
+pytest fixture) captures the *observed* acquisition orders per thread.
+:meth:`LockTracer.assert_consistent` then fails the run on
+
+* an **inversion** — both ``A`` before ``B`` and ``B`` before ``A``
+  observed (two threads really can traverse a cycle in opposite orders:
+  the deadlock RL021 warns about, caught in vivo), and
+* an **unmodelled edge** — an observed ordering between two locks the
+  static graph knows, with no path between them in the static model
+  (the analyzer's graph is missing real behaviour).
+
+Test-only: nothing in ``src/repro`` imports this module.  Install /
+uninstall are idempotent and always pair them in a ``finally`` — locks
+created while patched keep working after :meth:`uninstall` (they only
+stop recording).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = ["LockInversionError", "LockTracer", "TracedLock"]
+
+#: a lock's identity for ordering purposes: its creation site
+Label = Tuple[str, int]  # (filename, lineno)
+
+
+class LockInversionError(AssertionError):
+    """Observed acquisition orders contradict each other or the model."""
+
+
+def _creation_label(skip_files: Tuple[str, ...]) -> Label:
+    """Creation site of a lock: first stack frame outside tracer/threading.
+
+    Basenames are matched exactly — a suffix match would also skip the
+    tracer's own test file (``test_lock_tracer.py``).
+    """
+    for frame in reversed(traceback.extract_stack()):
+        if os.path.basename(frame.filename) in skip_files:
+            continue
+        return (frame.filename, frame.lineno or 0)
+    return ("<unknown>", 0)
+
+
+class TracedLock:
+    """Wrapper around a real lock that records acquisition order.
+
+    Delegates the full lock protocol — including the private
+    ``_release_save`` / ``_acquire_restore`` / ``_is_owned`` trio
+    ``threading.Condition`` drives — so it can stand in for ``Lock`` and
+    ``RLock`` anywhere, Condition internals included.
+    """
+
+    def __init__(self, tracer: "LockTracer", inner: Any, label: Label):
+        self._tracer = tracer
+        self._inner = inner
+        self.label = label
+
+    # -- the lock protocol ---------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._tracer._note_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._tracer._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    # -- Condition integration (CPython internals) ---------------------
+    def _release_save(self) -> Any:
+        self._tracer._note_release(self, full=True)
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state: Any) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._tracer._note_acquire(self)
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return bool(self._inner._is_owned())
+        # plain Lock: owned iff locked and not acquirable by us right now
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __getattr__(self, name: str) -> Any:
+        # full transparency for protocol extensions the stdlib grows over
+        # time — e.g. multiprocessing.resource_tracker probes
+        # RLock._recursion_count() on 3.11+
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"TracedLock({self.label[0]}:{self.label[1]})"
+
+
+class _HeldStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Tuple[TracedLock, int]] = []  # (lock, depth)
+
+
+class LockTracer:
+    """Patch the lock factories; record per-thread acquisition orders."""
+
+    _SKIP_FILES = ("lock_tracer.py", "threading.py")
+
+    def __init__(self) -> None:
+        self._orig_lock: Optional[Any] = None
+        self._orig_rlock: Optional[Any] = None
+        self._guard = threading.Lock()  # created pre-patch: a real lock
+        self._held = _HeldStack()
+        self.active = False
+        #: observed edges: (held label, acquired label) -> witness thread
+        self.edges: Dict[Tuple[Label, Label], str] = {}
+        #: every lock creation site seen
+        self.created: Set[Label] = set()
+
+    # -- install / uninstall -------------------------------------------
+    def install(self) -> "LockTracer":
+        if self._orig_lock is not None:
+            return self
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+
+        def make_lock() -> TracedLock:
+            return self._wrap(self._orig_lock())
+
+        def make_rlock() -> TracedLock:
+            return self._wrap(self._orig_rlock())
+
+        threading.Lock = make_lock  # type: ignore[misc]
+        threading.RLock = make_rlock  # type: ignore[misc]
+        self.active = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._orig_lock is None:
+            return
+        threading.Lock = self._orig_lock  # type: ignore[misc]
+        threading.RLock = self._orig_rlock  # type: ignore[misc]
+        self._orig_lock = None
+        self._orig_rlock = None
+        # locks created while patched outlive us; stop recording through them
+        self.active = False
+
+    def __enter__(self) -> "LockTracer":
+        return self.install()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.uninstall()
+
+    def _wrap(self, inner: Any) -> TracedLock:
+        label = _creation_label(self._SKIP_FILES)
+        with self._guard:
+            self.created.add(label)
+        return TracedLock(self, inner, label)
+
+    # -- recording ------------------------------------------------------
+    def _note_acquire(self, lock: TracedLock) -> None:
+        if not self.active:
+            return
+        stack = self._held.stack
+        for i, (held, depth) in enumerate(stack):
+            if held is lock:  # reentrant re-acquire: bump depth, no edge
+                stack[i] = (held, depth + 1)
+                return
+        if stack:
+            top = stack[-1][0]
+            if top.label != lock.label:
+                edge = (top.label, lock.label)
+                if edge not in self.edges:
+                    with self._guard:
+                        self.edges.setdefault(
+                            edge, threading.current_thread().name
+                        )
+        stack.append((lock, 1))
+
+    def _note_release(self, lock: TracedLock, full: bool = False) -> None:
+        if not self.active:
+            return
+        stack = self._held.stack
+        for i in range(len(stack) - 1, -1, -1):
+            held, depth = stack[i]
+            if held is lock:
+                if depth > 1 and not full:
+                    stack[i] = (held, depth - 1)
+                else:
+                    del stack[i]
+                return
+
+    # -- analysis -------------------------------------------------------
+    def inversions(self) -> List[Tuple[Label, Label]]:
+        """Edge pairs observed in *both* directions (real deadlock risk)."""
+        seen = set(self.edges)
+        return sorted(
+            (a, b) for (a, b) in seen if (b, a) in seen and a < b
+        )
+
+    def cycles(self) -> List[FrozenSet[Label]]:
+        """SCCs of size >= 2 in the observed-order graph."""
+        adj: Dict[Label, Set[Label]] = {}
+        for a, b in self.edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        index_of: Dict[Label, int] = {}
+        low: Dict[Label, int] = {}
+        on_stack: Set[Label] = set()
+        stack: List[Label] = []
+        sccs: List[FrozenSet[Label]] = []
+        counter = [0]
+
+        def strongconnect(v: Label) -> None:
+            work: List[Tuple[Label, List[Label]]] = [(v, sorted(adj[v]))]
+            index_of[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                while succs:
+                    succ = succs.pop(0)
+                    if succ not in index_of:
+                        index_of[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, sorted(adj[succ])))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index_of[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    low[work[-1][0]] = min(low[work[-1][0]], low[node])
+                if low[node] == index_of[node]:
+                    scc: Set[Label] = set()
+                    while True:
+                        top = stack.pop()
+                        on_stack.discard(top)
+                        scc.add(top)
+                        if top == node:
+                            break
+                    if len(scc) >= 2:
+                        sccs.append(frozenset(scc))
+
+        for v in sorted(adj):
+            if v not in index_of:
+                strongconnect(v)
+        return sccs
+
+    def assert_consistent(self, static_model: Dict[str, Any]) -> None:
+        """Fail on observed inversions, or on observed orderings between
+        statically-known locks that the static graph cannot explain.
+
+        ``static_model`` is the output of
+        :func:`repro_lint.concurrency.static_lock_order`: locks are
+        matched to observed creation sites by ``(path suffix, line)``.
+        """
+        inv = self.inversions()
+        if inv:
+            lines = [
+                f"  {a[0]}:{a[1]} <-> {b[0]}:{b[1]} (both orders observed)"
+                for a, b in inv
+            ]
+            raise LockInversionError(
+                "lock acquisition order inverted at runtime:\n"
+                + "\n".join(lines)
+            )
+
+        # map static lock ids onto observed creation sites
+        by_site: Dict[Label, str] = {}
+        for lock in static_model.get("locks", ()):
+            for label in self.created:
+                if (
+                    label[0].endswith(lock["path"])
+                    and label[1] == lock["line"]
+                ):
+                    by_site[label] = lock["id"]
+
+        static_adj: Dict[str, Set[str]] = {}
+        for edge in static_model.get("edges", ()):
+            static_adj.setdefault(edge["src"], set()).add(edge["dst"])
+
+        def has_path(src: str, dst: str) -> bool:
+            frontier, seen = [src], {src}
+            while frontier:
+                node = frontier.pop()
+                if node == dst:
+                    return True
+                for nxt in static_adj.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return False
+
+        unmodelled = []
+        for (a, b), thread in sorted(self.edges.items()):
+            src, dst = by_site.get(a), by_site.get(b)
+            if src is None or dst is None or src == dst:
+                continue  # a lock the static pass does not model
+            if not has_path(src, dst):
+                unmodelled.append((src, dst, thread))
+        if unmodelled:
+            lines = [
+                f"  {src} held while acquiring {dst} (thread {thread})"
+                for src, dst, thread in unmodelled
+            ]
+            raise LockInversionError(
+                "observed lock orderings missing from the static model "
+                "(repro-lint --concurrency RL021 graph is incomplete):\n"
+                + "\n".join(lines)
+            )

@@ -97,6 +97,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "parity, engine capabilities, cache-key completeness)",
     )
     parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the concurrency-safety rules RL020-RL025 "
+        "(interprocedural races, lock-order cycles, blocking under locks, "
+        "fork safety, thread lifecycle, Event/Condition misuse)",
+    )
+    parser.add_argument(
         "--fix",
         action="store_true",
         help="rewrite files in place to fix mechanically-safe findings "
@@ -108,15 +115,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes for --flow/--resources summary extraction "
-        "(default: 1)",
+        help="worker processes for --flow/--resources/--concurrency "
+        "summary extraction (default: 1)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="content-addressed summary cache shared by --flow and "
-        "--resources; warm re-runs skip parsing entirely",
+        help="content-addressed summary cache shared by --flow, "
+        "--resources and --concurrency; warm re-runs skip parsing entirely",
     )
     parser.add_argument(
         "--baseline",
@@ -241,6 +248,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         resource_options = ResourceOptions(
             jobs=args.jobs, cache_dir=args.cache_dir
         )
+    concurrency_options = None
+    if args.concurrency:
+        from .concurrency import ConcurrencyOptions
+
+        concurrency_options = ConcurrencyOptions(
+            jobs=args.jobs, cache_dir=args.cache_dir
+        )
     if args.fix:
         from .fix import fix_paths
 
@@ -258,6 +272,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             root=root,
             flow=flow_options,
             resources=resource_options,
+            concurrency=concurrency_options,
         )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)

@@ -1,0 +1,38 @@
+"""Concurrency-safety pass (RL020–RL025).
+
+Companion to :mod:`repro_lint.flow` and :mod:`repro_lint.resources`: this
+package polices the *threaded* half of the codebase — the scheduler /
+worker / transport triangle of :mod:`repro.distributed` and the locked
+FFT workspaces — for the failure modes static typing cannot see:
+
+* **RL020** — a field mutated both from a thread-entry function and from
+  the scheduler/main path without a common lock (data race);
+* **RL021** — lock-order cycles in the ``with <lock>`` acquisition graph
+  across the call graph (deadlock);
+* **RL022** — blocking calls (``queue.get``/``join``/``sleep``/
+  ``subprocess``/``fork_map``) made while a lock is held (convoying,
+  deadlock-by-starvation);
+* **RL023** — fork while locks are held or from/after threads
+  (fork-after-thread hazard: the child inherits locked locks);
+* **RL024** — thread lifecycle hygiene (unnamed/undaemonized threads in
+  the distributed engine, joins that cannot terminate or silently leak);
+* **RL025** — ``Event``/``Condition`` misuse (untimed waits in unbounded
+  loops, missed-wakeup patterns).
+
+The static lock-order graph RL021 builds is also exported
+(:func:`static_lock_order`) so the runtime oracle in
+``tools/lock_tracer.py`` can assert observed acquisition orders against
+it from the distributed chaos suite.
+"""
+
+from .config import ConcurrencyConfig, ConcurrencyOptions
+from .locks import static_lock_order
+from .runner import CONCURRENCY_RULE_IDS, run_concurrency_rules
+
+__all__ = [
+    "CONCURRENCY_RULE_IDS",
+    "ConcurrencyConfig",
+    "ConcurrencyOptions",
+    "run_concurrency_rules",
+    "static_lock_order",
+]

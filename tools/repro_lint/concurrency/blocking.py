@@ -1,0 +1,129 @@
+"""RL022 — blocking call under a lock.
+
+A thread that blocks (``time.sleep``, ``subprocess``, ``queue.get``/
+``put`` on a queue-typed receiver, any thread/process ``join``, an
+untimed ``Event.wait``, a ``fork_map`` fan-out) while holding a lock
+starves every other acquirer for the duration — and deadlocks outright
+when the unblocking party needs that same lock.  The rule fires on
+
+* direct blocking primitives inside a ``with <lock>:`` region, and
+* calls made under a lock into project functions whose transitive
+  *may-block* closure (over the flow call graph) contains a primitive.
+
+``Condition.wait`` under its own condition is the designed pattern (the
+wait releases the lock) and is never flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..flow.program import ProgramIndex
+from .config import ConcurrencyConfig
+from .locks import callee_map
+from .model import ConcurrencyFacts
+
+__all__ = ["may_block_closure", "run_blocking_rule"]
+
+_Reason = Tuple[str, str, int]  # (primitive, rel_path, line)
+
+
+def may_block_closure(
+    facts: ConcurrencyFacts, index: ProgramIndex
+) -> Dict[str, _Reason]:
+    """``{qualname: (primitive, path, line)}`` for every function that can
+    block, directly or through callees (SCC fixpoint, callees first)."""
+    direct: Dict[str, _Reason] = {}
+    for qual, f in facts.funcs.items():
+        if f.blocking:
+            b = f.blocking[0]
+            direct[qual] = (b.name, f.rel_path, b.line)
+    result: Dict[str, _Reason] = {}
+    for scc in index.sccs:
+        reason: Optional[_Reason] = None
+        for q in sorted(scc):
+            if q in direct:
+                reason = direct[q]
+                break
+        if reason is None:
+            members = set(scc)
+            for q in sorted(scc):
+                for callee in sorted(index.edges.get(q, ())):
+                    if callee not in members and callee in result:
+                        reason = result[callee]
+                        break
+                if reason is not None:
+                    break
+        if reason is not None:
+            for q in scc:
+                result[q] = reason
+    for q, reason in direct.items():
+        result.setdefault(q, reason)
+    return result
+
+
+def run_blocking_rule(
+    facts: ConcurrencyFacts,
+    index: Optional[ProgramIndex],
+    cfg: ConcurrencyConfig,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int, int]] = set()
+
+    # direct: a blocking primitive lexically inside a lock region
+    for qual, f in facts.funcs.items():
+        for b in f.blocking:
+            if not b.held:
+                continue
+            key = (qual, b.line, b.col)
+            reported.add(key)
+            findings.append(
+                Finding(
+                    rule="RL022",
+                    path=f.rel_path,
+                    line=b.line,
+                    col=b.col,
+                    message=(
+                        f"blocking call {b.name} while holding "
+                        f"{', '.join(b.held)}: every other acquirer stalls "
+                        f"for the duration (deadlock if the unblocking "
+                        f"party needs the lock) — move the {b.name} "
+                        f"outside the critical section"
+                    ),
+                )
+            )
+
+    # interprocedural: a call under a lock reaches a primitive
+    if index is None:
+        return findings
+    blockers = may_block_closure(facts, index)
+    callees = callee_map(index, cfg)
+    for qual, f in facts.funcs.items():
+        sites = callees.get(qual)
+        if not sites:
+            continue
+        for line, col, held in f.callsites:
+            if not held or (qual, line, col) in reported:
+                continue
+            callee = sites.get((line, col))
+            if callee is None or callee not in blockers:
+                continue
+            prim, where_path, where_line = blockers[callee]
+            reported.add((qual, line, col))
+            findings.append(
+                Finding(
+                    rule="RL022",
+                    path=f.rel_path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"call into {callee} while holding "
+                        f"{', '.join(held)}: it can block in {prim} "
+                        f"({where_path}:{where_line}) — hoist the call out "
+                        f"of the critical section or bound it with a "
+                        f"timeout"
+                    ),
+                )
+            )
+    return findings

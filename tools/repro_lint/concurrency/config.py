@@ -1,0 +1,193 @@
+"""Configuration of the concurrency-safety pass (RL020–RL025).
+
+Everything here is data, like :mod:`repro_lint.resources.config`: the
+test suite lints synthetic projects with the production model, and the
+production tree can be analyzed with a tightened one.  Constructor names
+are matched on resolved qualified names (``threading.Lock``); method
+names (``wait``, ``join``) on the final attribute, because receivers are
+resolved best-effort only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..flow.config import FlowConfig
+
+__all__ = ["ConcurrencyConfig", "ConcurrencyOptions"]
+
+
+@dataclass
+class ConcurrencyConfig:
+    """Knobs of the six concurrency rules."""
+
+    # -- lock discovery (all rules) ------------------------------------
+    #: constructors whose result is a mutual-exclusion lock
+    lock_constructors: Tuple[str, ...] = (
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    )
+    #: the subset of :attr:`lock_constructors` that is reentrant — a
+    #: nested re-acquisition on the same thread is legal, so RL021 does
+    #: not flag self-edges for these (a bare ``Condition()`` wraps an
+    #: RLock)
+    reentrant_constructors: Tuple[str, ...] = (
+        "threading.RLock",
+        "threading.Condition",
+    )
+    #: attribute names assumed to be locks even when their construction
+    #: is out of view (``with self._lock:`` over an inherited attribute)
+    lock_attr_fallbacks: Tuple[str, ...] = ("_lock",)
+    #: method names for which the flow layer's ``?.m`` unique-method
+    #: resolution is *not* trusted when joining lock regions to callees:
+    #: these almost always hit builtin containers/strings, and a
+    #: misresolution onto the one project method with the same name
+    #: fabricates deadlock edges (``_REGISTRY.clear()`` is not
+    #: ``SolverCache.clear``)
+    opaque_method_blocklist: Tuple[str, ...] = (
+        "add",
+        "append",
+        "clear",
+        "copy",
+        "count",
+        "discard",
+        "extend",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popitem",
+        "put",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "split",
+        "strip",
+        "update",
+        "values",
+    )
+
+    # -- RL020: shared-state writes ------------------------------------
+    #: thread-spawning constructors whose ``target=`` marks an entry point
+    thread_constructors: Tuple[str, ...] = (
+        "threading.Thread",
+        "threading.Timer",
+    )
+    #: functions treated as thread entries by (final) name even when no
+    #: ``Thread(target=...)`` site is in view — the engine's worker loops
+    #: and transport pumps run on threads the transports spawn
+    thread_entry_names: Tuple[str, ...] = (
+        "worker_loop",
+        "_heartbeat_loop",
+        "pump",
+    )
+    #: constructors whose instances are internally synchronized — an
+    #: attribute bound to one of these in ``__init__`` is queue-mediated
+    #: and exempt from RL020
+    sync_constructors: Tuple[str, ...] = (
+        "threading.Event",
+        "threading.Condition",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "threading.local",
+        "queue.Queue",
+        "queue.SimpleQueue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "multiprocessing.Queue",
+        "multiprocessing.SimpleQueue",
+        "multiprocessing.JoinableQueue",
+    )
+    #: container methods that mutate their receiver in place
+    mutating_methods: Tuple[str, ...] = (
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "sort",
+        "reverse",
+        "move_to_end",
+    )
+
+    # -- RL022: blocking calls under a lock ----------------------------
+    #: resolved qualified names that block the calling thread
+    blocking_calls: Tuple[str, ...] = (
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.fork",
+        "os.forkpty",
+        "os.wait",
+        "os.waitpid",
+        "os.system",
+    )
+    #: final-name functions that fan out to (and wait for) workers
+    blocking_fanout_names: Tuple[str, ...] = ("fork_map",)
+    #: attribute names whose receiver must be queue-typed for a bare
+    #: ``.get()``/``.put()`` to count as blocking (``dict.get`` is not)
+    queue_blocking_methods: Tuple[str, ...] = ("get", "put")
+
+    # -- RL023: fork safety --------------------------------------------
+    #: resolved qualified names that fork the process
+    fork_calls: Tuple[str, ...] = ("os.fork", "os.forkpty")
+    #: final-name helpers/constructors that fork under the hood
+    fork_names: Tuple[str, ...] = ("fork_map", "ForkTransport")
+
+    # -- RL024: thread lifecycle ---------------------------------------
+    #: path prefixes where every thread must carry ``name=`` and
+    #: ``daemon=True`` (the distributed engine: tracebacks, the lock
+    #: tracer and the dashboard all attribute activity by thread name)
+    thread_name_zones: Tuple[str, ...] = ("src/repro/distributed/",)
+    #: function (final) names treated as shutdown paths — an untimed
+    #: ``join()`` there can hang teardown forever
+    shutdown_names: Tuple[str, ...] = (
+        "stop",
+        "shutdown",
+        "close",
+        "terminate",
+        "atexit",
+        "__exit__",
+        "__del__",
+    )
+
+    # -- RL025: Event/Condition misuse ---------------------------------
+    #: annotation/constructor names identifying waitable primitives
+    event_types: Tuple[str, ...] = ("threading.Event", "multiprocessing.Event")
+    condition_types: Tuple[str, ...] = ("threading.Condition",)
+
+
+@dataclass
+class ConcurrencyOptions:
+    """Runtime switches for one concurrency-pass invocation."""
+
+    enabled: bool = True
+    #: worker processes for cold summary extraction (<=1 = serial)
+    jobs: int = 1
+    #: content-addressed summary cache shared with ``--flow``/``--resources``
+    cache_dir: Optional[str] = None
+    config: ConcurrencyConfig = field(default_factory=ConcurrencyConfig)
+    #: extraction model (the call graph is built from flow summaries)
+    flow_config: FlowConfig = field(default_factory=FlowConfig)

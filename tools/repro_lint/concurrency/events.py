@@ -1,0 +1,66 @@
+"""RL025 — Event/Condition misuse.
+
+Two missed-wakeup shapes, both per-file:
+
+* ``Event.wait()`` without a timeout inside an unbounded loop — if the
+  setter dies (worker crash, lost message) the waiter hangs forever with
+  no opportunity to observe shutdown; the engine's own idiom is
+  ``while not stop.wait(interval):``;
+* ``Condition.wait()`` outside a ``while``-predicate loop — condition
+  waits are specified to allow spurious wakeups, and an ``if``-guarded
+  or bare wait acts on a predicate that may already be false again.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import Finding
+from .config import ConcurrencyConfig
+from .model import ConcurrencyFacts
+
+__all__ = ["run_events_rule"]
+
+
+def run_events_rule(
+    facts: ConcurrencyFacts, cfg: ConcurrencyConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for f in facts.funcs.values():
+        for w in f.waits:
+            if (
+                w.recv_kind == "event"
+                and not w.has_timeout
+                and w.in_unbounded_loop
+            ):
+                findings.append(
+                    Finding(
+                        rule="RL025",
+                        path=f.rel_path,
+                        line=w.line,
+                        col=w.col,
+                        message=(
+                            "Event.wait() without a timeout inside an "
+                            "unbounded loop: if the setter dies the waiter "
+                            "hangs forever — use wait(timeout) and re-check "
+                            "the exit condition each lap"
+                        ),
+                    )
+                )
+            if w.recv_kind == "condition" and not w.in_while_loop:
+                findings.append(
+                    Finding(
+                        rule="RL025",
+                        path=f.rel_path,
+                        line=w.line,
+                        col=w.col,
+                        message=(
+                            "Condition.wait() outside a while-predicate "
+                            "loop: condition waits allow spurious wakeups "
+                            "and the predicate may be false again by the "
+                            "time the waiter runs — wrap the wait in "
+                            "'while not predicate: cond.wait()'"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,159 @@
+"""RL023 — fork-after-thread and fork-under-lock hazards.
+
+``fork()`` snapshots the whole process but only the calling thread
+survives in the child.  Any lock another thread held at fork time is
+locked *forever* in the child — the classic fork-after-thread deadlock —
+and buffered state (queues, condition variables) tears mid-update.  The
+rule flags a fork-like call (``os.fork``, ``fork_map``,
+``ForkTransport``, fork-context ``multiprocessing``) when
+
+* a lock is lexically held at the call site;
+* a caller can hold a lock across the call (interprocedural, over the
+  flow call graph);
+* the call is reachable from a thread entry (forking *from* a worker
+  thread);
+* a non-daemon thread was started earlier in the same function (the
+  lexical fork-after-thread shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..flow.program import ProgramIndex
+from .config import ConcurrencyConfig
+from .locks import callee_map
+from .model import ConcurrencyFacts
+from .shared_state import thread_reachable
+
+__all__ = ["run_fork_safety_rule"]
+
+
+def _called_with_lock(
+    facts: ConcurrencyFacts, index: ProgramIndex, cfg: ConcurrencyConfig
+) -> Dict[str, Tuple[str, str, int]]:
+    """``{qualname: (lock, caller path, caller line)}`` for every function
+    some caller can invoke while holding a lock."""
+    callees = callee_map(index, cfg)
+    seeds: Dict[str, Tuple[str, str, int]] = {}
+    for qual, f in facts.funcs.items():
+        sites = callees.get(qual)
+        if not sites:
+            continue
+        for line, col, held in f.callsites:
+            if not held:
+                continue
+            callee = sites.get((line, col))
+            if callee is not None:
+                seeds.setdefault(callee, (held[-1], f.rel_path, line))
+    out: Dict[str, Tuple[str, str, int]] = {}
+    frontier = list(seeds)
+    for qual in frontier:
+        out.setdefault(qual, seeds[qual])
+    while frontier:
+        qual = frontier.pop()
+        why = out[qual]
+        for callee in index.edges.get(qual, ()):
+            if callee not in out:
+                out[callee] = why
+                frontier.append(callee)
+    return out
+
+
+def run_fork_safety_rule(
+    facts: ConcurrencyFacts,
+    index: Optional[ProgramIndex],
+    cfg: ConcurrencyConfig,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    reach: Dict[str, str] = {}
+    under_lock: Dict[str, Tuple[str, str, int]] = {}
+    if index is not None:
+        reach = thread_reachable(facts, index, cfg)
+        under_lock = _called_with_lock(facts, index, cfg)
+
+    for qual, f in facts.funcs.items():
+        # lexical fork-after-thread: a non-daemon thread started earlier
+        started_nondaemon: List[Tuple[int, Optional[str]]] = [
+            (tc.line, tc.assigned[0][-1] if tc.assigned else None)
+            for tc in f.thread_creates
+            if tc.started and tc.daemon is not True
+        ]
+        for fork in f.forks:
+            if fork.held:
+                findings.append(
+                    Finding(
+                        rule="RL023",
+                        path=f.rel_path,
+                        line=fork.line,
+                        col=fork.col,
+                        message=(
+                            f"fork ({fork.name}) while holding "
+                            f"{', '.join(fork.held)}: the child inherits "
+                            f"the locked lock with no owner thread and "
+                            f"deadlocks on first acquire — fork outside "
+                            f"every critical section"
+                        ),
+                    )
+                )
+                continue
+            if qual in reach:
+                findings.append(
+                    Finding(
+                        rule="RL023",
+                        path=f.rel_path,
+                        line=fork.line,
+                        col=fork.col,
+                        message=(
+                            f"fork ({fork.name}) reachable from thread "
+                            f"entry {reach[qual]}: forking from a worker "
+                            f"thread snapshots other threads' locks "
+                            f"mid-critical-section — fork from the main "
+                            f"thread only"
+                        ),
+                    )
+                )
+                continue
+            if qual in under_lock:
+                lock, cpath, cline = under_lock[qual]
+                findings.append(
+                    Finding(
+                        rule="RL023",
+                        path=f.rel_path,
+                        line=fork.line,
+                        col=fork.col,
+                        message=(
+                            f"fork ({fork.name}) while a caller can hold "
+                            f"{lock} (call chain entered under the lock at "
+                            f"{cpath}:{cline}) — the child inherits it "
+                            f"locked; hoist the fork out of the locked "
+                            f"call chain"
+                        ),
+                    )
+                )
+                continue
+            earlier = [
+                (line, name)
+                for line, name in started_nondaemon
+                if line < fork.line
+            ]
+            if earlier:
+                line, name = earlier[0]
+                label = f"thread {name!r}" if name else "a thread"
+                findings.append(
+                    Finding(
+                        rule="RL023",
+                        path=f.rel_path,
+                        line=fork.line,
+                        col=fork.col,
+                        message=(
+                            f"fork ({fork.name}) after starting non-daemon "
+                            f"{label} (line {line}): locks that thread "
+                            f"holds at fork time stay locked forever in "
+                            f"the child — fork before spawning threads, or "
+                            f"make the thread daemon and join it first"
+                        ),
+                    )
+                )
+    return findings

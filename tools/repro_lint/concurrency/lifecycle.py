@@ -1,0 +1,150 @@
+"""RL024 — thread lifecycle hygiene.
+
+Four shapes, all per-file:
+
+* **unnamed/undaemonized threads in the distributed engine** — every
+  thread under :attr:`~.config.ConcurrencyConfig.thread_name_zones` must
+  carry ``name=`` (tracebacks, the lock tracer and the dashboard
+  attribute activity by thread name) and ``daemon=True`` (a forgotten
+  worker must never block interpreter exit);
+* **non-daemon thread never joined** (outside the zones) — it outlives
+  the spawner and blocks interpreter shutdown;
+* **untimed ``join()`` in a shutdown path** — a hung worker then hangs
+  teardown forever;
+* **timed ``join()`` whose outcome is ignored** — ``join(timeout=...)``
+  returns silently with the thread still alive; without an
+  ``is_alive()`` probe after it, the leak is invisible (the exact bug
+  the worker heartbeat shutdown had).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..engine import Finding
+from .config import ConcurrencyConfig
+from .model import ConcurrencyFacts, FuncFacts
+
+__all__ = ["run_lifecycle_rule"]
+
+
+def _in_zone(rel_path: str, cfg: ConcurrencyConfig) -> bool:
+    return any(rel_path.startswith(z) for z in cfg.thread_name_zones)
+
+
+def run_lifecycle_rule(
+    facts: ConcurrencyFacts, cfg: ConcurrencyConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # group functions by file for cross-function join matching
+    by_file: Dict[str, List[FuncFacts]] = {}
+    for f in facts.funcs.values():
+        by_file.setdefault(f.rel_path, []).append(f)
+
+    for rel_path, funcs in sorted(by_file.items()):
+        zone = _in_zone(rel_path, cfg)
+        joined_names: Set[str] = {
+            j.chain[-1] for f in funcs for j in f.joins if j.chain
+        }
+        thread_names: Set[str] = {
+            chain[-1]
+            for f in funcs
+            for tc in f.thread_creates
+            for chain in tc.assigned
+        }
+        for f in funcs:
+            for tc in f.thread_creates:
+                if zone and not tc.has_name:
+                    findings.append(
+                        Finding(
+                            rule="RL024",
+                            path=rel_path,
+                            line=tc.line,
+                            col=tc.col,
+                            message=(
+                                "thread created without name= in the "
+                                "distributed engine: tracebacks, the lock "
+                                "tracer and the dashboard attribute "
+                                "activity by thread name — use a "
+                                "'repro-<role>-<id>' name"
+                            ),
+                        )
+                    )
+                if zone and tc.daemon is not True:
+                    findings.append(
+                        Finding(
+                            rule="RL024",
+                            path=rel_path,
+                            line=tc.line,
+                            col=tc.col,
+                            message=(
+                                "thread created without daemon=True in the "
+                                "distributed engine: a hung or leaked "
+                                "worker must never block interpreter exit"
+                            ),
+                        )
+                    )
+                if not zone and tc.daemon is not True:
+                    names = {chain[-1] for chain in tc.assigned}
+                    if not names or not (names & joined_names):
+                        findings.append(
+                            Finding(
+                                rule="RL024",
+                                path=rel_path,
+                                line=tc.line,
+                                col=tc.col,
+                                message=(
+                                    "non-daemon thread is never joined in "
+                                    "this module: it outlives its spawner "
+                                    "and blocks interpreter shutdown — "
+                                    "join it (with a timeout) or make it "
+                                    "daemon"
+                                ),
+                            )
+                        )
+
+            is_shutdown = f.name in cfg.shutdown_names
+            for j in f.joins:
+                if is_shutdown and not j.has_timeout:
+                    findings.append(
+                        Finding(
+                            rule="RL024",
+                            path=rel_path,
+                            line=j.line,
+                            col=j.col,
+                            message=(
+                                f"join() without a timeout in shutdown "
+                                f"path {f.name}(): a hung worker hangs "
+                                f"teardown forever — join(timeout=...) "
+                                f"and handle the still-alive case"
+                            ),
+                        )
+                    )
+                if (
+                    zone
+                    and j.has_timeout
+                    and j.chain
+                    and j.chain[-1] in thread_names
+                ):
+                    probed_after = any(
+                        chain and chain[-1] == j.chain[-1] and line >= j.line
+                        for chain, line in f.alive_checks
+                    )
+                    if not probed_after:
+                        findings.append(
+                            Finding(
+                                rule="RL024",
+                                path=rel_path,
+                                line=j.line,
+                                col=j.col,
+                                message=(
+                                    "timed join ignores its outcome: "
+                                    "join(timeout=...) returns silently "
+                                    "with the thread still alive — probe "
+                                    "is_alive() afterwards and surface "
+                                    "the leak"
+                                ),
+                            )
+                        )
+    return findings

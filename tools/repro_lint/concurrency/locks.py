@@ -1,0 +1,314 @@
+"""RL021 — lock-order cycles, and the shared lock-graph machinery.
+
+The lock-acquisition graph has one node per project lock and an edge
+``A -> B`` whenever some thread can acquire ``B`` while holding ``A``:
+
+* **lexically** — ``with A: with B:`` nesting inside one function;
+* **interprocedurally** — a call made under ``A`` to a function whose
+  transitive acquisition closure contains ``B`` (computed over the flow
+  call graph, SCC-at-a-time in reverse topological order).
+
+Two threads traversing a cycle in this graph in opposite orders deadlock;
+RL021 flags every edge that participates in a cycle, with the witness
+site of the acquisition.  A *self*-edge is flagged only for non-reentrant
+locks (``threading.Lock``), where re-acquisition deadlocks a single
+thread outright.
+
+:func:`static_lock_order` exports the same graph as plain data so the
+runtime oracle (``tools/lock_tracer.py``) can assert observed
+acquisition orders against the static model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..engine import Finding
+from ..flow.program import ProgramIndex
+from .config import ConcurrencyConfig
+from .model import ConcurrencyFacts
+
+__all__ = [
+    "callee_map",
+    "acquires_closure",
+    "build_lock_graph",
+    "run_lock_order_rule",
+    "static_lock_order",
+]
+
+
+def callee_map(
+    index: ProgramIndex, cfg: ConcurrencyConfig
+) -> Dict[str, Dict[Tuple[int, int], str]]:
+    """``{caller qualname: {(line, col): callee qualname}}`` from the flow
+    summaries — the join key between lock regions and the call graph.
+
+    ``?.m`` opaque-receiver sites whose method name is on
+    :attr:`~.config.ConcurrencyConfig.opaque_method_blocklist` are left
+    unresolved: the unique-method heuristic misfires on builtin
+    containers and would fabricate lock edges.
+    """
+    blocked = set(cfg.opaque_method_blocklist)
+    out: Dict[str, Dict[Tuple[int, int], str]] = {}
+    for qual, fn in index.functions.items():
+        resolved: Dict[Tuple[int, int], str] = {}
+        for site in fn.callsites:
+            name = site.callee
+            if name and name.startswith("?.") and name[2:] in blocked:
+                continue
+            callee = index.callee_function(name)
+            if callee is not None:
+                resolved[(site.line, site.col)] = callee.qualname
+        out[qual] = resolved
+    return out
+
+
+def acquires_closure(
+    facts: ConcurrencyFacts, index: ProgramIndex
+) -> Dict[str, Set[str]]:
+    """Transitive lock-acquisition closure per function (SCCs collapse)."""
+    direct: Dict[str, Set[str]] = {
+        q: {lock_id for lock_id, _ in f.acquisitions}
+        for q, f in facts.funcs.items()
+        if f.acquisitions
+    }
+    result: Dict[str, Set[str]] = {}
+    for scc in index.sccs:
+        acc: Set[str] = set()
+        for q in scc:
+            acc |= direct.get(q, set())
+        members = set(scc)
+        for q in scc:
+            for callee in index.edges.get(q, ()):
+                if callee not in members:
+                    acc |= result.get(callee, set())
+        for q in scc:
+            result[q] = acc
+    for q, locks in direct.items():
+        result.setdefault(q, set(locks))
+    return result
+
+
+def build_lock_graph(
+    facts: ConcurrencyFacts,
+    index: Optional[ProgramIndex],
+    cfg: ConcurrencyConfig,
+) -> Tuple[Dict[str, Set[str]], Dict[Tuple[str, str], Tuple[str, int]]]:
+    """The acquisition-order graph and a witness site per edge."""
+    edges: Dict[str, Set[str]] = {}
+    witness: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def add(a: str, b: str, rel_path: str, line: int) -> None:
+        if a == b:
+            return
+        edges.setdefault(a, set()).add(b)
+        witness.setdefault((a, b), (rel_path, line))
+
+    for f in facts.funcs.values():
+        for a, b, line in f.direct_edges:
+            add(a, b, f.rel_path, line)
+
+    if index is not None:
+        closure = acquires_closure(facts, index)
+        callees = callee_map(index, cfg)
+        for qual, f in facts.funcs.items():
+            sites = callees.get(qual)
+            if not sites:
+                continue
+            for line, col, held in f.callsites:
+                if not held:
+                    continue
+                callee = sites.get((line, col))
+                if callee is None:
+                    continue
+                for acquired in closure.get(callee, ()):
+                    for h in held:
+                        add(h, acquired, f.rel_path, line)
+    return edges, witness
+
+
+def _sccs(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan SCCs of the (small) lock graph, iterative."""
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+    nodes = sorted(set(edges) | {d for ds in edges.values() for d in ds})
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: List[Tuple[str, List[str]]] = [
+            (root, sorted(edges.get(root, ())))
+        ]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            while succs:
+                succ = succs.pop(0)
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                scc: List[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                out.append(scc)
+    return out
+
+
+def run_lock_order_rule(
+    facts: ConcurrencyFacts,
+    index: Optional[ProgramIndex],
+    cfg: ConcurrencyConfig,
+) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # non-reentrant re-acquisition: a single thread deadlocks on itself
+    for f in facts.funcs.values():
+        for lock_id, line in f.reacquisitions:
+            info = facts.locks.get(lock_id)
+            if info is not None and not info.reentrant:
+                findings.append(
+                    Finding(
+                        rule="RL021",
+                        path=f.rel_path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"non-reentrant lock {lock_id} ({info.kind}) "
+                            f"re-acquired while already held — guaranteed "
+                            f"self-deadlock; use threading.RLock or "
+                            f"restructure the critical section"
+                        ),
+                    )
+                )
+
+    edges, witness = build_lock_graph(facts, index, cfg)
+    for scc in _sccs(edges):
+        if len(scc) < 2:
+            continue
+        members = set(scc)
+        cycle = " -> ".join([*sorted(scc), sorted(scc)[0]])
+        for a in sorted(members):
+            for b in sorted(edges.get(a, ())):
+                if b not in members:
+                    continue
+                rel_path, line = witness[(a, b)]
+                findings.append(
+                    Finding(
+                        rule="RL021",
+                        path=rel_path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"lock-order cycle ({cycle}): this site "
+                            f"acquires {b} while holding {a}, and a "
+                            f"reversed ordering exists elsewhere in the "
+                            f"cycle — two threads traversing it in "
+                            f"opposite orders deadlock; pick one global "
+                            f"acquisition order"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# export for the runtime oracle
+# ---------------------------------------------------------------------------
+
+
+def static_lock_order(
+    paths: Sequence[str],
+    root: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    config: Optional[ConcurrencyConfig] = None,
+) -> Dict[str, Any]:
+    """Static lock table + acquisition-order graph as plain data.
+
+    ``{"locks": [{"id", "kind", "path", "line", "reentrant"}, ...],
+    "edges": [{"src", "dst", "path", "line"}, ...]}`` — the contract the
+    runtime lock tracer (``tools/lock_tracer.py``) validates observed
+    acquisition orders against.  Locks are matched by creation site
+    ``(path, line)``.
+    """
+    from ..engine import FileContext, LintConfig, _parse, _relativize, collect_files
+    from ..flow.cache import SummaryCache, extract_summaries
+    from ..flow.program import ProgramIndex as _ProgramIndex
+    from .config import ConcurrencyOptions
+    from .model import collect_facts
+
+    opts = ConcurrencyOptions(cache_dir=cache_dir, jobs=jobs)
+    if config is not None:
+        opts.config = config
+    base = Path(root) if root is not None else Path.cwd()
+    lint_cfg = LintConfig()
+    contexts: List[FileContext] = []
+    for path in collect_files(paths, root=base):
+        try:
+            source, tree = _parse(path)
+        except SyntaxError:
+            continue
+        contexts.append(
+            FileContext(
+                path=path,
+                rel_path=_relativize(path, base),
+                source=source,
+                tree=tree,
+                config=lint_cfg,
+            )
+        )
+    non_test = [ctx for ctx in contexts if not ctx.is_test_file]
+    facts = collect_facts(non_test, opts.config)
+    cache = SummaryCache(opts.cache_dir) if opts.cache_dir else None
+    items = [(ctx.rel_path, ctx.source, ctx.is_test_file) for ctx in contexts]
+    summaries = extract_summaries(items, opts.flow_config, jobs=opts.jobs, cache=cache)
+    index = _ProgramIndex(summaries)
+    edges, witness = build_lock_graph(facts, index, opts.config)
+    return {
+        "locks": [
+            {
+                "id": li.lock_id,
+                "kind": li.kind,
+                "path": li.rel_path,
+                "line": li.line,
+                "reentrant": li.reentrant,
+            }
+            for li in sorted(facts.locks.values(), key=lambda li: li.lock_id)
+        ],
+        "edges": [
+            {
+                "src": a,
+                "dst": b,
+                "path": witness[(a, b)][0],
+                "line": witness[(a, b)][1],
+            }
+            for a in sorted(edges)
+            for b in sorted(edges[a])
+        ],
+    }

@@ -1,0 +1,774 @@
+"""Fact extraction for the concurrency rules.
+
+One AST pass per (non-test) file collects everything RL020–RL025 need:
+
+* the **lock table** — every ``threading.Lock``/``RLock`` the project
+  creates, identified by a stable qualname (``repro.core.cache.
+  SolverCache._lock``, ``repro.distributions.workspace._REGISTRY_LOCK``)
+  with its creation site, so the runtime tracer can map instrumented
+  locks back to static identities;
+* per-function **lock regions** — which locks are held at every
+  statement, derived from lexical ``with <lock>:`` nesting;
+* per-function events: call sites (joined against the flow summaries'
+  resolved callees by ``(line, col)``), blocking/fork primitives, thread
+  construction/start/join/``is_alive``, ``Event``/``Condition`` waits,
+  and ``self.attr`` mutations — each tagged with the held-lock set.
+
+The walker reproduces the flow extractor's qualname conventions
+(``{module}.{Class}.{method}``, ``.<locals>.`` for nested definitions)
+so its facts join cleanly with the :class:`~repro_lint.flow.program.
+ProgramIndex` call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import FileContext
+from ..flow.extract import module_name_of
+from ..imports import ImportTracker
+from ..resources._common import receiver_chain
+from .config import ConcurrencyConfig
+
+__all__ = [
+    "LockInfo",
+    "ThreadCreate",
+    "JoinCall",
+    "WaitCall",
+    "BlockingCall",
+    "ForkCall",
+    "FuncFacts",
+    "ConcurrencyFacts",
+    "collect_facts",
+]
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One project lock with a stable identity and its creation site."""
+
+    lock_id: str
+    #: resolved constructor qualname (``threading.RLock``) or ``"unknown"``
+    kind: str
+    rel_path: str
+    line: int
+    reentrant: bool
+
+
+@dataclass
+class ThreadCreate:
+    """One ``threading.Thread(...)`` construction site."""
+
+    line: int
+    col: int
+    #: tentative resolved name of the ``target=`` callable (``None`` =
+    #: absent or dynamic)
+    target: Optional[str]
+    has_name: bool
+    #: literal ``daemon=`` value; ``None`` when absent or non-literal
+    daemon: Optional[bool]
+    #: name chains the thread object is bound to (``("w", "thread")``);
+    #: aliasing assignments append
+    assigned: List[Tuple[str, ...]] = field(default_factory=list)
+    started: bool = False
+
+
+@dataclass
+class JoinCall:
+    chain: Tuple[str, ...]
+    line: int
+    col: int
+    has_timeout: bool
+
+
+@dataclass
+class WaitCall:
+    line: int
+    col: int
+    has_timeout: bool
+    #: "event" | "condition" | "unknown"
+    recv_kind: str
+    #: the wait sits inside a ``while True`` (or constant-true) loop
+    in_unbounded_loop: bool
+    #: the wait sits inside any ``while`` loop (predicate re-check)
+    in_while_loop: bool
+    held: Tuple[str, ...]
+
+
+@dataclass
+class BlockingCall:
+    #: resolved primitive name (``time.sleep``, ``queue.get``, ``join``)
+    name: str
+    line: int
+    col: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class ForkCall:
+    name: str
+    line: int
+    col: int
+    held: Tuple[str, ...]
+
+
+@dataclass
+class FuncFacts:
+    """Everything the rules need about one function."""
+
+    qualname: str
+    name: str
+    rel_path: str
+    line: int
+    class_qualname: Optional[str] = None
+    #: (lock_id, line) for each ``with <lock>:`` acquisition
+    acquisitions: List[Tuple[str, int]] = field(default_factory=list)
+    #: (lock_id, line) where a lock is re-entered while already held
+    reacquisitions: List[Tuple[str, int]] = field(default_factory=list)
+    #: (held_id, acquired_id, line) for each lexically nested acquisition
+    direct_edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: (line, col, held) for every call expression — joined with the flow
+    #: summaries to learn the resolved callee
+    callsites: List[Tuple[int, int, Tuple[str, ...]]] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    forks: List[ForkCall] = field(default_factory=list)
+    thread_creates: List[ThreadCreate] = field(default_factory=list)
+    joins: List[JoinCall] = field(default_factory=list)
+    waits: List[WaitCall] = field(default_factory=list)
+    #: receiver chains probed with ``.is_alive()`` and the probe line
+    alive_checks: List[Tuple[Tuple[str, ...], int]] = field(default_factory=list)
+    #: (attr, line, col, held) for each ``self.attr`` store / in-place
+    #: mutation inside a method
+    self_writes: List[Tuple[str, int, int, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    #: (name, line, col, held) for module-global container mutations and
+    #: ``global``-declared rebinding
+    global_writes: List[Tuple[str, int, int, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class ConcurrencyFacts:
+    """Project-wide concurrency facts, joined across files."""
+
+    funcs: Dict[str, FuncFacts] = field(default_factory=dict)
+    locks: Dict[str, LockInfo] = field(default_factory=dict)
+    #: class qualname -> attrs bound to internally-synchronized objects
+    sync_attrs: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (class qualname, attr) -> constructor qualname (Event/Queue typing)
+    class_attr_types: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: module -> {name: LockInfo} for module-level locks
+    module_locks: Dict[str, Dict[str, LockInfo]] = field(default_factory=dict)
+    #: rel_path -> FileContext for finding construction
+    contexts: Dict[str, FileContext] = field(default_factory=dict)
+    #: rel_path -> module name
+    module_of: Dict[str, str] = field(default_factory=dict)
+
+    def locks_by_attr(self, attr: str) -> List[LockInfo]:
+        suffix = f".{attr}"
+        return [li for li in self.locks.values() if li.lock_id.endswith(suffix)]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _qualify_call(tracker: ImportTracker, call: ast.Call) -> Optional[str]:
+    return tracker.qualify(call.func)
+
+
+def _literal_bool(node: Optional[ast.expr]) -> Optional[bool]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _join_has_timeout(call: ast.Call) -> Optional[bool]:
+    """Timeout classification for a ``.join(...)`` call.
+
+    Returns ``None`` when the call does not look like a thread/process
+    join at all (``", ".join(parts)`` takes one non-numeric argument).
+    """
+    if _kwarg(call, "timeout") is not None:
+        return True
+    if not call.args:
+        return False
+    if len(call.args) == 1:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float)):
+            return True
+        # e.g. str.join(iterable) — not a concurrency join
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# pass 1: lock table + synchronized-attribute typing
+# ---------------------------------------------------------------------------
+
+
+def _collect_definitions(
+    facts: ConcurrencyFacts, ctx: FileContext, cfg: ConcurrencyConfig
+) -> None:
+    module, _ = module_name_of(ctx.rel_path)
+    facts.module_of[ctx.rel_path] = module
+    tracker = ImportTracker(ctx.tree)
+    lock_ctors = set(cfg.lock_constructors)
+    sync_ctors = set(cfg.sync_constructors)
+    reentrant = set(cfg.reentrant_constructors)
+
+    def register(lock_id: str, kind: str, line: int) -> None:
+        facts.locks[lock_id] = LockInfo(
+            lock_id=lock_id,
+            kind=kind,
+            rel_path=ctx.rel_path,
+            line=line,
+            reentrant=kind in reentrant or kind == "unknown",
+        )
+
+    # module-level locks
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = _qualify_call(tracker, value)
+        if ctor not in lock_ctors:
+            continue
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                lock_id = f"{module}.{target.id}"
+                register(lock_id, ctor or "unknown", stmt.lineno)
+                facts.module_locks.setdefault(module, {})[target.id] = facts.locks[
+                    lock_id
+                ]
+
+    # class-attribute locks and synchronized attributes (any method may
+    # create them, __init__ in practice)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls_qual = f"{module}.{node.name}"
+        for fn in ast.walk(node):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = stmt.value
+                if not isinstance(value, ast.Call):
+                    continue
+                ctor = _qualify_call(tracker, value)
+                if ctor is None:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    chain = receiver_chain(target)
+                    if chain is None or len(chain) != 2 or chain[0] != "self":
+                        continue
+                    attr = chain[1]
+                    if ctor in lock_ctors:
+                        lock_id = f"{cls_qual}.{attr}"
+                        register(lock_id, ctor, stmt.lineno)
+                    if ctor in sync_ctors:
+                        facts.sync_attrs.setdefault(cls_qual, set()).add(attr)
+                        facts.class_attr_types[(cls_qual, attr)] = ctor
+
+
+# ---------------------------------------------------------------------------
+# pass 2: per-function facts
+# ---------------------------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Walks one function body tracking the lexically held lock set."""
+
+    def __init__(
+        self,
+        facts: ConcurrencyFacts,
+        fn_facts: FuncFacts,
+        ctx: FileContext,
+        cfg: ConcurrencyConfig,
+        tracker: ImportTracker,
+        module: str,
+        module_defs: Set[str],
+        module_globals: Set[str],
+    ) -> None:
+        self.facts = facts
+        self.f = fn_facts
+        self.ctx = ctx
+        self.cfg = cfg
+        self.tracker = tracker
+        self.module = module
+        self.module_defs = module_defs
+        self.module_globals = module_globals
+        #: local name -> lock id (``x = threading.Lock()``)
+        self.local_locks: Dict[str, str] = {}
+        #: local name -> constructor qualname (Event/Queue/... typing)
+        self.local_types: Dict[str, str] = {}
+        #: plain names the function itself binds (shadowing globals)
+        self.local_names: Set[str] = set()
+        #: names declared ``global`` in this function
+        self.global_decls: Set[str] = set()
+        #: name chains currently known to hold thread objects
+        self.thread_chains: Set[Tuple[str, ...]] = set()
+        self.loop_stack: List[str] = []
+
+    # -- lock identity resolution --------------------------------------
+    def resolve_lock(self, expr: ast.expr) -> Optional[str]:
+        chain = receiver_chain(expr)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            name = chain[0]
+            if name in self.local_locks:
+                return self.local_locks[name]
+            module_table = self.facts.module_locks.get(self.module, {})
+            if name in module_table:
+                return module_table[name].lock_id
+            qualified = self.tracker.qualify(expr)
+            if qualified in self.facts.locks:
+                return qualified
+            candidates = [
+                li
+                for li in self.facts.locks.values()
+                if li.lock_id.rsplit(".", 1)[-1] == name
+            ]
+            if len(candidates) == 1:
+                return candidates[0].lock_id
+            return None
+        if len(chain) == 2:
+            root, attr = chain
+            if root == "self" and self.f.class_qualname:
+                lock_id = f"{self.f.class_qualname}.{attr}"
+                if lock_id in self.facts.locks:
+                    return lock_id
+            candidates = self.facts.locks_by_attr(attr)
+            if len(candidates) == 1:
+                return candidates[0].lock_id
+            if (
+                root == "self"
+                and self.f.class_qualname
+                and attr in self.cfg.lock_attr_fallbacks
+                and not candidates
+            ):
+                # construction out of view (inherited attribute): assume a
+                # reentrant lock under the receiver class's identity
+                lock_id = f"{self.f.class_qualname}.{attr}"
+                self.facts.locks[lock_id] = LockInfo(
+                    lock_id=lock_id,
+                    kind="unknown",
+                    rel_path=self.ctx.rel_path,
+                    line=getattr(expr, "lineno", self.f.line),
+                    reentrant=True,
+                )
+                return lock_id
+        return None
+
+    # -- receiver typing ------------------------------------------------
+    def type_of(self, chain: Tuple[str, ...]) -> Optional[str]:
+        if len(chain) == 1:
+            return self.local_types.get(chain[0])
+        if len(chain) == 2 and chain[0] == "self" and self.f.class_qualname:
+            return self.facts.class_attr_types.get(
+                (self.f.class_qualname, chain[1])
+            )
+        return None
+
+    # -- statement walk -------------------------------------------------
+    def walk(self, body: Sequence[ast.stmt], held: Tuple[str, ...]) -> None:
+        for stmt in body:
+            self.statement(stmt, held)
+
+    def statement(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions run later, with their own held set
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in stmt.items:
+                lock_id = self.resolve_lock(item.context_expr)
+                if lock_id is not None:
+                    self.f.acquisitions.append((lock_id, stmt.lineno))
+                    for h in new_held:
+                        if h != lock_id:
+                            self.f.direct_edges.append((h, lock_id, stmt.lineno))
+                    if lock_id in new_held:
+                        self.f.reacquisitions.append((lock_id, stmt.lineno))
+                    else:
+                        new_held = new_held + (lock_id,)
+                else:
+                    self.expression(item.context_expr, held)
+            self.walk(stmt.body, new_held)
+            return
+        if isinstance(stmt, ast.While):
+            self.expression(stmt.test, held)
+            unbounded = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+            self.loop_stack.append("while_true" if unbounded else "while")
+            self.walk(stmt.body, held)
+            self.loop_stack.pop()
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.expression(stmt.iter, held)
+            self.loop_stack.append("for")
+            self.walk(stmt.body, held)
+            self.loop_stack.pop()
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.If):
+            self.expression(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            self.walk(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk(handler.body, held)
+            self.walk(stmt.orelse, held)
+            self.walk(stmt.finalbody, held)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self.assignment(stmt, held)
+            return
+        if isinstance(stmt, (ast.Delete,)):
+            for target in stmt.targets:
+                self.store_target(target, stmt, held)
+            return
+        if isinstance(stmt, ast.Global):
+            self.global_decls.update(stmt.names)
+            return
+        # Expr / Return / Raise / Assert / simple statements: scan calls
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.expression(child, held)
+
+    # -- assignments ----------------------------------------------------
+    def assignment(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        value = getattr(stmt, "value", None)
+        if value is not None:
+            self.expression(value, held)
+        targets: List[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        else:
+            targets = [stmt.target]  # type: ignore[list-item]
+        if not (isinstance(stmt, ast.AnnAssign) and value is None):
+            for target in targets:
+                self.store_target(target, stmt, held)
+
+        # track lock/type bindings and thread-object aliasing
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and isinstance(
+            value, ast.Call
+        ):
+            ctor = _qualify_call(self.tracker, value)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if ctor in self.cfg.lock_constructors:
+                        lock_id = f"{self.f.qualname}.{target.id}"
+                        self.facts.locks[lock_id] = LockInfo(
+                            lock_id=lock_id,
+                            kind=ctor or "unknown",
+                            rel_path=self.ctx.rel_path,
+                            line=stmt.lineno,
+                            reentrant=ctor in self.cfg.reentrant_constructors,
+                        )
+                        self.local_locks[target.id] = lock_id
+                    if ctor is not None:
+                        self.local_types[target.id] = ctor
+            if ctor in self.cfg.thread_constructors:
+                for target in targets:
+                    chain = receiver_chain(target)
+                    if chain is not None:
+                        self.thread_chains.add(chain)
+                        if self.f.thread_creates:
+                            self.f.thread_creates[-1].assigned.append(chain)
+        elif isinstance(stmt, ast.Assign) and isinstance(value, ast.Name):
+            # aliasing: ``w.thread = thread``
+            if (value.id,) in self.thread_chains:
+                for target in targets:
+                    chain = receiver_chain(target)
+                    if chain is not None:
+                        self.thread_chains.add(chain)
+                        for tc in self.f.thread_creates:
+                            if (value.id,) in tc.assigned:
+                                tc.assigned.append(chain)
+
+    def store_target(
+        self, target: ast.expr, stmt: ast.stmt, held: Tuple[str, ...]
+    ) -> None:
+        node: ast.expr = target
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self.store_target(elt, stmt, held)
+            return
+        if isinstance(node, (ast.Subscript,)):
+            self.expression(node.slice, held)
+            node = node.value
+        chain = receiver_chain(node)
+        if chain is None:
+            return
+        if len(chain) >= 2 and chain[0] == "self" and self.f.class_qualname:
+            self.f.self_writes.append(
+                (chain[1], stmt.lineno, stmt.col_offset, held)
+            )
+        elif len(chain) == 1:
+            name = chain[0]
+            if isinstance(target, ast.Subscript):
+                # NAME[...] = — container mutation visible module-wide
+                if name in self.module_globals and name not in self.local_names:
+                    self.f.global_writes.append(
+                        (name, stmt.lineno, stmt.col_offset, held)
+                    )
+            elif name in self.global_decls:
+                self.f.global_writes.append(
+                    (name, stmt.lineno, stmt.col_offset, held)
+                )
+            else:
+                self.local_names.add(name)
+
+    # -- expressions ----------------------------------------------------
+    def expression(self, expr: ast.expr, held: Tuple[str, ...]) -> None:
+        for node in self._walk_expr(expr):
+            if isinstance(node, ast.Call):
+                self.call(node, held)
+
+    def _walk_expr(self, expr: ast.expr):
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue  # deferred body: does not run under the held set
+            yield node
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.expr)
+                or isinstance(child, (ast.keyword, ast.comprehension))
+            )
+
+    def call(self, node: ast.Call, held: Tuple[str, ...]) -> None:
+        self.f.callsites.append((node.lineno, node.col_offset, held))
+        qualified = _qualify_call(self.tracker, node)
+        chain = receiver_chain(node.func) or ()
+        final = chain[-1] if chain else None
+
+        # blocking primitives -------------------------------------------
+        if qualified in self.cfg.blocking_calls:
+            self.f.blocking.append(
+                BlockingCall(qualified, node.lineno, node.col_offset, held)
+            )
+        elif final in self.cfg.blocking_fanout_names:
+            self.f.blocking.append(
+                BlockingCall(final, node.lineno, node.col_offset, held)
+            )
+        elif final == "join" and len(chain) >= 2:
+            timeout = _join_has_timeout(node)
+            if timeout is not None:
+                self.f.joins.append(
+                    JoinCall(chain[:-1], node.lineno, node.col_offset, timeout)
+                )
+                self.f.blocking.append(
+                    BlockingCall("join", node.lineno, node.col_offset, held)
+                )
+        elif final in self.cfg.queue_blocking_methods and len(chain) >= 2:
+            recv_type = self.type_of(chain[:-1])
+            if recv_type is not None and recv_type.split(".")[-1].endswith("Queue"):
+                self.f.blocking.append(
+                    BlockingCall(
+                        f"queue.{final}", node.lineno, node.col_offset, held
+                    )
+                )
+
+        # waits ----------------------------------------------------------
+        if final == "wait" and len(chain) >= 2:
+            recv = chain[:-1]
+            recv_type = self.type_of(recv) or self._param_type(recv)
+            kind = "unknown"
+            if recv_type in self.cfg.event_types:
+                kind = "event"
+            elif recv_type in self.cfg.condition_types:
+                kind = "condition"
+            has_timeout = bool(node.args) or _kwarg(node, "timeout") is not None
+            self.f.waits.append(
+                WaitCall(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    has_timeout=has_timeout,
+                    recv_kind=kind,
+                    in_unbounded_loop="while_true" in self.loop_stack,
+                    in_while_loop=any(
+                        k in ("while", "while_true") for k in self.loop_stack
+                    ),
+                    held=held,
+                )
+            )
+            if not has_timeout and kind != "condition":
+                # an untimed non-condition wait blocks the thread outright
+                self.f.blocking.append(
+                    BlockingCall("wait", node.lineno, node.col_offset, held)
+                )
+
+        # fork primitives ------------------------------------------------
+        if qualified in self.cfg.fork_calls or final in self.cfg.fork_names:
+            self.f.forks.append(
+                ForkCall(
+                    qualified or final or "?",
+                    node.lineno,
+                    node.col_offset,
+                    held,
+                )
+            )
+
+        # thread lifecycle ----------------------------------------------
+        if qualified in self.cfg.thread_constructors:
+            target_expr = _kwarg(node, "target")
+            self.f.thread_creates.append(
+                ThreadCreate(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    target=self._target_name(target_expr),
+                    has_name=_kwarg(node, "name") is not None,
+                    daemon=_literal_bool(_kwarg(node, "daemon")),
+                )
+            )
+        elif final == "start" and len(chain) >= 2:
+            recv = chain[:-1]
+            if recv in self.thread_chains:
+                for tc in self.f.thread_creates:
+                    if recv in tc.assigned:
+                        tc.started = True
+        elif final == "is_alive" and len(chain) >= 2:
+            self.f.alive_checks.append((chain[:-1], node.lineno))
+
+        # self-attr mutation through container methods -------------------
+        if (
+            final in self.cfg.mutating_methods
+            and len(chain) >= 3
+            and chain[0] == "self"
+            and self.f.class_qualname
+        ):
+            self.f.self_writes.append(
+                (chain[1], node.lineno, node.col_offset, held)
+            )
+        elif (
+            final in self.cfg.mutating_methods
+            and len(chain) == 2
+            and chain[0] in self.module_globals
+            and chain[0] not in self.local_names
+            and chain[0] not in self.local_types
+        ):
+            self.f.global_writes.append(
+                (chain[0], node.lineno, node.col_offset, held)
+            )
+
+    def _param_type(self, chain: Tuple[str, ...]) -> Optional[str]:
+        return self.local_types.get(chain[0]) if len(chain) == 1 else None
+
+    def _target_name(self, expr: Optional[ast.expr]) -> Optional[str]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module_defs:
+                return f"{self.module}.{expr.id}"
+            qualified = self.tracker.qualify(expr)
+            return qualified or expr.id
+        chain = receiver_chain(expr)
+        if chain is None:
+            return None
+        if chain[0] == "self" and len(chain) == 2 and self.f.class_qualname:
+            return f"{self.f.class_qualname}.{chain[1]}"
+        qualified = self.tracker.qualify(expr)
+        return qualified or f"?.{chain[-1]}"
+
+
+def _annotation_name(tracker: ImportTracker, node: Optional[ast.expr]) -> Optional[str]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return tracker.qualify(node)
+    return None
+
+
+def _collect_functions(
+    facts: ConcurrencyFacts, ctx: FileContext, cfg: ConcurrencyConfig
+) -> None:
+    module = facts.module_of[ctx.rel_path]
+    tracker = ImportTracker(ctx.tree)
+    module_defs = {
+        stmt.name
+        for stmt in ctx.tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+    module_globals: Set[str] = set()
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    module_globals.add(t.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                module_globals.add(stmt.target.id)
+
+    def visit(
+        node: ast.AST, owner: str, class_qualname: Optional[str]
+    ) -> None:
+        for stmt in ast.iter_child_nodes(node):
+            if isinstance(stmt, ast.ClassDef):
+                visit(stmt, f"{owner}.{stmt.name}", f"{owner}.{stmt.name}")
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{owner}.{stmt.name}"
+                f = FuncFacts(
+                    qualname=qual,
+                    name=stmt.name,
+                    rel_path=ctx.rel_path,
+                    line=stmt.lineno,
+                    class_qualname=class_qualname,
+                )
+                walker = _FunctionWalker(
+                    facts, f, ctx, cfg, tracker, module, module_defs, module_globals
+                )
+                args = stmt.args
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                    ann = _annotation_name(tracker, arg.annotation)
+                    if ann is not None:
+                        walker.local_types[arg.arg] = ann
+                walker.walk(stmt.body, ())
+                facts.funcs[qual] = f
+                # nested definitions get ``.<locals>.`` scoping like flow
+                visit(stmt, f"{qual}.<locals>", None)
+
+    visit(ctx.tree, module, None)
+
+
+def collect_facts(
+    contexts: Sequence[FileContext], cfg: ConcurrencyConfig
+) -> ConcurrencyFacts:
+    """Collect concurrency facts for the given (non-test) files."""
+    facts = ConcurrencyFacts()
+    for ctx in contexts:
+        facts.contexts[ctx.rel_path] = ctx
+        _collect_definitions(facts, ctx, cfg)
+    for ctx in contexts:
+        _collect_functions(facts, ctx, cfg)
+    return facts

@@ -1,0 +1,78 @@
+"""Entry points of the concurrency-safety pass (RL020–RL025).
+
+Mirrors :mod:`repro_lint.resources.runner`: the engine hands over the
+parsed file contexts, concurrency facts are collected in one AST pass
+over the non-test files, and the interprocedural rules (races, lock
+order, blocking-under-lock, fork safety) share a single flow program
+index — extracted through the same content-addressed summary cache
+``--flow`` and ``--resources`` use, when configured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..engine import FileContext, Finding, LintConfig
+from ..flow.cache import SummaryCache, extract_summaries
+from ..flow.program import ProgramIndex
+from .blocking import run_blocking_rule
+from .config import ConcurrencyOptions
+from .events import run_events_rule
+from .forksafety import run_fork_safety_rule
+from .lifecycle import run_lifecycle_rule
+from .locks import run_lock_order_rule
+from .model import collect_facts
+from .shared_state import run_shared_state_rule
+
+__all__ = ["CONCURRENCY_RULE_IDS", "run_concurrency_rules"]
+
+CONCURRENCY_RULE_IDS = ("RL020", "RL021", "RL022", "RL023", "RL024", "RL025")
+
+# rules that need the flow call graph, not just per-file facts
+_INDEXED_RULES = ("RL020", "RL021", "RL022", "RL023")
+
+
+def run_concurrency_rules(
+    contexts: Sequence[FileContext],
+    config: Optional[LintConfig] = None,
+    options: Optional[ConcurrencyOptions] = None,
+) -> List[Finding]:
+    """Run RL020–RL025 over the given files.
+
+    Returns *raw* findings — the engine applies suppression comments
+    centrally, exactly as for the per-file, flow and resource rules.
+    """
+    cfg = config or LintConfig()
+    opts = options or ConcurrencyOptions()
+    wanted = [r for r in CONCURRENCY_RULE_IDS if cfg.enabled(r)]
+    if not wanted:
+        return []
+
+    non_test = [ctx for ctx in contexts if not ctx.is_test_file]
+    facts = collect_facts(non_test, opts.config)
+
+    index: Optional[ProgramIndex] = None
+    if any(r in wanted for r in _INDEXED_RULES):
+        cache = SummaryCache(opts.cache_dir) if opts.cache_dir else None
+        items = [
+            (ctx.rel_path, ctx.source, ctx.is_test_file) for ctx in contexts
+        ]
+        summaries = extract_summaries(
+            items, opts.flow_config, jobs=opts.jobs, cache=cache
+        )
+        index = ProgramIndex(summaries)
+
+    findings: List[Finding] = []
+    if "RL020" in wanted:
+        findings.extend(run_shared_state_rule(facts, index, opts.config))
+    if "RL021" in wanted:
+        findings.extend(run_lock_order_rule(facts, index, opts.config))
+    if "RL022" in wanted:
+        findings.extend(run_blocking_rule(facts, index, opts.config))
+    if "RL023" in wanted:
+        findings.extend(run_fork_safety_rule(facts, index, opts.config))
+    if "RL024" in wanted:
+        findings.extend(run_lifecycle_rule(facts, opts.config))
+    if "RL025" in wanted:
+        findings.extend(run_events_rule(facts, opts.config))
+    return findings

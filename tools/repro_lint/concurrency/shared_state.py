@@ -1,0 +1,189 @@
+"""RL020 — shared-state write without a lock (interprocedural races).
+
+The detector partitions every function into *thread context* (reachable
+on the flow call graph from a thread entry: a ``threading.Thread``
+``target=``, or a configured entry name like ``worker_loop`` /
+``_heartbeat_loop`` / a transport ``pump``) and *main path* (everything
+else — the scheduler loop, drivers, tests' entry points).  An instance
+attribute (or module global) mutated on **both** sides must either hold
+one common lock at every mutation site or be mediated by an internally
+synchronized object (``queue.Queue``, ``threading.Event``, ...).
+
+Deliberately *not* flagged:
+
+* write-main / read-thread attributes (the frozen-before-share pattern —
+  ``TaskGraph`` is built by the driver, then only read by workers);
+* writes inside ``__init__``/``__new__`` (construction precedes sharing);
+* attributes bound to synchronized constructors in any method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..flow.program import ProgramIndex
+from .config import ConcurrencyConfig
+from .model import ConcurrencyFacts
+
+__all__ = ["thread_entries", "thread_reachable", "run_shared_state_rule"]
+
+_CTOR_NAMES = ("__init__", "__new__")
+
+
+def thread_entries(
+    facts: ConcurrencyFacts, index: ProgramIndex, cfg: ConcurrencyConfig
+) -> Dict[str, str]:
+    """``{function qualname: why it is a thread entry}``."""
+    entries: Dict[str, str] = {}
+    non_test_files = set(facts.contexts)
+    for f in facts.funcs.values():
+        for tc in f.thread_creates:
+            if tc.target is None:
+                continue
+            canon = index.canonical(tc.target)
+            qual: Optional[str] = None
+            if canon is not None and canon in index.functions:
+                qual = canon
+            else:
+                final = tc.target.rsplit(".", 1)[-1]
+                candidates = [
+                    name
+                    for name in index.functions
+                    if name.rsplit(".", 1)[-1] == final
+                    and index.file_of.get(name) in non_test_files
+                ]
+                if len(candidates) == 1:
+                    qual = candidates[0]
+            if qual is not None:
+                entries.setdefault(
+                    qual, f"threading.Thread target at {f.rel_path}:{tc.line}"
+                )
+    wanted = set(cfg.thread_entry_names)
+    for name in index.functions:
+        if (
+            name.rsplit(".", 1)[-1] in wanted
+            and index.file_of.get(name) in non_test_files
+        ):
+            entries.setdefault(name, "configured thread entry")
+    return entries
+
+
+def thread_reachable(
+    facts: ConcurrencyFacts, index: ProgramIndex, cfg: ConcurrencyConfig
+) -> Dict[str, str]:
+    """``{function qualname: entry qualname}`` for every function that can
+    run on a worker/heartbeat thread."""
+    out: Dict[str, str] = {}
+    for entry in sorted(thread_entries(facts, index, cfg)):
+        for qual in index.reachable_from(entry):
+            out.setdefault(qual, entry)
+    return out
+
+
+_Site = Tuple[str, str, int, int, Tuple[str, ...], str]
+# (func qualname, func name, line, col, held, rel_path)
+
+
+def _partition(
+    sites: List[_Site], reach: Dict[str, str]
+) -> Tuple[List[_Site], List[_Site]]:
+    thread_side = [s for s in sites if s[0] in reach]
+    main_side = [s for s in sites if s[0] not in reach]
+    return thread_side, main_side
+
+
+def _race_findings(
+    what: str,
+    sites: List[_Site],
+    thread_side: List[_Site],
+    main_side: List[_Site],
+    reach: Dict[str, str],
+) -> List[Finding]:
+    common = set(sites[0][4])
+    for s in sites[1:]:
+        common &= set(s[4])
+    if common:
+        return []
+    unlocked = [s for s in sites if not s[4]]
+    flagged = unlocked if unlocked else sites
+    entry = reach[thread_side[0][0]]
+    detail = (
+        f"{what} is written from thread context ({thread_side[0][0]}, "
+        f"reachable from {entry}) and from the main path "
+        f"({main_side[0][0]}) without a common lock"
+    )
+    out = []
+    for s in flagged:
+        held = f" (holds {', '.join(s[4])})" if s[4] else ""
+        out.append(
+            Finding(
+                rule="RL020",
+                path=s[5],
+                line=s[2],
+                col=s[3],
+                message=(
+                    f"{detail}; this mutation site{held} races — guard "
+                    f"every mutation with one shared lock or mediate the "
+                    f"state through a queue"
+                ),
+            )
+        )
+    return out
+
+
+def run_shared_state_rule(
+    facts: ConcurrencyFacts,
+    index: Optional[ProgramIndex],
+    cfg: ConcurrencyConfig,
+) -> List[Finding]:
+    if index is None:
+        return []
+    reach = thread_reachable(facts, index, cfg)
+    findings: List[Finding] = []
+
+    # -- instance attributes -------------------------------------------
+    attr_sites: Dict[Tuple[str, str], List[_Site]] = {}
+    for qual, f in facts.funcs.items():
+        if f.class_qualname is None or f.name in _CTOR_NAMES:
+            continue
+        for attr, line, col, held in f.self_writes:
+            attr_sites.setdefault((f.class_qualname, attr), []).append(
+                (qual, f.name, line, col, held, f.rel_path)
+            )
+    for (cls, attr), sites in sorted(attr_sites.items()):
+        if attr in facts.sync_attrs.get(cls, set()):
+            continue
+        thread_side, main_side = _partition(sites, reach)
+        if not thread_side or not main_side:
+            continue
+        findings.extend(
+            _race_findings(
+                f"attribute {cls}.{attr}", sites, thread_side, main_side, reach
+            )
+        )
+
+    # -- module globals -------------------------------------------------
+    global_sites: Dict[Tuple[str, str], List[_Site]] = {}
+    for qual, f in facts.funcs.items():
+        module = facts.module_of.get(f.rel_path, "")
+        for name, line, col, held in f.global_writes:
+            if name in facts.module_locks.get(module, {}):
+                continue
+            global_sites.setdefault((module, name), []).append(
+                (qual, f.name, line, col, held, f.rel_path)
+            )
+    for (module, name), sites in sorted(global_sites.items()):
+        thread_side, main_side = _partition(sites, reach)
+        if not thread_side or not main_side:
+            continue
+        findings.extend(
+            _race_findings(
+                f"module global {module}.{name}",
+                sites,
+                thread_side,
+                main_side,
+                reach,
+            )
+        )
+    return findings

@@ -203,6 +203,7 @@ def lint_paths(
     root: Optional[Path] = None,
     flow: Optional[object] = None,
     resources: Optional[object] = None,
+    concurrency: Optional[object] = None,
 ) -> List[Finding]:
     """Lint files/directories and return suppression-filtered findings.
 
@@ -211,8 +212,10 @@ def lint_paths(
     :class:`repro_lint.flow.FlowOptions` as ``flow`` additionally runs the
     whole-program rules (RL010–RL013) over the same file set; a
     :class:`repro_lint.resources.ResourceOptions` as ``resources`` runs
-    the resource- and numeric-safety rules (RL014–RL019).  Both go
-    through the same suppression filter as everything else.
+    the resource- and numeric-safety rules (RL014–RL019); a
+    :class:`repro_lint.concurrency.ConcurrencyOptions` as ``concurrency``
+    runs the concurrency-safety rules (RL020–RL025).  All go through the
+    same suppression filter as everything else.
     """
     # imported here to avoid a cycle: rule modules import the engine types
     from .registry import FILE_RULES, PROJECT_RULES
@@ -261,6 +264,10 @@ def lint_paths(
         from .resources import run_resource_rules
 
         raw.extend(run_resource_rules(contexts, cfg, resources))
+    if concurrency is not None:
+        from .concurrency import run_concurrency_rules
+
+        raw.extend(run_concurrency_rules(contexts, cfg, concurrency))
 
     by_file: Dict[str, _Suppressions] = {
         ctx.rel_path: _Suppressions(ctx.source) for ctx in contexts

@@ -22,6 +22,7 @@ __all__ = [
     "PROJECT_RULES",
     "FLOW_RULES",
     "RESOURCE_RULES",
+    "CONCURRENCY_RULES",
     "ALL_RULES",
     "rule_catalogue",
 ]
@@ -84,8 +85,33 @@ RESOURCE_RULES: Dict[str, str] = {
     "changes the cached arena's representation.",
 }
 
+#: concurrency-safety rules implemented by :mod:`repro_lint.concurrency` —
+#: lock regions come from a dedicated AST pass and callee resolution
+#: reuses the flow program index, so they run through
+#: :func:`repro_lint.concurrency.run_concurrency_rules` (opt-in via
+#: ``--concurrency``) rather than the per-file dispatch tables.
+CONCURRENCY_RULES: Dict[str, str] = {
+    "RL020": "Shared state (instance attribute or module global) is mutated "
+    "both from a thread entry's call graph and from the main path without "
+    "one common lock or queue mediation.",
+    "RL021": "Lock-order cycle across the interprocedural acquisition graph "
+    "(two threads traversing it in opposite orders deadlock), or a "
+    "non-reentrant lock re-acquired while held.",
+    "RL022": "Blocking call (sleep, subprocess, queue get/put, join, "
+    "untimed wait, fork_map fan-out) while holding a lock, directly or "
+    "through the call graph.",
+    "RL023": "Fork-after-thread or fork-under-lock hazard: the child "
+    "inherits locks with no owner thread and deadlocks on first acquire.",
+    "RL024": "Thread lifecycle hygiene: unnamed/non-daemon threads in the "
+    "distributed engine, non-daemon threads never joined, untimed joins in "
+    "shutdown paths, timed joins whose outcome is never probed.",
+    "RL025": "Event/Condition misuse: untimed Event.wait() in an unbounded "
+    "loop, or Condition.wait() outside a while-predicate re-check loop "
+    "(missed/spurious wakeups).",
+}
+
 ALL_RULES: List[str] = sorted(
-    [*FILE_RULES, *PROJECT_RULES, *FLOW_RULES, *RESOURCE_RULES]
+    [*FILE_RULES, *PROJECT_RULES, *FLOW_RULES, *RESOURCE_RULES, *CONCURRENCY_RULES]
 )
 
 
@@ -97,4 +123,5 @@ def rule_catalogue() -> Dict[str, str]:
         out[rule_id] = doc[0] if doc else ""
     out.update(FLOW_RULES)
     out.update(RESOURCE_RULES)
+    out.update(CONCURRENCY_RULES)
     return dict(sorted(out.items()))
